@@ -1,0 +1,185 @@
+// Ablation: server-directed i/o (Panda) against the §4 alternatives —
+// two-phase i/o [Bordawekar93], traditional caching (CFS-style
+// [Pierce93], through a per-node block cache), and naive master-gather
+// i/o [Galbreath93] — on the same write workload.
+//
+// Expected ordering (the paper's argument): server-directed fastest;
+// two-phase close behind (same sequential disk pattern, extra
+// client-side permutation traffic); traditional caching well behind
+// (strided arrivals defeat the cache; [Kotz93b] measured CFS at about
+// half the raw disk bandwidth); naive gather worst and flat in the
+// number of i/o nodes (it only ever uses one).
+#include <cstdio>
+
+#include "baselines/naive_gather.h"
+#include "baselines/traditional_caching.h"
+#include "baselines/two_phase.h"
+#include "bench_util.h"
+#include "util/units.h"
+
+namespace panda {
+namespace {
+
+struct Config {
+  int clients = 8;
+  Shape cn_mesh{2, 2, 2};
+  std::int64_t size_mb = 64;
+  int io_nodes = 2;
+};
+
+double RunPanda(const Config& cfg, const ArrayMeta& meta,
+                const Sp2Params& params, IoOp op) {
+  bench::MeasureSpec spec;
+  spec.op = op;
+  spec.params = params;
+  spec.num_clients = cfg.clients;
+  spec.io_nodes = cfg.io_nodes;
+  spec.reps = 1;
+  return bench::MeasureCollective(spec, meta).elapsed_s;
+}
+
+double RunTwoPhase(const Config& cfg, const ArrayMeta& meta,
+                   const Sp2Params& params, IoOp op) {
+  Machine machine =
+      Machine::Simulated(cfg.clients, cfg.io_nodes, params, false, true);
+  const World world{cfg.clients, cfg.io_nodes};
+  double elapsed = 0.0;
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+        a.BindClient(idx, false);
+        double t;
+        if (op == IoOp::kWrite) {
+          t = TwoPhaseWriteClient(ep, world, params, a);
+        } else {
+          TwoPhaseWriteClient(ep, world, params, a);  // populate files
+          t = TwoPhaseReadClient(ep, world, params, a);
+        }
+        if (idx == 0) elapsed = t;
+      },
+      [&](Endpoint& ep, int sidx) {
+        TwoPhaseWriteServer(ep, machine.server_fs(sidx), world, params, meta);
+        if (op == IoOp::kRead) {
+          TwoPhaseReadServer(ep, machine.server_fs(sidx), world, params,
+                             meta);
+        }
+      });
+  return elapsed;
+}
+
+double RunCaching(const Config& cfg, const ArrayMeta& meta,
+                  const Sp2Params& params, IoOp op) {
+  Machine machine =
+      Machine::Simulated(cfg.clients, cfg.io_nodes, params, false, true);
+  const World world{cfg.clients, cfg.io_nodes};
+  CachingOptions options;
+  options.cache_capacity_blocks = 1024;  // 4 MB cache per i/o node
+  double elapsed = 0.0;
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        const double t =
+            op == IoOp::kWrite
+                ? CachingWriteClient(ep, world, params, meta, options)
+                : CachingReadClient(ep, world, params, meta, options);
+        if (idx == 0) elapsed = t;
+      },
+      [&](Endpoint& ep, int sidx) {
+        if (op == IoOp::kWrite) {
+          CachingWriteServer(ep, machine.server_fs(sidx), world, params,
+                             meta, options);
+        } else {
+          CachingReadServer(ep, machine.server_fs(sidx), world, params, meta,
+                            options);
+        }
+      });
+  return elapsed;
+}
+
+double RunNaive(const Config& cfg, const ArrayMeta& meta,
+                const Sp2Params& params, IoOp op) {
+  Machine machine =
+      Machine::Simulated(cfg.clients, cfg.io_nodes, params, false, true);
+  const World world{cfg.clients, cfg.io_nodes};
+  double elapsed = 0.0;
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+        a.BindClient(idx, false);
+        double t;
+        if (op == IoOp::kWrite) {
+          t = NaiveGatherWriteClient(ep, world, params, a);
+        } else {
+          NaiveGatherWriteClient(ep, world, params, a);  // populate
+          t = NaiveScatterReadClient(ep, world, params, a);
+        }
+        if (idx == 0) elapsed = t;
+      },
+      [&](Endpoint& ep, int sidx) {
+        NaiveGatherWriteServer(ep, machine.server_fs(sidx), world, params,
+                               meta);
+        if (op == IoOp::kRead) {
+          NaiveScatterReadServer(ep, machine.server_fs(sidx), world, params,
+                                 meta);
+        }
+      });
+  return elapsed;
+}
+
+}  // namespace
+}  // namespace panda
+
+int main(int argc, char** argv) {
+  using namespace panda;
+  try {
+    Options opts(argc, argv);
+    const bool quick = opts.GetBool("quick", false);
+    opts.CheckAllConsumed();
+
+    std::printf("# Ablation: i/o strategies on the paper's workload\n");
+    std::printf(
+        "# 8 compute nodes (2x2x2), traditional order on disk, NAS AIX "
+        "disks\n");
+    std::printf("%-6s %-9s %-8s %-16s %-12s %-12s %-12s\n", "op", "io_nodes",
+                "size_mb", "strategy", "elapsed_s", "agg_MBps", "vs_panda");
+    const Sp2Params params = Sp2Params::Nas();
+    std::vector<std::int64_t> sizes = quick
+                                          ? std::vector<std::int64_t>{16}
+                                          : std::vector<std::int64_t>{16, 64};
+    for (const IoOp op : {IoOp::kWrite, IoOp::kRead}) {
+      for (const std::int64_t size_mb : sizes) {
+        for (const int ion : {2, 4}) {
+          Config cfg;
+          cfg.size_mb = size_mb;
+          cfg.io_nodes = ion;
+          const ArrayMeta meta = bench::PaperArrayMeta(
+              size_mb, cfg.cn_mesh, /*traditional=*/true, ion);
+          const double panda = RunPanda(cfg, meta, params, op);
+          struct Row {
+            const char* name;
+            double elapsed;
+          };
+          const Row rows[] = {
+              {"server-directed", panda},
+              {"two-phase", RunTwoPhase(cfg, meta, params, op)},
+              {"caching", RunCaching(cfg, meta, params, op)},
+              {op == IoOp::kWrite ? "naive-gather" : "naive-scatter",
+               RunNaive(cfg, meta, params, op)},
+          };
+          for (const Row& row : rows) {
+            std::printf("%-6s %-9d %-8lld %-16s %-12.3f %-12.2f %-12.2fx\n",
+                        op == IoOp::kWrite ? "write" : "read", ion,
+                        static_cast<long long>(size_mb), row.name,
+                        row.elapsed,
+                        static_cast<double>(meta.total_bytes()) /
+                            row.elapsed / (1024.0 * 1024.0),
+                        row.elapsed / panda);
+          }
+        }
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,17 @@
+// Reproduces Figure 3: aggregate and normalized throughput for reading
+// arrays of 16-512 MB from 8 compute nodes as a function of the number
+// of i/o nodes, using natural chunking. Paper result: 85-98% of the
+// measured peak AIX read throughput per i/o node.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  panda::bench::FigureSpec spec;
+  spec.id = "Figure 3";
+  spec.description = "read, natural chunking, 8 compute nodes";
+  spec.op = panda::IoOp::kRead;
+  spec.num_clients = 8;
+  spec.cn_mesh = panda::Shape{2, 2, 2};
+  spec.io_nodes = {2, 4, 8};
+  spec.sizes_mb = {16, 32, 64, 128, 256, 512};
+  return panda::bench::FigureMain(argc, argv, spec);
+}

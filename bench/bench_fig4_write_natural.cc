@@ -1,0 +1,18 @@
+// Reproduces Figure 4: aggregate and normalized throughput for writing
+// arrays of 16-512 MB from 8 compute nodes as a function of the number
+// of i/o nodes, using natural chunking. Paper result: 85-98% of the
+// measured peak AIX write throughput per i/o node, declining when the
+// per-processor chunk drops below 1 MB.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  panda::bench::FigureSpec spec;
+  spec.id = "Figure 4";
+  spec.description = "write, natural chunking, 8 compute nodes";
+  spec.op = panda::IoOp::kWrite;
+  spec.num_clients = 8;
+  spec.cn_mesh = panda::Shape{2, 2, 2};
+  spec.io_nodes = {2, 4, 8};
+  spec.sizes_mb = {16, 32, 64, 128, 256, 512};
+  return panda::bench::FigureMain(argc, argv, spec);
+}

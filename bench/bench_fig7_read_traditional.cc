@@ -1,0 +1,19 @@
+// Reproduces Figure 7: reading arrays of 16-512 MB from 32 compute
+// nodes with a traditional-order (BLOCK,*,*) disk schema, i.e. with
+// memory<->disk reorganization during i/o. Paper result: 68-95% of the
+// peak AIX read throughput per i/o node, slightly below natural
+// chunking because of the strided requests and reorganization.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  panda::bench::FigureSpec spec;
+  spec.id = "Figure 7";
+  spec.description = "read, traditional order on disk, 32 compute nodes";
+  spec.op = panda::IoOp::kRead;
+  spec.traditional = true;
+  spec.num_clients = 32;
+  spec.cn_mesh = panda::Shape{4, 4, 2};
+  spec.io_nodes = {2, 4, 6, 8};
+  spec.sizes_mb = {16, 32, 64, 128, 256, 512};
+  return panda::bench::FigureMain(argc, argv, spec);
+}

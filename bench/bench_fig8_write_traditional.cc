@@ -1,0 +1,17 @@
+// Reproduces Figure 8: writing arrays of 16-512 MB from 32 compute
+// nodes with a traditional-order (BLOCK,*,*) disk schema. Paper result:
+// 68-95% of the peak AIX write throughput per i/o node.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  panda::bench::FigureSpec spec;
+  spec.id = "Figure 8";
+  spec.description = "write, traditional order on disk, 32 compute nodes";
+  spec.op = panda::IoOp::kWrite;
+  spec.traditional = true;
+  spec.num_clients = 32;
+  spec.cn_mesh = panda::Shape{4, 4, 2};
+  spec.io_nodes = {2, 4, 6, 8};
+  spec.sizes_mb = {16, 32, 64, 128, 256, 512};
+  return panda::bench::FigureMain(argc, argv, spec);
+}

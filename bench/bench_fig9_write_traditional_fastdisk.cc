@@ -1,0 +1,21 @@
+// Reproduces Figure 9: writing arrays of 16-512 MB from 16 compute
+// nodes with a traditional-order disk schema and a simulated infinitely
+// fast disk. Paper result: 38-86% of peak MPI bandwidth per i/o node —
+// with the disk out of the way, the reorganization cost (strided
+// requests, pack/unpack) becomes visible.
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  panda::bench::FigureSpec spec;
+  spec.id = "Figure 9";
+  spec.description =
+      "write, traditional order on disk, 16 compute nodes, fast disk";
+  spec.op = panda::IoOp::kWrite;
+  spec.fast_disk = true;
+  spec.traditional = true;
+  spec.num_clients = 16;
+  spec.cn_mesh = panda::Shape{4, 2, 2};
+  spec.io_nodes = {2, 4, 6, 8};
+  spec.sizes_mb = {16, 32, 64, 128, 256, 512};
+  return panda::bench::FigureMain(argc, argv, spec);
+}

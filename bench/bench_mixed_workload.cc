@@ -1,0 +1,133 @@
+// Mixed workloads (paper §5): "as Panda makes it possible for each
+// application on the SP2 to have its own dedicated set of i/o nodes, we
+// are curious about the impact of i/o node sharing on i/o-intensive
+// applications." This bench answers the paper's open question on the
+// simulated SP2: two identical applications either share 2N i/o nodes
+// or each get N dedicated ones (same total hardware), each writing a
+// stream of timestep-sized arrays.
+#include <cstdio>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/units.h"
+
+namespace panda {
+namespace {
+
+struct Result {
+  double app_a_s = 0.0;
+  double app_b_s = 0.0;
+};
+
+// Two 8-client applications, `rounds` collective writes each.
+Result RunShared(std::int64_t size_mb, int total_servers, int rounds,
+                 const Sp2Params& params) {
+  const int clients_per_app = 8;
+  const int nranks = 2 * clients_per_app + total_servers;
+  ThreadTransport::Config cfg;
+  cfg.net = params.net;
+  cfg.timing_only = true;
+  ThreadTransport transport(nranks, cfg);
+
+  World base;
+  base.num_clients = clients_per_app;
+  base.num_servers = total_servers;
+  base.first_client = 0;
+  base.first_server = 2 * clients_per_app;
+
+  std::vector<std::unique_ptr<SimFileSystem>> fs;
+  for (int s = 0; s < total_servers; ++s) {
+    SimFileSystem::Options opt;
+    opt.disk = params.disk;
+    opt.store_data = false;
+    opt.clock = &transport.endpoint(base.first_server + s).clock();
+    fs.push_back(std::make_unique<SimFileSystem>(opt));
+  }
+
+  Result result;
+  transport.Run([&](Endpoint& ep) {
+    if (base.is_server_rank(ep.rank())) {
+      ServerOptions options;
+      options.num_applications = 2;
+      ServerMain(ep, *fs[static_cast<size_t>(base.server_index(ep.rank()))],
+                 base, params, options);
+      return;
+    }
+    const bool is_a = ep.rank() < clients_per_app;
+    const World world =
+        is_a ? base : base.WithClients(clients_per_app, clients_per_app);
+    PandaClient client(ep, world, params);
+    const ArrayMeta meta = bench::PaperArrayMeta(
+        size_mb, Shape{2, 2, 2}, /*traditional=*/false, total_servers);
+    Array a(is_a ? "a" : "b", meta.elem_size, meta.memory, meta.disk);
+    a.BindClient(client.index(), false);
+    double total = 0.0;
+    for (int r = 0; r < rounds; ++r) total += client.WriteArray(a);
+    if (client.index() == 0) {
+      (is_a ? result.app_a_s : result.app_b_s) = total;
+    }
+    client.Shutdown();
+  });
+  return result;
+}
+
+// One application with dedicated servers; run once, both apps identical.
+double RunDedicated(std::int64_t size_mb, int servers, int rounds,
+                    const Sp2Params& params) {
+  bench::MeasureSpec spec;
+  spec.op = IoOp::kWrite;
+  spec.params = params;
+  spec.num_clients = 8;
+  spec.io_nodes = servers;
+  spec.reps = rounds;
+  const ArrayMeta meta =
+      bench::PaperArrayMeta(size_mb, Shape{2, 2, 2}, false, servers);
+  return bench::MeasureCollective(spec, meta).elapsed_s * rounds;
+}
+
+}  // namespace
+}  // namespace panda
+
+int main(int argc, char** argv) {
+  using namespace panda;
+  try {
+    Options opts(argc, argv);
+    const bool quick = opts.GetBool("quick", false);
+    opts.CheckAllConsumed();
+
+    std::printf("# Mixed workloads: two identical 8-node applications, same\n");
+    std::printf("# total hardware: share 2N i/o nodes vs N dedicated each.\n");
+    std::printf("# Each app writes %s timestep arrays.\n",
+                quick ? "2x16MB" : "4x32MB");
+    std::printf("%-14s %-10s %-14s %-14s %-12s\n", "total_ion", "size_mb",
+                "shared_max_s", "dedicated_s", "sharing_cost");
+
+    const Sp2Params params = Sp2Params::Nas();
+    const int rounds = quick ? 2 : 4;
+    const std::int64_t mb = quick ? 16 : 32;
+    for (const int total_ion : {2, 4, 8}) {
+      const Result shared = RunShared(mb, total_ion, rounds, params);
+      const double shared_max = std::max(shared.app_a_s, shared.app_b_s);
+      const double dedicated =
+          RunDedicated(mb, total_ion / 2, rounds, params);
+      std::printf("%-14d %-10lld %-14.3f %-14.3f %+.1f%%\n", total_ion,
+                  static_cast<long long>(mb), shared_max, dedicated,
+                  100.0 * (shared_max - dedicated) / dedicated);
+    }
+    std::printf(
+        "\n# Finding: for streams of closely synchronized collectives the\n"
+        "# shared pool is nearly free — each application gets 2N servers\n"
+        "# half the time instead of N servers all the time, so aggregate\n"
+        "# disk throughput is preserved. The small cost is the\n"
+        "# serialization of startup overheads and the wait behind the\n"
+        "# other application's in-flight collective (worst for the first\n"
+        "# arrival, growing with i/o-node count as per-collective time\n"
+        "# shrinks). Latency-sensitive single collectives still prefer\n"
+        "# dedicated nodes: a lone request on the shared pool can wait a\n"
+        "# full collective before starting.\n");
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,78 @@
+// Non-blocking overlap ablation (the paper's stated future work for
+// Figure 9: "we believe that these throughputs can be improved by using
+// non-blocking communication when performing data rearrangement").
+// Panda's ServerOptions::overlap_io overlaps disk writes with gathering
+// the next sub-chunk; this bench quantifies the gain on the Figure 9
+// workload and on the disk-bound Figure 8 workload.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/units.h"
+
+namespace panda {
+namespace {
+
+double Measure(bool overlap_io, bool pipeline, bool fast_disk, int clients,
+               const Shape& mesh, int servers, std::int64_t size_mb) {
+  bench::MeasureSpec spec;
+  spec.op = IoOp::kWrite;
+  spec.params = fast_disk ? Sp2Params::NasFastDisk() : Sp2Params::Nas();
+  spec.num_clients = clients;
+  spec.io_nodes = servers;
+  spec.reps = 1;
+  spec.fast_disk = fast_disk;
+  spec.server_options.overlap_io = overlap_io;
+  spec.server_options.pipeline_requests = pipeline;
+  const ArrayMeta meta =
+      bench::PaperArrayMeta(size_mb, mesh, /*traditional=*/true, servers);
+  return bench::MeasureCollective(spec, meta).elapsed_s;
+}
+
+}  // namespace
+}  // namespace panda
+
+int main(int argc, char** argv) {
+  using namespace panda;
+  try {
+    Options opts(argc, argv);
+    const bool quick = opts.GetBool("quick", false);
+    opts.CheckAllConsumed();
+
+    std::printf("# Non-blocking i/o (the paper's future-work suggestion for\n");
+    std::printf("# Figure 9): traditional-order writes with request\n");
+    std::printf("# pipelining (overlap client packing/transfer), disk\n");
+    std::printf("# write-behind, and both.\n");
+    std::printf("%-7s %-9s %-8s %-12s %-12s %-12s %-12s %-10s\n", "disk",
+                "io_nodes", "size_mb", "blocking_s", "pipeline_s",
+                "writebehind", "both_s", "best");
+    const auto sizes = quick ? std::vector<std::int64_t>{64}
+                             : std::vector<std::int64_t>{64, 256};
+    for (const bool fast_disk : {false, true}) {
+      for (const int ion : {2, 4}) {
+        for (const std::int64_t mb : sizes) {
+          // Figure 8/9 workloads: 16 CN for fast disk, 32 CN for AIX.
+          const int clients = fast_disk ? 16 : 32;
+          const Shape mesh = fast_disk ? Shape{4, 2, 2} : Shape{4, 4, 2};
+          const double blocking =
+              Measure(false, false, fast_disk, clients, mesh, ion, mb);
+          const double pipeline =
+              Measure(false, true, fast_disk, clients, mesh, ion, mb);
+          const double writebehind =
+              Measure(true, false, fast_disk, clients, mesh, ion, mb);
+          const double both =
+              Measure(true, true, fast_disk, clients, mesh, ion, mb);
+          std::printf("%-7s %-9d %-8lld %-12.3f %-12.3f %-12.3f %-12.3f "
+                      "%.2fx\n",
+                      fast_disk ? "fast" : "AIX", ion,
+                      static_cast<long long>(mb), blocking, pipeline,
+                      writebehind, both,
+                      blocking / std::min({pipeline, writebehind, both}));
+        }
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

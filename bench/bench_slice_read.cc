@@ -1,0 +1,103 @@
+// Subarray (slice) reads: the post-processing access pattern — pull one
+// plane or a thin slab out of a large stored array. Server-directed
+// subarray reads touch only the sub-chunks the slice intersects, so the
+// cost scales with the slice, not the array; chunked (natural) disk
+// schemas additionally beat traditional order for interior slices along
+// the distributed dimensions, the paper's §1 locality argument for
+// chunking.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/units.h"
+
+namespace panda {
+namespace {
+
+double MeasureSliceRead(const ArrayMeta& meta, int clients, int servers,
+                        const Sp2Params& params, const Region* slice) {
+  Machine machine = Machine::Simulated(clients, servers, params, false, true);
+  const World world{clients, servers};
+  double elapsed = 0.0;
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        PandaClient client(ep, world, params);
+        Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+        a.BindClient(idx, false);
+        client.WriteArray(a);  // populate
+        const double t = slice == nullptr ? client.ReadArray(a)
+                                          : client.ReadSubarray(a, *slice);
+        if (idx == 0) {
+          elapsed = t;
+          client.Shutdown();
+        }
+      },
+      [&](Endpoint& ep, int sidx) {
+        ServerMain(ep, machine.server_fs(sidx), world, params);
+      });
+  return elapsed;
+}
+
+}  // namespace
+}  // namespace panda
+
+int main(int argc, char** argv) {
+  using namespace panda;
+  try {
+    Options opts(argc, argv);
+    const bool quick = opts.GetBool("quick", false);
+    opts.CheckAllConsumed();
+
+    const std::int64_t size_mb = quick ? 64 : 256;
+    const Shape shape{size_mb, 512, 512};
+    const Shape cn_mesh{2, 2, 2};
+    const Sp2Params params = Sp2Params::Nas();
+    const int servers = 4;
+
+    std::printf("# Slice reads from a %lld MB array, 8 compute nodes, %d "
+                "i/o nodes\n",
+                static_cast<long long>(size_mb), servers);
+    std::printf("%-22s %-14s %-12s %-12s %-14s\n", "slice", "disk_schema",
+                "elapsed_s", "vs_full", "bytes_moved");
+
+    ArrayMeta natural;
+    natural.name = "s";
+    natural.elem_size = 4;
+    natural.memory =
+        Schema(shape, Mesh(cn_mesh), std::vector<DimDist>(3, DimDist::Block()));
+    natural.disk = natural.memory;
+    ArrayMeta traditional = natural;
+    traditional.disk = Schema(shape, Mesh(Shape{servers}),
+                              {DimDist::Block(), DimDist::None(),
+                               DimDist::None()});
+
+    struct Slice {
+      const char* name;
+      Region region;
+    };
+    const Slice slices[] = {
+        {"full array", Region::Whole(shape)},
+        {"one dim-0 plane", Region({size_mb / 2, 0, 0}, {1, 512, 512})},
+        {"dim-0 slab (1/16)",
+         Region({0, 0, 0}, {size_mb / 16, 512, 512})},
+        {"one dim-2 plane", Region({0, 0, 256}, {size_mb, 512, 1})},
+        {"interior cube", Region({size_mb / 4, 128, 128},
+                                 {size_mb / 4, 256, 256})},
+    };
+
+    for (const ArrayMeta* meta : {&natural, &traditional}) {
+      const double full =
+          MeasureSliceRead(*meta, 8, servers, params, nullptr);
+      for (const Slice& slice : slices) {
+        const double t = MeasureSliceRead(*meta, 8, servers, params,
+                                          &slice.region);
+        std::printf("%-22s %-14s %-12.3f %-12.3f %-14s\n", slice.name,
+                    meta == &natural ? "natural" : "BLOCK,*,*", t, t / full,
+                    FormatBytes(slice.region.Volume() * 4).c_str());
+      }
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

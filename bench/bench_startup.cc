@@ -1,0 +1,90 @@
+// Measures Panda's fixed per-collective startup/completion overhead.
+// The paper reports ~0.013 s, visible in Figures 5/6 as declining
+// normalized throughput for small arrays.
+//
+// Methodology: a raw "minimal collective" also pays the data phase's
+// per-piece floor, so we fit elapsed(size) = a + b*size over several
+// small fast-disk collectives and report the intercept `a` — the true
+// fixed overhead — alongside the raw minimal-collective time.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "util/units.h"
+
+namespace panda {
+namespace {
+
+double MeasureSize(int clients, const Shape& mesh, int servers,
+                   std::int64_t size_mb) {
+  bench::MeasureSpec spec;
+  spec.op = IoOp::kWrite;
+  spec.params = Sp2Params::NasFastDisk();
+  spec.num_clients = clients;
+  spec.io_nodes = servers;
+  spec.fast_disk = true;
+  spec.reps = 1;
+  const ArrayMeta meta =
+      bench::PaperArrayMeta(size_mb, mesh, /*traditional=*/false, servers);
+  return bench::MeasureCollective(spec, meta).elapsed_s;
+}
+
+}  // namespace
+}  // namespace panda
+
+int main() {
+  using namespace panda;
+  std::printf("# Panda startup overhead (paper: ~0.013 s).\n");
+  std::printf("# intercept = least-squares a in elapsed(size) = a + b*size,\n");
+  std::printf("# over fast-disk writes of 8..40 MB; minimal = raw elapsed\n");
+  std::printf("# of a 1-element-per-node collective (includes the\n");
+  std::printf("# per-chunk message floor).\n");
+  std::printf("%-14s %-10s %-14s %-14s\n", "compute_nodes", "io_nodes",
+              "intercept", "minimal");
+
+  struct Config {
+    int clients;
+    Shape mesh;
+    int servers;
+  };
+  const Config configs[] = {
+      {8, {2, 2, 2}, 2},  {8, {2, 2, 2}, 8},  {16, {4, 2, 2}, 4},
+      {32, {4, 4, 2}, 2}, {32, {4, 4, 2}, 8},
+  };
+  for (const auto& cfg : configs) {
+    // Least-squares fit over sizes 8,16,24,32,40 MB.
+    double sx = 0, sy = 0, sxx = 0, sxy = 0;
+    int n = 0;
+    for (std::int64_t mb = 8; mb <= 40; mb += 8) {
+      const double x = static_cast<double>(mb);
+      const double y = MeasureSize(cfg.clients, cfg.mesh, cfg.servers, mb);
+      sx += x;
+      sy += y;
+      sxx += x * x;
+      sxy += x * y;
+      ++n;
+    }
+    const double slope = (n * sxy - sx * sy) / (n * sxx - sx * sx);
+    const double intercept = (sy - slope * sx) / n;
+
+    // Raw minimal collective for comparison.
+    bench::MeasureSpec spec;
+    spec.op = IoOp::kWrite;
+    spec.params = Sp2Params::NasFastDisk();
+    spec.num_clients = cfg.clients;
+    spec.io_nodes = cfg.servers;
+    spec.fast_disk = true;
+    spec.reps = 5;
+    ArrayMeta meta;
+    meta.name = "tiny";
+    meta.elem_size = 4;
+    Shape shape = Shape::Filled(1, cfg.clients);
+    meta.memory = Schema(shape, Mesh(Shape{cfg.clients}), {DimDist::Block()});
+    meta.disk = meta.memory;
+    const auto r = bench::MeasureCollective(spec, meta);
+
+    std::printf("%-14d %-10d %-14s %-14s\n", cfg.clients, cfg.servers,
+                FormatSeconds(intercept).c_str(),
+                FormatSeconds(r.elapsed_s).c_str());
+  }
+  return 0;
+}

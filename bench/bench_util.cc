@@ -1,0 +1,155 @@
+#include "bench_util.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <numeric>
+
+#include "util/units.h"
+
+namespace panda {
+namespace bench {
+
+Shape PaperArrayShape(std::int64_t size_mb) {
+  PANDA_REQUIRE(size_mb >= 1, "array size must be >= 1 MB");
+  // {mb, 512, 512} x 4-byte elements: one dim-0 plane == 1 MB.
+  return Shape{size_mb, 512, 512};
+}
+
+ArrayMeta PaperArrayMeta(std::int64_t size_mb, const Shape& cn_mesh,
+                         bool traditional, int io_nodes) {
+  const Shape shape = PaperArrayShape(size_mb);
+  ArrayMeta meta;
+  meta.name = "bench";
+  meta.elem_size = 4;
+  std::vector<DimDist> mem_dists(3, DimDist::Block());
+  meta.memory = Schema(shape, Mesh(cn_mesh), mem_dists);
+  if (traditional) {
+    meta.disk = Schema(shape, Mesh(Shape{io_nodes}),
+                       {DimDist::Block(), DimDist::None(), DimDist::None()});
+  } else {
+    meta.disk = meta.memory;  // natural chunking
+  }
+  return meta;
+}
+
+double NormalizationPeakBps(const MeasureSpec& spec) {
+  if (spec.fast_disk) return spec.params.net.bandwidth_Bps;
+  const DiskModel aix = DiskModel::NasSp2Aix();
+  return spec.op == IoOp::kRead ? aix.ReadThroughput(1 * kMiB)
+                                : aix.WriteThroughput(1 * kMiB);
+}
+
+MeasureResult MeasureCollective(const MeasureSpec& spec,
+                                const ArrayMeta& meta) {
+  Machine machine = Machine::Simulated(spec.num_clients, spec.io_nodes,
+                                       spec.params, /*store_data=*/false,
+                                       /*timing_only=*/true);
+  const World world{spec.num_clients, spec.io_nodes};
+
+  // One elapsed value per (rep, client); slots are disjoint per thread.
+  std::vector<double> elapsed(
+      static_cast<size_t>(spec.reps * spec.num_clients), 0.0);
+
+  machine.Run(
+      [&](Endpoint& ep, int client_index) {
+        PandaClient client(ep, world, spec.params);
+        Array array(meta.name, meta.elem_size, meta.memory, meta.disk);
+        array.BindClient(client_index, /*allocate=*/false);
+
+        // Warm-up write so read benches have files on the i/o nodes
+        // (also reproduces the paper's methodology: data is written,
+        // the cache flushed, then reads are timed).
+        client.WriteArray(array);
+
+        for (int rep = 0; rep < spec.reps; ++rep) {
+          const double t = spec.op == IoOp::kWrite ? client.WriteArray(array)
+                                                   : client.ReadArray(array);
+          elapsed[static_cast<size_t>(rep * spec.num_clients + client_index)] =
+              t;
+        }
+        if (client_index == 0) client.Shutdown();
+      },
+      [&](Endpoint& ep, int server_index) {
+        ServerMain(ep, machine.server_fs(server_index), world, spec.params,
+                   spec.server_options);
+      });
+
+  // The paper's metric: elapsed = max over compute nodes, averaged over
+  // the repetitions.
+  double sum = 0.0;
+  for (int rep = 0; rep < spec.reps; ++rep) {
+    double rep_max = 0.0;
+    for (int c = 0; c < spec.num_clients; ++c) {
+      rep_max = std::max(
+          rep_max,
+          elapsed[static_cast<size_t>(rep * spec.num_clients + c)]);
+    }
+    sum += rep_max;
+  }
+
+  MeasureResult result;
+  result.elapsed_s = sum / spec.reps;
+  const std::int64_t bytes = meta.total_bytes();
+  result.aggregate_Bps = static_cast<double>(bytes) / result.elapsed_s;
+  result.per_ion_Bps = result.aggregate_Bps / spec.io_nodes;
+  result.normalized = result.per_ion_Bps / NormalizationPeakBps(spec);
+  return result;
+}
+
+void RunFigure(const FigureSpec& spec, bool quick) {
+  std::vector<std::int64_t> sizes = spec.sizes_mb;
+  std::vector<int> ions = spec.io_nodes;
+  int reps = spec.reps;
+  if (quick) {
+    sizes = {sizes.front(), sizes.back()};
+    reps = 1;
+  }
+
+  std::printf("# %s: %s\n", spec.id.c_str(), spec.description.c_str());
+  std::printf("# %d compute nodes (%s mesh), %s, %s disk, op=%s\n",
+              spec.num_clients, spec.cn_mesh.ToString().c_str(),
+              spec.traditional ? "traditional order (BLOCK,*,*)"
+                               : "natural chunking",
+              spec.fast_disk ? "infinitely fast" : "NAS AIX",
+              spec.op == IoOp::kRead ? "read" : "write");
+  std::printf("%-9s %-8s %-12s %-14s %-14s %-10s\n", "io_nodes", "size_mb",
+              "elapsed_s", "aggregate", "per_io_node", "normalized");
+
+  for (const int ion : ions) {
+    for (const std::int64_t mb : sizes) {
+      MeasureSpec ms;
+      ms.op = spec.op;
+      ms.params = spec.fast_disk ? Sp2Params::NasFastDisk() : Sp2Params::Nas();
+      ms.num_clients = spec.num_clients;
+      ms.io_nodes = ion;
+      ms.reps = reps;
+      ms.fast_disk = spec.fast_disk;
+      const ArrayMeta meta =
+          PaperArrayMeta(mb, spec.cn_mesh, spec.traditional, ion);
+      const MeasureResult r = MeasureCollective(ms, meta);
+      std::printf("%-9d %-8lld %-12.4f %-14s %-14s %-10.3f\n", ion,
+                  static_cast<long long>(mb), r.elapsed_s,
+                  FormatThroughput(r.aggregate_Bps).c_str(),
+                  FormatThroughput(r.per_ion_Bps).c_str(), r.normalized);
+    }
+  }
+  std::printf("\n");
+}
+
+int FigureMain(int argc, char** argv, FigureSpec spec) {
+  try {
+    Options opts(argc, argv);
+    const bool quick = opts.GetBool("quick", false);
+    const std::int64_t reps = opts.GetInt("reps", spec.reps);
+    opts.CheckAllConsumed();
+    spec.reps = static_cast<int>(reps);
+    RunFigure(spec, quick);
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}
+
+}  // namespace bench
+}  // namespace panda

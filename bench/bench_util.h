@@ -1,0 +1,81 @@
+// Shared harness for the paper-reproduction benches.
+//
+// Each bench binary regenerates one table or figure of the paper:
+// it sweeps array size and i/o-node count, runs the collective in
+// timing-only mode (payloads elided, time from the calibrated SP2
+// model), and prints the figure's two panels: aggregate throughput and
+// normalized throughput (per-i/o-node throughput over the relevant
+// device peak, exactly as the paper computes it).
+#pragma once
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "panda/panda.h"
+#include "util/options.h"
+
+namespace panda {
+namespace bench {
+
+// The paper's array sizes: 16..512 MB, realized as {mb, 512, 512} float
+// arrays so each dim-0 plane is exactly 1 MB.
+Shape PaperArrayShape(std::int64_t size_mb);
+
+// Builds the meta for the paper's workloads. `traditional` selects the
+// BLOCK,*,* disk schema over `io_nodes` slabs; otherwise natural
+// chunking (disk schema == memory schema).
+ArrayMeta PaperArrayMeta(std::int64_t size_mb, const Shape& cn_mesh,
+                         bool traditional, int io_nodes);
+
+struct MeasureResult {
+  double elapsed_s = 0.0;     // mean over repetitions of max-over-clients
+  double aggregate_Bps = 0.0;
+  double per_ion_Bps = 0.0;
+  double normalized = 0.0;    // per-ion / peak (AIX or MPI)
+};
+
+struct MeasureSpec {
+  IoOp op = IoOp::kWrite;
+  Sp2Params params;
+  int num_clients = 8;
+  int io_nodes = 2;
+  int reps = 5;
+  bool fast_disk = false;   // normalize against MPI peak instead of AIX
+  ServerOptions server_options;
+};
+
+// Runs `reps` timed collectives of `meta` (plus one untimed warm-up
+// write so reads have files) and returns the summary.
+MeasureResult MeasureCollective(const MeasureSpec& spec,
+                                const ArrayMeta& meta);
+
+// The peak the paper normalizes against for this spec: measured AIX
+// read/write peak for disk-bound runs, the 34 MB/s MPI peak for
+// fast-disk runs.
+double NormalizationPeakBps(const MeasureSpec& spec);
+
+// --- figure driver ---
+
+struct FigureSpec {
+  std::string id;           // "Figure 3"
+  std::string description;
+  IoOp op = IoOp::kWrite;
+  bool fast_disk = false;
+  bool traditional = false;
+  int num_clients = 8;
+  Shape cn_mesh;
+  std::vector<int> io_nodes;
+  std::vector<std::int64_t> sizes_mb;
+  int reps = 5;
+};
+
+// Runs the sweep and prints the figure's table. `quick` trims the sweep
+// (smallest/largest sizes only) for fast smoke runs.
+void RunFigure(const FigureSpec& spec, bool quick);
+
+// Parses common bench options (--quick, --reps=N) and runs the figure.
+int FigureMain(int argc, char** argv, FigureSpec spec);
+
+}  // namespace bench
+}  // namespace panda

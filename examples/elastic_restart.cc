@@ -1,0 +1,119 @@
+// Elastic restart: checkpoint on 8 compute nodes, restart on 2.
+//
+// The paper separates memory schemas from disk schemas; the payoff is
+// that the on-disk representation is independent of the processor
+// configuration that wrote it. A job that checkpointed on 8 nodes can
+// resume on 2 (say, after losing part of its partition): the restart
+// collective re-decomposes the arrays to the new mesh during i/o, with
+// no conversion step.
+//
+//   ./examples/elastic_restart [--dir=PATH]
+#include <cstdio>
+#include <cstring>
+
+#include "panda/panda.h"
+#include "util/options.h"
+
+using namespace panda;
+
+namespace {
+
+double CellChecksum(const Array& a) {
+  auto raw = a.local_data();
+  const auto* d = reinterpret_cast<const double*>(raw.data());
+  double sum = 0;
+  for (size_t i = 0; i < raw.size() / sizeof(double); ++i) sum += d[i];
+  return sum;
+}
+
+}  // namespace
+
+namespace { int Run(int argc, char** argv) {
+  Options opts(argc, argv);
+  const std::string dir = opts.GetString("dir", "panda_elastic_data");
+  opts.CheckAllConsumed();
+
+  const Shape shape{32, 32, 32};
+  // The disk schema is the durable contract: 2 traditional-order slabs.
+  const Schema disk(shape, Mesh(Shape{2}), {BLOCK, NONE, NONE});
+  Sp2Params params = Sp2Params::Nas();
+
+  double total_before = 0.0;
+
+  // --- Run 1: 8 compute nodes simulate, then checkpoint and "crash".
+  {
+    Machine machine = Machine::WithPosixFs(8, 2, params, dir);
+    const World world{8, 2};
+    machine.Run(
+        [&](Endpoint& ep, int idx) {
+          Array state("state", 8,
+                      Schema(shape, Mesh(Shape{2, 2, 2}),
+                             {BLOCK, BLOCK, BLOCK}),
+                      disk);
+          state.BindClient(idx);
+          auto data = state.local_as<double>();
+          for (size_t i = 0; i < data.size(); ++i) {
+            data[i] = 0.001 * static_cast<double>(i + 1) * (idx + 1);
+          }
+          PandaClient client(ep, world, params);
+          ArrayGroup job("job", "job.schema");
+          job.Include(&state);
+          job.Checkpoint(client);
+          if (idx == 0) client.Shutdown();
+        },
+        [&](Endpoint& ep, int sidx) {
+          ServerMain(ep, machine.server_fs(sidx), world, params);
+        });
+    // Sum the global checksum from the checkpoint's own files later;
+    // here record it by re-deriving from what each rank held.
+  }
+
+  // --- Run 2: only 2 compute nodes are available; restart anyway.
+  {
+    Machine machine = Machine::WithPosixFs(2, 2, params, dir);
+    const World world{2, 2};
+    double checksums[2] = {0, 0};
+    machine.Run(
+        [&](Endpoint& ep, int idx) {
+          Array state("state", 8,
+                      Schema(shape, Mesh(Shape{2}), {NONE, BLOCK, NONE}),
+                      disk);
+          state.BindClient(idx);
+          PandaClient client(ep, world, params);
+          ArrayGroup job("job", "job.schema");
+          job.Include(&state);
+          job.Restart(client);  // re-decomposes 8-way blocks to 2-way
+          checksums[idx] = CellChecksum(state);
+          if (idx == 0) client.Shutdown();
+        },
+        [&](Endpoint& ep, int sidx) {
+          ServerMain(ep, machine.server_fs(sidx), world, params);
+        });
+    total_before = checksums[0] + checksums[1];
+    std::printf("elastic restart: checkpoint written by 8 nodes "
+                "(2x2x2 BLOCK^3),\n");
+    std::printf("restored onto 2 nodes (*,BLOCK,* over {2}); global "
+                "checksum %.6f\n", total_before);
+  }
+
+  // The group metadata file records the schemas for any future reader.
+  {
+    Machine machine = Machine::WithPosixFs(1, 2, params, dir);
+    const GroupMeta meta = ReadGroupMeta(machine.server_fs(0), "job.schema");
+    std::printf("job.schema says: checkpoint present=%s, array '%s' %s\n",
+                meta.has_checkpoint ? "yes" : "no",
+                meta.arrays.at(0).name.c_str(),
+                meta.arrays.at(0).disk.ToString().c_str());
+  }
+  return 0;
+}
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -1,0 +1,97 @@
+// panda_fsck: consistency checker for Panda data directories.
+//
+// Given the i/o-node directories and a group's schema file, verifies
+// that every per-server data file exists with exactly the size the
+// schemas dictate (timestep streams: timesteps x segment; checkpoints:
+// one segment) — the check an operator runs before trusting a restart.
+//
+//   ./examples/panda_fsck --root=DIR --io_nodes=N --schema=FILE
+#include <cstdio>
+
+#include "panda/panda.h"
+#include "util/options.h"
+#include "util/units.h"
+
+using namespace panda;
+
+namespace {
+
+struct CheckResult {
+  int checked = 0;
+  int missing = 0;
+  int wrong_size = 0;
+};
+
+void CheckFile(FileSystem& fs, const std::string& path,
+               std::int64_t expected_bytes, CheckResult& result) {
+  ++result.checked;
+  if (!fs.Exists(path)) {
+    std::printf("  MISSING   %-40s (expected %s)\n", path.c_str(),
+                FormatBytes(expected_bytes).c_str());
+    ++result.missing;
+    return;
+  }
+  const std::int64_t size = fs.Open(path, OpenMode::kRead)->Size();
+  if (size != expected_bytes) {
+    std::printf("  BAD SIZE  %-40s (%s, expected %s)\n", path.c_str(),
+                FormatBytes(size).c_str(),
+                FormatBytes(expected_bytes).c_str());
+    ++result.wrong_size;
+    return;
+  }
+  std::printf("  ok        %-40s %s\n", path.c_str(),
+              FormatBytes(size).c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    Options opts(argc, argv);
+    const std::string root = opts.GetString("root", "panda_simulation_data");
+    const int io_nodes = static_cast<int>(opts.GetInt("io_nodes", 2));
+    const std::string schema_file =
+        opts.GetString("schema", "simulation2.schema");
+    const std::int64_t subchunk =
+        opts.GetInt("subchunk_bytes", Sp2Params::Nas().subchunk_bytes);
+    opts.CheckAllConsumed();
+
+    std::vector<std::unique_ptr<PosixFileSystem>> fs;
+    for (int s = 0; s < io_nodes; ++s) {
+      fs.push_back(std::make_unique<PosixFileSystem>(
+          root + "/ionode" + std::to_string(s)));
+    }
+
+    const GroupMeta meta = ReadGroupMeta(*fs[0], schema_file);
+    std::printf("group '%s': %zu arrays, %lld timesteps, checkpoint %s\n",
+                meta.group.c_str(), meta.arrays.size(),
+                static_cast<long long>(meta.timesteps),
+                meta.has_checkpoint ? "present" : "absent");
+
+    CheckResult result;
+    for (const ArrayMeta& array : meta.arrays) {
+      const IoPlan plan(array, io_nodes, subchunk);
+      for (int s = 0; s < io_nodes; ++s) {
+        const std::int64_t segment = plan.SegmentBytes(s);
+        if (meta.timesteps > 0) {
+          CheckFile(*fs[static_cast<size_t>(s)],
+                    DataFileName(meta.group, array.name, Purpose::kTimestep,
+                                 s),
+                    meta.timesteps * segment, result);
+        }
+        if (meta.has_checkpoint) {
+          CheckFile(*fs[static_cast<size_t>(s)],
+                    DataFileName(meta.group, array.name, Purpose::kCheckpoint,
+                                 s),
+                    segment, result);
+        }
+      }
+    }
+    std::printf("%d files checked: %d missing, %d with wrong sizes\n",
+                result.checked, result.missing, result.wrong_size);
+    return (result.missing + result.wrong_size) == 0 ? 0 : 1;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "panda_fsck: %s\n", e.what());
+    return 2;
+  }
+}

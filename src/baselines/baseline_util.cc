@@ -1,0 +1,101 @@
+#include "baselines/baseline_util.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace panda {
+
+void ForEachRowMajorRun(const Shape& shape, const Region& cell,
+                        const std::function<void(const RowMajorRun&)>& fn) {
+  if (cell.empty()) return;
+  const int r = shape.rank();
+  PANDA_CHECK(cell.rank() == r);
+
+  // Strides of the global array (elements).
+  std::int64_t strides[kMaxRank];
+  std::int64_t s = 1;
+  for (int d = r - 1; d >= 0; --d) {
+    strides[d] = s;
+    s *= shape[d];
+  }
+
+  // A run spans the cell's full innermost extent; when the cell spans
+  // the whole innermost dimension(s), runs merge across them. Find the
+  // outermost suffix of dimensions fully covered by the cell.
+  int first_full = r;  // dims [first_full, r) are fully covered
+  while (first_full > 0) {
+    const int d = first_full - 1;
+    if (cell.lo()[d] == 0 && cell.extent()[d] == shape[d]) {
+      --first_full;
+    } else {
+      break;
+    }
+  }
+  // The run dimension: the innermost not-fully-covered dim, or the whole
+  // cell if everything is covered.
+  const int run_dim = std::max(0, first_full - 1);
+
+  std::int64_t run_elems = cell.extent()[run_dim];
+  for (int d = run_dim + 1; d < r; ++d) run_elems *= shape[d];
+
+  // Iterate outer dims [0, run_dim).
+  Shape outer_shape = Index::Zeros(run_dim);
+  for (int d = 0; d < run_dim; ++d) outer_shape[d] = cell.extent()[d];
+
+  Index outer = Index::Zeros(run_dim);
+  do {
+    Index start = Index::Zeros(r);
+    for (int d = 0; d < run_dim; ++d) start[d] = cell.lo()[d] + outer[d];
+    start[run_dim] = cell.lo()[run_dim];
+    for (int d = run_dim + 1; d < r; ++d) start[d] = cell.lo()[d];
+
+    RowMajorRun run;
+    run.start = start;
+    run.elems = run_elems;
+    run.global_offset = 0;
+    for (int d = 0; d < r; ++d) run.global_offset += start[d] * strides[d];
+    fn(run);
+  } while (outer_shape.rank() > 0 && NextIndexRowMajor(outer_shape, outer));
+}
+
+void ForEachStripeExtent(
+    std::int64_t offset, std::int64_t bytes, std::int64_t stripe_bytes,
+    int num_servers,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn) {
+  PANDA_CHECK(offset >= 0 && bytes >= 0 && stripe_bytes >= 1 &&
+              num_servers >= 1);
+  std::int64_t pos = offset;
+  const std::int64_t end = offset + bytes;
+  while (pos < end) {
+    const std::int64_t stripe = pos / stripe_bytes;
+    const std::int64_t stripe_end = (stripe + 1) * stripe_bytes;
+    const std::int64_t n = std::min(end, stripe_end) - pos;
+    const int server = static_cast<int>(stripe % num_servers);
+    // Offset inside the server's stripe file: full stripes this server
+    // already holds, plus the offset within the current stripe.
+    const std::int64_t local =
+        (stripe / num_servers) * stripe_bytes + (pos - stripe * stripe_bytes);
+    fn(server, local, n);
+    pos += n;
+  }
+}
+
+void WorldBarrier(Endpoint& ep, const World& world) {
+  // All of this application's clients and servers (the baselines use
+  // the default contiguous layout: clients then servers).
+  std::vector<int> ranks;
+  ranks.reserve(static_cast<size_t>(world.num_clients + world.num_servers));
+  int my_index = -1;
+  for (int c = 0; c < world.num_clients; ++c) {
+    if (world.client_rank(c) == ep.rank()) my_index = static_cast<int>(ranks.size());
+    ranks.push_back(world.client_rank(c));
+  }
+  for (int s = 0; s < world.num_servers; ++s) {
+    if (world.server_rank(s) == ep.rank()) my_index = static_cast<int>(ranks.size());
+    ranks.push_back(world.server_rank(s));
+  }
+  Barrier(ep, Group(std::move(ranks), my_index));
+}
+
+}  // namespace panda

@@ -1,0 +1,51 @@
+// Shared helpers for the baseline (non-server-directed) i/o strategies
+// Panda is compared against: two-phase i/o [Bordawekar93], traditional
+// caching (CFS-style [Pierce93]) and naive master-gather i/o
+// [Galbreath93].
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "mdarray/region.h"
+#include "msg/collectives.h"
+#include "panda/runtime.h"
+
+namespace panda {
+
+// A contiguous run of the global row-major order: `global_offset` is the
+// element offset of the run's first element in the whole array.
+struct RowMajorRun {
+  std::int64_t global_offset = 0;  // elements
+  std::int64_t elems = 0;
+  Index start;  // first index of the run (innermost dim varies)
+};
+
+// Enumerates the maximal contiguous row-major runs of `cell` within the
+// global `shape` (one run per combination of the outer dimensions).
+// Calls `fn(run)` in ascending global offset order.
+void ForEachRowMajorRun(const Shape& shape, const Region& cell,
+                        const std::function<void(const RowMajorRun&)>& fn);
+
+// Block-striped placement of a linear byte range over servers (the way
+// CFS/Vesta-era parallel file systems stripe a shared file). Splits
+// [offset, offset+bytes) into per-server extents of `stripe_bytes` and
+// calls fn(server, offset_in_server_file, bytes) in ascending order.
+void ForEachStripeExtent(
+    std::int64_t offset, std::int64_t bytes, std::int64_t stripe_bytes,
+    int num_servers,
+    const std::function<void(int, std::int64_t, std::int64_t)>& fn);
+
+// Barrier over every rank (clients and servers) of the world.
+void WorldBarrier(Endpoint& ep, const World& world);
+
+// Baseline wire tags (beyond kTagApp so they never collide with Panda's).
+enum BaselineTag : int {
+  kTagPhase1Piece = kTagApp + 1,  // two-phase: client -> client exchange
+  kTagPhase2Data = kTagApp + 2,   // two-phase: client -> server writes
+  kTagIoCommand = kTagApp + 3,    // caching/naive: client -> server command
+  kTagIoReply = kTagApp + 4,      // server -> client reply
+};
+
+}  // namespace panda

@@ -1,0 +1,36 @@
+// Naive master-gather i/o [Galbreath93]: the simplest baseline.
+//
+// All compute nodes funnel their data to the master client, which
+// assembles the array in traditional order, slab by slab, and streams it
+// through a single i/o node. Trivially correct, trivially portable — and
+// serialized on the master's link and one disk, which is why it stops
+// scaling immediately.
+#pragma once
+
+#include "iosim/file_system.h"
+#include "panda/array.h"
+#include "panda/runtime.h"
+#include "sp2/params.h"
+
+namespace panda {
+
+// Client side of a naive gathered write (call on every client). The
+// master (client 0) gathers and forwards; the others only send. Returns
+// this client's elapsed virtual time.
+double NaiveGatherWriteClient(Endpoint& ep, const World& world,
+                              const Sp2Params& params, Array& array);
+
+// Server side: only server 0 stores data; all servers join the final
+// barrier.
+void NaiveGatherWriteServer(Endpoint& ep, FileSystem& fs, const World& world,
+                            const Sp2Params& params, const ArrayMeta& meta);
+
+// Read counterpart (master-scatter): server 0 streams the file to the
+// master client, which carves each slab into pieces and forwards them
+// to their holders.
+double NaiveScatterReadClient(Endpoint& ep, const World& world,
+                              const Sp2Params& params, Array& array);
+void NaiveScatterReadServer(Endpoint& ep, FileSystem& fs, const World& world,
+                            const Sp2Params& params, const ArrayMeta& meta);
+
+}  // namespace panda

@@ -1,0 +1,176 @@
+#include "baselines/traditional_caching.h"
+
+#include <vector>
+
+#include "baselines/baseline_util.h"
+#include "iosim/block_cache.h"
+#include "util/codec.h"
+
+namespace panda {
+namespace {
+
+// Command wire format: op (0=write, 1=done), offset, bytes.
+Message CommandMessage(std::uint8_t op, std::int64_t offset,
+                       std::int64_t bytes) {
+  Message msg;
+  Encoder enc(msg.header);
+  enc.Put<std::uint8_t>(op);
+  enc.Put<std::int64_t>(offset);
+  enc.Put<std::int64_t>(bytes);
+  msg.SetVirtualPayload(op == 0 ? bytes : 0);
+  return msg;
+}
+
+}  // namespace
+
+double CachingWriteClient(Endpoint& ep, const World& world,
+                          const Sp2Params& params, const ArrayMeta& meta,
+                          const CachingOptions& options) {
+  (void)params;
+  PANDA_REQUIRE(ep.timing_only(),
+                "the caching baseline is a timing model; run it timing-only");
+  const double start = ep.clock().Now();
+  const Region cell = meta.memory.CellRegion(ep.rank());
+
+  // Independent strided writes: one i/o request per run x stripe extent,
+  // issued in this client's natural (row-major) order. No cooperation,
+  // no global ordering — exactly what the paper argues against.
+  ForEachRowMajorRun(
+      meta.memory.array_shape(), cell, [&](const RowMajorRun& run) {
+        const std::int64_t byte_off = run.global_offset * meta.elem_size;
+        const std::int64_t byte_len = run.elems * meta.elem_size;
+        ForEachStripeExtent(
+            byte_off, byte_len, options.stripe_bytes, world.num_servers,
+            [&](int server, std::int64_t local_off, std::int64_t n) {
+              ep.Send(world.server_rank(server), kTagIoCommand,
+                      CommandMessage(0, local_off, n));
+            });
+      });
+  for (int s = 0; s < world.num_servers; ++s) {
+    ep.Send(world.server_rank(s), kTagIoCommand, CommandMessage(1, 0, 0));
+  }
+
+  WorldBarrier(ep, world);
+  return ep.clock().Now() - start;
+}
+
+void CachingWriteServer(Endpoint& ep, FileSystem& fs, const World& world,
+                        const Sp2Params& params, const ArrayMeta& meta,
+                        const CachingOptions& options) {
+  (void)params;
+  auto file = fs.Open("striped." + meta.name + "." +
+                          std::to_string(ep.rank() - world.num_clients),
+                      OpenMode::kWrite);
+  BlockCache::Options copt;
+  copt.block_bytes = options.block_bytes;
+  copt.capacity_blocks = options.cache_capacity_blocks;
+  BlockCache cache(file.get(), copt);
+
+  // Serve clients round-robin (a deterministic proxy for arrival order):
+  // requests are applied as they come, with no reordering — traditional
+  // caching has no plan to reorder by.
+  std::vector<bool> done(static_cast<size_t>(world.num_clients), false);
+  int active = world.num_clients;
+  while (active > 0) {
+    for (int c = 0; c < world.num_clients; ++c) {
+      if (done[static_cast<size_t>(c)]) continue;
+      Message msg = ep.Recv(c, kTagIoCommand);
+      Decoder dec(msg.header);
+      const auto op = dec.Get<std::uint8_t>();
+      const auto offset = dec.Get<std::int64_t>();
+      const auto bytes = dec.Get<std::int64_t>();
+      if (op == 1) {
+        done[static_cast<size_t>(c)] = true;
+        --active;
+        continue;
+      }
+      cache.WriteAt(offset, {}, bytes);
+    }
+  }
+  cache.Flush();
+  WorldBarrier(ep, world);
+}
+
+double CachingReadClient(Endpoint& ep, const World& world,
+                         const Sp2Params& params, const ArrayMeta& meta,
+                         const CachingOptions& options) {
+  (void)params;
+  PANDA_REQUIRE(ep.timing_only(),
+                "the caching baseline is a timing model; run it timing-only");
+  const double start = ep.clock().Now();
+  const Region cell = meta.memory.CellRegion(ep.rank());
+
+  // Blocking request/reply per extent: the client cannot overlap its own
+  // reads (no collective interface, no async i/o — the mid-90s default).
+  ForEachRowMajorRun(
+      meta.memory.array_shape(), cell, [&](const RowMajorRun& run) {
+        const std::int64_t byte_off = run.global_offset * meta.elem_size;
+        const std::int64_t byte_len = run.elems * meta.elem_size;
+        ForEachStripeExtent(
+            byte_off, byte_len, options.stripe_bytes, world.num_servers,
+            [&](int server, std::int64_t local_off, std::int64_t n) {
+              Message cmd;
+              Encoder enc(cmd.header);
+              enc.Put<std::uint8_t>(2);  // op 2 = read
+              enc.Put<std::int64_t>(local_off);
+              enc.Put<std::int64_t>(n);
+              ep.Send(world.server_rank(server), kTagIoCommand,
+                      std::move(cmd));
+              (void)ep.Recv(world.server_rank(server), kTagIoReply);
+            });
+      });
+  for (int s = 0; s < world.num_servers; ++s) {
+    ep.Send(world.server_rank(s), kTagIoCommand, CommandMessage(1, 0, 0));
+  }
+  WorldBarrier(ep, world);
+  return ep.clock().Now() - start;
+}
+
+void CachingReadServer(Endpoint& ep, FileSystem& fs, const World& world,
+                       const Sp2Params& params, const ArrayMeta& meta,
+                       const CachingOptions& options) {
+  (void)params;
+  auto file = fs.Open("striped." + meta.name + "." +
+                          std::to_string(world.server_index(ep.rank())),
+                      OpenMode::kReadWrite);
+  // Pre-size the striped file so reads have something to fetch
+  // (write-phase and read-phase benches run independently).
+  std::int64_t my_bytes = 0;
+  ForEachStripeExtent(0, meta.total_bytes(), options.stripe_bytes,
+                      world.num_servers,
+                      [&](int server, std::int64_t local_off, std::int64_t n) {
+                        if (server == world.server_index(ep.rank())) {
+                          my_bytes = std::max(my_bytes, local_off + n);
+                        }
+                      });
+  if (file->Size() < my_bytes) file->WriteAt(my_bytes - 1, {}, 1);
+
+  BlockCache::Options copt;
+  copt.block_bytes = options.block_bytes;
+  copt.capacity_blocks = options.cache_capacity_blocks;
+  BlockCache cache(file.get(), copt);
+
+  // Serve commands strictly in arrival order: a blocking round-robin
+  // would deadlock (a client waiting for this daemon's reply cannot
+  // send the command another daemon's turn is waiting for).
+  int active = world.num_clients;
+  while (active > 0) {
+    Message msg = ep.RecvAny(kTagIoCommand);
+    Decoder dec(msg.header);
+    const auto op = dec.Get<std::uint8_t>();
+    const auto offset = dec.Get<std::int64_t>();
+    const auto bytes = dec.Get<std::int64_t>();
+    if (op == 1) {
+      --active;
+      continue;
+    }
+    PANDA_REQUIRE(op == 2, "caching read daemon got op %u", op);
+    cache.ReadAt(offset, {}, bytes);
+    Message reply;
+    reply.SetVirtualPayload(bytes);
+    ep.Send(msg.src, kTagIoReply, std::move(reply));
+  }
+  WorldBarrier(ep, world);
+}
+
+}  // namespace panda

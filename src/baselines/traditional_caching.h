@@ -1,0 +1,56 @@
+// Traditional-caching i/o: the CFS-style non-collective baseline.
+//
+// There is no collective interface and no global plan: each compute node
+// independently writes its part of the array into the *traditional
+// row-major order* of a shared file that is block-striped across the
+// i/o nodes (the CFS/Vesta-era organization). Each i/o node runs a
+// passive daemon that applies requests through an LRU block cache with
+// sequential prefetch — all the i/o node can do without the semantic
+// view a collective interface provides.
+//
+// A BLOCK,*,..,* memory cell produces long runs and behaves well; a
+// multi-dimensional BLOCK decomposition produces short strided runs that
+// defeat the cache's coalescing, which is why CFS was observed to reach
+// only about half the raw disk bandwidth [Kotz93b].
+//
+// This baseline is a timing model (payload-elided); it exists to
+// reproduce the comparison that motivates server-directed i/o.
+#pragma once
+
+#include "iosim/file_system.h"
+#include "panda/array.h"
+#include "panda/runtime.h"
+#include "sp2/params.h"
+
+namespace panda {
+
+struct CachingOptions {
+  std::int64_t stripe_bytes = 64 * 1024;  // striping unit of the shared file
+  std::int64_t block_bytes = 4 * 1024;    // cache block (AIX block size)
+  std::int64_t cache_capacity_blocks = 4096;
+};
+
+// Client side: writes this client's cell of `meta` into the striped
+// shared file, one command per (run x stripe extent). Returns elapsed
+// virtual time. Timing-only (asserts the endpoint is in timing mode).
+double CachingWriteClient(Endpoint& ep, const World& world,
+                          const Sp2Params& params, const ArrayMeta& meta,
+                          const CachingOptions& options);
+
+// Server side: the passive cached i/o daemon for one write collective.
+void CachingWriteServer(Endpoint& ep, FileSystem& fs, const World& world,
+                        const Sp2Params& params, const ArrayMeta& meta,
+                        const CachingOptions& options);
+
+// Read counterpart: each client issues one blocking read request per
+// (run x stripe extent) and waits for the reply — a POSIX-style read
+// loop. The daemon's sequential prefetch helps exactly as much as the
+// arrival pattern lets it.
+double CachingReadClient(Endpoint& ep, const World& world,
+                         const Sp2Params& params, const ArrayMeta& meta,
+                         const CachingOptions& options);
+void CachingReadServer(Endpoint& ep, FileSystem& fs, const World& world,
+                       const Sp2Params& params, const ArrayMeta& meta,
+                       const CachingOptions& options);
+
+}  // namespace panda

@@ -1,0 +1,47 @@
+// Two-phase collective i/o [Bordawekar93], the client-directed baseline.
+//
+// Phase 1: the compute nodes permute the array among themselves so that
+// data ownership *conforms* to the disk layout (each conforming owner
+// holds one disk chunk, assigned round-robin over the clients).
+// Phase 2: each conforming owner ships its chunks, sub-chunk by
+// sub-chunk, to the i/o node that stores them; the i/o node writes them
+// in arrival order, which is sequential per file by construction.
+//
+// The resulting files are bit-identical to Panda's (same chunk -> server
+// round-robin, same offsets), so a two-phase write can be read back with
+// Panda's server-directed read — tests exploit this.
+//
+// Compared to server-directed i/o, two-phase moves most data twice
+// (client->client, then client->server) and needs client memory for the
+// conforming copy; the paper's §4 argues this is the price of keeping
+// the i/o nodes passive.
+#pragma once
+
+#include "iosim/file_system.h"
+#include "panda/array.h"
+#include "panda/plan.h"
+#include "panda/runtime.h"
+#include "sp2/params.h"
+
+namespace panda {
+
+// Runs the client side of a two-phase collective write. Every client
+// calls it; `array` is this client's bound handle. Returns this
+// client's elapsed virtual time (including the completion barrier).
+double TwoPhaseWriteClient(Endpoint& ep, const World& world,
+                           const Sp2Params& params, Array& array);
+
+// Runs the server side for one two-phase write: a passive i/o daemon
+// that receives (offset, bytes) writes for its file and applies them.
+void TwoPhaseWriteServer(Endpoint& ep, FileSystem& fs, const World& world,
+                         const Sp2Params& params, const ArrayMeta& meta);
+
+// Two-phase read: phase 1, each conforming owner receives its chunks
+// from the i/o nodes (which read sequentially and push); phase 2, the
+// owners permute pieces back to the memory decomposition.
+double TwoPhaseReadClient(Endpoint& ep, const World& world,
+                          const Sp2Params& params, Array& array);
+void TwoPhaseReadServer(Endpoint& ep, FileSystem& fs, const World& world,
+                        const Sp2Params& params, const ArrayMeta& meta);
+
+}  // namespace panda

@@ -1,0 +1,191 @@
+#include "iosim/block_cache.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace panda {
+
+BlockCache::BlockCache(File* base, Options options)
+    : base_(base), options_(options) {
+  PANDA_CHECK(base_ != nullptr);
+  PANDA_CHECK(options_.block_bytes >= 1 && options_.capacity_blocks >= 1);
+}
+
+BlockCache::~BlockCache() { WriteBackAllDirty(); }
+
+void BlockCache::Touch(std::int64_t block) {
+  auto it = blocks_.find(block);
+  PANDA_CHECK(it != blocks_.end());
+  lru_.erase(it->second.lru_pos);
+  lru_.push_front(block);
+  it->second.lru_pos = lru_.begin();
+}
+
+void BlockCache::EnsureResident(std::int64_t block, bool will_overwrite) {
+  auto it = blocks_.find(block);
+  if (it != blocks_.end()) {
+    hits_ += 1;
+    Touch(block);
+    return;
+  }
+  misses_ += 1;
+  // A partially-overwritten block must be fetched first (read-modify-
+  // write); a fully-overwritten one can be installed without a read.
+  if (!will_overwrite) {
+    const std::int64_t off = block * options_.block_bytes;
+    const std::int64_t end = base_->Size();
+    if (off < end) {
+      const std::int64_t n = std::min(options_.block_bytes, end - off);
+      base_->ReadAt(off, {}, n);
+    }
+  }
+  EvictIfNeeded();
+  lru_.push_front(block);
+  blocks_[block] = BlockState{false, lru_.begin()};
+}
+
+void BlockCache::EvictIfNeeded() {
+  while (static_cast<std::int64_t>(blocks_.size()) >=
+         options_.capacity_blocks) {
+    const std::int64_t victim = lru_.back();
+    auto it = blocks_.find(victim);
+    if (it->second.dirty) {
+      // Coalesce the victim with any adjacent resident dirty blocks so
+      // the write-back is as sequential as the contents allow.
+      std::int64_t first = victim;
+      while (true) {
+        auto prev = blocks_.find(first - 1);
+        if (prev == blocks_.end() || !prev->second.dirty) break;
+        first = first - 1;
+      }
+      std::int64_t last = victim;
+      while (true) {
+        auto next = blocks_.find(last + 1);
+        if (next == blocks_.end() || !next->second.dirty) break;
+        last = last + 1;
+      }
+      WriteBackRun(first, last - first + 1);
+      for (std::int64_t b = first; b <= last; ++b) {
+        auto bit = blocks_.find(b);
+        lru_.erase(bit->second.lru_pos);
+        blocks_.erase(bit);
+      }
+    } else {
+      lru_.erase(it->second.lru_pos);
+      blocks_.erase(it);
+    }
+  }
+}
+
+void BlockCache::WriteBackRun(std::int64_t first_block, std::int64_t count) {
+  const std::int64_t off = first_block * options_.block_bytes;
+  const std::int64_t n = count * options_.block_bytes;
+  base_->WriteAt(off, {}, n);
+}
+
+void BlockCache::WriteBackAllDirty() {
+  // Flush in ascending block order, merging adjacent dirty runs.
+  std::int64_t run_start = -1;
+  std::int64_t run_len = 0;
+  for (auto& [block, state] : blocks_) {
+    if (!state.dirty) continue;
+    if (run_start >= 0 && block == run_start + run_len) {
+      run_len += 1;
+    } else {
+      if (run_start >= 0) WriteBackRun(run_start, run_len);
+      run_start = block;
+      run_len = 1;
+    }
+    state.dirty = false;
+  }
+  if (run_start >= 0) WriteBackRun(run_start, run_len);
+}
+
+void BlockCache::WriteAt(std::int64_t offset, std::span<const std::byte> data,
+                         std::int64_t vbytes) {
+  (void)data;  // timing-model layer: contents are not cached
+  PANDA_CHECK(offset >= 0 && vbytes >= 0);
+  const std::int64_t bb = options_.block_bytes;
+  const std::int64_t first = offset / bb;
+  const std::int64_t last = (offset + vbytes + bb - 1) / bb - 1;
+  for (std::int64_t b = first; b <= last; ++b) {
+    const std::int64_t b_off = b * bb;
+    const bool full_cover = offset <= b_off && offset + vbytes >= b_off + bb;
+    EnsureResident(b, full_cover);
+    blocks_[b].dirty = true;
+  }
+}
+
+void BlockCache::ReadAt(std::int64_t offset, std::span<std::byte> out,
+                        std::int64_t vbytes) {
+  (void)out;
+  PANDA_CHECK(offset >= 0 && vbytes >= 0);
+  const std::int64_t bb = options_.block_bytes;
+  const std::int64_t first = offset / bb;
+  const std::int64_t last = (offset + vbytes + bb - 1) / bb - 1;
+
+  // Multi-stream sequential detection drives read-ahead (see
+  // DetectSequential).
+  const bool sequential = DetectSequential(offset, vbytes);
+
+  for (std::int64_t b = first; b <= last; ++b) {
+    auto it = blocks_.find(b);
+    if (it != blocks_.end()) {
+      hits_ += 1;
+      Touch(b);
+      continue;
+    }
+    misses_ += 1;
+    // Miss: fetch a run of blocks — just this one, or the prefetch
+    // window when the stream looks sequential.
+    const std::int64_t want =
+        sequential ? std::max<std::int64_t>(last - b + 1,
+                                            options_.prefetch_blocks)
+                   : (last - b + 1);
+    const std::int64_t run_off = b * bb;
+    const std::int64_t end = base_->Size();
+    const std::int64_t run_n =
+        std::min(want * bb, std::max<std::int64_t>(0, end - run_off));
+    if (run_n > 0) base_->ReadAt(run_off, {}, run_n);
+    const std::int64_t fetched = CeilDiv(run_n, bb);
+    for (std::int64_t f = 0; f < std::max<std::int64_t>(fetched, 1); ++f) {
+      if (blocks_.count(b + f) != 0) continue;
+      EvictIfNeeded();
+      lru_.push_front(b + f);
+      blocks_[b + f] = BlockState{false, lru_.begin()};
+    }
+    // Skip past what the run fetched.
+    b += std::max<std::int64_t>(fetched, 1) - 1;
+  }
+}
+
+bool BlockCache::DetectSequential(std::int64_t offset, std::int64_t vbytes) {
+  // AIX-style multi-stream detection: the prefetcher tracks the end
+  // offsets of several recent sequential streams; a read that lands
+  // within the read-ahead window of any tracked stream continues it.
+  // This is what lets interleaved requests from many compute nodes each
+  // enjoy read-ahead, instead of mutually destroying one global window.
+  const std::int64_t window = options_.prefetch_blocks * options_.block_bytes;
+  for (auto it = stream_ends_.begin(); it != stream_ends_.end(); ++it) {
+    if (offset >= *it - window && offset <= *it + window) {
+      const std::int64_t end = std::max(*it, offset + vbytes);
+      stream_ends_.erase(it);
+      stream_ends_.push_front(end);
+      return true;
+    }
+  }
+  stream_ends_.push_front(offset + vbytes);
+  if (static_cast<int>(stream_ends_.size()) > options_.max_streams) {
+    stream_ends_.pop_back();
+  }
+  return false;
+}
+
+void BlockCache::Flush() {
+  WriteBackAllDirty();
+  base_->Sync();
+}
+
+}  // namespace panda

@@ -1,0 +1,23 @@
+#include "iosim/disk_model.h"
+
+namespace panda {
+
+DiskModel DiskModel::NasSp2Aix() {
+  DiskModel m;
+  m.raw_read_Bps = 3.0 * kMiB;
+  m.raw_write_Bps = 3.0 * kMiB;
+  const double measured_read_peak_Bps = 2.85 * kMiB;
+  const double measured_write_peak_Bps = 2.23 * kMiB;
+  // Solve peak = 1MB / (1MB/raw + ov) for ov.
+  m.read_overhead_s =
+      static_cast<double>(kMiB) *
+      (1.0 / measured_read_peak_Bps - 1.0 / m.raw_read_Bps);
+  m.write_overhead_s =
+      static_cast<double>(kMiB) *
+      (1.0 / measured_write_peak_Bps - 1.0 / m.raw_write_Bps);
+  m.seek_s = 0.015;   // average seek + rotational delay, 1995-class SCSI disk
+  m.fsync_s = 0.010;  // metadata flush
+  return m;
+}
+
+}  // namespace panda

@@ -1,0 +1,36 @@
+#include "iosim/faulty_fs.h"
+
+namespace panda {
+
+class FaultyFile : public File {
+ public:
+  FaultyFile(std::unique_ptr<File> base, FaultyFileSystem* fs)
+      : base_(std::move(base)), fs_(fs) {}
+
+  void WriteAt(std::int64_t offset, std::span<const std::byte> data,
+               std::int64_t vbytes) override {
+    fs_->CountOp();
+    base_->WriteAt(offset, data, vbytes);
+  }
+  void ReadAt(std::int64_t offset, std::span<std::byte> out,
+              std::int64_t vbytes) override {
+    fs_->CountOp();
+    base_->ReadAt(offset, out, vbytes);
+  }
+  void Sync() override {
+    fs_->CountOp();
+    base_->Sync();
+  }
+  std::int64_t Size() override { return base_->Size(); }
+
+ private:
+  std::unique_ptr<File> base_;
+  FaultyFileSystem* fs_;
+};
+
+std::unique_ptr<File> FaultyFileSystem::Open(const std::string& path,
+                                             OpenMode mode) {
+  return std::make_unique<FaultyFile>(base_->Open(path, mode), this);
+}
+
+}  // namespace panda

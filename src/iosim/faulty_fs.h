@@ -1,0 +1,55 @@
+// Fault-injection file system wrapper.
+//
+// Wraps any FileSystem and fails (throws PandaError) once a configured
+// number of data operations have executed — simulating an i/o node
+// dying mid-collective. Used by the failure-injection tests to prove
+// that a crashed checkpoint can never destroy the previous one and that
+// a failing rank aborts the whole collective loudly instead of hanging.
+#pragma once
+
+#include <memory>
+
+#include "iosim/file_system.h"
+#include "util/error.h"
+
+namespace panda {
+
+class FaultyFileSystem : public FileSystem {
+ public:
+  // Fails every data operation after `fail_after_ops` successful ones
+  // (reads/writes/syncs count; metadata ops pass through). A negative
+  // threshold never fails.
+  FaultyFileSystem(FileSystem* base, std::int64_t fail_after_ops)
+      : base_(base), remaining_(fail_after_ops) {
+    PANDA_CHECK(base_ != nullptr);
+  }
+
+  std::unique_ptr<File> Open(const std::string& path, OpenMode mode) override;
+  bool Exists(const std::string& path) override { return base_->Exists(path); }
+  void Remove(const std::string& path) override { base_->Remove(path); }
+  void Rename(const std::string& from, const std::string& to) override {
+    base_->Rename(from, to);
+  }
+
+  const FsStats& stats() const override { return base_->stats(); }
+  void ResetStats() override { base_->ResetStats(); }
+
+  // Operations executed so far.
+  std::int64_t ops_seen() const { return ops_seen_; }
+
+ private:
+  friend class FaultyFile;
+  void CountOp() {
+    ++ops_seen_;
+    if (remaining_ >= 0 && ops_seen_ > remaining_) {
+      throw PandaError("injected i/o fault after " +
+                       std::to_string(remaining_) + " operations");
+    }
+  }
+
+  FileSystem* base_;
+  std::int64_t remaining_;
+  std::int64_t ops_seen_ = 0;
+};
+
+}  // namespace panda

@@ -1,0 +1,78 @@
+// Abstract file system used by Panda servers.
+//
+// Two implementations exist:
+//   * PosixFileSystem - real files under a root directory; used by the
+//     functional tests and the example programs.
+//   * SimFileSystem   - per-i/o-node simulated AIX file system with
+//     virtual-time accounting; used by the paper-reproduction benches.
+//
+// All data methods carry both a (possibly empty) real byte span and a
+// virtual byte count so the same Panda server code runs in functional
+// and timing-only modes.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace panda {
+
+// Aggregate I/O counters for one file system (one i/o node's disk).
+struct FsStats {
+  std::int64_t reads = 0;
+  std::int64_t writes = 0;
+  std::int64_t bytes_read = 0;
+  std::int64_t bytes_written = 0;
+  std::int64_t seeks = 0;   // non-sequential requests (simulated FS only)
+  std::int64_t syncs = 0;
+  double busy_seconds = 0.0;  // modeled device time (simulated FS only)
+};
+
+class File {
+ public:
+  virtual ~File() = default;
+
+  // Writes `vbytes` at `offset`. In functional mode `data.size() ==
+  // vbytes`; in timing-only mode `data` is empty and only time/space
+  // accounting happens.
+  virtual void WriteAt(std::int64_t offset, std::span<const std::byte> data,
+                       std::int64_t vbytes) = 0;
+
+  // Reads `vbytes` at `offset` into `out` (empty in timing-only mode).
+  virtual void ReadAt(std::int64_t offset, std::span<std::byte> out,
+                      std::int64_t vbytes) = 0;
+
+  // Flushes buffered data to stable storage (the paper fsyncs after
+  // every collective write).
+  virtual void Sync() = 0;
+
+  virtual std::int64_t Size() = 0;
+};
+
+enum class OpenMode {
+  kRead,      // must exist
+  kWrite,     // create or truncate
+  kReadWrite, // create if missing, keep contents
+};
+
+class FileSystem {
+ public:
+  virtual ~FileSystem() = default;
+
+  virtual std::unique_ptr<File> Open(const std::string& path,
+                                     OpenMode mode) = 0;
+  virtual bool Exists(const std::string& path) = 0;
+  virtual void Remove(const std::string& path) = 0;
+
+  // Atomically replaces `to` with `from` (from must exist; to may).
+  // Panda publishes checkpoints with this, so a crash mid-checkpoint
+  // can never destroy the previous one.
+  virtual void Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual const FsStats& stats() const = 0;
+  virtual void ResetStats() = 0;
+};
+
+}  // namespace panda

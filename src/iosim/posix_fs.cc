@@ -1,0 +1,132 @@
+#include "iosim/posix_fs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+class PosixFile : public File {
+ public:
+  PosixFile(int fd, FsStats* stats) : fd_(fd), stats_(stats) {}
+
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  PosixFile(const PosixFile&) = delete;
+  PosixFile& operator=(const PosixFile&) = delete;
+
+  void WriteAt(std::int64_t offset, std::span<const std::byte> data,
+               std::int64_t vbytes) override {
+    PANDA_REQUIRE(static_cast<std::int64_t>(data.size()) == vbytes,
+                  "POSIX backend requires real data (got %zu of %lld bytes)",
+                  data.size(), static_cast<long long>(vbytes));
+    std::int64_t done = 0;
+    while (done < vbytes) {
+      const ssize_t n = ::pwrite(fd_, data.data() + done,
+                                 static_cast<size_t>(vbytes - done),
+                                 static_cast<off_t>(offset + done));
+      PANDA_REQUIRE(n > 0, "pwrite failed: %s", std::strerror(errno));
+      done += n;
+    }
+    stats_->writes += 1;
+    stats_->bytes_written += vbytes;
+  }
+
+  void ReadAt(std::int64_t offset, std::span<std::byte> out,
+              std::int64_t vbytes) override {
+    PANDA_REQUIRE(static_cast<std::int64_t>(out.size()) == vbytes,
+                  "POSIX backend requires a real output buffer");
+    std::int64_t done = 0;
+    while (done < vbytes) {
+      const ssize_t n = ::pread(fd_, out.data() + done,
+                                static_cast<size_t>(vbytes - done),
+                                static_cast<off_t>(offset + done));
+      PANDA_REQUIRE(n > 0, "pread failed (offset %lld): %s",
+                    static_cast<long long>(offset + done),
+                    std::strerror(errno));
+      done += n;
+    }
+    stats_->reads += 1;
+    stats_->bytes_read += vbytes;
+  }
+
+  void Sync() override {
+    PANDA_REQUIRE(::fsync(fd_) == 0, "fsync failed: %s", std::strerror(errno));
+    stats_->syncs += 1;
+  }
+
+  std::int64_t Size() override {
+    struct stat st;
+    PANDA_REQUIRE(::fstat(fd_, &st) == 0, "fstat failed: %s",
+                  std::strerror(errno));
+    return static_cast<std::int64_t>(st.st_size);
+  }
+
+ private:
+  int fd_;
+  FsStats* stats_;
+};
+
+}  // namespace
+
+PosixFileSystem::PosixFileSystem(std::string root) : root_(std::move(root)) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  PANDA_REQUIRE(!ec, "cannot create root directory %s: %s", root_.c_str(),
+                ec.message().c_str());
+}
+
+std::string PosixFileSystem::FullPath(const std::string& path) const {
+  PANDA_REQUIRE(!path.empty() && path.find("..") == std::string::npos &&
+                    path.front() != '/',
+                "illegal file path '%s'", path.c_str());
+  return root_ + "/" + path;
+}
+
+std::unique_ptr<File> PosixFileSystem::Open(const std::string& path,
+                                            OpenMode mode) {
+  int flags = 0;
+  switch (mode) {
+    case OpenMode::kRead:
+      flags = O_RDONLY;
+      break;
+    case OpenMode::kWrite:
+      flags = O_RDWR | O_CREAT | O_TRUNC;
+      break;
+    case OpenMode::kReadWrite:
+      flags = O_RDWR | O_CREAT;
+      break;
+  }
+  const std::string full = FullPath(path);
+  const int fd = ::open(full.c_str(), flags, 0644);
+  PANDA_REQUIRE(fd >= 0, "cannot open %s: %s", full.c_str(),
+                std::strerror(errno));
+  return std::make_unique<PosixFile>(fd, &stats_);
+}
+
+bool PosixFileSystem::Exists(const std::string& path) {
+  return std::filesystem::exists(FullPath(path));
+}
+
+void PosixFileSystem::Remove(const std::string& path) {
+  std::error_code ec;
+  std::filesystem::remove(FullPath(path), ec);
+}
+
+void PosixFileSystem::Rename(const std::string& from, const std::string& to) {
+  std::error_code ec;
+  std::filesystem::rename(FullPath(from), FullPath(to), ec);
+  PANDA_REQUIRE(!ec, "rename %s -> %s failed: %s", from.c_str(), to.c_str(),
+                ec.message().c_str());
+}
+
+}  // namespace panda

@@ -1,0 +1,37 @@
+// Real-file backend: POSIX files under a root directory.
+//
+// Used by functional tests and example programs, where Panda's output
+// must be byte-exact on a real Unix file system (Panda 2.0 ran on plain
+// AIX/Unix file systems; this is the same commodity-FS philosophy).
+#pragma once
+
+#include <string>
+
+#include "iosim/file_system.h"
+
+namespace panda {
+
+class PosixFileSystem : public FileSystem {
+ public:
+  // Files live under `root` (created if missing). Paths given to Open()
+  // are relative to the root and must not escape it.
+  explicit PosixFileSystem(std::string root);
+
+  std::unique_ptr<File> Open(const std::string& path, OpenMode mode) override;
+  bool Exists(const std::string& path) override;
+  void Remove(const std::string& path) override;
+  void Rename(const std::string& from, const std::string& to) override;
+
+  const FsStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = FsStats{}; }
+
+  const std::string& root() const { return root_; }
+
+ private:
+  std::string FullPath(const std::string& path) const;
+
+  std::string root_;
+  FsStats stats_;
+};
+
+}  // namespace panda

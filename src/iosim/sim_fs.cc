@@ -1,0 +1,130 @@
+#include "iosim/sim_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace panda {
+
+// Defined at namespace scope (not anonymous) so the friend declaration in
+// SimFileSystem applies.
+class SimFile : public File {
+ public:
+  SimFile(SimFileSystem* fs, SimFileSystem::Inode* inode, std::int64_t inode_id);
+
+  void WriteAt(std::int64_t offset, std::span<const std::byte> data,
+               std::int64_t vbytes) override;
+  void ReadAt(std::int64_t offset, std::span<std::byte> out,
+              std::int64_t vbytes) override;
+  void Sync() override;
+  std::int64_t Size() override { return inode_->size; }
+
+ private:
+  SimFileSystem* fs_;
+  SimFileSystem::Inode* inode_;
+  std::int64_t inode_id_;
+};
+
+bool SimFileSystem::AccessIsSequential(std::int64_t inode_id,
+                                       std::int64_t offset, std::int64_t n) {
+  const bool sequential = inode_id == head_inode_ && offset == head_offset_;
+  head_inode_ = inode_id;
+  head_offset_ = offset + n;
+  if (!sequential) stats_.seeks += 1;
+  return sequential;
+}
+
+SimFile::SimFile(SimFileSystem* fs, SimFileSystem::Inode* inode,
+                 std::int64_t inode_id)
+    : fs_(fs), inode_(inode), inode_id_(inode_id) {}
+
+void SimFile::WriteAt(std::int64_t offset, std::span<const std::byte> data,
+                      std::int64_t vbytes) {
+  PANDA_CHECK(offset >= 0 && vbytes >= 0);
+  if (fs_->store_data()) {
+    PANDA_REQUIRE(static_cast<std::int64_t>(data.size()) == vbytes,
+                  "store_data SimFileSystem requires real data");
+    if (offset + vbytes > static_cast<std::int64_t>(inode_->data.size())) {
+      inode_->data.resize(static_cast<size_t>(offset + vbytes));
+    }
+    std::memcpy(inode_->data.data() + offset, data.data(),
+                static_cast<size_t>(vbytes));
+  }
+  inode_->size = std::max(inode_->size, offset + vbytes);
+  const bool seq = fs_->AccessIsSequential(inode_id_, offset, vbytes);
+  fs_->Charge(fs_->disk().WriteSeconds(vbytes, seq));
+  fs_->stats_.writes += 1;
+  fs_->stats_.bytes_written += vbytes;
+}
+
+void SimFile::ReadAt(std::int64_t offset, std::span<std::byte> out,
+                     std::int64_t vbytes) {
+  PANDA_CHECK(offset >= 0 && vbytes >= 0);
+  PANDA_REQUIRE(offset + vbytes <= inode_->size,
+                "read past EOF (offset %lld + %lld > size %lld)",
+                static_cast<long long>(offset),
+                static_cast<long long>(vbytes),
+                static_cast<long long>(inode_->size));
+  if (fs_->store_data()) {
+    PANDA_REQUIRE(static_cast<std::int64_t>(out.size()) == vbytes,
+                  "store_data SimFileSystem requires a real output buffer");
+    std::memcpy(out.data(), inode_->data.data() + offset,
+                static_cast<size_t>(vbytes));
+  }
+  const bool seq = fs_->AccessIsSequential(inode_id_, offset, vbytes);
+  fs_->Charge(fs_->disk().ReadSeconds(vbytes, seq));
+  fs_->stats_.reads += 1;
+  fs_->stats_.bytes_read += vbytes;
+}
+
+void SimFile::Sync() {
+  fs_->Charge(fs_->disk().fsync_s);
+  fs_->stats_.syncs += 1;
+}
+
+std::unique_ptr<File> SimFileSystem::Open(const std::string& path,
+                                          OpenMode mode) {
+  auto it = inodes_.find(path);
+  if (mode == OpenMode::kRead) {
+    PANDA_REQUIRE(it != inodes_.end(), "simulated file %s does not exist",
+                  path.c_str());
+  } else if (mode == OpenMode::kWrite) {
+    if (it != inodes_.end()) {
+      it->second.data.clear();
+      it->second.size = 0;
+    } else {
+      it = inodes_.emplace(path, Inode{}).first;
+    }
+  } else {  // kReadWrite
+    if (it == inodes_.end()) it = inodes_.emplace(path, Inode{}).first;
+  }
+  auto id_it = inode_ids_.find(path);
+  if (id_it == inode_ids_.end()) {
+    id_it = inode_ids_.emplace(path, next_inode_id_++).first;
+  }
+  return std::make_unique<SimFile>(this, &it->second, id_it->second);
+}
+
+bool SimFileSystem::Exists(const std::string& path) {
+  return inodes_.count(path) != 0;
+}
+
+void SimFileSystem::Remove(const std::string& path) { inodes_.erase(path); }
+
+void SimFileSystem::Rename(const std::string& from, const std::string& to) {
+  auto it = inodes_.find(from);
+  PANDA_REQUIRE(it != inodes_.end(), "rename: %s does not exist",
+                from.c_str());
+  // Open SimFile handles hold Inode pointers; renaming while a handle is
+  // open would dangle. Panda renames only after closing, so move the
+  // node (stable address) under the new key.
+  auto node = inodes_.extract(it);
+  node.key() = to;
+  inodes_.erase(to);
+  inodes_.insert(std::move(node));
+  // Metadata operation: charge a small fixed cost.
+  Charge(options_.disk.fsync_s);
+}
+
+}  // namespace panda

@@ -1,0 +1,77 @@
+// Simulated per-node file system with virtual-time accounting.
+//
+// One SimFileSystem models one i/o node's disk + AIX file system. Every
+// request charges the owning rank's virtual clock per the DiskModel; a
+// request is "sequential" when it continues exactly where the previous
+// request on this device (same file) ended — Panda's server-directed
+// writes are designed to make that the common case.
+//
+// In `store_data` mode file contents are kept in memory so reads round-
+// trip (functional sim); with it off only sizes and time are tracked
+// (timing-only sweeps of multi-hundred-MB arrays).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "iosim/disk_model.h"
+#include "iosim/file_system.h"
+#include "msg/virtual_clock.h"
+
+namespace panda {
+
+class SimFileSystem : public FileSystem {
+ public:
+  struct Options {
+    DiskModel disk = DiskModel::NasSp2Aix();
+    bool store_data = true;
+    // Clock charged for device time; may be null (no time accounting)
+    // and may be redirected per-collective via set_clock().
+    VirtualClock* clock = nullptr;
+  };
+
+  explicit SimFileSystem(Options options) : options_(options) {}
+
+  std::unique_ptr<File> Open(const std::string& path, OpenMode mode) override;
+  bool Exists(const std::string& path) override;
+  void Remove(const std::string& path) override;
+  void Rename(const std::string& from, const std::string& to) override;
+
+  const FsStats& stats() const override { return stats_; }
+  void ResetStats() override { stats_ = FsStats{}; }
+
+  // Redirects time charging (e.g. to the server rank currently running).
+  void set_clock(VirtualClock* clock) { options_.clock = clock; }
+  const DiskModel& disk() const { return options_.disk; }
+  bool store_data() const { return options_.store_data; }
+
+ private:
+  friend class SimFile;
+
+  struct Inode {
+    std::vector<std::byte> data;  // only when store_data
+    std::int64_t size = 0;
+  };
+
+  void Charge(double seconds) {
+    if (options_.clock != nullptr) options_.clock->Advance(seconds);
+    stats_.busy_seconds += seconds;
+  }
+
+  // True (and updates the device head position) when a request at
+  // [offset, offset+n) on `inode_id` continues the previous request.
+  bool AccessIsSequential(std::int64_t inode_id, std::int64_t offset,
+                          std::int64_t n);
+
+  Options options_;
+  FsStats stats_;
+  std::map<std::string, Inode> inodes_;
+  std::int64_t next_inode_id_ = 1;
+  std::map<std::string, std::int64_t> inode_ids_;
+  std::int64_t head_inode_ = -1;   // device head position: file...
+  std::int64_t head_offset_ = -1;  // ...and byte offset
+};
+
+}  // namespace panda

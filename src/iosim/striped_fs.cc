@@ -1,0 +1,170 @@
+#include "iosim/striped_fs.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace panda {
+
+StripedFileSystem::StripedFileSystem(Options options) : options_(options) {
+  PANDA_REQUIRE(options_.num_disks >= 1, "need at least one disk");
+  PANDA_REQUIRE(options_.stripe_bytes >= 1, "stripe unit must be positive");
+  disks_.resize(static_cast<size_t>(options_.num_disks));
+}
+
+void StripedFileSystem::ChargeRequest(std::int64_t inode_id,
+                                      std::int64_t offset, std::int64_t n,
+                                      bool write) {
+  if (options_.clock == nullptr) {
+    stats_.reads += write ? 0 : 1;
+    stats_.writes += write ? 1 : 0;
+    (write ? stats_.bytes_written : stats_.bytes_read) += n;
+    return;
+  }
+  const double now = options_.clock->Now();
+  // Per-request software overhead: node CPU, paid once.
+  const double issue =
+      now + (write ? options_.disk.write_overhead_s
+                   : options_.disk.read_overhead_s);
+  // Member disks serve their stripe extents in parallel.
+  double done = issue;
+  std::int64_t pos = offset;
+  const std::int64_t end = offset + n;
+  while (pos < end) {
+    const std::int64_t stripe = pos / options_.stripe_bytes;
+    const std::int64_t stripe_end = (stripe + 1) * options_.stripe_bytes;
+    const std::int64_t len = std::min(end, stripe_end) - pos;
+    const int d = static_cast<int>(stripe % options_.num_disks);
+    DiskState& disk = disks_[static_cast<size_t>(d)];
+
+    // Head positions are disk-local: consecutive global stripes land at
+    // consecutive local offsets on their disk, so a big sequential
+    // request is sequential on every member disk.
+    const std::int64_t local =
+        (stripe / options_.num_disks) * options_.stripe_bytes +
+        (pos - stripe * options_.stripe_bytes);
+    const bool sequential =
+        disk.head_inode == inode_id && disk.head_offset == local;
+    if (!sequential) stats_.seeks += 1;
+    disk.head_inode = inode_id;
+    disk.head_offset = local + len;
+
+    const double start = std::max(issue, disk.busy_until);
+    const double service =
+        (sequential ? 0.0 : options_.disk.seek_s) +
+        static_cast<double>(len) /
+            (write ? options_.disk.raw_write_Bps : options_.disk.raw_read_Bps);
+    disk.busy_until = start + service;
+    done = std::max(done, disk.busy_until);
+    pos += len;
+  }
+  options_.clock->SyncTo(done);
+  stats_.busy_seconds += done - now;
+  stats_.reads += write ? 0 : 1;
+  stats_.writes += write ? 1 : 0;
+  (write ? stats_.bytes_written : stats_.bytes_read) += n;
+}
+
+// File handle: same data semantics as SimFileSystem, striped timing.
+class StripedFile : public File {
+ public:
+  StripedFile(StripedFileSystem* fs, StripedFileSystem::Inode* inode,
+              std::int64_t inode_id)
+      : fs_(fs), inode_(inode), inode_id_(inode_id) {}
+
+  void WriteAt(std::int64_t offset, std::span<const std::byte> data,
+               std::int64_t vbytes) override {
+    PANDA_CHECK(offset >= 0 && vbytes >= 0);
+    if (fs_->options_.store_data) {
+      PANDA_REQUIRE(static_cast<std::int64_t>(data.size()) == vbytes,
+                    "store_data StripedFileSystem requires real data");
+      if (offset + vbytes > static_cast<std::int64_t>(inode_->data.size())) {
+        inode_->data.resize(static_cast<size_t>(offset + vbytes));
+      }
+      std::memcpy(inode_->data.data() + offset, data.data(),
+                  static_cast<size_t>(vbytes));
+    }
+    inode_->size = std::max(inode_->size, offset + vbytes);
+    fs_->ChargeRequest(inode_id_, offset, vbytes, /*write=*/true);
+  }
+
+  void ReadAt(std::int64_t offset, std::span<std::byte> out,
+              std::int64_t vbytes) override {
+    PANDA_CHECK(offset >= 0 && vbytes >= 0);
+    PANDA_REQUIRE(offset + vbytes <= inode_->size, "read past EOF");
+    if (fs_->options_.store_data) {
+      PANDA_REQUIRE(static_cast<std::int64_t>(out.size()) == vbytes,
+                    "store_data StripedFileSystem requires a real buffer");
+      std::memcpy(out.data(), inode_->data.data() + offset,
+                  static_cast<size_t>(vbytes));
+    }
+    fs_->ChargeRequest(inode_id_, offset, vbytes, /*write=*/false);
+  }
+
+  void Sync() override {
+    if (fs_->options_.clock != nullptr) {
+      // All member disks must drain, then the metadata flush.
+      double done = fs_->options_.clock->Now();
+      for (const auto& disk : fs_->disks_) {
+        done = std::max(done, disk.busy_until);
+      }
+      fs_->options_.clock->SyncTo(done + fs_->options_.disk.fsync_s);
+    }
+    fs_->stats_.syncs += 1;
+  }
+
+  std::int64_t Size() override { return inode_->size; }
+
+ private:
+  StripedFileSystem* fs_;
+  StripedFileSystem::Inode* inode_;
+  std::int64_t inode_id_;
+};
+
+std::unique_ptr<File> StripedFileSystem::Open(const std::string& path,
+                                              OpenMode mode) {
+  auto it = inodes_.find(path);
+  if (mode == OpenMode::kRead) {
+    PANDA_REQUIRE(it != inodes_.end(), "striped file %s does not exist",
+                  path.c_str());
+  } else if (mode == OpenMode::kWrite) {
+    if (it != inodes_.end()) {
+      it->second.data.clear();
+      it->second.size = 0;
+    } else {
+      it = inodes_.emplace(path, Inode{}).first;
+    }
+  } else {
+    if (it == inodes_.end()) it = inodes_.emplace(path, Inode{}).first;
+  }
+  auto id_it = inode_ids_.find(path);
+  if (id_it == inode_ids_.end()) {
+    id_it = inode_ids_.emplace(path, next_inode_id_++).first;
+  }
+  return std::make_unique<StripedFile>(this, &it->second, id_it->second);
+}
+
+bool StripedFileSystem::Exists(const std::string& path) {
+  return inodes_.count(path) != 0;
+}
+
+void StripedFileSystem::Remove(const std::string& path) {
+  inodes_.erase(path);
+}
+
+void StripedFileSystem::Rename(const std::string& from,
+                               const std::string& to) {
+  auto it = inodes_.find(from);
+  PANDA_REQUIRE(it != inodes_.end(), "rename: %s does not exist",
+                from.c_str());
+  auto node = inodes_.extract(it);
+  node.key() = to;
+  inodes_.erase(to);
+  inodes_.insert(std::move(node));
+  if (options_.clock != nullptr) {
+    options_.clock->Advance(options_.disk.fsync_s);
+  }
+}
+
+}  // namespace panda

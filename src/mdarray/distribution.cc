@@ -1,0 +1,55 @@
+#include "mdarray/distribution.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/math.h"
+
+namespace panda {
+
+const char* DistName(Dist dist) {
+  switch (dist) {
+    case Dist::kBlock:
+      return "BLOCK";
+    case Dist::kNone:
+      return "*";
+    case Dist::kCyclic:
+      return "CYCLIC";
+  }
+  return "?";
+}
+
+Interval BlockInterval(std::int64_t n, std::int64_t part, std::int64_t parts) {
+  PANDA_CHECK(parts >= 1 && part >= 0 && part < parts);
+  const std::int64_t b = CeilDiv(n, parts);
+  const std::int64_t lo = std::min(part * b, n);
+  const std::int64_t hi = std::min((part + 1) * b, n);
+  return {lo, hi - lo};
+}
+
+std::vector<Interval> OwnedIntervals(const DimDist& dist, std::int64_t n,
+                                     std::int64_t part, std::int64_t parts) {
+  PANDA_CHECK(parts >= 1 && part >= 0 && part < parts);
+  switch (dist.kind) {
+    case Dist::kNone:
+      PANDA_CHECK_MSG(parts == 1, "NONE dimension cannot be partitioned");
+      return {{0, n}};
+    case Dist::kBlock: {
+      const Interval iv = BlockInterval(n, part, parts);
+      if (iv.extent == 0) return {};
+      return {iv};
+    }
+    case Dist::kCyclic: {
+      const std::int64_t b = dist.block >= 1 ? dist.block : 1;
+      std::vector<Interval> out;
+      for (std::int64_t lo = part * b; lo < n; lo += parts * b) {
+        out.push_back({lo, std::min(b, n - lo)});
+      }
+      return out;
+    }
+  }
+  PANDA_CHECK(false);
+  return {};
+}
+
+}  // namespace panda

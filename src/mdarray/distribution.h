@@ -1,0 +1,62 @@
+// HPF-style per-dimension distributions.
+//
+// The paper supports BLOCK and * ("NONE") distributions; we additionally
+// implement BLOCK-CYCLIC as the extension foreseen by the Panda authors.
+// A distribution describes how one array dimension is partitioned across
+// one mesh dimension.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "mdarray/index.h"
+
+namespace panda {
+
+enum class Dist : std::uint8_t {
+  kBlock = 0,  // HPF BLOCK: contiguous pieces of size ceil(N/P)
+  kNone = 1,   // HPF *: dimension not distributed
+  kCyclic = 2, // HPF CYCLIC(b): round-robin blocks of size `block`
+};
+
+const char* DistName(Dist dist);
+
+// A per-dimension distribution spec. `block` is only meaningful for
+// kCyclic (CYCLIC(block)); the default block of 1 is plain CYCLIC.
+struct DimDist {
+  Dist kind = Dist::kNone;
+  std::int64_t block = 1;
+
+  static DimDist Block() { return {Dist::kBlock, 0}; }
+  static DimDist None() { return {Dist::kNone, 0}; }
+  static DimDist Cyclic(std::int64_t block = 1) { return {Dist::kCyclic, block}; }
+
+  bool distributed() const { return kind != Dist::kNone; }
+
+  bool operator==(const DimDist& o) const {
+    return kind == o.kind && (kind != Dist::kCyclic || block == o.block);
+  }
+  bool operator!=(const DimDist& o) const { return !(*this == o); }
+};
+
+// One-dimensional interval [lo, lo+extent).
+struct Interval {
+  std::int64_t lo = 0;
+  std::int64_t extent = 0;
+  bool operator==(const Interval& o) const {
+    return lo == o.lo && extent == o.extent;
+  }
+};
+
+// The list of intervals of dimension extent `n` owned by mesh position
+// `part` out of `parts`, under distribution `dist`. BLOCK and NONE yield
+// zero or one interval; CYCLIC yields one interval per owned block.
+std::vector<Interval> OwnedIntervals(const DimDist& dist, std::int64_t n,
+                                     std::int64_t part, std::int64_t parts);
+
+// HPF BLOCK partition: part p of [0, n) over `parts` parts with block
+// size ceil(n/parts). Trailing parts may be short or empty.
+Interval BlockInterval(std::int64_t n, std::int64_t part, std::int64_t parts);
+
+}  // namespace panda

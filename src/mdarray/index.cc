@@ -1,0 +1,24 @@
+#include "mdarray/index.h"
+
+namespace panda {
+
+std::string Index::ToString() const {
+  std::string out = "(";
+  for (int d = 0; d < rank_; ++d) {
+    if (d > 0) out += ", ";
+    out += std::to_string(v_[d]);
+  }
+  out += ")";
+  return out;
+}
+
+bool NextIndexRowMajor(const Shape& shape, Index& idx) {
+  PANDA_CHECK(shape.rank() == idx.rank());
+  for (int d = idx.rank() - 1; d >= 0; --d) {
+    if (++idx[d] < shape[d]) return true;
+    idx[d] = 0;
+  }
+  return false;
+}
+
+}  // namespace panda

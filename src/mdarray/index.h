@@ -1,0 +1,94 @@
+// Fixed-capacity multidimensional index / shape type.
+//
+// Panda supports arrays of rank 1..kMaxRank. Index is a small value type
+// (no heap allocation) so the geometry code in hot paths stays cheap.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <span>
+#include <string>
+
+#include "util/error.h"
+
+namespace panda {
+
+inline constexpr int kMaxRank = 8;
+
+// An Index is an ordered tuple of up to kMaxRank int64 coordinates.
+// It doubles as a Shape (extents) and as mesh coordinates.
+class Index {
+ public:
+  Index() : rank_(0), v_{} {}
+
+  Index(std::initializer_list<std::int64_t> values) : rank_(0), v_{} {
+    PANDA_CHECK(values.size() <= kMaxRank);
+    for (auto value : values) v_[rank_++] = value;
+  }
+
+  explicit Index(std::span<const std::int64_t> values) : rank_(0), v_{} {
+    PANDA_CHECK(values.size() <= kMaxRank);
+    for (auto value : values) v_[rank_++] = value;
+  }
+
+  // An index of `rank` dimensions, every coordinate = `fill`.
+  static Index Filled(int rank, std::int64_t fill) {
+    PANDA_CHECK(rank >= 0 && rank <= kMaxRank);
+    Index idx;
+    idx.rank_ = rank;
+    for (int d = 0; d < rank; ++d) idx.v_[d] = fill;
+    return idx;
+  }
+
+  static Index Zeros(int rank) { return Filled(rank, 0); }
+
+  int rank() const { return rank_; }
+
+  std::int64_t operator[](int d) const {
+    PANDA_CHECK(d >= 0 && d < rank_);
+    return v_[d];
+  }
+  std::int64_t& operator[](int d) {
+    PANDA_CHECK(d >= 0 && d < rank_);
+    return v_[d];
+  }
+
+  bool operator==(const Index& o) const {
+    if (rank_ != o.rank_) return false;
+    for (int d = 0; d < rank_; ++d)
+      if (v_[d] != o.v_[d]) return false;
+    return true;
+  }
+  bool operator!=(const Index& o) const { return !(*this == o); }
+
+  // Product of all coordinates; the element count when used as a shape.
+  std::int64_t Volume() const {
+    std::int64_t v = 1;
+    for (int d = 0; d < rank_; ++d) v *= v_[d];
+    return v;
+  }
+
+  // Appends a trailing dimension (rank grows by one).
+  void Append(std::int64_t value) {
+    PANDA_CHECK(rank_ < kMaxRank);
+    v_[rank_++] = value;
+  }
+
+  // "(a, b, c)" rendering for diagnostics.
+  std::string ToString() const;
+
+  std::span<const std::int64_t> values() const { return {v_.data(), static_cast<size_t>(rank_)}; }
+
+ private:
+  int rank_;
+  std::array<std::int64_t, kMaxRank> v_;
+};
+
+using Shape = Index;
+
+// Row-major increment of `idx` within box extents `shape`; returns false
+// when iteration wraps past the end.
+bool NextIndexRowMajor(const Shape& shape, Index& idx);
+
+}  // namespace panda

@@ -1,0 +1,33 @@
+#include "mdarray/mesh.h"
+
+namespace panda {
+
+Mesh::Mesh(Shape dims) : dims_(dims) {
+  PANDA_CHECK_MSG(dims.rank() >= 1, "mesh needs at least one dimension");
+  for (int d = 0; d < dims.rank(); ++d) {
+    PANDA_CHECK_MSG(dims[d] >= 1, "mesh dim %d must be positive", d);
+  }
+}
+
+Index Mesh::Coords(int pos) const {
+  PANDA_CHECK(pos >= 0 && pos < size());
+  Index coords = Index::Zeros(rank());
+  std::int64_t rem = pos;
+  for (int d = rank() - 1; d >= 0; --d) {
+    coords[d] = rem % dims_[d];
+    rem /= dims_[d];
+  }
+  return coords;
+}
+
+int Mesh::PositionOf(const Index& coords) const {
+  PANDA_CHECK(coords.rank() == rank());
+  std::int64_t pos = 0;
+  for (int d = 0; d < rank(); ++d) {
+    PANDA_CHECK(coords[d] >= 0 && coords[d] < dims_[d]);
+    pos = pos * dims_[d] + coords[d];
+  }
+  return static_cast<int>(pos);
+}
+
+}  // namespace panda

@@ -1,0 +1,39 @@
+// Logical processor meshes.
+//
+// An HPF-style layout maps the distributed dimensions of an array onto a
+// rectangular mesh of processors (Figure 2's `ArrayLayout`). Mesh handles
+// the rank <-> coordinate arithmetic (row-major, matching HPF processor
+// ordering).
+#pragma once
+
+#include "mdarray/index.h"
+
+namespace panda {
+
+class Mesh {
+ public:
+  Mesh() = default;
+
+  // `dims` are the mesh extents, e.g. {4, 2, 2} for a 4x2x2 mesh.
+  explicit Mesh(Shape dims);
+
+  int rank() const { return dims_.rank(); }
+  const Shape& dims() const { return dims_; }
+
+  // Number of mesh positions (processors).
+  int size() const { return static_cast<int>(dims_.Volume()); }
+
+  // Row-major coordinates of linear position `pos` in [0, size()).
+  Index Coords(int pos) const;
+
+  // Inverse of Coords.
+  int PositionOf(const Index& coords) const;
+
+  bool operator==(const Mesh& o) const { return dims_ == o.dims_; }
+  bool operator!=(const Mesh& o) const { return !(*this == o); }
+
+ private:
+  Shape dims_;
+};
+
+}  // namespace panda

@@ -1,0 +1,98 @@
+#include "mdarray/region.h"
+
+namespace panda {
+
+Region::Region(Index lo, Shape extent) : lo_(lo), extent_(extent) {
+  PANDA_CHECK(lo.rank() == extent.rank());
+  empty_ = false;
+  for (int d = 0; d < extent.rank(); ++d) {
+    PANDA_CHECK_MSG(extent[d] >= 0, "negative extent in dim %d", d);
+    if (extent[d] == 0) empty_ = true;
+  }
+}
+
+Index Region::hi() const {
+  Index h = lo_;
+  for (int d = 0; d < rank(); ++d) h[d] += extent_[d];
+  return h;
+}
+
+bool Region::Contains(const Index& idx) const {
+  if (empty_ || idx.rank() != rank()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    if (idx[d] < lo_[d] || idx[d] >= lo_[d] + extent_[d]) return false;
+  }
+  return true;
+}
+
+bool Region::Contains(const Region& other) const {
+  if (other.empty()) return true;
+  if (empty_ || other.rank() != rank()) return false;
+  for (int d = 0; d < rank(); ++d) {
+    if (other.lo_[d] < lo_[d] ||
+        other.lo_[d] + other.extent_[d] > lo_[d] + extent_[d]) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool Region::operator==(const Region& o) const {
+  if (empty_ && o.empty_) return rank() == o.rank();
+  return empty_ == o.empty_ && lo_ == o.lo_ && extent_ == o.extent_;
+}
+
+std::string Region::ToString() const {
+  if (empty_) return "[empty rank=" + std::to_string(rank()) + "]";
+  return "[" + lo_.ToString() + " + " + extent_.ToString() + "]";
+}
+
+Region Intersect(const Region& a, const Region& b) {
+  PANDA_CHECK(a.rank() == b.rank());
+  const int r = a.rank();
+  if (a.empty() || b.empty()) return Region(Index::Zeros(r), Index::Zeros(r));
+  Index lo = Index::Zeros(r);
+  Shape extent = Index::Zeros(r);
+  for (int d = 0; d < r; ++d) {
+    const std::int64_t lo_d = std::max(a.lo()[d], b.lo()[d]);
+    const std::int64_t hi_d =
+        std::min(a.lo()[d] + a.extent()[d], b.lo()[d] + b.extent()[d]);
+    lo[d] = lo_d;
+    extent[d] = hi_d > lo_d ? hi_d - lo_d : 0;
+  }
+  return Region(lo, extent);
+}
+
+bool IsContiguousWithin(const Region& outer, const Region& inner) {
+  PANDA_CHECK(outer.Contains(inner));
+  if (inner.empty()) return true;
+  const int r = outer.rank();
+  // Find the first dimension (scanning from the innermost) where `inner`
+  // does not span the full extent of `outer`. Every dimension further out
+  // must then have extent 1 for the run to be contiguous.
+  int first_partial = -1;
+  for (int d = r - 1; d >= 0; --d) {
+    const bool full = inner.lo()[d] == outer.lo()[d] &&
+                      inner.extent()[d] == outer.extent()[d];
+    if (!full) {
+      first_partial = d;
+      break;
+    }
+  }
+  if (first_partial < 0) return true;  // inner == outer
+  for (int d = 0; d < first_partial; ++d) {
+    if (inner.extent()[d] != 1) return false;
+  }
+  return true;
+}
+
+std::int64_t LinearOffsetWithin(const Region& box, const Index& idx) {
+  PANDA_CHECK(box.Contains(idx));
+  std::int64_t offset = 0;
+  for (int d = 0; d < box.rank(); ++d) {
+    offset = offset * box.extent()[d] + (idx[d] - box.lo()[d]);
+  }
+  return offset;
+}
+
+}  // namespace panda

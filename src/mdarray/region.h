@@ -1,0 +1,63 @@
+// Axis-aligned hyper-rectangles of array elements.
+//
+// All Panda data movement is expressed as Region algebra: a client's
+// memory chunk, a disk chunk, a sub-chunk, and the "pieces" exchanged
+// between clients and servers are all Regions in the global index space
+// of one array.
+#pragma once
+
+#include <string>
+
+#include "mdarray/index.h"
+
+namespace panda {
+
+// A (possibly empty) rectangular region: lower corner `lo` and per-dim
+// `extent`. Extents are never negative; any zero extent means empty.
+class Region {
+ public:
+  Region() = default;
+  Region(Index lo, Shape extent);
+
+  // The whole box [0, shape).
+  static Region Whole(const Shape& shape) {
+    return Region(Index::Zeros(shape.rank()), shape);
+  }
+
+  int rank() const { return lo_.rank(); }
+  const Index& lo() const { return lo_; }
+  const Shape& extent() const { return extent_; }
+
+  // Exclusive upper corner.
+  Index hi() const;
+
+  std::int64_t Volume() const { return empty_ ? 0 : extent_.Volume(); }
+  bool empty() const { return empty_; }
+
+  bool Contains(const Index& idx) const;
+  bool Contains(const Region& other) const;
+
+  bool operator==(const Region& o) const;
+  bool operator!=(const Region& o) const { return !(*this == o); }
+
+  std::string ToString() const;
+
+ private:
+  Index lo_;
+  Shape extent_;
+  bool empty_ = true;
+};
+
+// Intersection of two regions of equal rank (may be empty).
+Region Intersect(const Region& a, const Region& b);
+
+// True when `inner` occupies a contiguous run of elements in the row-major
+// linearization of `outer`. Requires outer.Contains(inner). This is what
+// lets natural chunking move sub-chunks with plain memcpy and zero
+// reorganization cost.
+bool IsContiguousWithin(const Region& outer, const Region& inner);
+
+// Row-major linear offset (in elements) of `idx` within region `box`.
+std::int64_t LinearOffsetWithin(const Region& box, const Index& idx);
+
+}  // namespace panda

@@ -1,0 +1,258 @@
+#include "mdarray/schema.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace panda {
+
+Schema::Schema(Shape array_shape, Mesh mesh, std::vector<DimDist> dists)
+    : array_shape_(array_shape), mesh_(mesh), dists_(std::move(dists)) {
+  PANDA_REQUIRE(array_shape_.rank() >= 1, "array rank must be >= 1");
+  PANDA_REQUIRE(static_cast<int>(dists_.size()) == array_shape_.rank(),
+                "schema has %zu distributions for a rank-%d array",
+                dists_.size(), array_shape_.rank());
+  for (int d = 0; d < array_shape_.rank(); ++d) {
+    PANDA_REQUIRE(array_shape_[d] >= 1, "array dim %d must be positive", d);
+  }
+  int distributed = 0;
+  for (const auto& dd : dists_) {
+    if (dd.distributed()) ++distributed;
+  }
+  PANDA_REQUIRE(distributed == mesh_.rank(),
+                "%d distributed dims but mesh rank %d", distributed,
+                mesh_.rank());
+  BuildChunks();
+}
+
+bool Schema::has_cyclic() const {
+  return std::any_of(dists_.begin(), dists_.end(), [](const DimDist& d) {
+    return d.kind == Dist::kCyclic;
+  });
+}
+
+namespace {
+
+// Per-array-dim (part, parts) for a mesh position: distributed dims
+// consume mesh dims in array-dim order.
+struct DimPart {
+  std::int64_t part;
+  std::int64_t parts;
+};
+
+std::vector<DimPart> DimPartsFor(const Mesh& mesh,
+                                 const std::vector<DimDist>& dists, int pos) {
+  const Index coords = mesh.Coords(pos);
+  std::vector<DimPart> out(dists.size());
+  int m = 0;
+  for (size_t d = 0; d < dists.size(); ++d) {
+    if (dists[d].distributed()) {
+      out[d] = {coords[m], mesh.dims()[m]};
+      ++m;
+    } else {
+      out[d] = {0, 1};
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+Region Schema::CellRegion(int pos) const {
+  PANDA_CHECK_MSG(!has_cyclic(),
+                  "CellRegion is only defined for BLOCK/* schemas");
+  const auto parts = DimPartsFor(mesh_, dists_, pos);
+  const int r = rank();
+  Index lo = Index::Zeros(r);
+  Shape extent = Index::Zeros(r);
+  for (int d = 0; d < r; ++d) {
+    const auto ivs = OwnedIntervals(dists_[d], array_shape_[d], parts[d].part,
+                                    parts[d].parts);
+    if (ivs.empty()) {
+      return Region(Index::Zeros(r), Index::Zeros(r));  // empty cell
+    }
+    lo[d] = ivs[0].lo;
+    extent[d] = ivs[0].extent;
+  }
+  return Region(lo, extent);
+}
+
+void Schema::BuildChunks() {
+  chunks_.clear();
+  const int r = rank();
+  for (int pos = 0; pos < mesh_.size(); ++pos) {
+    const auto parts = DimPartsFor(mesh_, dists_, pos);
+    // Interval choices per dimension.
+    std::vector<std::vector<Interval>> choices(r);
+    bool empty_cell = false;
+    for (int d = 0; d < r; ++d) {
+      choices[d] = OwnedIntervals(dists_[d], array_shape_[d], parts[d].part,
+                                  parts[d].parts);
+      if (choices[d].empty()) empty_cell = true;
+    }
+    if (empty_cell) continue;
+    // Cross product of choices, row-major over choice indices.
+    Shape counts = Index::Zeros(r);
+    for (int d = 0; d < r; ++d) counts[d] = static_cast<std::int64_t>(choices[d].size());
+    Index pick = Index::Zeros(r);
+    do {
+      Index lo = Index::Zeros(r);
+      Shape extent = Index::Zeros(r);
+      for (int d = 0; d < r; ++d) {
+        const Interval& iv = choices[d][static_cast<size_t>(pick[d])];
+        lo[d] = iv.lo;
+        extent[d] = iv.extent;
+      }
+      Region region(lo, extent);
+      if (!region.empty()) {
+        // Library-wide sanity bound: a schema with millions of chunks is
+        // a bug (or hostile wire data), not a workload.
+        PANDA_REQUIRE(chunks_.size() < (1u << 22),
+                      "schema produces too many chunks");
+        chunks_.push_back({static_cast<int>(chunks_.size()), pos, region});
+      }
+    } while (NextIndexRowMajor(counts, pick));
+  }
+}
+
+std::vector<SchemaChunk> Schema::ChunksOf(int pos) const {
+  std::vector<SchemaChunk> out;
+  for (const auto& c : chunks_) {
+    if (c.owner_pos == pos) out.push_back(c);
+  }
+  return out;
+}
+
+bool Schema::operator==(const Schema& o) const {
+  return array_shape_ == o.array_shape_ && mesh_ == o.mesh_ &&
+         dists_ == o.dists_;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "Schema{shape=" + array_shape_.ToString() + ", mesh=" +
+                    mesh_.dims().ToString() + ", dists=(";
+  for (size_t d = 0; d < dists_.size(); ++d) {
+    if (d > 0) out += ",";
+    out += DistName(dists_[d].kind);
+    if (dists_[d].kind == Dist::kCyclic) {
+      out += "(" + std::to_string(dists_[d].block) + ")";
+    }
+  }
+  out += ")}";
+  return out;
+}
+
+void Schema::EncodeTo(Encoder& enc) const {
+  enc.Put<std::int32_t>(array_shape_.rank());
+  for (int d = 0; d < array_shape_.rank(); ++d) {
+    enc.Put<std::int64_t>(array_shape_[d]);
+  }
+  enc.Put<std::int32_t>(mesh_.rank());
+  for (int d = 0; d < mesh_.rank(); ++d) {
+    enc.Put<std::int64_t>(mesh_.dims()[d]);
+  }
+  enc.Put<std::int32_t>(static_cast<std::int32_t>(dists_.size()));
+  for (const auto& dd : dists_) {
+    enc.Put<std::uint8_t>(static_cast<std::uint8_t>(dd.kind));
+    enc.Put<std::int64_t>(dd.block);
+  }
+}
+
+Schema Schema::Decode(Decoder& dec) {
+  // Wire data is untrusted: every field is range-checked with throwing
+  // validation here (the constructors assert, they do not parse).
+  const auto ar = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(ar >= 1 && ar <= kMaxRank, "bad array rank %d in schema", ar);
+  Index shape = Index::Zeros(ar);
+  std::int64_t volume = 1;
+  for (int d = 0; d < ar; ++d) {
+    shape[d] = dec.Get<std::int64_t>();
+    PANDA_REQUIRE(shape[d] >= 1, "bad array extent in schema");
+    PANDA_REQUIRE(!__builtin_mul_overflow(volume, shape[d], &volume) &&
+                      volume <= (std::int64_t{1} << 56),
+                  "array volume overflows in schema");
+  }
+  const auto mr = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(mr >= 1 && mr <= kMaxRank, "bad mesh rank %d in schema", mr);
+  Index mdims = Index::Zeros(mr);
+  std::int64_t mesh_size = 1;
+  for (int d = 0; d < mr; ++d) {
+    mdims[d] = dec.Get<std::int64_t>();
+    PANDA_REQUIRE(mdims[d] >= 1, "bad mesh extent in schema");
+    PANDA_REQUIRE(!__builtin_mul_overflow(mesh_size, mdims[d], &mesh_size) &&
+                      mesh_size <= (std::int64_t{1} << 20),
+                  "mesh size overflows in schema");
+  }
+  const auto nd = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(nd == ar, "schema dist count %d != rank %d", nd, ar);
+  std::vector<DimDist> dists(static_cast<size_t>(nd));
+  for (auto& dd : dists) {
+    const auto kind = dec.Get<std::uint8_t>();
+    PANDA_REQUIRE(kind <= 2, "bad distribution kind %u", kind);
+    dd.kind = static_cast<Dist>(kind);
+    dd.block = dec.Get<std::int64_t>();
+    PANDA_REQUIRE(dd.kind != Dist::kCyclic ||
+                      (dd.block >= 1 && dd.block <= (std::int64_t{1} << 40)),
+                  "bad CYCLIC block in schema");
+  }
+  return Schema(shape, Mesh(mdims), std::move(dists));
+}
+
+std::vector<Region> SplitIntoSubchunks(const Region& chunk,
+                                       std::int64_t elem_size,
+                                       std::int64_t max_bytes) {
+  PANDA_CHECK(elem_size >= 1 && max_bytes >= 1);
+  std::vector<Region> out;
+  if (chunk.empty()) return out;
+
+  // Recursive splitter. `box` is the remaining region; `d` the dimension
+  // being split. Tail bytes = bytes of one dim-d row of `box`.
+  auto split = [&](auto&& self, const Region& box, int d) -> void {
+    const std::int64_t bytes = box.Volume() * elem_size;
+    if (bytes <= max_bytes) {
+      out.push_back(box);
+      return;
+    }
+    const int r = box.rank();
+    std::int64_t tail = elem_size;
+    for (int k = d + 1; k < r; ++k) tail *= box.extent()[k];
+
+    if (tail <= max_bytes) {
+      // Take runs of whole dim-d rows.
+      const std::int64_t rows_per = std::max<std::int64_t>(1, max_bytes / tail);
+      for (std::int64_t row = 0; row < box.extent()[d]; row += rows_per) {
+        Index lo = box.lo();
+        Shape extent = box.extent();
+        lo[d] = box.lo()[d] + row;
+        extent[d] = std::min(rows_per, box.extent()[d] - row);
+        out.push_back(Region(lo, extent));
+      }
+    } else {
+      // Even one row is too big: recurse into each row separately.
+      // When d is the innermost dimension a "row" is a single element;
+      // emit element runs of max_bytes/elem_size elements instead.
+      if (d == r - 1) {
+        const std::int64_t per = std::max<std::int64_t>(1, max_bytes / elem_size);
+        for (std::int64_t e = 0; e < box.extent()[d]; e += per) {
+          Index lo = box.lo();
+          Shape extent = box.extent();
+          lo[d] = box.lo()[d] + e;
+          extent[d] = std::min(per, box.extent()[d] - e);
+          out.push_back(Region(lo, extent));
+        }
+        return;
+      }
+      for (std::int64_t row = 0; row < box.extent()[d]; ++row) {
+        Index lo = box.lo();
+        Shape extent = box.extent();
+        lo[d] = box.lo()[d] + row;
+        extent[d] = 1;
+        self(self, Region(lo, extent), d + 1);
+      }
+    }
+  };
+  split(split, chunk, 0);
+  return out;
+}
+
+}  // namespace panda

@@ -1,0 +1,77 @@
+#include "mdarray/strided_copy.h"
+
+#include <cstring>
+
+namespace panda {
+namespace {
+
+// Row-major strides (in elements) of a box.
+void ComputeStrides(const Region& box, std::int64_t strides[kMaxRank]) {
+  const int r = box.rank();
+  std::int64_t s = 1;
+  for (int d = r - 1; d >= 0; --d) {
+    strides[d] = s;
+    s *= box.extent()[d];
+  }
+}
+
+}  // namespace
+
+void CopyRegion(std::span<std::byte> dst, const Region& dst_box,
+                std::span<const std::byte> src, const Region& src_box,
+                const Region& region, std::size_t elem_size) {
+  PANDA_CHECK(dst_box.Contains(region));
+  PANDA_CHECK(src_box.Contains(region));
+  PANDA_CHECK(dst.size() ==
+              static_cast<size_t>(dst_box.Volume()) * elem_size);
+  PANDA_CHECK(src.size() ==
+              static_cast<size_t>(src_box.Volume()) * elem_size);
+  if (region.empty()) return;
+
+  const int r = region.rank();
+  std::int64_t dst_strides[kMaxRank];
+  std::int64_t src_strides[kMaxRank];
+  ComputeStrides(dst_box, dst_strides);
+  ComputeStrides(src_box, src_strides);
+
+  // The innermost dimension of `region` is a contiguous run in both
+  // buffers (row-major), so each run is one memcpy.
+  const std::int64_t run_elems = region.extent()[r - 1];
+  const std::size_t run_bytes = static_cast<std::size_t>(run_elems) * elem_size;
+
+  // Iterate the outer r-1 dimensions of the region.
+  Shape outer_shape = Index::Zeros(r - 1 > 0 ? r - 1 : 0);
+  for (int d = 0; d + 1 < r; ++d) outer_shape[d] = region.extent()[d];
+
+  Index outer = Index::Zeros(outer_shape.rank());
+  do {
+    std::int64_t dst_off = 0;
+    std::int64_t src_off = 0;
+    for (int d = 0; d + 1 < r; ++d) {
+      const std::int64_t coord = region.lo()[d] + outer[d];
+      dst_off += (coord - dst_box.lo()[d]) * dst_strides[d];
+      src_off += (coord - src_box.lo()[d]) * src_strides[d];
+    }
+    const std::int64_t inner = region.lo()[r - 1];
+    dst_off += (inner - dst_box.lo()[r - 1]) * dst_strides[r - 1];
+    src_off += (inner - src_box.lo()[r - 1]) * src_strides[r - 1];
+
+    std::memcpy(dst.data() + static_cast<std::size_t>(dst_off) * elem_size,
+                src.data() + static_cast<std::size_t>(src_off) * elem_size,
+                run_bytes);
+  } while (outer_shape.rank() > 0 && NextIndexRowMajor(outer_shape, outer));
+}
+
+void PackRegion(std::span<std::byte> dst, std::span<const std::byte> src,
+                const Region& src_box, const Region& region,
+                std::size_t elem_size) {
+  CopyRegion(dst, region, src, src_box, region, elem_size);
+}
+
+void UnpackRegion(std::span<std::byte> dst, const Region& dst_box,
+                  std::span<const std::byte> src, const Region& region,
+                  std::size_t elem_size) {
+  CopyRegion(dst, dst_box, src, region, region, elem_size);
+}
+
+}  // namespace panda

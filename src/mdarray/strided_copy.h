@@ -1,0 +1,38 @@
+// Strided (rectangular) copies between row-major buffers.
+//
+// These kernels are the heart of Panda's gather/scatter: a client packs a
+// requested piece out of its memory chunk, and a server scatters received
+// pieces into a sub-chunk buffer (and vice versa on reads). Each buffer
+// is the row-major linearization of some bounding Region; the copy moves
+// the elements of a target Region that both boxes contain, one innermost-
+// dimension run (memcpy) at a time.
+#pragma once
+
+#include <cstddef>
+#include <span>
+
+#include "mdarray/region.h"
+
+namespace panda {
+
+// Copies the elements of `region` from `src` (row-major over `src_box`)
+// into `dst` (row-major over `dst_box`). `region` must be contained in
+// both boxes. `elem_size` is the element size in bytes. Buffer spans must
+// cover their boxes exactly (box.Volume() * elem_size bytes).
+void CopyRegion(std::span<std::byte> dst, const Region& dst_box,
+                std::span<const std::byte> src, const Region& src_box,
+                const Region& region, std::size_t elem_size);
+
+// Packs `region` out of `src` (row-major over `src_box`) into the dense
+// row-major buffer `dst` of exactly region.Volume()*elem_size bytes.
+void PackRegion(std::span<std::byte> dst, std::span<const std::byte> src,
+                const Region& src_box, const Region& region,
+                std::size_t elem_size);
+
+// Unpacks a dense row-major `src` buffer holding `region` into `dst`
+// (row-major over `dst_box`).
+void UnpackRegion(std::span<std::byte> dst, const Region& dst_box,
+                  std::span<const std::byte> src, const Region& region,
+                  std::size_t elem_size);
+
+}  // namespace panda

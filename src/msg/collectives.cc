@@ -1,0 +1,99 @@
+#include "msg/collectives.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace panda {
+
+Group::Group(std::vector<int> ranks, int my_index)
+    : ranks_(std::move(ranks)), my_index_(my_index) {
+  PANDA_CHECK(!ranks_.empty());
+  PANDA_CHECK(my_index_ >= -1 && my_index_ < size());
+}
+
+Group Group::Consecutive(int first, int count, int my_rank) {
+  std::vector<int> ranks(static_cast<size_t>(count));
+  int my_index = -1;
+  for (int i = 0; i < count; ++i) {
+    ranks[static_cast<size_t>(i)] = first + i;
+    if (first + i == my_rank) my_index = i;
+  }
+  return Group(std::move(ranks), my_index);
+}
+
+int Group::rank_at(int index) const {
+  PANDA_CHECK(index >= 0 && index < size());
+  return ranks_[static_cast<size_t>(index)];
+}
+
+bool Group::contains(int rank) const {
+  return std::find(ranks_.begin(), ranks_.end(), rank) != ranks_.end();
+}
+
+namespace {
+
+// Classic binomial-tree topology (as in MPICH): relative to a virtual
+// root, a node v > 0 has parent v - lowbit(v); its children are
+// v + mask for each mask below lowbit(v) (or below the tree top for 0).
+
+// Gathers a zero-payload token from all members to virtual index 0.
+void TreeGather(Endpoint& ep, const Group& group, int root_index) {
+  const int n = group.size();
+  const int v = (group.my_index() - root_index + n) % n;
+  auto real = [&](int vi) { return group.rank_at((vi + root_index) % n); };
+  for (int mask = 1; mask < n; mask <<= 1) {
+    if ((v & mask) != 0) {
+      ep.Send(real(v - mask), kTagBarrier, Message{});
+      return;
+    }
+    if (v + mask < n) (void)ep.Recv(real(v + mask), kTagBarrier);
+  }
+}
+
+// Broadcasts `msg` from virtual index 0; returns each member's copy.
+Message TreeBcast(Endpoint& ep, const Group& group, int root_index,
+                  Message msg, int tag) {
+  const int n = group.size();
+  const int v = (group.my_index() - root_index + n) % n;
+  auto real = [&](int vi) { return group.rank_at((vi + root_index) % n); };
+
+  int mask = 1;
+  while (mask < n) {
+    if ((v & mask) != 0) {
+      msg = ep.Recv(real(v - mask), tag);
+      break;
+    }
+    mask <<= 1;
+  }
+  mask >>= 1;
+  while (mask > 0) {
+    if (v + mask < n && (v & (mask - 1)) == 0 && (v & mask) == 0) {
+      Message copy = msg;
+      ep.Send(real(v + mask), tag, std::move(copy));
+    }
+    mask >>= 1;
+  }
+  return msg;
+}
+
+}  // namespace
+
+void Barrier(Endpoint& ep, const Group& group) {
+  PANDA_CHECK_MSG(group.my_index() >= 0, "caller is not a group member");
+  TreeGather(ep, group, 0);
+  (void)TreeBcast(ep, group, 0, Message{}, kTagBarrier);
+}
+
+void GatherSync(Endpoint& ep, const Group& group) {
+  PANDA_CHECK_MSG(group.my_index() >= 0, "caller is not a group member");
+  TreeGather(ep, group, 0);
+}
+
+Message Bcast(Endpoint& ep, const Group& group, int root_index, Message msg) {
+  PANDA_CHECK_MSG(group.my_index() >= 0, "caller is not a group member");
+  PANDA_CHECK(root_index >= 0 && root_index < group.size());
+  return TreeBcast(ep, group, root_index, std::move(msg), kTagBcast);
+}
+
+}  // namespace panda

@@ -1,0 +1,49 @@
+// Group collectives built on tagged point-to-point messages.
+//
+// Panda needs only a few collectives (barriers for test harnesses and
+// benchmark repetition fences, broadcast for schema distribution). They
+// are implemented as binomial trees so virtual-time costs scale
+// logarithmically, like a real MPI implementation's.
+#pragma once
+
+#include <vector>
+
+#include "msg/transport.h"
+
+namespace panda {
+
+// An ordered subset of world ranks, plus this rank's index in it.
+// Example: the Panda clients form one group, the servers another.
+class Group {
+ public:
+  Group() = default;
+  Group(std::vector<int> ranks, int my_index);
+
+  // The group [first, first+count) of consecutive ranks.
+  static Group Consecutive(int first, int count, int my_rank);
+
+  int size() const { return static_cast<int>(ranks_.size()); }
+  int my_index() const { return my_index_; }
+  int rank_at(int index) const;
+  const std::vector<int>& ranks() const { return ranks_; }
+  bool contains(int rank) const;
+
+ private:
+  std::vector<int> ranks_;
+  int my_index_ = -1;
+};
+
+// Tree barrier over `group` (all members must call).
+void Barrier(Endpoint& ep, const Group& group);
+
+// Gather-only synchronization: the member at index 0 returns once every
+// member has called; the others return immediately after notifying
+// their tree parent. Half the cost of a full barrier — used for
+// completion notification where only the root needs to know.
+void GatherSync(Endpoint& ep, const Group& group);
+
+// Broadcasts `msg` from the member with index `root_index` to all
+// members; returns the received (or original) message.
+Message Bcast(Endpoint& ep, const Group& group, int root_index, Message msg);
+
+}  // namespace panda

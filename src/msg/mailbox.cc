@@ -1,0 +1,61 @@
+#include "msg/mailbox.h"
+
+#include <algorithm>
+
+namespace panda {
+
+void Mailbox::Deposit(Message msg) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(msg));
+  }
+  cv_.notify_all();
+}
+
+Message Mailbox::BlockingReceive(int src, int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (poisoned_) throw PandaError("rank aborted: mailbox poisoned");
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(), [&](const Message& m) {
+          return m.src == src && m.tag == tag;
+        });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+Message Mailbox::BlockingReceiveAny(int tag) {
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    if (poisoned_) throw PandaError("rank aborted: mailbox poisoned");
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [&](const Message& m) { return m.tag == tag; });
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    cv_.wait(lock);
+  }
+}
+
+void Mailbox::Poison() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+size_t Mailbox::QueuedCount() {
+  std::lock_guard<std::mutex> lock(mu_);
+  return queue_.size();
+}
+
+}  // namespace panda

@@ -1,0 +1,45 @@
+// Per-rank mailboxes with (source, tag) matching.
+//
+// Senders deposit; the owning rank blocks until a matching message is
+// present. Matching is FIFO per (source, tag) pair, which together with
+// Panda's deterministic plan ordering makes whole collective runs
+// reproducible. A poisoned mailbox wakes all waiters with an error so a
+// failing rank cannot deadlock the others.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+
+#include "msg/message.h"
+
+namespace panda {
+
+class Mailbox {
+ public:
+  // Deposits a message (thread-safe, never blocks).
+  void Deposit(Message msg);
+
+  // Blocks until a message with matching (src, tag) arrives and removes
+  // it. Throws PandaError if the mailbox is poisoned.
+  Message BlockingReceive(int src, int tag);
+
+  // Blocks until a message with matching tag arrives from any source
+  // (earliest deposited wins). Panda clients use this to service server
+  // requests in arrival order, like an MPI_ANY_SOURCE receive.
+  Message BlockingReceiveAny(int tag);
+
+  // Wakes all waiters; subsequent/blocked receives throw PandaError.
+  void Poison();
+
+  // Number of queued messages (diagnostics).
+  size_t QueuedCount();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<Message> queue_;
+  bool poisoned_ = false;
+};
+
+}  // namespace panda

@@ -1,0 +1,58 @@
+// Messages exchanged between ranks.
+//
+// A message has a small always-real `header` (protocol metadata) and a
+// bulk `payload`. In timing-only runs the payload bytes are elided and
+// only `payload_vbytes` is carried, so that 512 MB collectives can be
+// swept without moving 512 MB; the message *sequence* is unchanged.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "util/error.h"
+
+namespace panda {
+
+struct Message {
+  int src = -1;
+  int tag = -1;
+  std::vector<std::byte> header;
+  std::vector<std::byte> payload;
+  std::int64_t payload_vbytes = 0;  // virtual payload size (== payload.size() when real)
+  double depart_time = 0.0;         // virtual time the first byte leaves the sender
+
+  // Attaches a real payload.
+  void SetPayload(std::vector<std::byte> bytes) {
+    payload = std::move(bytes);
+    payload_vbytes = static_cast<std::int64_t>(payload.size());
+  }
+
+  // Declares a payload of `vbytes` without materializing it.
+  void SetVirtualPayload(std::int64_t vbytes) {
+    PANDA_CHECK(vbytes >= 0);
+    payload.clear();
+    payload_vbytes = vbytes;
+  }
+
+  // Total bytes this message occupies on the wire (virtual).
+  std::int64_t WireBytes() const {
+    return static_cast<std::int64_t>(header.size()) + payload_vbytes;
+  }
+};
+
+// Panda protocol tags. Collectives and the data phase use disjoint tags
+// so a late barrier message can never be confused with a data piece.
+enum MsgTag : int {
+  kTagCollectiveRequest = 1,  // master client -> master server
+  kTagPieceRequest = 3,       // server -> client (write path)
+  kTagPieceData = 4,          // client -> server (write) / server -> client (read)
+  kTagServerDone = 5,         // master server -> master client
+  kTagBarrier = 8,            // tree barrier / gather tokens
+  kTagBcast = 9,              // tree broadcasts (requests, completion)
+  kTagPieceAck = 10,          // client -> server (read-path flow control)
+  kTagApp = 100,              // first tag available to applications/tests
+};
+
+}  // namespace panda

@@ -1,0 +1,34 @@
+// Network timing model (LogGP-flavored).
+//
+// Virtual time reproduces the 1995 SP2 interconnect from Table 1 of the
+// paper: per-message latency L, per-message software overhead o (the MPI
+// send/receive processing cost on each endpoint), and bandwidth G for the
+// payload. Elapsed times in Panda's benches come from these parameters,
+// not from the 2026 host hardware.
+#pragma once
+
+#include <cstdint>
+
+namespace panda {
+
+struct NetModel {
+  // One-way wire latency (seconds). SP2 at NAS: 43 us.
+  double latency_s = 43e-6;
+  // Point-to-point bandwidth (bytes/second). SP2 MPI-F: 34 MB/s.
+  double bandwidth_Bps = 34.0 * 1024 * 1024;
+  // Per-message software overhead charged on each endpoint (seconds).
+  // Calibrated so natural-chunking fast-disk runs land near the paper's
+  // ~90% of peak MPI bandwidth (see EXPERIMENTS.md).
+  double per_message_overhead_s = 0.8e-3;
+
+  // Transfer time of `bytes` on the wire.
+  double TransferSeconds(std::int64_t bytes) const {
+    return static_cast<double>(bytes) / bandwidth_Bps;
+  }
+
+  // A model in which communication is free; used by unit tests that only
+  // exercise functional behaviour.
+  static NetModel Instant() { return {0.0, 1e18, 0.0}; }
+};
+
+}  // namespace panda

@@ -1,0 +1,149 @@
+// The message-passing substrate: ranks, endpoints, thread transport.
+//
+// Panda was built on MPI; no MPI implementation is available here, so we
+// implement the subset Panda needs from scratch: a fixed-size world of
+// ranks with blocking tagged point-to-point messaging. Ranks are backed
+// by threads in one process, which is ideal for this reproduction: the
+// protocol executes for real while time comes from the virtual-clock
+// model (see net_model.h).
+//
+// Sends are buffered (deposit into the destination mailbox and return),
+// like MPI_Send on small-to-moderate messages with a well-provisioned
+// rendezvous; the virtual-time accounting still charges the sender the
+// full per-message overhead and wire occupancy.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "msg/mailbox.h"
+#include "msg/net_model.h"
+#include "msg/virtual_clock.h"
+
+namespace panda {
+
+// Per-endpoint traffic counters (diagnostics and tests).
+struct MsgStats {
+  std::int64_t messages_sent = 0;
+  std::int64_t messages_received = 0;
+  std::int64_t bytes_sent = 0;  // virtual wire bytes
+  std::int64_t bytes_received = 0;
+};
+
+class ThreadTransport;
+
+// A rank's handle to the transport. Endpoints are created by the
+// transport, one per rank, and must only be used from that rank's thread.
+class Endpoint {
+ public:
+  int rank() const { return rank_; }
+  int world_size() const;
+
+  // True when bulk payloads are elided (timing-only sweeps).
+  bool timing_only() const;
+
+  VirtualClock& clock() { return clock_; }
+  const MsgStats& stats() const { return stats_; }
+
+  // Sends `msg` to `dst` with `tag`. Charges the sender the per-message
+  // overhead plus wire occupancy; stamps the arrival time.
+  void Send(int dst, int tag, Message msg);
+
+  // Blocks until a message from `src` with `tag` arrives. Synchronizes
+  // the virtual clock with the arrival time and charges receive overhead.
+  Message Recv(int src, int tag);
+
+  // Blocks until a message with `tag` arrives from any source (earliest
+  // deposited first), like MPI_ANY_SOURCE.
+  Message RecvAny(int tag);
+
+  // A received message together with the virtual time its processing
+  // completed (last byte in + receive overhead).
+  struct Delivery {
+    Message msg;
+    double ready_time = 0.0;
+  };
+
+  // Responder-style receive: accounts inbound-link occupancy and stats
+  // but does NOT drag this endpoint's clock to the sender's time. Panda
+  // clients use this to service requests from multiple servers: a
+  // request from a server that is virtually far ahead must not delay
+  // this client's replies to other servers (the client is an
+  // always-available responder; only its link is a contended resource).
+  Delivery RecvAnyDelivery(int tag);
+
+  // Responder-style send: the reply becomes eligible at `ready_time`
+  // (typically Delivery::ready_time plus local processing), queues on
+  // this endpoint's outbound link, and departs when the link frees. The
+  // endpoint clock advances only past the link-busy horizon.
+  void SendResponse(double ready_time, int dst, int tag, Message msg);
+
+  // Accounts `seconds` of local computation (pack/unpack, planning...).
+  void AdvanceCompute(double seconds) { clock_.Advance(seconds); }
+
+ private:
+  friend class ThreadTransport;
+  Endpoint(ThreadTransport* transport, int rank)
+      : transport_(transport), rank_(rank) {}
+
+  ThreadTransport* transport_;
+  int rank_;
+  VirtualClock clock_;
+  MsgStats stats_;
+  // Inbound-link occupancy: messages from concurrent senders serialize
+  // on the receiver's switch port, so N senders cannot deliver more than
+  // one link's bandwidth (the SP2 switch is full-duplex: the outbound
+  // direction is modeled separately by tx_link_busy_until_).
+  double rx_link_busy_until_ = 0.0;
+};
+
+// A world of `nranks` ranks, each executed as one thread.
+class ThreadTransport {
+ public:
+  struct Config {
+    NetModel net;
+    bool timing_only = false;  // elide bulk payloads
+  };
+
+  ThreadTransport(int nranks, Config config);
+
+  int world_size() const { return static_cast<int>(endpoints_.size()); }
+  const Config& config() const { return config_; }
+
+  // Runs `rank_main(endpoint)` on every rank concurrently and joins.
+  // If any rank throws, all mailboxes are poisoned (unblocking the rest)
+  // and the first exception is rethrown after the join.
+  void Run(const std::function<void(Endpoint&)>& rank_main);
+
+  // Endpoint of `rank` (valid for the lifetime of the transport). Useful
+  // for reading clocks and stats after Run() returns.
+  Endpoint& endpoint(int rank);
+
+  // Sum of per-endpoint stats.
+  MsgStats TotalStats() const;
+
+  // Resets clocks and stats between repetitions.
+  void ResetClocksAndStats();
+
+ private:
+  friend class Endpoint;
+  void DoSend(Endpoint& from, int dst, int tag, Message msg);
+  void DoSendResponse(Endpoint& from, double ready_time, int dst, int tag,
+                      Message msg);
+  Message DoRecv(Endpoint& self, int src, int tag);
+  Message DoRecvAny(Endpoint& self, int tag);
+  Endpoint::Delivery DoRecvAnyDelivery(Endpoint& self, int tag);
+  void AccountRecv(Endpoint& self, const Message& msg);
+  // Inbound-link accounting shared by all receive flavors; returns the
+  // time the message's processing completes.
+  double IngestTime(Endpoint& self, const Message& msg);
+
+  Config config_;
+  std::vector<std::unique_ptr<Mailbox>> mailboxes_;
+  std::vector<std::unique_ptr<Endpoint>> endpoints_;
+};
+
+}  // namespace panda

@@ -1,0 +1,30 @@
+// Per-rank virtual clocks.
+//
+// Every rank (thread) carries a clock in simulated seconds. Compute,
+// pack/unpack, disk and message costs advance it; message receipt
+// synchronizes it with the sender's stamped arrival time. Only the
+// owning thread touches its clock, so no locking is needed.
+#pragma once
+
+#include <algorithm>
+
+namespace panda {
+
+class VirtualClock {
+ public:
+  double Now() const { return now_; }
+
+  // Advances by `seconds` of simulated work (>= 0).
+  void Advance(double seconds) { now_ += seconds; }
+
+  // Synchronizes to an external event time (e.g. message arrival): the
+  // clock never moves backwards.
+  void SyncTo(double time) { now_ = std::max(now_, time); }
+
+  void Reset(double time = 0.0) { now_ = time; }
+
+ private:
+  double now_ = 0.0;
+};
+
+}  // namespace panda

@@ -1,0 +1,64 @@
+// Disk-schema advisor: the cost model put to work.
+//
+// The paper's §5 motivates a cost model "to predict Panda's performance
+// given an in-memory and on-disk schema" — the point of such a model is
+// choosing the on-disk schema *before* running. This module enumerates
+// the BLOCK/* disk schemas available for an array on a given machine
+// (every way of distributing its dimensions over the i/o nodes, plus
+// natural chunking), prices each with the cost model, and ranks them.
+//
+// Consumers care about more than write speed: a schema whose per-server
+// files concatenate to row-major order ("traditional order") is worth a
+// premium if the data later moves to a sequential machine. The advisor
+// therefore reports, per candidate, the predicted write cost, read
+// cost, and whether it is traditional order, and picks by a weighted
+// objective.
+#pragma once
+
+#include <vector>
+
+#include "panda/cost_model.h"
+
+namespace panda {
+
+struct SchemaCandidate {
+  Schema disk;
+  CostEstimate write_cost;
+  CostEstimate read_cost;
+  // True when concatenating the per-server files (ascending server)
+  // yields the array in row-major order.
+  bool traditional_order = false;
+  // The weighted objective this candidate was ranked by (seconds).
+  double objective_s = 0.0;
+};
+
+struct AdvisorOptions {
+  // Objective = write_weight * write + read_weight * read. Defaults
+  // model a write-once/read-once lifecycle.
+  double write_weight = 1.0;
+  double read_weight = 1.0;
+  // Only consider traditional-order schemas (data must be consumable by
+  // concatenation).
+  bool require_traditional_order = false;
+};
+
+// Enumerates candidate disk schemas for `meta.memory`'s array on
+// `world.num_servers` i/o nodes: natural chunking plus every BLOCK/*
+// assignment of a factorization of the server count to array
+// dimensions. Returns candidates sorted by objective (best first).
+std::vector<SchemaCandidate> RankDiskSchemas(const ArrayMeta& meta,
+                                             const World& world,
+                                             const Sp2Params& params,
+                                             const AdvisorOptions& options = {});
+
+// The best candidate per RankDiskSchemas (throws if none qualify).
+SchemaCandidate AdviseDiskSchema(const ArrayMeta& meta, const World& world,
+                                 const Sp2Params& params,
+                                 const AdvisorOptions& options = {});
+
+// True when `disk`'s per-server segments concatenate to the row-major
+// array (only the outermost extent-carrying dimension is distributed,
+// and chunk ids ascend with file order across servers).
+bool IsTraditionalOrder(const Schema& disk, int num_servers);
+
+}  // namespace panda

@@ -1,0 +1,115 @@
+// Panda's user-facing array abstractions (the Figure 2 API).
+//
+// An application declares, on every compute node (SPMD style):
+//   * ArrayLayout  - a named processor mesh ("memory layout" {8,8}).
+//   * Array        - a named multidimensional array with an element size,
+//                    a memory schema (layout + HPF distribution) and an
+//                    independent disk schema.
+// The library owns the mapping from these declarations to files on the
+// i/o nodes; the application never computes a file offset.
+#pragma once
+
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "mdarray/schema.h"
+#include "util/codec.h"
+
+namespace panda {
+
+// Figure 2 spells distributions BLOCK / NONE; keep those names available
+// at the API surface.
+using Distribution = DimDist;
+inline const Distribution BLOCK = DimDist::Block();
+inline const Distribution NONE = DimDist::None();
+inline Distribution CYCLIC(std::int64_t block = 1) {
+  return DimDist::Cyclic(block);
+}
+
+// A named processor mesh, e.g. ArrayLayout("memory layout", {8, 8}).
+class ArrayLayout {
+ public:
+  ArrayLayout(std::string name, Shape mesh_dims)
+      : name_(std::move(name)), mesh_(mesh_dims) {}
+
+  const std::string& name() const { return name_; }
+  const Mesh& mesh() const { return mesh_; }
+
+ private:
+  std::string name_;
+  Mesh mesh_;
+};
+
+// Wire/metadata description of one array: everything a server needs to
+// plan i/o. This is what the master client ships to the master server.
+struct ArrayMeta {
+  std::string name;
+  std::int64_t elem_size = 0;
+  Schema memory;  // schema over the compute-node mesh
+  Schema disk;    // schema over the logical i/o mesh
+
+  std::int64_t total_bytes() const {
+    return memory.array_shape().Volume() * elem_size;
+  }
+
+  void EncodeTo(Encoder& enc) const;
+  static ArrayMeta Decode(Decoder& dec);
+};
+
+// A client-side array handle: metadata plus this compute node's chunk of
+// the data (row-major over the node's memory-schema region).
+class Array {
+ public:
+  // Figure 2-style constructor. `size` is the global shape; memory_dist /
+  // disk_dist have one entry per array dimension. The memory schema may
+  // not use CYCLIC (the paper supports BLOCK/* in memory; CYCLIC is our
+  // disk-side extension).
+  Array(std::string name, Shape size, std::int64_t elem_size,
+        const ArrayLayout& memory_layout,
+        std::vector<Distribution> memory_dist,
+        const ArrayLayout& disk_layout, std::vector<Distribution> disk_dist);
+
+  // Construction directly from schemas (library-internal and tests).
+  Array(std::string name, std::int64_t elem_size, Schema memory, Schema disk);
+
+  const std::string& name() const { return meta_.name; }
+  std::int64_t elem_size() const { return meta_.elem_size; }
+  const Shape& shape() const { return meta_.memory.array_shape(); }
+  const Schema& memory_schema() const { return meta_.memory; }
+  const Schema& disk_schema() const { return meta_.disk; }
+  const ArrayMeta& meta() const { return meta_; }
+  std::int64_t total_bytes() const { return meta_.total_bytes(); }
+
+  // Binds the handle to one compute node (mesh position == Panda client
+  // index) and, unless `allocate` is false (timing-only sweeps),
+  // allocates the local buffer.
+  void BindClient(int client_pos, bool allocate = true);
+
+  bool bound() const { return client_pos_ >= 0; }
+  int client_pos() const { return client_pos_; }
+
+  // This node's region of the global array (may be empty).
+  const Region& local_region() const;
+
+  // The local buffer: row-major over local_region().
+  std::span<std::byte> local_data();
+  std::span<const std::byte> local_data() const;
+
+  // Typed views for applications.
+  template <typename T>
+  std::span<T> local_as() {
+    PANDA_CHECK(sizeof(T) == static_cast<size_t>(meta_.elem_size));
+    auto raw = local_data();
+    return {reinterpret_cast<T*>(raw.data()), raw.size() / sizeof(T)};
+  }
+
+ private:
+  ArrayMeta meta_;
+  int client_pos_ = -1;
+  Region local_region_;
+  std::vector<std::byte> data_;
+};
+
+}  // namespace panda

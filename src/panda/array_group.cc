@@ -1,0 +1,89 @@
+#include "panda/array_group.h"
+
+#include "util/error.h"
+
+namespace panda {
+
+ArrayGroup::ArrayGroup(std::string name, std::string schema_file)
+    : name_(std::move(name)), schema_file_(std::move(schema_file)) {
+  PANDA_REQUIRE(!name_.empty(), "array group needs a name");
+}
+
+void ArrayGroup::Include(Array* array) {
+  PANDA_REQUIRE(array != nullptr, "cannot include a null array");
+  for (const Array* existing : arrays_) {
+    PANDA_REQUIRE(existing->name() != array->name(),
+                  "group '%s' already contains an array named '%s'",
+                  name_.c_str(), array->name().c_str());
+  }
+  arrays_.push_back(array);
+}
+
+double ArrayGroup::Run(PandaClient& client, IoOp op, Purpose purpose,
+                       std::int64_t seq) {
+  PANDA_REQUIRE(!arrays_.empty(), "group '%s' has no arrays", name_.c_str());
+  CollectiveRequest req;
+  req.op = op;
+  req.purpose = purpose;
+  req.seq = seq;
+  req.group = name_;
+  req.meta_file = schema_file_;
+  if (op == IoOp::kWrite) req.attributes = attributes_;
+  return client.Execute(std::move(req), arrays_);
+}
+
+double ArrayGroup::Timestep(PandaClient& client) {
+  const double t = Run(client, IoOp::kWrite, Purpose::kTimestep, timesteps_);
+  timesteps_ += 1;
+  return t;
+}
+
+double ArrayGroup::Checkpoint(PandaClient& client) {
+  // seq records the timestep count at checkpoint time, so a restarting
+  // application can resume its loop from the right iteration.
+  return Run(client, IoOp::kWrite, Purpose::kCheckpoint, timesteps_);
+}
+
+double ArrayGroup::Restart(PandaClient& client) {
+  return Run(client, IoOp::kRead, Purpose::kCheckpoint, 0);
+}
+
+double ArrayGroup::Write(PandaClient& client) {
+  return Run(client, IoOp::kWrite, Purpose::kGeneral, 0);
+}
+
+double ArrayGroup::Read(PandaClient& client) {
+  return Run(client, IoOp::kRead, Purpose::kGeneral, 0);
+}
+
+bool ArrayGroup::Resume(PandaClient& client) {
+  PANDA_REQUIRE(!schema_file_.empty(),
+                "group '%s' has no schema file to resume from",
+                name_.c_str());
+  GroupMeta meta;
+  if (!client.QueryGroupMeta(schema_file_, meta)) return false;
+  PANDA_REQUIRE(meta.group == name_,
+                "schema file %s belongs to group '%s', not '%s'",
+                schema_file_.c_str(), meta.group.c_str(), name_.c_str());
+  timesteps_ = meta.timesteps;
+  attributes_ = meta.attributes;
+  return true;
+}
+
+void ArrayGroup::SetAttribute(const std::string& key,
+                              const std::string& value) {
+  PANDA_REQUIRE(!key.empty(), "attribute key must not be empty");
+  attributes_[key] = value;
+}
+
+std::string ArrayGroup::GetAttribute(const std::string& key) const {
+  const auto it = attributes_.find(key);
+  return it == attributes_.end() ? "" : it->second;
+}
+
+double ArrayGroup::ReadTimestep(PandaClient& client, std::int64_t seq) {
+  PANDA_REQUIRE(seq >= 0, "timestep must be non-negative");
+  return Run(client, IoOp::kRead, Purpose::kTimestep, seq);
+}
+
+}  // namespace panda

@@ -1,0 +1,78 @@
+// ArrayGroup: Figure 2's top-level collective-i/o handle.
+//
+//   ArrayGroup simulation("Sim2", "simulation2.schema");
+//   simulation.Include(&temperature);
+//   ...
+//   simulation.Timestep(client);                 // every timestep
+//   if (i == 50) simulation.Checkpoint(client);  // and a checkpoint
+//
+// A single Timestep()/Checkpoint() call is one collective i/o request
+// covering every included array.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "panda/client.h"
+
+namespace panda {
+
+class ArrayGroup {
+ public:
+  // `schema_file` ("" to disable) is the group metadata file the master
+  // server maintains on its local file system.
+  explicit ArrayGroup(std::string name, std::string schema_file = "");
+
+  void Include(Array* array);
+  const std::vector<Array*>& arrays() const { return arrays_; }
+  const std::string& name() const { return name_; }
+
+  // Appends one timestep's worth of output for all arrays (collective).
+  // Returns this client's elapsed virtual time.
+  double Timestep(PandaClient& client);
+
+  // Writes a checkpoint (overwrites the previous one).
+  double Checkpoint(PandaClient& client);
+
+  // Restores all arrays' local data from the last checkpoint.
+  double Restart(PandaClient& client);
+
+  // Plain write/read of the arrays' current contents (.dat files).
+  double Write(PandaClient& client);
+  double Read(PandaClient& client);
+
+  // Reads back timestep `seq` (0-based) into the arrays' local data.
+  double ReadTimestep(PandaClient& client, std::int64_t seq);
+
+  // Number of timesteps this handle has written.
+  std::int64_t timesteps_written() const { return timesteps_; }
+
+  // Resumes a previous run: queries the group's schema file on the
+  // master server, fast-forwards the timestep counter so new Timestep()
+  // calls append after the recorded ones, and restores the attributes.
+  // Returns false (leaving the counter at 0) when no metadata exists.
+  // Requires a schema_file name.
+  bool Resume(PandaClient& client);
+
+  // User attributes: small key/value strings recorded with the group's
+  // metadata on every write collective (iteration number, dt, ...) and
+  // restored by Resume(). SPMD: set them identically on every client.
+  void SetAttribute(const std::string& key, const std::string& value);
+  // Returns the attribute's value, or "" when absent.
+  std::string GetAttribute(const std::string& key) const;
+  const std::map<std::string, std::string>& attributes() const {
+    return attributes_;
+  }
+
+ private:
+  double Run(PandaClient& client, IoOp op, Purpose purpose, std::int64_t seq);
+
+  std::string name_;
+  std::string schema_file_;
+  std::vector<Array*> arrays_;
+  std::int64_t timesteps_ = 0;
+  std::map<std::string, std::string> attributes_;
+};
+
+}  // namespace panda

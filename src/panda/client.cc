@@ -1,0 +1,244 @@
+#include "panda/client.h"
+
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "mdarray/strided_copy.h"
+#include "util/logging.h"
+
+namespace panda {
+
+PandaClient::PandaClient(Endpoint& ep, World world, Sp2Params params)
+    : ep_(&ep), world_(world), params_(params) {
+  world_.Validate();
+  PANDA_CHECK_MSG(world_.is_client_rank(ep.rank()),
+                  "PandaClient on non-client rank %d", ep.rank());
+}
+
+namespace {
+
+// One expected piece of this client's obligations, across all arrays of
+// the collective. Servers direct the flow, so requests arrive in an
+// order chosen by the servers' progress; the client validates each
+// incoming header against this table and serves it, whatever the order
+// (the MPI_ANY_SOURCE pattern).
+struct Expected {
+  const IoPlan* plan = nullptr;
+  Array* array = nullptr;
+  ClientStep step;
+  bool served = false;
+};
+
+// Key -> index into the expected table.
+struct PieceKey {
+  std::int32_t array_index, chunk_index, sub_index, piece_index;
+  bool operator<(const PieceKey& o) const {
+    return std::tuple(array_index, chunk_index, sub_index, piece_index) <
+           std::tuple(o.array_index, o.chunk_index, o.sub_index,
+                      o.piece_index);
+  }
+};
+
+}  // namespace
+
+double PandaClient::Execute(CollectiveRequest req,
+                            std::span<Array* const> arrays) {
+  PANDA_REQUIRE(!arrays.empty(), "collective without arrays");
+  req.arrays.clear();
+  for (Array* a : arrays) {
+    PANDA_REQUIRE(a != nullptr && a->bound(), "arrays must be bound");
+    PANDA_REQUIRE(a->client_pos() == index(),
+                  "array '%s' bound to client %d but executed on client %d",
+                  a->name().c_str(), a->client_pos(), index());
+    PANDA_REQUIRE(a->memory_schema().mesh().size() == world_.num_clients,
+                  "array '%s' memory mesh (%d) != number of clients (%d)",
+                  a->name().c_str(), a->memory_schema().mesh().size(),
+                  world_.num_clients);
+    req.arrays.push_back(a->meta());
+  }
+
+  req.first_client = world_.first_client;
+  req.num_clients = world_.num_clients;
+
+  const double start = ep_->clock().Now();
+
+  // The master client sends the short high-level request; the servers
+  // take over direction of the data flow from here.
+  if (is_master()) {
+    ep_->Send(world_.master_server_rank(), kTagCollectiveRequest,
+              req.ToMessage());
+  }
+
+  // Mirror the servers' plans and tabulate this client's obligations.
+  std::vector<std::shared_ptr<const IoPlan>> plans;
+  plans.reserve(arrays.size());
+  for (const ArrayMeta& meta : req.arrays) {
+    plans.push_back(plan_cache_.Get(
+        meta, world_.num_servers, params_.subchunk_bytes,
+        req.has_subarray ? &req.subarray : nullptr));
+  }
+  std::map<PieceKey, Expected> expected;
+  for (std::int32_t ai = 0; ai < static_cast<std::int32_t>(arrays.size());
+       ++ai) {
+    const IoPlan& plan = *plans[static_cast<size_t>(ai)];
+    for (const ClientStep& step : plan.StepsOfClient(index())) {
+      expected[{ai, static_cast<std::int32_t>(step.chunk_index),
+                static_cast<std::int32_t>(step.sub_index),
+                static_cast<std::int32_t>(step.piece_index)}] =
+          Expected{&plan, arrays[static_cast<size_t>(ai)], step, false};
+    }
+  }
+
+  // Service loop: one message per obligation, in server-directed order.
+  const int data_tag =
+      req.op == IoOp::kWrite ? kTagPieceRequest : kTagPieceData;
+  for (size_t remaining = expected.size(); remaining > 0; --remaining) {
+    Endpoint::Delivery delivery = ep_->RecvAnyDelivery(data_tag);
+    Message& msg = delivery.msg;
+    Decoder dec(msg.header);
+    const PieceHeader h = PieceHeader::Decode(dec);
+    const auto it = expected.find(
+        {h.array_index, h.chunk_index, h.sub_index, h.piece_index});
+    PANDA_REQUIRE(it != expected.end() && !it->second.served,
+                  "server directed an unexpected piece "
+                  "(array=%d chunk=%d sub=%d piece=%d)",
+                  h.array_index, h.chunk_index, h.sub_index, h.piece_index);
+    Expected& exp = it->second;
+    exp.served = true;
+    const PiecePlan& piece = exp.plan->piece(exp.step);
+    const ChunkPlan& cp = exp.plan->chunk(exp.step);
+    PANDA_REQUIRE(h.region == piece.region,
+                  "server piece region %s does not match the local plan %s",
+                  h.region.ToString().c_str(),
+                  piece.region.ToString().c_str());
+    PANDA_REQUIRE(msg.src == world_.server_rank(cp.server),
+                  "piece directed by the wrong server");
+
+    if (req.op == IoOp::kWrite) {
+      ServeWritePiece(delivery, *exp.array, piece, cp);
+    } else {
+      ServeReadPiece(delivery, *exp.array, piece, cp);
+    }
+  }
+
+  // Completion: master server -> master client -> all clients.
+  const Group clients = world_.ClientGroup(ep_->rank());
+  if (is_master()) {
+    (void)ep_->Recv(world_.master_server_rank(), kTagServerDone);
+  }
+  (void)Bcast(*ep_, clients, 0, Message{});
+
+  last_elapsed_ = ep_->clock().Now() - start;
+  return last_elapsed_;
+}
+
+void PandaClient::ServeWritePiece(const Endpoint::Delivery& request,
+                                  Array& array, const PiecePlan& piece,
+                                  const ChunkPlan& cp) {
+  // Assemble the piece: strided gathers charge reorganization time
+  // (contiguous moves are free — the natural-chunking fast path).
+  double ready = request.ready_time;
+  if (!piece.contiguous_in_client) {
+    ready += static_cast<double>(piece.bytes) / params_.memcpy_Bps;
+  }
+  Message data;
+  data.header = request.msg.header;  // echo the piece identification
+  if (!ep_->timing_only()) {
+    std::vector<std::byte> payload(static_cast<size_t>(piece.bytes));
+    PackRegion({payload.data(), payload.size()}, array.local_data(),
+               array.local_region(), piece.region,
+               static_cast<size_t>(array.elem_size()));
+    data.SetPayload(std::move(payload));
+  } else {
+    data.SetVirtualPayload(piece.bytes);
+  }
+  ep_->SendResponse(ready, world_.server_rank(cp.server), kTagPieceData,
+                    std::move(data));
+}
+
+void PandaClient::ServeReadPiece(const Endpoint::Delivery& delivery,
+                                 Array& array, const PiecePlan& piece,
+                                 const ChunkPlan& cp) {
+  const Message& data = delivery.msg;
+  double ready = delivery.ready_time;
+  if (!piece.contiguous_in_client) {
+    ready += static_cast<double>(piece.bytes) / params_.memcpy_Bps;
+  }
+  if (!ep_->timing_only()) {
+    PANDA_REQUIRE(
+        static_cast<std::int64_t>(data.payload.size()) == piece.bytes,
+        "piece payload size mismatch");
+    UnpackRegion(array.local_data(), array.local_region(),
+                 {data.payload.data(), data.payload.size()}, piece.region,
+                 static_cast<size_t>(array.elem_size()));
+  } else {
+    PANDA_REQUIRE(data.payload_vbytes == piece.bytes,
+                  "piece virtual size mismatch");
+  }
+  // Acknowledge so the server can push the next piece (flow control).
+  ep_->SendResponse(ready, world_.server_rank(cp.server), kTagPieceAck,
+                    Message{});
+}
+
+double PandaClient::WriteArray(Array& array) {
+  CollectiveRequest req;
+  req.op = IoOp::kWrite;
+  req.purpose = Purpose::kGeneral;
+  Array* arrays[] = {&array};
+  return Execute(std::move(req), arrays);
+}
+
+double PandaClient::ReadArray(Array& array) {
+  CollectiveRequest req;
+  req.op = IoOp::kRead;
+  req.purpose = Purpose::kGeneral;
+  Array* arrays[] = {&array};
+  return Execute(std::move(req), arrays);
+}
+
+double PandaClient::ReadSubarray(Array& array, const Region& region) {
+  PANDA_REQUIRE(
+      Region::Whole(array.shape()).Contains(region),
+      "subarray %s is not inside array '%s' %s", region.ToString().c_str(),
+      array.name().c_str(), array.shape().ToString().c_str());
+  CollectiveRequest req;
+  req.op = IoOp::kRead;
+  req.purpose = Purpose::kGeneral;
+  req.has_subarray = true;
+  req.subarray = region;
+  Array* arrays[] = {&array};
+  return Execute(std::move(req), arrays);
+}
+
+bool PandaClient::QueryGroupMeta(const std::string& meta_file,
+                                 GroupMeta& meta) {
+  Message reply;
+  if (is_master()) {
+    CollectiveRequest req;
+    req.op = IoOp::kQueryMeta;
+    req.meta_file = meta_file;
+    req.first_client = world_.first_client;
+    req.num_clients = world_.num_clients;
+    ep_->Send(world_.master_server_rank(), kTagCollectiveRequest,
+              req.ToMessage());
+    reply = ep_->Recv(world_.master_server_rank(), kTagServerDone);
+  }
+  reply = Bcast(*ep_, world_.ClientGroup(ep_->rank()), 0, std::move(reply));
+  Decoder dec(reply.header);
+  if (dec.Get<std::uint8_t>() == 0) return false;
+  meta = GroupMeta::Decode(dec.GetBytes(dec.remaining()));
+  return true;
+}
+
+void PandaClient::Shutdown() {
+  if (!is_master()) return;
+  CollectiveRequest req;
+  req.op = IoOp::kShutdown;
+  req.first_client = world_.first_client;
+  req.num_clients = world_.num_clients;
+  ep_->Send(world_.master_server_rank(), kTagCollectiveRequest,
+            req.ToMessage());
+}
+
+}  // namespace panda

@@ -1,0 +1,77 @@
+// The Panda client: the compute-node side of collective i/o.
+//
+// Every compute node constructs a PandaClient over its endpoint and
+// calls the same collective operations at approximately the same time
+// (SPMD; no prior synchronization is required — the paper's §2). The
+// master client (index 0) additionally ships the request to the master
+// server and distributes the completion notification.
+#pragma once
+
+#include <span>
+
+#include "msg/transport.h"
+#include "panda/array.h"
+#include "panda/plan.h"
+#include "panda/plan_cache.h"
+#include "panda/protocol.h"
+#include "panda/runtime.h"
+#include "panda/schema_io.h"
+#include "sp2/params.h"
+
+namespace panda {
+
+class PandaClient {
+ public:
+  PandaClient(Endpoint& ep, World world, Sp2Params params);
+
+  // This client's index within its application's client window.
+  int index() const { return world_.client_index(ep_->rank()); }
+  bool is_master() const { return index() == 0; }
+  Endpoint& endpoint() { return *ep_; }
+  const World& world() const { return world_; }
+  const Sp2Params& params() const { return params_; }
+
+  // Executes one collective. `arrays` must be bound to this client and
+  // ordered identically on every client; req.arrays is filled from them.
+  // Returns this client's elapsed virtual time for the collective.
+  double Execute(CollectiveRequest req, std::span<Array* const> arrays);
+
+  // Convenience single-array collectives.
+  double WriteArray(Array& array);
+  double ReadArray(Array& array);
+
+  // Collective subarray read: only the elements of `region` (global
+  // coordinates) are read from disk and scattered; each client's local
+  // data is updated only where its cell intersects the region. Servers
+  // skip the disk accesses of sub-chunks entirely outside the region —
+  // a slice read touches a slice's worth of disk.
+  double ReadSubarray(Array& array, const Region& region);
+
+  // Collective metadata query: fetches the group's .schema file from
+  // the master server and broadcasts it to all clients. Returns true
+  // and fills `meta` when it exists. Used to resume a timestep stream
+  // after a restart (see ArrayGroup::Resume).
+  bool QueryGroupMeta(const std::string& meta_file, GroupMeta& meta);
+
+  // Ends the server loop (call once, after all clients are done; only
+  // the master actually sends).
+  void Shutdown();
+
+  // Elapsed virtual time of the most recent collective on this client.
+  double last_elapsed() const { return last_elapsed_; }
+
+ private:
+  void ServeWritePiece(const Endpoint::Delivery& request, Array& array,
+                       const PiecePlan& piece, const ChunkPlan& cp);
+  void ServeReadPiece(const Endpoint::Delivery& delivery, Array& array,
+                      const PiecePlan& piece, const ChunkPlan& cp);
+
+  Endpoint* ep_;
+  World world_;
+  Sp2Params params_;
+  double last_elapsed_ = 0.0;
+  // Plans repeat across a timestep stream; memoize them.
+  PlanCache plan_cache_;
+};
+
+}  // namespace panda

@@ -1,0 +1,145 @@
+#include "panda/cost_model.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+int TreeDepth(int n) {
+  int depth = 0;
+  while ((1 << depth) < n) ++depth;
+  return depth;
+}
+
+}  // namespace
+
+CostEstimate PredictCollective(std::span<const ArrayMeta> arrays, IoOp op,
+                               const World& world, const Sp2Params& params,
+                               const Region* subarray) {
+  PANDA_REQUIRE(op == IoOp::kWrite || op == IoOp::kRead,
+                "cost model covers read/write collectives");
+  PANDA_REQUIRE(subarray == nullptr || op == IoOp::kRead,
+                "subarray access is only supported for reads");
+  world.Validate();
+  const double o = params.net.per_message_overhead_s;
+  const double L = params.net.latency_s;
+
+  std::vector<double> server_busy(static_cast<size_t>(world.num_servers),
+                                  params.plan_compute_s);
+  std::vector<double> client_busy(static_cast<size_t>(world.num_clients), 0.0);
+  std::vector<double> server_disk(static_cast<size_t>(world.num_servers), 0.0);
+
+  for (const ArrayMeta& meta : arrays) {
+    const IoPlan plan =
+        subarray != nullptr
+            ? IoPlan(meta, world.num_servers, params.subchunk_bytes,
+                     *subarray)
+            : IoPlan(meta, world.num_servers, params.subchunk_bytes);
+    for (int s = 0; s < world.num_servers; ++s) {
+      double busy = 0.0;
+      double disk = 0.0;
+      bool first_access = true;
+      for (const int ci : plan.ChunksOfServer(s)) {
+        const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+        for (const SubchunkPlan& sp : cp.subchunks) {
+          if (!sp.active) continue;  // clipped away by a subarray read
+          if (op == IoOp::kWrite) {
+            // Request fan-out, pipeline fill on the first piece, then a
+            // receive per piece (clients overlap their packing).
+            busy += static_cast<double>(sp.pieces.size()) * o;  // requests
+            if (!sp.pieces.empty()) {
+              const PiecePlan& p0 = sp.pieces.front();
+              double pack0 = 0.0;
+              if (!p0.contiguous_in_client) {
+                pack0 = static_cast<double>(p0.bytes) / params.memcpy_Bps;
+              }
+              busy += 2 * L + 2 * o + pack0;  // fill: round trip to client 0
+            }
+            // Pieces pipeline through the inbound link: the receive
+            // overhead and strided unpack of piece p overlap with piece
+            // p+1's wire transfer, so each piece costs the larger of its
+            // two stages; the final piece drains the cpu stage.
+            double last_cpu = 0.0;
+            for (const PiecePlan& p : sp.pieces) {
+              double cpu = o;
+              if (!p.contiguous_in_subchunk) {
+                cpu += static_cast<double>(p.bytes) / params.memcpy_Bps;
+              }
+              busy += std::max(params.net.TransferSeconds(p.bytes), cpu);
+              last_cpu = cpu;
+            }
+            busy += last_cpu;
+            disk += params.disk.WriteSeconds(sp.bytes, !first_access);
+          } else {
+            disk += params.disk.ReadSeconds(sp.bytes, !first_access);
+            // Serial push chain per piece: pack, send, wait for the ack
+            // (which trails the client's unpack).
+            for (const PiecePlan& p : sp.pieces) {
+              busy += 4 * o + 2 * L + params.net.TransferSeconds(p.bytes);
+              if (!p.contiguous_in_subchunk) {
+                busy += static_cast<double>(p.bytes) / params.memcpy_Bps;
+              }
+              if (!p.contiguous_in_client) {
+                busy += static_cast<double>(p.bytes) / params.memcpy_Bps;
+              }
+            }
+          }
+          first_access = false;
+        }
+      }
+      if (op == IoOp::kWrite && !plan.ChunksOfServer(s).empty()) {
+        disk += params.disk.fsync_s;
+      }
+      server_busy[static_cast<size_t>(s)] += busy + disk;
+      server_disk[static_cast<size_t>(s)] += disk;
+    }
+
+    for (int c = 0; c < world.num_clients; ++c) {
+      double busy = 0.0;
+      for (const ClientStep& step : plan.StepsOfClient(c)) {
+        const PiecePlan& p = plan.piece(step);
+        if (op == IoOp::kWrite) {
+          busy += 2 * o + params.net.TransferSeconds(p.bytes);
+          if (!p.contiguous_in_client) {
+            busy += static_cast<double>(p.bytes) / params.memcpy_Bps;
+          }
+        } else {
+          busy += 2 * o;  // data receive + ack send
+          if (!p.contiguous_in_client) {
+            busy += static_cast<double>(p.bytes) / params.memcpy_Bps;
+          }
+        }
+      }
+      client_busy[static_cast<size_t>(c)] += busy;
+    }
+  }
+
+  CostEstimate est;
+  const int ds = TreeDepth(world.num_servers);
+  const int dc = TreeDepth(world.num_clients);
+  const double startup = (o + L) + params.plan_compute_s +
+                         static_cast<double>(ds) * (2 * o + L);
+  // Completion: gather-only server sync, then done + client broadcast.
+  const double completion = static_cast<double>(ds) * (2 * o + L) + (o + L) +
+                            static_cast<double>(dc) * (2 * o + L);
+  est.startup_s = startup + completion;
+  est.max_server_busy_s =
+      *std::max_element(server_busy.begin(), server_busy.end());
+  est.max_client_busy_s =
+      *std::max_element(client_busy.begin(), client_busy.end());
+  est.disk_s = *std::max_element(server_disk.begin(), server_disk.end());
+  est.elapsed_s = est.startup_s +
+                  std::max(est.max_server_busy_s, est.max_client_busy_s);
+  return est;
+}
+
+CostEstimate PredictArrayIo(const ArrayMeta& meta, IoOp op, const World& world,
+                            const Sp2Params& params, const Region* subarray) {
+  return PredictCollective({&meta, 1}, op, world, params, subarray);
+}
+
+}  // namespace panda

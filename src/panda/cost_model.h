@@ -1,0 +1,50 @@
+// Analytic cost model for Panda collectives.
+//
+// The paper's conclusion announces: "we ... are developing a cost model
+// to predict Panda's performance given an in-memory and on-disk schema".
+// This module implements that model for the server-directed protocol:
+// given the two schemas, the machine parameters and the node counts, it
+// predicts the collective's elapsed time without running it.
+//
+// The model walks the same IoPlan the runtime uses and accounts, per
+// server, the serial per-piece chain (request round trip, wire
+// occupancy, strided pack/unpack) plus disk service times — and, per
+// client, its total send-side occupancy. The collective is predicted at
+// the fixed startup/completion cost plus the slowest node.
+// Accuracy against the virtual-time simulation is validated in
+// tests/cost_model_test.cc (within ~20% across schema combinations).
+#pragma once
+
+#include "panda/plan.h"
+#include "panda/protocol.h"
+#include "panda/runtime.h"
+#include "sp2/params.h"
+
+namespace panda {
+
+struct CostEstimate {
+  double elapsed_s = 0.0;        // predicted collective elapsed time
+  double startup_s = 0.0;        // fixed request + completion overhead
+  double max_server_busy_s = 0.0;
+  double max_client_busy_s = 0.0;
+  double disk_s = 0.0;           // slowest server's disk component
+
+  // Predicted aggregate throughput (array bytes / elapsed).
+  double ThroughputBps(std::int64_t total_bytes) const {
+    return static_cast<double>(total_bytes) / elapsed_s;
+  }
+};
+
+// Predicts one collective over `arrays` (all processed sequentially, as
+// the runtime does). `subarray` (reads only) clips the plan like
+// PandaClient::ReadSubarray does.
+CostEstimate PredictCollective(std::span<const ArrayMeta> arrays, IoOp op,
+                               const World& world, const Sp2Params& params,
+                               const Region* subarray = nullptr);
+
+// Single-array convenience.
+CostEstimate PredictArrayIo(const ArrayMeta& meta, IoOp op, const World& world,
+                            const Sp2Params& params,
+                            const Region* subarray = nullptr);
+
+}  // namespace panda

@@ -1,0 +1,142 @@
+#include "panda/plan.h"
+
+#include "util/error.h"
+
+namespace panda {
+
+IoPlan::IoPlan(const ArrayMeta& meta, int num_servers,
+               std::int64_t subchunk_bytes)
+    : IoPlan(meta, num_servers, subchunk_bytes,
+             Region::Whole(meta.memory.array_shape())) {}
+
+IoPlan::IoPlan(const ArrayMeta& meta, int num_servers,
+               std::int64_t subchunk_bytes, const Region& active)
+    : num_servers_(num_servers) {
+  PANDA_REQUIRE(num_servers >= 1, "need at least one server");
+  PANDA_REQUIRE(subchunk_bytes >= 1, "sub-chunk size must be positive");
+  PANDA_REQUIRE(
+      Region::Whole(meta.memory.array_shape()).Contains(active),
+      "subarray region %s is not inside the array %s",
+      active.ToString().c_str(), meta.memory.array_shape().ToString().c_str());
+
+  const Schema& disk = meta.disk;
+  const Schema& memory = meta.memory;
+  const std::int64_t elem = meta.elem_size;
+
+  // Clients' memory cells (BLOCK/* memory schemas: one region per client).
+  const int num_clients = memory.mesh().size();
+  std::vector<Region> client_cells(static_cast<size_t>(num_clients));
+  for (int c = 0; c < num_clients; ++c) {
+    client_cells[static_cast<size_t>(c)] = memory.CellRegion(c);
+  }
+
+  chunks_of_server_.resize(static_cast<size_t>(num_servers));
+  steps_of_client_.resize(static_cast<size_t>(num_clients));
+  segment_bytes_.assign(static_cast<size_t>(num_servers), 0);
+
+  chunks_.reserve(disk.chunks().size());
+  for (const SchemaChunk& sc : disk.chunks()) {
+    ChunkPlan cp;
+    cp.chunk_id = sc.id;
+    // The paper's implicit chunk-level round-robin striping over servers.
+    cp.server = sc.id % num_servers;
+    cp.region = sc.region;
+    cp.bytes = sc.region.Volume() * elem;
+    cp.file_offset = segment_bytes_[static_cast<size_t>(cp.server)];
+    segment_bytes_[static_cast<size_t>(cp.server)] += cp.bytes;
+
+    // Sub-chunks: contiguous <=1MB ranges of the chunk's row-major order.
+    std::int64_t sub_offset = cp.file_offset;
+    for (const Region& sub : SplitIntoSubchunks(sc.region, elem,
+                                                subchunk_bytes)) {
+      SubchunkPlan sp;
+      sp.region = sub;
+      sp.bytes = sub.Volume() * elem;
+      sp.file_offset = sub_offset;
+      sub_offset += sp.bytes;
+
+      // Pieces: intersection with each client's cell (clipped to the
+      // active subarray region), ascending client.
+      for (int c = 0; c < num_clients; ++c) {
+        const Region& cell = client_cells[static_cast<size_t>(c)];
+        if (cell.empty()) continue;
+        const Region piece_region = Intersect(Intersect(sub, cell), active);
+        if (piece_region.empty()) continue;
+        PiecePlan piece;
+        piece.client = c;
+        piece.region = piece_region;
+        piece.bytes = piece_region.Volume() * elem;
+        piece.contiguous_in_client = IsContiguousWithin(cell, piece_region);
+        piece.contiguous_in_subchunk = IsContiguousWithin(sub, piece_region);
+        sp.pieces.push_back(piece);
+      }
+      sp.active = !sp.pieces.empty();
+      cp.subchunks.push_back(std::move(sp));
+    }
+
+    chunks_of_server_[static_cast<size_t>(cp.server)].push_back(
+        static_cast<int>(chunks_.size()));
+    chunks_.push_back(std::move(cp));
+  }
+
+  // Client obligations in global (chunk, sub, piece) order. chunks_ is
+  // already ascending by chunk_id (disk.chunks() enumerates ids densely).
+  for (size_t ci = 0; ci < chunks_.size(); ++ci) {
+    const ChunkPlan& cp = chunks_[ci];
+    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
+      const SubchunkPlan& sp = cp.subchunks[si];
+      for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
+        steps_of_client_[static_cast<size_t>(sp.pieces[pi].client)].push_back(
+            {static_cast<int>(ci), static_cast<int>(si),
+             static_cast<int>(pi)});
+      }
+    }
+  }
+}
+
+const std::vector<int>& IoPlan::ChunksOfServer(int s) const {
+  PANDA_CHECK(s >= 0 && s < num_servers_);
+  return chunks_of_server_[static_cast<size_t>(s)];
+}
+
+const std::vector<ClientStep>& IoPlan::StepsOfClient(int c) const {
+  PANDA_CHECK(c >= 0 && c < static_cast<int>(steps_of_client_.size()));
+  return steps_of_client_[static_cast<size_t>(c)];
+}
+
+std::int64_t IoPlan::SegmentBytes(int s) const {
+  PANDA_CHECK(s >= 0 && s < num_servers_);
+  return segment_bytes_[static_cast<size_t>(s)];
+}
+
+const ChunkPlan& IoPlan::chunk(const ClientStep& step) const {
+  PANDA_CHECK(step.chunk_index >= 0 &&
+              step.chunk_index < static_cast<int>(chunks_.size()));
+  return chunks_[static_cast<size_t>(step.chunk_index)];
+}
+
+const SubchunkPlan& IoPlan::subchunk(const ClientStep& step) const {
+  const ChunkPlan& cp = chunk(step);
+  PANDA_CHECK(step.sub_index >= 0 &&
+              step.sub_index < static_cast<int>(cp.subchunks.size()));
+  return cp.subchunks[static_cast<size_t>(step.sub_index)];
+}
+
+const PiecePlan& IoPlan::piece(const ClientStep& step) const {
+  const SubchunkPlan& sp = subchunk(step);
+  PANDA_CHECK(step.piece_index >= 0 &&
+              step.piece_index < static_cast<int>(sp.pieces.size()));
+  return sp.pieces[static_cast<size_t>(step.piece_index)];
+}
+
+std::int64_t IoPlan::TotalPieces() const {
+  std::int64_t total = 0;
+  for (const auto& cp : chunks_) {
+    for (const auto& sp : cp.subchunks) {
+      total += static_cast<std::int64_t>(sp.pieces.size());
+    }
+  }
+  return total;
+}
+
+}  // namespace panda

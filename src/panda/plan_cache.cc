@@ -1,0 +1,50 @@
+#include "panda/plan_cache.h"
+
+#include <algorithm>
+
+#include "panda/protocol.h"
+
+namespace panda {
+
+std::string PlanCache::KeyOf(const ArrayMeta& meta, int num_servers,
+                             std::int64_t subchunk_bytes,
+                             const Region* active) {
+  std::vector<std::byte> bytes;
+  Encoder enc(bytes);
+  meta.EncodeTo(enc);
+  enc.Put<std::int32_t>(num_servers);
+  enc.Put<std::int64_t>(subchunk_bytes);
+  enc.Put<std::uint8_t>(active != nullptr ? 1 : 0);
+  if (active != nullptr) EncodeRegion(enc, *active);
+  return std::string(reinterpret_cast<const char*>(bytes.data()),
+                     bytes.size());
+}
+
+std::shared_ptr<const IoPlan> PlanCache::Get(const ArrayMeta& meta,
+                                             int num_servers,
+                                             std::int64_t subchunk_bytes,
+                                             const Region* active) {
+  const std::string key = KeyOf(meta, num_servers, subchunk_bytes, active);
+  auto it = entries_.find(key);
+  if (it != entries_.end()) {
+    ++hits_;
+    lru_.erase(std::find(lru_.begin(), lru_.end(), key));
+    lru_.push_front(key);
+    return it->second;
+  }
+  ++misses_;
+  auto plan = active != nullptr
+                  ? std::make_shared<const IoPlan>(meta, num_servers,
+                                                   subchunk_bytes, *active)
+                  : std::make_shared<const IoPlan>(meta, num_servers,
+                                                   subchunk_bytes);
+  if (entries_.size() >= capacity_) {
+    entries_.erase(lru_.back());
+    lru_.pop_back();
+  }
+  entries_.emplace(key, plan);
+  lru_.push_front(key);
+  return plan;
+}
+
+}  // namespace panda

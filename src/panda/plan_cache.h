@@ -1,0 +1,46 @@
+// Plan memoization.
+//
+// A timestep stream builds the *same* IoPlan for every collective
+// (same schemas, same servers, same sub-chunk size). Planning is cheap
+// but not free — O(chunks x clients x sub-chunks) region algebra — and
+// the paper's applications issue thousands of timesteps. PlanCache
+// memoizes plans by the exact plan inputs; both PandaClient and
+// ServerMain keep one across collectives.
+#pragma once
+
+#include <list>
+#include <map>
+#include <memory>
+#include <string>
+
+#include "panda/plan.h"
+
+namespace panda {
+
+class PlanCache {
+ public:
+  explicit PlanCache(size_t capacity = 32) : capacity_(capacity) {}
+
+  // Returns the memoized plan for these exact inputs, building it on a
+  // miss. `active` may be null (whole-array plan). The returned plan is
+  // immutable and remains valid independent of the cache's lifetime.
+  std::shared_ptr<const IoPlan> Get(const ArrayMeta& meta, int num_servers,
+                                    std::int64_t subchunk_bytes,
+                                    const Region* active = nullptr);
+
+  size_t size() const { return entries_.size(); }
+  std::int64_t hits() const { return hits_; }
+  std::int64_t misses() const { return misses_; }
+
+ private:
+  static std::string KeyOf(const ArrayMeta& meta, int num_servers,
+                           std::int64_t subchunk_bytes, const Region* active);
+
+  size_t capacity_;
+  std::map<std::string, std::shared_ptr<const IoPlan>> entries_;
+  std::list<std::string> lru_;  // front = most recent
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace panda

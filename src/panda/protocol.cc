@@ -1,0 +1,123 @@
+#include "panda/protocol.h"
+
+#include "util/error.h"
+
+namespace panda {
+
+void EncodeRegion(Encoder& enc, const Region& region) {
+  enc.Put<std::int32_t>(region.rank());
+  enc.Put<std::uint8_t>(region.empty() ? 1 : 0);
+  for (int d = 0; d < region.rank(); ++d) {
+    enc.Put<std::int64_t>(region.lo()[d]);
+    enc.Put<std::int64_t>(region.extent()[d]);
+  }
+}
+
+Region DecodeRegion(Decoder& dec) {
+  const auto r = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(r >= 0 && r <= kMaxRank, "bad region rank %d", r);
+  const auto empty = dec.Get<std::uint8_t>();
+  Index lo = Index::Zeros(r);
+  Shape extent = Index::Zeros(r);
+  for (int d = 0; d < r; ++d) {
+    lo[d] = dec.Get<std::int64_t>();
+    extent[d] = dec.Get<std::int64_t>();
+  }
+  if (empty != 0) return Region(Index::Zeros(r), Index::Zeros(r));
+  return Region(lo, extent);
+}
+
+Message CollectiveRequest::ToMessage() const {
+  Message msg;
+  Encoder enc(msg.header);
+  enc.Put<std::uint8_t>(static_cast<std::uint8_t>(op));
+  enc.Put<std::uint8_t>(static_cast<std::uint8_t>(purpose));
+  enc.Put<std::int64_t>(seq);
+  enc.PutString(group);
+  enc.PutString(meta_file);
+  enc.Put<std::int32_t>(first_client);
+  enc.Put<std::int32_t>(num_clients);
+  enc.Put<std::uint8_t>(has_subarray ? 1 : 0);
+  if (has_subarray) EncodeRegion(enc, subarray);
+  enc.Put<std::int32_t>(static_cast<std::int32_t>(attributes.size()));
+  for (const auto& [key, value] : attributes) {
+    enc.PutString(key);
+    enc.PutString(value);
+  }
+  enc.Put<std::int32_t>(static_cast<std::int32_t>(arrays.size()));
+  for (const auto& a : arrays) a.EncodeTo(enc);
+  return msg;
+}
+
+CollectiveRequest CollectiveRequest::FromMessage(const Message& msg) {
+  Decoder dec(msg.header);
+  CollectiveRequest req;
+  const auto op = dec.Get<std::uint8_t>();
+  PANDA_REQUIRE(op <= 3, "bad collective op %u", op);
+  req.op = static_cast<IoOp>(op);
+  const auto purpose = dec.Get<std::uint8_t>();
+  PANDA_REQUIRE(purpose <= 2, "bad collective purpose %u", purpose);
+  req.purpose = static_cast<Purpose>(purpose);
+  req.seq = dec.Get<std::int64_t>();
+  req.group = dec.GetString();
+  req.meta_file = dec.GetString();
+  req.first_client = dec.Get<std::int32_t>();
+  req.num_clients = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(req.first_client >= 0 && req.num_clients >= 0,
+                "bad client window in collective request");
+  req.has_subarray = dec.Get<std::uint8_t>() != 0;
+  if (req.has_subarray) {
+    req.subarray = DecodeRegion(dec);
+    PANDA_REQUIRE(req.op == IoOp::kRead,
+                  "subarray access is only supported for reads");
+  }
+  const auto na = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(na >= 0 && na <= 4096, "bad attribute count");
+  for (int i = 0; i < na; ++i) {
+    std::string key = dec.GetString();
+    req.attributes[std::move(key)] = dec.GetString();
+  }
+  const auto n = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(n >= 0 && n <= 4096, "bad array count %d", n);
+  req.arrays.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) req.arrays.push_back(ArrayMeta::Decode(dec));
+  PANDA_REQUIRE(dec.AtEnd(), "trailing bytes in collective request");
+  return req;
+}
+
+void PieceHeader::EncodeTo(Encoder& enc) const {
+  enc.Put<std::int32_t>(array_index);
+  enc.Put<std::int32_t>(chunk_index);
+  enc.Put<std::int32_t>(sub_index);
+  enc.Put<std::int32_t>(piece_index);
+  EncodeRegion(enc, region);
+}
+
+PieceHeader PieceHeader::Decode(Decoder& dec) {
+  PieceHeader h;
+  h.array_index = dec.Get<std::int32_t>();
+  h.chunk_index = dec.Get<std::int32_t>();
+  h.sub_index = dec.Get<std::int32_t>();
+  h.piece_index = dec.Get<std::int32_t>();
+  h.region = DecodeRegion(dec);
+  return h;
+}
+
+std::string DataFileName(const std::string& group, const std::string& array,
+                         Purpose purpose, int server_index) {
+  std::string name = group.empty() ? array : group + "." + array;
+  switch (purpose) {
+    case Purpose::kGeneral:
+      name += ".dat.";
+      break;
+    case Purpose::kTimestep:
+      name += ".ts.";
+      break;
+    case Purpose::kCheckpoint:
+      name += ".ck.";
+      break;
+  }
+  return name + std::to_string(server_index);
+}
+
+}  // namespace panda

@@ -1,0 +1,87 @@
+// Panda wire protocol: the messages behind server-directed i/o.
+//
+// The flow for one collective (paper §2):
+//   1. master client -> master server: CollectiveRequest (a *short,
+//      very-high-level* description: op + the two schemas per array).
+//   2. master server -> servers: the same request, tree-broadcast.
+//   3. data phase, directed by the servers: per sub-chunk piece, a
+//      PieceHeader request (writes) or a PieceHeader + payload (reads).
+//   4. servers synchronize; master server -> master client: done;
+//      master client -> clients: done.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "mdarray/region.h"
+#include "msg/message.h"
+#include "panda/array.h"
+
+namespace panda {
+
+enum class IoOp : std::uint8_t {
+  kWrite = 0,
+  kRead = 1,
+  kShutdown = 2,   // ends the server loop
+  kQueryMeta = 3,  // fetch the group's .schema metadata (resume support)
+};
+
+// What kind of files a collective targets; selects naming and offsets.
+enum class Purpose : std::uint8_t {
+  kGeneral = 0,    // plain write/read of the current contents
+  kTimestep = 1,   // append-style timestep output, seq = timestep number
+  kCheckpoint = 2, // overwrite-in-place checkpoint / restart source
+};
+
+struct CollectiveRequest {
+  IoOp op = IoOp::kWrite;
+  Purpose purpose = Purpose::kGeneral;
+  std::int64_t seq = 0;        // timestep number for kTimestep
+  std::string group;           // array-group name ("" for single arrays)
+  std::string meta_file;       // group schema file ("" = do not write one)
+  // The requesting application's client window: servers can be shared
+  // by several applications (mixed workloads, paper §5), so every
+  // request names whose clients the servers should direct.
+  std::int32_t first_client = 0;
+  std::int32_t num_clients = 0;
+  // Optional subarray clip (reads only): when non-empty, only data
+  // inside this global region moves; servers skip the disk accesses of
+  // sub-chunks that clip away entirely.
+  bool has_subarray = false;
+  Region subarray;
+  // User attributes merged into the group metadata on write collectives
+  // (iteration counters, dt, provenance ...).
+  std::map<std::string, std::string> attributes;
+  std::vector<ArrayMeta> arrays;
+
+  Message ToMessage() const;
+  static CollectiveRequest FromMessage(const Message& msg);
+};
+
+// Identifies one piece within the shared plan; sent as the header of both
+// piece requests and piece data. The region is included so each side can
+// cross-check the other's plan — a mismatch means corrupted schemas and
+// fails loudly rather than scrambling data.
+struct PieceHeader {
+  std::int32_t array_index = 0;
+  std::int32_t chunk_index = 0;
+  std::int32_t sub_index = 0;
+  std::int32_t piece_index = 0;
+  Region region;
+
+  void EncodeTo(Encoder& enc) const;
+  static PieceHeader Decode(Decoder& dec);
+};
+
+void EncodeRegion(Encoder& enc, const Region& region);
+Region DecodeRegion(Decoder& dec);
+
+// Naming scheme for the per-server files of one array. Concatenating the
+// per-server files of a BLOCK,*,..,* disk schema (ascending server) yields
+// the array in traditional row-major order — the paper's migration path.
+std::string DataFileName(const std::string& group, const std::string& array,
+                         Purpose purpose, int server_index);
+
+}  // namespace panda

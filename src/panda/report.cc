@@ -1,0 +1,75 @@
+#include "panda/report.h"
+
+#include "util/units.h"
+
+namespace panda {
+
+std::string MachineReport::ToString() const {
+  std::string out;
+  out += StrFormat("messages: %lld sent (%s on the wire)\n",
+                   static_cast<long long>(messages.messages_sent),
+                   FormatBytes(messages.bytes_sent).c_str());
+  for (size_t s = 0; s < server_fs.size(); ++s) {
+    const FsStats& fs = server_fs[s];
+    out += StrFormat(
+        "  io node %zu: %lld writes (%s), %lld reads (%s), %lld seeks, "
+        "%lld syncs, device busy %s\n",
+        s, static_cast<long long>(fs.writes),
+        FormatBytes(fs.bytes_written).c_str(),
+        static_cast<long long>(fs.reads),
+        FormatBytes(fs.bytes_read).c_str(),
+        static_cast<long long>(fs.seeks), static_cast<long long>(fs.syncs),
+        FormatSeconds(fs.busy_seconds).c_str());
+  }
+  double max_client = 0.0;
+  for (const double t : client_clock_s) max_client = std::max(max_client, t);
+  double max_server = 0.0;
+  for (const double t : server_clock_s) max_server = std::max(max_server, t);
+  out += StrFormat("clocks: max client %s, max server %s\n",
+                   FormatSeconds(max_client).c_str(),
+                   FormatSeconds(max_server).c_str());
+  return out;
+}
+
+MachineReport Snapshot(Machine& machine) {
+  MachineReport report;
+  report.messages = machine.transport().TotalStats();
+  for (int s = 0; s < machine.num_servers(); ++s) {
+    report.server_fs.push_back(machine.server_fs(s).stats());
+    report.server_clock_s.push_back(
+        machine.transport().endpoint(machine.server_rank(s)).clock().Now());
+  }
+  for (int c = 0; c < machine.num_clients(); ++c) {
+    report.client_clock_s.push_back(
+        machine.transport().endpoint(machine.client_rank(c)).clock().Now());
+  }
+  return report;
+}
+
+namespace {
+
+// Messages a binomial-tree gather or broadcast over n members moves.
+std::int64_t TreeMessages(int n) { return n - 1; }
+
+}  // namespace
+
+std::int64_t ExpectedCollectiveMessages(std::span<const ArrayMeta> arrays,
+                                        IoOp op, const World& world,
+                                        std::int64_t subchunk_bytes) {
+  std::int64_t pieces = 0;
+  for (const ArrayMeta& meta : arrays) {
+    const IoPlan plan(meta, world.num_servers, subchunk_bytes);
+    pieces += plan.TotalPieces();
+  }
+  std::int64_t total = 0;
+  total += 1;                                      // master client -> master server
+  total += TreeMessages(world.num_servers);       // request broadcast
+  total += 2 * pieces;                             // request+data / data+ack
+  total += TreeMessages(world.num_servers);       // completion gather
+  total += 1;                                      // done to master client
+  total += TreeMessages(world.num_clients);       // client done broadcast
+  (void)op;  // writes and reads move the same counts (the paper's point)
+  return total;
+}
+
+}  // namespace panda

@@ -1,0 +1,42 @@
+// Machine resource reports.
+//
+// Snapshots the transport and per-i/o-node file-system counters of a
+// Machine so benches and tests can account exactly where a collective's
+// traffic went: messages and wire bytes, disk requests, seeks, device
+// busy time. Also computes the analytic expected message count of a
+// collective from its plan — a strong protocol regression check (a
+// stray retransmission or a dropped acknowledgement changes the count).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "panda/plan.h"
+#include "panda/protocol.h"
+#include "panda/runtime.h"
+#include "sp2/machine.h"
+
+namespace panda {
+
+struct MachineReport {
+  MsgStats messages;                 // whole-transport totals
+  std::vector<FsStats> server_fs;    // per i/o node
+  std::vector<double> client_clock_s;
+  std::vector<double> server_clock_s;
+
+  std::string ToString() const;
+};
+
+// Snapshot of all counters (pass the world to split clocks by role).
+MachineReport Snapshot(Machine& machine);
+
+// The exact number of point-to-point messages one collective moves,
+// derived from the plan: request + server broadcast + per-piece traffic
+// (request+data for writes, data+ack for reads) + completion gather,
+// done, and client broadcast. ServerMain/PandaClient must match this
+// exactly (tests/report_test.cc).
+std::int64_t ExpectedCollectiveMessages(std::span<const ArrayMeta> arrays,
+                                        IoOp op, const World& world,
+                                        std::int64_t subchunk_bytes);
+
+}  // namespace panda

@@ -1,0 +1,84 @@
+// Role layout: which ranks are Panda clients and which are servers.
+//
+// Following the paper's architecture (Figure 1), a Panda application
+// dedicates `num_clients` compute nodes and `num_servers` i/o nodes.
+// The default layout is clients at ranks 0..C-1 (rank 0 = master
+// client) and servers at C..C+S-1 (rank C = master server).
+//
+// Mixed workloads (paper §5: "the impact of i/o node sharing on
+// i/o-intensive applications") are supported by windowed worlds: an
+// application's clients may start at any rank (`first_client`) and its
+// servers at any rank (`first_server`), so several applications can
+// share one set of i/o nodes — or run with dedicated disjoint sets.
+#pragma once
+
+#include "msg/collectives.h"
+#include "util/error.h"
+
+namespace panda {
+
+struct World {
+  int num_clients = 0;
+  int num_servers = 0;
+  int first_client = 0;
+  // -1 means "right after the clients" (the single-application default).
+  int first_server = -1;
+
+  int server_base() const {
+    return first_server < 0 ? first_client + num_clients : first_server;
+  }
+
+  int client_rank(int client_index) const {
+    return first_client + client_index;
+  }
+  int server_rank(int server_index) const {
+    return server_base() + server_index;
+  }
+  int master_client_rank() const { return first_client; }
+  int master_server_rank() const { return server_base(); }
+
+  bool is_client_rank(int rank) const {
+    return rank >= first_client && rank < first_client + num_clients;
+  }
+  bool is_server_rank(int rank) const {
+    return rank >= server_base() && rank < server_base() + num_servers;
+  }
+
+  // This rank's client index (rank must be a client rank).
+  int client_index(int rank) const {
+    PANDA_CHECK(is_client_rank(rank));
+    return rank - first_client;
+  }
+  int server_index(int rank) const {
+    PANDA_CHECK(is_server_rank(rank));
+    return rank - server_base();
+  }
+
+  Group ClientGroup(int my_rank) const {
+    return Group::Consecutive(first_client, num_clients, my_rank);
+  }
+  Group ServerGroup(int my_rank) const {
+    return Group::Consecutive(server_base(), num_servers, my_rank);
+  }
+
+  // The same servers serving a different application's client window.
+  World WithClients(int new_first_client, int new_num_clients) const {
+    World w = *this;
+    w.first_server = server_base();
+    w.first_client = new_first_client;
+    w.num_clients = new_num_clients;
+    return w;
+  }
+
+  void Validate() const {
+    PANDA_REQUIRE(num_clients >= 1 && num_servers >= 1,
+                  "a Panda world needs >=1 client and >=1 server");
+    PANDA_REQUIRE(first_client >= 0, "bad client window");
+    // Client and server windows must not overlap.
+    const int sb = server_base();
+    PANDA_REQUIRE(first_client + num_clients <= sb || sb + num_servers <= first_client,
+                  "client and server rank windows overlap");
+  }
+};
+
+}  // namespace panda

@@ -1,0 +1,97 @@
+#include "panda/schema_io.h"
+
+#include "util/error.h"
+
+namespace panda {
+
+namespace {
+constexpr std::uint32_t kMagic = 0x50414e44;  // "PAND"
+}
+
+std::vector<std::byte> GroupMeta::Encode() const {
+  std::vector<std::byte> out;
+  Encoder enc(out);
+  enc.Put<std::uint32_t>(kMagic);
+  enc.Put<std::uint32_t>(version);
+  enc.PutString(group);
+  enc.Put<std::int64_t>(timesteps);
+  enc.Put<std::uint8_t>(has_checkpoint ? 1 : 0);
+  enc.Put<std::int64_t>(checkpoint_seq);
+  enc.Put<std::int32_t>(static_cast<std::int32_t>(attributes.size()));
+  for (const auto& [key, value] : attributes) {
+    enc.PutString(key);
+    enc.PutString(value);
+  }
+  enc.Put<std::int32_t>(static_cast<std::int32_t>(arrays.size()));
+  for (const auto& a : arrays) a.EncodeTo(enc);
+  return out;
+}
+
+GroupMeta GroupMeta::Decode(std::span<const std::byte> bytes) {
+  Decoder dec(bytes);
+  PANDA_REQUIRE(dec.Get<std::uint32_t>() == kMagic,
+                "not a Panda group metadata file");
+  GroupMeta meta;
+  meta.version = dec.Get<std::uint32_t>();
+  PANDA_REQUIRE(meta.version == 1, "unsupported metadata version %u",
+                meta.version);
+  meta.group = dec.GetString();
+  meta.timesteps = dec.Get<std::int64_t>();
+  PANDA_REQUIRE(meta.timesteps >= 0, "negative timestep count in metadata");
+  meta.has_checkpoint = dec.Get<std::uint8_t>() != 0;
+  meta.checkpoint_seq = dec.Get<std::int64_t>();
+  PANDA_REQUIRE(meta.checkpoint_seq >= -1,
+                "bad checkpoint sequence in metadata");
+  const auto na = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(na >= 0 && na <= 4096, "bad attribute count in metadata");
+  for (int i = 0; i < na; ++i) {
+    std::string key = dec.GetString();
+    meta.attributes[std::move(key)] = dec.GetString();
+  }
+  const auto n = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(n >= 0 && n <= 4096, "bad array count in metadata");
+  meta.arrays.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) meta.arrays.push_back(ArrayMeta::Decode(dec));
+  PANDA_REQUIRE(dec.AtEnd(), "trailing bytes in metadata file");
+  return meta;
+}
+
+void WriteGroupMeta(FileSystem& fs, const std::string& path,
+                    const GroupMeta& meta) {
+  const auto bytes = meta.Encode();
+  auto file = fs.Open(path, OpenMode::kWrite);
+  file->WriteAt(0, {bytes.data(), bytes.size()},
+                static_cast<std::int64_t>(bytes.size()));
+  file->Sync();
+}
+
+GroupMeta ReadGroupMeta(FileSystem& fs, const std::string& path) {
+  PANDA_REQUIRE(fs.Exists(path), "group metadata file %s does not exist",
+                path.c_str());
+  auto file = fs.Open(path, OpenMode::kRead);
+  const std::int64_t size = file->Size();
+  std::vector<std::byte> bytes(static_cast<size_t>(size));
+  file->ReadAt(0, {bytes.data(), bytes.size()}, size);
+  return GroupMeta::Decode(bytes);
+}
+
+void UpdateGroupMeta(FileSystem& fs, const CollectiveRequest& req) {
+  GroupMeta meta;
+  if (fs.Exists(req.meta_file)) {
+    meta = ReadGroupMeta(fs, req.meta_file);
+  }
+  meta.group = req.group;
+  meta.arrays = req.arrays;
+  for (const auto& [key, value] : req.attributes) {
+    meta.attributes[key] = value;  // merge; newer values win
+  }
+  if (req.purpose == Purpose::kTimestep) {
+    meta.timesteps = std::max(meta.timesteps, req.seq + 1);
+  } else if (req.purpose == Purpose::kCheckpoint) {
+    meta.has_checkpoint = true;
+    meta.checkpoint_seq = req.seq;
+  }
+  WriteGroupMeta(fs, req.meta_file, meta);
+}
+
+}  // namespace panda

@@ -1,0 +1,64 @@
+// Panda on sequential platforms.
+//
+// The paper (§1, §5): Panda 2.0 runs "on parallel and sequential
+// platforms" — the same array files serve parallel producers and
+// sequential consumers (visualizers, post-processing). This module is
+// that sequential side: one process holds a whole array in memory and
+// moves it to/from the per-i/o-node files through the *same* IoPlan and
+// packing kernels as the parallel library, with no message passing.
+// Files written here are byte-identical to the parallel library's, and
+// vice versa (tests/sequential_test.cc proves both directions).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "iosim/file_system.h"
+#include "panda/plan.h"
+#include "panda/protocol.h"
+#include "sp2/params.h"
+
+namespace panda {
+
+class SequentialPanda {
+ public:
+  // `server_fs[i]` plays i/o node i; the set and order must match the
+  // parallel configuration that shares the files. Pointers must outlive
+  // this object.
+  SequentialPanda(std::vector<FileSystem*> server_fs, Sp2Params params);
+
+  int num_servers() const { return static_cast<int>(fs_.size()); }
+
+  // Writes the whole array (row-major in `data`) under `meta`'s disk
+  // schema. `meta.memory` is ignored — the sequential platform holds
+  // the full array.
+  void Write(const ArrayMeta& meta, std::span<const std::byte> data,
+             Purpose purpose = Purpose::kGeneral, std::int64_t seq = 0,
+             const std::string& group = "");
+
+  // Reads the whole array into `data` (must be total_bytes() long).
+  void Read(const ArrayMeta& meta, std::span<std::byte> data,
+            Purpose purpose = Purpose::kGeneral, std::int64_t seq = 0,
+            const std::string& group = "");
+
+  // Convenience: allocate-and-read.
+  std::vector<std::byte> ReadWhole(const ArrayMeta& meta,
+                                   Purpose purpose = Purpose::kGeneral,
+                                   std::int64_t seq = 0,
+                                   const std::string& group = "");
+
+  // Subarray read for sequential consumers (a visualizer pulling one
+  // slice): returns `region`'s elements as a dense row-major buffer,
+  // touching only the sub-chunks the region intersects on disk.
+  std::vector<std::byte> ReadSubarray(const ArrayMeta& meta,
+                                      const Region& region,
+                                      Purpose purpose = Purpose::kGeneral,
+                                      std::int64_t seq = 0,
+                                      const std::string& group = "");
+
+ private:
+  std::vector<FileSystem*> fs_;
+  Sp2Params params_;
+};
+
+}  // namespace panda

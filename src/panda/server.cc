@@ -1,0 +1,352 @@
+#include "panda/server.h"
+
+#include <algorithm>
+
+#include "mdarray/strided_copy.h"
+#include "panda/schema_io.h"
+#include "util/logging.h"
+
+namespace panda {
+namespace {
+
+// Write-behind accounting: in overlap mode the disk works in the
+// background while the server gathers the next sub-chunk, so a write
+// only delays the server when the device is still busy.
+class DiskWriteScheduler {
+ public:
+  DiskWriteScheduler(Endpoint& ep, bool overlap) : ep_(ep), overlap_(overlap) {}
+
+  // Issues `write_fn` (which charges the endpoint clock through the
+  // simulated FS) and, in overlap mode, converts the charge into device
+  // busy time instead of caller delay.
+  template <typename Fn>
+  void Write(Fn&& write_fn) {
+    const double before = ep_.clock().Now();
+    write_fn();
+    if (!overlap_) return;
+    const double cost = ep_.clock().Now() - before;
+    ep_.clock().Reset(before);  // caller does not block...
+    const double start = std::max(before, busy_until_);
+    busy_until_ = start + cost;  // ...but the device stays busy
+  }
+
+  // The collective cannot complete before the device drains.
+  void Drain() {
+    if (overlap_) ep_.clock().SyncTo(busy_until_);
+  }
+
+ private:
+  Endpoint& ep_;
+  bool overlap_;
+  double busy_until_ = 0.0;
+};
+
+OpenMode WriteOpenMode(Purpose purpose, std::int64_t seq) {
+  if (purpose == Purpose::kTimestep && seq > 0) return OpenMode::kReadWrite;
+  return OpenMode::kWrite;
+}
+
+std::int64_t BaseOffset(const IoPlan& plan, Purpose purpose, std::int64_t seq,
+                        int server_index) {
+  // Timestep output appends one segment per timestep; everything else
+  // starts at the beginning of the file.
+  if (purpose == Purpose::kTimestep) {
+    return seq * plan.SegmentBytes(server_index);
+  }
+  return 0;
+}
+
+void ValidateHeader(const PieceHeader& h, std::int32_t array_index,
+                    const ClientStep& step, const Region& region) {
+  PANDA_REQUIRE(h.array_index == array_index && h.chunk_index == step.chunk_index &&
+                    h.sub_index == step.sub_index &&
+                    h.piece_index == step.piece_index && h.region == region,
+                "piece header does not match the local plan: plans diverged "
+                "(got array=%d chunk=%d sub=%d piece=%d %s)",
+                h.array_index, h.chunk_index, h.sub_index, h.piece_index,
+                h.region.ToString().c_str());
+}
+
+void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
+                      const Sp2Params& params, const CollectiveRequest& req,
+                      std::int32_t array_index, const IoPlan& plan,
+                      DiskWriteScheduler& disk, bool pipeline_requests,
+                      std::vector<std::pair<std::string, std::string>>&
+                          pending_renames) {
+  const int sidx = world.server_index(ep.rank());
+  const ArrayMeta& meta = req.arrays[static_cast<size_t>(array_index)];
+  const bool timing = ep.timing_only();
+  const std::int64_t base = BaseOffset(plan, req.purpose, req.seq, sidx);
+
+  // Checkpoints are published atomically: written to a temporary file
+  // and renamed over the previous checkpoint only after every server
+  // has finished its data and fsync (two-phase commit, see
+  // ServerExecute), so a crash mid-checkpoint can never leave a mix of
+  // old and new checkpoint files.
+  const std::string final_name =
+      DataFileName(req.group, meta.name, req.purpose, sidx);
+  const std::string write_name =
+      req.purpose == Purpose::kCheckpoint ? final_name + ".tmp" : final_name;
+  if (req.purpose == Purpose::kCheckpoint) {
+    pending_renames.emplace_back(write_name, final_name);
+  }
+
+  if (plan.ChunksOfServer(sidx).empty() && req.purpose != Purpose::kTimestep) {
+    // Still create the (empty) file so concatenation scripts see a
+    // complete set of per-server files.
+    fs.Open(write_name, WriteOpenMode(req.purpose, req.seq));
+    return;
+  }
+
+  auto file = fs.Open(write_name, WriteOpenMode(req.purpose, req.seq));
+
+  // Flatten this server's work list: (chunk index, sub-chunk index).
+  std::vector<std::pair<int, int>> work;
+  for (const int ci : plan.ChunksOfServer(sidx)) {
+    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
+      work.emplace_back(ci, static_cast<int>(si));
+    }
+  }
+
+  // Server-directed: request every piece of sub-chunk `k`.
+  auto send_requests = [&](size_t k) {
+    const auto [ci, si] = work[k];
+    const SubchunkPlan& sp =
+        plan.chunks()[static_cast<size_t>(ci)].subchunks[static_cast<size_t>(si)];
+    for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
+      Message request;
+      Encoder enc(request.header);
+      PieceHeader{array_index, ci, si, static_cast<std::int32_t>(pi),
+                  sp.pieces[pi].region}
+          .EncodeTo(enc);
+      ep.Send(world.client_rank(sp.pieces[pi].client), kTagPieceRequest,
+              std::move(request));
+    }
+  };
+
+  // With request pipelining, sub-chunk k+1's requests go out before
+  // sub-chunk k's data is consumed, so the clients' packing and the
+  // request round trip overlap the current gather and disk write.
+  if (pipeline_requests && !work.empty()) send_requests(0);
+
+  std::vector<std::byte> buf;
+  for (size_t k = 0; k < work.size(); ++k) {
+    const auto [ci, si] = work[k];
+    const SubchunkPlan& sp =
+        plan.chunks()[static_cast<size_t>(ci)].subchunks[static_cast<size_t>(si)];
+    if (!pipeline_requests) {
+      send_requests(k);
+    } else if (k + 1 < work.size()) {
+      send_requests(k + 1);
+    }
+    // Assemble the sub-chunk in traditional array order.
+    if (!timing) buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
+    for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
+      const PiecePlan& piece = sp.pieces[pi];
+      Message data = ep.Recv(world.client_rank(piece.client), kTagPieceData);
+      Decoder dec(data.header);
+      ValidateHeader(PieceHeader::Decode(dec), array_index,
+                     {ci, si, static_cast<int>(pi)}, piece.region);
+      if (!piece.contiguous_in_subchunk) {
+        ep.AdvanceCompute(static_cast<double>(piece.bytes) /
+                          params.memcpy_Bps);
+      }
+      if (!timing) {
+        PANDA_REQUIRE(
+            static_cast<std::int64_t>(data.payload.size()) == piece.bytes,
+            "piece payload size mismatch");
+        UnpackRegion({buf.data(), buf.size()}, sp.region,
+                     {data.payload.data(), data.payload.size()}, piece.region,
+                     static_cast<size_t>(meta.elem_size));
+      } else {
+        PANDA_REQUIRE(data.payload_vbytes == piece.bytes,
+                      "piece virtual size mismatch");
+      }
+    }
+    disk.Write([&] {
+      file->WriteAt(base + sp.file_offset, {buf.data(), buf.size()},
+                    sp.bytes);
+    });
+  }
+  disk.Drain();
+  // The paper flushes every collective write with fsync.
+  file->Sync();
+}
+
+void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
+                     const Sp2Params& params, const CollectiveRequest& req,
+                     std::int32_t array_index, const IoPlan& plan) {
+  const int sidx = world.server_index(ep.rank());
+  const ArrayMeta& meta = req.arrays[static_cast<size_t>(array_index)];
+  const bool timing = ep.timing_only();
+  const std::int64_t base = BaseOffset(plan, req.purpose, req.seq, sidx);
+
+  if (plan.ChunksOfServer(sidx).empty()) return;
+
+  auto file = fs.Open(DataFileName(req.group, meta.name, req.purpose, sidx),
+                      OpenMode::kRead);
+
+  std::vector<std::byte> buf;
+  for (const int ci : plan.ChunksOfServer(sidx)) {
+    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
+      const SubchunkPlan& sp = cp.subchunks[si];
+      // Sub-chunks fully outside a subarray clip: no disk access at all.
+      if (!sp.active) continue;
+      // Sequential read of the sub-chunk...
+      if (!timing) buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
+      file->ReadAt(base + sp.file_offset, {buf.data(), buf.size()}, sp.bytes);
+      // ...then scatter its pieces to the clients that need them.
+      for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
+        const PiecePlan& piece = sp.pieces[pi];
+        if (!piece.contiguous_in_subchunk) {
+          ep.AdvanceCompute(static_cast<double>(piece.bytes) /
+                            params.memcpy_Bps);
+        }
+        Message data;
+        Encoder enc(data.header);
+        PieceHeader{array_index, ci, static_cast<std::int32_t>(si),
+                    static_cast<std::int32_t>(pi), piece.region}
+            .EncodeTo(enc);
+        if (!timing) {
+          std::vector<std::byte> payload(static_cast<size_t>(piece.bytes));
+          PackRegion({payload.data(), payload.size()},
+                     {buf.data(), buf.size()}, sp.region, piece.region,
+                     static_cast<size_t>(meta.elem_size));
+          data.SetPayload(std::move(payload));
+        } else {
+          data.SetVirtualPayload(piece.bytes);
+        }
+        ep.Send(world.client_rank(piece.client), kTagPieceData,
+                std::move(data));
+        // Per-piece flow control: wait for the client's acknowledgement
+        // before pushing more. This bounds client-side buffering and
+        // makes the read path's message count mirror the write path's
+        // (request+data), matching the paper's observation that reads
+        // and writes move essentially identical message traffic.
+        (void)ep.Recv(world.client_rank(piece.client), kTagPieceAck);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
+                   const Sp2Params& params, const CollectiveRequest& req,
+                   ServerOptions options, PlanCache* plan_cache) {
+  PlanCache local_cache(4);
+  if (plan_cache == nullptr) plan_cache = &local_cache;
+  const int sidx = world.server_index(ep.rank());
+  // Digest the request and form the local plan.
+  ep.AdvanceCompute(params.plan_compute_s);
+  DiskWriteScheduler disk(ep, options.overlap_io);
+  // Checkpoint files staged for two-phase commit (see below).
+  std::vector<std::pair<std::string, std::string>> pending_renames;
+  PANDA_REQUIRE(!req.has_subarray || req.op == IoOp::kRead,
+                "subarray access is only supported for reads");
+  for (std::int32_t ai = 0; ai < static_cast<std::int32_t>(req.arrays.size());
+       ++ai) {
+    const std::shared_ptr<const IoPlan> plan_ptr = plan_cache->Get(
+        req.arrays[static_cast<size_t>(ai)], world.num_servers,
+        params.subchunk_bytes, req.has_subarray ? &req.subarray : nullptr);
+    const IoPlan& plan = *plan_ptr;
+    PANDA_REQUIRE(
+        plan.chunks().empty() ||
+            req.arrays[static_cast<size_t>(ai)].memory.mesh().size() ==
+                world.num_clients,
+        "array '%s' memory mesh has %d positions but the world has %d clients",
+        req.arrays[static_cast<size_t>(ai)].name.c_str(),
+        req.arrays[static_cast<size_t>(ai)].memory.mesh().size(),
+        world.num_clients);
+    if (req.op == IoOp::kWrite) {
+      ServerWriteArray(ep, fs, world, params, req, ai, plan, disk,
+                       options.pipeline_requests, pending_renames);
+    } else {
+      ServerReadArray(ep, fs, world, params, req, ai, plan);
+    }
+  }
+  // Two-phase checkpoint commit: publish the staged files only after
+  // *every* server finished writing and syncing its temporaries, so a
+  // server crash during the data phase leaves the previous checkpoint
+  // complete on all i/o nodes (no old/new mix). The commit point is the
+  // barrier; the rename window after it is metadata-only.
+  if (!pending_renames.empty()) {
+    Barrier(ep, world.ServerGroup(ep.rank()));
+    for (const auto& [from, to] : pending_renames) {
+      fs.Rename(from, to);
+    }
+  }
+  // Group metadata: the master server records the schemas so consumers
+  // (and restarts) can interpret the files without the application.
+  // (Skipped in timing-only sweeps: metadata needs real bytes.)
+  if (req.op == IoOp::kWrite && sidx == 0 && !req.meta_file.empty() &&
+      !ep.timing_only()) {
+    UpdateGroupMeta(fs, req);
+  }
+}
+
+void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
+                const Sp2Params& params, ServerOptions options) {
+  world.Validate();
+  const int sidx = world.server_index(ep.rank());
+  PANDA_CHECK_MSG(world.is_server_rank(ep.rank()),
+                  "ServerMain called on non-server rank %d", ep.rank());
+  const Group servers = world.ServerGroup(ep.rank());
+  PlanCache plan_cache;
+
+  int live_applications = options.num_applications;
+  while (live_applications > 0) {
+    Message request_msg;
+    if (sidx == 0) {
+      // Any application's master client may request next; the broadcast
+      // imposes one global order on all servers.
+      request_msg = ep.RecvAny(kTagCollectiveRequest);
+    }
+    request_msg = Bcast(ep, servers, 0, std::move(request_msg));
+    const CollectiveRequest req = CollectiveRequest::FromMessage(request_msg);
+    if (req.op == IoOp::kShutdown) {
+      PANDA_DEBUG("server %d: application at rank %d shut down", sidx,
+                  req.first_client);
+      --live_applications;
+      continue;
+    }
+    if (req.op == IoOp::kQueryMeta) {
+      // Metadata query: the master server answers from its .schema file
+      // (resume support); the other servers only observed the broadcast.
+      if (sidx == 0) {
+        Message reply;
+        Encoder enc(reply.header);
+        if (!ep.timing_only() && !req.meta_file.empty() &&
+            fs.Exists(req.meta_file)) {
+          enc.Put<std::uint8_t>(1);
+          const GroupMeta meta = ReadGroupMeta(fs, req.meta_file);
+          enc.PutBytes(meta.Encode());
+        } else {
+          enc.Put<std::uint8_t>(0);  // absent
+        }
+        ep.Send(req.first_client, kTagServerDone, std::move(reply));
+      }
+      continue;
+    }
+
+    // Serve the request against the requesting application's client
+    // window (the servers themselves are shared).
+    const World app_world = world.WithClients(req.first_client,
+                                              req.num_clients);
+    ServerExecute(ep, fs, app_world, params, req, options, &plan_cache);
+
+    // Completion: servers gather to the master server, which notifies
+    // the requesting application's master client. (Gather-only: servers
+    // need no release — they fall straight back into the next request
+    // broadcast.)
+    GatherSync(ep, servers);
+    if (sidx == 0) {
+      ep.Send(app_world.master_client_rank(), kTagServerDone, Message{});
+    }
+  }
+  PANDA_DEBUG("server %d shutting down", sidx);
+}
+
+}  // namespace panda

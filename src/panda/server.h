@@ -1,0 +1,49 @@
+// The Panda server: one per i/o node.
+//
+// A server loops on collective requests. For each write collective it
+// assembles its round-robin-assigned chunks sub-chunk by sub-chunk,
+// *pulling* pieces from the clients that hold them, and writes each
+// assembled sub-chunk sequentially to its local file system — this is
+// server-directed i/o. Reads run the mirror protocol: sequential reads
+// from disk, pieces pushed to clients.
+#pragma once
+
+#include "iosim/file_system.h"
+#include "msg/transport.h"
+#include "panda/plan.h"
+#include "panda/plan_cache.h"
+#include "panda/protocol.h"
+#include "panda/runtime.h"
+#include "sp2/params.h"
+
+namespace panda {
+
+struct ServerOptions {
+  // When true, disk writes are overlapped with gathering the next
+  // sub-chunk (write-behind). The paper's Figure 9 discussion names
+  // non-blocking rearrangement as future work; this implements the
+  // disk half of that overlap as an ablation toggle.
+  bool overlap_io = false;
+  // When true, the server requests sub-chunk n+1's pieces before
+  // receiving sub-chunk n's data (one sub-chunk of lookahead, one extra
+  // buffer), overlapping the clients' packing and the request round
+  // trip with the current gather/write — the communication half of the
+  // paper's "non-blocking communication" suggestion. Write path only.
+  bool pipeline_requests = false;
+  // Number of applications sharing these i/o nodes (mixed workloads,
+  // paper §5). The server loop exits after this many shutdown requests.
+  int num_applications = 1;
+};
+
+// Runs the server loop on an i/o-node rank until a shutdown request
+// arrives. `fs` is this node's local file system.
+void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
+                const Sp2Params& params, ServerOptions options = {});
+
+// Executes a single collective on the server side (exposed for tests
+// that drive one operation without the loop). `plan_cache` may be null.
+void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
+                   const Sp2Params& params, const CollectiveRequest& req,
+                   ServerOptions options = {}, PlanCache* plan_cache = nullptr);
+
+}  // namespace panda

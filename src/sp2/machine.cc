@@ -1,0 +1,90 @@
+#include "sp2/machine.h"
+
+#include "util/error.h"
+
+namespace panda {
+
+Machine::Machine(int num_clients, int num_servers, Sp2Params params)
+    : num_clients_(num_clients), num_servers_(num_servers), params_(params) {
+  PANDA_REQUIRE(num_clients >= 1, "need at least one compute node");
+  PANDA_REQUIRE(num_servers >= 1, "need at least one i/o node");
+}
+
+Machine Machine::Simulated(int num_clients, int num_servers, Sp2Params params,
+                           bool store_data, bool timing_only) {
+  Machine m(num_clients, num_servers, params);
+  ThreadTransport::Config cfg;
+  cfg.net = params.net;
+  cfg.timing_only = timing_only;
+  m.transport_ =
+      std::make_unique<ThreadTransport>(num_clients + num_servers, cfg);
+  for (int s = 0; s < num_servers; ++s) {
+    SimFileSystem::Options opt;
+    opt.disk = params.disk;
+    opt.store_data = store_data;
+    // Each server's FS charges that server's virtual clock.
+    opt.clock = &m.transport_->endpoint(m.server_rank(s)).clock();
+    m.server_fs_.push_back(std::make_unique<SimFileSystem>(opt));
+  }
+  return m;
+}
+
+Machine Machine::SimulatedMultiDisk(int num_clients, int num_servers,
+                                    Sp2Params params, int disks_per_node,
+                                    std::int64_t stripe_bytes,
+                                    bool store_data, bool timing_only) {
+  Machine m(num_clients, num_servers, params);
+  ThreadTransport::Config cfg;
+  cfg.net = params.net;
+  cfg.timing_only = timing_only;
+  m.transport_ =
+      std::make_unique<ThreadTransport>(num_clients + num_servers, cfg);
+  for (int s = 0; s < num_servers; ++s) {
+    StripedFileSystem::Options opt;
+    opt.num_disks = disks_per_node;
+    opt.stripe_bytes = stripe_bytes;
+    opt.disk = params.disk;
+    opt.store_data = store_data;
+    opt.clock = &m.transport_->endpoint(m.server_rank(s)).clock();
+    m.server_fs_.push_back(std::make_unique<StripedFileSystem>(opt));
+  }
+  return m;
+}
+
+Machine Machine::WithPosixFs(int num_clients, int num_servers,
+                             Sp2Params params, const std::string& root) {
+  Machine m(num_clients, num_servers, params);
+  ThreadTransport::Config cfg;
+  cfg.net = params.net;
+  cfg.timing_only = false;
+  m.transport_ =
+      std::make_unique<ThreadTransport>(num_clients + num_servers, cfg);
+  for (int s = 0; s < num_servers; ++s) {
+    m.server_fs_.push_back(
+        std::make_unique<PosixFileSystem>(root + "/ionode" + std::to_string(s)));
+  }
+  return m;
+}
+
+FileSystem& Machine::server_fs(int s) {
+  PANDA_CHECK(s >= 0 && s < num_servers_);
+  return *server_fs_[static_cast<size_t>(s)];
+}
+
+void Machine::Run(const std::function<void(Endpoint&, int)>& client_main,
+                  const std::function<void(Endpoint&, int)>& server_main) {
+  transport_->Run([&](Endpoint& ep) {
+    if (ep.rank() < num_clients_) {
+      client_main(ep, ep.rank());
+    } else {
+      server_main(ep, ep.rank() - num_clients_);
+    }
+  });
+}
+
+void Machine::ResetClocksAndStats() {
+  transport_->ResetClocksAndStats();
+  for (auto& fs : server_fs_) fs->ResetStats();
+}
+
+}  // namespace panda

@@ -1,0 +1,79 @@
+// Cluster assembly: transport + per-i/o-node file systems + role layout.
+//
+// A Machine is the reproduction's stand-in for "a partition of the NAS
+// SP2": `num_clients` compute nodes followed by `num_servers` i/o nodes,
+// each i/o node owning its own AIX-like file system (the SP2 at NAS had
+// no parallel file system — Panda used the local AIX FS of each i/o
+// node; we replicate that: one FileSystem instance per server).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "iosim/file_system.h"
+#include "iosim/posix_fs.h"
+#include "iosim/sim_fs.h"
+#include "iosim/striped_fs.h"
+#include "msg/transport.h"
+#include "sp2/params.h"
+
+namespace panda {
+
+class Machine {
+ public:
+  // Simulated machine for timing sweeps and simulation-backed tests.
+  // `store_data` keeps file contents in memory (functional sim).
+  static Machine Simulated(int num_clients, int num_servers, Sp2Params params,
+                           bool store_data, bool timing_only);
+
+  // Machine over real POSIX directories (one per server) under `root`;
+  // used by functional tests and example programs. Timing parameters are
+  // still applied to the transport (harmless) but disk time is not
+  // modeled.
+  static Machine WithPosixFs(int num_clients, int num_servers,
+                             Sp2Params params, const std::string& root);
+
+  // Simulated machine whose i/o nodes each have `disks_per_node` local
+  // disks with files striped across them (StripedFileSystem) — the
+  // multi-disk hardware upgrade explored by bench_multidisk.
+  static Machine SimulatedMultiDisk(int num_clients, int num_servers,
+                                    Sp2Params params, int disks_per_node,
+                                    std::int64_t stripe_bytes,
+                                    bool store_data, bool timing_only);
+
+  int num_clients() const { return num_clients_; }
+  int num_servers() const { return num_servers_; }
+  const Sp2Params& params() const { return params_; }
+
+  ThreadTransport& transport() { return *transport_; }
+
+  // File system of server `s` (0-based server index).
+  FileSystem& server_fs(int s);
+
+  // Runs `client_main(endpoint, client_index)` on client ranks and
+  // `server_main(endpoint, server_index)` on server ranks.
+  void Run(const std::function<void(Endpoint&, int)>& client_main,
+           const std::function<void(Endpoint&, int)>& server_main);
+
+  // Rank layout helpers.
+  int client_rank(int client_index) const { return client_index; }
+  int server_rank(int server_index) const {
+    return num_clients_ + server_index;
+  }
+
+  // Clears virtual clocks and message/FS statistics between repetitions.
+  void ResetClocksAndStats();
+
+ private:
+  Machine(int num_clients, int num_servers, Sp2Params params);
+
+  int num_clients_;
+  int num_servers_;
+  Sp2Params params_;
+  std::unique_ptr<ThreadTransport> transport_;
+  std::vector<std::unique_ptr<FileSystem>> server_fs_;
+};
+
+}  // namespace panda

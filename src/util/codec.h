@@ -1,0 +1,89 @@
+// Byte-stream encoding for Panda's wire protocol and metadata files.
+//
+// Fixed little-endian encoding of scalar values, length-prefixed strings
+// and vectors. Decoding validates bounds and throws PandaError on
+// truncated or corrupt input, so a damaged .schema file or a protocol
+// bug fails loudly instead of corrupting arrays.
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <span>
+#include <string>
+#include <type_traits>
+#include <vector>
+
+#include "util/error.h"
+
+namespace panda {
+
+class Encoder {
+ public:
+  // Appends to `out`; the caller owns the buffer.
+  explicit Encoder(std::vector<std::byte>& out) : out_(out) {}
+
+  template <typename T>
+  void Put(T value) {
+    static_assert(std::is_trivially_copyable_v<T>);
+    const size_t n = out_.size();
+    out_.resize(n + sizeof(T));
+    std::memcpy(out_.data() + n, &value, sizeof(T));
+  }
+
+  void PutString(const std::string& s) {
+    Put<std::uint32_t>(static_cast<std::uint32_t>(s.size()));
+    const size_t n = out_.size();
+    out_.resize(n + s.size());
+    std::memcpy(out_.data() + n, s.data(), s.size());
+  }
+
+  void PutBytes(std::span<const std::byte> bytes) {
+    const size_t n = out_.size();
+    out_.resize(n + bytes.size());
+    std::memcpy(out_.data() + n, bytes.data(), bytes.size());
+  }
+
+ private:
+  std::vector<std::byte>& out_;
+};
+
+class Decoder {
+ public:
+  explicit Decoder(std::span<const std::byte> data) : data_(data) {}
+
+  template <typename T>
+  T Get() {
+    static_assert(std::is_trivially_copyable_v<T>);
+    PANDA_REQUIRE(pos_ + sizeof(T) <= data_.size(),
+                  "decode past end of buffer (at %zu of %zu)", pos_,
+                  data_.size());
+    T value;
+    std::memcpy(&value, data_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return value;
+  }
+
+  std::string GetString() {
+    const auto n = Get<std::uint32_t>();
+    PANDA_REQUIRE(pos_ + n <= data_.size(), "decode past end of buffer");
+    std::string s(reinterpret_cast<const char*>(data_.data() + pos_), n);
+    pos_ += n;
+    return s;
+  }
+
+  std::span<const std::byte> GetBytes(size_t n) {
+    PANDA_REQUIRE(pos_ + n <= data_.size(), "decode past end of buffer");
+    auto view = data_.subspan(pos_, n);
+    pos_ += n;
+    return view;
+  }
+
+  bool AtEnd() const { return pos_ == data_.size(); }
+  size_t remaining() const { return data_.size() - pos_; }
+
+ private:
+  std::span<const std::byte> data_;
+  size_t pos_ = 0;
+};
+
+}  // namespace panda

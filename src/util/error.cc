@@ -1,0 +1,36 @@
+#include "util/error.h"
+
+#include <cstdarg>
+#include <cstdio>
+#include <cstdlib>
+
+namespace panda {
+
+std::string StrFormat(const char* fmt, ...) {
+  va_list ap;
+  va_start(ap, fmt);
+  va_list ap2;
+  va_copy(ap2, ap);
+  const int n = std::vsnprintf(nullptr, 0, fmt, ap);
+  va_end(ap);
+  std::string out;
+  if (n > 0) {
+    out.resize(static_cast<size_t>(n));
+    std::vsnprintf(out.data(), out.size() + 1, fmt, ap2);
+  }
+  va_end(ap2);
+  return out;
+}
+
+namespace detail {
+
+void CheckFailed(const char* expr, const char* file, int line,
+                 const std::string& msg) {
+  std::fprintf(stderr, "PANDA_CHECK failed: %s at %s:%d %s\n", expr, file,
+               line, msg.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace detail
+}  // namespace panda

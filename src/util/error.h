@@ -1,0 +1,56 @@
+// Error handling primitives for the Panda library.
+//
+// Panda follows the C++ Core Guidelines convention: programming errors
+// (violated preconditions, corrupted invariants) abort via PANDA_CHECK;
+// runtime failures that a caller can reasonably handle (bad user schemas,
+// I/O failures) throw PandaError.
+#pragma once
+
+#include <stdexcept>
+#include <string>
+
+namespace panda {
+
+// Exception thrown for recoverable runtime failures: invalid schemas,
+// file-system errors, protocol violations detected at run time.
+class PandaError : public std::runtime_error {
+ public:
+  explicit PandaError(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+// Aborts with a diagnostic; used by PANDA_CHECK. Never returns.
+[[noreturn]] void CheckFailed(const char* expr, const char* file, int line,
+                              const std::string& msg);
+}  // namespace detail
+
+// Formats a message with printf-like semantics into a std::string.
+std::string StrFormat(const char* fmt, ...) __attribute__((format(printf, 1, 2)));
+
+}  // namespace panda
+
+// Invariant check that stays enabled in release builds. Panda is a library
+// whose correctness claims (byte-exact array round trips) matter more than
+// the last few percent of CPU; checks are cheap relative to I/O.
+#define PANDA_CHECK(expr)                                                  \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::panda::detail::CheckFailed(#expr, __FILE__, __LINE__, "");         \
+    }                                                                      \
+  } while (0)
+
+#define PANDA_CHECK_MSG(expr, ...)                                         \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      ::panda::detail::CheckFailed(#expr, __FILE__, __LINE__,              \
+                                   ::panda::StrFormat(__VA_ARGS__));       \
+    }                                                                      \
+  } while (0)
+
+// Throws PandaError when a user-facing condition does not hold.
+#define PANDA_REQUIRE(expr, ...)                                           \
+  do {                                                                     \
+    if (!(expr)) {                                                         \
+      throw ::panda::PandaError(::panda::StrFormat(__VA_ARGS__));          \
+    }                                                                      \
+  } while (0)

@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace panda {
+namespace detail {
+
+std::atomic<int> g_log_level{static_cast<int>(LogLevel::kWarn)};
+
+namespace {
+std::mutex g_log_mutex;
+
+const char* LevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarn:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+}  // namespace
+
+void LogMessage(LogLevel level, const std::string& msg) {
+  std::lock_guard<std::mutex> lock(g_log_mutex);
+  std::fprintf(stderr, "[panda %s] %s\n", LevelName(level), msg.c_str());
+}
+
+}  // namespace detail
+
+void SetLogLevel(LogLevel level) {
+  detail::g_log_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(
+      detail::g_log_level.load(std::memory_order_relaxed));
+}
+
+}  // namespace panda

@@ -1,0 +1,39 @@
+// Minimal leveled logger.
+//
+// Panda is a library: by default it is silent (level kWarn). Tests and
+// the bench harness raise the level for diagnosis. Logging is guarded by
+// a global atomic level check so disabled statements cost one load.
+#pragma once
+
+#include <atomic>
+#include <string>
+
+#include "util/error.h"
+
+namespace panda {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+// Sets / reads the global log threshold. Messages below it are dropped.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace detail {
+extern std::atomic<int> g_log_level;
+void LogMessage(LogLevel level, const std::string& msg);
+}  // namespace detail
+
+}  // namespace panda
+
+#define PANDA_LOG(level, ...)                                                \
+  do {                                                                       \
+    if (static_cast<int>(level) >=                                           \
+        ::panda::detail::g_log_level.load(std::memory_order_relaxed)) {     \
+      ::panda::detail::LogMessage(level, ::panda::StrFormat(__VA_ARGS__));   \
+    }                                                                        \
+  } while (0)
+
+#define PANDA_DEBUG(...) PANDA_LOG(::panda::LogLevel::kDebug, __VA_ARGS__)
+#define PANDA_INFO(...) PANDA_LOG(::panda::LogLevel::kInfo, __VA_ARGS__)
+#define PANDA_WARN(...) PANDA_LOG(::panda::LogLevel::kWarn, __VA_ARGS__)
+#define PANDA_ERROR(...) PANDA_LOG(::panda::LogLevel::kError, __VA_ARGS__)

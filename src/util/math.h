@@ -1,0 +1,20 @@
+// Small integer helpers used throughout the array-geometry code.
+#pragma once
+
+#include <cstdint>
+
+#include "util/error.h"
+
+namespace panda {
+
+// ceil(a / b) for non-negative a and positive b.
+constexpr std::int64_t CeilDiv(std::int64_t a, std::int64_t b) {
+  return (a + b - 1) / b;
+}
+
+// Rounds `a` up to the next multiple of `b` (b > 0).
+constexpr std::int64_t AlignUp(std::int64_t a, std::int64_t b) {
+  return CeilDiv(a, b) * b;
+}
+
+}  // namespace panda

@@ -1,0 +1,74 @@
+#include "util/options.h"
+
+#include <cstdlib>
+
+#include "util/error.h"
+
+namespace panda {
+
+Options::Options(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else {
+      values_[arg] = "true";  // bare flag
+    }
+  }
+}
+
+std::string Options::GetString(const std::string& name,
+                               const std::string& def) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  return it == values_.end() ? def : it->second;
+}
+
+std::int64_t Options::GetInt(const std::string& name, std::int64_t def) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  PANDA_REQUIRE(end != nullptr && *end == '\0', "option --%s=%s is not an integer",
+                name.c_str(), it->second.c_str());
+  return v;
+}
+
+double Options::GetDouble(const std::string& name, double def) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  PANDA_REQUIRE(end != nullptr && *end == '\0', "option --%s=%s is not a number",
+                name.c_str(), it->second.c_str());
+  return v;
+}
+
+bool Options::GetBool(const std::string& name, bool def) {
+  consumed_[name] = true;
+  const auto it = values_.find(name);
+  if (it == values_.end()) return def;
+  const std::string& v = it->second;
+  if (v == "true" || v == "1" || v == "yes") return true;
+  if (v == "false" || v == "0" || v == "no") return false;
+  throw PandaError(StrFormat("option --%s=%s is not a boolean", name.c_str(),
+                             v.c_str()));
+}
+
+void Options::CheckAllConsumed() const {
+  for (const auto& [name, value] : values_) {
+    (void)value;
+    PANDA_REQUIRE(consumed_.count(name) != 0, "unknown option --%s",
+                  name.c_str());
+  }
+}
+
+}  // namespace panda

@@ -1,0 +1,39 @@
+// Tiny command-line option parser for the bench and example binaries.
+//
+// Supports the "--name=value" form plus bare "--name" boolean flags;
+// everything else is positional.
+// Unknown options raise PandaError so typos in sweep scripts fail loudly.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace panda {
+
+class Options {
+ public:
+  // Parses argv; throws PandaError on malformed input.
+  Options(int argc, char** argv);
+
+  // Typed getters with defaults. Present-but-unconsumed options are
+  // reported by CheckAllConsumed().
+  std::string GetString(const std::string& name, const std::string& def);
+  std::int64_t GetInt(const std::string& name, std::int64_t def);
+  double GetDouble(const std::string& name, double def);
+  bool GetBool(const std::string& name, bool def);
+
+  // Positional (non --option) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  // Throws PandaError if any --option was supplied but never read.
+  void CheckAllConsumed() const;
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+  std::vector<std::string> positional_;
+};
+
+}  // namespace panda

@@ -1,0 +1,29 @@
+// Deterministic pseudo-random numbers (xoshiro256**).
+//
+// Tests and workload generators need reproducible streams that do not
+// depend on the standard library's unspecified distributions.
+#pragma once
+
+#include <cstdint>
+
+namespace panda {
+
+// xoshiro256** by Blackman & Vigna (public domain reference algorithm).
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed);
+
+  // Uniform 64-bit value.
+  std::uint64_t Next();
+
+  // Uniform integer in [0, bound) for bound > 0.
+  std::uint64_t NextBelow(std::uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+ private:
+  std::uint64_t s_[4];
+};
+
+}  // namespace panda

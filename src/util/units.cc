@@ -1,0 +1,26 @@
+#include "util/units.h"
+
+#include "util/error.h"
+
+namespace panda {
+
+std::string FormatBytes(std::int64_t bytes) {
+  const double b = static_cast<double>(bytes);
+  if (bytes >= kGiB) return StrFormat("%.2f GB", b / static_cast<double>(kGiB));
+  if (bytes >= kMiB) return StrFormat("%.2f MB", b / static_cast<double>(kMiB));
+  if (bytes >= kKiB) return StrFormat("%.2f KB", b / static_cast<double>(kKiB));
+  return StrFormat("%lld B", static_cast<long long>(bytes));
+}
+
+std::string FormatThroughput(double bytes_per_second) {
+  return StrFormat("%.2f MB/s",
+                   bytes_per_second / static_cast<double>(kMiB));
+}
+
+std::string FormatSeconds(double seconds) {
+  if (seconds >= 1.0) return StrFormat("%.3f s", seconds);
+  if (seconds >= 1e-3) return StrFormat("%.2f ms", seconds * 1e3);
+  return StrFormat("%.1f us", seconds * 1e6);
+}
+
+}  // namespace panda

@@ -1,0 +1,27 @@
+// Byte-size units and human-readable formatting.
+//
+// The paper reports array sizes and throughputs in "MB"; we follow the
+// 1995 convention that 1 MB = 2^20 bytes for array sizes and throughput
+// alike, so that normalized ratios match the paper's arithmetic.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace panda {
+
+inline constexpr std::int64_t kKiB = 1024;
+inline constexpr std::int64_t kMiB = 1024 * kKiB;
+inline constexpr std::int64_t kGiB = 1024 * kMiB;
+
+// Formats a byte count as "512 B", "1.5 KB", "64 MB", ... (power-of-two
+// units, paper-style suffixes).
+std::string FormatBytes(std::int64_t bytes);
+
+// Formats a throughput in bytes/second as "12.34 MB/s".
+std::string FormatThroughput(double bytes_per_second);
+
+// Formats a duration in seconds as "1.234 s" / "12.3 ms" / "45 us".
+std::string FormatSeconds(double seconds);
+
+}  // namespace panda

@@ -1,0 +1,316 @@
+// Unit tests for src/iosim: disk model calibration, POSIX and simulated
+// file systems, and the block cache used by the caching baseline.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <filesystem>
+
+#include "iosim/block_cache.h"
+#include "iosim/disk_model.h"
+#include "iosim/posix_fs.h"
+#include "iosim/sim_fs.h"
+#include "msg/virtual_clock.h"
+#include "util/error.h"
+#include "util/units.h"
+
+namespace panda {
+namespace {
+
+std::vector<std::byte> Bytes(std::initializer_list<int> values) {
+  std::vector<std::byte> out;
+  for (int v : values) out.push_back(static_cast<std::byte>(v));
+  return out;
+}
+
+TEST(DiskModelTest, CalibratedToTable1Peaks) {
+  // 1 MB requests must deliver exactly the measured AIX peaks.
+  const DiskModel disk = DiskModel::NasSp2Aix();
+  EXPECT_NEAR(disk.ReadThroughput(1 * kMiB) / kMiB, 2.85, 0.01);
+  EXPECT_NEAR(disk.WriteThroughput(1 * kMiB) / kMiB, 2.23, 0.01);
+}
+
+TEST(DiskModelTest, ThroughputDeclinesForSmallRequests) {
+  // The paper: "the underlying AIX file system throughput declines when
+  // writing ... with write size less than 1 MB".
+  const DiskModel disk = DiskModel::NasSp2Aix();
+  double prev = 0.0;
+  for (const std::int64_t size : {64 * kKiB, 256 * kKiB, 512 * kKiB, 1 * kMiB}) {
+    const double thr = disk.WriteThroughput(size);
+    EXPECT_GT(thr, prev);
+    prev = thr;
+  }
+  EXPECT_LT(disk.WriteThroughput(64 * kKiB), 0.5 * disk.WriteThroughput(kMiB));
+}
+
+TEST(DiskModelTest, SeekAddsCost) {
+  const DiskModel disk = DiskModel::NasSp2Aix();
+  EXPECT_GT(disk.ReadSeconds(4096, false), disk.ReadSeconds(4096, true));
+  EXPECT_NEAR(disk.ReadSeconds(4096, false) - disk.ReadSeconds(4096, true),
+              disk.seek_s, 1e-12);
+}
+
+TEST(DiskModelTest, InstantDiskIsFree) {
+  const DiskModel disk = DiskModel::Instant();
+  EXPECT_LT(disk.WriteSeconds(1 * kGiB, false), 1e-6);
+  EXPECT_LT(disk.ReadSeconds(1 * kGiB, false), 1e-6);
+}
+
+class PosixFsTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    root_ = std::filesystem::temp_directory_path() /
+            ("panda_posixfs_test_" + std::to_string(::getpid()));
+    std::filesystem::remove_all(root_);
+  }
+  void TearDown() override { std::filesystem::remove_all(root_); }
+  std::filesystem::path root_;
+};
+
+TEST_F(PosixFsTest, WriteReadRoundTrip) {
+  PosixFileSystem fs(root_.string());
+  {
+    auto f = fs.Open("a.dat", OpenMode::kWrite);
+    auto data = Bytes({1, 2, 3, 4, 5});
+    f->WriteAt(0, {data.data(), data.size()}, 5);
+    f->Sync();
+    EXPECT_EQ(f->Size(), 5);
+  }
+  EXPECT_TRUE(fs.Exists("a.dat"));
+  {
+    auto f = fs.Open("a.dat", OpenMode::kRead);
+    std::vector<std::byte> out(3);
+    f->ReadAt(1, {out.data(), out.size()}, 3);
+    EXPECT_EQ(out, Bytes({2, 3, 4}));
+  }
+  EXPECT_EQ(fs.stats().writes, 1);
+  EXPECT_EQ(fs.stats().reads, 1);
+  EXPECT_EQ(fs.stats().bytes_written, 5);
+}
+
+TEST_F(PosixFsTest, WriteAtOffsetExtendsFile) {
+  PosixFileSystem fs(root_.string());
+  auto f = fs.Open("b.dat", OpenMode::kWrite);
+  auto data = Bytes({9});
+  f->WriteAt(100, {data.data(), data.size()}, 1);
+  EXPECT_EQ(f->Size(), 101);
+}
+
+TEST_F(PosixFsTest, TruncateOnWriteMode) {
+  PosixFileSystem fs(root_.string());
+  {
+    auto f = fs.Open("c.dat", OpenMode::kWrite);
+    auto data = Bytes({1, 2, 3});
+    f->WriteAt(0, {data.data(), data.size()}, 3);
+  }
+  {
+    auto f = fs.Open("c.dat", OpenMode::kWrite);  // truncates
+    EXPECT_EQ(f->Size(), 0);
+  }
+  {
+    auto f = fs.Open("c.dat", OpenMode::kReadWrite);  // preserves
+    EXPECT_EQ(f->Size(), 0);
+  }
+}
+
+TEST_F(PosixFsTest, RemoveAndExists) {
+  PosixFileSystem fs(root_.string());
+  { fs.Open("d.dat", OpenMode::kWrite); }
+  EXPECT_TRUE(fs.Exists("d.dat"));
+  fs.Remove("d.dat");
+  EXPECT_FALSE(fs.Exists("d.dat"));
+}
+
+TEST_F(PosixFsTest, RejectsEscapingPaths) {
+  PosixFileSystem fs(root_.string());
+  EXPECT_THROW(fs.Open("../evil", OpenMode::kWrite), PandaError);
+  EXPECT_THROW(fs.Open("/abs", OpenMode::kWrite), PandaError);
+}
+
+TEST_F(PosixFsTest, MissingFileReadThrows) {
+  PosixFileSystem fs(root_.string());
+  EXPECT_THROW(fs.Open("nope.dat", OpenMode::kRead), PandaError);
+}
+
+TEST(SimFsTest, StoreDataRoundTrip) {
+  SimFileSystem::Options opt;
+  opt.disk = DiskModel::Instant();
+  SimFileSystem fs(opt);
+  {
+    auto f = fs.Open("x", OpenMode::kWrite);
+    auto data = Bytes({7, 8, 9});
+    f->WriteAt(0, {data.data(), data.size()}, 3);
+  }
+  {
+    auto f = fs.Open("x", OpenMode::kRead);
+    std::vector<std::byte> out(2);
+    f->ReadAt(1, {out.data(), out.size()}, 2);
+    EXPECT_EQ(out, Bytes({8, 9}));
+  }
+}
+
+TEST(SimFsTest, ReadPastEofThrows) {
+  SimFileSystem::Options opt;
+  SimFileSystem fs(opt);
+  auto f = fs.Open("x", OpenMode::kWrite);
+  auto data = Bytes({1});
+  f->WriteAt(0, {data.data(), data.size()}, 1);
+  std::vector<std::byte> out(2);
+  EXPECT_THROW(f->ReadAt(0, {out.data(), out.size()}, 2), PandaError);
+}
+
+TEST(SimFsTest, ChargesClockPerDiskModel) {
+  VirtualClock clock;
+  SimFileSystem::Options opt;
+  opt.disk = DiskModel::NasSp2Aix();
+  opt.store_data = false;
+  opt.clock = &clock;
+  SimFileSystem fs(opt);
+  auto f = fs.Open("x", OpenMode::kWrite);
+  f->WriteAt(0, {}, 1 * kMiB);  // first access: seek + write
+  const double expected = opt.disk.WriteSeconds(1 * kMiB, false);
+  EXPECT_NEAR(clock.Now(), expected, 1e-12);
+  // Sequential continuation: no seek.
+  f->WriteAt(1 * kMiB, {}, 1 * kMiB);
+  EXPECT_NEAR(clock.Now(), expected + opt.disk.WriteSeconds(1 * kMiB, true),
+              1e-12);
+  EXPECT_EQ(fs.stats().seeks, 1);
+  EXPECT_NEAR(fs.stats().busy_seconds, clock.Now(), 1e-12);
+}
+
+TEST(SimFsTest, SequentialDetectionAcrossFiles) {
+  SimFileSystem::Options opt;
+  opt.store_data = false;
+  SimFileSystem fs(opt);
+  auto a = fs.Open("a", OpenMode::kWrite);
+  auto b = fs.Open("b", OpenMode::kWrite);
+  a->WriteAt(0, {}, 100);    // seek (first access)
+  a->WriteAt(100, {}, 100);  // sequential
+  b->WriteAt(0, {}, 100);    // different file: seek
+  a->WriteAt(200, {}, 100);  // back to a: seek
+  EXPECT_EQ(fs.stats().seeks, 3);
+}
+
+TEST(SimFsTest, TimestepAppendPatternIsSequential) {
+  // Panda's timestep output appends; the device must see one initial
+  // seek then pure sequential writes.
+  SimFileSystem::Options opt;
+  opt.store_data = false;
+  SimFileSystem fs(opt);
+  auto f = fs.Open("ts", OpenMode::kReadWrite);
+  std::int64_t offset = 0;
+  for (int t = 0; t < 10; ++t) {
+    f->WriteAt(offset, {}, 64 * kKiB);
+    offset += 64 * kKiB;
+  }
+  EXPECT_EQ(fs.stats().seeks, 1);
+}
+
+TEST(SimFsTest, OpenTruncateResetsContents) {
+  SimFileSystem::Options opt;
+  SimFileSystem fs(opt);
+  {
+    auto f = fs.Open("x", OpenMode::kWrite);
+    auto data = Bytes({1, 2, 3});
+    f->WriteAt(0, {data.data(), data.size()}, 3);
+  }
+  auto f = fs.Open("x", OpenMode::kWrite);
+  EXPECT_EQ(f->Size(), 0);
+}
+
+TEST(SimFsTest, RemoveDeletes) {
+  SimFileSystem::Options opt;
+  SimFileSystem fs(opt);
+  fs.Open("x", OpenMode::kWrite);
+  EXPECT_TRUE(fs.Exists("x"));
+  fs.Remove("x");
+  EXPECT_FALSE(fs.Exists("x"));
+}
+
+// --- Block cache (timing layer over a simulated file) ---
+
+struct CacheFixture {
+  CacheFixture() {
+    SimFileSystem::Options opt;
+    opt.disk = DiskModel::NasSp2Aix();
+    opt.store_data = false;
+    opt.clock = &clock;
+    fs = std::make_unique<SimFileSystem>(opt);
+    file = fs->Open("striped", OpenMode::kReadWrite);
+  }
+  VirtualClock clock;
+  std::unique_ptr<SimFileSystem> fs;
+  std::unique_ptr<File> file;
+};
+
+TEST(BlockCacheTest, AbsorbsSmallWritesUntilFlush) {
+  CacheFixture fx;
+  BlockCache cache(fx.file.get(), {});
+  // 4 KB-aligned small writes: fully-covering, so no read-modify-write.
+  for (int i = 0; i < 16; ++i) {
+    cache.WriteAt(i * 4096, {}, 4096);
+  }
+  EXPECT_EQ(fx.fs->stats().writes, 0);  // all absorbed
+  cache.Flush();
+  // Adjacent dirty blocks coalesce into one 64 KB write.
+  EXPECT_EQ(fx.fs->stats().writes, 1);
+  EXPECT_EQ(fx.fs->stats().bytes_written, 16 * 4096);
+}
+
+TEST(BlockCacheTest, StridedWritesCoalescePartially) {
+  CacheFixture fx;
+  BlockCache cache(fx.file.get(), {});
+  // Two interleaved strided streams: blocks 0,2,4,... and 1,3,5,...
+  for (int i = 0; i < 8; ++i) cache.WriteAt(2 * i * 4096, {}, 4096);
+  cache.Flush();
+  const auto after_even = fx.fs->stats().writes;
+  EXPECT_EQ(after_even, 8);  // even blocks cannot coalesce
+  for (int i = 0; i < 8; ++i) cache.WriteAt((2 * i + 1) * 4096, {}, 4096);
+  cache.Flush();
+  // Odd blocks also flush separately: the cache cannot recover what the
+  // access pattern destroyed.
+  EXPECT_EQ(fx.fs->stats().writes, 16);
+}
+
+TEST(BlockCacheTest, PartialBlockWriteTriggersReadModifyWrite) {
+  CacheFixture fx;
+  // Give the base file some length so the fetch has something to read.
+  fx.file->WriteAt(0, {}, 64 * 1024);
+  const auto reads_before = fx.fs->stats().reads;
+  BlockCache cache(fx.file.get(), {});
+  cache.WriteAt(100, {}, 50);  // partial cover of block 0
+  EXPECT_EQ(fx.fs->stats().reads, reads_before + 1);
+  cache.WriteAt(4096, {}, 4096);  // full cover: no fetch
+  EXPECT_EQ(fx.fs->stats().reads, reads_before + 1);
+}
+
+TEST(BlockCacheTest, SequentialReadPrefetches) {
+  CacheFixture fx;
+  fx.file->WriteAt(0, {}, 1024 * 1024);
+  BlockCache::Options opt;
+  opt.prefetch_blocks = 8;
+  BlockCache cache(fx.file.get(), opt);
+  cache.ReadAt(0, {}, 4096);      // miss, not yet sequential
+  cache.ReadAt(4096, {}, 4096);   // sequential: prefetch window
+  const auto reads = fx.fs->stats().reads;
+  cache.ReadAt(8192, {}, 4096);   // covered by the prefetch
+  cache.ReadAt(12288, {}, 4096);  // covered
+  EXPECT_EQ(fx.fs->stats().reads, reads);
+  EXPECT_GT(cache.hits(), 0);
+}
+
+TEST(BlockCacheTest, EvictionWritesBackDirtyBlocks) {
+  CacheFixture fx;
+  BlockCache::Options opt;
+  opt.capacity_blocks = 4;
+  BlockCache cache(fx.file.get(), opt);
+  for (int i = 0; i < 12; ++i) {
+    cache.WriteAt(i * 4096, {}, 4096);
+  }
+  // Capacity 4: most blocks must have been written back already.
+  EXPECT_GE(fx.fs->stats().writes, 2);
+  cache.Flush();
+  EXPECT_EQ(fx.fs->stats().bytes_written, 12 * 4096);
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,271 @@
+// Unit tests for src/msg: mailboxes, the thread transport, virtual-time
+// accounting, and tree collectives.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "msg/collectives.h"
+#include "msg/transport.h"
+#include "util/codec.h"
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+Message TextMessage(const std::string& text) {
+  Message msg;
+  Encoder enc(msg.header);
+  enc.PutString(text);
+  return msg;
+}
+
+std::string TextOf(const Message& msg) {
+  Decoder dec(msg.header);
+  return dec.GetString();
+}
+
+TEST(MailboxTest, FifoPerSourceAndTag) {
+  Mailbox mb;
+  for (int i = 0; i < 3; ++i) {
+    Message m = TextMessage("m" + std::to_string(i));
+    m.src = 1;
+    m.tag = 5;
+    mb.Deposit(std::move(m));
+  }
+  EXPECT_EQ(TextOf(mb.BlockingReceive(1, 5)), "m0");
+  EXPECT_EQ(TextOf(mb.BlockingReceive(1, 5)), "m1");
+  EXPECT_EQ(TextOf(mb.BlockingReceive(1, 5)), "m2");
+}
+
+TEST(MailboxTest, MatchesOnSourceAndTag) {
+  Mailbox mb;
+  Message a = TextMessage("from2");
+  a.src = 2;
+  a.tag = 7;
+  Message b = TextMessage("from1");
+  b.src = 1;
+  b.tag = 7;
+  mb.Deposit(std::move(a));
+  mb.Deposit(std::move(b));
+  // Request src 1 first even though src 2 arrived first.
+  EXPECT_EQ(TextOf(mb.BlockingReceive(1, 7)), "from1");
+  EXPECT_EQ(TextOf(mb.BlockingReceive(2, 7)), "from2");
+}
+
+TEST(MailboxTest, BlocksUntilDeposit) {
+  Mailbox mb;
+  std::atomic<bool> received{false};
+  std::thread t([&] {
+    Message m = mb.BlockingReceive(0, 1);
+    EXPECT_EQ(TextOf(m), "late");
+    received = true;
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_FALSE(received.load());
+  Message m = TextMessage("late");
+  m.src = 0;
+  m.tag = 1;
+  mb.Deposit(std::move(m));
+  t.join();
+  EXPECT_TRUE(received.load());
+}
+
+TEST(MailboxTest, PoisonWakesWaiters) {
+  Mailbox mb;
+  std::thread t([&] {
+    EXPECT_THROW((void)mb.BlockingReceive(0, 1), PandaError);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  mb.Poison();
+  t.join();
+}
+
+ThreadTransport::Config InstantConfig() {
+  ThreadTransport::Config cfg;
+  cfg.net = NetModel::Instant();
+  return cfg;
+}
+
+TEST(TransportTest, PingPong) {
+  ThreadTransport tt(2, InstantConfig());
+  tt.Run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.Send(1, kTagApp, TextMessage("ping"));
+      EXPECT_EQ(TextOf(ep.Recv(1, kTagApp)), "pong");
+    } else {
+      EXPECT_EQ(TextOf(ep.Recv(0, kTagApp)), "ping");
+      ep.Send(0, kTagApp, TextMessage("pong"));
+    }
+  });
+  const MsgStats stats = tt.TotalStats();
+  EXPECT_EQ(stats.messages_sent, 2);
+  EXPECT_EQ(stats.messages_received, 2);
+}
+
+TEST(TransportTest, PayloadRoundTrip) {
+  ThreadTransport tt(2, InstantConfig());
+  tt.Run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      Message m;
+      std::vector<std::byte> payload(1000);
+      for (size_t i = 0; i < payload.size(); ++i) {
+        payload[i] = static_cast<std::byte>(i % 251);
+      }
+      m.SetPayload(std::move(payload));
+      ep.Send(1, kTagApp, std::move(m));
+    } else {
+      Message m = ep.Recv(0, kTagApp);
+      ASSERT_EQ(m.payload.size(), 1000u);
+      EXPECT_EQ(m.payload_vbytes, 1000);
+      for (size_t i = 0; i < m.payload.size(); ++i) {
+        EXPECT_EQ(m.payload[i], static_cast<std::byte>(i % 251));
+      }
+    }
+  });
+}
+
+TEST(TransportTest, TimingOnlyElidesPayloads) {
+  ThreadTransport::Config cfg = InstantConfig();
+  cfg.timing_only = true;
+  ThreadTransport tt(2, cfg);
+  tt.Run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      Message m;
+      m.SetPayload(std::vector<std::byte>(512));
+      ep.Send(1, kTagApp, std::move(m));
+      Message v;
+      v.SetVirtualPayload(1 << 20);
+      ep.Send(1, kTagApp, std::move(v));
+    } else {
+      Message m = ep.Recv(0, kTagApp);
+      EXPECT_TRUE(m.payload.empty());
+      EXPECT_EQ(m.payload_vbytes, 512);
+      Message v = ep.Recv(0, kTagApp);
+      EXPECT_EQ(v.payload_vbytes, 1 << 20);
+    }
+  });
+}
+
+TEST(TransportTest, VirtualTimeLogGpAccounting) {
+  // One 1 MB message: sender busy o + T; receiver ends at o + T + L + o.
+  ThreadTransport::Config cfg;
+  cfg.net.latency_s = 50e-6;
+  cfg.net.bandwidth_Bps = 10e6;
+  cfg.net.per_message_overhead_s = 1e-3;
+  ThreadTransport tt(2, cfg);
+  tt.Run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      Message m;
+      m.SetVirtualPayload(10'000'000);  // exactly 1 second on the wire
+      ep.Send(1, kTagApp, std::move(m));
+    } else {
+      (void)ep.Recv(0, kTagApp);
+    }
+  });
+  EXPECT_NEAR(tt.endpoint(0).clock().Now(), 1e-3 + 1.0, 1e-9);
+  EXPECT_NEAR(tt.endpoint(1).clock().Now(), 1e-3 + 1.0 + 50e-6 + 1e-3, 1e-9);
+}
+
+TEST(TransportTest, RecvDoesNotMoveClockBackwards) {
+  ThreadTransport::Config cfg;
+  cfg.net.latency_s = 0;
+  cfg.net.bandwidth_Bps = 1e18;
+  cfg.net.per_message_overhead_s = 0;
+  ThreadTransport tt(2, cfg);
+  tt.Run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.Send(1, kTagApp, Message{});
+    } else {
+      ep.AdvanceCompute(5.0);  // receiver is already far in the future
+      (void)ep.Recv(0, kTagApp);
+      EXPECT_DOUBLE_EQ(ep.clock().Now(), 5.0);
+    }
+  });
+}
+
+TEST(TransportTest, ExceptionPropagatesAndUnblocksPeers) {
+  ThreadTransport tt(3, InstantConfig());
+  EXPECT_THROW(tt.Run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      throw PandaError("rank 0 exploded");
+    }
+    // Ranks 1..2 wait for a message that never comes; the poison must
+    // unblock them instead of deadlocking the join.
+    (void)ep.Recv(0, kTagApp);
+  }),
+               PandaError);
+}
+
+TEST(TransportTest, ResetClocksAndStats) {
+  ThreadTransport tt(2, InstantConfig());
+  tt.Run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.Send(1, kTagApp, Message{});
+    } else {
+      (void)ep.Recv(0, kTagApp);
+      ep.AdvanceCompute(1.0);
+    }
+  });
+  EXPECT_GT(tt.endpoint(1).clock().Now(), 0.0);
+  tt.ResetClocksAndStats();
+  EXPECT_DOUBLE_EQ(tt.endpoint(1).clock().Now(), 0.0);
+  EXPECT_EQ(tt.TotalStats().messages_sent, 0);
+}
+
+class CollectivesTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(CollectivesTest, BarrierSynchronizesVirtualTime) {
+  const int n = GetParam();
+  ThreadTransport::Config cfg;
+  cfg.net.latency_s = 1e-6;
+  cfg.net.bandwidth_Bps = 1e9;
+  cfg.net.per_message_overhead_s = 1e-5;
+  ThreadTransport tt(n, cfg);
+  tt.Run([n](Endpoint& ep) {
+    // Stagger the ranks, then barrier: everyone must end at >= the max.
+    ep.AdvanceCompute(0.1 * ep.rank());
+    Barrier(ep, Group::Consecutive(0, n, ep.rank()));
+    EXPECT_GE(ep.clock().Now(), 0.1 * (n - 1));
+  });
+}
+
+TEST_P(CollectivesTest, BcastDeliversFromEveryRoot) {
+  const int n = GetParam();
+  ThreadTransport tt(n, InstantConfig());
+  for (int root = 0; root < n; ++root) {
+    tt.Run([n, root](Endpoint& ep) {
+      const Group group = Group::Consecutive(0, n, ep.rank());
+      Message msg;
+      if (ep.rank() == root) msg = TextMessage("hello-" + std::to_string(root));
+      msg = Bcast(ep, group, root, std::move(msg));
+      EXPECT_EQ(TextOf(msg), "hello-" + std::to_string(root));
+      Barrier(ep, group);  // quiesce before the next root
+    });
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, CollectivesTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 13, 16, 32));
+
+TEST(GroupTest, ConsecutiveMembership) {
+  const Group g = Group::Consecutive(4, 3, 5);
+  EXPECT_EQ(g.size(), 3);
+  EXPECT_EQ(g.my_index(), 1);
+  EXPECT_EQ(g.rank_at(0), 4);
+  EXPECT_EQ(g.rank_at(2), 6);
+  EXPECT_TRUE(g.contains(6));
+  EXPECT_FALSE(g.contains(7));
+  const Group outsider = Group::Consecutive(4, 3, 0);
+  EXPECT_EQ(outsider.my_index(), -1);
+}
+
+TEST(NetModelTest, TransferSeconds) {
+  NetModel net;
+  net.bandwidth_Bps = 1000.0;
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(500), 0.5);
+  EXPECT_DOUBLE_EQ(net.TransferSeconds(0), 0.0);
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,151 @@
+// Virtual-time model tests: the LogGP accounting rules, receiver-link
+// serialization, and the responder primitives that keep the model
+// insensitive to host thread scheduling.
+#include <gtest/gtest.h>
+
+#include "msg/collectives.h"
+#include "msg/transport.h"
+
+namespace panda {
+namespace {
+
+ThreadTransport::Config TestNet() {
+  ThreadTransport::Config cfg;
+  cfg.net.latency_s = 1e-3;
+  cfg.net.bandwidth_Bps = 1e6;          // 1 MB/s: 1 byte = 1 us
+  cfg.net.per_message_overhead_s = 1e-2;
+  return cfg;
+}
+
+TEST(TimingModelTest, ReceiverLinkSerializesConcurrentSenders) {
+  // Two senders each push 1 MB to rank 2 "at the same time": the
+  // receiver's inbound link must deliver them back to back, so the
+  // second message completes ~2 wire-times after the start — N senders
+  // cannot exceed one link's bandwidth.
+  ThreadTransport tt(3, TestNet());
+  tt.Run([](Endpoint& ep) {
+    if (ep.rank() < 2) {
+      Message m;
+      m.SetVirtualPayload(1'000'000);  // 1 second of wire time
+      ep.Send(2, kTagApp, std::move(m));
+      return;
+    }
+    (void)ep.Recv(0, kTagApp);
+    const double after_first = ep.clock().Now();
+    (void)ep.Recv(1, kTagApp);
+    const double after_second = ep.clock().Now();
+    // First: o(send) + L + T + o(recv) ~ 1.021 s.
+    EXPECT_NEAR(after_first, 1e-2 + 1e-3 + 1.0 + 1e-2, 1e-6);
+    // Second: queued behind the first on the inbound link: +1 s (its
+    // receive overhead overlaps the tail of its own wire time, since
+    // the first message's processing already advanced the clock).
+    EXPECT_NEAR(after_second, after_first + 1.0, 1e-6);
+  });
+}
+
+TEST(TimingModelTest, ResponderTimingIndependentOfServiceOrder) {
+  // Two requesters at very different virtual times send to a responder.
+  // Whichever wall-clock order the responder serves them in, each reply
+  // must be timed from its own request's arrival — the far-future
+  // requester must not delay the near-past one.
+  for (int trial = 0; trial < 2; ++trial) {
+    ThreadTransport tt(3, TestNet());
+    tt.Run([trial](Endpoint& ep) {
+      if (ep.rank() == 0) {
+        ep.AdvanceCompute(100.0);  // far in the virtual future
+        ep.Send(2, kTagApp, Message{});
+        Message reply = ep.Recv(2, kTagApp + 1);
+        EXPECT_GT(ep.clock().Now(), 100.0);
+        return;
+      }
+      if (ep.rank() == 1) {
+        // Near the virtual origin.
+        if (trial == 1) {
+          // Delay in *wall clock* (not virtual time) so arrival order
+          // at the responder flips between trials.
+          std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        }
+        ep.Send(2, kTagApp, Message{});
+        Message reply = ep.Recv(2, kTagApp + 1);
+        // Reply timing must derive from this request (~ a few o+L),
+        // never from rank 0's +100 s clock.
+        EXPECT_LT(ep.clock().Now(), 1.0);
+        return;
+      }
+      // Responder: serve both, in arrival order.
+      for (int i = 0; i < 2; ++i) {
+        Endpoint::Delivery d = ep.RecvAnyDelivery(kTagApp);
+        ep.SendResponse(d.ready_time, d.msg.src, kTagApp + 1, Message{});
+      }
+    });
+  }
+}
+
+TEST(TimingModelTest, SendResponseChargesOverheadAndWire) {
+  ThreadTransport tt(2, TestNet());
+  tt.Run([](Endpoint& ep) {
+    if (ep.rank() == 0) {
+      ep.Send(1, kTagApp, Message{});
+      Message reply = ep.Recv(1, kTagApp + 1);
+      // request: o + L (tiny) ; responder o ; reply o + L + T + o(recv).
+      // T = 1000 bytes = 1 ms.
+      const double expect = /*send o*/ 1e-2 + /*L*/ 1e-3 +
+                            /*resp recv o*/ 1e-2 + /*resp send o*/ 1e-2 +
+                            /*L*/ 1e-3 + /*T*/ 1e-3 + /*recv o*/ 1e-2;
+      EXPECT_NEAR(ep.clock().Now(), expect, 1e-9);
+    } else {
+      Endpoint::Delivery d = ep.RecvAnyDelivery(kTagApp);
+      Message reply;
+      reply.SetVirtualPayload(1000);
+      ep.SendResponse(d.ready_time, 0, kTagApp + 1, std::move(reply));
+    }
+  });
+}
+
+TEST(TimingModelTest, GatherSyncCostsLessThanBarrier) {
+  ThreadTransport::Config cfg = TestNet();
+  ThreadTransport t1(8, cfg);
+  t1.Run([](Endpoint& ep) {
+    Barrier(ep, Group::Consecutive(0, 8, ep.rank()));
+  });
+  double barrier_max = 0;
+  for (int r = 0; r < 8; ++r) {
+    barrier_max = std::max(barrier_max, t1.endpoint(r).clock().Now());
+  }
+  ThreadTransport t2(8, cfg);
+  t2.Run([](Endpoint& ep) {
+    GatherSync(ep, Group::Consecutive(0, 8, ep.rank()));
+  });
+  // The root's gather completion is cheaper than the full barrier.
+  EXPECT_LT(t2.endpoint(0).clock().Now(), barrier_max);
+}
+
+TEST(TimingModelTest, DeterministicAcrossRuns) {
+  // The same protocol must produce bit-identical virtual times on
+  // repeated runs despite arbitrary thread interleavings.
+  auto run_once = [] {
+    ThreadTransport tt(6, TestNet());
+    tt.Run([](Endpoint& ep) {
+      const Group all = Group::Consecutive(0, 6, ep.rank());
+      for (int round = 0; round < 5; ++round) {
+        if (ep.rank() > 0) {
+          Message m;
+          m.SetVirtualPayload(10'000 * ep.rank());
+          ep.Send(0, kTagApp, std::move(m));
+        } else {
+          for (int src = 1; src < 6; ++src) {
+            (void)ep.Recv(src, kTagApp);
+          }
+        }
+        Barrier(ep, all);
+      }
+    });
+    return tt.endpoint(0).clock().Now();
+  };
+  const double a = run_once();
+  const double b = run_once();
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,227 @@
+// Tests for the server-directed i/o planner (src/panda/plan.*).
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "panda/plan.h"
+#include "util/units.h"
+
+namespace panda {
+namespace {
+
+ArrayMeta Meta3D(Shape shape, Shape mem_mesh, std::vector<DimDist> mem_dists,
+                 Shape disk_mesh, std::vector<DimDist> disk_dists,
+                 std::int64_t elem = 4) {
+  ArrayMeta meta;
+  meta.name = "a";
+  meta.elem_size = elem;
+  meta.memory = Schema(shape, Mesh(mem_mesh), std::move(mem_dists));
+  meta.disk = Schema(shape, Mesh(disk_mesh), std::move(disk_dists));
+  return meta;
+}
+
+TEST(IoPlanTest, NaturalChunkingRoundRobin) {
+  // 8 compute nodes (2x2x2), natural chunking, 3 servers: chunks 0..7
+  // round-robin -> server 0 gets {0,3,6}, server 1 {1,4,7}, server 2 {2,5}.
+  const auto meta = Meta3D({16, 16, 16}, {2, 2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::Block()},
+                           {2, 2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::Block()});
+  const IoPlan plan(meta, 3, 1 * kMiB);
+  ASSERT_EQ(plan.chunks().size(), 8u);
+  EXPECT_EQ(plan.ChunksOfServer(0), (std::vector<int>{0, 3, 6}));
+  EXPECT_EQ(plan.ChunksOfServer(1), (std::vector<int>{1, 4, 7}));
+  EXPECT_EQ(plan.ChunksOfServer(2), (std::vector<int>{2, 5}));
+  // Load: 3,3,2 chunks of 2 KB each.
+  EXPECT_EQ(plan.SegmentBytes(0), 3 * 8 * 8 * 8 * 4);
+  EXPECT_EQ(plan.SegmentBytes(2), 2 * 8 * 8 * 8 * 4);
+}
+
+TEST(IoPlanTest, NaturalChunkingPiecesAreWholeSubchunks) {
+  // Natural chunking: every sub-chunk lies inside exactly one client's
+  // cell and is contiguous on both sides -> zero reorganization cost.
+  const auto meta = Meta3D({32, 32, 32}, {2, 2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::Block()},
+                           {2, 2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::Block()});
+  const IoPlan plan(meta, 2, 4096);
+  for (const auto& cp : plan.chunks()) {
+    for (const auto& sp : cp.subchunks) {
+      ASSERT_EQ(sp.pieces.size(), 1u);
+      const PiecePlan& p = sp.pieces[0];
+      EXPECT_EQ(p.region, sp.region);
+      EXPECT_TRUE(p.contiguous_in_client);
+      EXPECT_TRUE(p.contiguous_in_subchunk);
+      EXPECT_EQ(p.client, cp.chunk_id);  // disk mesh == memory mesh
+    }
+  }
+}
+
+TEST(IoPlanTest, TraditionalOrderPiecesSpanClients) {
+  // BLOCK,BLOCK,BLOCK in memory (8 clients), BLOCK,*,* on disk (2 slabs):
+  // each slab gathers pieces from 4 clients.
+  const auto meta = Meta3D({16, 16, 16}, {2, 2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::Block()},
+                           {2},
+                           {DimDist::Block(), DimDist::None(), DimDist::None()});
+  const IoPlan plan(meta, 2, 1 * kMiB);
+  ASSERT_EQ(plan.chunks().size(), 2u);
+  for (const auto& cp : plan.chunks()) {
+    std::set<int> clients;
+    for (const auto& sp : cp.subchunks) {
+      for (const auto& p : sp.pieces) clients.insert(p.client);
+    }
+    EXPECT_EQ(clients.size(), 4u);
+  }
+}
+
+TEST(IoPlanTest, PiecesPartitionEverySubchunk) {
+  // Property: within any sub-chunk, pieces are disjoint and cover it.
+  const auto meta = Meta3D({12, 10, 14}, {2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::None()},
+                           {3},
+                           {DimDist::None(), DimDist::Block(), DimDist::None()});
+  const IoPlan plan(meta, 2, 512);
+  for (const auto& cp : plan.chunks()) {
+    std::int64_t chunk_bytes = 0;
+    for (const auto& sp : cp.subchunks) {
+      std::int64_t covered = 0;
+      for (const auto& p : sp.pieces) {
+        EXPECT_TRUE(sp.region.Contains(p.region));
+        EXPECT_EQ(p.bytes, p.region.Volume() * meta.elem_size);
+        covered += p.region.Volume();
+      }
+      EXPECT_EQ(covered, sp.region.Volume());
+      chunk_bytes += sp.bytes;
+    }
+    EXPECT_EQ(chunk_bytes, cp.bytes);
+  }
+}
+
+TEST(IoPlanTest, FileOffsetsArePackedPerServer) {
+  const auto meta = Meta3D({64, 64, 64}, {4, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::None()},
+                           {4, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::None()});
+  const IoPlan plan(meta, 3, 8 * 1024);
+  for (int s = 0; s < 3; ++s) {
+    std::int64_t expected = 0;
+    for (const int ci : plan.ChunksOfServer(s)) {
+      const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+      EXPECT_EQ(cp.file_offset, expected);
+      std::int64_t sub_expected = cp.file_offset;
+      for (const auto& sp : cp.subchunks) {
+        EXPECT_EQ(sp.file_offset, sub_expected);
+        sub_expected += sp.bytes;
+      }
+      expected += cp.bytes;
+    }
+    EXPECT_EQ(plan.SegmentBytes(s), expected);
+  }
+}
+
+TEST(IoPlanTest, ClientStepsAreGloballyOrdered) {
+  // The deadlock-freedom invariant: each client's steps ascend in
+  // (chunk, sub, piece) lexicographic order.
+  const auto meta = Meta3D({24, 24, 24}, {2, 2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::Block()},
+                           {4},
+                           {DimDist::Block(), DimDist::None(), DimDist::None()});
+  const IoPlan plan(meta, 3, 2048);
+  for (int c = 0; c < 8; ++c) {
+    const auto& steps = plan.StepsOfClient(c);
+    for (size_t i = 1; i < steps.size(); ++i) {
+      const auto& a = steps[i - 1];
+      const auto& b = steps[i];
+      const auto key = [](const ClientStep& s) {
+        return std::tuple(s.chunk_index, s.sub_index, s.piece_index);
+      };
+      EXPECT_LT(key(a), key(b));
+    }
+  }
+}
+
+TEST(IoPlanTest, StepsCoverEveryPieceExactlyOnce) {
+  const auto meta = Meta3D({20, 20}, {2, 2},
+                           {DimDist::Block(), DimDist::Block()},
+                           {2},
+                           {DimDist::None(), DimDist::Block()});
+  const IoPlan plan(meta, 2, 256);
+  std::int64_t steps_total = 0;
+  for (int c = 0; c < 4; ++c) {
+    steps_total += static_cast<std::int64_t>(plan.StepsOfClient(c).size());
+  }
+  EXPECT_EQ(steps_total, plan.TotalPieces());
+}
+
+TEST(IoPlanTest, LoadImbalanceWhenServersDoNotDivideChunks) {
+  // The paper's load-imbalance discussion: 8 chunks over 3 servers is
+  // uneven (3/3/2); over 2 or 4 servers it is even.
+  const auto meta = Meta3D({16, 16, 16}, {2, 2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::Block()},
+                           {2, 2, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::Block()});
+  const IoPlan even(meta, 4, 1 * kMiB);
+  EXPECT_EQ(even.SegmentBytes(0), even.SegmentBytes(3));
+  const IoPlan uneven(meta, 3, 1 * kMiB);
+  EXPECT_GT(uneven.SegmentBytes(0), uneven.SegmentBytes(2));
+}
+
+TEST(IoPlanTest, TraditionalOrderIsAlwaysBalanced) {
+  // BLOCK,*,* over n slabs with n servers distributes evenly even when
+  // the client count is awkward — the paper's recommended fix.
+  const auto meta = Meta3D({24, 16, 16}, {3, 2},
+                           {DimDist::Block(), DimDist::Block(), DimDist::None()},
+                           {4},
+                           {DimDist::Block(), DimDist::None(), DimDist::None()});
+  const IoPlan plan(meta, 4, 1 * kMiB);
+  for (int s = 1; s < 4; ++s) {
+    EXPECT_EQ(plan.SegmentBytes(s), plan.SegmentBytes(0));
+  }
+}
+
+TEST(IoPlanTest, CyclicDiskSchemaChunksRoundRobin) {
+  // CYCLIC disk schema (our extension): more chunks than mesh slots.
+  ArrayMeta meta;
+  meta.name = "c";
+  meta.elem_size = 8;
+  meta.memory = Schema({24}, Mesh(Shape{2}), {DimDist::Block()});
+  meta.disk = Schema({24}, Mesh(Shape{2}), {DimDist::Cyclic(4)});
+  const IoPlan plan(meta, 2, 1 * kMiB);
+  EXPECT_EQ(plan.chunks().size(), 6u);
+  EXPECT_EQ(plan.TotalPieces(), 6);
+  std::int64_t total = 0;
+  for (const auto& cp : plan.chunks()) total += cp.bytes;
+  EXPECT_EQ(total, 24 * 8);
+}
+
+TEST(IoPlanTest, SubchunkBytesBoundRespected) {
+  const auto meta = Meta3D({64, 64, 64}, {2},
+                           {DimDist::Block(), DimDist::None(), DimDist::None()},
+                           {2},
+                           {DimDist::Block(), DimDist::None(), DimDist::None()});
+  const IoPlan plan(meta, 2, 10'000);
+  for (const auto& cp : plan.chunks()) {
+    for (const auto& sp : cp.subchunks) {
+      EXPECT_LE(sp.bytes, 10'000);
+    }
+  }
+}
+
+TEST(IoPlanTest, EmptyCellClientsHaveNoSteps) {
+  // 2 rows over a 4-wide memory mesh: clients 2,3 hold nothing.
+  ArrayMeta meta;
+  meta.name = "e";
+  meta.elem_size = 4;
+  meta.memory = Schema({2, 8}, Mesh(Shape{4}),
+                       {DimDist::Block(), DimDist::None()});
+  meta.disk = Schema({2, 8}, Mesh(Shape{2}),
+                     {DimDist::Block(), DimDist::None()});
+  const IoPlan plan(meta, 2, 1 * kMiB);
+  EXPECT_TRUE(plan.StepsOfClient(2).empty());
+  EXPECT_TRUE(plan.StepsOfClient(3).empty());
+  EXPECT_FALSE(plan.StepsOfClient(0).empty());
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,236 @@
+// Tests for the wire protocol (src/panda/protocol.*), array metadata,
+// group metadata files, and protocol-level validation failures.
+#include <gtest/gtest.h>
+
+#include "iosim/sim_fs.h"
+#include "panda/array.h"
+#include "panda/protocol.h"
+#include "panda/schema_io.h"
+
+namespace panda {
+namespace {
+
+ArrayMeta SampleMeta() {
+  ArrayMeta meta;
+  meta.name = "temperature";
+  meta.elem_size = 8;
+  meta.memory = Schema({512, 512, 512}, Mesh(Shape{4, 4, 2}),
+                       {DimDist::Block(), DimDist::Block(), DimDist::Block()});
+  meta.disk = Schema({512, 512, 512}, Mesh(Shape{8}),
+                     {DimDist::Block(), DimDist::None(), DimDist::None()});
+  return meta;
+}
+
+TEST(ProtocolTest, RegionRoundTrip) {
+  std::vector<std::byte> buf;
+  Encoder enc(buf);
+  const Region r({1, 2, 3}, {4, 5, 6});
+  EncodeRegion(enc, r);
+  const Region empty(Index::Zeros(2), Index::Zeros(2));
+  EncodeRegion(enc, empty);
+  Decoder dec(buf);
+  EXPECT_EQ(DecodeRegion(dec), r);
+  EXPECT_TRUE(DecodeRegion(dec).empty());
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(ProtocolTest, ArrayMetaRoundTrip) {
+  const ArrayMeta meta = SampleMeta();
+  std::vector<std::byte> buf;
+  Encoder enc(buf);
+  meta.EncodeTo(enc);
+  Decoder dec(buf);
+  const ArrayMeta back = ArrayMeta::Decode(dec);
+  EXPECT_EQ(back.name, meta.name);
+  EXPECT_EQ(back.elem_size, meta.elem_size);
+  EXPECT_EQ(back.memory, meta.memory);
+  EXPECT_EQ(back.disk, meta.disk);
+  EXPECT_EQ(back.total_bytes(), 512LL * 512 * 512 * 8);
+}
+
+TEST(ProtocolTest, CollectiveRequestRoundTrip) {
+  CollectiveRequest req;
+  req.op = IoOp::kRead;
+  req.purpose = Purpose::kTimestep;
+  req.seq = 41;
+  req.group = "Sim2";
+  req.meta_file = "simulation2.schema";
+  req.arrays.push_back(SampleMeta());
+  req.arrays.push_back(SampleMeta());
+  req.arrays[1].name = "pressure";
+
+  const Message msg = req.ToMessage();
+  const CollectiveRequest back = CollectiveRequest::FromMessage(msg);
+  EXPECT_EQ(back.op, IoOp::kRead);
+  EXPECT_EQ(back.purpose, Purpose::kTimestep);
+  EXPECT_EQ(back.seq, 41);
+  EXPECT_EQ(back.group, "Sim2");
+  EXPECT_EQ(back.meta_file, "simulation2.schema");
+  ASSERT_EQ(back.arrays.size(), 2u);
+  EXPECT_EQ(back.arrays[1].name, "pressure");
+}
+
+TEST(ProtocolTest, ShutdownRequestIsTiny) {
+  // The paper's point: the collective request is a *short, high-level*
+  // description. A shutdown (no arrays) is a few dozen bytes; even two
+  // full 3-D array descriptions stay well under a kilobyte.
+  CollectiveRequest shutdown;
+  shutdown.op = IoOp::kShutdown;
+  EXPECT_LT(shutdown.ToMessage().WireBytes(), 64);
+
+  CollectiveRequest full;
+  full.arrays.push_back(SampleMeta());
+  full.arrays.push_back(SampleMeta());
+  EXPECT_LT(full.ToMessage().WireBytes(), 1024);
+}
+
+TEST(ProtocolTest, CorruptRequestThrows) {
+  CollectiveRequest req;
+  req.arrays.push_back(SampleMeta());
+  Message msg = req.ToMessage();
+  msg.header.resize(msg.header.size() / 2);  // truncate
+  EXPECT_THROW(CollectiveRequest::FromMessage(msg), PandaError);
+
+  Message bad_op = req.ToMessage();
+  bad_op.header[0] = std::byte{99};
+  EXPECT_THROW(CollectiveRequest::FromMessage(bad_op), PandaError);
+}
+
+TEST(ProtocolTest, PieceHeaderRoundTrip) {
+  std::vector<std::byte> buf;
+  Encoder enc(buf);
+  PieceHeader h{3, 17, 5, 2, Region({0, 64}, {32, 64})};
+  h.EncodeTo(enc);
+  Decoder dec(buf);
+  const PieceHeader back = PieceHeader::Decode(dec);
+  EXPECT_EQ(back.array_index, 3);
+  EXPECT_EQ(back.chunk_index, 17);
+  EXPECT_EQ(back.sub_index, 5);
+  EXPECT_EQ(back.piece_index, 2);
+  EXPECT_EQ(back.region, h.region);
+}
+
+TEST(ProtocolTest, DataFileNames) {
+  EXPECT_EQ(DataFileName("", "temp", Purpose::kGeneral, 0), "temp.dat.0");
+  EXPECT_EQ(DataFileName("Sim2", "temp", Purpose::kTimestep, 3),
+            "Sim2.temp.ts.3");
+  EXPECT_EQ(DataFileName("Sim2", "temp", Purpose::kCheckpoint, 7),
+            "Sim2.temp.ck.7");
+}
+
+TEST(GroupMetaTest, EncodeDecodeRoundTrip) {
+  GroupMeta meta;
+  meta.group = "Sim2";
+  meta.timesteps = 12;
+  meta.has_checkpoint = true;
+  meta.checkpoint_seq = 7;
+  meta.arrays.push_back(SampleMeta());
+  const auto bytes = meta.Encode();
+  const GroupMeta back = GroupMeta::Decode(bytes);
+  EXPECT_EQ(back.group, "Sim2");
+  EXPECT_EQ(back.timesteps, 12);
+  EXPECT_TRUE(back.has_checkpoint);
+  EXPECT_EQ(back.checkpoint_seq, 7);
+  ASSERT_EQ(back.arrays.size(), 1u);
+  EXPECT_EQ(back.arrays[0].name, "temperature");
+}
+
+TEST(GroupMetaTest, RejectsCorruptFiles) {
+  GroupMeta meta;
+  meta.group = "g";
+  auto bytes = meta.Encode();
+  bytes[0] = std::byte{0};  // break the magic
+  EXPECT_THROW(GroupMeta::Decode(bytes), PandaError);
+
+  auto truncated = meta.Encode();
+  truncated.resize(truncated.size() - 3);
+  EXPECT_THROW(GroupMeta::Decode(truncated), PandaError);
+
+  auto trailing = meta.Encode();
+  trailing.push_back(std::byte{0});
+  EXPECT_THROW(GroupMeta::Decode(trailing), PandaError);
+}
+
+TEST(GroupMetaTest, FileSystemRoundTripAndUpdate) {
+  SimFileSystem fs(SimFileSystem::Options{DiskModel::Instant(), true, nullptr});
+  CollectiveRequest req;
+  req.op = IoOp::kWrite;
+  req.purpose = Purpose::kTimestep;
+  req.seq = 0;
+  req.group = "g";
+  req.meta_file = "g.schema";
+  req.arrays.push_back(SampleMeta());
+
+  UpdateGroupMeta(fs, req);
+  EXPECT_EQ(ReadGroupMeta(fs, "g.schema").timesteps, 1);
+
+  req.seq = 4;
+  UpdateGroupMeta(fs, req);
+  EXPECT_EQ(ReadGroupMeta(fs, "g.schema").timesteps, 5);
+
+  req.purpose = Purpose::kCheckpoint;
+  req.seq = 5;
+  UpdateGroupMeta(fs, req);
+  const GroupMeta meta = ReadGroupMeta(fs, "g.schema");
+  EXPECT_EQ(meta.timesteps, 5);  // unchanged by the checkpoint
+  EXPECT_TRUE(meta.has_checkpoint);
+  EXPECT_EQ(meta.checkpoint_seq, 5);
+}
+
+TEST(GroupMetaTest, MissingFileThrows) {
+  SimFileSystem fs(SimFileSystem::Options{DiskModel::Instant(), true, nullptr});
+  EXPECT_THROW(ReadGroupMeta(fs, "absent.schema"), PandaError);
+}
+
+TEST(ArrayTest, Figure2StyleConstruction) {
+  ArrayLayout memory("memory layout", {8, 8});
+  ArrayLayout disk("disk layout", {8, 1});
+  Array temperature("temperature", {512, 512, 512}, sizeof(int), memory,
+                    {BLOCK, BLOCK, NONE}, disk, {BLOCK, BLOCK, NONE});
+  EXPECT_EQ(temperature.name(), "temperature");
+  EXPECT_EQ(temperature.total_bytes(),
+            512LL * 512 * 512 * static_cast<std::int64_t>(sizeof(int)));
+  EXPECT_FALSE(temperature.bound());
+
+  temperature.BindClient(0);
+  EXPECT_TRUE(temperature.bound());
+  EXPECT_EQ(temperature.local_region(), Region({0, 0, 0}, {64, 64, 512}));
+  EXPECT_EQ(temperature.local_data().size(),
+            static_cast<size_t>(64 * 64 * 512 * sizeof(int)));
+  auto typed = temperature.local_as<int>();
+  EXPECT_EQ(typed.size(), static_cast<size_t>(64 * 64 * 512));
+}
+
+TEST(ArrayTest, BindWithoutAllocationForTimingRuns) {
+  ArrayLayout memory("m", {2});
+  Array a("x", {16}, 4, memory, {BLOCK}, memory, {BLOCK});
+  a.BindClient(1, /*allocate=*/false);
+  EXPECT_TRUE(a.bound());
+  EXPECT_TRUE(a.local_data().empty());
+  EXPECT_EQ(a.local_region(), Region({8}, {8}));
+}
+
+TEST(ArrayTest, RejectsBadConstruction) {
+  ArrayLayout memory("m", {2});
+  EXPECT_THROW(Array("", {16}, 4, memory, {BLOCK}, memory, {BLOCK}),
+               PandaError);
+  EXPECT_THROW(Array("x", {16}, 0, memory, {BLOCK}, memory, {BLOCK}),
+               PandaError);
+  // CYCLIC memory schemas are rejected (disk-only extension).
+  EXPECT_THROW(Array("x", {16}, 4, memory, {CYCLIC(2)}, memory, {BLOCK}),
+               PandaError);
+  // Memory/disk shape mismatch through the schema constructor.
+  EXPECT_THROW(Array("x", 4, Schema({16}, Mesh(Shape{2}), {BLOCK}),
+                     Schema({8}, Mesh(Shape{2}), {BLOCK})),
+               PandaError);
+}
+
+TEST(ArrayTest, BindClientRangeChecked) {
+  ArrayLayout memory("m", {2});
+  Array a("x", {16}, 4, memory, {BLOCK}, memory, {BLOCK});
+  EXPECT_THROW(a.BindClient(2), PandaError);
+  EXPECT_THROW(a.BindClient(-1), PandaError);
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,303 @@
+// Tests for the high-level collective operations of Figure 2:
+// timestep output, checkpoint, restart, timestep read-back, and the
+// group metadata (.schema) files.
+#include <gtest/gtest.h>
+
+#include "test_harness.h"
+
+namespace panda {
+namespace {
+
+using test::FillPattern;
+using test::RunCluster;
+using test::VerifyPattern;
+
+Machine SimMachine(int clients, int servers) {
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 1024;
+  return Machine::Simulated(clients, servers, params, /*store_data=*/true,
+                            /*timing_only=*/false);
+}
+
+TEST(TimestepTest, TimestepsAppendAndReadBack) {
+  Machine machine = SimMachine(4, 2);
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2, 2});
+    Array a("u", {8, 8}, 8, memory, {BLOCK, BLOCK}, memory, {BLOCK, BLOCK});
+    a.BindClient(idx);
+
+    ArrayGroup group("sim", "sim.schema");
+    group.Include(&a);
+
+    // Write three timesteps with distinct contents.
+    for (std::uint64_t t = 0; t < 3; ++t) {
+      FillPattern(a, 100 + t);
+      group.Timestep(client);
+    }
+    EXPECT_EQ(group.timesteps_written(), 3);
+
+    // Read each timestep back and verify.
+    for (std::uint64_t t = 0; t < 3; ++t) {
+      std::fill(a.local_data().begin(), a.local_data().end(), std::byte{0});
+      group.ReadTimestep(client, static_cast<std::int64_t>(t));
+      VerifyPattern(a, 100 + t);
+    }
+  });
+}
+
+TEST(TimestepTest, CheckpointRestartRestoresData) {
+  Machine machine = SimMachine(4, 2);
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2, 2});
+    ArrayLayout disk("d", {2});
+    Array a("state", {10, 12}, 4, memory, {BLOCK, BLOCK}, disk, {BLOCK, NONE});
+    a.BindClient(idx);
+
+    ArrayGroup group("ckpt", "ckpt.schema");
+    group.Include(&a);
+
+    FillPattern(a, 555);
+    group.Checkpoint(client);
+
+    // "Crash": scribble over the state, then restart.
+    std::fill(a.local_data().begin(), a.local_data().end(), std::byte{0xFF});
+    group.Restart(client);
+    VerifyPattern(a, 555);
+  });
+}
+
+TEST(TimestepTest, CheckpointOverwritesPrevious) {
+  Machine machine = SimMachine(2, 1);
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2});
+    Array a("s", {16}, 4, memory, {BLOCK}, memory, {BLOCK});
+    a.BindClient(idx);
+    ArrayGroup group("g");
+    group.Include(&a);
+
+    FillPattern(a, 1);
+    group.Checkpoint(client);
+    FillPattern(a, 2);
+    group.Checkpoint(client);
+
+    std::fill(a.local_data().begin(), a.local_data().end(), std::byte{0});
+    group.Restart(client);
+    VerifyPattern(a, 2);  // the newer checkpoint wins
+  });
+}
+
+TEST(TimestepTest, TimestepOfGroupWritesAllArrays) {
+  // Figure 2's scenario: one Timestep() call outputs three arrays.
+  Machine machine = SimMachine(4, 2);
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2, 2});
+    Array t("temperature", {8, 8}, 4, memory, {BLOCK, BLOCK}, memory,
+            {BLOCK, BLOCK});
+    Array p("pressure", {8, 8}, 8, memory, {BLOCK, BLOCK}, memory,
+            {BLOCK, BLOCK});
+    Array rho("density", {4, 4}, 8, memory, {BLOCK, BLOCK}, memory,
+              {BLOCK, BLOCK});
+    for (Array* a : {&t, &p, &rho}) a->BindClient(idx);
+
+    ArrayGroup sim("Sim2", "simulation2.schema");
+    sim.Include(&t);
+    sim.Include(&p);
+    sim.Include(&rho);
+
+    FillPattern(t, 10);
+    FillPattern(p, 20);
+    FillPattern(rho, 30);
+    sim.Timestep(client);
+
+    for (Array* a : {&t, &p, &rho}) {
+      std::fill(a->local_data().begin(), a->local_data().end(),
+                std::byte{0xBB});
+    }
+    sim.ReadTimestep(client, 0);
+    VerifyPattern(t, 10);
+    VerifyPattern(p, 20);
+    VerifyPattern(rho, 30);
+  });
+}
+
+TEST(TimestepTest, GroupMetadataIsMaintained) {
+  Machine machine = SimMachine(2, 2);
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2});
+    Array a("u", {16}, 4, memory, {BLOCK}, memory, {BLOCK});
+    a.BindClient(idx);
+    ArrayGroup group("meta_demo", "meta_demo.schema");
+    group.Include(&a);
+    FillPattern(a, 1);
+    group.Timestep(client);
+    group.Timestep(client);
+    group.Checkpoint(client);
+  });
+  // The master server (index 0) holds the metadata file.
+  const GroupMeta meta =
+      ReadGroupMeta(machine.server_fs(0), "meta_demo.schema");
+  EXPECT_EQ(meta.group, "meta_demo");
+  EXPECT_EQ(meta.timesteps, 2);
+  EXPECT_TRUE(meta.has_checkpoint);
+  EXPECT_EQ(meta.checkpoint_seq, 2);
+  ASSERT_EQ(meta.arrays.size(), 1u);
+  EXPECT_EQ(meta.arrays[0].name, "u");
+  EXPECT_EQ(meta.arrays[0].memory.array_shape(), (Shape{16}));
+}
+
+TEST(TimestepTest, MixedTimestepAndCheckpointInterleave) {
+  // The Figure 2 program shape: timestep every iteration, checkpoint in
+  // the middle, then recover from the checkpoint and verify both the
+  // recovered state and previously written timesteps stay readable.
+  Machine machine = SimMachine(4, 2);
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {4});
+    Array a("field", {32, 4}, 8, memory, {BLOCK, NONE}, memory,
+            {BLOCK, NONE});
+    a.BindClient(idx);
+    ArrayGroup group("run");
+    group.Include(&a);
+
+    for (std::uint64_t i = 0; i < 4; ++i) {
+      FillPattern(a, 200 + i);
+      group.Timestep(client);
+      if (i == 1) group.Checkpoint(client);
+    }
+
+    std::fill(a.local_data().begin(), a.local_data().end(), std::byte{0});
+    group.Restart(client);
+    VerifyPattern(a, 201);  // checkpoint captured timestep-1 contents
+
+    std::fill(a.local_data().begin(), a.local_data().end(), std::byte{0});
+    group.ReadTimestep(client, 3);
+    VerifyPattern(a, 203);
+  });
+}
+
+TEST(TimestepTest, ResumeContinuesTimestepStream) {
+  // Run 1 writes three timesteps; run 2 (fresh ArrayGroup, same files)
+  // resumes and appends two more without clobbering the first three.
+  Machine machine = SimMachine(4, 2);
+  // Same machine across both "runs": two Run() invocations.
+  const World world{4, 2};
+  auto client_main = [&](Endpoint& ep, int idx, bool second_run) {
+    PandaClient client(ep, world, machine.params());
+    ArrayLayout memory("m", {2, 2});
+    Array a("u", {8, 8}, 8, memory, {BLOCK, BLOCK}, memory, {BLOCK, BLOCK});
+    a.BindClient(idx);
+    ArrayGroup group("resume_demo", "resume_demo.schema");
+    group.Include(&a);
+    if (!second_run) {
+      EXPECT_FALSE(group.Resume(client));  // nothing to resume yet
+      for (std::uint64_t t = 0; t < 3; ++t) {
+        FillPattern(a, 700 + t);
+        group.Timestep(client);
+      }
+    } else {
+      EXPECT_TRUE(group.Resume(client));
+      EXPECT_EQ(group.timesteps_written(), 3);
+      for (std::uint64_t t = 3; t < 5; ++t) {
+        FillPattern(a, 700 + t);
+        group.Timestep(client);
+      }
+      // All five timesteps are readable.
+      for (std::uint64_t t = 0; t < 5; ++t) {
+        group.ReadTimestep(client, static_cast<std::int64_t>(t));
+        VerifyPattern(a, 700 + t);
+      }
+    }
+    if (idx == 0) client.Shutdown();
+  };
+  machine.Run(
+      [&](Endpoint& ep, int idx) { client_main(ep, idx, false); },
+      [&](Endpoint& ep, int sidx) {
+        ServerMain(ep, machine.server_fs(sidx), world, machine.params());
+      });
+  machine.Run(
+      [&](Endpoint& ep, int idx) { client_main(ep, idx, true); },
+      [&](Endpoint& ep, int sidx) {
+        ServerMain(ep, machine.server_fs(sidx), world, machine.params());
+      });
+}
+
+TEST(TimestepTest, AttributesPersistAndResume) {
+  Machine machine = SimMachine(4, 2);
+  const World world{4, 2};
+  auto client_main = [&](Endpoint& ep, int idx, bool second_run) {
+    PandaClient client(ep, world, machine.params());
+    ArrayLayout memory("m", {2, 2});
+    Array a("u", {8, 8}, 4, memory, {BLOCK, BLOCK}, memory, {BLOCK, BLOCK});
+    a.BindClient(idx);
+    ArrayGroup group("attrs", "attrs.schema");
+    group.Include(&a);
+    if (!second_run) {
+      group.SetAttribute("iteration", "41");
+      group.SetAttribute("dt", "0.025");
+      FillPattern(a, 1);
+      group.Checkpoint(client);
+      group.SetAttribute("iteration", "42");  // newer value wins
+      group.Timestep(client);
+    } else {
+      EXPECT_TRUE(group.Resume(client));
+      EXPECT_EQ(group.GetAttribute("iteration"), "42");
+      EXPECT_EQ(group.GetAttribute("dt"), "0.025");
+      EXPECT_EQ(group.GetAttribute("absent"), "");
+      EXPECT_EQ(group.timesteps_written(), 1);
+    }
+    if (idx == 0) client.Shutdown();
+  };
+  machine.Run([&](Endpoint& ep, int idx) { client_main(ep, idx, false); },
+              [&](Endpoint& ep, int sidx) {
+                ServerMain(ep, machine.server_fs(sidx), world,
+                           machine.params());
+              });
+  machine.Run([&](Endpoint& ep, int idx) { client_main(ep, idx, true); },
+              [&](Endpoint& ep, int sidx) {
+                ServerMain(ep, machine.server_fs(sidx), world,
+                           machine.params());
+              });
+}
+
+TEST(TimestepTest, ErrorsOnUnboundArray) {
+  Machine machine = SimMachine(2, 1);
+  EXPECT_THROW(
+      RunCluster(machine,
+                 [&](PandaClient& client, int idx) {
+                   (void)idx;
+                   ArrayLayout memory("m", {2});
+                   Array a("u", {16}, 4, memory, {BLOCK}, memory, {BLOCK});
+                   // not bound
+                   client.WriteArray(a);
+                 }),
+      PandaError);
+}
+
+TEST(TimestepTest, ErrorsOnMeshClientMismatch) {
+  Machine machine = SimMachine(4, 1);
+  EXPECT_THROW(
+      RunCluster(machine,
+                 [&](PandaClient& client, int idx) {
+                   ArrayLayout memory("m", {2});  // only 2 positions
+                   Array a("u", {16}, 4, memory, {BLOCK}, memory, {BLOCK});
+                   a.BindClient(idx % 2);
+                   client.WriteArray(a);
+                 }),
+      PandaError);
+}
+
+TEST(TimestepTest, ReadingMissingFileFails) {
+  Machine machine = SimMachine(2, 1);
+  EXPECT_THROW(
+      RunCluster(machine,
+                 [&](PandaClient& client, int idx) {
+                   ArrayLayout memory("m", {2});
+                   Array a("never_written", {16}, 4, memory, {BLOCK}, memory,
+                           {BLOCK});
+                   a.BindClient(idx);
+                   client.ReadArray(a);
+                 }),
+      PandaError);
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,124 @@
+// Re-decomposition: because the disk schema alone defines the files,
+// data written by one processor configuration can be read back by a
+// different one — checkpoint on 8 nodes, restart on 4 (or 2, or 16, or
+// with a different mesh shape). This is the practical payoff of
+// separating memory and disk schemas.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+
+#include "test_harness.h"
+
+namespace panda {
+namespace {
+
+using test::FillPattern;
+using test::RunCluster;
+using test::VerifyPattern;
+
+struct Decomposition {
+  int clients;
+  Shape mesh;
+  std::vector<DimDist> dists;
+};
+
+class RedecompositionTest
+    : public ::testing::TestWithParam<std::tuple<int, int>> {};
+
+TEST_P(RedecompositionTest, CheckpointOnOneMeshRestartOnAnother) {
+  const auto [writer_id, reader_id] = GetParam();
+  const Decomposition decomps[] = {
+      {8, {2, 2, 2}, {BLOCK, BLOCK, BLOCK}},
+      {4, {4}, {BLOCK, NONE, NONE}},
+      {4, {2, 2}, {NONE, BLOCK, BLOCK}},
+      {2, {2}, {NONE, BLOCK, NONE}},
+      {16, {4, 2, 2}, {BLOCK, BLOCK, BLOCK}},
+  };
+  const Decomposition& writer = decomps[writer_id];
+  const Decomposition& reader = decomps[reader_id];
+
+  const std::string root =
+      (std::filesystem::temp_directory_path() /
+       ("panda_redecomp_" + std::to_string(::getpid()) + "_" +
+        std::to_string(writer_id) + std::to_string(reader_id)))
+          .string();
+  std::filesystem::remove_all(root);
+
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 2048;
+  const Shape shape{8, 12, 16};
+  // The disk schema is the contract both configurations share.
+  const Schema disk(shape, Mesh(Shape{3}), {BLOCK, NONE, NONE});
+
+  // Phase 1: the writer configuration checkpoints.
+  {
+    Machine machine =
+        Machine::WithPosixFs(writer.clients, 3, params, root);
+    RunCluster(machine, [&](PandaClient& client, int idx) {
+      Array a("state", 8, Schema(shape, Mesh(writer.mesh), writer.dists),
+              disk);
+      a.BindClient(idx);
+      FillPattern(a, 404);
+      ArrayGroup group("job");
+      group.Include(&a);
+      group.Checkpoint(client);
+    });
+  }
+
+  // Phase 2: a different configuration restarts from the same files.
+  {
+    Machine machine =
+        Machine::WithPosixFs(reader.clients, 3, params, root);
+    RunCluster(machine, [&](PandaClient& client, int idx) {
+      Array a("state", 8, Schema(shape, Mesh(reader.mesh), reader.dists),
+              disk);
+      a.BindClient(idx);
+      ArrayGroup group("job");
+      group.Include(&a);
+      group.Restart(client);
+      VerifyPattern(a, 404);
+    });
+  }
+  std::filesystem::remove_all(root);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    MeshPairs, RedecompositionTest,
+    ::testing::Values(std::tuple(0, 1), std::tuple(0, 3), std::tuple(1, 0),
+                      std::tuple(2, 0), std::tuple(0, 4), std::tuple(4, 2),
+                      std::tuple(3, 4)),
+    [](const ::testing::TestParamInfo<std::tuple<int, int>>& info) {
+      return "w" + std::to_string(std::get<0>(info.param)) + "_r" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+TEST(RedecompositionTest, ServerCountMustMatchDiskFiles) {
+  // The i/o-node count is part of the on-disk contract (round-robin
+  // chunk assignment): reading with a different server count fails
+  // loudly instead of scrambling data.
+  Machine write_machine = Machine::Simulated(
+      4, 2, Sp2Params::Functional(), /*store_data=*/true, false);
+  const Shape shape{16, 8};
+  ArrayLayout memory("m", {2, 2});
+  RunCluster(write_machine, [&](PandaClient& client, int idx) {
+    Array a("x", shape, 4, memory, {BLOCK, BLOCK}, memory, {BLOCK, BLOCK});
+    a.BindClient(idx);
+    FillPattern(a, 1);
+    client.WriteArray(a);
+  });
+  // A fresh 3-server machine has no files at all -> read throws.
+  Machine read_machine = Machine::Simulated(
+      4, 3, Sp2Params::Functional(), /*store_data=*/true, false);
+  EXPECT_THROW(
+      RunCluster(read_machine,
+                 [&](PandaClient& client, int idx) {
+                   Array a("x", shape, 4, memory, {BLOCK, BLOCK}, memory,
+                           {BLOCK, BLOCK});
+                   a.BindClient(idx);
+                   client.ReadArray(a);
+                 }),
+      PandaError);
+}
+
+}  // namespace
+}  // namespace panda

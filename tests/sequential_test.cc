@@ -1,0 +1,195 @@
+// Sequential-platform tests: the SequentialPanda path must interoperate
+// byte-exactly with the parallel library in both directions.
+#include <gtest/gtest.h>
+
+#include "panda/sequential.h"
+#include "test_harness.h"
+
+namespace panda {
+namespace {
+
+using test::FillPattern;
+using test::PatternValue;
+using test::RunCluster;
+using test::VerifyPattern;
+
+ArrayMeta TestMeta(int servers) {
+  ArrayMeta meta;
+  meta.name = "seq";
+  meta.elem_size = 4;
+  meta.memory = Schema({12, 8, 6}, Mesh(Shape{2, 2, 2}),
+                       {BLOCK, BLOCK, BLOCK});
+  meta.disk = Schema({12, 8, 6}, Mesh(Shape{servers}), {BLOCK, NONE, NONE});
+  return meta;
+}
+
+std::vector<std::byte> WholePattern(const ArrayMeta& meta,
+                                    std::uint64_t salt) {
+  const Shape& shape = meta.memory.array_shape();
+  std::vector<std::byte> data(static_cast<size_t>(meta.total_bytes()));
+  for (std::int64_t i = 0; i < shape.Volume(); ++i) {
+    const std::uint64_t v = PatternValue(salt, static_cast<std::uint64_t>(i));
+    std::memcpy(data.data() + i * meta.elem_size, &v,
+                std::min<size_t>(static_cast<size_t>(meta.elem_size),
+                                 sizeof(v)));
+  }
+  return data;
+}
+
+TEST(SequentialTest, RoundTrip) {
+  SimFileSystem::Options opt;
+  opt.disk = DiskModel::Instant();
+  SimFileSystem fs0(opt), fs1(opt), fs2(opt);
+  SequentialPanda seq({&fs0, &fs1, &fs2}, Sp2Params::Functional());
+
+  const ArrayMeta meta = TestMeta(3);
+  const auto data = WholePattern(meta, 10);
+  seq.Write(meta, {data.data(), data.size()});
+  const auto back = seq.ReadWhole(meta);
+  EXPECT_EQ(back, data);
+}
+
+TEST(SequentialTest, SequentialWriteParallelRead) {
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 512;
+  Machine machine = Machine::Simulated(8, 2, params, true, false);
+  const ArrayMeta meta = TestMeta(2);
+
+  // Sequential producer writes straight to the machine's server FSs.
+  {
+    SequentialPanda seq({&machine.server_fs(0), &machine.server_fs(1)},
+                        params);
+    const auto data = WholePattern(meta, 66);
+    seq.Write(meta, {data.data(), data.size()});
+  }
+
+  // Parallel consumer reads collectively and verifies its cells.
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+    a.BindClient(idx);
+    client.ReadArray(a);
+    VerifyPattern(a, 66);
+  });
+}
+
+TEST(SequentialTest, ParallelWriteSequentialRead) {
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 512;
+  Machine machine = Machine::Simulated(8, 3, params, true, false);
+  const ArrayMeta meta = TestMeta(3);
+
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+    a.BindClient(idx);
+    FillPattern(a, 44);
+    client.WriteArray(a);
+  });
+
+  SequentialPanda seq(
+      {&machine.server_fs(0), &machine.server_fs(1), &machine.server_fs(2)},
+      params);
+  const auto back = seq.ReadWhole(meta);
+  EXPECT_EQ(back, WholePattern(meta, 44));
+}
+
+TEST(SequentialTest, TimestepAppendAndReadBack) {
+  SimFileSystem::Options opt;
+  opt.disk = DiskModel::Instant();
+  SimFileSystem fs0(opt), fs1(opt);
+  SequentialPanda seq({&fs0, &fs1}, Sp2Params::Functional());
+  const ArrayMeta meta = TestMeta(2);
+
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    const auto data = WholePattern(meta, 100 + t);
+    seq.Write(meta, {data.data(), data.size()}, Purpose::kTimestep,
+              static_cast<std::int64_t>(t), "g");
+  }
+  for (std::uint64_t t = 0; t < 3; ++t) {
+    const auto back = seq.ReadWhole(meta, Purpose::kTimestep,
+                                    static_cast<std::int64_t>(t), "g");
+    EXPECT_EQ(back, WholePattern(meta, 100 + t)) << "timestep " << t;
+  }
+}
+
+TEST(SequentialTest, SubarrayReadReturnsDenseSlice) {
+  SimFileSystem::Options opt;
+  opt.disk = DiskModel::Instant();
+  SimFileSystem fs0(opt), fs1(opt);
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 256;
+  SequentialPanda seq({&fs0, &fs1}, params);
+  const ArrayMeta meta = TestMeta(2);
+  const auto data = WholePattern(meta, 91);
+  seq.Write(meta, {data.data(), data.size()});
+
+  const Region slice({3, 2, 1}, {5, 4, 3});
+  const auto out = seq.ReadSubarray(meta, slice);
+  ASSERT_EQ(out.size(),
+            static_cast<size_t>(slice.Volume() * meta.elem_size));
+  // Compare against the dense pattern, element by element.
+  const Shape& shape = meta.memory.array_shape();
+  Index off = Index::Zeros(3);
+  Shape ext = slice.extent();
+  size_t n = 0;
+  do {
+    Index g = slice.lo();
+    for (int d = 0; d < 3; ++d) g[d] += off[d];
+    const std::int64_t lin = (g[0] * shape[1] + g[1]) * shape[2] + g[2];
+    const std::uint64_t v =
+        PatternValue(91, static_cast<std::uint64_t>(lin));
+    EXPECT_EQ(std::memcmp(out.data() + n * 4, &v, 4), 0) << g.ToString();
+    ++n;
+  } while (NextIndexRowMajor(ext, off));
+
+  // Economy: a slice in server 0's slab alone must not touch server 1.
+  fs0.ResetStats();
+  fs1.ResetStats();
+  (void)seq.ReadSubarray(meta, Region({0, 0, 0}, {2, 8, 6}));
+  EXPECT_GT(fs0.stats().reads, 0);
+  EXPECT_EQ(fs1.stats().reads, 0);
+}
+
+TEST(SequentialTest, SubarrayOutsideArrayThrows) {
+  SimFileSystem::Options opt;
+  SimFileSystem fs0(opt);
+  SequentialPanda seq({&fs0}, Sp2Params::Functional());
+  const ArrayMeta meta = TestMeta(1);
+  EXPECT_THROW(seq.ReadSubarray(meta, Region({10, 0, 0}, {10, 8, 6})),
+               PandaError);
+}
+
+TEST(SequentialTest, SizeMismatchThrows) {
+  SimFileSystem::Options opt;
+  SimFileSystem fs0(opt);
+  SequentialPanda seq({&fs0}, Sp2Params::Functional());
+  const ArrayMeta meta = TestMeta(1);
+  std::vector<std::byte> wrong(10);
+  EXPECT_THROW(seq.Write(meta, {wrong.data(), wrong.size()}), PandaError);
+  EXPECT_THROW(seq.Read(meta, {wrong.data(), wrong.size()}), PandaError);
+}
+
+TEST(SequentialTest, NaturalChunkingFilesInteroperate) {
+  // Natural chunking (disk schema == a parallel memory schema) written
+  // by the parallel library, consumed sequentially.
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 256;
+  Machine machine = Machine::Simulated(4, 2, params, true, false);
+  ArrayMeta meta;
+  meta.name = "nat";
+  meta.elem_size = 8;
+  meta.memory = Schema({10, 14}, Mesh(Shape{2, 2}), {BLOCK, BLOCK});
+  meta.disk = meta.memory;
+
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+    a.BindClient(idx);
+    FillPattern(a, 3);
+    client.WriteArray(a);
+  });
+
+  SequentialPanda seq({&machine.server_fs(0), &machine.server_fs(1)}, params);
+  EXPECT_EQ(seq.ReadWhole(meta), WholePattern(meta, 3));
+}
+
+}  // namespace
+}  // namespace panda

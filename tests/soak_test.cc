@@ -1,0 +1,266 @@
+// Soak test: long randomized end-to-end scenarios on one machine —
+// many collectives of random schema pairs, array counts, element sizes
+// and operations back to back, all byte-verified. Exercises mailbox
+// ordering, plan determinism and file-offset bookkeeping across
+// consecutive collectives far beyond what the targeted tests do.
+#include <gtest/gtest.h>
+
+#include "test_harness.h"
+#include "util/random.h"
+
+namespace panda {
+namespace {
+
+using test::FillPattern;
+using test::RunCluster;
+using test::VerifyPattern;
+
+Schema RandomBlockSchema(Rng& rng, const Shape& shape, int min_mesh_size) {
+  const int r = shape.rank();
+  for (;;) {
+    std::vector<DimDist> dists(static_cast<size_t>(r), DimDist::None());
+    Index mesh_dims;
+    for (int d = 0; d < r; ++d) {
+      if (rng.NextBelow(2) == 0) {
+        dists[static_cast<size_t>(d)] = DimDist::Block();
+        mesh_dims.Append(1 + static_cast<std::int64_t>(rng.NextBelow(3)));
+      }
+    }
+    if (mesh_dims.rank() == 0) continue;
+    Schema schema(shape, Mesh(mesh_dims), dists);
+    if (schema.mesh().size() >= min_mesh_size) return schema;
+  }
+}
+
+TEST(SoakTest, ManyRandomCollectivesOnOneMachine) {
+  Rng rng(20260706);
+  const int kClients = 6;
+  const int kServers = 3;
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 512;
+  Machine machine = Machine::Simulated(kClients, kServers, params,
+                                       /*store_data=*/true, false);
+
+  // Pre-draw the scenario so every rank sees the same plan.
+  struct Step {
+    Shape shape;
+    Schema memory;
+    Schema disk;
+    std::int64_t elem;
+    std::uint64_t salt;
+  };
+  std::vector<Step> steps;
+  for (int i = 0; i < 25; ++i) {
+    Step step;
+    const int rank = 2 + static_cast<int>(rng.NextBelow(2));
+    step.shape = Index::Zeros(rank);
+    for (int d = 0; d < rank; ++d) {
+      step.shape[d] = 2 + static_cast<std::int64_t>(rng.NextBelow(14));
+    }
+    // Memory mesh must have exactly kClients positions: draw dims whose
+    // product is kClients (6 = 6 or 2x3 or 3x2).
+    const int choice = static_cast<int>(rng.NextBelow(3));
+    if (choice == 0) {
+      step.memory = Schema(step.shape, Mesh(Shape{kClients}),
+                           [&] {
+                             std::vector<DimDist> d(
+                                 static_cast<size_t>(rank), DimDist::None());
+                             d[0] = DimDist::Block();
+                             return d;
+                           }());
+    } else {
+      Shape mesh = choice == 1 ? Shape{2, 3} : Shape{3, 2};
+      std::vector<DimDist> d(static_cast<size_t>(rank), DimDist::None());
+      d[0] = DimDist::Block();
+      d[1] = DimDist::Block();
+      step.memory = Schema(step.shape, Mesh(mesh), d);
+    }
+    step.disk = RandomBlockSchema(rng, step.shape, 1);
+    step.elem = (rng.NextBelow(2) == 0) ? 4 : 8;
+    step.salt = rng.Next();
+    steps.push_back(std::move(step));
+  }
+
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    for (size_t i = 0; i < steps.size(); ++i) {
+      const Step& step = steps[i];
+      Array a("soak" + std::to_string(i), step.elem, step.memory, step.disk);
+      a.BindClient(idx);
+      FillPattern(a, step.salt);
+      client.WriteArray(a);
+      std::fill(a.local_data().begin(), a.local_data().end(), std::byte{0});
+      client.ReadArray(a);
+      VerifyPattern(a, step.salt);
+    }
+  });
+}
+
+TEST(SoakTest, LongTimestepStreamWithPeriodicCheckpoints) {
+  // A 40-iteration Figure 2 lifecycle: timestep every iteration,
+  // checkpoint every 8, three restarts sprinkled in, every array
+  // verified after every read-back.
+  const int kClients = 4;
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 256;
+  Machine machine =
+      Machine::Simulated(kClients, 2, params, /*store_data=*/true, false);
+
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2, 2});
+    ArrayLayout disk("d", {2});
+    Array u("u", {12, 12}, 8, memory, {BLOCK, BLOCK}, disk, {BLOCK, NONE});
+    Array v("v", {8, 10}, 4, memory, {BLOCK, BLOCK}, memory, {BLOCK, BLOCK});
+    u.BindClient(idx);
+    v.BindClient(idx);
+    ArrayGroup group("stream", "stream.schema");
+    group.Include(&u);
+    group.Include(&v);
+
+    std::uint64_t checkpoint_salt = 0;
+    for (std::uint64_t t = 0; t < 40; ++t) {
+      FillPattern(u, 1000 + t);
+      FillPattern(v, 2000 + t);
+      group.Timestep(client);
+      if (t % 8 == 7) {
+        group.Checkpoint(client);
+        checkpoint_salt = t;
+      }
+      if (t == 20 || t == 33) {
+        // Crash-and-restart mid-stream.
+        std::fill(u.local_data().begin(), u.local_data().end(),
+                  std::byte{0});
+        std::fill(v.local_data().begin(), v.local_data().end(),
+                  std::byte{0});
+        group.Restart(client);
+        VerifyPattern(u, 1000 + checkpoint_salt);
+        VerifyPattern(v, 2000 + checkpoint_salt);
+      }
+    }
+
+    // Spot-check random earlier timesteps.
+    for (const std::uint64_t t : {0ULL, 13ULL, 26ULL, 39ULL}) {
+      group.ReadTimestep(client, static_cast<std::int64_t>(t));
+      VerifyPattern(u, 1000 + t);
+      VerifyPattern(v, 2000 + t);
+    }
+  });
+}
+
+TEST(SoakTest, AlternatingOpsAcrossManyGroups) {
+  // Several groups with interleaved lifecycles against one server set.
+  const int kClients = 4;
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 512;
+  Machine machine =
+      Machine::Simulated(kClients, 3, params, /*store_data=*/true, false);
+
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {4});
+    std::vector<std::unique_ptr<Array>> arrays;
+    std::vector<std::unique_ptr<ArrayGroup>> groups;
+    for (int g = 0; g < 5; ++g) {
+      arrays.push_back(std::make_unique<Array>(
+          "g" + std::to_string(g), Shape{16, 4 + g}, 4, memory,
+          std::vector<Distribution>{BLOCK, NONE}, memory,
+          std::vector<Distribution>{BLOCK, NONE}));
+      arrays.back()->BindClient(idx);
+      groups.push_back(
+          std::make_unique<ArrayGroup>("grp" + std::to_string(g)));
+      groups.back()->Include(arrays.back().get());
+    }
+    for (int round = 0; round < 6; ++round) {
+      for (int g = 0; g < 5; ++g) {
+        FillPattern(*arrays[static_cast<size_t>(g)],
+                    static_cast<std::uint64_t>(round * 10 + g));
+        groups[static_cast<size_t>(g)]->Timestep(client);
+      }
+      // Read back a rotating subset.
+      const int g = round % 5;
+      groups[static_cast<size_t>(g)]->ReadTimestep(client, round);
+      VerifyPattern(*arrays[static_cast<size_t>(g)],
+                    static_cast<std::uint64_t>(round * 10 + g));
+    }
+  });
+}
+
+TEST(SoakTest, MixedWorkloadRandomizedInterleaving) {
+  // Two applications with randomized per-app op sequences hammer one
+  // shared server pool; every read-back verified. Run twice to shake
+  // different wall-clock interleavings of the masters' requests.
+  for (int trial = 0; trial < 2; ++trial) {
+    Sp2Params params = Sp2Params::Functional();
+    params.subchunk_bytes = 512;
+    ThreadTransport::Config cfg;
+    cfg.net = params.net;
+    const int per_app = 3;
+    const int servers = 2;
+    ThreadTransport transport(2 * per_app + servers, cfg);
+    World base;
+    base.num_clients = per_app;
+    base.num_servers = servers;
+    base.first_server = 2 * per_app;
+
+    SimFileSystem::Options fs_opt;
+    fs_opt.disk = DiskModel::Instant();
+    std::vector<std::unique_ptr<SimFileSystem>> fs;
+    for (int s = 0; s < servers; ++s) {
+      fs.push_back(std::make_unique<SimFileSystem>(fs_opt));
+    }
+
+    transport.Run([&](Endpoint& ep) {
+      if (base.is_server_rank(ep.rank())) {
+        ServerOptions options;
+        options.num_applications = 2;
+        ServerMain(ep,
+                   *fs[static_cast<size_t>(base.server_index(ep.rank()))],
+                   base, params, options);
+        return;
+      }
+      const bool is_a = ep.rank() < per_app;
+      const World world =
+          is_a ? base : base.WithClients(per_app, per_app);
+      PandaClient client(ep, world, params);
+      ArrayLayout memory("m", {per_app});
+      Array a(is_a ? "soakA" : "soakB", {18, 6}, 4, memory, {BLOCK, NONE},
+              memory, {BLOCK, NONE});
+      a.BindClient(client.index());
+      ArrayGroup group(is_a ? "ga" : "gb");
+      group.Include(&a);
+
+      // Same RNG on every rank of an app => same op sequence.
+      Rng rng(is_a ? 123 + trial : 456 + trial);
+      for (int i = 0; i < 12; ++i) {
+        const std::uint64_t salt =
+            (is_a ? 10000u : 20000u) + static_cast<std::uint64_t>(i);
+        switch (rng.NextBelow(3)) {
+          case 0:
+            FillPattern(a, salt);
+            group.Timestep(client);
+            group.ReadTimestep(client, group.timesteps_written() - 1);
+            VerifyPattern(a, salt);
+            break;
+          case 1:
+            FillPattern(a, salt);
+            group.Checkpoint(client);
+            std::fill(a.local_data().begin(), a.local_data().end(),
+                      std::byte{0});
+            group.Restart(client);
+            VerifyPattern(a, salt);
+            break;
+          default:
+            FillPattern(a, salt);
+            group.Write(client);
+            std::fill(a.local_data().begin(), a.local_data().end(),
+                      std::byte{0});
+            group.Read(client);
+            VerifyPattern(a, salt);
+            break;
+        }
+      }
+      client.Shutdown();
+    });
+  }
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,124 @@
+// Tests for the multi-disk striped file system.
+#include <gtest/gtest.h>
+
+#include "iosim/striped_fs.h"
+#include "test_harness.h"
+
+namespace panda {
+namespace {
+
+StripedFileSystem::Options BaseOptions(int disks, VirtualClock* clock) {
+  StripedFileSystem::Options opt;
+  opt.num_disks = disks;
+  opt.stripe_bytes = 64 * 1024;
+  opt.disk = DiskModel::NasSp2Aix();
+  opt.store_data = clock == nullptr;
+  opt.clock = clock;
+  return opt;
+}
+
+TEST(StripedFsTest, DataRoundTripAcrossStripes) {
+  StripedFileSystem fs(BaseOptions(3, nullptr));
+  auto f = fs.Open("x", OpenMode::kWrite);
+  // 300 KB spans several 64 KB stripes on 3 disks.
+  std::vector<std::byte> data(300 * 1024);
+  for (size_t i = 0; i < data.size(); ++i) {
+    data[i] = static_cast<std::byte>(i * 2654435761u >> 13);
+  }
+  f->WriteAt(0, {data.data(), data.size()},
+             static_cast<std::int64_t>(data.size()));
+  std::vector<std::byte> out(data.size());
+  f->ReadAt(0, {out.data(), out.size()},
+            static_cast<std::int64_t>(out.size()));
+  EXPECT_EQ(out, data);
+
+  // Unaligned partial read.
+  std::vector<std::byte> part(100'000);
+  f->ReadAt(12'345, {part.data(), part.size()}, 100'000);
+  EXPECT_EQ(std::memcmp(part.data(), data.data() + 12'345, part.size()), 0);
+}
+
+TEST(StripedFsTest, ParallelDisksSpeedUpLargeWrites) {
+  // A 1 MB sequential write: media time shrinks with disk count, the
+  // per-request overhead does not.
+  double prev = 0.0;
+  std::vector<double> elapsed;
+  for (const int disks : {1, 2, 4, 8}) {
+    VirtualClock clock;
+    StripedFileSystem fs(BaseOptions(disks, &clock));
+    auto f = fs.Open("x", OpenMode::kWrite);
+    for (int i = 0; i < 8; ++i) {
+      f->WriteAt(i * kMiB, {}, 1 * kMiB);
+    }
+    elapsed.push_back(clock.Now());
+  }
+  for (size_t i = 1; i < elapsed.size(); ++i) {
+    EXPECT_LT(elapsed[i], elapsed[i - 1]);
+  }
+  // But never past the software overhead floor: 8 requests x 115 ms.
+  const DiskModel aix = DiskModel::NasSp2Aix();
+  EXPECT_GT(elapsed.back(), 8 * aix.write_overhead_s);
+  prev = elapsed.back();
+  (void)prev;
+}
+
+TEST(StripedFsTest, SequentialStreamSeeksOncePerDisk) {
+  VirtualClock clock;
+  StripedFileSystem fs(BaseOptions(4, &clock));
+  auto f = fs.Open("x", OpenMode::kWrite);
+  for (int i = 0; i < 16; ++i) {
+    f->WriteAt(i * 256 * kKiB, {}, 256 * kKiB);
+  }
+  // Each of the 4 disks positions once, then streams.
+  EXPECT_EQ(fs.stats().seeks, 4);
+}
+
+TEST(StripedFsTest, SingleDiskMatchesSimFsThroughputShape) {
+  // One disk, sequential 1 MB writes: same peak as the flat AIX model.
+  VirtualClock clock;
+  StripedFileSystem fs(BaseOptions(1, &clock));
+  auto f = fs.Open("x", OpenMode::kWrite);
+  const int n = 16;
+  for (int i = 0; i < n; ++i) f->WriteAt(i * kMiB, {}, 1 * kMiB);
+  const double thr = n * kMiB / clock.Now();
+  // First request pays a seek; amortized throughput within 5% of peak.
+  EXPECT_NEAR(thr / kMiB, 2.23, 0.12);
+}
+
+TEST(StripedFsTest, RenameAndRemove) {
+  StripedFileSystem fs(BaseOptions(2, nullptr));
+  {
+    auto f = fs.Open("a", OpenMode::kWrite);
+    std::vector<std::byte> d{std::byte{5}};
+    f->WriteAt(0, {d.data(), d.size()}, 1);
+  }
+  fs.Rename("a", "b");
+  EXPECT_FALSE(fs.Exists("a"));
+  EXPECT_TRUE(fs.Exists("b"));
+  fs.Remove("b");
+  EXPECT_FALSE(fs.Exists("b"));
+  EXPECT_THROW(fs.Open("b", OpenMode::kRead), PandaError);
+}
+
+TEST(StripedFsTest, PandaRoundTripOnMultiDiskMachine) {
+  // End to end: the Panda protocol over multi-disk i/o nodes.
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 1024;
+  Machine machine = Machine::SimulatedMultiDisk(
+      4, 2, params, /*disks_per_node=*/3, /*stripe_bytes=*/512,
+      /*store_data=*/true, /*timing_only=*/false);
+  test::RunCluster(machine, [&](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2, 2});
+    Array a("md", {16, 12}, 8, memory, {BLOCK, BLOCK}, memory,
+            {BLOCK, BLOCK});
+    a.BindClient(idx);
+    test::FillPattern(a, 42);
+    client.WriteArray(a);
+    std::fill(a.local_data().begin(), a.local_data().end(), std::byte{0});
+    client.ReadArray(a);
+    test::VerifyPattern(a, 42);
+  });
+}
+
+}  // namespace
+}  // namespace panda

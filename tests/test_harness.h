@@ -1,0 +1,129 @@
+// Shared helpers for Panda end-to-end tests: cluster runners and
+// deterministic data patterns keyed by global array coordinates, so a
+// round trip through any pair of schemas can be verified byte-exactly.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <functional>
+
+#include "panda/panda.h"
+
+namespace panda {
+namespace test {
+
+// splitmix64-style mixer: the canonical value of element `global_offset`.
+inline std::uint64_t PatternValue(std::uint64_t salt,
+                                  std::uint64_t global_offset) {
+  std::uint64_t z = salt + 0x9e3779b97f4a7c15ULL * (global_offset + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+inline std::int64_t GlobalOffsetOf(const Shape& shape, const Index& idx) {
+  std::int64_t off = 0;
+  for (int d = 0; d < shape.rank(); ++d) off = off * shape[d] + idx[d];
+  return off;
+}
+
+// Fills the bound array's local data with the canonical pattern.
+inline void FillPattern(Array& array, std::uint64_t salt) {
+  const Region& cell = array.local_region();
+  if (cell.empty()) return;
+  auto data = array.local_data();
+  const auto elem = static_cast<size_t>(array.elem_size());
+  Index off = Index::Zeros(cell.rank());
+  Shape ext = cell.extent();
+  size_t n = 0;
+  do {
+    Index g = cell.lo();
+    for (int d = 0; d < cell.rank(); ++d) g[d] += off[d];
+    const std::uint64_t v = PatternValue(
+        salt, static_cast<std::uint64_t>(GlobalOffsetOf(array.shape(), g)));
+    std::memcpy(data.data() + n * elem, &v, std::min(elem, sizeof(v)));
+    if (elem > sizeof(v)) {
+      std::memset(data.data() + n * elem + sizeof(v), 0, elem - sizeof(v));
+    }
+    ++n;
+  } while (NextIndexRowMajor(ext, off));
+}
+
+// Verifies the bound array's local data against the canonical pattern.
+// Returns the number of mismatching elements (also EXPECTs zero).
+inline std::int64_t VerifyPattern(const Array& array, std::uint64_t salt) {
+  const Region& cell = array.local_region();
+  if (cell.empty()) return 0;
+  auto data = array.local_data();
+  const auto elem = static_cast<size_t>(array.elem_size());
+  Index off = Index::Zeros(cell.rank());
+  Shape ext = cell.extent();
+  size_t n = 0;
+  std::int64_t mismatches = 0;
+  do {
+    Index g = cell.lo();
+    for (int d = 0; d < cell.rank(); ++d) g[d] += off[d];
+    const std::uint64_t v = PatternValue(
+        salt, static_cast<std::uint64_t>(GlobalOffsetOf(array.shape(), g)));
+    if (std::memcmp(data.data() + n * elem, &v, std::min(elem, sizeof(v))) !=
+        0) {
+      ++mismatches;
+    }
+    ++n;
+  } while (NextIndexRowMajor(ext, off));
+  EXPECT_EQ(mismatches, 0) << "array " << array.name() << " cell "
+                           << cell.ToString();
+  return mismatches;
+}
+
+// Runs a functional cluster: `app(client, client_index)` on every client
+// (the master sends the shutdown afterwards), ServerMain on every server.
+inline void RunCluster(Machine& machine,
+                       const std::function<void(PandaClient&, int)>& app,
+                       ServerOptions server_options = {}) {
+  const World world{machine.num_clients(), machine.num_servers()};
+  machine.Run(
+      [&](Endpoint& ep, int client_index) {
+        PandaClient client(ep, world, machine.params());
+        app(client, client_index);
+        if (client_index == 0) client.Shutdown();
+      },
+      [&](Endpoint& ep, int server_index) {
+        ServerMain(ep, machine.server_fs(server_index), world,
+                   machine.params(), server_options);
+      });
+}
+
+// Builds the expected byte image of one server's file segment for an
+// array under `meta`: the concatenation, in plan order, of the server's
+// chunks (each row-major within itself).
+inline std::vector<std::byte> ExpectedSegment(const ArrayMeta& meta,
+                                              int num_servers, int server,
+                                              std::int64_t subchunk_bytes,
+                                              std::uint64_t salt) {
+  const IoPlan plan(meta, num_servers, subchunk_bytes);
+  std::vector<std::byte> out(
+      static_cast<size_t>(plan.SegmentBytes(server)));
+  const auto elem = static_cast<size_t>(meta.elem_size);
+  for (const int ci : plan.ChunksOfServer(server)) {
+    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+    Index off = Index::Zeros(cp.region.rank());
+    Shape ext = cp.region.extent();
+    size_t n = 0;
+    do {
+      Index g = cp.region.lo();
+      for (int d = 0; d < cp.region.rank(); ++d) g[d] += off[d];
+      const std::uint64_t v =
+          PatternValue(salt, static_cast<std::uint64_t>(GlobalOffsetOf(
+                                 meta.memory.array_shape(), g)));
+      std::memcpy(out.data() + static_cast<size_t>(cp.file_offset) + n * elem,
+                  &v, std::min(elem, sizeof(v)));
+      ++n;
+    } while (NextIndexRowMajor(ext, off));
+  }
+  return out;
+}
+
+}  // namespace test
+}  // namespace panda

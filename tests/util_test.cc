@@ -1,0 +1,180 @@
+// Unit tests for src/util: errors, formatting, codec, RNG, options.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "util/codec.h"
+#include "util/error.h"
+#include "util/math.h"
+#include "util/options.h"
+#include "util/random.h"
+#include "util/units.h"
+
+namespace panda {
+namespace {
+
+TEST(StrFormatTest, FormatsArguments) {
+  EXPECT_EQ(StrFormat("a=%d b=%s", 7, "x"), "a=7 b=x");
+  EXPECT_EQ(StrFormat("plain"), "plain");
+}
+
+TEST(StrFormatTest, EmptyResultForEmptyFormat) {
+  EXPECT_EQ(StrFormat("%s", ""), "");
+}
+
+TEST(ErrorTest, RequireThrowsPandaError) {
+  EXPECT_THROW(
+      [] { PANDA_REQUIRE(false, "bad thing %d", 42); }(), PandaError);
+  try {
+    PANDA_REQUIRE(false, "bad thing %d", 42);
+  } catch (const PandaError& e) {
+    EXPECT_STREQ(e.what(), "bad thing 42");
+  }
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+  EXPECT_EQ(CeilDiv(512, 3), 171);
+}
+
+TEST(MathTest, AlignUp) {
+  EXPECT_EQ(AlignUp(0, 8), 0);
+  EXPECT_EQ(AlignUp(1, 8), 8);
+  EXPECT_EQ(AlignUp(8, 8), 8);
+  EXPECT_EQ(AlignUp(9, 8), 16);
+}
+
+TEST(UnitsTest, FormatBytes) {
+  EXPECT_EQ(FormatBytes(512), "512 B");
+  EXPECT_EQ(FormatBytes(kKiB), "1.00 KB");
+  EXPECT_EQ(FormatBytes(64 * kMiB), "64.00 MB");
+  EXPECT_EQ(FormatBytes(2 * kGiB), "2.00 GB");
+}
+
+TEST(UnitsTest, FormatThroughputUsesMiB) {
+  EXPECT_EQ(FormatThroughput(34.0 * kMiB), "34.00 MB/s");
+}
+
+TEST(UnitsTest, FormatSeconds) {
+  EXPECT_EQ(FormatSeconds(1.5), "1.500 s");
+  EXPECT_EQ(FormatSeconds(0.0123), "12.30 ms");
+  EXPECT_EQ(FormatSeconds(43e-6), "43.0 us");
+}
+
+TEST(CodecTest, RoundTripScalarsAndStrings) {
+  std::vector<std::byte> buf;
+  Encoder enc(buf);
+  enc.Put<std::int32_t>(-7);
+  enc.Put<std::int64_t>(1LL << 40);
+  enc.Put<std::uint8_t>(255);
+  enc.PutString("panda");
+  enc.PutString("");
+
+  Decoder dec(buf);
+  EXPECT_EQ(dec.Get<std::int32_t>(), -7);
+  EXPECT_EQ(dec.Get<std::int64_t>(), 1LL << 40);
+  EXPECT_EQ(dec.Get<std::uint8_t>(), 255);
+  EXPECT_EQ(dec.GetString(), "panda");
+  EXPECT_EQ(dec.GetString(), "");
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(CodecTest, DecodePastEndThrows) {
+  std::vector<std::byte> buf;
+  Encoder enc(buf);
+  enc.Put<std::int32_t>(1);
+  Decoder dec(buf);
+  (void)dec.Get<std::int32_t>();
+  EXPECT_THROW((void)dec.Get<std::int32_t>(), PandaError);
+}
+
+TEST(CodecTest, TruncatedStringThrows) {
+  std::vector<std::byte> buf;
+  Encoder enc(buf);
+  enc.Put<std::uint32_t>(100);  // claims a 100-byte string; none follows
+  Decoder dec(buf);
+  EXPECT_THROW((void)dec.GetString(), PandaError);
+}
+
+TEST(CodecTest, BytesRoundTrip) {
+  std::vector<std::byte> buf;
+  Encoder enc(buf);
+  const char raw[] = {1, 2, 3, 4};
+  enc.PutBytes(std::as_bytes(std::span(raw)));
+  Decoder dec(buf);
+  auto view = dec.GetBytes(4);
+  EXPECT_EQ(std::memcmp(view.data(), raw, 4), 0);
+  EXPECT_TRUE(dec.AtEnd());
+}
+
+TEST(RngTest, Deterministic) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int same = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++same;
+  }
+  EXPECT_LT(same, 4);
+}
+
+TEST(RngTest, NextBelowInRange) {
+  Rng rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(17), 17u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    const double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(OptionsTest, ParsesForms) {
+  const char* argv[] = {"prog", "--alpha=3", "--name=panda",
+                        "--flag", "positional", "--rate=2.5"};
+  Options opts(6, const_cast<char**>(argv));
+  EXPECT_EQ(opts.GetInt("alpha", 0), 3);
+  EXPECT_EQ(opts.GetString("name", ""), "panda");
+  EXPECT_TRUE(opts.GetBool("flag", false));
+  EXPECT_DOUBLE_EQ(opts.GetDouble("rate", 0.0), 2.5);
+  ASSERT_EQ(opts.positional().size(), 1u);
+  EXPECT_EQ(opts.positional()[0], "positional");
+  opts.CheckAllConsumed();
+}
+
+TEST(OptionsTest, DefaultsWhenAbsent) {
+  const char* argv[] = {"prog"};
+  Options opts(1, const_cast<char**>(argv));
+  EXPECT_EQ(opts.GetInt("missing", 42), 42);
+  EXPECT_EQ(opts.GetString("missing", "d"), "d");
+  EXPECT_FALSE(opts.GetBool("missing", false));
+}
+
+TEST(OptionsTest, UnknownOptionDetected) {
+  const char* argv[] = {"prog", "--typo=1"};
+  Options opts(2, const_cast<char**>(argv));
+  EXPECT_THROW(opts.CheckAllConsumed(), PandaError);
+}
+
+TEST(OptionsTest, MalformedNumbersThrow) {
+  const char* argv[] = {"prog", "--n=abc", "--x=1.2.3"};
+  Options opts(3, const_cast<char**>(argv));
+  EXPECT_THROW((void)opts.GetInt("n", 0), PandaError);
+  EXPECT_THROW((void)opts.GetDouble("x", 0.0), PandaError);
+}
+
+}  // namespace
+}  // namespace panda

@@ -1,0 +1,31 @@
+#!/bin/sh
+# Regenerates every table and figure of the paper plus the extension
+# ablations, writing one output file per bench under results/.
+#
+#   tools/run_experiments.sh [build-dir] [--quick]
+set -eu
+
+BUILD="${1:-build}"
+QUICK=""
+if [ "${2:-}" = "--quick" ] || [ "${1:-}" = "--quick" ]; then
+  QUICK="--quick"
+  [ "${1:-}" = "--quick" ] && BUILD="build"
+fi
+
+if [ ! -d "$BUILD/bench" ]; then
+  echo "no $BUILD/bench; run: cmake -B $BUILD -G Ninja && cmake --build $BUILD" >&2
+  exit 1
+fi
+
+mkdir -p results
+for b in "$BUILD"/bench/bench_*; do
+  [ -x "$b" ] || continue
+  name=$(basename "$b")
+  echo "== $name"
+  if [ "$name" = "bench_kernels" ]; then
+    "$b" > "results/$name.txt" 2>&1
+  else
+    "$b" $QUICK > "results/$name.txt" 2>&1
+  fi
+done
+echo "done: results/*.txt"
