@@ -5,7 +5,14 @@
 // schemas dictate (timestep streams: timesteps x segment; checkpoints:
 // one segment) — the check an operator runs before trusting a restart.
 //
+// With --verify_checksums, additionally re-reads every sub-chunk of
+// every file and verifies it against its CRC32C sidecar (`F.crc`, see
+// src/panda/integrity.h). Files without a sidecar (written with
+// disk_checksums off, or by sequential tools) are reported as
+// unverified, not failed.
+//
 //   ./examples/panda_fsck --root=DIR --io_nodes=N --schema=FILE
+//       [--verify_checksums]
 #include <cstdio>
 
 #include "panda/panda.h"
@@ -54,6 +61,7 @@ int main(int argc, char** argv) {
         opts.GetString("schema", "simulation2.schema");
     const std::int64_t subchunk =
         opts.GetInt("subchunk_bytes", Sp2Params::Nas().subchunk_bytes);
+    const bool verify_checksums = opts.GetBool("verify_checksums", false);
     opts.CheckAllConsumed();
 
     std::vector<std::unique_ptr<PosixFileSystem>> fs;
@@ -89,7 +97,28 @@ int main(int argc, char** argv) {
     }
     std::printf("%d files checked: %d missing, %d with wrong sizes\n",
                 result.checked, result.missing, result.wrong_size);
-    return (result.missing + result.wrong_size) == 0 ? 0 : 1;
+
+    bool checksums_clean = true;
+    if (verify_checksums) {
+      std::vector<FileSystem*> fs_ptrs;
+      for (const auto& f : fs) fs_ptrs.push_back(f.get());
+      std::string log;
+      const IntegrityReport report =
+          VerifyGroupChecksums(fs_ptrs, meta, subchunk, &log);
+      if (!log.empty()) std::printf("%s", log.c_str());
+      std::printf(
+          "checksums: %lld files verified (%lld without sidecar), %lld "
+          "sub-chunks checked, %lld crc mismatches, %lld framing "
+          "mismatches\n",
+          static_cast<long long>(report.files_checked),
+          static_cast<long long>(report.files_without_sidecar),
+          static_cast<long long>(report.subchunks_checked),
+          static_cast<long long>(report.crc_mismatches),
+          static_cast<long long>(report.framing_mismatches));
+      checksums_clean = report.Clean();
+    }
+    return (result.missing + result.wrong_size) == 0 && checksums_clean ? 0
+                                                                        : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "panda_fsck: %s\n", e.what());
     return 2;

@@ -7,6 +7,7 @@
 // halfway, then simulates a crash and restarts from the checkpoint.
 //
 //   ./examples/simulation_timestep [--dir=PATH] [--timesteps=N]
+//       [--disk_checksums]
 #include <cmath>
 #include <cstdio>
 
@@ -41,6 +42,9 @@ namespace { int Run(int argc, char** argv) {
   Options opts(argc, argv);
   const std::string dir = opts.GetString("dir", "panda_simulation_data");
   const int timesteps = static_cast<int>(opts.GetInt("timesteps", 10));
+  // With --disk_checksums the i/o nodes also maintain CRC32C sidecar
+  // files, which `panda_fsck --verify_checksums` can audit offline.
+  const bool disk_checksums = opts.GetBool("disk_checksums", false);
   opts.CheckAllConsumed();
 
   const World world{8, 2};
@@ -102,8 +106,10 @@ namespace { int Run(int argc, char** argv) {
         }
       },
       [&](Endpoint& ep, int server_index) {
+        ServerOptions server_options;
+        server_options.disk_checksums = disk_checksums;
         ServerMain(ep, machine.server_fs(server_index), world,
-                   machine.params());
+                   machine.params(), server_options);
       });
 
   // The master server maintained the group's schema file; show it.

@@ -1,5 +1,8 @@
 #include "iosim/faulty_fs.h"
 
+#include <algorithm>
+#include <string>
+
 namespace panda {
 
 class FaultyFile : public File {
@@ -9,18 +12,39 @@ class FaultyFile : public File {
 
   void WriteAt(std::int64_t offset, std::span<const std::byte> data,
                std::int64_t vbytes) override {
-    fs_->CountOp();
+    const auto fault = fs_->CountOp(FaultyFileSystem::OpClass::kWrite);
+    if (fault == FaultyFileSystem::InlineFault::kTornWrite) {
+      // A torn write: a prefix reaches the device, then the operation
+      // fails. The caller's retry rewrites the full range (positioned
+      // writes are idempotent), healing the tear.
+      const std::int64_t torn = vbytes / 2;
+      if (!data.empty() && torn > 0) {
+        base_->WriteAt(offset, data.subspan(0, static_cast<size_t>(torn)),
+                       torn);
+      }
+      throw TransientIoError(
+          "injected torn write (" + std::to_string(torn) + " of " +
+          std::to_string(vbytes) + " bytes reached the disk)");
+    }
     base_->WriteAt(offset, data, vbytes);
   }
+
   void ReadAt(std::int64_t offset, std::span<std::byte> out,
               std::int64_t vbytes) override {
-    fs_->CountOp();
+    const auto fault = fs_->CountOp(FaultyFileSystem::OpClass::kRead);
     base_->ReadAt(offset, out, vbytes);
+    if (fault == FaultyFileSystem::InlineFault::kCorruptRead && !out.empty()) {
+      // Silent corruption: no error surfaces — only an end-to-end
+      // checksum can catch this.
+      out[fs_->DrawCorruptIndex(out.size())] ^= std::byte{0x5a};
+    }
   }
+
   void Sync() override {
-    fs_->CountOp();
+    (void)fs_->CountOp(FaultyFileSystem::OpClass::kSync);
     base_->Sync();
   }
+
   std::int64_t Size() override { return base_->Size(); }
 
  private:
@@ -28,9 +52,95 @@ class FaultyFile : public File {
   FaultyFileSystem* fs_;
 };
 
+FaultyFileSystem::InlineFault FaultyFileSystem::CountOp(OpClass op_class) {
+  if (op_class == OpClass::kMeta && !model_.metadata_ops) {
+    return InlineFault::kNone;  // original behaviour: metadata passes through
+  }
+  ++ops_seen_;
+
+  // Crash-stop death: permanent, outranks every transient consideration.
+  if (model_.fail_after_ops >= 0 && ops_seen_ > model_.fail_after_ops) {
+    throw PandaError("injected i/o fault after " +
+                     std::to_string(model_.fail_after_ops) + " operations");
+  }
+
+  // Scripted transient faults fire exactly at their ordinal (a retry is
+  // the *next* ordinal, so a single scripted fault heals on retry).
+  if (std::find(model_.fault_at_ops.begin(), model_.fault_at_ops.end(),
+                ops_seen_) != model_.fault_at_ops.end()) {
+    ++faults_injected_;
+    throw TransientIoError("scripted i/o fault at operation " +
+                           std::to_string(ops_seen_));
+  }
+
+  // Quiet period after a fault burst: guaranteed success, so any
+  // retry/re-read sequence shorter than min_clean_after_fault heals.
+  if (forced_clean_ > 0) {
+    --forced_clean_;
+    consecutive_transient_ = 0;
+    return InlineFault::kNone;
+  }
+
+  // Probabilistic transient faults, capped at max_consecutive_transient
+  // in a row so a sufficient retry budget is guaranteed to heal.
+  if (model_.transient_probability <= 0.0 ||
+      rng_.NextDouble() >= model_.transient_probability ||
+      consecutive_transient_ >= model_.max_consecutive_transient) {
+    consecutive_transient_ = 0;
+    return InlineFault::kNone;
+  }
+
+  // Draw the fault kind among those applicable to this operation class.
+  enum Kind { kEio, kTorn, kCorrupt, kSlow };
+  Kind kinds[4];
+  std::size_t n = 0;
+  kinds[n++] = kEio;
+  if (op_class == OpClass::kWrite && model_.torn_writes) kinds[n++] = kTorn;
+  if (op_class == OpClass::kRead && model_.corrupt_reads) kinds[n++] = kCorrupt;
+  if (model_.slow_op_seconds > 0.0) kinds[n++] = kSlow;
+  const Kind kind = kinds[rng_.NextBelow(n)];
+
+  ++faults_injected_;
+  switch (kind) {
+    case kSlow:
+      // The op succeeds, just late: charge the delay and treat it as a
+      // success for the consecutive-fault cap (nothing needs healing).
+      if (model_.clock != nullptr) {
+        model_.clock->Advance(model_.slow_op_seconds);
+      }
+      consecutive_transient_ = 0;
+      return InlineFault::kNone;
+    case kTorn:
+      ++consecutive_transient_;
+      forced_clean_ = model_.min_clean_after_fault;
+      return InlineFault::kTornWrite;
+    case kCorrupt:
+      ++consecutive_transient_;
+      forced_clean_ = model_.min_clean_after_fault;
+      return InlineFault::kCorruptRead;
+    case kEio:
+    default:
+      ++consecutive_transient_;
+      forced_clean_ = model_.min_clean_after_fault;
+      throw TransientIoError("injected transient EIO at operation " +
+                             std::to_string(ops_seen_));
+  }
+}
+
 std::unique_ptr<File> FaultyFileSystem::Open(const std::string& path,
                                              OpenMode mode) {
+  (void)CountOp(OpClass::kMeta);
   return std::make_unique<FaultyFile>(base_->Open(path, mode), this);
+}
+
+void FaultyFileSystem::Remove(const std::string& path) {
+  (void)CountOp(OpClass::kMeta);
+  base_->Remove(path);
+}
+
+void FaultyFileSystem::Rename(const std::string& from, const std::string& to) {
+  (void)CountOp(OpClass::kMeta);
+  base_->Rename(from, to);
 }
 
 }  // namespace panda

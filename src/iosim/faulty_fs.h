@@ -1,55 +1,138 @@
 // Fault-injection file system wrapper.
 //
-// Wraps any FileSystem and fails (throws PandaError) once a configured
-// number of data operations have executed — simulating an i/o node
-// dying mid-collective. Used by the failure-injection tests to prove
-// that a crashed checkpoint can never destroy the previous one and that
-// a failing rank aborts the whole collective loudly instead of hanging.
+// Wraps any FileSystem and injects faults according to a FaultModel:
+//
+//   * Crash-stop (the original model): after `fail_after_ops` successful
+//     operations every subsequent one throws PandaError — an i/o node
+//     dying mid-collective, permanently. Not retryable.
+//   * Scripted faults: an explicit list of operation ordinals that fail
+//     with TransientIoError — deterministic placement of a fault on,
+//     say, exactly the checkpoint-publication rename.
+//   * Seeded transient faults: each eligible operation faults with
+//     probability `transient_probability` (xoshiro-seeded, fully
+//     reproducible). The fault drawn is one of: EIO (TransientIoError),
+//     a torn write (a prefix of the data reaches the disk, then the
+//     operation fails), a silently corrupted read (one flipped byte —
+//     only checksums catch this), or a slow op (extra virtual latency,
+//     no error). At most `max_consecutive_transient` transient faults
+//     fire back to back, so any retry/re-read budget larger than that
+//     is guaranteed to heal.
+//
+// Metadata operations (Open / Rename / Remove) participate when
+// `metadata_ops` is set; the default keeps the original data-ops-only
+// behaviour so existing expectations about operation counting hold.
 #pragma once
 
+#include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "iosim/file_system.h"
+#include "msg/virtual_clock.h"
 #include "util/error.h"
+#include "util/random.h"
 
 namespace panda {
 
+struct FaultModel {
+  // Permanent death after this many successful eligible operations
+  // (negative: disabled). Throws plain PandaError — never retried.
+  std::int64_t fail_after_ops = -1;
+
+  // Scripted transient faults: 1-based ordinals of eligible operations
+  // that throw TransientIoError (EIO) once each.
+  std::vector<std::int64_t> fault_at_ops;
+
+  // Seeded probabilistic transient faults.
+  double transient_probability = 0.0;
+  std::uint64_t seed = 1;
+  // Forced success after this many transient faults in a row: bounds the
+  // adversary so a retry budget > this value always heals.
+  int max_consecutive_transient = 2;
+  // Guaranteed quiet period: after a probabilistic fault fires, this many
+  // subsequent eligible operations succeed unconditionally. Models a
+  // transient glitch followed by quiescence. A silent read corruption is
+  // only *guaranteed* to heal via checksum-verify-and-re-read if the
+  // quiet period covers the whole verify window (record read + record
+  // re-read + data re-read => 3).
+  int min_clean_after_fault = 0;
+
+  // Which transient fault kinds the probabilistic injector may draw.
+  bool torn_writes = true;    // partial write, then TransientIoError
+  bool corrupt_reads = false; // flip one byte of the read buffer, no error
+  double slow_op_seconds = 0.0;  // extra latency on a "slow" fault
+  VirtualClock* clock = nullptr; // charged for slow ops (may be null)
+
+  // Open/Rename/Remove become eligible (counted and faultable) too.
+  bool metadata_ops = false;
+
+  static FaultModel CrashStop(std::int64_t after_ops) {
+    FaultModel m;
+    m.fail_after_ops = after_ops;
+    return m;
+  }
+  static FaultModel Transient(std::uint64_t seed, double probability) {
+    FaultModel m;
+    m.seed = seed;
+    m.transient_probability = probability;
+    return m;
+  }
+};
+
 class FaultyFileSystem : public FileSystem {
  public:
-  // Fails every data operation after `fail_after_ops` successful ones
-  // (reads/writes/syncs count; metadata ops pass through). A negative
-  // threshold never fails.
+  // Original crash-stop interface: fails every data operation after
+  // `fail_after_ops` successful ones (reads/writes/syncs count;
+  // metadata ops pass through). A negative threshold never fails.
   FaultyFileSystem(FileSystem* base, std::int64_t fail_after_ops)
-      : base_(base), remaining_(fail_after_ops) {
+      : FaultyFileSystem(base, FaultModel::CrashStop(fail_after_ops)) {}
+
+  FaultyFileSystem(FileSystem* base, FaultModel model)
+      : base_(base), model_(std::move(model)), rng_(model_.seed) {
     PANDA_CHECK(base_ != nullptr);
   }
 
   std::unique_ptr<File> Open(const std::string& path, OpenMode mode) override;
   bool Exists(const std::string& path) override { return base_->Exists(path); }
-  void Remove(const std::string& path) override { base_->Remove(path); }
-  void Rename(const std::string& from, const std::string& to) override {
-    base_->Rename(from, to);
-  }
+  void Remove(const std::string& path) override;
+  void Rename(const std::string& from, const std::string& to) override;
 
   const FsStats& stats() const override { return base_->stats(); }
   void ResetStats() override { base_->ResetStats(); }
 
-  // Operations executed so far.
+  // Eligible operations executed so far (data ops; plus metadata ops
+  // when model.metadata_ops is set).
   std::int64_t ops_seen() const { return ops_seen_; }
+  // Faults injected so far (all kinds, including silent ones).
+  std::int64_t faults_injected() const { return faults_injected_; }
 
  private:
   friend class FaultyFile;
-  void CountOp() {
-    ++ops_seen_;
-    if (remaining_ >= 0 && ops_seen_ > remaining_) {
-      throw PandaError("injected i/o fault after " +
-                       std::to_string(remaining_) + " operations");
-    }
+
+  enum class OpClass { kWrite, kRead, kSync, kMeta };
+
+  // What the caller must do to apply the drawn fault inline (faults that
+  // cannot be expressed as a throw out of this function).
+  enum class InlineFault { kNone, kTornWrite, kCorruptRead };
+
+  // Counts one eligible operation and draws its fate: may throw
+  // (crash-stop PandaError, scripted/probabilistic TransientIoError),
+  // may charge a slow-op delay, or may return an inline fault for the
+  // caller to apply.
+  InlineFault CountOp(OpClass op_class);
+
+  // One uniformly drawn corrupted byte index in [0, n).
+  std::size_t DrawCorruptIndex(std::size_t n) {
+    return static_cast<std::size_t>(rng_.NextBelow(n));
   }
 
   FileSystem* base_;
-  std::int64_t remaining_;
+  FaultModel model_;
+  Rng rng_;
   std::int64_t ops_seen_ = 0;
+  std::int64_t faults_injected_ = 0;
+  int consecutive_transient_ = 0;
+  int forced_clean_ = 0;  // remaining quiet-period ops (min_clean_after_fault)
 };
 
 }  // namespace panda

@@ -34,7 +34,23 @@ class PosixFile : public File {
       const ssize_t n = ::pwrite(fd_, data.data() + done,
                                  static_cast<size_t>(vbytes - done),
                                  static_cast<off_t>(offset + done));
-      PANDA_REQUIRE(n > 0, "pwrite failed: %s", std::strerror(errno));
+      if (n < 0) {
+        // A signal may interrupt the syscall before any byte moves;
+        // simply reissue. Anything else is a real device error.
+        if (errno == EINTR) continue;
+        PANDA_REQUIRE(false, "pwrite failed (offset %lld): %s",
+                      static_cast<long long>(offset + done),
+                      std::strerror(errno));
+      }
+      // POSIX permits a zero-byte result only for zero-byte requests;
+      // treat it as a distinct error (errno is meaningless here — do not
+      // report a bogus "Success").
+      PANDA_REQUIRE(n > 0,
+                    "pwrite made no progress at offset %lld (%lld of %lld "
+                    "bytes written)",
+                    static_cast<long long>(offset + done),
+                    static_cast<long long>(done),
+                    static_cast<long long>(vbytes));
       done += n;
     }
     stats_->writes += 1;
@@ -50,9 +66,21 @@ class PosixFile : public File {
       const ssize_t n = ::pread(fd_, out.data() + done,
                                 static_cast<size_t>(vbytes - done),
                                 static_cast<off_t>(offset + done));
-      PANDA_REQUIRE(n > 0, "pread failed (offset %lld): %s",
+      if (n < 0) {
+        if (errno == EINTR) continue;
+        PANDA_REQUIRE(false, "pread failed (offset %lld): %s",
+                      static_cast<long long>(offset + done),
+                      std::strerror(errno));
+      }
+      // n == 0 is end-of-file, not an error code: reading past the end
+      // of a too-short file must say so instead of reporting whatever
+      // stale errno happens to hold (previously a misleading "Success").
+      PANDA_REQUIRE(n > 0,
+                    "pread hit end of file at offset %lld (short read: got "
+                    "%lld of %lld bytes)",
                     static_cast<long long>(offset + done),
-                    std::strerror(errno));
+                    static_cast<long long>(done),
+                    static_cast<long long>(vbytes));
       done += n;
     }
     stats_->reads += 1;

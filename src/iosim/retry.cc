@@ -1,0 +1,24 @@
+#include "iosim/retry.h"
+
+namespace panda {
+
+void RetryPolicy::Run(VirtualClock* clock, RobustnessStats* stats,
+                      const std::function<void()>& op) const {
+  double backoff = backoff_s;
+  for (int attempt = 1;; ++attempt) {
+    try {
+      op();
+      return;
+    } catch (const TransientIoError&) {
+      if (attempt >= max_attempts) {
+        if (stats != nullptr) stats->io_giveups.fetch_add(1);
+        throw;
+      }
+      if (stats != nullptr) stats->io_retries.fetch_add(1);
+      if (clock != nullptr && backoff > 0.0) clock->Advance(backoff);
+      backoff *= backoff_multiplier;
+    }
+  }
+}
+
+}  // namespace panda

@@ -1,0 +1,91 @@
+// Bounded retry with exponential backoff, and robustness accounting.
+//
+// Panda servers wrap every disk operation (per sub-chunk read/write,
+// open, fsync, checkpoint rename) in a RetryPolicy so *transient* i/o
+// faults — the flaky-controller EIOs and torn writes modeled by
+// FaultyFileSystem — heal invisibly: the collective completes
+// byte-exact and only the report's retry counters betray that anything
+// happened. Backoff is charged to the rank's *virtual* clock, so timing
+// mode stays deterministic and fault-free runs are bit-identical to
+// before.
+//
+// Only TransientIoError is retried. Every other PandaError is treated
+// as permanent and propagates to the structured abort protocol.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+
+#include "msg/virtual_clock.h"
+#include "util/error.h"
+
+namespace panda {
+
+// Plain-value snapshot of RobustnessStats (reports, tests).
+struct RobustnessCounters {
+  std::int64_t io_retries = 0;             // transient faults healed by retry
+  std::int64_t io_giveups = 0;             // retry budgets exhausted
+  std::int64_t wire_checksum_failures = 0; // corrupt piece payloads caught
+  std::int64_t disk_checksum_failures = 0; // corrupt sub-chunks caught
+  std::int64_t disk_checksum_rereads = 0;  // mismatches healed by re-read
+  std::int64_t collectives_aborted = 0;    // structured aborts originated
+
+  bool AllZero() const {
+    return io_retries == 0 && io_giveups == 0 && wire_checksum_failures == 0 &&
+           disk_checksum_failures == 0 && disk_checksum_rereads == 0 &&
+           collectives_aborted == 0;
+  }
+};
+
+// Shared fault/robustness counters for one machine. Ranks run as
+// threads, so the counters are atomics; a Machine owns one instance and
+// the report snapshots it. All counting is optional — a null
+// RobustnessStats* anywhere simply skips the accounting.
+class RobustnessStats {
+ public:
+  std::atomic<std::int64_t> io_retries{0};
+  std::atomic<std::int64_t> io_giveups{0};
+  std::atomic<std::int64_t> wire_checksum_failures{0};
+  std::atomic<std::int64_t> disk_checksum_failures{0};
+  std::atomic<std::int64_t> disk_checksum_rereads{0};
+  std::atomic<std::int64_t> collectives_aborted{0};
+
+  RobustnessCounters Snapshot() const {
+    RobustnessCounters c;
+    c.io_retries = io_retries.load();
+    c.io_giveups = io_giveups.load();
+    c.wire_checksum_failures = wire_checksum_failures.load();
+    c.disk_checksum_failures = disk_checksum_failures.load();
+    c.disk_checksum_rereads = disk_checksum_rereads.load();
+    c.collectives_aborted = collectives_aborted.load();
+    return c;
+  }
+
+  void Reset() {
+    io_retries = 0;
+    io_giveups = 0;
+    wire_checksum_failures = 0;
+    disk_checksum_failures = 0;
+    disk_checksum_rereads = 0;
+    collectives_aborted = 0;
+  }
+};
+
+struct RetryPolicy {
+  // Total tries including the first. 1 disables retrying entirely.
+  int max_attempts = 4;
+  // Virtual-clock backoff before the 2nd try; doubles per further try.
+  double backoff_s = 1.0e-3;
+  double backoff_multiplier = 2.0;
+
+  // Runs `op`. On TransientIoError: backs off on `clock` (if non-null)
+  // and retries, up to max_attempts total tries; counts each retry (and
+  // an eventual give-up) into `stats` (if non-null). The final failure
+  // rethrows the last TransientIoError. Non-transient errors propagate
+  // immediately.
+  void Run(VirtualClock* clock, RobustnessStats* stats,
+           const std::function<void()>& op) const;
+};
+
+}  // namespace panda

@@ -12,10 +12,29 @@ void Mailbox::Deposit(Message msg) {
   cv_.notify_all();
 }
 
+void Mailbox::ThrowIfDeadLocked() {
+  if (!aborted_) {
+    // An abort notice outranks ordinary matching: promote it to mailbox
+    // state so every subsequent receive on this rank fails the same way.
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [](const Message& m) { return m.tag == kTagAbort; });
+    if (it != queue_.end()) {
+      abort_notice_ = DecodeAbortNotice(*it);
+      aborted_ = true;
+      queue_.erase(it);
+    }
+  }
+  if (aborted_) {
+    throw PandaAbortError(abort_notice_.origin_rank, abort_notice_.reason);
+  }
+  if (poisoned_) throw PandaError("rank aborted: mailbox poisoned");
+}
+
 Message Mailbox::BlockingReceive(int src, int tag) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (poisoned_) throw PandaError("rank aborted: mailbox poisoned");
+    ThrowIfDeadLocked();
     const auto it = std::find_if(
         queue_.begin(), queue_.end(), [&](const Message& m) {
           return m.src == src && m.tag == tag;
@@ -32,7 +51,7 @@ Message Mailbox::BlockingReceive(int src, int tag) {
 Message Mailbox::BlockingReceiveAny(int tag) {
   std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
-    if (poisoned_) throw PandaError("rank aborted: mailbox poisoned");
+    ThrowIfDeadLocked();
     const auto it = std::find_if(
         queue_.begin(), queue_.end(),
         [&](const Message& m) { return m.tag == tag; });
@@ -49,6 +68,18 @@ void Mailbox::Poison() {
   {
     std::lock_guard<std::mutex> lock(mu_);
     poisoned_ = true;
+  }
+  cv_.notify_all();
+}
+
+void Mailbox::ForceAbort(int origin_rank, const std::string& reason) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (!aborted_) {
+      aborted_ = true;
+      abort_notice_.origin_rank = origin_rank;
+      abort_notice_.reason = reason;
+    }
   }
   cv_.notify_all();
 }

@@ -3,13 +3,20 @@
 // Senders deposit; the owning rank blocks until a matching message is
 // present. Matching is FIFO per (source, tag) pair, which together with
 // Panda's deterministic plan ordering makes whole collective runs
-// reproducible. A poisoned mailbox wakes all waiters with an error so a
-// failing rank cannot deadlock the others.
+// reproducible.
+//
+// Failure paths: a kTagAbort message outranks ordinary matching — any
+// receive that finds one (or finds the mailbox already in the aborted
+// state) throws PandaAbortError carrying the originating rank and
+// cause, so a failing rank can stop the whole cluster with structured
+// blame instead of a hang. A *poisoned* mailbox is the legacy blunt
+// instrument (unknown failure): receives throw plain PandaError.
 #pragma once
 
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <string>
 
 #include "msg/message.h"
 
@@ -21,7 +28,7 @@ class Mailbox {
   void Deposit(Message msg);
 
   // Blocks until a message with matching (src, tag) arrives and removes
-  // it. Throws PandaError if the mailbox is poisoned.
+  // it. Throws PandaAbortError on abort, PandaError if poisoned.
   Message BlockingReceive(int src, int tag);
 
   // Blocks until a message with matching tag arrives from any source
@@ -30,16 +37,28 @@ class Mailbox {
   Message BlockingReceiveAny(int tag);
 
   // Wakes all waiters; subsequent/blocked receives throw PandaError.
+  // An existing abort state takes precedence (keeps the blame).
   void Poison();
+
+  // Moves the mailbox into the aborted state directly (backstop used by
+  // the transport when an abort escapes a rank's main function without
+  // having reached every mailbox as a message). First notice wins.
+  void ForceAbort(int origin_rank, const std::string& reason);
 
   // Number of queued messages (diagnostics).
   size_t QueuedCount();
 
  private:
+  // Promotes a queued kTagAbort message (if any) into the abort state
+  // and throws if the mailbox is dead. Caller must hold mu_.
+  void ThrowIfDeadLocked();
+
   std::mutex mu_;
   std::condition_variable cv_;
   std::deque<Message> queue_;
   bool poisoned_ = false;
+  bool aborted_ = false;
+  AbortNotice abort_notice_;
 };
 
 }  // namespace panda

@@ -8,9 +8,11 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <utility>
 #include <vector>
 
+#include "util/codec.h"
 #include "util/error.h"
 
 namespace panda {
@@ -52,7 +54,33 @@ enum MsgTag : int {
   kTagBarrier = 8,            // tree barrier / gather tokens
   kTagBcast = 9,              // tree broadcasts (requests, completion)
   kTagPieceAck = 10,          // client -> server (read-path flow control)
+  kTagAbort = 11,             // structured cluster-wide abort fan-out
   kTagApp = 100,              // first tag available to applications/tests
 };
+
+// The payload of a kTagAbort message: which rank hit the unrecoverable
+// fault, and why. Abort messages outrank ordinary matching: any blocked
+// receive that finds one in its mailbox raises PandaAbortError instead
+// of waiting, so an abort reaches every rank within one receive.
+struct AbortNotice {
+  std::int32_t origin_rank = -1;
+  std::string reason;
+};
+
+inline Message MakeAbortMessage(int origin_rank, const std::string& reason) {
+  Message msg;
+  Encoder enc(msg.header);
+  enc.Put<std::int32_t>(origin_rank);
+  enc.PutString(reason);
+  return msg;
+}
+
+inline AbortNotice DecodeAbortNotice(const Message& msg) {
+  Decoder dec(msg.header);
+  AbortNotice notice;
+  notice.origin_rank = dec.Get<std::int32_t>();
+  notice.reason = dec.GetString();
+  return notice;
+}
 
 }  // namespace panda

@@ -163,6 +163,16 @@ void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
     threads.emplace_back([&, endpoint] {
       try {
         rank_main(*endpoint);
+      } catch (const PandaAbortError& e) {
+        // Structured abort: the protocol layer has (or is) fanning the
+        // notice out as kTagAbort messages; force-abort every mailbox as
+        // a backstop so no rank can hang even if the relay chain was cut
+        // (e.g. the master server had already shut down).
+        {
+          std::lock_guard<std::mutex> lock(error_mu);
+          if (!first_error) first_error = std::current_exception();
+        }
+        for (auto& mb : mailboxes_) mb->ForceAbort(e.origin_rank(), e.reason());
       } catch (...) {
         {
           std::lock_guard<std::mutex> lock(error_mu);

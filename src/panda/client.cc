@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "mdarray/strided_copy.h"
+#include "util/crc32c.h"
 #include "util/logging.h"
 
 namespace panda {
@@ -63,6 +64,39 @@ double PandaClient::Execute(CollectiveRequest req,
 
   const double start = ep_->clock().Now();
 
+  try {
+    ExecuteBody(req, arrays);
+  } catch (const PandaAbortError& e) {
+    // Another rank's abort notice interrupted one of our receives. The
+    // master client relays it to the remaining clients of this
+    // application (the master server already covered the server side),
+    // then everyone dies with the same structured error.
+    if (is_master()) RelayAbortToClients(e.origin_rank(), e.reason());
+    throw;
+  } catch (const PandaError& e) {
+    // This client hit the unrecoverable fault (an end-to-end checksum
+    // failure, a plan divergence...): it is the abort's origin. Notify
+    // the master server (the server-side relay hub) and the client side,
+    // then die with the structured error. Sends are buffered, so a
+    // dying rank never blocks on its own notifications.
+    if (robustness_ != nullptr) robustness_->collectives_aborted.fetch_add(1);
+    ep_->Send(world_.master_server_rank(), kTagAbort,
+              MakeAbortMessage(ep_->rank(), e.what()));
+    if (is_master()) {
+      RelayAbortToClients(ep_->rank(), e.what());
+    } else {
+      ep_->Send(world_.master_client_rank(), kTagAbort,
+                MakeAbortMessage(ep_->rank(), e.what()));
+    }
+    throw PandaAbortError(ep_->rank(), e.what());
+  }
+
+  last_elapsed_ = ep_->clock().Now() - start;
+  return last_elapsed_;
+}
+
+void PandaClient::ExecuteBody(const CollectiveRequest& req,
+                              std::span<Array* const> arrays) {
   // The master client sends the short high-level request; the servers
   // take over direction of the data flow from here.
   if (is_master()) {
@@ -98,6 +132,10 @@ double PandaClient::Execute(CollectiveRequest req,
     Message& msg = delivery.msg;
     Decoder dec(msg.header);
     const PieceHeader h = PieceHeader::Decode(dec);
+    // Read-path piece data carries the payload's end-to-end checksum
+    // after the piece header (write-path *requests* carry no payload).
+    const std::uint32_t wire_crc =
+        req.op == IoOp::kRead ? dec.Get<std::uint32_t>() : 0;
     const auto it = expected.find(
         {h.array_index, h.chunk_index, h.sub_index, h.piece_index});
     PANDA_REQUIRE(it != expected.end() && !it->second.served,
@@ -118,7 +156,7 @@ double PandaClient::Execute(CollectiveRequest req,
     if (req.op == IoOp::kWrite) {
       ServeWritePiece(delivery, *exp.array, piece, cp);
     } else {
-      ServeReadPiece(delivery, *exp.array, piece, cp);
+      ServeReadPiece(delivery, *exp.array, piece, cp, wire_crc);
     }
   }
 
@@ -128,9 +166,15 @@ double PandaClient::Execute(CollectiveRequest req,
     (void)ep_->Recv(world_.master_server_rank(), kTagServerDone);
   }
   (void)Bcast(*ep_, clients, 0, Message{});
+}
 
-  last_elapsed_ = ep_->clock().Now() - start;
-  return last_elapsed_;
+void PandaClient::RelayAbortToClients(int origin_rank,
+                                      const std::string& reason) {
+  for (int c = 0; c < world_.num_clients; ++c) {
+    const int r = world_.client_rank(c);
+    if (r == ep_->rank() || r == origin_rank) continue;
+    ep_->Send(r, kTagAbort, MakeAbortMessage(origin_rank, reason));
+  }
 }
 
 void PandaClient::ServeWritePiece(const Endpoint::Delivery& request,
@@ -144,13 +188,17 @@ void PandaClient::ServeWritePiece(const Endpoint::Delivery& request,
   }
   Message data;
   data.header = request.msg.header;  // echo the piece identification
+  Encoder enc(data.header);
   if (!ep_->timing_only()) {
     std::vector<std::byte> payload(static_cast<size_t>(piece.bytes));
     PackRegion({payload.data(), payload.size()}, array.local_data(),
                array.local_region(), piece.region,
                static_cast<size_t>(array.elem_size()));
+    // End-to-end wire checksum, verified by the receiving server.
+    enc.Put<std::uint32_t>(Crc32c({payload.data(), payload.size()}));
     data.SetPayload(std::move(payload));
   } else {
+    enc.Put<std::uint32_t>(0);
     data.SetVirtualPayload(piece.bytes);
   }
   ep_->SendResponse(ready, world_.server_rank(cp.server), kTagPieceData,
@@ -159,7 +207,7 @@ void PandaClient::ServeWritePiece(const Endpoint::Delivery& request,
 
 void PandaClient::ServeReadPiece(const Endpoint::Delivery& delivery,
                                  Array& array, const PiecePlan& piece,
-                                 const ChunkPlan& cp) {
+                                 const ChunkPlan& cp, std::uint32_t wire_crc) {
   const Message& data = delivery.msg;
   double ready = delivery.ready_time;
   if (!piece.contiguous_in_client) {
@@ -169,6 +217,17 @@ void PandaClient::ServeReadPiece(const Endpoint::Delivery& delivery,
     PANDA_REQUIRE(
         static_cast<std::int64_t>(data.payload.size()) == piece.bytes,
         "piece payload size mismatch");
+    const std::uint32_t got =
+        Crc32c({data.payload.data(), data.payload.size()});
+    if (got != wire_crc) {
+      if (robustness_ != nullptr) {
+        robustness_->wire_checksum_failures.fetch_add(1);
+      }
+      PANDA_REQUIRE(false,
+                    "read piece %s failed its end-to-end checksum "
+                    "(wire %08x != computed %08x)",
+                    piece.region.ToString().c_str(), wire_crc, got);
+    }
     UnpackRegion(array.local_data(), array.local_region(),
                  {data.payload.data(), data.payload.size()}, piece.region,
                  static_cast<size_t>(array.elem_size()));

@@ -9,6 +9,7 @@
 
 #include <span>
 
+#include "iosim/retry.h"
 #include "msg/transport.h"
 #include "panda/array.h"
 #include "panda/plan.h"
@@ -60,15 +61,28 @@ class PandaClient {
   // Elapsed virtual time of the most recent collective on this client.
   double last_elapsed() const { return last_elapsed_; }
 
+  // Robustness accounting sink (may be null: counting is skipped).
+  // End-to-end checksum failures caught on this client and aborts it
+  // originates are counted here.
+  void set_robustness(RobustnessStats* stats) { robustness_ = stats; }
+
  private:
+  // Execute minus the abort-protocol wrapper (see Execute).
+  void ExecuteBody(const CollectiveRequest& req,
+                   std::span<Array* const> arrays);
   void ServeWritePiece(const Endpoint::Delivery& request, Array& array,
                        const PiecePlan& piece, const ChunkPlan& cp);
   void ServeReadPiece(const Endpoint::Delivery& delivery, Array& array,
-                      const PiecePlan& piece, const ChunkPlan& cp);
+                      const PiecePlan& piece, const ChunkPlan& cp,
+                      std::uint32_t wire_crc);
+  // Master-client half of the abort fan-out (docs/PROTOCOL.md): forward
+  // an abort notice to every other client of this application.
+  void RelayAbortToClients(int origin_rank, const std::string& reason);
 
   Endpoint* ep_;
   World world_;
   Sp2Params params_;
+  RobustnessStats* robustness_ = nullptr;
   double last_elapsed_ = 0.0;
   // Plans repeat across a timestep stream; memoize them.
   PlanCache plan_cache_;

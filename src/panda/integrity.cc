@@ -1,0 +1,182 @@
+#include "panda/integrity.h"
+
+#include <utility>
+#include <vector>
+
+#include "panda/plan.h"
+#include "util/codec.h"
+#include "util/crc32c.h"
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+void AppendLog(std::string* log, const std::string& line) {
+  if (log == nullptr) return;
+  log->append(line);
+  log->push_back('\n');
+}
+
+// The server's deterministic work list: (chunk index, sub-chunk index)
+// in the exact order ServerWriteArray emits sidecar records.
+std::vector<std::pair<int, int>> ServerWorkList(const IoPlan& plan, int sidx) {
+  std::vector<std::pair<int, int>> work;
+  for (const int ci : plan.ChunksOfServer(sidx)) {
+    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
+      work.emplace_back(ci, static_cast<int>(si));
+    }
+  }
+  return work;
+}
+
+}  // namespace
+
+std::string SidecarFileName(const std::string& data_file) {
+  return data_file + ".crc";
+}
+
+void WriteCrcRecord(File& sidecar, std::int64_t record_index,
+                    const CrcRecord& rec) {
+  std::vector<std::byte> buf;
+  buf.reserve(static_cast<size_t>(kCrcRecordBytes));
+  Encoder enc(buf);
+  enc.Put<std::uint64_t>(static_cast<std::uint64_t>(rec.file_offset));
+  enc.Put<std::uint64_t>(static_cast<std::uint64_t>(rec.bytes));
+  enc.Put<std::uint32_t>(rec.crc);
+  PANDA_CHECK(static_cast<std::int64_t>(buf.size()) == kCrcRecordBytes);
+  sidecar.WriteAt(record_index * kCrcRecordBytes, buf, kCrcRecordBytes);
+}
+
+CrcRecord ReadCrcRecord(File& sidecar, std::int64_t record_index) {
+  std::vector<std::byte> buf(static_cast<size_t>(kCrcRecordBytes));
+  sidecar.ReadAt(record_index * kCrcRecordBytes, buf, kCrcRecordBytes);
+  Decoder dec(buf);
+  CrcRecord rec;
+  rec.file_offset = static_cast<std::int64_t>(dec.Get<std::uint64_t>());
+  rec.bytes = static_cast<std::int64_t>(dec.Get<std::uint64_t>());
+  rec.crc = dec.Get<std::uint32_t>();
+  return rec;
+}
+
+void IntegrityReport::Merge(const IntegrityReport& other) {
+  files_checked += other.files_checked;
+  files_without_sidecar += other.files_without_sidecar;
+  subchunks_checked += other.subchunks_checked;
+  crc_mismatches += other.crc_mismatches;
+  framing_mismatches += other.framing_mismatches;
+}
+
+IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
+                                     const ArrayMeta& meta,
+                                     std::int64_t subchunk_bytes,
+                                     Purpose purpose, std::int64_t num_segments,
+                                     const std::string& group,
+                                     std::string* log) {
+  IntegrityReport report;
+  const int num_servers = static_cast<int>(fs.size());
+  const IoPlan plan(meta, num_servers, subchunk_bytes);
+
+  for (int s = 0; s < num_servers; ++s) {
+    const std::vector<std::pair<int, int>> work = ServerWorkList(plan, s);
+    if (work.empty()) continue;  // this server stores none of the array
+
+    const std::string data_name = DataFileName(group, meta.name, purpose, s);
+    if (!fs[s]->Exists(data_name)) continue;  // array/purpose never written
+
+    const std::string sidecar_name = SidecarFileName(data_name);
+    if (!fs[s]->Exists(sidecar_name)) {
+      ++report.files_without_sidecar;
+      AppendLog(log, "unverified (no sidecar): " + data_name + " [server " +
+                         std::to_string(s) + "]");
+      continue;
+    }
+
+    ++report.files_checked;
+    auto data = fs[s]->Open(data_name, OpenMode::kRead);
+    auto sidecar = fs[s]->Open(sidecar_name, OpenMode::kRead);
+    const std::int64_t records_per_segment =
+        static_cast<std::int64_t>(work.size());
+    const std::int64_t sidecar_records = sidecar->Size() / kCrcRecordBytes;
+
+    std::vector<std::byte> buf;
+    for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+      const std::int64_t base =
+          purpose == Purpose::kTimestep ? seg * plan.SegmentBytes(s) : 0;
+      for (std::int64_t k = 0; k < records_per_segment; ++k) {
+        const auto [ci, si] = work[static_cast<size_t>(k)];
+        const SubchunkPlan& sp = plan.chunks()[static_cast<size_t>(ci)]
+                                     .subchunks[static_cast<size_t>(si)];
+        const std::int64_t record_index = seg * records_per_segment + k;
+        const std::string where =
+            data_name + " [server " + std::to_string(s) + ", segment " +
+            std::to_string(seg) + ", subchunk " + std::to_string(k) + "]";
+
+        if (record_index >= sidecar_records) {
+          ++report.framing_mismatches;
+          AppendLog(log, "sidecar truncated (missing record " +
+                             std::to_string(record_index) + "): " + where);
+          continue;
+        }
+        const CrcRecord rec = ReadCrcRecord(*sidecar, record_index);
+        if (rec.file_offset != base + sp.file_offset || rec.bytes != sp.bytes) {
+          // The sidecar disagrees with the plan about where the sub-chunk
+          // lives: the schemas diverged, which is as fatal as a bit flip.
+          ++report.framing_mismatches;
+          AppendLog(log, "framing mismatch (record says offset " +
+                             std::to_string(rec.file_offset) + "/" +
+                             std::to_string(rec.bytes) + "B, plan says " +
+                             std::to_string(base + sp.file_offset) + "/" +
+                             std::to_string(sp.bytes) + "B): " + where);
+          continue;
+        }
+
+        ++report.subchunks_checked;
+        buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
+        try {
+          data->ReadAt(base + sp.file_offset, {buf.data(), buf.size()},
+                       sp.bytes);
+        } catch (const PandaError& e) {
+          ++report.crc_mismatches;
+          AppendLog(log,
+                    "unreadable sub-chunk (" + std::string(e.what()) +
+                        "): " + where);
+          continue;
+        }
+        const std::uint32_t got = Crc32c({buf.data(), buf.size()});
+        if (got != rec.crc) {
+          ++report.crc_mismatches;
+          AppendLog(log, "crc mismatch (stored " + std::to_string(rec.crc) +
+                             ", computed " + std::to_string(got) +
+                             "): " + where);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+IntegrityReport VerifyGroupChecksums(std::span<FileSystem* const> fs,
+                                     const GroupMeta& meta,
+                                     std::int64_t subchunk_bytes,
+                                     std::string* log) {
+  IntegrityReport report;
+  for (const ArrayMeta& array : meta.arrays) {
+    // Plain (general-purpose) files, if the group ever wrote any.
+    report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
+                                      Purpose::kGeneral, 1, meta.group, log));
+    if (meta.timesteps > 0) {
+      report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
+                                        Purpose::kTimestep, meta.timesteps,
+                                        meta.group, log));
+    }
+    if (meta.has_checkpoint) {
+      report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
+                                        Purpose::kCheckpoint, 1, meta.group,
+                                        log));
+    }
+  }
+  return report;
+}
+
+}  // namespace panda

@@ -1,0 +1,80 @@
+// On-disk sub-chunk integrity: CRC32C sidecar files.
+//
+// When a server writes with `ServerOptions::disk_checksums` on, each
+// data file `F` gains a sidecar `F.crc` holding one fixed-size record
+// per sub-chunk, in the deterministic plan order both sides share:
+//
+//   record k = [ u64 file_offset | u64 bytes | u32 crc32c ]   (20 bytes)
+//
+// where k is the sub-chunk's ordinal in the owning server's work list
+// (chunks in ascending id, sub-chunks in order); timestep segment `seq`
+// starts at record `seq * subchunks_per_segment`. The offset/bytes
+// fields let a verifier cross-check the framing against the plan — a
+// disagreement means schemas diverged, which is as fatal as a flipped
+// bit.
+//
+// Readers verify each sub-chunk against its record (one re-read retry
+// before declaring corruption); `panda_fsck --verify_checksums` and the
+// robustness tests verify whole groups offline through
+// VerifyGroupChecksums. Data files without a sidecar (legacy data,
+// sequential writers) are reported as unverified, not failed.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "iosim/file_system.h"
+#include "panda/plan.h"
+#include "panda/protocol.h"
+#include "panda/schema_io.h"
+
+namespace panda {
+
+inline constexpr std::int64_t kCrcRecordBytes = 20;
+
+// `F` -> `F.crc`.
+std::string SidecarFileName(const std::string& data_file);
+
+struct CrcRecord {
+  std::int64_t file_offset = 0;  // absolute offset of the sub-chunk in F
+  std::int64_t bytes = 0;
+  std::uint32_t crc = 0;
+};
+
+void WriteCrcRecord(File& sidecar, std::int64_t record_index,
+                    const CrcRecord& rec);
+CrcRecord ReadCrcRecord(File& sidecar, std::int64_t record_index);
+
+// Aggregate result of an offline verification pass.
+struct IntegrityReport {
+  std::int64_t files_checked = 0;
+  std::int64_t files_without_sidecar = 0;  // skipped (legacy/sequential data)
+  std::int64_t subchunks_checked = 0;
+  std::int64_t crc_mismatches = 0;
+  std::int64_t framing_mismatches = 0;  // record offset/bytes vs. the plan
+
+  bool Clean() const { return crc_mismatches == 0 && framing_mismatches == 0; }
+  void Merge(const IntegrityReport& other);
+};
+
+// Verifies one array's per-server files: re-reads every sub-chunk of
+// every segment, recomputes CRC32C and compares with the sidecar.
+// `num_segments` is the timestep count for Purpose::kTimestep and 1
+// otherwise. When `log` is non-null, human-readable findings (one line
+// per problem or skipped file) are appended.
+IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
+                                     const ArrayMeta& meta,
+                                     std::int64_t subchunk_bytes,
+                                     Purpose purpose, std::int64_t num_segments,
+                                     const std::string& group,
+                                     std::string* log = nullptr);
+
+// Group-level sweep driven by the group's schema metadata: timestep
+// streams and the checkpoint (if present) of every array.
+IntegrityReport VerifyGroupChecksums(std::span<FileSystem* const> fs,
+                                     const GroupMeta& meta,
+                                     std::int64_t subchunk_bytes,
+                                     std::string* log = nullptr);
+
+}  // namespace panda

@@ -31,6 +31,7 @@
 #include "panda/array_group.h"
 #include "panda/client.h"
 #include "panda/cost_model.h"
+#include "panda/integrity.h"
 #include "panda/plan.h"
 #include "panda/plan_cache.h"
 #include "panda/protocol.h"

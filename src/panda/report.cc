@@ -28,6 +28,18 @@ std::string MachineReport::ToString() const {
   out += StrFormat("clocks: max client %s, max server %s\n",
                    FormatSeconds(max_client).c_str(),
                    FormatSeconds(max_server).c_str());
+  if (!robustness.AllZero()) {
+    out += StrFormat(
+        "robustness: %lld retries, %lld give-ups, %lld wire checksum "
+        "failures, %lld disk checksum failures (%lld healed by re-read), "
+        "%lld aborts\n",
+        static_cast<long long>(robustness.io_retries),
+        static_cast<long long>(robustness.io_giveups),
+        static_cast<long long>(robustness.wire_checksum_failures),
+        static_cast<long long>(robustness.disk_checksum_failures),
+        static_cast<long long>(robustness.disk_checksum_rereads),
+        static_cast<long long>(robustness.collectives_aborted));
+  }
   return out;
 }
 
@@ -43,6 +55,7 @@ MachineReport Snapshot(Machine& machine) {
     report.client_clock_s.push_back(
         machine.transport().endpoint(machine.client_rank(c)).clock().Now());
   }
+  report.robustness = machine.robustness().Snapshot();
   return report;
 }
 

@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "iosim/retry.h"
 #include "panda/plan.h"
 #include "panda/protocol.h"
 #include "panda/runtime.h"
@@ -23,6 +24,9 @@ struct MachineReport {
   std::vector<FsStats> server_fs;    // per i/o node
   std::vector<double> client_clock_s;
   std::vector<double> server_clock_s;
+  // Robustness accounting: all-zero on a clean run; non-zero entries
+  // betray healed transient faults, caught corruption, or aborts.
+  RobustnessCounters robustness;
 
   std::string ToString() const;
 };

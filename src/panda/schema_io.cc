@@ -58,11 +58,20 @@ GroupMeta GroupMeta::Decode(std::span<const std::byte> bytes) {
 
 void WriteGroupMeta(FileSystem& fs, const std::string& path,
                     const GroupMeta& meta) {
+  // Two-phase publication: the new bytes land in a temporary and are
+  // renamed into place only once synced, so a torn or failed write can
+  // never corrupt the existing metadata file. (UpdateGroupMeta runs
+  // under a retry policy and re-reads `path` on each attempt — that
+  // read must always see either the old or the new file, never a tear.)
   const auto bytes = meta.Encode();
-  auto file = fs.Open(path, OpenMode::kWrite);
-  file->WriteAt(0, {bytes.data(), bytes.size()},
-                static_cast<std::int64_t>(bytes.size()));
-  file->Sync();
+  const std::string tmp = path + ".tmp";
+  {
+    auto file = fs.Open(tmp, OpenMode::kWrite);
+    file->WriteAt(0, {bytes.data(), bytes.size()},
+                  static_cast<std::int64_t>(bytes.size()));
+    file->Sync();
+  }
+  fs.Rename(tmp, path);
 }
 
 GroupMeta ReadGroupMeta(FileSystem& fs, const std::string& path) {

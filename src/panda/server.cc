@@ -1,9 +1,15 @@
 #include "panda/server.h"
 
 #include <algorithm>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "mdarray/strided_copy.h"
+#include "panda/integrity.h"
 #include "panda/schema_io.h"
+#include "util/crc32c.h"
 #include "util/logging.h"
 
 namespace panda {
@@ -56,6 +62,28 @@ std::int64_t BaseOffset(const IoPlan& plan, Purpose purpose, std::int64_t seq,
   return 0;
 }
 
+// First sidecar record index of this collective's segment: timestep
+// streams append one block of records per timestep, mirroring the data
+// segments (see panda/integrity.h).
+std::int64_t RecordBase(Purpose purpose, std::int64_t seq,
+                        std::int64_t records_per_segment) {
+  if (purpose == Purpose::kTimestep) return seq * records_per_segment;
+  return 0;
+}
+
+// This server's deterministic work list: (chunk index, sub-chunk index)
+// in plan order. Its ordinals double as sidecar record indices.
+std::vector<std::pair<int, int>> ServerWork(const IoPlan& plan, int sidx) {
+  std::vector<std::pair<int, int>> work;
+  for (const int ci : plan.ChunksOfServer(sidx)) {
+    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
+      work.emplace_back(ci, static_cast<int>(si));
+    }
+  }
+  return work;
+}
+
 void ValidateHeader(const PieceHeader& h, std::int32_t array_index,
                     const ClientStep& step, const Region& region) {
   PANDA_REQUIRE(h.array_index == array_index && h.chunk_index == step.chunk_index &&
@@ -70,44 +98,72 @@ void ValidateHeader(const PieceHeader& h, std::int32_t array_index,
 void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
                       const Sp2Params& params, const CollectiveRequest& req,
                       std::int32_t array_index, const IoPlan& plan,
-                      DiskWriteScheduler& disk, bool pipeline_requests,
+                      DiskWriteScheduler& disk, const ServerOptions& options,
                       std::vector<std::pair<std::string, std::string>>&
                           pending_renames) {
   const int sidx = world.server_index(ep.rank());
   const ArrayMeta& meta = req.arrays[static_cast<size_t>(array_index)];
   const bool timing = ep.timing_only();
   const std::int64_t base = BaseOffset(plan, req.purpose, req.seq, sidx);
+  const RetryPolicy& retry = options.retry;
+  RobustnessStats* stats = options.robustness;
+  // Sidecar checksums need real bytes; timing-only sweeps skip them.
+  const bool sidecars = options.disk_checksums && !timing;
 
   // Checkpoints are published atomically: written to a temporary file
   // and renamed over the previous checkpoint only after every server
   // has finished its data and fsync (two-phase commit, see
   // ServerExecute), so a crash mid-checkpoint can never leave a mix of
-  // old and new checkpoint files.
+  // old and new checkpoint files. The sidecar travels with its data
+  // file through the same staged rename.
   const std::string final_name =
       DataFileName(req.group, meta.name, req.purpose, sidx);
   const std::string write_name =
       req.purpose == Purpose::kCheckpoint ? final_name + ".tmp" : final_name;
   if (req.purpose == Purpose::kCheckpoint) {
     pending_renames.emplace_back(write_name, final_name);
+    if (sidecars) {
+      pending_renames.emplace_back(SidecarFileName(write_name),
+                                   SidecarFileName(final_name));
+    }
+  }
+
+  // With checksums off, drop any stale sidecar left by an earlier
+  // checksummed run: fresh data under an old sidecar would read back as
+  // corruption.
+  if (!timing && !sidecars) {
+    retry.Run(&ep.clock(), stats, [&] {
+      fs.Remove(SidecarFileName(write_name));
+      if (write_name != final_name) fs.Remove(SidecarFileName(final_name));
+    });
   }
 
   if (plan.ChunksOfServer(sidx).empty() && req.purpose != Purpose::kTimestep) {
     // Still create the (empty) file so concatenation scripts see a
-    // complete set of per-server files.
-    fs.Open(write_name, WriteOpenMode(req.purpose, req.seq));
+    // complete set of per-server files. (No sidecar: there is nothing
+    // to checksum, and the verifier skips empty segments.)
+    retry.Run(&ep.clock(), stats, [&] {
+      fs.Open(write_name, WriteOpenMode(req.purpose, req.seq));
+    });
     return;
   }
 
-  auto file = fs.Open(write_name, WriteOpenMode(req.purpose, req.seq));
+  std::unique_ptr<File> file;
+  retry.Run(&ep.clock(), stats, [&] {
+    file = fs.Open(write_name, WriteOpenMode(req.purpose, req.seq));
+  });
+  std::unique_ptr<File> sidecar;
+  if (sidecars) {
+    retry.Run(&ep.clock(), stats, [&] {
+      sidecar = fs.Open(SidecarFileName(write_name),
+                        WriteOpenMode(req.purpose, req.seq));
+    });
+  }
 
   // Flatten this server's work list: (chunk index, sub-chunk index).
-  std::vector<std::pair<int, int>> work;
-  for (const int ci : plan.ChunksOfServer(sidx)) {
-    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
-    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
-      work.emplace_back(ci, static_cast<int>(si));
-    }
-  }
+  const std::vector<std::pair<int, int>> work = ServerWork(plan, sidx);
+  const std::int64_t record_base =
+      RecordBase(req.purpose, req.seq, static_cast<std::int64_t>(work.size()));
 
   // Server-directed: request every piece of sub-chunk `k`.
   auto send_requests = [&](size_t k) {
@@ -128,14 +184,14 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   // With request pipelining, sub-chunk k+1's requests go out before
   // sub-chunk k's data is consumed, so the clients' packing and the
   // request round trip overlap the current gather and disk write.
-  if (pipeline_requests && !work.empty()) send_requests(0);
+  if (options.pipeline_requests && !work.empty()) send_requests(0);
 
   std::vector<std::byte> buf;
   for (size_t k = 0; k < work.size(); ++k) {
     const auto [ci, si] = work[k];
     const SubchunkPlan& sp =
         plan.chunks()[static_cast<size_t>(ci)].subchunks[static_cast<size_t>(si)];
-    if (!pipeline_requests) {
+    if (!options.pipeline_requests) {
       send_requests(k);
     } else if (k + 1 < work.size()) {
       send_requests(k + 1);
@@ -148,6 +204,9 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       Decoder dec(data.header);
       ValidateHeader(PieceHeader::Decode(dec), array_index,
                      {ci, si, static_cast<int>(pi)}, piece.region);
+      // End-to-end wire checksum: the client stamped the payload's
+      // CRC32C after the echoed piece header (0 in timing-only mode).
+      const std::uint32_t wire_crc = dec.Get<std::uint32_t>();
       if (!piece.contiguous_in_subchunk) {
         ep.AdvanceCompute(static_cast<double>(piece.bytes) /
                           params.memcpy_Bps);
@@ -156,6 +215,15 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
         PANDA_REQUIRE(
             static_cast<std::int64_t>(data.payload.size()) == piece.bytes,
             "piece payload size mismatch");
+        const std::uint32_t got =
+            Crc32c({data.payload.data(), data.payload.size()});
+        if (got != wire_crc) {
+          if (stats != nullptr) stats->wire_checksum_failures.fetch_add(1);
+          PANDA_REQUIRE(false,
+                        "piece payload from client %d failed its end-to-end "
+                        "checksum (wire %08x != computed %08x)",
+                        piece.client, wire_crc, got);
+        }
         UnpackRegion({buf.data(), buf.size()}, sp.region,
                      {data.payload.data(), data.payload.size()}, piece.region,
                      static_cast<size_t>(meta.elem_size));
@@ -165,69 +233,166 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       }
     }
     disk.Write([&] {
-      file->WriteAt(base + sp.file_offset, {buf.data(), buf.size()},
-                    sp.bytes);
+      // Positioned writes are idempotent, so a retry after a torn write
+      // rewrites the full range and heals the tear.
+      retry.Run(&ep.clock(), stats, [&] {
+        file->WriteAt(base + sp.file_offset, {buf.data(), buf.size()},
+                      sp.bytes);
+      });
+      if (sidecar != nullptr) {
+        const CrcRecord rec{base + sp.file_offset, sp.bytes,
+                            Crc32c({buf.data(), buf.size()})};
+        const std::int64_t rec_index =
+            record_base + static_cast<std::int64_t>(k);
+        retry.Run(&ep.clock(), stats,
+                  [&] { WriteCrcRecord(*sidecar, rec_index, rec); });
+      }
     });
   }
   disk.Drain();
   // The paper flushes every collective write with fsync.
-  file->Sync();
+  retry.Run(&ep.clock(), stats, [&] { file->Sync(); });
+  if (sidecar != nullptr) {
+    retry.Run(&ep.clock(), stats, [&] { sidecar->Sync(); });
+  }
 }
 
 void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
                      const Sp2Params& params, const CollectiveRequest& req,
-                     std::int32_t array_index, const IoPlan& plan) {
+                     std::int32_t array_index, const IoPlan& plan,
+                     const ServerOptions& options) {
   const int sidx = world.server_index(ep.rank());
   const ArrayMeta& meta = req.arrays[static_cast<size_t>(array_index)];
   const bool timing = ep.timing_only();
   const std::int64_t base = BaseOffset(plan, req.purpose, req.seq, sidx);
+  const RetryPolicy& retry = options.retry;
+  RobustnessStats* stats = options.robustness;
 
   if (plan.ChunksOfServer(sidx).empty()) return;
 
-  auto file = fs.Open(DataFileName(req.group, meta.name, req.purpose, sidx),
-                      OpenMode::kRead);
+  const std::string data_name =
+      DataFileName(req.group, meta.name, req.purpose, sidx);
+  std::unique_ptr<File> file;
+  retry.Run(&ep.clock(), stats,
+            [&] { file = fs.Open(data_name, OpenMode::kRead); });
+
+  // Verify sub-chunks against the sidecar when asked to and one exists;
+  // legacy data (no sidecar) reads back unverified, not failed.
+  std::unique_ptr<File> sidecar;
+  if (options.disk_checksums && !timing &&
+      fs.Exists(SidecarFileName(data_name))) {
+    retry.Run(&ep.clock(), stats, [&] {
+      sidecar = fs.Open(SidecarFileName(data_name), OpenMode::kRead);
+    });
+  }
+
+  const std::vector<std::pair<int, int>> work = ServerWork(plan, sidx);
+  const std::int64_t record_base =
+      RecordBase(req.purpose, req.seq, static_cast<std::int64_t>(work.size()));
 
   std::vector<std::byte> buf;
-  for (const int ci : plan.ChunksOfServer(sidx)) {
-    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
-    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
-      const SubchunkPlan& sp = cp.subchunks[si];
-      // Sub-chunks fully outside a subarray clip: no disk access at all.
-      if (!sp.active) continue;
-      // Sequential read of the sub-chunk...
-      if (!timing) buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
-      file->ReadAt(base + sp.file_offset, {buf.data(), buf.size()}, sp.bytes);
-      // ...then scatter its pieces to the clients that need them.
-      for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
-        const PiecePlan& piece = sp.pieces[pi];
-        if (!piece.contiguous_in_subchunk) {
-          ep.AdvanceCompute(static_cast<double>(piece.bytes) /
-                            params.memcpy_Bps);
+  for (size_t k = 0; k < work.size(); ++k) {
+    const auto [ci, si] = work[k];
+    const SubchunkPlan& sp =
+        plan.chunks()[static_cast<size_t>(ci)].subchunks[static_cast<size_t>(si)];
+    // Sub-chunks fully outside a subarray clip: no disk access at all.
+    if (!sp.active) continue;
+    // Sequential read of the sub-chunk...
+    if (!timing) buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
+    auto read_subchunk = [&] {
+      retry.Run(&ep.clock(), stats, [&] {
+        file->ReadAt(base + sp.file_offset, {buf.data(), buf.size()},
+                     sp.bytes);
+      });
+    };
+    read_subchunk();
+    if (sidecar != nullptr) {
+      const std::int64_t rec_index = record_base + static_cast<std::int64_t>(k);
+      CrcRecord rec;
+      auto read_record = [&] {
+        retry.Run(&ep.clock(), stats,
+                  [&] { rec = ReadCrcRecord(*sidecar, rec_index); });
+      };
+      auto verified = [&] {
+        return rec.file_offset == base + sp.file_offset &&
+               rec.bytes == sp.bytes &&
+               rec.crc == Crc32c({buf.data(), buf.size()});
+      };
+      read_record();
+      if (!verified()) {
+        // A silently corrupted *read* — of the data or of the sidecar
+        // record itself (flaky controller) — heals on one re-read of
+        // both; persistent disagreement means the bytes on disk are
+        // wrong (or the schemas diverged) and aborts the collective.
+        if (stats != nullptr) stats->disk_checksum_rereads.fetch_add(1);
+        read_record();
+        read_subchunk();
+        if (!verified()) {
+          if (stats != nullptr) stats->disk_checksum_failures.fetch_add(1);
+          PANDA_REQUIRE(false,
+                        "sub-chunk failed its on-disk checksum after a "
+                        "re-read (%s record %lld: record says offset "
+                        "%lld/%lld bytes crc %08x, plan says offset "
+                        "%lld/%lld bytes, computed crc %08x)",
+                        data_name.c_str(), static_cast<long long>(rec_index),
+                        static_cast<long long>(rec.file_offset),
+                        static_cast<long long>(rec.bytes), rec.crc,
+                        static_cast<long long>(base + sp.file_offset),
+                        static_cast<long long>(sp.bytes),
+                        Crc32c({buf.data(), buf.size()}));
         }
-        Message data;
-        Encoder enc(data.header);
-        PieceHeader{array_index, ci, static_cast<std::int32_t>(si),
-                    static_cast<std::int32_t>(pi), piece.region}
-            .EncodeTo(enc);
-        if (!timing) {
-          std::vector<std::byte> payload(static_cast<size_t>(piece.bytes));
-          PackRegion({payload.data(), payload.size()},
-                     {buf.data(), buf.size()}, sp.region, piece.region,
-                     static_cast<size_t>(meta.elem_size));
-          data.SetPayload(std::move(payload));
-        } else {
-          data.SetVirtualPayload(piece.bytes);
-        }
-        ep.Send(world.client_rank(piece.client), kTagPieceData,
-                std::move(data));
-        // Per-piece flow control: wait for the client's acknowledgement
-        // before pushing more. This bounds client-side buffering and
-        // makes the read path's message count mirror the write path's
-        // (request+data), matching the paper's observation that reads
-        // and writes move essentially identical message traffic.
-        (void)ep.Recv(world.client_rank(piece.client), kTagPieceAck);
       }
     }
+    // ...then scatter its pieces to the clients that need them.
+    for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
+      const PiecePlan& piece = sp.pieces[pi];
+      if (!piece.contiguous_in_subchunk) {
+        ep.AdvanceCompute(static_cast<double>(piece.bytes) /
+                          params.memcpy_Bps);
+      }
+      Message data;
+      Encoder enc(data.header);
+      PieceHeader{array_index, ci, static_cast<std::int32_t>(si),
+                  static_cast<std::int32_t>(pi), piece.region}
+          .EncodeTo(enc);
+      if (!timing) {
+        std::vector<std::byte> payload(static_cast<size_t>(piece.bytes));
+        PackRegion({payload.data(), payload.size()},
+                   {buf.data(), buf.size()}, sp.region, piece.region,
+                   static_cast<size_t>(meta.elem_size));
+        // End-to-end wire checksum, verified by the receiving client.
+        enc.Put<std::uint32_t>(Crc32c({payload.data(), payload.size()}));
+        data.SetPayload(std::move(payload));
+      } else {
+        enc.Put<std::uint32_t>(0);
+        data.SetVirtualPayload(piece.bytes);
+      }
+      ep.Send(world.client_rank(piece.client), kTagPieceData,
+              std::move(data));
+      // Per-piece flow control: wait for the client's acknowledgement
+      // before pushing more. This bounds client-side buffering and
+      // makes the read path's message count mirror the write path's
+      // (request+data), matching the paper's observation that reads
+      // and writes move essentially identical message traffic.
+      (void)ep.Recv(world.client_rank(piece.client), kTagPieceAck);
+    }
+  }
+}
+
+// Master-server fan-out of an abort notice: every other server and the
+// requesting application's master client hear about it directly, so the
+// whole cluster unblocks within one receive each (docs/PROTOCOL.md).
+void RelayAbortFromMasterServer(Endpoint& ep, const World& world,
+                                const World& app_world, int origin_rank,
+                                const std::string& reason) {
+  for (int s = 0; s < world.num_servers; ++s) {
+    const int r = world.server_rank(s);
+    if (r == ep.rank() || r == origin_rank) continue;
+    ep.Send(r, kTagAbort, MakeAbortMessage(origin_rank, reason));
+  }
+  const int mc = app_world.master_client_rank();
+  if (mc != origin_rank) {
+    ep.Send(mc, kTagAbort, MakeAbortMessage(origin_rank, reason));
   }
 }
 
@@ -261,10 +426,10 @@ void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
         req.arrays[static_cast<size_t>(ai)].memory.mesh().size(),
         world.num_clients);
     if (req.op == IoOp::kWrite) {
-      ServerWriteArray(ep, fs, world, params, req, ai, plan, disk,
-                       options.pipeline_requests, pending_renames);
+      ServerWriteArray(ep, fs, world, params, req, ai, plan, disk, options,
+                       pending_renames);
     } else {
-      ServerReadArray(ep, fs, world, params, req, ai, plan);
+      ServerReadArray(ep, fs, world, params, req, ai, plan, options);
     }
   }
   // Two-phase checkpoint commit: publish the staged files only after
@@ -275,7 +440,8 @@ void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
   if (!pending_renames.empty()) {
     Barrier(ep, world.ServerGroup(ep.rank()));
     for (const auto& [from, to] : pending_renames) {
-      fs.Rename(from, to);
+      options.retry.Run(&ep.clock(), options.robustness,
+                        [&] { fs.Rename(from, to); });
     }
   }
   // Group metadata: the master server records the schemas so consumers
@@ -283,7 +449,8 @@ void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
   // (Skipped in timing-only sweeps: metadata needs real bytes.)
   if (req.op == IoOp::kWrite && sidx == 0 && !req.meta_file.empty() &&
       !ep.timing_only()) {
-    UpdateGroupMeta(fs, req);
+    options.retry.Run(&ep.clock(), options.robustness,
+                      [&] { UpdateGroupMeta(fs, req); });
   }
 }
 
@@ -321,7 +488,9 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
         if (!ep.timing_only() && !req.meta_file.empty() &&
             fs.Exists(req.meta_file)) {
           enc.Put<std::uint8_t>(1);
-          const GroupMeta meta = ReadGroupMeta(fs, req.meta_file);
+          GroupMeta meta;
+          options.retry.Run(&ep.clock(), options.robustness,
+                            [&] { meta = ReadGroupMeta(fs, req.meta_file); });
           enc.PutBytes(meta.Encode());
         } else {
           enc.Put<std::uint8_t>(0);  // absent
@@ -335,15 +504,43 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
     // window (the servers themselves are shared).
     const World app_world = world.WithClients(req.first_client,
                                               req.num_clients);
-    ServerExecute(ep, fs, app_world, params, req, options, &plan_cache);
+    try {
+      ServerExecute(ep, fs, app_world, params, req, options, &plan_cache);
 
-    // Completion: servers gather to the master server, which notifies
-    // the requesting application's master client. (Gather-only: servers
-    // need no release — they fall straight back into the next request
-    // broadcast.)
-    GatherSync(ep, servers);
-    if (sidx == 0) {
-      ep.Send(app_world.master_client_rank(), kTagServerDone, Message{});
+      // Completion: servers gather to the master server, which notifies
+      // the requesting application's master client. (Gather-only:
+      // servers need no release — they fall straight back into the next
+      // request broadcast.)
+      GatherSync(ep, servers);
+      if (sidx == 0) {
+        ep.Send(app_world.master_client_rank(), kTagServerDone, Message{});
+      }
+    } catch (const PandaAbortError& e) {
+      // Another rank's abort notice interrupted one of our receives.
+      // The master server is the server-side relay hub: fan the notice
+      // out to the remaining servers and the application's master
+      // client, then die with the structured error ourselves.
+      if (sidx == 0) {
+        RelayAbortFromMasterServer(ep, world, app_world, e.origin_rank(),
+                                   e.reason());
+      }
+      throw;
+    } catch (const PandaError& e) {
+      // This server hit an unrecoverable fault (exhausted retry budget,
+      // crash-stop disk death, checksum failure...): it is the abort's
+      // origin. Notify the hub — or fan out ourselves if we *are* the
+      // hub — and die with the structured error. Sends are buffered, so
+      // a dying rank never blocks on its own notifications.
+      if (options.robustness != nullptr) {
+        options.robustness->collectives_aborted.fetch_add(1);
+      }
+      if (sidx == 0) {
+        RelayAbortFromMasterServer(ep, world, app_world, ep.rank(), e.what());
+      } else {
+        ep.Send(world.master_server_rank(), kTagAbort,
+                MakeAbortMessage(ep.rank(), e.what()));
+      }
+      throw PandaAbortError(ep.rank(), e.what());
     }
   }
   PANDA_DEBUG("server %d shutting down", sidx);

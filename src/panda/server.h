@@ -9,6 +9,7 @@
 #pragma once
 
 #include "iosim/file_system.h"
+#include "iosim/retry.h"
 #include "msg/transport.h"
 #include "panda/plan.h"
 #include "panda/plan_cache.h"
@@ -33,6 +34,22 @@ struct ServerOptions {
   // Number of applications sharing these i/o nodes (mixed workloads,
   // paper §5). The server loop exits after this many shutdown requests.
   int num_applications = 1;
+  // Bounded retry of *transient* disk faults (EIO, torn writes — see
+  // iosim/faulty_fs.h). Every disk operation the server issues (open,
+  // per-sub-chunk read/write, fsync, checkpoint rename) runs under this
+  // policy; backoff is charged to the rank's virtual clock. Permanent
+  // faults (or an exhausted budget) escape into the structured abort
+  // protocol (docs/PROTOCOL.md).
+  RetryPolicy retry;
+  // Maintain CRC32C sidecar files (`F.crc`, see panda/integrity.h) for
+  // every sub-chunk written, and verify sub-chunks against them on read
+  // collectives (one re-read retry before declaring corruption).
+  // Opt-in: sidecar traffic changes the per-file op counts the timing
+  // studies reason about. Requires real data (ignored in timing-only
+  // runs); data files without a sidecar read back unverified.
+  bool disk_checksums = false;
+  // Robustness accounting sink (may be null: counting is skipped).
+  RobustnessStats* robustness = nullptr;
 };
 
 // Runs the server loop on an i/o-node rank until a shutdown request

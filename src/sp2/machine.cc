@@ -5,7 +5,10 @@
 namespace panda {
 
 Machine::Machine(int num_clients, int num_servers, Sp2Params params)
-    : num_clients_(num_clients), num_servers_(num_servers), params_(params) {
+    : num_clients_(num_clients),
+      num_servers_(num_servers),
+      params_(params),
+      robustness_(std::make_unique<RobustnessStats>()) {
   PANDA_REQUIRE(num_clients >= 1, "need at least one compute node");
   PANDA_REQUIRE(num_servers >= 1, "need at least one i/o node");
 }
@@ -85,6 +88,7 @@ void Machine::Run(const std::function<void(Endpoint&, int)>& client_main,
 void Machine::ResetClocksAndStats() {
   transport_->ResetClocksAndStats();
   for (auto& fs : server_fs_) fs->ResetStats();
+  robustness_->Reset();
 }
 
 }  // namespace panda

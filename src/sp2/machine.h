@@ -14,6 +14,7 @@
 
 #include "iosim/file_system.h"
 #include "iosim/posix_fs.h"
+#include "iosim/retry.h"
 #include "iosim/sim_fs.h"
 #include "iosim/striped_fs.h"
 #include "msg/transport.h"
@@ -52,6 +53,11 @@ class Machine {
   // File system of server `s` (0-based server index).
   FileSystem& server_fs(int s);
 
+  // Machine-wide robustness accounting (retries, checksum failures,
+  // aborts). Wire it into ServerOptions::robustness /
+  // PandaClient::set_robustness; the report snapshots it.
+  RobustnessStats& robustness() { return *robustness_; }
+
   // Runs `client_main(endpoint, client_index)` on client ranks and
   // `server_main(endpoint, server_index)` on server ranks.
   void Run(const std::function<void(Endpoint&, int)>& client_main,
@@ -74,6 +80,9 @@ class Machine {
   Sp2Params params_;
   std::unique_ptr<ThreadTransport> transport_;
   std::vector<std::unique_ptr<FileSystem>> server_fs_;
+  // unique_ptr (not a value member): the atomics inside make the stats
+  // immovable, and Machine is returned by value from its factories.
+  std::unique_ptr<RobustnessStats> robustness_;
 };
 
 }  // namespace panda

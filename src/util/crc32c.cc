@@ -1,0 +1,65 @@
+#include "util/crc32c.h"
+
+#include <array>
+
+namespace panda {
+namespace {
+
+// Reflected CRC32C polynomial.
+constexpr std::uint32_t kPoly = 0x82f63b78u;
+
+struct Tables {
+  // table[0] is the classic byte-at-a-time table; tables 1..7 extend it
+  // for slice-by-8 (process 8 input bytes per iteration).
+  std::uint32_t t[8][256];
+
+  Tables() {
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      std::uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc & 1) ? (crc >> 1) ^ kPoly : crc >> 1;
+      }
+      t[0][i] = crc;
+    }
+    for (std::uint32_t i = 0; i < 256; ++i) {
+      for (int k = 1; k < 8; ++k) {
+        t[k][i] = (t[k - 1][i] >> 8) ^ t[0][t[k - 1][i] & 0xff];
+      }
+    }
+  }
+};
+
+const Tables& tables() {
+  static const Tables kTables;
+  return kTables;
+}
+
+}  // namespace
+
+std::uint32_t Crc32c(const void* data, std::size_t n, std::uint32_t seed) {
+  const Tables& tb = tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint32_t crc = ~seed;
+  // Slice-by-8 main loop.
+  while (n >= 8) {
+    const std::uint32_t lo = crc ^ (static_cast<std::uint32_t>(p[0]) |
+                                    static_cast<std::uint32_t>(p[1]) << 8 |
+                                    static_cast<std::uint32_t>(p[2]) << 16 |
+                                    static_cast<std::uint32_t>(p[3]) << 24);
+    crc = tb.t[7][lo & 0xff] ^ tb.t[6][(lo >> 8) & 0xff] ^
+          tb.t[5][(lo >> 16) & 0xff] ^ tb.t[4][lo >> 24] ^ tb.t[3][p[4]] ^
+          tb.t[2][p[5]] ^ tb.t[1][p[6]] ^ tb.t[0][p[7]];
+    p += 8;
+    n -= 8;
+  }
+  while (n-- > 0) {
+    crc = (crc >> 8) ^ tb.t[0][(crc ^ *p++) & 0xff];
+  }
+  return ~crc;
+}
+
+std::uint32_t Crc32c(std::span<const std::byte> data, std::uint32_t seed) {
+  return Crc32c(data.data(), data.size(), seed);
+}
+
+}  // namespace panda

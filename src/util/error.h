@@ -18,6 +18,36 @@ class PandaError : public std::runtime_error {
   explicit PandaError(const std::string& what) : std::runtime_error(what) {}
 };
 
+// A *transient* I/O failure: the operation may well succeed if simply
+// retried (EIO under load, a torn write, a flaky controller). Thrown by
+// fault injectors and retry-aware backends; RetryPolicy retries exactly
+// this type and lets every other PandaError propagate as permanent.
+class TransientIoError : public PandaError {
+ public:
+  using PandaError::PandaError;
+};
+
+// A collective was aborted cluster-wide. Carries the rank where the
+// fault originated and the cause, so every rank's exception names the
+// same culprit. Raised on the originating rank after it fans the abort
+// out (see docs/PROTOCOL.md "Error handling"), and on every other rank
+// when the abort notice reaches its mailbox.
+class PandaAbortError : public PandaError {
+ public:
+  PandaAbortError(int origin_rank, const std::string& reason)
+      : PandaError("collective aborted (origin rank " +
+                   std::to_string(origin_rank) + "): " + reason),
+        origin_rank_(origin_rank),
+        reason_(reason) {}
+
+  int origin_rank() const { return origin_rank_; }
+  const std::string& reason() const { return reason_; }
+
+ private:
+  int origin_rank_;
+  std::string reason_;
+};
+
 namespace detail {
 // Aborts with a diagnostic; used by PANDA_CHECK. Never returns.
 [[noreturn]] void CheckFailed(const char* expr, const char* file, int line,

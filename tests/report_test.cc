@@ -3,6 +3,7 @@
 // silent extras — and the report must account every byte on disk.
 #include <gtest/gtest.h>
 
+#include "iosim/faulty_fs.h"
 #include "panda/report.h"
 #include "test_harness.h"
 
@@ -130,6 +131,77 @@ TEST(ReportTest, DiskBytesAccountedExactly) {
   EXPECT_EQ(written, meta.total_bytes());
   EXPECT_EQ(syncs, 2);  // one fsync per server per collective write
   EXPECT_FALSE(report.ToString().empty());
+}
+
+TEST(ReportTest, RobustnessCountersZeroOnCleanRun) {
+  // A fault-free run must leave every robustness counter at zero and
+  // keep the robustness line out of the report — fault tolerance is
+  // invisible until something actually goes wrong.
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 512;
+  Machine machine = Machine::Simulated(4, 2, params, true, false);
+  ArrayMeta meta;
+  meta.name = "clean";
+  meta.elem_size = 8;
+  meta.memory = Schema({16, 16}, Mesh(Shape{2, 2}), {BLOCK, BLOCK});
+  meta.disk = meta.memory;
+
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+    a.BindClient(idx);
+    FillPattern(a, 11);
+    client.WriteArray(a);
+    client.ReadArray(a);
+  });
+
+  const MachineReport report = Snapshot(machine);
+  EXPECT_TRUE(report.robustness.AllZero());
+  EXPECT_EQ(report.ToString().find("robustness"), std::string::npos);
+}
+
+TEST(ReportTest, RobustnessCountersSurfaceInjectedFaults) {
+  // Under injected transient faults the same workload still succeeds,
+  // but the retries now show up in the counters and the report text.
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 512;
+  Machine machine = Machine::Simulated(4, 2, params, true, false);
+  const World world{4, 2};
+  ArrayMeta meta;
+  meta.name = "weather";
+  meta.elem_size = 8;
+  meta.memory = Schema({16, 16}, Mesh(Shape{2, 2}), {BLOCK, BLOCK});
+  meta.disk = meta.memory;
+
+  std::vector<std::unique_ptr<FaultyFileSystem>> faulty;
+  for (int s = 0; s < 2; ++s) {
+    FaultModel m;
+    m.fault_at_ops = {1, 3};  // scripted: each heals on the retry
+    faulty.push_back(
+        std::make_unique<FaultyFileSystem>(&machine.server_fs(s), m));
+  }
+  ServerOptions options;
+  options.robustness = &machine.robustness();
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        PandaClient client(ep, world, params);
+        client.set_robustness(&machine.robustness());
+        Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+        a.BindClient(idx);
+        FillPattern(a, 11);
+        client.WriteArray(a);
+        if (idx == 0) client.Shutdown();
+      },
+      [&](Endpoint& ep, int sidx) {
+        ServerMain(ep, *faulty[static_cast<size_t>(sidx)], world, params,
+                   options);
+      });
+
+  const MachineReport report = Snapshot(machine);
+  EXPECT_FALSE(report.robustness.AllZero());
+  EXPECT_EQ(report.robustness.io_retries, 4);  // 2 scripted faults x 2 nodes
+  EXPECT_EQ(report.robustness.io_giveups, 0);
+  EXPECT_EQ(report.robustness.collectives_aborted, 0);
+  EXPECT_NE(report.ToString().find("robustness"), std::string::npos);
 }
 
 TEST(ReportTest, SequentialityOfServerDirectedWrites) {

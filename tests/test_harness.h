@@ -83,9 +83,15 @@ inline void RunCluster(Machine& machine,
                        const std::function<void(PandaClient&, int)>& app,
                        ServerOptions server_options = {}) {
   const World world{machine.num_clients(), machine.num_servers()};
+  // Robustness accounting flows into the machine's counters unless the
+  // caller supplied a sink of its own.
+  if (server_options.robustness == nullptr) {
+    server_options.robustness = &machine.robustness();
+  }
   machine.Run(
       [&](Endpoint& ep, int client_index) {
         PandaClient client(ep, world, machine.params());
+        client.set_robustness(&machine.robustness());
         app(client, client_index);
         if (client_index == 0) client.Shutdown();
       },

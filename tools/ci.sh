@@ -1,0 +1,32 @@
+#!/bin/sh
+# Tier-1 CI: builds and runs the full test suite twice — once plain,
+# once under AddressSanitizer + UBSan (the PANDA_SANITIZE cache option).
+# The sanitizer pass is what catches the bugs the fault-injection tests
+# provoke on purpose: use-after-free across abort unwinding, races on
+# the robustness counters, buffer arithmetic in the checksum paths.
+#
+#   tools/ci.sh [--skip-sanitizers]
+set -eu
+
+SKIP_SAN=""
+[ "${1:-}" = "--skip-sanitizers" ] && SKIP_SAN=1
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+run_suite() {
+  build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S . "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+}
+
+echo "== plain build + tests"
+run_suite build-ci
+
+if [ -z "$SKIP_SAN" ]; then
+  echo "== asan/ubsan build + tests"
+  run_suite build-ci-asan "-DPANDA_SANITIZE=address;undefined"
+fi
+
+echo "CI OK"
