@@ -11,8 +11,20 @@
 // disk_checksums off, or by sequential tools) are reported as
 // unverified, not failed.
 //
+// With --verify_journal, additionally replays every write-ahead
+// journal record (`F.wal`, see src/panda/journal.h) against the plan
+// and the data file: framing, commit completeness (modulo one torn
+// trailing record — the legitimate signature of a crash mid-append),
+// and data CRCs.
+//
+// Groups written in degraded mode (after a server crash-stop) carry a
+// `__panda.dead_servers` attribute; fsck honours it everywhere: dead
+// servers' files are skipped as lost, survivors are expected to hold
+// their own chunks plus the adopted ones appended past their original
+// segment.
+//
 //   ./examples/panda_fsck --root=DIR --io_nodes=N --schema=FILE
-//       [--verify_checksums]
+//       [--verify_checksums] [--verify_journal]
 #include <cstdio>
 
 #include "panda/panda.h"
@@ -62,6 +74,7 @@ int main(int argc, char** argv) {
     const std::int64_t subchunk =
         opts.GetInt("subchunk_bytes", Sp2Params::Nas().subchunk_bytes);
     const bool verify_checksums = opts.GetBool("verify_checksums", false);
+    const bool verify_journal = opts.GetBool("verify_journal", false);
     opts.CheckAllConsumed();
 
     std::vector<std::unique_ptr<PosixFileSystem>> fs;
@@ -76,11 +89,27 @@ int main(int argc, char** argv) {
                 static_cast<long long>(meta.timesteps),
                 meta.has_checkpoint ? "present" : "absent");
 
+    const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
+    if (!dead.empty()) {
+      std::string who;
+      for (const int s : dead) {
+        if (!who.empty()) who += ", ";
+        who += std::to_string(s);
+      }
+      std::printf(
+          "group committed in degraded mode: io node(s) %s dead; their "
+          "files are lost, survivors carry the adopted chunks\n",
+          who.c_str());
+    }
+
     CheckResult result;
     for (const ArrayMeta& array : meta.arrays) {
       const IoPlan plan(array, io_nodes, subchunk);
+      const DegradedLayout layout = DegradedLayout::Compute(plan, dead);
       for (int s = 0; s < io_nodes; ++s) {
-        const std::int64_t segment = plan.SegmentBytes(s);
+        if (!layout.alive[static_cast<size_t>(s)]) continue;  // lost disk
+        const std::int64_t segment = layout.SegmentBytes(s);
+        if (segment == 0) continue;  // server stores none of this array
         if (meta.timesteps > 0) {
           CheckFile(*fs[static_cast<size_t>(s)],
                     DataFileName(meta.group, array.name, Purpose::kTimestep,
@@ -117,8 +146,32 @@ int main(int argc, char** argv) {
           static_cast<long long>(report.framing_mismatches));
       checksums_clean = report.Clean();
     }
-    return (result.missing + result.wrong_size) == 0 && checksums_clean ? 0
-                                                                        : 1;
+
+    bool journal_clean = true;
+    if (verify_journal) {
+      std::vector<FileSystem*> fs_ptrs;
+      for (const auto& f : fs) fs_ptrs.push_back(f.get());
+      std::string log;
+      const JournalReport report =
+          VerifyGroupJournal(fs_ptrs, meta, subchunk, &log);
+      if (!log.empty()) std::printf("%s", log.c_str());
+      std::printf(
+          "journal: %lld files verified (%lld without journal), %lld "
+          "records checked, %lld missing, %lld torn, %lld framing "
+          "mismatches, %lld data mismatches\n",
+          static_cast<long long>(report.files_checked),
+          static_cast<long long>(report.files_without_journal),
+          static_cast<long long>(report.records_checked),
+          static_cast<long long>(report.records_missing),
+          static_cast<long long>(report.torn_records),
+          static_cast<long long>(report.framing_mismatches),
+          static_cast<long long>(report.data_mismatches));
+      journal_clean = report.Clean();
+    }
+    return (result.missing + result.wrong_size) == 0 && checksums_clean &&
+                   journal_clean
+               ? 0
+               : 1;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "panda_fsck: %s\n", e.what());
     return 2;

@@ -4,19 +4,26 @@ namespace panda {
 
 void RetryPolicy::Run(VirtualClock* clock, RobustnessStats* stats,
                       const std::function<void()>& op) const {
+  // A budget below 1 still runs the operation once: "zero attempts"
+  // means zero *retries*, never a silently skipped operation.
+  const int budget = max_attempts < 1 ? 1 : max_attempts;
   double backoff = backoff_s;
   for (int attempt = 1;; ++attempt) {
     try {
       op();
       return;
     } catch (const TransientIoError&) {
-      if (attempt >= max_attempts) {
+      if (attempt >= budget) {
         if (stats != nullptr) stats->io_giveups.fetch_add(1);
         throw;
       }
       if (stats != nullptr) stats->io_retries.fetch_add(1);
       if (clock != nullptr && backoff > 0.0) clock->Advance(backoff);
+      // Saturating growth: never overflows, never exceeds the cap.
       backoff *= backoff_multiplier;
+      if (max_backoff_s > 0.0 && backoff > max_backoff_s) {
+        backoff = max_backoff_s;
+      }
     }
   }
 }

@@ -30,11 +30,15 @@ struct RobustnessCounters {
   std::int64_t disk_checksum_failures = 0; // corrupt sub-chunks caught
   std::int64_t disk_checksum_rereads = 0;  // mismatches healed by re-read
   std::int64_t collectives_aborted = 0;    // structured aborts originated
+  std::int64_t failovers_completed = 0;    // degraded-mode re-plans committed
+  std::int64_t chunks_adopted = 0;         // dead servers' chunks re-homed
+  std::int64_t journal_records_written = 0;  // WAL commit records appended
 
   bool AllZero() const {
     return io_retries == 0 && io_giveups == 0 && wire_checksum_failures == 0 &&
            disk_checksum_failures == 0 && disk_checksum_rereads == 0 &&
-           collectives_aborted == 0;
+           collectives_aborted == 0 && failovers_completed == 0 &&
+           chunks_adopted == 0 && journal_records_written == 0;
   }
 };
 
@@ -50,6 +54,9 @@ class RobustnessStats {
   std::atomic<std::int64_t> disk_checksum_failures{0};
   std::atomic<std::int64_t> disk_checksum_rereads{0};
   std::atomic<std::int64_t> collectives_aborted{0};
+  std::atomic<std::int64_t> failovers_completed{0};
+  std::atomic<std::int64_t> chunks_adopted{0};
+  std::atomic<std::int64_t> journal_records_written{0};
 
   RobustnessCounters Snapshot() const {
     RobustnessCounters c;
@@ -59,6 +66,9 @@ class RobustnessStats {
     c.disk_checksum_failures = disk_checksum_failures.load();
     c.disk_checksum_rereads = disk_checksum_rereads.load();
     c.collectives_aborted = collectives_aborted.load();
+    c.failovers_completed = failovers_completed.load();
+    c.chunks_adopted = chunks_adopted.load();
+    c.journal_records_written = journal_records_written.load();
     return c;
   }
 
@@ -69,15 +79,22 @@ class RobustnessStats {
     disk_checksum_failures = 0;
     disk_checksum_rereads = 0;
     collectives_aborted = 0;
+    failovers_completed = 0;
+    chunks_adopted = 0;
+    journal_records_written = 0;
   }
 };
 
 struct RetryPolicy {
-  // Total tries including the first. 1 disables retrying entirely.
+  // Total tries including the first. 1 disables retrying entirely;
+  // values below 1 are clamped to 1 (the operation always runs once).
   int max_attempts = 4;
-  // Virtual-clock backoff before the 2nd try; doubles per further try.
+  // Virtual-clock backoff before the 2nd try; doubles per further try
+  // up to max_backoff_s. The saturation keeps huge attempt budgets from
+  // overflowing the double (and from charging absurd virtual waits).
   double backoff_s = 1.0e-3;
   double backoff_multiplier = 2.0;
+  double max_backoff_s = 1.0;
 
   // Runs `op`. On TransientIoError: backs off on `clock` (if non-null)
   // and retries, up to max_attempts total tries; counts each retry (and

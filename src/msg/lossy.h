@@ -1,0 +1,136 @@
+// Lossy-transport fault model and failure-detector configuration.
+//
+// The in-process ThreadTransport is perfectly reliable, so nothing ever
+// exercised the protocol's liveness. LossSpec turns it into a bounded
+// adversary (mirroring FaultModel for disks, faulty_fs.h): with a seeded
+// per-(src,dst) RNG it drops, duplicates, reorders, or delays messages,
+// subject to caps that keep every run completable. The transport pairs
+// it with a reliable-delivery layer — per-(src,dst,tag) sequence
+// numbers, receive-side dedup/resequencing, and receiver-driven
+// retransmission of dropped messages after a virtual-clock RTO — so the
+// protocol above observes exactly-once, per-pair-ordered delivery.
+//
+// Acks are modeled as free piggybacked traffic (they ride the constant
+// per-message overhead already charged to every data message), so a run
+// with the reliable layer armed but zero injected faults is
+// byte-identical and *time*-identical to a run without it.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace panda {
+
+// Fault model for the lossy transport decorator. All probabilities are
+// per *logical* send; a message draws at most one fault. Mirrors the
+// bounded-adversary discipline of FaultModel: after a burst of
+// max_consecutive_faults faulty draws the next min_clean_after_fault
+// sends are forced clean, and max_faults_total caps the whole run, so
+// tests terminate no matter how hostile the probabilities are.
+struct LossSpec {
+  std::uint64_t seed = 1;  // per-(src,dst) streams are derived from this
+
+  double drop_prob = 0.0;     // message vanishes; recovered by retransmit
+  double dup_prob = 0.0;      // delivered twice; second copy deduped
+  double reorder_prob = 0.0;  // held back past the pair's next message
+  double delay_prob = 0.0;    // delivered late by delay_s
+  double delay_s = 2.0e-3;    // extra virtual latency for delayed messages
+
+  // Virtual-clock retransmission timeout: a retransmitted copy of a
+  // dropped message departs rto_s after the original did. Retransmitted
+  // copies are never re-dropped (the adversary already spent its fault),
+  // which keeps virtual time deterministic: retransmits == drops.
+  double rto_s = 1.0e-2;
+
+  // Bounded-adversary caps (see FaultModel for the disk analogue).
+  int max_consecutive_faults = 2;
+  int min_clean_after_fault = 1;
+  std::int64_t max_faults_total = -1;  // -1: unlimited
+
+  // Arms the sequencing/dedup/rescue machinery even with all
+  // probabilities zero — used to prove the reliable layer is free when
+  // nothing goes wrong.
+  bool always_reliable = false;
+
+  bool AnyFaults() const {
+    return drop_prob > 0.0 || dup_prob > 0.0 || reorder_prob > 0.0 ||
+           delay_prob > 0.0;
+  }
+  bool Enabled() const { return AnyFaults() || always_reliable; }
+};
+
+// Lease-based failure detection among the ranks of one machine. Each
+// rank is modeled as heartbeating every interval_s; a peer that misses
+// `misses` consecutive beats is declared dead. The heartbeats themselves
+// are *modeled*, not sent — they would be constant background traffic
+// orthogonal to the collective being measured — so the only observable
+// effects are (a) a blocked Recv from a crash-stopped rank converts into
+// PeerDeadError after the detecting rank's clock advances to
+// death_time + lease_s(), and (b) the report's detection counters.
+struct HeartbeatConfig {
+  bool enabled = false;
+  double interval_s = 5.0e-2;
+  int misses = 3;
+
+  // Time from a silent crash to every blocked peer declaring it dead.
+  double lease_s() const { return interval_s * static_cast<double>(misses); }
+};
+
+// Plain-value snapshot of TransportFaultStats (reports, tests).
+struct TransportFaultCounters {
+  std::int64_t drops_injected = 0;
+  std::int64_t dups_injected = 0;
+  std::int64_t reorders_injected = 0;
+  std::int64_t delays_injected = 0;
+  std::int64_t retransmits = 0;      // dropped messages re-sent by rescue
+  std::int64_t dups_suppressed = 0;  // receive-side dedup hits
+  std::int64_t peers_declared_dead = 0;  // heartbeat leases expired
+  std::int64_t ranks_killed = 0;         // crash-stop injections fired
+
+  bool AllZero() const {
+    return drops_injected == 0 && dups_injected == 0 &&
+           reorders_injected == 0 && delays_injected == 0 &&
+           retransmits == 0 && dups_suppressed == 0 &&
+           peers_declared_dead == 0 && ranks_killed == 0;
+  }
+};
+
+// Shared transport-level fault counters for one machine (the wire-layer
+// sibling of RobustnessStats). Atomics: ranks run as threads.
+class TransportFaultStats {
+ public:
+  std::atomic<std::int64_t> drops_injected{0};
+  std::atomic<std::int64_t> dups_injected{0};
+  std::atomic<std::int64_t> reorders_injected{0};
+  std::atomic<std::int64_t> delays_injected{0};
+  std::atomic<std::int64_t> retransmits{0};
+  std::atomic<std::int64_t> dups_suppressed{0};
+  std::atomic<std::int64_t> peers_declared_dead{0};
+  std::atomic<std::int64_t> ranks_killed{0};
+
+  TransportFaultCounters Snapshot() const {
+    TransportFaultCounters c;
+    c.drops_injected = drops_injected.load();
+    c.dups_injected = dups_injected.load();
+    c.reorders_injected = reorders_injected.load();
+    c.delays_injected = delays_injected.load();
+    c.retransmits = retransmits.load();
+    c.dups_suppressed = dups_suppressed.load();
+    c.peers_declared_dead = peers_declared_dead.load();
+    c.ranks_killed = ranks_killed.load();
+    return c;
+  }
+
+  void Reset() {
+    drops_injected = 0;
+    dups_injected = 0;
+    reorders_injected = 0;
+    delays_injected = 0;
+    retransmits = 0;
+    dups_suppressed = 0;
+    peers_declared_dead = 0;
+    ranks_killed = 0;
+  }
+};
+
+}  // namespace panda

@@ -4,6 +4,13 @@
 
 namespace panda {
 
+namespace {
+// Probe period for hooked waits: how often a blocked receive offers the
+// transport a rescue opportunity and re-checks peer liveness. Pure
+// wall-clock pacing — it never enters the virtual-time model.
+constexpr std::chrono::milliseconds kProbePeriod{1};
+}  // namespace
+
 void Mailbox::Deposit(Message msg) {
   {
     std::lock_guard<std::mutex> lock(mu_);
@@ -12,7 +19,7 @@ void Mailbox::Deposit(Message msg) {
   cv_.notify_all();
 }
 
-void Mailbox::ThrowIfDeadLocked() {
+void Mailbox::ThrowIfDeadLocked(int want_tag) {
   if (!aborted_) {
     // An abort notice outranks ordinary matching: promote it to mailbox
     // state so every subsequent receive on this rank fails the same way.
@@ -29,39 +36,109 @@ void Mailbox::ThrowIfDeadLocked() {
     throw PandaAbortError(abort_notice_.origin_rank, abort_notice_.reason);
   }
   if (poisoned_) throw PandaError("rank aborted: mailbox poisoned");
+  if (want_tag != kTagFailover) {
+    // A failover notice also outranks ordinary matching — a client
+    // blocked on piece traffic from a dead server must learn about the
+    // re-plan — but unlike an abort it is one-shot, not sticky: the
+    // notice is consumed here and the collective continues degraded.
+    // Receives explicitly asking for kTagFailover (survivor servers
+    // awaiting the coordinator's phase decisions) match it normally.
+    const auto it = std::find_if(
+        queue_.begin(), queue_.end(),
+        [](const Message& m) { return m.tag == kTagFailover; });
+    if (it != queue_.end()) {
+      const FailoverNotice notice = DecodeFailoverNotice(*it);
+      queue_.erase(it);
+      throw PandaFailoverError(notice.origin_rank, notice.dead_ranks);
+    }
+  }
+}
+
+std::optional<Message> Mailbox::ReceiveCore(
+    int src, int tag,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    bool allow_peer_dead) {
+  std::unique_lock<std::mutex> lock(mu_);
+  const auto match = [&](const Message& m) {
+    return m.tag == tag && (src < 0 || m.src == src);
+  };
+  for (;;) {
+    ThrowIfDeadLocked(tag);
+    auto it = std::find_if(queue_.begin(), queue_.end(), match);
+    if (it != queue_.end()) {
+      Message msg = std::move(*it);
+      queue_.erase(it);
+      return msg;
+    }
+    if (deadline && std::chrono::steady_clock::now() >= *deadline) {
+      return std::nullopt;
+    }
+    if (!has_hooks_) {
+      if (deadline) {
+        cv_.wait_until(lock, *deadline);
+      } else {
+        cv_.wait(lock);
+      }
+      continue;
+    }
+    // Hooked wait: wake periodically to give the transport a chance to
+    // rescue traffic stuck in the lossy layer and to notice peer death.
+    auto wake = std::chrono::steady_clock::now() + kProbePeriod;
+    if (deadline && *deadline < wake) wake = *deadline;
+    if (cv_.wait_until(lock, wake) == std::cv_status::timeout) {
+      if (hooks_.rescue) {
+        lock.unlock();
+        hooks_.rescue();
+        lock.lock();
+      }
+      ThrowIfDeadLocked(tag);
+      it = std::find_if(queue_.begin(), queue_.end(), match);
+      if (it != queue_.end()) {
+        Message msg = std::move(*it);
+        queue_.erase(it);
+        return msg;
+      }
+      // The rescue above flushed everything recoverable that was headed
+      // here. If the awaited peer is dead and still nothing matched,
+      // nothing ever will: convert the infinite hang into a diagnosis.
+      if (allow_peer_dead && src >= 0 && hooks_.peer_dead &&
+          hooks_.peer_dead(src)) {
+        throw PeerDeadError(src);
+      }
+    }
+  }
 }
 
 Message Mailbox::BlockingReceive(int src, int tag) {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    ThrowIfDeadLocked();
-    const auto it = std::find_if(
-        queue_.begin(), queue_.end(), [&](const Message& m) {
-          return m.src == src && m.tag == tag;
-        });
-    if (it != queue_.end()) {
-      Message msg = std::move(*it);
-      queue_.erase(it);
-      return msg;
-    }
-    cv_.wait(lock);
-  }
+  return *ReceiveCore(src, tag, std::nullopt, /*allow_peer_dead=*/true);
 }
 
 Message Mailbox::BlockingReceiveAny(int tag) {
-  std::unique_lock<std::mutex> lock(mu_);
-  for (;;) {
-    ThrowIfDeadLocked();
-    const auto it = std::find_if(
-        queue_.begin(), queue_.end(),
-        [&](const Message& m) { return m.tag == tag; });
-    if (it != queue_.end()) {
-      Message msg = std::move(*it);
-      queue_.erase(it);
-      return msg;
-    }
-    cv_.wait(lock);
-  }
+  return *ReceiveCore(-1, tag, std::nullopt, /*allow_peer_dead=*/false);
+}
+
+std::optional<Message> Mailbox::ReceiveWithin(
+    int src, int tag, std::chrono::milliseconds wall_budget) {
+  return ReceiveCore(src, tag,
+                     std::chrono::steady_clock::now() + wall_budget,
+                     /*allow_peer_dead=*/false);
+}
+
+void Mailbox::InstallHooks(MailboxHooks hooks) {
+  std::lock_guard<std::mutex> lock(mu_);
+  hooks_ = std::move(hooks);
+  has_hooks_ = static_cast<bool>(hooks_.rescue) ||
+               static_cast<bool>(hooks_.peer_dead);
+}
+
+void Mailbox::NotifyAll() { cv_.notify_all(); }
+
+size_t Mailbox::PurgeIf(const std::function<bool(const Message&)>& pred) {
+  std::lock_guard<std::mutex> lock(mu_);
+  const size_t before = queue_.size();
+  queue_.erase(std::remove_if(queue_.begin(), queue_.end(), pred),
+               queue_.end());
+  return before - queue_.size();
 }
 
 void Mailbox::Poison() {

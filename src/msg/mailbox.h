@@ -9,18 +9,43 @@
 // receive that finds one (or finds the mailbox already in the aborted
 // state) throws PandaAbortError carrying the originating rank and
 // cause, so a failing rank can stop the whole cluster with structured
-// blame instead of a hang. A *poisoned* mailbox is the legacy blunt
+// blame instead of a hang. A kTagFailover message likewise outranks
+// ordinary matching (PandaFailoverError) — except for receives that ask
+// for kTagFailover explicitly — but is consumed one-shot: the collective
+// survives in degraded mode. A *poisoned* mailbox is the legacy blunt
 // instrument (unknown failure): receives throw plain PandaError.
+//
+// Liveness hooks: when a lossy transport or kill injector is armed, the
+// transport installs MailboxHooks. Blocked receives then wake
+// periodically to (a) ask the transport to rescue in-flight traffic
+// destined here (flush reorder limbo, retransmit drops) and (b) check
+// whether a specifically-awaited peer has crash-stopped, converting the
+// former infinite hang into PeerDeadError. Without hooks the wait loops
+// are the original pure condition waits — zero change for clean runs.
 #pragma once
 
+#include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <functional>
 #include <mutex>
+#include <optional>
 #include <string>
 
 #include "msg/message.h"
 
 namespace panda {
+
+// Callbacks a blocked receive may invoke while waiting (installed by the
+// transport; both must be safe to call from any rank's thread).
+struct MailboxHooks {
+  // Asks the transport to flush/retransmit everything in flight toward
+  // this mailbox's rank. Called with the mailbox lock RELEASED.
+  std::function<void()> rescue;
+  // Returns true when `rank` has crash-stopped. Must not take locks
+  // (reads atomics only); called with the mailbox lock held.
+  std::function<bool(int)> peer_dead;
+};
 
 class Mailbox {
  public:
@@ -28,13 +53,39 @@ class Mailbox {
   void Deposit(Message msg);
 
   // Blocks until a message with matching (src, tag) arrives and removes
-  // it. Throws PandaAbortError on abort, PandaError if poisoned.
+  // it. Throws PandaAbortError on abort, PandaFailoverError when a
+  // failover notice outranks the match (unless tag == kTagFailover),
+  // PeerDeadError when hooks are installed and `src` is dead with
+  // nothing rescuable left, PandaError if poisoned.
   Message BlockingReceive(int src, int tag);
 
   // Blocks until a message with matching tag arrives from any source
   // (earliest deposited wins). Panda clients use this to service server
-  // requests in arrival order, like an MPI_ANY_SOURCE receive.
+  // requests in arrival order, like an MPI_ANY_SOURCE receive. Never
+  // throws PeerDeadError (no specific awaited peer).
   Message BlockingReceiveAny(int tag);
+
+  // Bounded wait: like BlockingReceive/-Any (src = -1 for any source)
+  // but gives up after `wall_budget` of wall-clock time with no match,
+  // returning nullopt instead of blocking forever. The caller owns the
+  // virtual-time story for the timeout. Does NOT throw PeerDeadError —
+  // a timed receive already has an answer for a dead peer.
+  std::optional<Message> ReceiveWithin(int src, int tag,
+                                       std::chrono::milliseconds wall_budget);
+
+  // Installs (or clears, with default-constructed hooks) the liveness
+  // hooks. Must not race with blocked receives: the transport installs
+  // them before Run() starts the rank threads.
+  void InstallHooks(MailboxHooks hooks);
+
+  // Wakes every blocked receive so it can re-examine hook state (used by
+  // the kill injector when a rank dies without sending anything).
+  void NotifyAll();
+
+  // Removes every queued message matching `pred`; returns the count.
+  // Used when resetting a machine that has crash-stopped ranks: traffic
+  // from or to the dead is discarded, not delivered.
+  size_t PurgeIf(const std::function<bool(const Message&)>& pred);
 
   // Wakes all waiters; subsequent/blocked receives throw PandaError.
   // An existing abort state takes precedence (keeps the blame).
@@ -50,8 +101,17 @@ class Mailbox {
 
  private:
   // Promotes a queued kTagAbort message (if any) into the abort state
-  // and throws if the mailbox is dead. Caller must hold mu_.
-  void ThrowIfDeadLocked();
+  // and throws if the mailbox is dead; then promotes a queued
+  // kTagFailover message (one-shot) unless the caller is explicitly
+  // receiving kTagFailover. Caller must hold mu_.
+  void ThrowIfDeadLocked(int want_tag);
+
+  // Shared receive core. src == -1 matches any source. A null deadline
+  // blocks forever.
+  std::optional<Message> ReceiveCore(
+      int src, int tag,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline,
+      bool allow_peer_dead);
 
   std::mutex mu_;
   std::condition_variable cv_;
@@ -59,6 +119,8 @@ class Mailbox {
   bool poisoned_ = false;
   bool aborted_ = false;
   AbortNotice abort_notice_;
+  MailboxHooks hooks_;
+  bool has_hooks_ = false;
 };
 
 }  // namespace panda

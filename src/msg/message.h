@@ -24,6 +24,11 @@ struct Message {
   std::vector<std::byte> payload;
   std::int64_t payload_vbytes = 0;  // virtual payload size (== payload.size() when real)
   double depart_time = 0.0;         // virtual time the first byte leaves the sender
+  // Reliable-delivery sequence number within the (src, dst, tag) stream;
+  // -1 when the reliable layer is not armed. Not counted in WireBytes():
+  // real stacks carry sequence numbers inside the per-message framing
+  // already charged via the constant header overhead.
+  std::int64_t seq = -1;
 
   // Attaches a real payload.
   void SetPayload(std::vector<std::byte> bytes) {
@@ -55,6 +60,7 @@ enum MsgTag : int {
   kTagBcast = 9,              // tree broadcasts (requests, completion)
   kTagPieceAck = 10,          // client -> server (read-path flow control)
   kTagAbort = 11,             // structured cluster-wide abort fan-out
+  kTagFailover = 12,          // degraded-mode notices and phase decisions
   kTagApp = 100,              // first tag available to applications/tests
 };
 
@@ -80,6 +86,41 @@ inline AbortNotice DecodeAbortNotice(const Message& msg) {
   AbortNotice notice;
   notice.origin_rank = dec.Get<std::int32_t>();
   notice.reason = dec.GetString();
+  return notice;
+}
+
+// The payload of a kTagFailover message: the coordinator rank that
+// detected the failure and the full set of server ranks now considered
+// dead. Like an abort notice it outranks ordinary matching on ranks that
+// are *not* explicitly receiving kTagFailover (clients blocked in their
+// service loop learn of the failover via PandaFailoverError), but unlike
+// an abort it is consumed one-shot: the collective continues in degraded
+// mode rather than dying.
+struct FailoverNotice {
+  std::int32_t origin_rank = -1;
+  std::vector<int> dead_ranks;
+};
+
+inline Message MakeFailoverMessage(int origin_rank,
+                                   const std::vector<int>& dead_ranks) {
+  Message msg;
+  Encoder enc(msg.header);
+  enc.Put<std::int32_t>(origin_rank);
+  enc.Put<std::int32_t>(static_cast<std::int32_t>(dead_ranks.size()));
+  for (int r : dead_ranks) enc.Put<std::int32_t>(r);
+  return msg;
+}
+
+inline FailoverNotice DecodeFailoverNotice(const Message& msg) {
+  Decoder dec(msg.header);
+  FailoverNotice notice;
+  notice.origin_rank = dec.Get<std::int32_t>();
+  const std::int32_t n = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(n >= 0, "corrupt failover notice");
+  notice.dead_ranks.reserve(static_cast<size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    notice.dead_ranks.push_back(dec.Get<std::int32_t>());
+  }
   return notice;
 }
 

@@ -1,11 +1,29 @@
 #include "msg/transport.h"
 
+#include <algorithm>
 #include <exception>
 #include <thread>
 
 #include "util/error.h"
 
 namespace panda {
+
+namespace {
+// Wall-clock grace a TryRecv grants a live-but-slow sender before
+// charging the virtual timeout. Pure pacing; never enters virtual time.
+constexpr std::chrono::milliseconds kTryRecvGrace{50};
+
+// Derives a deterministic per-(src, dst) RNG stream from the spec seed.
+std::uint64_t PairSeed(std::uint64_t seed, int src, int dst) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(src) * 0x100000001b3ull +
+                    static_cast<std::uint64_t>(dst) * 0x1000193ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return x;
+}
+}  // namespace
 
 int Endpoint::world_size() const { return transport_->world_size(); }
 
@@ -23,6 +41,18 @@ Message Endpoint::RecvAny(int tag) {
   return transport_->DoRecvAny(*this, tag);
 }
 
+std::optional<Message> Endpoint::TryRecv(int src, int tag, double timeout_vs) {
+  PANDA_CHECK_MSG(src >= 0 && src < world_size(), "recv from bad rank %d",
+                  src);
+  return transport_->DoTryRecv(*this, src, tag, timeout_vs);
+}
+
+std::optional<Message> Endpoint::TryRecvAny(int tag, double timeout_vs) {
+  return transport_->DoTryRecv(*this, -1, tag, timeout_vs);
+}
+
+bool Endpoint::peer_alive(int rank) const { return transport_->alive(rank); }
+
 Endpoint::Delivery Endpoint::RecvAnyDelivery(int tag) {
   return transport_->DoRecvAnyDelivery(*this, tag);
 }
@@ -36,9 +66,13 @@ ThreadTransport::ThreadTransport(int nranks, Config config)
   PANDA_CHECK_MSG(nranks >= 1, "transport needs at least one rank");
   mailboxes_.reserve(static_cast<size_t>(nranks));
   endpoints_.reserve(static_cast<size_t>(nranks));
+  alive_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(nranks));
+  death_time_.assign(static_cast<size_t>(nranks), 0.0);
+  send_count_.assign(static_cast<size_t>(nranks), 0);
   for (int r = 0; r < nranks; ++r) {
     mailboxes_.push_back(std::make_unique<Mailbox>());
     endpoints_.push_back(std::unique_ptr<Endpoint>(new Endpoint(this, r)));
+    alive_[static_cast<size_t>(r)].store(true, std::memory_order_release);
   }
 }
 
@@ -47,8 +81,205 @@ Endpoint& ThreadTransport::endpoint(int rank) {
   return *endpoints_[static_cast<size_t>(rank)];
 }
 
+void ThreadTransport::SetLoss(const LossSpec& loss) {
+  loss_ = loss;
+  reliable_ = loss.Enabled();
+  if (reliable_) InstallHooks();
+}
+
+void ThreadTransport::SetHeartbeat(const HeartbeatConfig& heartbeat) {
+  heartbeat_ = heartbeat;
+}
+
+void ThreadTransport::ScheduleKill(int rank, std::int64_t after_more_sends) {
+  PANDA_CHECK(rank >= 0 && rank < world_size());
+  PANDA_CHECK(after_more_sends >= 0);
+  kill_at_count_[rank] =
+      send_count_[static_cast<size_t>(rank)] + after_more_sends;
+  InstallHooks();
+}
+
+void ThreadTransport::InstallHooks() {
+  if (hooks_installed_) return;
+  hooks_installed_ = true;
+  for (int r = 0; r < world_size(); ++r) {
+    MailboxHooks hooks;
+    hooks.rescue = [this, r] { Rescue(r); };
+    hooks.peer_dead = [this](int rank) { return !alive(rank); };
+    mailboxes_[static_cast<size_t>(r)]->InstallHooks(std::move(hooks));
+  }
+}
+
+void ThreadTransport::MaybeKill(Endpoint& from) {
+  const size_t r = static_cast<size_t>(from.rank());
+  if (!kill_at_count_.empty()) {
+    const auto it = kill_at_count_.find(from.rank());
+    if (it != kill_at_count_.end() && send_count_[r] >= it->second &&
+        alive(from.rank())) {
+      // Crash-stop: record the time of death, go silent, wake every
+      // blocked receive so failure detectors can start their leases.
+      death_time_[r] = from.clock_.Now();
+      alive_[r].store(false, std::memory_order_release);
+      fault_stats_.ranks_killed.fetch_add(1);
+      for (auto& mb : mailboxes_) mb->NotifyAll();
+      throw RankKilledError(from.rank());
+    }
+  }
+  ++send_count_[r];
+}
+
+ThreadTransport::PairState& ThreadTransport::PairLocked(int src, int dst) {
+  const auto key = std::make_pair(src, dst);
+  auto it = pairs_.find(key);
+  if (it == pairs_.end()) {
+    it = pairs_.emplace(key, PairState(PairSeed(loss_.seed, src, dst))).first;
+  }
+  return it->second;
+}
+
+ThreadTransport::LossOutcome ThreadTransport::DrawOutcome(PairState& pair) {
+  if (!loss_.AnyFaults()) return LossOutcome::kClean;
+  if (pair.clean_owed > 0) {
+    --pair.clean_owed;
+    return LossOutcome::kClean;
+  }
+  if (loss_.max_faults_total >= 0 && faults_total_ >= loss_.max_faults_total) {
+    return LossOutcome::kClean;
+  }
+  const double u = pair.rng.NextDouble();
+  LossOutcome outcome = LossOutcome::kClean;
+  double band = loss_.drop_prob;
+  if (u < band) {
+    outcome = LossOutcome::kDrop;
+  } else if (u < (band += loss_.dup_prob)) {
+    outcome = LossOutcome::kDup;
+  } else if (u < (band += loss_.reorder_prob)) {
+    outcome = LossOutcome::kReorder;
+  } else if (u < (band += loss_.delay_prob)) {
+    outcome = LossOutcome::kDelay;
+  }
+  if (outcome == LossOutcome::kClean) {
+    pair.consecutive_faults = 0;
+    return outcome;
+  }
+  ++faults_total_;
+  if (++pair.consecutive_faults >= loss_.max_consecutive_faults) {
+    // Bounded adversary: a burst this long buys the pair a clean window.
+    pair.consecutive_faults = 0;
+    pair.clean_owed = loss_.min_clean_after_fault;
+  }
+  return outcome;
+}
+
+void ThreadTransport::SequenceLocked(int dst, Message msg) {
+  Mailbox& mb = *mailboxes_[static_cast<size_t>(dst)];
+  if (msg.seq < 0) {
+    mb.Deposit(std::move(msg));
+    return;
+  }
+  StreamState& s = streams_[std::make_tuple(dst, msg.src, msg.tag)];
+  if (msg.seq < s.next_expected) {
+    fault_stats_.dups_suppressed.fetch_add(1);
+    return;
+  }
+  if (msg.seq > s.next_expected) {
+    if (!s.stash.emplace(msg.seq, std::move(msg)).second) {
+      fault_stats_.dups_suppressed.fetch_add(1);
+    }
+    return;
+  }
+  ++s.next_expected;
+  mb.Deposit(std::move(msg));
+  while (!s.stash.empty() && s.stash.begin()->first == s.next_expected) {
+    mb.Deposit(std::move(s.stash.begin()->second));
+    s.stash.erase(s.stash.begin());
+    ++s.next_expected;
+  }
+}
+
+void ThreadTransport::FlushLimboLocked(int dst, PairState& pair) {
+  while (!pair.limbo.empty()) {
+    Message held = std::move(pair.limbo.front());
+    pair.limbo.pop_front();
+    SequenceLocked(dst, std::move(held));
+  }
+}
+
+void ThreadTransport::Dispatch(int src, int dst, Message msg) {
+  // kTagAbort bypasses both the adversary and sequencing: the abort
+  // backstop must stay unconditional (and abort notices are also raised
+  // out-of-band via ForceAbort, so per-stream ordering means nothing).
+  // kTagFailover bypasses too: the failover protocol's correctness
+  // rests on a deposit-order guarantee -- the coordinator's notice must
+  // be visible to a client before any survivor's (or the coordinator's
+  // own) re-planned piece request, which are sent strictly after it. A
+  // dropped or reordered notice would let an adopted request overtake
+  // it and present a piece from a server the client still believes is a
+  // non-owner. Control-plane traffic rides the reliable channel.
+  if (!reliable_ || msg.tag == kTagAbort || msg.tag == kTagFailover) {
+    mailboxes_[static_cast<size_t>(dst)]->Deposit(std::move(msg));
+    return;
+  }
+  std::lock_guard<std::mutex> lock(reliable_mu_);
+  PairState& pair = PairLocked(src, dst);
+  msg.seq = pair.next_seq[msg.tag]++;
+  switch (DrawOutcome(pair)) {
+    case LossOutcome::kClean:
+      SequenceLocked(dst, std::move(msg));
+      FlushLimboLocked(dst, pair);
+      break;
+    case LossOutcome::kDrop:
+      // The wire ate it. It stays with the sender's in-flight state
+      // until the receiver's rescue retransmits it at depart + rto.
+      fault_stats_.drops_injected.fetch_add(1);
+      pair.dropped.push_back(std::move(msg));
+      break;
+    case LossOutcome::kDup: {
+      fault_stats_.dups_injected.fetch_add(1);
+      Message copy = msg;
+      SequenceLocked(dst, std::move(msg));
+      SequenceLocked(dst, std::move(copy));  // suppressed by dedup
+      FlushLimboLocked(dst, pair);
+      break;
+    }
+    case LossOutcome::kReorder:
+      // Held back until the pair's next send (or a rescue) releases it;
+      // the resequencer puts the stream back in order above the layer.
+      fault_stats_.reorders_injected.fetch_add(1);
+      pair.limbo.push_back(std::move(msg));
+      break;
+    case LossOutcome::kDelay:
+      fault_stats_.delays_injected.fetch_add(1);
+      msg.depart_time += loss_.delay_s;
+      SequenceLocked(dst, std::move(msg));
+      FlushLimboLocked(dst, pair);
+      break;
+  }
+}
+
+void ThreadTransport::Rescue(int dst) {
+  if (!reliable_) return;
+  std::lock_guard<std::mutex> lock(reliable_mu_);
+  for (auto& entry : pairs_) {
+    if (entry.first.second != dst) continue;
+    PairState& pair = entry.second;
+    FlushLimboLocked(dst, pair);
+    while (!pair.dropped.empty()) {
+      Message again = std::move(pair.dropped.front());
+      pair.dropped.pop_front();
+      // The retransmitted copy leaves one RTO after the original did.
+      // Retransmits are exempt from further injection, so virtual time
+      // stays deterministic: retransmits == drops, exactly.
+      again.depart_time += loss_.rto_s;
+      fault_stats_.retransmits.fetch_add(1);
+      SequenceLocked(dst, std::move(again));
+    }
+  }
+}
+
 void ThreadTransport::DoSend(Endpoint& from, int dst, int tag, Message msg) {
   PANDA_CHECK_MSG(dst >= 0 && dst < world_size(), "send to bad rank %d", dst);
+  MaybeKill(from);
   msg.src = from.rank();
   msg.tag = tag;
   if (config_.timing_only && !msg.payload.empty()) {
@@ -65,7 +296,7 @@ void ThreadTransport::DoSend(Endpoint& from, int dst, int tag, Message msg) {
 
   from.stats_.messages_sent += 1;
   from.stats_.bytes_sent += wire_bytes;
-  mailboxes_[static_cast<size_t>(dst)]->Deposit(std::move(msg));
+  Dispatch(from.rank(), dst, std::move(msg));
 }
 
 double ThreadTransport::IngestTime(Endpoint& self, const Message& msg) {
@@ -89,10 +320,21 @@ void ThreadTransport::AccountRecv(Endpoint& self, const Message& msg) {
 
 Message ThreadTransport::DoRecv(Endpoint& self, int src, int tag) {
   PANDA_CHECK_MSG(src >= 0 && src < world_size(), "recv from bad rank %d", src);
-  Message msg =
-      mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceive(src, tag);
-  AccountRecv(self, msg);
-  return msg;
+  try {
+    Message msg =
+        mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceive(src,
+                                                                      tag);
+    AccountRecv(self, msg);
+    return msg;
+  } catch (const PeerDeadError&) {
+    // Lease-based detection: this rank is deemed to have heartbeat-
+    // watched the peer since its death; declaring it dead costs the
+    // full lease of silent waiting.
+    fault_stats_.peers_declared_dead.fetch_add(1);
+    self.clock_.SyncTo(death_time_[static_cast<size_t>(src)] +
+                       detection_lease_s());
+    throw;
+  }
 }
 
 Message ThreadTransport::DoRecvAny(Endpoint& self, int tag) {
@@ -100,6 +342,24 @@ Message ThreadTransport::DoRecvAny(Endpoint& self, int tag) {
       mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceiveAny(tag);
   AccountRecv(self, msg);
   return msg;
+}
+
+std::optional<Message> ThreadTransport::DoTryRecv(Endpoint& self, int src,
+                                                  int tag, double timeout_vs) {
+  PANDA_CHECK(timeout_vs >= 0.0);
+  Mailbox& mb = *mailboxes_[static_cast<size_t>(self.rank())];
+  std::optional<Message> msg = mb.ReceiveWithin(src, tag, kTryRecvGrace);
+  if (!msg && reliable_) {
+    // Last chance: flush anything the lossy layer still owes us.
+    Rescue(self.rank());
+    msg = mb.ReceiveWithin(src, tag, std::chrono::milliseconds(0));
+  }
+  if (msg) {
+    AccountRecv(self, *msg);
+    return msg;
+  }
+  self.clock_.Advance(timeout_vs);
+  return std::nullopt;
 }
 
 Endpoint::Delivery ThreadTransport::DoRecvAnyDelivery(Endpoint& self,
@@ -125,6 +385,7 @@ Endpoint::Delivery ThreadTransport::DoRecvAnyDelivery(Endpoint& self,
 void ThreadTransport::DoSendResponse(Endpoint& from, double ready_time,
                                      int dst, int tag, Message msg) {
   PANDA_CHECK_MSG(dst >= 0 && dst < world_size(), "send to bad rank %d", dst);
+  MaybeKill(from);
   msg.src = from.rank();
   msg.tag = tag;
   if (config_.timing_only && !msg.payload.empty()) {
@@ -149,20 +410,28 @@ void ThreadTransport::DoSendResponse(Endpoint& from, double ready_time,
 
   from.stats_.messages_sent += 1;
   from.stats_.bytes_sent += wire_bytes;
-  mailboxes_[static_cast<size_t>(dst)]->Deposit(std::move(msg));
+  Dispatch(from.rank(), dst, std::move(msg));
 }
 
 void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
+  InstallHooks();  // no-op unless faults/kills were armed
   std::vector<std::thread> threads;
   threads.reserve(endpoints_.size());
   std::exception_ptr first_error;
   std::mutex error_mu;
 
   for (auto& ep : endpoints_) {
+    // Crash-stopped ranks stay silent forever: their main never runs
+    // again on later Run() calls.
+    if (!alive(ep->rank())) continue;
     Endpoint* endpoint = ep.get();
     threads.emplace_back([&, endpoint] {
       try {
         rank_main(*endpoint);
+      } catch (const RankKilledError&) {
+        // The kill injector's silent unwind. Deliberately nothing: no
+        // poison, no error — the rank simply stops participating, and
+        // it is the survivors' job to detect and route around it.
       } catch (const PandaAbortError& e) {
         // Structured abort: the protocol layer has (or is) fanning the
         // notice out as kTagAbort messages; force-abort every mailbox as
@@ -199,12 +468,52 @@ MsgStats ThreadTransport::TotalStats() const {
 
 void ThreadTransport::ResetClocksAndStats() {
   for (auto& ep : endpoints_) {
-    PANDA_CHECK_MSG(mailboxes_[static_cast<size_t>(ep->rank())]->QueuedCount() == 0,
-                    "reset with undelivered messages");
+    Mailbox& mb = *mailboxes_[static_cast<size_t>(ep->rank())];
+    if (!alive(ep->rank())) {
+      // Nobody will ever drain a dead rank's mailbox.
+      mb.PurgeIf([](const Message&) { return true; });
+    } else {
+      // Traffic from the dead can be legitimately stranded (a message a
+      // survivor no longer wants after re-planning); everything else
+      // must have been consumed.
+      mb.PurgeIf([this](const Message& m) {
+        return m.src >= 0 && m.src < world_size() && !alive(m.src);
+      });
+      PANDA_CHECK_MSG(mb.QueuedCount() == 0, "reset with undelivered messages");
+    }
     ep->clock_.Reset();
     ep->stats_ = MsgStats{};
     ep->rx_link_busy_until_ = 0.0;
   }
+  {
+    std::lock_guard<std::mutex> lock(reliable_mu_);
+    for (auto& entry : pairs_) {
+      const int dst = entry.first.second;
+      if (!alive(dst)) {
+        entry.second.limbo.clear();
+        entry.second.dropped.clear();
+      } else {
+        PANDA_CHECK_MSG(
+            entry.second.limbo.empty() && entry.second.dropped.empty(),
+            "reset with messages stuck in the lossy layer");
+      }
+    }
+    for (auto& entry : streams_) {
+      const int dst = std::get<0>(entry.first);
+      if (!alive(dst)) {
+        entry.second.stash.clear();
+      } else {
+        PANDA_CHECK_MSG(entry.second.stash.empty(),
+                        "reset with unsequenced messages stashed");
+      }
+    }
+  }
+  // Clocks restart from zero; a death that already happened is treated
+  // as ancient history (detection charges no further lease).
+  for (size_t r = 0; r < death_time_.size(); ++r) {
+    if (!alive(static_cast<int>(r))) death_time_[r] = 0.0;
+  }
+  fault_stats_.Reset();
 }
 
 }  // namespace panda

@@ -11,21 +11,45 @@
 // like MPI_Send on small-to-moderate messages with a well-provisioned
 // rendezvous; the virtual-time accounting still charges the sender the
 // full per-message overhead and wire occupancy.
+//
+// Fault machinery (all disarmed by default; see lossy.h):
+//  * SetLoss arms a seeded lossy decorator on the send path plus a
+//    reliable-delivery layer: per-(src,dst,tag) sequence numbers,
+//    receive-side dedup/resequencing, and receiver-driven retransmission
+//    of dropped messages at depart + rto (rescue). Acks are modeled as
+//    free piggybacked traffic, so arming the layer with zero injected
+//    faults changes no timing.
+//  * ScheduleKill arms a crash-stop injector: the victim rank unwinds
+//    with RankKilledError when it attempts its (n+1)-th further send and
+//    stays silent for the rest of the transport's life.
+//  * SetHeartbeat configures the modeled lease-based failure detector:
+//    a Recv blocked on a crash-stopped rank throws PeerDeadError after
+//    charging the detecting rank's clock to death_time + lease.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
+#include <deque>
 #include <functional>
+#include <map>
 #include <memory>
+#include <mutex>
+#include <optional>
+#include <tuple>
 #include <vector>
 
+#include "msg/lossy.h"
 #include "msg/mailbox.h"
 #include "msg/net_model.h"
 #include "msg/virtual_clock.h"
+#include "util/random.h"
 
 namespace panda {
 
-// Per-endpoint traffic counters (diagnostics and tests).
+// Per-endpoint traffic counters (diagnostics and tests). These count
+// *logical* messages: injected duplicates, drops and retransmissions are
+// invisible here (tracked by TransportFaultStats instead), so the
+// sent == received invariant holds with or without faults.
 struct MsgStats {
   std::int64_t messages_sent = 0;
   std::int64_t messages_received = 0;
@@ -54,11 +78,27 @@ class Endpoint {
 
   // Blocks until a message from `src` with `tag` arrives. Synchronizes
   // the virtual clock with the arrival time and charges receive overhead.
+  // Throws PeerDeadError if `src` has crash-stopped and nothing from it
+  // remains deliverable (after charging this rank's clock to the
+  // detection time, death + lease).
   Message Recv(int src, int tag);
 
   // Blocks until a message with `tag` arrives from any source (earliest
   // deposited first), like MPI_ANY_SOURCE.
   Message RecvAny(int tag);
+
+  // Deadline receive: returns the matching message if one is (or soon
+  // becomes) available, else charges `timeout_vs` of virtual waiting and
+  // returns nullopt. The wall-clock grace period that decides "soon" is
+  // an implementation detail; the timeout is exact in virtual time only
+  // against senders that are dead or quiescent — a matched message
+  // always wins even if its virtual arrival would be late. This is the
+  // bounded-blocking primitive the failure-detection layer builds on.
+  std::optional<Message> TryRecv(int src, int tag, double timeout_vs);
+  std::optional<Message> TryRecvAny(int tag, double timeout_vs);
+
+  // False once `rank` has been crash-stopped by the kill injector.
+  bool peer_alive(int rank) const;
 
   // A received message together with the virtual time its processing
   // completed (last byte in + receive overhead).
@@ -113,9 +153,40 @@ class ThreadTransport {
   int world_size() const { return static_cast<int>(endpoints_.size()); }
   const Config& config() const { return config_; }
 
-  // Runs `rank_main(endpoint)` on every rank concurrently and joins.
-  // If any rank throws, all mailboxes are poisoned (unblocking the rest)
-  // and the first exception is rethrown after the join.
+  // Arms the lossy decorator + reliable-delivery layer. Call before
+  // Run(); applies to every subsequent send. kTagAbort traffic bypasses
+  // the adversary (the abort backstop must stay unconditional).
+  void SetLoss(const LossSpec& loss);
+  const LossSpec& loss() const { return loss_; }
+
+  // Configures the modeled heartbeat/lease failure detector (affects
+  // only the virtual time charged when a peer is declared dead).
+  void SetHeartbeat(const HeartbeatConfig& heartbeat);
+  const HeartbeatConfig& heartbeat() const { return heartbeat_; }
+
+  // Virtual time from a rank's silent death to a blocked peer declaring
+  // it dead (the heartbeat lease).
+  double detection_lease_s() const { return heartbeat_.lease_s(); }
+
+  // Crash-stop injector: after `after_more_sends` further successful
+  // sends, `rank`'s next send attempt marks it dead and unwinds its
+  // thread with RankKilledError — no poison, no abort, just silence,
+  // exactly like a kill -9 of one I/O node. Messages already sent
+  // remain deliverable. Death persists across Run() calls: a dead
+  // rank's main is never started again.
+  void ScheduleKill(int rank, std::int64_t after_more_sends);
+
+  // Liveness of `rank` (false once the kill injector fired).
+  bool alive(int rank) const {
+    return alive_[static_cast<size_t>(rank)].load(std::memory_order_acquire);
+  }
+
+  TransportFaultStats& fault_stats() { return fault_stats_; }
+
+  // Runs `rank_main(endpoint)` on every live rank concurrently and
+  // joins. If any rank throws, all mailboxes are poisoned (unblocking
+  // the rest) and the first exception is rethrown after the join —
+  // except RankKilledError, which is the injector's silent unwind.
   void Run(const std::function<void(Endpoint&)>& rank_main);
 
   // Endpoint of `rank` (valid for the lifetime of the transport). Useful
@@ -125,25 +196,86 @@ class ThreadTransport {
   // Sum of per-endpoint stats.
   MsgStats TotalStats() const;
 
-  // Resets clocks and stats between repetitions.
+  // Resets clocks and stats between repetitions. Messages from or to
+  // crash-stopped ranks are discarded (the dead do not drain mailboxes);
+  // live ranks must have drained theirs.
   void ResetClocksAndStats();
 
  private:
   friend class Endpoint;
+
+  // --- lossy/reliable layer state (guarded by reliable_mu_) ---
+  enum class LossOutcome { kClean, kDrop, kDup, kReorder, kDelay };
+
+  // Sender-side per-(src,dst) state.
+  struct PairState {
+    explicit PairState(std::uint64_t seed) : rng(seed) {}
+    Rng rng;
+    int consecutive_faults = 0;
+    int clean_owed = 0;
+    std::map<int, std::int64_t> next_seq;  // per tag
+    std::deque<Message> limbo;             // reordered, awaiting release
+    std::deque<Message> dropped;           // awaiting rescue retransmit
+  };
+
+  // Receiver-side resequencing state per (dst, src, tag).
+  struct StreamState {
+    std::int64_t next_expected = 0;
+    std::map<std::int64_t, Message> stash;
+  };
+
   void DoSend(Endpoint& from, int dst, int tag, Message msg);
   void DoSendResponse(Endpoint& from, double ready_time, int dst, int tag,
                       Message msg);
   Message DoRecv(Endpoint& self, int src, int tag);
   Message DoRecvAny(Endpoint& self, int tag);
+  std::optional<Message> DoTryRecv(Endpoint& self, int src, int tag,
+                                   double timeout_vs);
   Endpoint::Delivery DoRecvAnyDelivery(Endpoint& self, int tag);
   void AccountRecv(Endpoint& self, const Message& msg);
   // Inbound-link accounting shared by all receive flavors; returns the
   // time the message's processing completes.
   double IngestTime(Endpoint& self, const Message& msg);
 
+  // Fires the scheduled kill for `from`'s rank if its send budget is
+  // exhausted (throws RankKilledError); otherwise counts the send.
+  void MaybeKill(Endpoint& from);
+  // Routes a fully-accounted message through the lossy/reliable layer
+  // (or straight to the destination mailbox when disarmed).
+  void Dispatch(int src, int dst, Message msg);
+  // Flushes reorder limbo and retransmits drops headed for `dst`
+  // (receiver-driven recovery; installed as the mailbox rescue hook).
+  void Rescue(int dst);
+  // Draws the adversary's verdict for one send on `pair`.
+  LossOutcome DrawOutcome(PairState& pair);
+  // Receive-side dedup/resequencing; deposits in-order messages.
+  void SequenceLocked(int dst, Message msg);
+  void FlushLimboLocked(int dst, PairState& pair);
+  PairState& PairLocked(int src, int dst);
+  // Installs mailbox liveness hooks on every rank (idempotent).
+  void InstallHooks();
+
   Config config_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
   std::vector<std::unique_ptr<Endpoint>> endpoints_;
+
+  // Lossy/reliable layer.
+  LossSpec loss_;
+  bool reliable_ = false;
+  std::mutex reliable_mu_;
+  std::map<std::pair<int, int>, PairState> pairs_;
+  std::map<std::tuple<int, int, int>, StreamState> streams_;
+  std::int64_t faults_total_ = 0;
+
+  // Failure detection / kill injection.
+  HeartbeatConfig heartbeat_;
+  std::unique_ptr<std::atomic<bool>[]> alive_;
+  std::vector<double> death_time_;             // victim's clock at death
+  std::vector<std::int64_t> send_count_;       // touched by owner thread only
+  std::map<int, std::int64_t> kill_at_count_;  // rank -> send budget
+  bool hooks_installed_ = false;
+
+  TransportFaultStats fault_stats_;
 };
 
 }  // namespace panda

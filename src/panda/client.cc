@@ -4,7 +4,10 @@
 #include <tuple>
 #include <vector>
 
+#include <algorithm>
+
 #include "mdarray/strided_copy.h"
+#include "panda/failover.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
 
@@ -97,6 +100,10 @@ double PandaClient::Execute(CollectiveRequest req,
 
 void PandaClient::ExecuteBody(const CollectiveRequest& req,
                               std::span<Array* const> arrays) {
+  if (failover_) {
+    ExecuteBodyFailover(req, arrays);
+    return;
+  }
   // The master client sends the short high-level request; the servers
   // take over direction of the data flow from here.
   if (is_master()) {
@@ -154,9 +161,9 @@ void PandaClient::ExecuteBody(const CollectiveRequest& req,
                   "piece directed by the wrong server");
 
     if (req.op == IoOp::kWrite) {
-      ServeWritePiece(delivery, *exp.array, piece, cp);
+      ServeWritePiece(delivery, *exp.array, piece, cp.server);
     } else {
-      ServeReadPiece(delivery, *exp.array, piece, cp, wire_crc);
+      ServeReadPiece(delivery, *exp.array, piece, cp.server, wire_crc);
     }
   }
 
@@ -166,6 +173,108 @@ void PandaClient::ExecuteBody(const CollectiveRequest& req,
     (void)ep_->Recv(world_.master_server_rank(), kTagServerDone);
   }
   (void)Bcast(*ep_, clients, 0, Message{});
+}
+
+void PandaClient::ExecuteBodyFailover(const CollectiveRequest& req,
+                                      std::span<Array* const> arrays) {
+  // The master client sends the short high-level request; the servers
+  // take over direction of the data flow from here.
+  if (is_master()) {
+    ep_->Send(world_.master_server_rank(), kTagCollectiveRequest,
+              req.ToMessage());
+  }
+
+  // Mirror the servers' plans and the degraded layout implied by the
+  // currently-known dead set (deaths mid-collective arrive as failover
+  // notices below).
+  std::vector<std::shared_ptr<const IoPlan>> plans;
+  plans.reserve(arrays.size());
+  for (const ArrayMeta& meta : req.arrays) {
+    plans.push_back(plan_cache_.Get(
+        meta, world_.num_servers, params_.subchunk_bytes,
+        req.has_subarray ? &req.subarray : nullptr));
+  }
+  std::vector<int> dead = DeadServerIndices(*ep_, world_);
+  std::vector<DegradedLayout> layouts;
+  const auto recompute_layouts = [&] {
+    layouts.clear();
+    layouts.reserve(plans.size());
+    for (const auto& plan : plans) {
+      layouts.push_back(DegradedLayout::Compute(*plan, dead));
+    }
+  };
+  recompute_layouts();
+
+  // This client's obligations. Unlike the clean path there is no
+  // once-only bookkeeping: a failover re-plan may legitimately direct a
+  // piece of an adopted chunk a second time (idempotent re-serve).
+  std::map<PieceKey, Expected> expected;
+  for (std::int32_t ai = 0; ai < static_cast<std::int32_t>(arrays.size());
+       ++ai) {
+    const IoPlan& plan = *plans[static_cast<size_t>(ai)];
+    for (const ClientStep& step : plan.StepsOfClient(index())) {
+      expected[{ai, static_cast<std::int32_t>(step.chunk_index),
+                static_cast<std::int32_t>(step.sub_index),
+                static_cast<std::int32_t>(step.piece_index)}] =
+          Expected{&plan, arrays[static_cast<size_t>(ai)], step, false};
+    }
+  }
+
+  // Service loop: serve whatever the owning servers direct until the
+  // master server's empty kTagFailover notice releases the collective.
+  // A non-empty notice names newly dead servers: merge, re-plan, and
+  // keep serving — the survivors re-gather the adopted chunks.
+  const int data_tag =
+      req.op == IoOp::kWrite ? kTagPieceRequest : kTagPieceData;
+  for (;;) {
+    Endpoint::Delivery delivery;
+    try {
+      delivery = ep_->RecvAnyDelivery(data_tag);
+    } catch (const PandaFailoverError& e) {
+      if (e.dead_ranks().empty()) break;  // completion
+      std::vector<int> more;
+      more.reserve(e.dead_ranks().size());
+      for (int r : e.dead_ranks()) more.push_back(world_.server_index(r));
+      dead.insert(dead.end(), more.begin(), more.end());
+      std::sort(dead.begin(), dead.end());
+      dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+      recompute_layouts();
+      continue;
+    }
+    Message& msg = delivery.msg;
+    // A crash-stopped server's unanswered requests are stale: the
+    // adopter re-requests under the new layout.
+    if (!ep_->peer_alive(msg.src)) continue;
+    Decoder dec(msg.header);
+    const PieceHeader h = PieceHeader::Decode(dec);
+    const std::uint32_t wire_crc =
+        req.op == IoOp::kRead ? dec.Get<std::uint32_t>() : 0;
+    const auto it = expected.find(
+        {h.array_index, h.chunk_index, h.sub_index, h.piece_index});
+    PANDA_REQUIRE(it != expected.end(),
+                  "server directed an unexpected piece "
+                  "(array=%d chunk=%d sub=%d piece=%d)",
+                  h.array_index, h.chunk_index, h.sub_index, h.piece_index);
+    Expected& exp = it->second;
+    exp.served = true;
+    const PiecePlan& piece = exp.plan->piece(exp.step);
+    PANDA_REQUIRE(h.region == piece.region,
+                  "server piece region %s does not match the local plan %s",
+                  h.region.ToString().c_str(),
+                  piece.region.ToString().c_str());
+    const int owner =
+        layouts[static_cast<size_t>(h.array_index)]
+            .owner[static_cast<size_t>(h.chunk_index)];
+    PANDA_REQUIRE(msg.src == world_.server_rank(owner),
+                  "piece directed by a non-owner server (rank %d, owner %d)",
+                  msg.src, world_.server_rank(owner));
+
+    if (req.op == IoOp::kWrite) {
+      ServeWritePiece(delivery, *exp.array, piece, owner);
+    } else {
+      ServeReadPiece(delivery, *exp.array, piece, owner, wire_crc);
+    }
+  }
 }
 
 void PandaClient::RelayAbortToClients(int origin_rank,
@@ -179,7 +288,7 @@ void PandaClient::RelayAbortToClients(int origin_rank,
 
 void PandaClient::ServeWritePiece(const Endpoint::Delivery& request,
                                   Array& array, const PiecePlan& piece,
-                                  const ChunkPlan& cp) {
+                                  int dest_server) {
   // Assemble the piece: strided gathers charge reorganization time
   // (contiguous moves are free — the natural-chunking fast path).
   double ready = request.ready_time;
@@ -201,13 +310,13 @@ void PandaClient::ServeWritePiece(const Endpoint::Delivery& request,
     enc.Put<std::uint32_t>(0);
     data.SetVirtualPayload(piece.bytes);
   }
-  ep_->SendResponse(ready, world_.server_rank(cp.server), kTagPieceData,
+  ep_->SendResponse(ready, world_.server_rank(dest_server), kTagPieceData,
                     std::move(data));
 }
 
 void PandaClient::ServeReadPiece(const Endpoint::Delivery& delivery,
                                  Array& array, const PiecePlan& piece,
-                                 const ChunkPlan& cp, std::uint32_t wire_crc) {
+                                 int dest_server, std::uint32_t wire_crc) {
   const Message& data = delivery.msg;
   double ready = delivery.ready_time;
   if (!piece.contiguous_in_client) {
@@ -236,7 +345,7 @@ void PandaClient::ServeReadPiece(const Endpoint::Delivery& delivery,
                   "piece virtual size mismatch");
   }
   // Acknowledge so the server can push the next piece (flow control).
-  ep_->SendResponse(ready, world_.server_rank(cp.server), kTagPieceAck,
+  ep_->SendResponse(ready, world_.server_rank(dest_server), kTagPieceAck,
                     Message{});
 }
 

@@ -66,14 +66,25 @@ class PandaClient {
   // originates are counted here.
   void set_robustness(RobustnessStats* stats) { robustness_ = stats; }
 
+  // Crash-stop failover mode (docs/PROTOCOL.md "Failover and degraded
+  // mode"; pair with ServerOptions::failover). The client serves pieces
+  // until the master server's empty kTagFailover release, re-planning
+  // (and idempotently re-serving) whenever a failover notice names
+  // newly dead servers. Opt-in: the clean path's completion handshake
+  // and message counts stay exactly as before when this is off.
+  void set_failover(bool on) { failover_ = on; }
+
  private:
   // Execute minus the abort-protocol wrapper (see Execute).
   void ExecuteBody(const CollectiveRequest& req,
                    std::span<Array* const> arrays);
+  // The failover-mode service loop (see set_failover).
+  void ExecuteBodyFailover(const CollectiveRequest& req,
+                           std::span<Array* const> arrays);
   void ServeWritePiece(const Endpoint::Delivery& request, Array& array,
-                       const PiecePlan& piece, const ChunkPlan& cp);
+                       const PiecePlan& piece, int dest_server);
   void ServeReadPiece(const Endpoint::Delivery& delivery, Array& array,
-                      const PiecePlan& piece, const ChunkPlan& cp,
+                      const PiecePlan& piece, int dest_server,
                       std::uint32_t wire_crc);
   // Master-client half of the abort fan-out (docs/PROTOCOL.md): forward
   // an abort notice to every other client of this application.
@@ -83,6 +94,7 @@ class PandaClient {
   World world_;
   Sp2Params params_;
   RobustnessStats* robustness_ = nullptr;
+  bool failover_ = false;
   double last_elapsed_ = 0.0;
   // Plans repeat across a timestep stream; memoize them.
   PlanCache plan_cache_;

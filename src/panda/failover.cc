@@ -1,0 +1,149 @@
+#include "panda/failover.h"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace panda {
+
+DegradedLayout DegradedLayout::Compute(const IoPlan& plan,
+                                       const std::vector<int>& dead_servers) {
+  const int S = plan.num_servers();
+  DegradedLayout layout;
+  layout.alive.assign(static_cast<size_t>(S), true);
+  for (int d : dead_servers) {
+    PANDA_CHECK(d >= 0 && d < S);
+    layout.alive[static_cast<size_t>(d)] = false;
+  }
+  PANDA_REQUIRE(layout.alive[0],
+                "master server (index 0) is dead: cannot re-plan");
+  layout.degraded = !dead_servers.empty();
+
+  const auto& chunks = plan.chunks();
+  layout.owner.resize(chunks.size());
+  layout.chunk_offset.resize(chunks.size());
+  layout.adopted.assign(static_cast<size_t>(S), {});
+  layout.segment_bytes.assign(static_cast<size_t>(S), 0);
+
+  // Survivor-owned chunks keep their original owner and offset; their
+  // segments initially retain their original size.
+  for (int s = 0; s < S; ++s) {
+    if (layout.alive[static_cast<size_t>(s)]) {
+      layout.segment_bytes[static_cast<size_t>(s)] = plan.SegmentBytes(s);
+    }
+  }
+  std::vector<int> survivors;
+  for (int s = 0; s < S; ++s) {
+    if (layout.alive[static_cast<size_t>(s)]) survivors.push_back(s);
+  }
+
+  // Deal dead-owned chunks round-robin over the ascending survivors, in
+  // ascending chunk order, appending each past the adopter's current
+  // segment end. Every rank computes this identically.
+  size_t next_survivor = 0;
+  for (size_t ci = 0; ci < chunks.size(); ++ci) {
+    const ChunkPlan& cp = chunks[ci];
+    if (layout.alive[static_cast<size_t>(cp.server)]) {
+      layout.owner[ci] = cp.server;
+      layout.chunk_offset[ci] = cp.file_offset;
+      continue;
+    }
+    const int adopter = survivors[next_survivor % survivors.size()];
+    ++next_survivor;
+    layout.owner[ci] = adopter;
+    layout.chunk_offset[ci] = layout.segment_bytes[static_cast<size_t>(adopter)];
+    layout.segment_bytes[static_cast<size_t>(adopter)] += cp.bytes;
+    layout.adopted[static_cast<size_t>(adopter)].push_back(static_cast<int>(ci));
+  }
+  return layout;
+}
+
+std::vector<WorkItem> BuildServerWork(const IoPlan& plan,
+                                      const DegradedLayout& layout, int s,
+                                      WorkPhase phase) {
+  std::vector<WorkItem> work;
+  std::int64_t ordinal = 0;
+  const auto push_chunk = [&](int ci, bool emit) {
+    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+    const std::int64_t base = layout.chunk_offset[static_cast<size_t>(ci)];
+    for (size_t sub = 0; sub < cp.subchunks.size(); ++sub) {
+      const SubchunkPlan& sp = cp.subchunks[sub];
+      if (emit) {
+        WorkItem item;
+        item.chunk_index = ci;
+        item.sub_index = static_cast<int>(sub);
+        // The plan's sub-chunk offset is relative to the chunk's
+        // *original* position; rebase onto the layout's chunk offset.
+        item.file_offset = base + (sp.file_offset - cp.file_offset);
+        item.record_ordinal = ordinal;
+        work.push_back(item);
+      }
+      ++ordinal;
+    }
+  };
+  // Original chunks first (their ordinals come first in the sidecar and
+  // journal record layout), then adopted chunks.
+  for (int ci : plan.ChunksOfServer(s)) {
+    if (layout.alive[static_cast<size_t>(s)]) {
+      push_chunk(ci, phase == WorkPhase::kFull);
+    }
+  }
+  for (int ci : layout.adopted[static_cast<size_t>(s)]) {
+    push_chunk(ci, true);
+  }
+  return work;
+}
+
+std::int64_t RecordsPerSegment(const IoPlan& plan, const DegradedLayout& layout,
+                               int s) {
+  std::int64_t n = 0;
+  if (layout.alive[static_cast<size_t>(s)]) {
+    for (int ci : plan.ChunksOfServer(s)) {
+      n += static_cast<std::int64_t>(
+          plan.chunks()[static_cast<size_t>(ci)].subchunks.size());
+    }
+  }
+  for (int ci : layout.adopted[static_cast<size_t>(s)]) {
+    n += static_cast<std::int64_t>(
+        plan.chunks()[static_cast<size_t>(ci)].subchunks.size());
+  }
+  return n;
+}
+
+std::vector<int> DeadServerIndices(Endpoint& ep, const World& world) {
+  std::vector<int> dead;
+  for (int s = 0; s < world.num_servers; ++s) {
+    if (!ep.peer_alive(world.server_rank(s))) dead.push_back(s);
+  }
+  return dead;
+}
+
+std::string EncodeDeadServersAttr(const std::vector<int>& dead_servers) {
+  std::vector<int> sorted = dead_servers;
+  std::sort(sorted.begin(), sorted.end());
+  sorted.erase(std::unique(sorted.begin(), sorted.end()), sorted.end());
+  std::ostringstream out;
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out << ',';
+    out << sorted[i];
+  }
+  return out.str();
+}
+
+std::vector<int> ParseDeadServersAttr(
+    const std::map<std::string, std::string>& attributes) {
+  std::vector<int> dead;
+  const auto it = attributes.find(kDeadServersAttr);
+  if (it == attributes.end() || it->second.empty()) return dead;
+  std::istringstream in(it->second);
+  std::string tok;
+  while (std::getline(in, tok, ',')) {
+    dead.push_back(std::stoi(tok));
+  }
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+  return dead;
+}
+
+}  // namespace panda

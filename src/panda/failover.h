@@ -1,0 +1,113 @@
+// Degraded-mode re-planning after crash-stop server failures.
+//
+// When an i/o node crash-stops mid-collective, the survivors must agree
+// on a new chunk -> server assignment and finish the collective without
+// touching the dead rank. Every participant derives the same
+// DegradedLayout from the shared IoPlan plus the (agreed) dead-server
+// set, exactly like the plan itself: no negotiation, no wire format for
+// assignments.
+//
+// The layout preserves completed work. Survivor-owned chunks keep their
+// original owner and file offset — data already on a survivor's disk
+// stays where it is. Chunks owned by dead servers are *adopted*: they
+// are dealt round-robin over the ascending survivors and appended past
+// the adopter's original segment, in ascending chunk order, so adopted
+// data is still written sequentially (server-directed i/o survives the
+// failure).
+//
+// Scope (documented in docs/PROTOCOL.md): the master server (index 0)
+// is the coordinator and its death aborts the collective; clients never
+// die; a server death during a *read* collective aborts (the data on
+// its disk is unrecoverable by re-planning). Write collectives and
+// their later reads/restarts are the failover path.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "msg/transport.h"
+#include "panda/plan.h"
+#include "panda/runtime.h"
+
+namespace panda {
+
+// The chunk -> server assignment and file framing after removing a set
+// of dead servers from an IoPlan. With an empty dead set this is the
+// identity layout: owners, offsets and segment sizes equal the plan's.
+struct DegradedLayout {
+  // Per chunk (parallel to plan.chunks()): owning server index and byte
+  // offset of the chunk inside the owner's segment.
+  std::vector<int> owner;
+  std::vector<std::int64_t> chunk_offset;
+  // Per server: chunk indices adopted from dead servers, ascending
+  // (empty for dead servers and in the identity layout).
+  std::vector<std::vector<int>> adopted;
+  // Per server: total segment bytes under this layout (original bytes
+  // plus adopted chunks; 0 for dead servers).
+  std::vector<std::int64_t> segment_bytes;
+  // Per server: liveness under this layout.
+  std::vector<bool> alive;
+  // True when the dead set was non-empty.
+  bool degraded = false;
+
+  std::int64_t SegmentBytes(int server) const {
+    return segment_bytes[static_cast<size_t>(server)];
+  }
+
+  // Derives the layout for `plan` with `dead_servers` (server *indices*,
+  // not ranks) removed. Deterministic: every rank that agrees on the
+  // dead set computes byte-identical layouts. Dies if all servers are
+  // dead or the master server (index 0) is.
+  static DegradedLayout Compute(const IoPlan& plan,
+                                const std::vector<int>& dead_servers);
+};
+
+// One unit of server-side work under a DegradedLayout: a sub-chunk to
+// gather (write) or scatter (read), with its absolute position within
+// the owner's segment and its ordinal in the owner's work list (the
+// sidecar / journal record index within one segment).
+struct WorkItem {
+  int chunk_index = 0;            // index into plan.chunks()
+  int sub_index = 0;              // index into chunk.subchunks
+  std::int64_t file_offset = 0;   // sub-chunk offset inside the segment
+  std::int64_t record_ordinal = 0;  // sidecar/journal record slot
+};
+
+// Which slice of a server's work list a phase covers.
+enum class WorkPhase {
+  kFull,         // original chunks then adopted chunks (whole collective)
+  kAdoptedOnly,  // only chunks adopted in a failover (recovery phase)
+};
+
+// Server `s`'s work list under `layout`: its original chunks (ascending
+// id, original offsets) followed by its adopted chunks (ascending id,
+// appended offsets), record ordinals running 0.. across both. With the
+// identity layout and kFull this reproduces the pre-failover work list
+// exactly.
+std::vector<WorkItem> BuildServerWork(const IoPlan& plan,
+                                      const DegradedLayout& layout, int s,
+                                      WorkPhase phase);
+
+// Sub-chunk records per segment for server `s` under `layout` (original
+// plus adopted) — the sidecar/journal stride between timestep segments.
+std::int64_t RecordsPerSegment(const IoPlan& plan,
+                               const DegradedLayout& layout, int s);
+
+// Probes the transport's liveness view for dead i/o-node ranks and
+// returns their server *indices*, ascending. This is how participants
+// seed their dead set at collective start; deaths mid-collective are
+// propagated by the failover protocol instead.
+std::vector<int> DeadServerIndices(Endpoint& ep, const World& world);
+
+// The group-metadata attribute recording which server indices were dead
+// when a collective committed, so offline tools (panda_fsck) can verify
+// against the degraded layout. Value: ascending CSV, e.g. "1,3".
+inline constexpr const char* kDeadServersAttr = "__panda.dead_servers";
+
+std::string EncodeDeadServersAttr(const std::vector<int>& dead_servers);
+std::vector<int> ParseDeadServersAttr(
+    const std::map<std::string, std::string>& attributes);
+
+}  // namespace panda

@@ -3,6 +3,7 @@
 #include <utility>
 #include <vector>
 
+#include "panda/failover.h"
 #include "panda/plan.h"
 #include "util/codec.h"
 #include "util/crc32c.h"
@@ -15,19 +16,6 @@ void AppendLog(std::string* log, const std::string& line) {
   if (log == nullptr) return;
   log->append(line);
   log->push_back('\n');
-}
-
-// The server's deterministic work list: (chunk index, sub-chunk index)
-// in the exact order ServerWriteArray emits sidecar records.
-std::vector<std::pair<int, int>> ServerWorkList(const IoPlan& plan, int sidx) {
-  std::vector<std::pair<int, int>> work;
-  for (const int ci : plan.ChunksOfServer(sidx)) {
-    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
-    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
-      work.emplace_back(ci, static_cast<int>(si));
-    }
-  }
-  return work;
 }
 
 }  // namespace
@@ -72,13 +60,20 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
                                      std::int64_t subchunk_bytes,
                                      Purpose purpose, std::int64_t num_segments,
                                      const std::string& group,
-                                     std::string* log) {
+                                     std::string* log,
+                                     const std::vector<int>& dead_servers) {
   IntegrityReport report;
   const int num_servers = static_cast<int>(fs.size());
   const IoPlan plan(meta, num_servers, subchunk_bytes);
+  // The layout the data was committed under (identity when no server
+  // was dead): dead servers' files are stale, survivors carry their
+  // adopted chunks appended past their original segments.
+  const DegradedLayout layout = DegradedLayout::Compute(plan, dead_servers);
 
   for (int s = 0; s < num_servers; ++s) {
-    const std::vector<std::pair<int, int>> work = ServerWorkList(plan, s);
+    if (!layout.alive[static_cast<size_t>(s)]) continue;  // lost disk
+    const std::vector<WorkItem> work =
+        BuildServerWork(plan, layout, s, WorkPhase::kFull);
     if (work.empty()) continue;  // this server stores none of the array
 
     const std::string data_name = DataFileName(group, meta.name, purpose, s);
@@ -102,11 +97,12 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
     std::vector<std::byte> buf;
     for (std::int64_t seg = 0; seg < num_segments; ++seg) {
       const std::int64_t base =
-          purpose == Purpose::kTimestep ? seg * plan.SegmentBytes(s) : 0;
+          purpose == Purpose::kTimestep ? seg * layout.SegmentBytes(s) : 0;
       for (std::int64_t k = 0; k < records_per_segment; ++k) {
-        const auto [ci, si] = work[static_cast<size_t>(k)];
-        const SubchunkPlan& sp = plan.chunks()[static_cast<size_t>(ci)]
-                                     .subchunks[static_cast<size_t>(si)];
+        const WorkItem& item = work[static_cast<size_t>(k)];
+        const SubchunkPlan& sp =
+            plan.chunks()[static_cast<size_t>(item.chunk_index)]
+                .subchunks[static_cast<size_t>(item.sub_index)];
         const std::int64_t record_index = seg * records_per_segment + k;
         const std::string where =
             data_name + " [server " + std::to_string(s) + ", segment " +
@@ -119,14 +115,15 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
           continue;
         }
         const CrcRecord rec = ReadCrcRecord(*sidecar, record_index);
-        if (rec.file_offset != base + sp.file_offset || rec.bytes != sp.bytes) {
+        if (rec.file_offset != base + item.file_offset ||
+            rec.bytes != sp.bytes) {
           // The sidecar disagrees with the plan about where the sub-chunk
           // lives: the schemas diverged, which is as fatal as a bit flip.
           ++report.framing_mismatches;
           AppendLog(log, "framing mismatch (record says offset " +
                              std::to_string(rec.file_offset) + "/" +
                              std::to_string(rec.bytes) + "B, plan says " +
-                             std::to_string(base + sp.file_offset) + "/" +
+                             std::to_string(base + item.file_offset) + "/" +
                              std::to_string(sp.bytes) + "B): " + where);
           continue;
         }
@@ -134,7 +131,7 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
         ++report.subchunks_checked;
         buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
         try {
-          data->ReadAt(base + sp.file_offset, {buf.data(), buf.size()},
+          data->ReadAt(base + item.file_offset, {buf.data(), buf.size()},
                        sp.bytes);
         } catch (const PandaError& e) {
           ++report.crc_mismatches;
@@ -161,19 +158,21 @@ IntegrityReport VerifyGroupChecksums(std::span<FileSystem* const> fs,
                                      std::int64_t subchunk_bytes,
                                      std::string* log) {
   IntegrityReport report;
+  const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
   for (const ArrayMeta& array : meta.arrays) {
     // Plain (general-purpose) files, if the group ever wrote any.
     report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
-                                      Purpose::kGeneral, 1, meta.group, log));
+                                      Purpose::kGeneral, 1, meta.group, log,
+                                      dead));
     if (meta.timesteps > 0) {
       report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
                                         Purpose::kTimestep, meta.timesteps,
-                                        meta.group, log));
+                                        meta.group, log, dead));
     }
     if (meta.has_checkpoint) {
       report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
                                         Purpose::kCheckpoint, 1, meta.group,
-                                        log));
+                                        log, dead));
     }
   }
   return report;

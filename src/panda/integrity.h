@@ -61,17 +61,23 @@ struct IntegrityReport {
 // Verifies one array's per-server files: re-reads every sub-chunk of
 // every segment, recomputes CRC32C and compares with the sidecar.
 // `num_segments` is the timestep count for Purpose::kTimestep and 1
-// otherwise. When `log` is non-null, human-readable findings (one line
-// per problem or skipped file) are appended.
+// otherwise. `dead_servers` (server indices; usually parsed from the
+// group's `__panda.dead_servers` attribute) selects the degraded layout
+// the data was committed under: dead servers' files are skipped and
+// survivors are checked including their adopted chunks. When `log` is
+// non-null, human-readable findings (one line per problem or skipped
+// file) are appended.
 IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
                                      const ArrayMeta& meta,
                                      std::int64_t subchunk_bytes,
                                      Purpose purpose, std::int64_t num_segments,
                                      const std::string& group,
-                                     std::string* log = nullptr);
+                                     std::string* log = nullptr,
+                                     const std::vector<int>& dead_servers = {});
 
 // Group-level sweep driven by the group's schema metadata: timestep
-// streams and the checkpoint (if present) of every array.
+// streams and the checkpoint (if present) of every array. The dead
+// server set is read from the group's `__panda.dead_servers` attribute.
 IntegrityReport VerifyGroupChecksums(std::span<FileSystem* const> fs,
                                      const GroupMeta& meta,
                                      std::int64_t subchunk_bytes,

@@ -1,0 +1,220 @@
+#include "panda/journal.h"
+
+#include <vector>
+
+#include "util/codec.h"
+#include "util/crc32c.h"
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+void AppendLog(std::string* log, const std::string& line) {
+  if (log == nullptr) return;
+  log->append(line);
+  log->push_back('\n');
+}
+
+std::vector<std::byte> EncodeRecordBody(const JournalRecord& rec) {
+  std::vector<std::byte> buf;
+  buf.reserve(static_cast<size_t>(kJournalRecordBytes));
+  Encoder enc(buf);
+  enc.Put<std::int32_t>(rec.array_index);
+  enc.Put<std::int32_t>(rec.chunk_id);
+  enc.Put<std::int32_t>(rec.sub_index);
+  enc.Put<std::int32_t>(0);  // reserved
+  enc.Put<std::int64_t>(rec.seq);
+  enc.Put<std::int64_t>(rec.file_offset);
+  enc.Put<std::int64_t>(rec.bytes);
+  enc.Put<std::uint32_t>(rec.data_crc);
+  return buf;
+}
+
+}  // namespace
+
+std::string JournalFileName(const std::string& data_file) {
+  return data_file + ".wal";
+}
+
+void WriteJournalRecord(File& journal, std::int64_t record_index,
+                        const JournalRecord& rec) {
+  std::vector<std::byte> buf = EncodeRecordBody(rec);
+  const std::uint32_t record_crc = Crc32c({buf.data(), buf.size()});
+  Encoder enc(buf);
+  enc.Put<std::uint32_t>(record_crc);
+  PANDA_CHECK(static_cast<std::int64_t>(buf.size()) == kJournalRecordBytes);
+  journal.WriteAt(record_index * kJournalRecordBytes, buf, kJournalRecordBytes);
+}
+
+std::optional<JournalRecord> ReadJournalRecord(File& journal,
+                                               std::int64_t record_index) {
+  std::vector<std::byte> buf(static_cast<size_t>(kJournalRecordBytes));
+  journal.ReadAt(record_index * kJournalRecordBytes, buf, kJournalRecordBytes);
+  Decoder dec(buf);
+  JournalRecord rec;
+  rec.array_index = dec.Get<std::int32_t>();
+  rec.chunk_id = dec.Get<std::int32_t>();
+  rec.sub_index = dec.Get<std::int32_t>();
+  (void)dec.Get<std::int32_t>();  // reserved
+  rec.seq = dec.Get<std::int64_t>();
+  rec.file_offset = dec.Get<std::int64_t>();
+  rec.bytes = dec.Get<std::int64_t>();
+  rec.data_crc = dec.Get<std::uint32_t>();
+  const std::uint32_t stored_crc = dec.Get<std::uint32_t>();
+  const std::uint32_t computed =
+      Crc32c({buf.data(), static_cast<size_t>(kJournalRecordBytes) - 4});
+  if (stored_crc != computed) return std::nullopt;
+  return rec;
+}
+
+void JournalReport::Merge(const JournalReport& other) {
+  files_checked += other.files_checked;
+  files_without_journal += other.files_without_journal;
+  records_checked += other.records_checked;
+  records_missing += other.records_missing;
+  torn_records += other.torn_records;
+  framing_mismatches += other.framing_mismatches;
+  data_mismatches += other.data_mismatches;
+}
+
+JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
+                                 const ArrayMeta& meta, std::int32_t array_index,
+                                 std::int64_t subchunk_bytes, Purpose purpose,
+                                 std::int64_t num_segments,
+                                 const std::string& group,
+                                 const std::vector<int>& dead_servers,
+                                 std::string* log) {
+  JournalReport report;
+  const int num_servers = static_cast<int>(fs.size());
+  const IoPlan plan(meta, num_servers, subchunk_bytes);
+  const DegradedLayout layout = DegradedLayout::Compute(plan, dead_servers);
+
+  for (int s = 0; s < num_servers; ++s) {
+    if (!layout.alive[static_cast<size_t>(s)]) continue;  // lost disk
+    const std::vector<WorkItem> work =
+        BuildServerWork(plan, layout, s, WorkPhase::kFull);
+    if (work.empty()) continue;  // this server stores none of the array
+
+    const std::string data_name = DataFileName(group, meta.name, purpose, s);
+    if (!fs[s]->Exists(data_name)) continue;  // array/purpose never written
+
+    const std::string journal_name = JournalFileName(data_name);
+    if (!fs[s]->Exists(journal_name)) {
+      ++report.files_without_journal;
+      AppendLog(log, "unjournaled: " + data_name + " [server " +
+                         std::to_string(s) + "]");
+      continue;
+    }
+
+    ++report.files_checked;
+    auto data = fs[s]->Open(data_name, OpenMode::kRead);
+    auto journal = fs[s]->Open(journal_name, OpenMode::kRead);
+    const std::int64_t records_per_segment =
+        static_cast<std::int64_t>(work.size());
+    const std::int64_t journal_bytes = journal->Size();
+    const std::int64_t full_records = journal_bytes / kJournalRecordBytes;
+    const bool torn_tail = (journal_bytes % kJournalRecordBytes) != 0;
+
+    std::vector<std::byte> buf;
+    for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+      const std::int64_t base =
+          purpose == Purpose::kTimestep ? seg * layout.SegmentBytes(s) : 0;
+      for (std::int64_t k = 0; k < records_per_segment; ++k) {
+        const WorkItem& item = work[static_cast<size_t>(k)];
+        const ChunkPlan& cp =
+            plan.chunks()[static_cast<size_t>(item.chunk_index)];
+        const SubchunkPlan& sp =
+            cp.subchunks[static_cast<size_t>(item.sub_index)];
+        const std::int64_t record_index = seg * records_per_segment + k;
+        const std::string where =
+            data_name + " [server " + std::to_string(s) + ", segment " +
+            std::to_string(seg) + ", record " + std::to_string(record_index) +
+            "]";
+
+        if (record_index >= full_records) {
+          // A crash mid-append may leave exactly one torn trailing
+          // record; anything beyond that is an uncommitted sub-chunk.
+          if (torn_tail && record_index == full_records) {
+            ++report.torn_records;
+            AppendLog(log, "torn trailing record: " + where);
+          } else {
+            ++report.records_missing;
+            AppendLog(log, "uncommitted (no journal record): " + where);
+          }
+          continue;
+        }
+        const std::optional<JournalRecord> rec =
+            ReadJournalRecord(*journal, record_index);
+        if (!rec) {
+          ++report.torn_records;
+          AppendLog(log, "record crc failed: " + where);
+          continue;
+        }
+        const std::int64_t want_offset =
+            base + item.file_offset;
+        if (rec->array_index != array_index || rec->chunk_id != cp.chunk_id ||
+            rec->sub_index != item.sub_index || rec->seq != seg ||
+            rec->file_offset != want_offset || rec->bytes != sp.bytes) {
+          ++report.framing_mismatches;
+          AppendLog(log, "framing mismatch (record says chunk " +
+                             std::to_string(rec->chunk_id) + "." +
+                             std::to_string(rec->sub_index) + " @" +
+                             std::to_string(rec->file_offset) + "/" +
+                             std::to_string(rec->bytes) + "B, plan says " +
+                             std::to_string(cp.chunk_id) + "." +
+                             std::to_string(item.sub_index) + " @" +
+                             std::to_string(want_offset) + "/" +
+                             std::to_string(sp.bytes) + "B): " + where);
+          continue;
+        }
+
+        ++report.records_checked;
+        buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
+        try {
+          data->ReadAt(want_offset, {buf.data(), buf.size()}, sp.bytes);
+        } catch (const PandaError& e) {
+          ++report.data_mismatches;
+          AppendLog(log, "unreadable journaled sub-chunk (" +
+                             std::string(e.what()) + "): " + where);
+          continue;
+        }
+        const std::uint32_t got = Crc32c({buf.data(), buf.size()});
+        if (got != rec->data_crc) {
+          ++report.data_mismatches;
+          AppendLog(log, "data crc mismatch (journal " +
+                             std::to_string(rec->data_crc) + ", computed " +
+                             std::to_string(got) + "): " + where);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+JournalReport VerifyGroupJournal(std::span<FileSystem* const> fs,
+                                 const GroupMeta& meta,
+                                 std::int64_t subchunk_bytes,
+                                 std::string* log) {
+  JournalReport report;
+  const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
+  for (size_t a = 0; a < meta.arrays.size(); ++a) {
+    const ArrayMeta& array = meta.arrays[a];
+    const auto idx = static_cast<std::int32_t>(a);
+    report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
+                                    Purpose::kGeneral, 1, meta.group, dead,
+                                    log));
+    if (meta.timesteps > 0) {
+      report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
+                                      Purpose::kTimestep, meta.timesteps,
+                                      meta.group, dead, log));
+    }
+    if (meta.has_checkpoint) {
+      report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
+                                      Purpose::kCheckpoint, 1, meta.group, dead,
+                                      log));
+    }
+  }
+  return report;
+}
+
+}  // namespace panda

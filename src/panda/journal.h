@@ -1,0 +1,105 @@
+// Write-ahead chunk journal: per-server commit records.
+//
+// With `ServerOptions::journal` on, each data file `F` gains a journal
+// `F.wal` that records every sub-chunk the server has durably written.
+// One fixed-size record per sub-chunk, in the deterministic work-list
+// order all participants share (original chunks then adopted chunks,
+// see panda/failover.h):
+//
+//   record k = [ i32 array_index | i32 chunk_id | i32 sub_index |
+//                i32 reserved    | i64 seq      | i64 file_offset |
+//                i64 bytes       | u32 data_crc | u32 record_crc ]
+//   (48 bytes; record_crc = CRC32C of the first 44)
+//
+// where k is the sub-chunk's record ordinal within the segment and
+// timestep segment `seq` starts at record `seq * records_per_segment`.
+// The journal is appended after the sub-chunk's data write and fsynced
+// when its chunk completes, so after a crash the journal names exactly
+// the chunks whose data is durable (modulo one possibly-torn trailing
+// record, which verification tolerates by design).
+//
+// The journal is what makes degraded-mode recovery *incremental* in
+// principle and *verifiable* in practice: `panda_fsck --verify_journal`
+// replays every record against the plan (framing) and the data file
+// (CRC), and flags chunks the journal never committed. Checkpoint
+// journals ride the same tmp+rename publication as checkpoint data.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+
+#include "iosim/file_system.h"
+#include "panda/failover.h"
+#include "panda/plan.h"
+#include "panda/protocol.h"
+#include "panda/schema_io.h"
+
+namespace panda {
+
+inline constexpr std::int64_t kJournalRecordBytes = 48;
+
+// `F` -> `F.wal`.
+std::string JournalFileName(const std::string& data_file);
+
+struct JournalRecord {
+  std::int32_t array_index = 0;
+  std::int32_t chunk_id = 0;
+  std::int32_t sub_index = 0;
+  std::int64_t seq = 0;           // timestep segment (0 otherwise)
+  std::int64_t file_offset = 0;   // absolute sub-chunk offset in F
+  std::int64_t bytes = 0;
+  std::uint32_t data_crc = 0;     // CRC32C of the sub-chunk payload
+};
+
+// Writes record `record_index` (its slot; 48*index bytes into F.wal).
+void WriteJournalRecord(File& journal, std::int64_t record_index,
+                        const JournalRecord& rec);
+
+// Reads and validates record `record_index`. Returns nullopt when the
+// record's own CRC fails — a torn record, the expected signature of a
+// crash mid-append.
+std::optional<JournalRecord> ReadJournalRecord(File& journal,
+                                               std::int64_t record_index);
+
+// Aggregate result of an offline journal verification pass.
+struct JournalReport {
+  std::int64_t files_checked = 0;
+  std::int64_t files_without_journal = 0;  // skipped (journaling off)
+  std::int64_t records_checked = 0;
+  std::int64_t records_missing = 0;   // plan slot past the journal's end
+  std::int64_t torn_records = 0;      // record_crc failed
+  std::int64_t framing_mismatches = 0;  // record vs. plan disagreement
+  std::int64_t data_mismatches = 0;   // journaled CRC vs. data re-read
+
+  bool Clean() const {
+    return records_missing == 0 && torn_records == 0 &&
+           framing_mismatches == 0 && data_mismatches == 0;
+  }
+  void Merge(const JournalReport& other);
+};
+
+// Verifies one array's per-server journals against the plan (under the
+// degraded layout implied by `dead_servers`) and the data files.
+// `array_index` is the array's position in its collective (journal
+// records carry it). A journal whose final record is torn and which is
+// exactly one record short is reported via torn_records only (crash
+// tolerance); any other shortfall counts records_missing.
+JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
+                                 const ArrayMeta& meta, std::int32_t array_index,
+                                 std::int64_t subchunk_bytes, Purpose purpose,
+                                 std::int64_t num_segments,
+                                 const std::string& group,
+                                 const std::vector<int>& dead_servers,
+                                 std::string* log = nullptr);
+
+// Group-level sweep driven by the group's schema metadata (mirrors
+// VerifyGroupChecksums); the dead-server set is read from the group's
+// `__panda.dead_servers` attribute.
+JournalReport VerifyGroupJournal(std::span<FileSystem* const> fs,
+                                 const GroupMeta& meta,
+                                 std::int64_t subchunk_bytes,
+                                 std::string* log = nullptr);
+
+}  // namespace panda

@@ -31,7 +31,9 @@
 #include "panda/array_group.h"
 #include "panda/client.h"
 #include "panda/cost_model.h"
+#include "panda/failover.h"
 #include "panda/integrity.h"
+#include "panda/journal.h"
 #include "panda/plan.h"
 #include "panda/plan_cache.h"
 #include "panda/protocol.h"

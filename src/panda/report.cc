@@ -28,7 +28,13 @@ std::string MachineReport::ToString() const {
   out += StrFormat("clocks: max client %s, max server %s\n",
                    FormatSeconds(max_client).c_str(),
                    FormatSeconds(max_server).c_str());
-  if (!robustness.AllZero()) {
+  const bool faults_nonzero =
+      robustness.io_retries != 0 || robustness.io_giveups != 0 ||
+      robustness.wire_checksum_failures != 0 ||
+      robustness.disk_checksum_failures != 0 ||
+      robustness.disk_checksum_rereads != 0 ||
+      robustness.collectives_aborted != 0;
+  if (faults_nonzero) {
     out += StrFormat(
         "robustness: %lld retries, %lld give-ups, %lld wire checksum "
         "failures, %lld disk checksum failures (%lld healed by re-read), "
@@ -39,6 +45,29 @@ std::string MachineReport::ToString() const {
         static_cast<long long>(robustness.disk_checksum_failures),
         static_cast<long long>(robustness.disk_checksum_rereads),
         static_cast<long long>(robustness.collectives_aborted));
+  }
+  if (robustness.failovers_completed != 0 || robustness.chunks_adopted != 0 ||
+      robustness.journal_records_written != 0) {
+    out += StrFormat(
+        "failover: %lld failovers, %lld chunks adopted, %lld journal "
+        "records\n",
+        static_cast<long long>(robustness.failovers_completed),
+        static_cast<long long>(robustness.chunks_adopted),
+        static_cast<long long>(robustness.journal_records_written));
+  }
+  if (!transport.AllZero()) {
+    out += StrFormat(
+        "transport faults: %lld drops (%lld retransmits), %lld dups "
+        "(%lld suppressed), %lld reorders, %lld delays, %lld peers "
+        "declared dead, %lld ranks killed\n",
+        static_cast<long long>(transport.drops_injected),
+        static_cast<long long>(transport.retransmits),
+        static_cast<long long>(transport.dups_injected),
+        static_cast<long long>(transport.dups_suppressed),
+        static_cast<long long>(transport.reorders_injected),
+        static_cast<long long>(transport.delays_injected),
+        static_cast<long long>(transport.peers_declared_dead),
+        static_cast<long long>(transport.ranks_killed));
   }
   return out;
 }
@@ -56,6 +85,7 @@ MachineReport Snapshot(Machine& machine) {
         machine.transport().endpoint(machine.client_rank(c)).clock().Now());
   }
   report.robustness = machine.robustness().Snapshot();
+  report.transport = machine.transport().fault_stats().Snapshot();
   return report;
 }
 

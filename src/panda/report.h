@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "iosim/retry.h"
+#include "msg/lossy.h"
 #include "panda/plan.h"
 #include "panda/protocol.h"
 #include "panda/runtime.h"
@@ -25,8 +26,14 @@ struct MachineReport {
   std::vector<double> client_clock_s;
   std::vector<double> server_clock_s;
   // Robustness accounting: all-zero on a clean run; non-zero entries
-  // betray healed transient faults, caught corruption, or aborts.
+  // betray healed transient faults, caught corruption, aborts,
+  // failovers, or journal activity.
   RobustnessCounters robustness;
+  // Transport fault accounting: injected drops/dups/reorders/delays,
+  // retransmissions, suppressed duplicates, dead-peer declarations and
+  // crash-stopped ranks. All-zero when the lossy layer and the kill
+  // injector are disarmed (the acceptance bar for clean runs).
+  TransportFaultCounters transport;
 
   std::string ToString() const;
 };

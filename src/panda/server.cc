@@ -7,7 +7,9 @@
 #include <vector>
 
 #include "mdarray/strided_copy.h"
+#include "panda/failover.h"
 #include "panda/integrity.h"
+#include "panda/journal.h"
 #include "panda/schema_io.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
@@ -47,41 +49,32 @@ class DiskWriteScheduler {
   double busy_until_ = 0.0;
 };
 
-OpenMode WriteOpenMode(Purpose purpose, std::int64_t seq) {
+OpenMode WriteOpenMode(Purpose purpose, std::int64_t seq, WorkPhase phase) {
+  // A failover recovery phase extends files that already hold this
+  // server's own chunks: never truncate.
+  if (phase == WorkPhase::kAdoptedOnly) return OpenMode::kReadWrite;
   if (purpose == Purpose::kTimestep && seq > 0) return OpenMode::kReadWrite;
   return OpenMode::kWrite;
 }
 
-std::int64_t BaseOffset(const IoPlan& plan, Purpose purpose, std::int64_t seq,
-                        int server_index) {
+std::int64_t BaseOffset(const DegradedLayout& layout, Purpose purpose,
+                        std::int64_t seq, int server_index) {
   // Timestep output appends one segment per timestep; everything else
-  // starts at the beginning of the file.
+  // starts at the beginning of the file. Segment sizes come from the
+  // layout (== the plan's when no server is dead).
   if (purpose == Purpose::kTimestep) {
-    return seq * plan.SegmentBytes(server_index);
+    return seq * layout.SegmentBytes(server_index);
   }
   return 0;
 }
 
-// First sidecar record index of this collective's segment: timestep
-// streams append one block of records per timestep, mirroring the data
-// segments (see panda/integrity.h).
+// First sidecar/journal record index of this collective's segment:
+// timestep streams append one block of records per timestep, mirroring
+// the data segments (see panda/integrity.h).
 std::int64_t RecordBase(Purpose purpose, std::int64_t seq,
                         std::int64_t records_per_segment) {
   if (purpose == Purpose::kTimestep) return seq * records_per_segment;
   return 0;
-}
-
-// This server's deterministic work list: (chunk index, sub-chunk index)
-// in plan order. Its ordinals double as sidecar record indices.
-std::vector<std::pair<int, int>> ServerWork(const IoPlan& plan, int sidx) {
-  std::vector<std::pair<int, int>> work;
-  for (const int ci : plan.ChunksOfServer(sidx)) {
-    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
-    for (size_t si = 0; si < cp.subchunks.size(); ++si) {
-      work.emplace_back(ci, static_cast<int>(si));
-    }
-  }
-  return work;
 }
 
 void ValidateHeader(const PieceHeader& h, std::int32_t array_index,
@@ -98,83 +91,111 @@ void ValidateHeader(const PieceHeader& h, std::int32_t array_index,
 void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
                       const Sp2Params& params, const CollectiveRequest& req,
                       std::int32_t array_index, const IoPlan& plan,
+                      const DegradedLayout& layout, WorkPhase phase,
                       DiskWriteScheduler& disk, const ServerOptions& options,
                       std::vector<std::pair<std::string, std::string>>&
                           pending_renames) {
   const int sidx = world.server_index(ep.rank());
   const ArrayMeta& meta = req.arrays[static_cast<size_t>(array_index)];
   const bool timing = ep.timing_only();
-  const std::int64_t base = BaseOffset(plan, req.purpose, req.seq, sidx);
+  const std::int64_t base = BaseOffset(layout, req.purpose, req.seq, sidx);
   const RetryPolicy& retry = options.retry;
   RobustnessStats* stats = options.robustness;
-  // Sidecar checksums need real bytes; timing-only sweeps skip them.
+  // Sidecar checksums and the journal need real bytes; timing-only
+  // sweeps skip them.
   const bool sidecars = options.disk_checksums && !timing;
+  const bool journaling = options.journal && !timing;
 
   // Checkpoints are published atomically: written to a temporary file
   // and renamed over the previous checkpoint only after every server
   // has finished its data and fsync (two-phase commit, see
   // ServerExecute), so a crash mid-checkpoint can never leave a mix of
-  // old and new checkpoint files. The sidecar travels with its data
-  // file through the same staged rename.
+  // old and new checkpoint files. The sidecar and journal travel with
+  // their data file through the same staged rename. A recovery phase
+  // reuses the staging set up by the full phase.
   const std::string final_name =
       DataFileName(req.group, meta.name, req.purpose, sidx);
   const std::string write_name =
       req.purpose == Purpose::kCheckpoint ? final_name + ".tmp" : final_name;
-  if (req.purpose == Purpose::kCheckpoint) {
+  if (req.purpose == Purpose::kCheckpoint && phase == WorkPhase::kFull) {
     pending_renames.emplace_back(write_name, final_name);
     if (sidecars) {
       pending_renames.emplace_back(SidecarFileName(write_name),
                                    SidecarFileName(final_name));
     }
+    if (journaling) {
+      pending_renames.emplace_back(JournalFileName(write_name),
+                                   JournalFileName(final_name));
+    }
   }
 
-  // With checksums off, drop any stale sidecar left by an earlier
-  // checksummed run: fresh data under an old sidecar would read back as
-  // corruption.
-  if (!timing && !sidecars) {
+  // With checksums/journaling off, drop any stale sidecar or journal
+  // left by an earlier run: fresh data under old records would read
+  // back as corruption.
+  if (!timing && phase == WorkPhase::kFull && (!sidecars || !journaling)) {
     retry.Run(&ep.clock(), stats, [&] {
-      fs.Remove(SidecarFileName(write_name));
-      if (write_name != final_name) fs.Remove(SidecarFileName(final_name));
+      if (!sidecars) {
+        fs.Remove(SidecarFileName(write_name));
+        if (write_name != final_name) fs.Remove(SidecarFileName(final_name));
+      }
+      if (!journaling) {
+        fs.Remove(JournalFileName(write_name));
+        if (write_name != final_name) fs.Remove(JournalFileName(final_name));
+      }
     });
   }
 
-  if (plan.ChunksOfServer(sidx).empty() && req.purpose != Purpose::kTimestep) {
-    // Still create the (empty) file so concatenation scripts see a
-    // complete set of per-server files. (No sidecar: there is nothing
-    // to checksum, and the verifier skips empty segments.)
-    retry.Run(&ep.clock(), stats, [&] {
-      fs.Open(write_name, WriteOpenMode(req.purpose, req.seq));
-    });
+  const std::vector<WorkItem> work = BuildServerWork(plan, layout, sidx, phase);
+  const std::int64_t records_per_segment =
+      RecordsPerSegment(plan, layout, sidx);
+  const std::int64_t record_base =
+      RecordBase(req.purpose, req.seq, records_per_segment);
+
+  if (work.empty()) {
+    if (phase == WorkPhase::kFull && req.purpose != Purpose::kTimestep) {
+      // Still create the (empty) file so concatenation scripts see a
+      // complete set of per-server files. (No sidecar: there is nothing
+      // to checksum, and the verifier skips empty segments.)
+      retry.Run(&ep.clock(), stats, [&] {
+        fs.Open(write_name, WriteOpenMode(req.purpose, req.seq, phase));
+      });
+    }
     return;
+  }
+  if (phase == WorkPhase::kAdoptedOnly && stats != nullptr) {
+    stats->chunks_adopted.fetch_add(static_cast<std::int64_t>(
+        layout.adopted[static_cast<size_t>(sidx)].size()));
   }
 
   std::unique_ptr<File> file;
   retry.Run(&ep.clock(), stats, [&] {
-    file = fs.Open(write_name, WriteOpenMode(req.purpose, req.seq));
+    file = fs.Open(write_name, WriteOpenMode(req.purpose, req.seq, phase));
   });
   std::unique_ptr<File> sidecar;
   if (sidecars) {
     retry.Run(&ep.clock(), stats, [&] {
       sidecar = fs.Open(SidecarFileName(write_name),
-                        WriteOpenMode(req.purpose, req.seq));
+                        WriteOpenMode(req.purpose, req.seq, phase));
+    });
+  }
+  std::unique_ptr<File> journal;
+  if (journaling) {
+    retry.Run(&ep.clock(), stats, [&] {
+      journal = fs.Open(JournalFileName(write_name),
+                        WriteOpenMode(req.purpose, req.seq, phase));
     });
   }
 
-  // Flatten this server's work list: (chunk index, sub-chunk index).
-  const std::vector<std::pair<int, int>> work = ServerWork(plan, sidx);
-  const std::int64_t record_base =
-      RecordBase(req.purpose, req.seq, static_cast<std::int64_t>(work.size()));
-
   // Server-directed: request every piece of sub-chunk `k`.
   auto send_requests = [&](size_t k) {
-    const auto [ci, si] = work[k];
-    const SubchunkPlan& sp =
-        plan.chunks()[static_cast<size_t>(ci)].subchunks[static_cast<size_t>(si)];
+    const WorkItem& item = work[k];
+    const SubchunkPlan& sp = plan.chunks()[static_cast<size_t>(item.chunk_index)]
+                                 .subchunks[static_cast<size_t>(item.sub_index)];
     for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
       Message request;
       Encoder enc(request.header);
-      PieceHeader{array_index, ci, si, static_cast<std::int32_t>(pi),
-                  sp.pieces[pi].region}
+      PieceHeader{array_index, item.chunk_index, item.sub_index,
+                  static_cast<std::int32_t>(pi), sp.pieces[pi].region}
           .EncodeTo(enc);
       ep.Send(world.client_rank(sp.pieces[pi].client), kTagPieceRequest,
               std::move(request));
@@ -188,9 +209,10 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
 
   std::vector<std::byte> buf;
   for (size_t k = 0; k < work.size(); ++k) {
-    const auto [ci, si] = work[k];
+    const WorkItem& item = work[k];
+    const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(item.chunk_index)];
     const SubchunkPlan& sp =
-        plan.chunks()[static_cast<size_t>(ci)].subchunks[static_cast<size_t>(si)];
+        cp.subchunks[static_cast<size_t>(item.sub_index)];
     if (!options.pipeline_requests) {
       send_requests(k);
     } else if (k + 1 < work.size()) {
@@ -203,7 +225,8 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       Message data = ep.Recv(world.client_rank(piece.client), kTagPieceData);
       Decoder dec(data.header);
       ValidateHeader(PieceHeader::Decode(dec), array_index,
-                     {ci, si, static_cast<int>(pi)}, piece.region);
+                     {item.chunk_index, item.sub_index, static_cast<int>(pi)},
+                     piece.region);
       // End-to-end wire checksum: the client stamped the payload's
       // CRC32C after the echoed piece header (0 in timing-only mode).
       const std::uint32_t wire_crc = dec.Get<std::uint32_t>();
@@ -236,16 +259,38 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       // Positioned writes are idempotent, so a retry after a torn write
       // rewrites the full range and heals the tear.
       retry.Run(&ep.clock(), stats, [&] {
-        file->WriteAt(base + sp.file_offset, {buf.data(), buf.size()},
+        file->WriteAt(base + item.file_offset, {buf.data(), buf.size()},
                       sp.bytes);
       });
       if (sidecar != nullptr) {
-        const CrcRecord rec{base + sp.file_offset, sp.bytes,
+        const CrcRecord rec{base + item.file_offset, sp.bytes,
                             Crc32c({buf.data(), buf.size()})};
-        const std::int64_t rec_index =
-            record_base + static_cast<std::int64_t>(k);
-        retry.Run(&ep.clock(), stats,
-                  [&] { WriteCrcRecord(*sidecar, rec_index, rec); });
+        retry.Run(&ep.clock(), stats, [&] {
+          WriteCrcRecord(*sidecar, record_base + item.record_ordinal, rec);
+        });
+      }
+      if (journal != nullptr) {
+        // Write-ahead commit record: appended after the sub-chunk's data
+        // write, fsynced when the chunk completes. After a crash the
+        // journal names exactly the durable chunks (panda/journal.h).
+        JournalRecord rec;
+        rec.array_index = array_index;
+        rec.chunk_id = cp.chunk_id;
+        rec.sub_index = item.sub_index;
+        rec.seq = req.purpose == Purpose::kTimestep ? req.seq : 0;
+        rec.file_offset = base + item.file_offset;
+        rec.bytes = sp.bytes;
+        rec.data_crc = Crc32c({buf.data(), buf.size()});
+        retry.Run(&ep.clock(), stats, [&] {
+          WriteJournalRecord(*journal, record_base + item.record_ordinal, rec);
+        });
+        if (stats != nullptr) stats->journal_records_written.fetch_add(1);
+        const bool chunk_done =
+            k + 1 == work.size() ||
+            work[k + 1].chunk_index != item.chunk_index;
+        if (chunk_done) {
+          retry.Run(&ep.clock(), stats, [&] { journal->Sync(); });
+        }
       }
     });
   }
@@ -255,20 +300,25 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   if (sidecar != nullptr) {
     retry.Run(&ep.clock(), stats, [&] { sidecar->Sync(); });
   }
+  if (journal != nullptr) {
+    retry.Run(&ep.clock(), stats, [&] { journal->Sync(); });
+  }
 }
 
 void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
                      const Sp2Params& params, const CollectiveRequest& req,
                      std::int32_t array_index, const IoPlan& plan,
-                     const ServerOptions& options) {
+                     const DegradedLayout& layout, const ServerOptions& options) {
   const int sidx = world.server_index(ep.rank());
   const ArrayMeta& meta = req.arrays[static_cast<size_t>(array_index)];
   const bool timing = ep.timing_only();
-  const std::int64_t base = BaseOffset(plan, req.purpose, req.seq, sidx);
+  const std::int64_t base = BaseOffset(layout, req.purpose, req.seq, sidx);
   const RetryPolicy& retry = options.retry;
   RobustnessStats* stats = options.robustness;
 
-  if (plan.ChunksOfServer(sidx).empty()) return;
+  const std::vector<WorkItem> work =
+      BuildServerWork(plan, layout, sidx, WorkPhase::kFull);
+  if (work.empty()) return;
 
   const std::string data_name =
       DataFileName(req.group, meta.name, req.purpose, sidx);
@@ -286,13 +336,14 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
     });
   }
 
-  const std::vector<std::pair<int, int>> work = ServerWork(plan, sidx);
-  const std::int64_t record_base =
-      RecordBase(req.purpose, req.seq, static_cast<std::int64_t>(work.size()));
+  const std::int64_t record_base = RecordBase(
+      req.purpose, req.seq, RecordsPerSegment(plan, layout, sidx));
 
   std::vector<std::byte> buf;
   for (size_t k = 0; k < work.size(); ++k) {
-    const auto [ci, si] = work[k];
+    const WorkItem& item = work[k];
+    const int ci = item.chunk_index;
+    const int si = item.sub_index;
     const SubchunkPlan& sp =
         plan.chunks()[static_cast<size_t>(ci)].subchunks[static_cast<size_t>(si)];
     // Sub-chunks fully outside a subarray clip: no disk access at all.
@@ -301,20 +352,20 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
     if (!timing) buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
     auto read_subchunk = [&] {
       retry.Run(&ep.clock(), stats, [&] {
-        file->ReadAt(base + sp.file_offset, {buf.data(), buf.size()},
+        file->ReadAt(base + item.file_offset, {buf.data(), buf.size()},
                      sp.bytes);
       });
     };
     read_subchunk();
     if (sidecar != nullptr) {
-      const std::int64_t rec_index = record_base + static_cast<std::int64_t>(k);
+      const std::int64_t rec_index = record_base + item.record_ordinal;
       CrcRecord rec;
       auto read_record = [&] {
         retry.Run(&ep.clock(), stats,
                   [&] { rec = ReadCrcRecord(*sidecar, rec_index); });
       };
       auto verified = [&] {
-        return rec.file_offset == base + sp.file_offset &&
+        return rec.file_offset == base + item.file_offset &&
                rec.bytes == sp.bytes &&
                rec.crc == Crc32c({buf.data(), buf.size()});
       };
@@ -337,7 +388,7 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
                         data_name.c_str(), static_cast<long long>(rec_index),
                         static_cast<long long>(rec.file_offset),
                         static_cast<long long>(rec.bytes), rec.crc,
-                        static_cast<long long>(base + sp.file_offset),
+                        static_cast<long long>(base + item.file_offset),
                         static_cast<long long>(sp.bytes),
                         Crc32c({buf.data(), buf.size()}));
         }
@@ -396,11 +447,19 @@ void RelayAbortFromMasterServer(Endpoint& ep, const World& world,
   }
 }
 
-}  // namespace
-
-void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
-                   const Sp2Params& params, const CollectiveRequest& req,
-                   ServerOptions options, PlanCache* plan_cache) {
+// The body of one collective on this server. `dead_servers` selects the
+// degraded layout (empty = the identity layout, byte-identical to the
+// pre-failover behavior); `phase` selects the slice of the work list.
+// When `staged_renames` is non-null (failover orchestration), checkpoint
+// renames are appended there for the caller to commit after the final
+// gather, and the group-metadata write is left to the caller too;
+// otherwise the legacy barrier + rename + metadata epilogue runs here.
+void ServerExecuteImpl(Endpoint& ep, FileSystem& fs, const World& world,
+                       const Sp2Params& params, const CollectiveRequest& req,
+                       const ServerOptions& options, PlanCache* plan_cache,
+                       const std::vector<int>& dead_servers, WorkPhase phase,
+                       std::vector<std::pair<std::string, std::string>>*
+                           staged_renames) {
   PlanCache local_cache(4);
   if (plan_cache == nullptr) plan_cache = &local_cache;
   const int sidx = world.server_index(ep.rank());
@@ -408,7 +467,9 @@ void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
   ep.AdvanceCompute(params.plan_compute_s);
   DiskWriteScheduler disk(ep, options.overlap_io);
   // Checkpoint files staged for two-phase commit (see below).
-  std::vector<std::pair<std::string, std::string>> pending_renames;
+  std::vector<std::pair<std::string, std::string>> local_renames;
+  std::vector<std::pair<std::string, std::string>>& pending_renames =
+      staged_renames != nullptr ? *staged_renames : local_renames;
   PANDA_REQUIRE(!req.has_subarray || req.op == IoOp::kRead,
                 "subarray access is only supported for reads");
   for (std::int32_t ai = 0; ai < static_cast<std::int32_t>(req.arrays.size());
@@ -417,6 +478,7 @@ void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
         req.arrays[static_cast<size_t>(ai)], world.num_servers,
         params.subchunk_bytes, req.has_subarray ? &req.subarray : nullptr);
     const IoPlan& plan = *plan_ptr;
+    const DegradedLayout layout = DegradedLayout::Compute(plan, dead_servers);
     PANDA_REQUIRE(
         plan.chunks().empty() ||
             req.arrays[static_cast<size_t>(ai)].memory.mesh().size() ==
@@ -426,12 +488,13 @@ void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
         req.arrays[static_cast<size_t>(ai)].memory.mesh().size(),
         world.num_clients);
     if (req.op == IoOp::kWrite) {
-      ServerWriteArray(ep, fs, world, params, req, ai, plan, disk, options,
-                       pending_renames);
+      ServerWriteArray(ep, fs, world, params, req, ai, plan, layout, phase,
+                       disk, options, pending_renames);
     } else {
-      ServerReadArray(ep, fs, world, params, req, ai, plan, options);
+      ServerReadArray(ep, fs, world, params, req, ai, plan, layout, options);
     }
   }
+  if (staged_renames != nullptr) return;  // the failover loop commits
   // Two-phase checkpoint commit: publish the staged files only after
   // *every* server finished writing and syncing its temporaries, so a
   // server crash during the data phase leaves the previous checkpoint
@@ -454,6 +517,145 @@ void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
   }
 }
 
+// Merges server indices into an ascending dead set.
+void MergeDead(std::vector<int>& dead, const std::vector<int>& more) {
+  dead.insert(dead.end(), more.begin(), more.end());
+  std::sort(dead.begin(), dead.end());
+  dead.erase(std::unique(dead.begin(), dead.end()), dead.end());
+}
+
+bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// One collective under the failover protocol (docs/PROTOCOL.md,
+// "Failover and degraded mode"). The master server (index 0) is the
+// coordinator: after every data phase it gathers a token from each
+// surviving server with a per-peer receive, so a crash-stopped server
+// surfaces as PeerDeadError instead of a hang. On a detected death the
+// master notifies every client (kTagFailover, full dead set), then the
+// survivors; everyone recomputes the DegradedLayout and the survivors
+// re-gather only the adopted chunks. The loop repeats until a gather
+// round completes with no new deaths; the master then releases the
+// survivors and the clients with empty kTagFailover notices, commits
+// staged checkpoint renames, and records the dead set in the group
+// metadata (`__panda.dead_servers`) for offline verification.
+void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
+                        const Sp2Params& params, const CollectiveRequest& req,
+                        const ServerOptions& options, PlanCache* plan_cache) {
+  const int sidx = world.server_index(ep.rank());
+  std::vector<int> dead = DeadServerIndices(ep, world);
+  std::vector<std::pair<std::string, std::string>> staged;
+
+  // Data phase: this server's full share under the current layout.
+  ServerExecuteImpl(ep, fs, world, params, req, options, plan_cache, dead,
+                    WorkPhase::kFull, &staged);
+
+  if (sidx == 0) {
+    for (;;) {
+      // Gather a completion token from every surviving server. A
+      // per-peer receive converts a crash-stop into PeerDeadError after
+      // the heartbeat lease instead of hanging forever.
+      std::vector<int> new_dead;
+      for (int s = 1; s < world.num_servers; ++s) {
+        if (Contains(dead, s)) continue;
+        try {
+          (void)ep.Recv(world.server_rank(s), kTagBarrier);
+        } catch (const PeerDeadError&) {
+          new_dead.push_back(s);
+        }
+      }
+      if (new_dead.empty()) break;
+      // A read cannot be re-planned: the data lived on the dead disk.
+      PANDA_REQUIRE(req.op == IoOp::kWrite,
+                    "server crash-stopped during a read collective: its "
+                    "data is unrecoverable by re-planning");
+      MergeDead(dead, new_dead);
+      if (options.robustness != nullptr) {
+        options.robustness->failovers_completed.fetch_add(1);
+      }
+      std::vector<int> dead_ranks;
+      dead_ranks.reserve(dead.size());
+      for (int s : dead) dead_ranks.push_back(world.server_rank(s));
+      // Clients first, then the survivor decisions: sends deposit
+      // immediately, so every client's notice is in its mailbox before
+      // any survivor can issue an adopted-chunk request — and notices
+      // outrank ordinary matching (msg/mailbox.h), so clients re-plan
+      // before serving recovery traffic.
+      for (int c = 0; c < world.num_clients; ++c) {
+        ep.Send(world.client_rank(c), kTagFailover,
+                MakeFailoverMessage(ep.rank(), dead_ranks));
+      }
+      for (int s = 1; s < world.num_servers; ++s) {
+        if (Contains(dead, s)) continue;
+        ep.Send(world.server_rank(s), kTagFailover,
+                MakeFailoverMessage(ep.rank(), dead_ranks));
+      }
+      // The master's own recovery share, then gather again (a death
+      // during recovery simply triggers another round: the layout is
+      // recomputed from scratch and kAdoptedOnly rewrites every
+      // adopted chunk, including those a newly-dead adopter took).
+      ServerExecuteImpl(ep, fs, world, params, req, options, plan_cache, dead,
+                        WorkPhase::kAdoptedOnly, &staged);
+    }
+    // Release the survivors: empty notice = commit.
+    for (int s = 1; s < world.num_servers; ++s) {
+      if (Contains(dead, s)) continue;
+      ep.Send(world.server_rank(s), kTagFailover,
+              MakeFailoverMessage(ep.rank(), {}));
+    }
+  } else {
+    for (;;) {
+      ep.Send(world.master_server_rank(), kTagBarrier, Message{});
+      const Message decision =
+          ep.Recv(world.master_server_rank(), kTagFailover);
+      const FailoverNotice notice = DecodeFailoverNotice(decision);
+      if (notice.dead_ranks.empty()) break;  // released: commit
+      std::vector<int> more;
+      for (int r : notice.dead_ranks) more.push_back(world.server_index(r));
+      MergeDead(dead, more);
+      ServerExecuteImpl(ep, fs, world, params, req, options, plan_cache, dead,
+                        WorkPhase::kAdoptedOnly, &staged);
+    }
+  }
+
+  // Commit point passed (the release doubles as the checkpoint
+  // barrier): publish staged checkpoint files.
+  for (const auto& [from, to] : staged) {
+    options.retry.Run(&ep.clock(), options.robustness,
+                      [&] { fs.Rename(from, to); });
+  }
+
+  if (sidx == 0) {
+    // Group metadata, with the dead set recorded for offline tools.
+    if (req.op == IoOp::kWrite && !req.meta_file.empty() &&
+        !ep.timing_only()) {
+      CollectiveRequest meta_req = req;
+      if (!dead.empty()) {
+        meta_req.attributes[kDeadServersAttr] = EncodeDeadServersAttr(dead);
+      }
+      options.retry.Run(&ep.clock(), options.robustness,
+                        [&] { UpdateGroupMeta(fs, meta_req); });
+    }
+    // Completion: an empty failover notice to every client replaces the
+    // kTagServerDone + client-broadcast epilogue of the clean protocol.
+    for (int c = 0; c < world.num_clients; ++c) {
+      ep.Send(world.client_rank(c), kTagFailover,
+              MakeFailoverMessage(ep.rank(), {}));
+    }
+  }
+}
+
+}  // namespace
+
+void ServerExecute(Endpoint& ep, FileSystem& fs, const World& world,
+                   const Sp2Params& params, const CollectiveRequest& req,
+                   ServerOptions options, PlanCache* plan_cache) {
+  ServerExecuteImpl(ep, fs, world, params, req, options, plan_cache,
+                    /*dead_servers=*/{}, WorkPhase::kFull,
+                    /*staged_renames=*/nullptr);
+}
+
 void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
                 const Sp2Params& params, ServerOptions options) {
   world.Validate();
@@ -471,7 +673,21 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
       // imposes one global order on all servers.
       request_msg = ep.RecvAny(kTagCollectiveRequest);
     }
-    request_msg = Bcast(ep, servers, 0, std::move(request_msg));
+    if (options.failover) {
+      // Point-to-point request distribution to the *live* servers: the
+      // tree broadcast would wedge on a crash-stopped interior node.
+      if (sidx == 0) {
+        for (int s = 1; s < world.num_servers; ++s) {
+          if (!ep.peer_alive(world.server_rank(s))) continue;
+          Message copy = request_msg;
+          ep.Send(world.server_rank(s), kTagBcast, std::move(copy));
+        }
+      } else {
+        request_msg = ep.Recv(world.master_server_rank(), kTagBcast);
+      }
+    } else {
+      request_msg = Bcast(ep, servers, 0, std::move(request_msg));
+    }
     const CollectiveRequest req = CollectiveRequest::FromMessage(request_msg);
     if (req.op == IoOp::kShutdown) {
       PANDA_DEBUG("server %d: application at rank %d shut down", sidx,
@@ -505,15 +721,20 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
     const World app_world = world.WithClients(req.first_client,
                                               req.num_clients);
     try {
-      ServerExecute(ep, fs, app_world, params, req, options, &plan_cache);
+      if (options.failover) {
+        FailoverCollective(ep, fs, app_world, params, req, options,
+                           &plan_cache);
+      } else {
+        ServerExecute(ep, fs, app_world, params, req, options, &plan_cache);
 
-      // Completion: servers gather to the master server, which notifies
-      // the requesting application's master client. (Gather-only:
-      // servers need no release — they fall straight back into the next
-      // request broadcast.)
-      GatherSync(ep, servers);
-      if (sidx == 0) {
-        ep.Send(app_world.master_client_rank(), kTagServerDone, Message{});
+        // Completion: servers gather to the master server, which
+        // notifies the requesting application's master client.
+        // (Gather-only: servers need no release — they fall straight
+        // back into the next request broadcast.)
+        GatherSync(ep, servers);
+        if (sidx == 0) {
+          ep.Send(app_world.master_client_rank(), kTagServerDone, Message{});
+        }
       }
     } catch (const PandaAbortError& e) {
       // Another rank's abort notice interrupted one of our receives.

@@ -48,6 +48,20 @@ struct ServerOptions {
   // studies reason about. Requires real data (ignored in timing-only
   // runs); data files without a sidecar read back unverified.
   bool disk_checksums = false;
+  // Maintain a write-ahead chunk journal (`F.wal`, see panda/journal.h):
+  // one commit record per sub-chunk, appended after its data write and
+  // fsynced at chunk completion, so after a crash the journal names
+  // exactly the durable chunks. Opt-in for the same reason as
+  // disk_checksums; requires real data (ignored in timing-only runs).
+  bool journal = false;
+  // Crash-stop failover (docs/PROTOCOL.md "Failover and degraded
+  // mode"): the master server runs the linear gather/decision protocol
+  // instead of tree collectives, detects crash-stopped servers at the
+  // completion gather, and re-plans their chunks over the survivors
+  // (panda/failover.h). Requires failover-mode clients
+  // (PandaClient::set_failover). Opt-in: the linear protocol changes
+  // the message counts and timing of clean runs.
+  bool failover = false;
   // Robustness accounting sink (may be null: counting is skipped).
   RobustnessStats* robustness = nullptr;
 };

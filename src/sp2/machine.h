@@ -58,6 +58,26 @@ class Machine {
   // PandaClient::set_robustness; the report snapshots it.
   RobustnessStats& robustness() { return *robustness_; }
 
+  // --- Fault machinery forwarding (see msg/transport.h) ---
+
+  // Arms the seeded lossy decorator + reliable-delivery layer on the
+  // transport. Call before Run().
+  void SetLoss(const LossSpec& loss) { transport_->SetLoss(loss); }
+
+  // Configures the modeled heartbeat/lease failure detector.
+  void SetHeartbeat(const HeartbeatConfig& heartbeat) {
+    transport_->SetHeartbeat(heartbeat);
+  }
+
+  // Crash-stops i/o node `server_index` at its (n+1)-th further send:
+  // the Panda analogue of kill -9 on one i/o node mid-collective.
+  void KillServerAfterSends(int server_index, std::int64_t after_more_sends) {
+    transport_->ScheduleKill(server_rank(server_index), after_more_sends);
+  }
+
+  // Live view of the transport's fault counters.
+  TransportFaultStats& fault_stats() { return transport_->fault_stats(); }
+
   // Runs `client_main(endpoint, client_index)` on client ranks and
   // `server_main(endpoint, server_index)` on server ranks.
   void Run(const std::function<void(Endpoint&, int)>& client_main,

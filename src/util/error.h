@@ -8,6 +8,7 @@
 
 #include <stdexcept>
 #include <string>
+#include <vector>
 
 namespace panda {
 
@@ -46,6 +47,65 @@ class PandaAbortError : public PandaError {
  private:
   int origin_rank_;
   std::string reason_;
+};
+
+// A peer rank has been declared dead by the failure detector: a blocking
+// receive from that rank cannot ever complete. Derives PandaError so an
+// unhandled detection feeds the structured-abort backstop; the failover
+// layer catches it first and routes around the dead rank instead.
+class PeerDeadError : public PandaError {
+ public:
+  explicit PeerDeadError(int dead_rank)
+      : PandaError("peer rank " + std::to_string(dead_rank) +
+                   " declared dead (heartbeat lease expired)"),
+        dead_rank_(dead_rank) {}
+
+  int dead_rank() const { return dead_rank_; }
+
+ private:
+  int dead_rank_;
+};
+
+// The failover coordinator (master i/o server) has declared a set of
+// server ranks dead and is re-planning the collective over the
+// survivors. Raised on clients when a kTagFailover notice outranks their
+// ordinary matching (mirroring the abort promotion); the client's
+// execute loop catches it, acknowledges, and re-arms for degraded mode.
+// Deliberately NOT sticky: unlike an abort, the collective continues.
+class PandaFailoverError : public PandaError {
+ public:
+  PandaFailoverError(int origin_rank, std::vector<int> dead_ranks)
+      : PandaError("collective entering degraded mode (coordinator rank " +
+                   std::to_string(origin_rank) + ", " +
+                   std::to_string(dead_ranks.size()) + " dead server(s))"),
+        origin_rank_(origin_rank),
+        dead_ranks_(std::move(dead_ranks)) {}
+
+  int origin_rank() const { return origin_rank_; }
+  const std::vector<int>& dead_ranks() const { return dead_ranks_; }
+
+ private:
+  int origin_rank_;
+  std::vector<int> dead_ranks_;
+};
+
+// Thrown inside a rank's thread by the crash-stop injector
+// (ThreadTransport::ScheduleKill) to unwind that rank silently.
+// Deliberately NOT a PandaError: a crash-stopped process executes no
+// exception handlers, so none of the protocol's PandaError recovery
+// paths may observe it — it must fly straight through to the transport's
+// Run loop, which swallows it without poisoning anyone.
+class RankKilledError : public std::runtime_error {
+ public:
+  explicit RankKilledError(int rank)
+      : std::runtime_error("rank " + std::to_string(rank) +
+                           " crash-stopped by kill injector"),
+        rank_(rank) {}
+
+  int rank() const { return rank_; }
+
+ private:
+  int rank_;
 };
 
 namespace detail {

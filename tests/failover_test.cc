@@ -1,0 +1,330 @@
+// Crash-stop server failover: degraded-layout unit tests, then cluster
+// soaks — kill one i/o node mid-write (with and without a lossy wire)
+// and require the collective to complete on the survivors, read back
+// bit-exactly, restart from its checkpoint, and verify offline against
+// sidecars and journals under the recorded dead-server set.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "test_harness.h"
+
+namespace panda {
+namespace {
+
+using test::FillPattern;
+using test::VerifyPattern;
+
+ArrayMeta SmallMeta() {
+  ArrayMeta meta;
+  meta.name = "field";
+  meta.elem_size = 8;
+  meta.memory = Schema({32, 32}, Mesh(Shape{2, 2}), {BLOCK, BLOCK});
+  meta.disk = meta.memory;
+  return meta;
+}
+
+// ---------------------------------------------------------------------
+// DegradedLayout
+
+TEST(DegradedLayoutTest, EmptyDeadSetIsTheIdentityLayout) {
+  const IoPlan plan(SmallMeta(), 3, 256);
+  const DegradedLayout layout = DegradedLayout::Compute(plan, {});
+  EXPECT_FALSE(layout.degraded);
+  for (int s = 0; s < 3; ++s) {
+    EXPECT_TRUE(layout.alive[static_cast<size_t>(s)]);
+    EXPECT_EQ(layout.SegmentBytes(s), plan.SegmentBytes(s));
+    EXPECT_TRUE(layout.adopted[static_cast<size_t>(s)].empty());
+  }
+  for (size_t ci = 0; ci < plan.chunks().size(); ++ci) {
+    EXPECT_EQ(layout.owner[ci], plan.chunks()[ci].server);
+    EXPECT_EQ(layout.chunk_offset[ci], plan.chunks()[ci].file_offset);
+  }
+}
+
+TEST(DegradedLayoutTest, DeadChunksAppendPastSurvivorSegments) {
+  const IoPlan plan(SmallMeta(), 3, 256);
+  const DegradedLayout layout = DegradedLayout::Compute(plan, {1});
+  EXPECT_TRUE(layout.degraded);
+  EXPECT_FALSE(layout.alive[1]);
+  EXPECT_EQ(layout.SegmentBytes(1), 0);
+
+  std::int64_t adopted_total = 0;
+  for (size_t ci = 0; ci < plan.chunks().size(); ++ci) {
+    const ChunkPlan& cp = plan.chunks()[ci];
+    if (cp.server != 1) {
+      // Survivor chunks keep their owner and their file offset: data
+      // already on a survivor's disk stays where it is.
+      EXPECT_EQ(layout.owner[ci], cp.server);
+      EXPECT_EQ(layout.chunk_offset[ci], cp.file_offset);
+    } else {
+      // Dead-owned chunks move to a survivor, appended past its
+      // original segment.
+      const int adopter = layout.owner[ci];
+      EXPECT_NE(adopter, 1);
+      EXPECT_TRUE(layout.alive[static_cast<size_t>(adopter)]);
+      EXPECT_GE(layout.chunk_offset[ci], plan.SegmentBytes(adopter));
+      adopted_total += cp.bytes;
+    }
+  }
+  EXPECT_EQ(adopted_total, plan.SegmentBytes(1));
+  // No bytes are lost: survivor segments grew by exactly the dead
+  // server's segment.
+  std::int64_t grown = 0;
+  for (const int s : {0, 2}) grown += layout.SegmentBytes(s);
+  EXPECT_EQ(grown, plan.SegmentBytes(0) + plan.SegmentBytes(1) +
+                       plan.SegmentBytes(2));
+}
+
+TEST(DegradedLayoutTest, WorkListSplitsIntoOwnThenAdopted) {
+  const IoPlan plan(SmallMeta(), 3, 256);
+  const DegradedLayout layout = DegradedLayout::Compute(plan, {1});
+  for (const int s : {0, 2}) {
+    const auto full = BuildServerWork(plan, layout, s, WorkPhase::kFull);
+    const auto adopted =
+        BuildServerWork(plan, layout, s, WorkPhase::kAdoptedOnly);
+    ASSERT_LE(adopted.size(), full.size());
+    // The adopted slice is exactly the tail of the full list — record
+    // ordinals included, so sidecar/journal slots agree across phases.
+    const size_t own = full.size() - adopted.size();
+    for (size_t k = 0; k < adopted.size(); ++k) {
+      EXPECT_EQ(adopted[k].chunk_index, full[own + k].chunk_index);
+      EXPECT_EQ(adopted[k].sub_index, full[own + k].sub_index);
+      EXPECT_EQ(adopted[k].file_offset, full[own + k].file_offset);
+      EXPECT_EQ(adopted[k].record_ordinal, full[own + k].record_ordinal);
+    }
+    // Ordinals are dense 0..n-1 and offsets stay within the segment.
+    for (size_t k = 0; k < full.size(); ++k) {
+      EXPECT_EQ(full[k].record_ordinal, static_cast<std::int64_t>(k));
+      EXPECT_LT(full[k].file_offset, layout.SegmentBytes(s));
+    }
+    EXPECT_EQ(RecordsPerSegment(plan, layout, s),
+              static_cast<std::int64_t>(full.size()));
+  }
+  EXPECT_TRUE(BuildServerWork(plan, layout, 1, WorkPhase::kFull).empty());
+}
+
+TEST(DegradedLayoutTest, MasterServerDeathIsFatal) {
+  const IoPlan plan(SmallMeta(), 3, 256);
+  EXPECT_THROW((void)DegradedLayout::Compute(plan, {0}), PandaError);
+}
+
+TEST(DegradedLayoutTest, DeadServersAttrRoundTrips) {
+  EXPECT_EQ(EncodeDeadServersAttr({2, 1}), "1,2");
+  std::map<std::string, std::string> attrs;
+  EXPECT_TRUE(ParseDeadServersAttr(attrs).empty());
+  attrs[kDeadServersAttr] = "1,2";
+  EXPECT_EQ(ParseDeadServersAttr(attrs), (std::vector<int>{1, 2}));
+}
+
+// ---------------------------------------------------------------------
+// Cluster failover
+
+// Runs a failover-mode cluster: every client in failover mode, every
+// server with the failover/journal/checksum options on.
+void RunFailoverCluster(Machine& machine,
+                        const std::function<void(PandaClient&, int)>& app) {
+  const World world{machine.num_clients(), machine.num_servers()};
+  ServerOptions options;
+  options.failover = true;
+  options.disk_checksums = true;
+  options.journal = true;
+  options.robustness = &machine.robustness();
+  machine.Run(
+      [&](Endpoint& ep, int client_index) {
+        PandaClient client(ep, world, machine.params());
+        client.set_robustness(&machine.robustness());
+        client.set_failover(true);
+        app(client, client_index);
+        if (client_index == 0) client.Shutdown();
+      },
+      [&](Endpoint& ep, int server_index) {
+        ServerMain(ep, machine.server_fs(server_index), world,
+                   machine.params(), options);
+      });
+}
+
+Machine SmallMachine(int clients, int servers) {
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 256;
+  return Machine::Simulated(clients, servers, params, /*store_data=*/true,
+                            /*timing_only=*/false);
+}
+
+TEST(FailoverTest, CleanRunLeavesEveryFaultCounterZero) {
+  // Failover mode armed, nothing killed: the collective completes with
+  // no failovers, no adopted chunks, no transport faults — the
+  // machinery must be invisible until it is needed.
+  Machine machine = SmallMachine(4, 3);
+  machine.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+  ArrayLayout memory("m", {2, 2});
+  RunFailoverCluster(machine, [&](PandaClient& client, int idx) {
+    Array a("field", {32, 32}, 8, memory, {BLOCK, BLOCK}, memory,
+            {BLOCK, BLOCK});
+    a.BindClient(idx);
+    FillPattern(a, 5);
+    client.WriteArray(a);
+    std::memset(a.local_data().data(), 0, a.local_data().size());
+    client.ReadArray(a);
+    VerifyPattern(a, 5);
+  });
+  const RobustnessCounters counters = machine.robustness().Snapshot();
+  EXPECT_EQ(counters.failovers_completed, 0);
+  EXPECT_EQ(counters.chunks_adopted, 0);
+  EXPECT_EQ(counters.collectives_aborted, 0);
+  EXPECT_GT(counters.journal_records_written, 0);  // journaling was on
+  EXPECT_TRUE(machine.fault_stats().Snapshot().AllZero());
+}
+
+TEST(FailoverTest, KilledServerMidWriteFailsOverAndReadsBackExact) {
+  Machine machine = SmallMachine(4, 3);
+  machine.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+  // Server 1 crash-stops at its 4th send: mid-gather of its first chunk.
+  machine.KillServerAfterSends(/*server_index=*/1, /*after_more_sends=*/3);
+  ArrayLayout memory("m", {2, 2});
+  RunFailoverCluster(machine, [&](PandaClient& client, int idx) {
+    Array a("field", {32, 32}, 8, memory, {BLOCK, BLOCK}, memory,
+            {BLOCK, BLOCK});
+    a.BindClient(idx);
+    FillPattern(a, 77);
+    client.WriteArray(a);
+    // The dead set is now {1}; the degraded read must reassemble the
+    // full array from the two survivors, adopted chunks included.
+    std::memset(a.local_data().data(), 0, a.local_data().size());
+    client.ReadArray(a);
+    VerifyPattern(a, 77);
+  });
+
+  const RobustnessCounters counters = machine.robustness().Snapshot();
+  EXPECT_GE(counters.failovers_completed, 1);
+  EXPECT_GT(counters.chunks_adopted, 0);
+  EXPECT_EQ(counters.collectives_aborted, 0);
+  const TransportFaultCounters faults = machine.fault_stats().Snapshot();
+  EXPECT_EQ(faults.ranks_killed, 1);
+  EXPECT_GE(faults.peers_declared_dead, 1);
+
+  // Offline verification under the degraded layout: the survivors'
+  // sidecars and journals are complete and correct; server 1's stale
+  // file is skipped as lost.
+  FileSystem* fs[] = {&machine.server_fs(0), &machine.server_fs(1),
+                      &machine.server_fs(2)};
+  const ArrayMeta meta = SmallMeta();
+  std::string log;
+  const IntegrityReport crcs =
+      VerifyArrayChecksums(fs, meta, 256, Purpose::kGeneral, 1, "", &log,
+                           /*dead_servers=*/{1});
+  EXPECT_TRUE(crcs.Clean()) << log;
+  EXPECT_GT(crcs.subchunks_checked, 0);
+  log.clear();
+  const JournalReport wal =
+      VerifyArrayJournal(fs, meta, /*array_index=*/0, 256, Purpose::kGeneral,
+                         1, "", /*dead_servers=*/{1}, &log);
+  EXPECT_TRUE(wal.Clean()) << log;
+  EXPECT_GT(wal.records_checked, 0);
+}
+
+TEST(FailoverTest, SoakKillUnderLossyWireWithCheckpointRestart) {
+  // The issue's acceptance scenario: one of three i/o nodes is killed
+  // mid-write while the wire drops/duplicates/reorders messages. The
+  // timestep stream, the checkpoint and the restart must all complete
+  // on the survivors; every read must be bit-exact; offline sidecar and
+  // journal verification must pass under the recorded dead-server set.
+  Machine machine = SmallMachine(4, 3);
+  LossSpec loss;
+  loss.seed = 42;
+  loss.drop_prob = 0.05;
+  loss.dup_prob = 0.05;
+  loss.reorder_prob = 0.05;
+  machine.SetLoss(loss);
+  machine.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+  machine.KillServerAfterSends(/*server_index=*/2, /*after_more_sends=*/5);
+
+  ArrayLayout memory("m", {2, 2});
+  RunFailoverCluster(machine, [&](PandaClient& client, int idx) {
+    Array a("state", {32, 32}, 8, memory, {BLOCK, BLOCK}, memory,
+            {BLOCK, BLOCK});
+    a.BindClient(idx);
+    ArrayGroup group("soak", "soak.schema");
+    group.Include(&a);
+
+    FillPattern(a, 100);
+    group.Timestep(client);  // server 2 dies inside this collective
+    FillPattern(a, 101);
+    group.Timestep(client);  // degraded from the start
+    FillPattern(a, 500);
+    group.Checkpoint(client);
+    FillPattern(a, 999);  // scribble, then restore
+    group.Restart(client);
+    VerifyPattern(a, 500);
+    group.ReadTimestep(client, 0);
+    VerifyPattern(a, 100);
+    group.ReadTimestep(client, 1);
+    VerifyPattern(a, 101);
+  });
+
+  const RobustnessCounters counters = machine.robustness().Snapshot();
+  EXPECT_GE(counters.failovers_completed, 1);
+  EXPECT_GT(counters.chunks_adopted, 0);
+  EXPECT_EQ(counters.collectives_aborted, 0);
+  EXPECT_GT(counters.journal_records_written, 0);
+  const TransportFaultCounters faults = machine.fault_stats().Snapshot();
+  EXPECT_EQ(faults.ranks_killed, 1);
+  EXPECT_GT(faults.drops_injected, 0);
+  EXPECT_EQ(faults.retransmits, faults.drops_injected);
+
+  // The committed metadata records the dead set...
+  const GroupMeta meta = ReadGroupMeta(machine.server_fs(0), "soak.schema");
+  ASSERT_EQ(ParseDeadServersAttr(meta.attributes), (std::vector<int>{2}));
+
+  // ...and offline verification under it is clean: sidecars, journals,
+  // and the degraded file framing all agree.
+  FileSystem* fs[] = {&machine.server_fs(0), &machine.server_fs(1),
+                      &machine.server_fs(2)};
+  std::string log;
+  const IntegrityReport crcs = VerifyGroupChecksums(fs, meta, 256, &log);
+  EXPECT_TRUE(crcs.Clean()) << log;
+  EXPECT_GT(crcs.subchunks_checked, 0);
+  EXPECT_EQ(crcs.files_without_sidecar, 0);
+  log.clear();
+  const JournalReport wal = VerifyGroupJournal(fs, meta, 256, &log);
+  EXPECT_TRUE(wal.Clean()) << log;
+  EXPECT_GT(wal.records_checked, 0);
+  EXPECT_EQ(wal.files_without_journal, 0);
+}
+
+TEST(FailoverTest, SoakManySeedsKillAtVaryingPoints) {
+  // Sweep the kill point across the collective (different send budgets)
+  // and several loss seeds: every schedule must converge to the same
+  // bit-exact degraded result.
+  for (const std::int64_t kill_after : {1, 2, 4}) {
+    for (const std::uint64_t seed : {9ull, 10ull}) {
+      Machine machine = SmallMachine(2, 3);
+      LossSpec loss;
+      loss.seed = seed;
+      loss.drop_prob = 0.08;
+      loss.dup_prob = 0.04;
+      machine.SetLoss(loss);
+      machine.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+      machine.KillServerAfterSends(1, kill_after);
+      ArrayLayout memory("m", {2});
+      RunFailoverCluster(machine, [&](PandaClient& client, int idx) {
+        Array a("field", {16, 16}, 8, memory, {BLOCK, NONE}, memory,
+                {BLOCK, NONE});
+        a.BindClient(idx);
+        FillPattern(a, seed);
+        client.WriteArray(a);
+        std::memset(a.local_data().data(), 0, a.local_data().size());
+        client.ReadArray(a);
+        VerifyPattern(a, seed);
+      });
+      EXPECT_EQ(machine.fault_stats().Snapshot().ranks_killed, 1)
+          << "kill_after " << kill_after << " seed " << seed;
+      EXPECT_GE(machine.robustness().Snapshot().failovers_completed, 1)
+          << "kill_after " << kill_after << " seed " << seed;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace panda

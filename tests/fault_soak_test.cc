@@ -83,6 +83,60 @@ TEST(RetryPolicyTest, ExhaustedBudgetRethrowsAndCountsGiveup) {
   EXPECT_EQ(stats.io_giveups.load(), 1);
 }
 
+TEST(RetryPolicyTest, ZeroAttemptBudgetStillRunsTheOperationOnce) {
+  // "Zero attempts" must mean zero *retries*, never a silently skipped
+  // disk operation: the op runs exactly once and a failure counts as an
+  // immediate give-up with no backoff charged.
+  for (const int budget : {0, -5}) {
+    VirtualClock clock;
+    RobustnessStats stats;
+    RetryPolicy policy;
+    policy.max_attempts = budget;
+    int attempts = 0;
+    policy.Run(&clock, &stats, [&] { ++attempts; });
+    EXPECT_EQ(attempts, 1) << "budget " << budget;
+
+    attempts = 0;
+    EXPECT_THROW(policy.Run(&clock, &stats,
+                            [&] {
+                              ++attempts;
+                              throw TransientIoError("always");
+                            }),
+                 TransientIoError)
+        << "budget " << budget;
+    EXPECT_EQ(attempts, 1) << "budget " << budget;
+    EXPECT_EQ(stats.io_retries.load(), 0) << "budget " << budget;
+    EXPECT_EQ(stats.io_giveups.load(), 1) << "budget " << budget;
+    EXPECT_DOUBLE_EQ(clock.Now(), 0.0) << "budget " << budget;
+  }
+}
+
+TEST(RetryPolicyTest, BackoffSaturatesAtTheCap) {
+  // With a large budget the exponential backoff must clamp at
+  // max_backoff_s instead of doubling without bound (or overflowing).
+  VirtualClock clock;
+  RobustnessStats stats;
+  RetryPolicy policy;
+  policy.max_attempts = 12;
+  policy.backoff_s = 1.0e-3;
+  policy.backoff_multiplier = 2.0;
+  policy.max_backoff_s = 4.0e-3;  // caps after two doublings
+  EXPECT_THROW(policy.Run(&clock, &stats,
+                          [&] { throw TransientIoError("always"); }),
+               TransientIoError);
+  EXPECT_EQ(stats.io_retries.load(), 11);
+  // 1ms + 2ms + 4ms + 8 more waits clamped at 4ms.
+  EXPECT_DOUBLE_EQ(clock.Now(), 1.0e-3 + 2.0e-3 + 9 * 4.0e-3);
+  // The same schedule with the cap disabled grows without clamping.
+  VirtualClock unclamped;
+  RetryPolicy free_policy = policy;
+  free_policy.max_backoff_s = 0.0;  // 0 disables the cap
+  EXPECT_THROW(free_policy.Run(&unclamped, nullptr,
+                               [&] { throw TransientIoError("always"); }),
+               TransientIoError);
+  EXPECT_GT(unclamped.Now(), clock.Now());
+}
+
 TEST(RetryPolicyTest, PermanentErrorsAreNotRetried) {
   VirtualClock clock;
   RobustnessStats stats;

@@ -204,6 +204,105 @@ TEST(ReportTest, RobustnessCountersSurfaceInjectedFaults) {
   EXPECT_NE(report.ToString().find("robustness"), std::string::npos);
 }
 
+TEST(ReportTest, TransportFaultCountersZeroAndSilentOnCleanRun) {
+  // With the lossy layer and the kill injector disarmed, the transport
+  // fault counters must all be zero and the transport-faults line must
+  // stay out of the report — the acceptance bar for clean runs.
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 512;
+  Machine machine = Machine::Simulated(4, 2, params, true, false);
+  ArrayMeta meta;
+  meta.name = "clean";
+  meta.elem_size = 8;
+  meta.memory = Schema({16, 16}, Mesh(Shape{2, 2}), {BLOCK, BLOCK});
+  meta.disk = meta.memory;
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+    a.BindClient(idx);
+    FillPattern(a, 9);
+    client.WriteArray(a);
+  });
+  const MachineReport report = Snapshot(machine);
+  EXPECT_TRUE(report.transport.AllZero());
+  EXPECT_EQ(report.ToString().find("transport faults"), std::string::npos);
+  EXPECT_EQ(report.ToString().find("failover"), std::string::npos);
+}
+
+TEST(ReportTest, TransportFaultCountersSurfaceInjectedLoss) {
+  // The same workload under a seeded lossy wire still completes, and
+  // the report now carries the injected-fault accounting, with the
+  // recovery invariants visible: retransmits == drops, suppressed
+  // duplicates == injected duplicates.
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 512;
+  Machine machine = Machine::Simulated(4, 2, params, true, false);
+  LossSpec loss;
+  loss.seed = 11;
+  loss.drop_prob = 0.08;
+  loss.dup_prob = 0.08;
+  machine.SetLoss(loss);
+  ArrayMeta meta;
+  meta.name = "weather";
+  meta.elem_size = 8;
+  meta.memory = Schema({16, 16}, Mesh(Shape{2, 2}), {BLOCK, BLOCK});
+  meta.disk = meta.memory;
+  RunCluster(machine, [&](PandaClient& client, int idx) {
+    Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+    a.BindClient(idx);
+    FillPattern(a, 9);
+    client.WriteArray(a);
+    client.ReadArray(a);
+  });
+  const MachineReport report = Snapshot(machine);
+  EXPECT_FALSE(report.transport.AllZero());
+  EXPECT_GT(report.transport.drops_injected + report.transport.dups_injected,
+            0);
+  EXPECT_EQ(report.transport.retransmits, report.transport.drops_injected);
+  EXPECT_EQ(report.transport.dups_suppressed, report.transport.dups_injected);
+  EXPECT_NE(report.ToString().find("transport faults"), std::string::npos);
+  // Logical message accounting is fault-blind: the protocol above the
+  // reliable layer saw exactly-once delivery.
+  EXPECT_EQ(report.messages.messages_sent, report.messages.messages_received);
+}
+
+TEST(ReportTest, FailoverCountersSurfaceInTheReport) {
+  // A completed failover shows up as its own report line: failovers,
+  // adopted chunks, journal records.
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 256;
+  Machine machine = Machine::Simulated(4, 3, params, true, false);
+  const World world{4, 3};
+  machine.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+  machine.KillServerAfterSends(1, 2);
+  ServerOptions options;
+  options.failover = true;
+  options.journal = true;
+  options.robustness = &machine.robustness();
+  ArrayLayout memory("m", {2, 2});
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        PandaClient client(ep, world, params);
+        client.set_robustness(&machine.robustness());
+        client.set_failover(true);
+        Array a("field", {32, 32}, 8, memory, {BLOCK, BLOCK}, memory,
+                {BLOCK, BLOCK});
+        a.BindClient(idx);
+        FillPattern(a, 21);
+        client.WriteArray(a);
+        if (idx == 0) client.Shutdown();
+      },
+      [&](Endpoint& ep, int sidx) {
+        ServerMain(ep, machine.server_fs(sidx), world, params, options);
+      });
+  const MachineReport report = Snapshot(machine);
+  EXPECT_GE(report.robustness.failovers_completed, 1);
+  EXPECT_GT(report.robustness.chunks_adopted, 0);
+  EXPECT_GT(report.robustness.journal_records_written, 0);
+  EXPECT_EQ(report.transport.ranks_killed, 1);
+  EXPECT_NE(report.ToString().find("failover:"), std::string::npos);
+  EXPECT_NE(report.ToString().find("ranks killed"), std::string::npos);
+}
+
 TEST(ReportTest, SequentialityOfServerDirectedWrites) {
   // The headline mechanism: a server-directed write produces exactly
   // one seek per (server, file) — everything else is sequential.

@@ -1,9 +1,18 @@
 #!/bin/sh
-# Tier-1 CI: builds and runs the full test suite twice — once plain,
-# once under AddressSanitizer + UBSan (the PANDA_SANITIZE cache option).
-# The sanitizer pass is what catches the bugs the fault-injection tests
-# provoke on purpose: use-after-free across abort unwinding, races on
-# the robustness counters, buffer arithmetic in the checksum paths.
+# Tier-1 CI: builds and runs the full test suite three times — plain,
+# under AddressSanitizer + UBSan, and under ThreadSanitizer (the
+# PANDA_SANITIZE cache option). The ASan pass catches what the
+# fault-injection tests provoke on purpose: use-after-free across abort
+# unwinding, buffer arithmetic in the checksum paths. The TSan pass
+# polices the transport's fault machinery — the lossy/reliable layer,
+# the kill injector and the failover protocol all touch cross-thread
+# state that a data race would corrupt silently.
+#
+# Every test carries a ctest TIMEOUT (PANDA_TEST_TIMEOUT, default 120 s;
+# raised for the ~10x-slower sanitizer builds), so a protocol bug that
+# shows up as a hang — a rank blocked on a message that will never
+# arrive — fails the suite instead of wedging CI. An explicit
+# `ctest --timeout` backstop covers tests added without the property.
 #
 #   tools/ci.sh [--skip-sanitizers]
 set -eu
@@ -15,18 +24,21 @@ JOBS="$(nproc 2>/dev/null || echo 4)"
 
 run_suite() {
   build_dir="$1"
-  shift
-  cmake -B "$build_dir" -S . "$@"
+  timeout_s="$2"
+  shift 2
+  cmake -B "$build_dir" -S . "-DPANDA_TEST_TIMEOUT=$timeout_s" "$@"
   cmake --build "$build_dir" -j "$JOBS"
-  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"
+  ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"         --timeout "$timeout_s"
 }
 
 echo "== plain build + tests"
-run_suite build-ci
+run_suite build-ci 120
 
 if [ -z "$SKIP_SAN" ]; then
   echo "== asan/ubsan build + tests"
-  run_suite build-ci-asan "-DPANDA_SANITIZE=address;undefined"
+  run_suite build-ci-asan 600 "-DPANDA_SANITIZE=address;undefined"
+  echo "== tsan build + tests"
+  run_suite build-ci-tsan 600 "-DPANDA_SANITIZE=thread"
 fi
 
 echo "CI OK"
