@@ -4,6 +4,7 @@
 #include <cstdio>
 #include <numeric>
 
+#include "trace/export.h"
 #include "util/units.h"
 
 namespace panda {
@@ -39,11 +40,12 @@ double NormalizationPeakBps(const MeasureSpec& spec) {
                                 : aix.WriteThroughput(1 * kMiB);
 }
 
-MeasureResult MeasureCollective(const MeasureSpec& spec,
-                                const ArrayMeta& meta) {
+MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
+                                std::string* trace_json) {
   Machine machine = Machine::Simulated(spec.num_clients, spec.io_nodes,
                                        spec.params, /*store_data=*/false,
                                        /*timing_only=*/true);
+  if (spec.trace) machine.EnableTrace();
   const World world{spec.num_clients, spec.io_nodes};
 
   // One elapsed value per (rep, client); slots are disjoint per thread.
@@ -75,16 +77,14 @@ MeasureResult MeasureCollective(const MeasureSpec& spec,
       });
 
   // The paper's metric: elapsed = max over compute nodes, averaged over
-  // the repetitions.
+  // the repetitions. The max-over-ranks reduction is shared with the
+  // machine report (panda/report.h), so table and report cannot
+  // disagree about what "elapsed" means.
   double sum = 0.0;
   for (int rep = 0; rep < spec.reps; ++rep) {
-    double rep_max = 0.0;
-    for (int c = 0; c < spec.num_clients; ++c) {
-      rep_max = std::max(
-          rep_max,
-          elapsed[static_cast<size_t>(rep * spec.num_clients + c)]);
-    }
-    sum += rep_max;
+    sum += MaxOverRanks(std::span<const double>(
+        elapsed.data() + static_cast<size_t>(rep * spec.num_clients),
+        static_cast<size_t>(spec.num_clients)));
   }
 
   MeasureResult result;
@@ -93,10 +93,79 @@ MeasureResult MeasureCollective(const MeasureSpec& spec,
   result.aggregate_Bps = static_cast<double>(bytes) / result.elapsed_s;
   result.per_ion_Bps = result.aggregate_Bps / spec.io_nodes;
   result.normalized = result.per_ion_Bps / NormalizationPeakBps(spec);
+  if (const trace::Collector* collector = machine.trace_collector()) {
+    result.spans = collector->AggregateByKind();
+    if (trace_json != nullptr) *trace_json = MachineTraceJson(machine);
+  }
   return result;
 }
 
+namespace {
+
+// {"<kind>":{"count":N,"total_s":S,"total_arg":A},...} for kinds with a
+// non-zero count.
+std::string SpansJson(
+    const std::array<trace::SpanAggregate, trace::kNumSpanKinds>& spans) {
+  std::string out = "{";
+  bool first = true;
+  for (size_t k = 0; k < trace::kNumSpanKinds; ++k) {
+    const trace::SpanAggregate& a = spans[k];
+    if (a.count == 0) continue;
+    if (!first) out += ",";
+    first = false;
+    out += "\"";
+    out += trace::SpanKindName(static_cast<trace::SpanKind>(k));
+    out += "\":{\"count\":" + std::to_string(a.count);
+    out += ",\"total_s\":" + trace::JsonDouble(a.total_s);
+    out += ",\"total_arg\":" + std::to_string(a.total_arg) + "}";
+  }
+  out += "}";
+  return out;
+}
+
+}  // namespace
+
+std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
+                      std::span<const FigureRow> rows) {
+  std::string out = "{";
+  out += "\"schema_version\":1,";
+  out += "\"kind\":\"panda_bench\",";
+  out += "\"bench\":\"" + trace::JsonEscape(spec.id) + "\",";
+  out += "\"description\":\"" + trace::JsonEscape(spec.description) + "\",";
+  out += std::string("\"op\":\"") +
+         (spec.op == IoOp::kRead ? "read" : "write") + "\",";
+  out += std::string("\"quick\":") + (quick ? "true" : "false") + ",";
+  out += "\"reps\":" + std::to_string(reps) + ",";
+  out += "\"rows\":[";
+  std::array<trace::SpanAggregate, trace::kNumSpanKinds> total{};
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const FigureRow& row = rows[i];
+    if (i != 0) out += ",";
+    out += "{\"io_nodes\":" + std::to_string(row.io_nodes);
+    out += ",\"size_mb\":" + std::to_string(row.size_mb);
+    out += ",\"elapsed_s\":" + trace::JsonDouble(row.result.elapsed_s);
+    out += ",\"aggregate_Bps\":" + trace::JsonDouble(row.result.aggregate_Bps);
+    out += ",\"per_ion_Bps\":" + trace::JsonDouble(row.result.per_ion_Bps);
+    out += ",\"normalized\":" + trace::JsonDouble(row.result.normalized);
+    out += ",\"spans\":" + SpansJson(row.result.spans);
+    out += "}";
+    for (size_t k = 0; k < trace::kNumSpanKinds; ++k) {
+      total[k].count += row.result.spans[k].count;
+      total[k].total_s += row.result.spans[k].total_s;
+      total[k].total_arg += row.result.spans[k].total_arg;
+    }
+  }
+  out += "],";
+  out += "\"spans\":" + SpansJson(total);
+  out += "}";
+  return out;
+}
+
 void RunFigure(const FigureSpec& spec, bool quick) {
+  RunFigure(spec, quick, FigureOutput{});
+}
+
+void RunFigure(const FigureSpec& spec, bool quick, const FigureOutput& out) {
   std::vector<std::int64_t> sizes = spec.sizes_mb;
   std::vector<int> ions = spec.io_nodes;
   int reps = spec.reps;
@@ -104,6 +173,9 @@ void RunFigure(const FigureSpec& spec, bool quick) {
     sizes = {sizes.front(), sizes.back()};
     reps = 1;
   }
+  const bool want_outputs = !out.json_path.empty() || !out.trace_path.empty();
+  std::vector<FigureRow> rows;
+  std::string trace_json;
 
   std::printf("# %s: %s\n", spec.id.c_str(), spec.description.c_str());
   std::printf("# %d compute nodes (%s mesh), %s, %s disk, op=%s\n",
@@ -124,16 +196,34 @@ void RunFigure(const FigureSpec& spec, bool quick) {
       ms.io_nodes = ion;
       ms.reps = reps;
       ms.fast_disk = spec.fast_disk;
+      ms.trace = want_outputs;
       const ArrayMeta meta =
           PaperArrayMeta(mb, spec.cn_mesh, spec.traditional, ion);
-      const MeasureResult r = MeasureCollective(ms, meta);
+      // The exported trace is the last sweep point's (one Run per point;
+      // a whole sweep in one file would stack unrelated timelines).
+      const bool last_point = ion == ions.back() && mb == sizes.back();
+      const MeasureResult r = MeasureCollective(
+          ms, meta,
+          !out.trace_path.empty() && last_point ? &trace_json : nullptr);
       std::printf("%-9d %-8lld %-12.4f %-14s %-14s %-10.3f\n", ion,
                   static_cast<long long>(mb), r.elapsed_s,
                   FormatThroughput(r.aggregate_Bps).c_str(),
                   FormatThroughput(r.per_ion_Bps).c_str(), r.normalized);
+      if (want_outputs) rows.push_back(FigureRow{ion, mb, r});
     }
   }
   std::printf("\n");
+  if (!out.json_path.empty()) {
+    const std::string json = BenchJson(spec, quick, reps, rows);
+    PANDA_REQUIRE(trace::WriteTextFile(out.json_path, json),
+                  "cannot write bench json '%s'", out.json_path.c_str());
+    std::printf("# wrote %s\n", out.json_path.c_str());
+  }
+  if (!out.trace_path.empty()) {
+    PANDA_REQUIRE(trace::WriteTextFile(out.trace_path, trace_json),
+                  "cannot write trace '%s'", out.trace_path.c_str());
+    std::printf("# wrote %s\n", out.trace_path.c_str());
+  }
 }
 
 int FigureMain(int argc, char** argv, FigureSpec spec) {
@@ -141,9 +231,12 @@ int FigureMain(int argc, char** argv, FigureSpec spec) {
     Options opts(argc, argv);
     const bool quick = opts.GetBool("quick", false);
     const std::int64_t reps = opts.GetInt("reps", spec.reps);
+    FigureOutput out;
+    out.json_path = opts.GetString("json_out", "");
+    out.trace_path = opts.GetString("trace_out", "");
     opts.CheckAllConsumed();
     spec.reps = static_cast<int>(reps);
-    RunFigure(spec, quick);
+    RunFigure(spec, quick, out);
     return 0;
   } catch (const std::exception& e) {
     std::fprintf(stderr, "error: %s\n", e.what());

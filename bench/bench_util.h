@@ -8,11 +8,15 @@
 // device peak, exactly as the paper computes it).
 #pragma once
 
+#include <array>
 #include <functional>
+#include <span>
 #include <string>
 #include <vector>
 
 #include "panda/panda.h"
+#include "panda/report.h"
+#include "trace/trace.h"
 #include "util/options.h"
 
 namespace panda {
@@ -33,6 +37,9 @@ struct MeasureResult {
   double aggregate_Bps = 0.0;
   double per_ion_Bps = 0.0;
   double normalized = 0.0;    // per-ion / peak (AIX or MPI)
+  // Per-kind span aggregates over the whole measured run (warm-up
+  // included), all ranks summed. All-zero unless MeasureSpec::trace.
+  std::array<trace::SpanAggregate, trace::kNumSpanKinds> spans{};
 };
 
 struct MeasureSpec {
@@ -42,13 +49,16 @@ struct MeasureSpec {
   int io_nodes = 2;
   int reps = 5;
   bool fast_disk = false;   // normalize against MPI peak instead of AIX
+  bool trace = false;       // arm span tracing (fills MeasureResult::spans)
   ServerOptions server_options;
 };
 
 // Runs `reps` timed collectives of `meta` (plus one untimed warm-up
-// write so reads have files) and returns the summary.
-MeasureResult MeasureCollective(const MeasureSpec& spec,
-                                const ArrayMeta& meta);
+// write so reads have files) and returns the summary. When `trace_json`
+// is non-null and spec.trace is set, it receives the run's Chrome
+// trace_event JSON (Perfetto-loadable).
+MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
+                                std::string* trace_json = nullptr);
 
 // The peak the paper normalizes against for this spec: measured AIX
 // read/write peak for disk-bound runs, the 34 MB/s MPI peak for
@@ -70,11 +80,37 @@ struct FigureSpec {
   int reps = 5;
 };
 
-// Runs the sweep and prints the figure's table. `quick` trims the sweep
-// (smallest/largest sizes only) for fast smoke runs.
-void RunFigure(const FigureSpec& spec, bool quick);
+// Machine-readable outputs of a figure run (empty paths = skip).
+struct FigureOutput {
+  std::string json_path;   // stable BENCH_*.json (schema below)
+  std::string trace_path;  // Chrome trace JSON of the last sweep point
+};
 
-// Parses common bench options (--quick, --reps=N) and runs the figure.
+// One sweep point of a figure.
+struct FigureRow {
+  int io_nodes = 0;
+  std::int64_t size_mb = 0;
+  MeasureResult result;
+};
+
+// The stable machine-readable bench schema (schema_version 1): a single
+// JSON object {schema_version, kind:"panda_bench", bench, description,
+// op, quick, reps, rows:[{io_nodes, size_mb, elapsed_s, aggregate_Bps,
+// per_ion_Bps, normalized, spans:{...}}], spans:{...}}. Doubles are
+// %.17g, so values round-trip exactly (tests/bench_json_test.cc
+// re-derives throughput from elapsed to 1e-9).
+std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
+                      std::span<const FigureRow> rows);
+
+// Runs the sweep and prints the figure's table. `quick` trims the sweep
+// (smallest/largest sizes only) for fast smoke runs. The three-argument
+// form also writes the machine-readable outputs (tracing is armed
+// whenever either path is set).
+void RunFigure(const FigureSpec& spec, bool quick);
+void RunFigure(const FigureSpec& spec, bool quick, const FigureOutput& out);
+
+// Parses common bench options (--quick, --reps=N, --json_out=FILE,
+// --trace_out=FILE) and runs the figure.
 int FigureMain(int argc, char** argv, FigureSpec spec);
 
 }  // namespace bench

@@ -24,6 +24,7 @@
 #include <cstring>
 
 #include "panda/panda.h"
+#include "trace/export.h"
 #include "util/options.h"
 
 using namespace panda;
@@ -74,6 +75,10 @@ std::int64_t Mismatches(Array& array, double salt) {
 int Run(int argc, char** argv) {
   Options opts(argc, argv);
   const std::string dir = opts.GetString("dir", "panda_failover_data");
+  // Observability outputs (docs/OBSERVABILITY.md): Chrome trace_event
+  // JSON and merged metrics JSON of the whole faulty run.
+  const std::string trace_out = opts.GetString("trace_out", "");
+  const std::string metrics_out = opts.GetString("metrics_out", "");
   opts.CheckAllConsumed();
 
   const int kClients = 4;
@@ -101,6 +106,8 @@ int Run(int argc, char** argv) {
   // The fault: i/o node 1 crash-stops at its 4th send after arming —
   // mid-gather of its first chunk of timestep 0.
   machine.KillServerAfterSends(/*server_index=*/1, /*after_more_sends=*/3);
+
+  if (!trace_out.empty() || !metrics_out.empty()) machine.EnableTrace();
 
   ServerOptions options;
   options.failover = true;        // degraded-mode re-planning armed
@@ -144,6 +151,17 @@ int Run(int argc, char** argv) {
       });
 
   const MachineReport report = Snapshot(machine);
+  if (!trace_out.empty()) {
+    PANDA_REQUIRE(trace::WriteTextFile(trace_out, MachineTraceJson(machine)),
+                  "cannot write trace '%s'", trace_out.c_str());
+    std::printf("# wrote %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    PANDA_REQUIRE(
+        trace::WriteTextFile(metrics_out, trace::MetricsJson(report.metrics)),
+        "cannot write metrics '%s'", metrics_out.c_str());
+    std::printf("# wrote %s\n", metrics_out.c_str());
+  }
   const GroupMeta meta = ReadGroupMeta(machine.server_fs(0), "demo.schema");
   const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
   std::string dead_csv;

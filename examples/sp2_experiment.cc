@@ -6,10 +6,15 @@
 // the analytic cost model's prediction (the paper's announced future
 // work, implemented in src/panda/cost_model.*).
 //
-//   ./examples/sp2_experiment
+//   ./examples/sp2_experiment [--trace_out=FILE] [--metrics_out=FILE]
+//
+// --trace_out writes a Chrome trace_event JSON (Perfetto-loadable) of
+// the largest configuration; --metrics_out writes that run's merged
+// metrics registry as JSON (docs/OBSERVABILITY.md).
 #include <cstdio>
 
 #include "panda/panda.h"
+#include "trace/export.h"
 #include "util/options.h"
 #include "util/units.h"
 
@@ -18,10 +23,13 @@ using namespace panda;
 namespace {
 
 double MeasureWrite(const ArrayMeta& meta, const World& world,
-                    const Sp2Params& params) {
+                    const Sp2Params& params,
+                    const std::string& trace_out = "",
+                    const std::string& metrics_out = "") {
   Machine machine = Machine::Simulated(world.num_clients, world.num_servers,
                                        params, /*store_data=*/false,
                                        /*timing_only=*/true);
+  if (!trace_out.empty() || !metrics_out.empty()) machine.EnableTrace();
   double elapsed = 0.0;
   machine.Run(
       [&](Endpoint& ep, int idx) {
@@ -37,12 +45,28 @@ double MeasureWrite(const ArrayMeta& meta, const World& world,
       [&](Endpoint& ep, int sidx) {
         ServerMain(ep, machine.server_fs(sidx), world, params);
       });
+  if (!trace_out.empty()) {
+    PANDA_REQUIRE(trace::WriteTextFile(trace_out, MachineTraceJson(machine)),
+                  "cannot write trace '%s'", trace_out.c_str());
+    std::printf("# wrote %s\n", trace_out.c_str());
+  }
+  if (!metrics_out.empty()) {
+    const MachineReport report = Snapshot(machine);
+    PANDA_REQUIRE(
+        trace::WriteTextFile(metrics_out, trace::MetricsJson(report.metrics)),
+        "cannot write metrics '%s'", metrics_out.c_str());
+    std::printf("# wrote %s\n", metrics_out.c_str());
+  }
   return elapsed;
 }
 
 }  // namespace
 
-namespace { int Run(int, char**) {
+namespace { int Run(int argc, char** argv) {
+  Options opts(argc, argv);
+  const std::string trace_out = opts.GetString("trace_out", "");
+  const std::string metrics_out = opts.GetString("metrics_out", "");
+  opts.CheckAllConsumed();
   std::printf("# Simulated NAS SP2: measured vs cost-model-predicted write "
               "times\n");
   std::printf("%-8s %-10s %-14s %-12s %-12s %-8s\n", "size_mb", "io_nodes",
@@ -63,7 +87,11 @@ namespace { int Run(int, char**) {
                                  {BLOCK, NONE, NONE})
                         : meta.memory;
         const World world{8, ion};
-        const double measured = MeasureWrite(meta, world, params);
+        // Observability outputs cover the final (largest) configuration.
+        const bool last = mb == 64 && ion == 4 && traditional;
+        const double measured =
+            MeasureWrite(meta, world, params, last ? trace_out : "",
+                         last ? metrics_out : "");
         const CostEstimate predicted =
             PredictArrayIo(meta, IoOp::kWrite, world, params);
         std::printf("%-8lld %-10d %-14s %-12.3f %-12.3f %+.1f%%\n",

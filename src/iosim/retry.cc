@@ -1,5 +1,7 @@
 #include "iosim/retry.h"
 
+#include "trace/trace.h"
+
 namespace panda {
 
 void RetryPolicy::Run(VirtualClock* clock, RobustnessStats* stats,
@@ -18,7 +20,12 @@ void RetryPolicy::Run(VirtualClock* clock, RobustnessStats* stats,
         throw;
       }
       if (stats != nullptr) stats->io_retries.fetch_add(1);
-      if (clock != nullptr && backoff > 0.0) clock->Advance(backoff);
+      if (clock != nullptr && backoff > 0.0) {
+        const double begin = clock->Now();
+        clock->Advance(backoff);
+        trace::RecordSpan(trace::SpanKind::kRetryBackoff, begin, clock->Now(),
+                          attempt);
+      }
       // Saturating growth: never overflows, never exceeds the cap.
       backoff *= backoff_multiplier;
       if (max_backoff_s > 0.0 && backoff > max_backoff_s) {

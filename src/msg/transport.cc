@@ -91,6 +91,14 @@ void ThreadTransport::SetHeartbeat(const HeartbeatConfig& heartbeat) {
   heartbeat_ = heartbeat;
 }
 
+void ThreadTransport::SetTrace(const trace::TraceOptions& options) {
+  if (options.enabled) {
+    trace_ = std::make_unique<trace::Collector>(world_size(), options);
+  } else {
+    trace_.reset();
+  }
+}
+
 void ThreadTransport::ScheduleKill(int rank, std::int64_t after_more_sends) {
   PANDA_CHECK(rank >= 0 && rank < world_size());
   PANDA_CHECK(after_more_sends >= 0);
@@ -272,6 +280,8 @@ void ThreadTransport::Rescue(int dst) {
       // stays deterministic: retransmits == drops, exactly.
       again.depart_time += loss_.rto_s;
       fault_stats_.retransmits.fetch_add(1);
+      trace::RecordInstant(trace::SpanKind::kTransportRetransmit,
+                           again.WireBytes());
       SequenceLocked(dst, std::move(again));
     }
   }
@@ -290,9 +300,12 @@ void ThreadTransport::DoSend(Endpoint& from, int dst, int tag, Message msg) {
   const std::int64_t wire_bytes = msg.WireBytes();
   // LogGP accounting, sender side: software overhead, then the sender's
   // outbound link is occupied for the message's wire time.
+  const double send_begin = from.clock_.Now();
   from.clock_.Advance(config_.net.per_message_overhead_s);
   msg.depart_time = from.clock_.Now();
   from.clock_.Advance(config_.net.TransferSeconds(wire_bytes));
+  trace::RecordSpan(trace::SpanKind::kTransportSend, send_begin,
+                    from.clock_.Now(), wire_bytes);
 
   from.stats_.messages_sent += 1;
   from.stats_.bytes_sent += wire_bytes;
@@ -318,13 +331,28 @@ void ThreadTransport::AccountRecv(Endpoint& self, const Message& msg) {
   self.clock_.SyncTo(IngestTime(self, msg));
 }
 
+void ThreadTransport::ObserveMailboxDepth(Endpoint& self) {
+  // Depth as seen by the completed receive: messages still queued plus
+  // the one just consumed. Guarded by Active() so the untraced path
+  // never touches the mailbox lock a second time.
+  if (!trace::Active()) return;
+  trace::ObserveMetric(
+      trace::MetricId::kMailboxDepth,
+      static_cast<double>(
+          1 + mailboxes_[static_cast<size_t>(self.rank())]->QueuedCount()));
+}
+
 Message ThreadTransport::DoRecv(Endpoint& self, int src, int tag) {
   PANDA_CHECK_MSG(src >= 0 && src < world_size(), "recv from bad rank %d", src);
+  const double recv_begin = self.clock_.Now();
   try {
     Message msg =
         mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceive(src,
                                                                       tag);
+    ObserveMailboxDepth(self);
     AccountRecv(self, msg);
+    trace::RecordSpan(trace::SpanKind::kTransportRecv, recv_begin,
+                      self.clock_.Now(), msg.WireBytes());
     return msg;
   } catch (const PeerDeadError&) {
     // Lease-based detection: this rank is deemed to have heartbeat-
@@ -338,9 +366,13 @@ Message ThreadTransport::DoRecv(Endpoint& self, int src, int tag) {
 }
 
 Message ThreadTransport::DoRecvAny(Endpoint& self, int tag) {
+  const double recv_begin = self.clock_.Now();
   Message msg =
       mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceiveAny(tag);
+  ObserveMailboxDepth(self);
   AccountRecv(self, msg);
+  trace::RecordSpan(trace::SpanKind::kTransportRecv, recv_begin,
+                    self.clock_.Now(), msg.WireBytes());
   return msg;
 }
 
@@ -355,10 +387,17 @@ std::optional<Message> ThreadTransport::DoTryRecv(Endpoint& self, int src,
     msg = mb.ReceiveWithin(src, tag, std::chrono::milliseconds(0));
   }
   if (msg) {
+    const double recv_begin = self.clock_.Now();
+    ObserveMailboxDepth(self);
     AccountRecv(self, *msg);
+    trace::RecordSpan(trace::SpanKind::kTransportRecv, recv_begin,
+                      self.clock_.Now(), msg->WireBytes());
     return msg;
   }
+  const double wait_begin = self.clock_.Now();
   self.clock_.Advance(timeout_vs);
+  trace::RecordSpan(trace::SpanKind::kTransportRecv, wait_begin,
+                    self.clock_.Now(), 0);
   return std::nullopt;
 }
 
@@ -379,6 +418,12 @@ Endpoint::Delivery ThreadTransport::DoRecvAnyDelivery(Endpoint& self,
                  config_.net.per_message_overhead_s;
   self.stats_.messages_received += 1;
   self.stats_.bytes_received += d.msg.WireBytes();
+  ObserveMailboxDepth(self);
+  // Responder receives never drag this rank's clock, so the span is
+  // stamped with the message's own wire occupancy window instead.
+  trace::RecordSpan(trace::SpanKind::kTransportRecv,
+                    d.msg.depart_time + config_.net.latency_s, d.ready_time,
+                    d.msg.WireBytes());
   return d;
 }
 
@@ -407,6 +452,9 @@ void ThreadTransport::DoSendResponse(Endpoint& from, double ready_time,
   // Keep the clock abreast of responder work so client elapsed times
   // include it.
   from.clock_.SyncTo(depart + config_.net.TransferSeconds(wire_bytes));
+  trace::RecordSpan(trace::SpanKind::kTransportSend, ready_time,
+                    depart + config_.net.TransferSeconds(wire_bytes),
+                    wire_bytes);
 
   from.stats_.messages_sent += 1;
   from.stats_.bytes_sent += wire_bytes;
@@ -426,6 +474,12 @@ void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
     if (!alive(ep->rank())) continue;
     Endpoint* endpoint = ep.get();
     threads.emplace_back([&, endpoint] {
+      // Arm this rank thread's trace context for the duration of its
+      // main. With tracing disarmed the context stays null and every
+      // instrumentation site is a no-op.
+      trace::ScopedRankContext trace_ctx(
+          trace_ ? &trace_->recorder(endpoint->rank()) : nullptr,
+          &endpoint->clock());
       try {
         rank_main(*endpoint);
       } catch (const RankKilledError&) {
@@ -514,6 +568,9 @@ void ThreadTransport::ResetClocksAndStats() {
     if (!alive(static_cast<int>(r))) death_time_[r] = 0.0;
   }
   fault_stats_.Reset();
+  // Spans are stats too: after a reset the collector holds only what the
+  // next Run records (bench reps export the final measured repetition).
+  if (trace_) trace_->Reset();
 }
 
 }  // namespace panda

@@ -42,6 +42,7 @@
 #include "msg/mailbox.h"
 #include "msg/net_model.h"
 #include "msg/virtual_clock.h"
+#include "trace/trace.h"
 #include "util/random.h"
 
 namespace panda {
@@ -183,6 +184,16 @@ class ThreadTransport {
 
   TransportFaultStats& fault_stats() { return fault_stats_; }
 
+  // Arms (options.enabled) or disarms span tracing. Run() then installs
+  // a per-rank recorder context on each rank thread; instrumentation
+  // sites throughout the stack record against it. Tracing only *reads*
+  // clocks — virtual time and byte counts are bit-identical either way.
+  void SetTrace(const trace::TraceOptions& options);
+
+  // The armed collector, or nullptr. Valid until the next SetTrace.
+  trace::Collector* trace_collector() { return trace_.get(); }
+  const trace::Collector* trace_collector() const { return trace_.get(); }
+
   // Runs `rank_main(endpoint)` on every live rank concurrently and
   // joins. If any rank throws, all mailboxes are poisoned (unblocking
   // the rest) and the first exception is rethrown after the join —
@@ -233,6 +244,9 @@ class ThreadTransport {
                                    double timeout_vs);
   Endpoint::Delivery DoRecvAnyDelivery(Endpoint& self, int tag);
   void AccountRecv(Endpoint& self, const Message& msg);
+  // Records the receiver's queue depth (consumed message included) into
+  // the mailbox.depth histogram. No-op unless tracing is armed.
+  void ObserveMailboxDepth(Endpoint& self);
   // Inbound-link accounting shared by all receive flavors; returns the
   // time the message's processing completes.
   double IngestTime(Endpoint& self, const Message& msg);
@@ -276,6 +290,10 @@ class ThreadTransport {
   bool hooks_installed_ = false;
 
   TransportFaultStats fault_stats_;
+
+  // Span tracing (null when disarmed). One recorder per rank; recorders
+  // are touched only by their rank's thread during Run().
+  std::unique_ptr<trace::Collector> trace_;
 };
 
 }  // namespace panda

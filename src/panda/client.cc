@@ -8,6 +8,7 @@
 
 #include "mdarray/strided_copy.h"
 #include "panda/failover.h"
+#include "trace/trace.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
 
@@ -66,6 +67,8 @@ double PandaClient::Execute(CollectiveRequest req,
   req.num_clients = world_.num_clients;
 
   const double start = ep_->clock().Now();
+  std::int64_t total_bytes = 0;
+  for (const ArrayMeta& meta : req.arrays) total_bytes += meta.total_bytes();
 
   try {
     ExecuteBody(req, arrays);
@@ -95,6 +98,8 @@ double PandaClient::Execute(CollectiveRequest req,
   }
 
   last_elapsed_ = ep_->clock().Now() - start;
+  trace::RecordSpan(trace::SpanKind::kClientCollective, start,
+                    ep_->clock().Now(), total_bytes);
   return last_elapsed_;
 }
 
@@ -294,6 +299,10 @@ void PandaClient::ServeWritePiece(const Endpoint::Delivery& request,
   double ready = request.ready_time;
   if (!piece.contiguous_in_client) {
     ready += static_cast<double>(piece.bytes) / params_.memcpy_Bps;
+    // Pack spans cover only real reorganization work (the contiguous
+    // fast path costs nothing and records nothing).
+    trace::RecordSpan(trace::SpanKind::kClientPack, request.ready_time, ready,
+                      piece.bytes);
   }
   Message data;
   data.header = request.msg.header;  // echo the piece identification
@@ -321,6 +330,8 @@ void PandaClient::ServeReadPiece(const Endpoint::Delivery& delivery,
   double ready = delivery.ready_time;
   if (!piece.contiguous_in_client) {
     ready += static_cast<double>(piece.bytes) / params_.memcpy_Bps;
+    trace::RecordSpan(trace::SpanKind::kClientUnpack, delivery.ready_time,
+                      ready, piece.bytes);
   }
   if (!ep_->timing_only()) {
     PANDA_REQUIRE(

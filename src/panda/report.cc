@@ -1,8 +1,16 @@
 #include "panda/report.h"
 
+#include <algorithm>
+
 #include "util/units.h"
 
 namespace panda {
+
+double MaxOverRanks(std::span<const double> values) {
+  double max = 0.0;
+  for (const double v : values) max = std::max(max, v);
+  return max;
+}
 
 std::string MachineReport::ToString() const {
   std::string out;
@@ -21,13 +29,9 @@ std::string MachineReport::ToString() const {
         static_cast<long long>(fs.seeks), static_cast<long long>(fs.syncs),
         FormatSeconds(fs.busy_seconds).c_str());
   }
-  double max_client = 0.0;
-  for (const double t : client_clock_s) max_client = std::max(max_client, t);
-  double max_server = 0.0;
-  for (const double t : server_clock_s) max_server = std::max(max_server, t);
   out += StrFormat("clocks: max client %s, max server %s\n",
-                   FormatSeconds(max_client).c_str(),
-                   FormatSeconds(max_server).c_str());
+                   FormatSeconds(MaxOverRanks(client_clock_s)).c_str(),
+                   FormatSeconds(MaxOverRanks(server_clock_s)).c_str());
   const bool faults_nonzero =
       robustness.io_retries != 0 || robustness.io_giveups != 0 ||
       robustness.wire_checksum_failures != 0 ||
@@ -72,6 +76,70 @@ std::string MachineReport::ToString() const {
   return out;
 }
 
+namespace {
+
+// One source of truth: every counter the report knows, renamed into the
+// registry. The JSON export and the human table both read the snapshot
+// this produces (docs/OBSERVABILITY.md lists the catalog).
+void FillRegistryFromReport(const MachineReport& report,
+                            trace::MetricsRegistry& registry) {
+  registry.AddCounter("msg.messages_sent", report.messages.messages_sent);
+  registry.AddCounter("msg.messages_received",
+                      report.messages.messages_received);
+  registry.AddCounter("msg.bytes_sent", report.messages.bytes_sent);
+  registry.AddCounter("msg.bytes_received", report.messages.bytes_received);
+
+  FsStats fs_total;
+  for (const FsStats& fs : report.server_fs) {
+    fs_total.reads += fs.reads;
+    fs_total.writes += fs.writes;
+    fs_total.bytes_read += fs.bytes_read;
+    fs_total.bytes_written += fs.bytes_written;
+    fs_total.seeks += fs.seeks;
+    fs_total.syncs += fs.syncs;
+    fs_total.busy_seconds += fs.busy_seconds;
+  }
+  registry.AddCounter("fs.reads", fs_total.reads);
+  registry.AddCounter("fs.writes", fs_total.writes);
+  registry.AddCounter("fs.bytes_read", fs_total.bytes_read);
+  registry.AddCounter("fs.bytes_written", fs_total.bytes_written);
+  registry.AddCounter("fs.seeks", fs_total.seeks);
+  registry.AddCounter("fs.syncs", fs_total.syncs);
+  registry.SetGauge("fs.busy_seconds", fs_total.busy_seconds);
+
+  registry.SetGauge("clock.max_client_s", MaxOverRanks(report.client_clock_s));
+  registry.SetGauge("clock.max_server_s", MaxOverRanks(report.server_clock_s));
+
+  const RobustnessCounters& rb = report.robustness;
+  registry.AddCounter("robustness.io_retries", rb.io_retries);
+  registry.AddCounter("robustness.io_giveups", rb.io_giveups);
+  registry.AddCounter("robustness.wire_checksum_failures",
+                      rb.wire_checksum_failures);
+  registry.AddCounter("robustness.disk_checksum_failures",
+                      rb.disk_checksum_failures);
+  registry.AddCounter("robustness.disk_checksum_rereads",
+                      rb.disk_checksum_rereads);
+  registry.AddCounter("robustness.collectives_aborted",
+                      rb.collectives_aborted);
+  registry.AddCounter("robustness.failovers_completed",
+                      rb.failovers_completed);
+  registry.AddCounter("robustness.chunks_adopted", rb.chunks_adopted);
+  registry.AddCounter("robustness.journal_records_written",
+                      rb.journal_records_written);
+
+  const TransportFaultCounters& tf = report.transport;
+  registry.AddCounter("transport.drops_injected", tf.drops_injected);
+  registry.AddCounter("transport.dups_injected", tf.dups_injected);
+  registry.AddCounter("transport.reorders_injected", tf.reorders_injected);
+  registry.AddCounter("transport.delays_injected", tf.delays_injected);
+  registry.AddCounter("transport.retransmits", tf.retransmits);
+  registry.AddCounter("transport.dups_suppressed", tf.dups_suppressed);
+  registry.AddCounter("transport.peers_declared_dead", tf.peers_declared_dead);
+  registry.AddCounter("transport.ranks_killed", tf.ranks_killed);
+}
+
+}  // namespace
+
 MachineReport Snapshot(Machine& machine) {
   MachineReport report;
   report.messages = machine.transport().TotalStats();
@@ -86,7 +154,21 @@ MachineReport Snapshot(Machine& machine) {
   }
   report.robustness = machine.robustness().Snapshot();
   report.transport = machine.transport().fault_stats().Snapshot();
+
+  trace::MetricsRegistry registry;
+  FillRegistryFromReport(report, registry);
+  if (const trace::Collector* collector = machine.trace_collector()) {
+    collector->FillRegistry(registry);
+  }
+  report.metrics = registry.Snapshot();
   return report;
+}
+
+std::string MachineTraceJson(const Machine& machine) {
+  const trace::Collector* collector = machine.trace_collector();
+  if (collector == nullptr) return std::string();
+  return trace::ChromeTraceJson(
+      *collector, [&machine](int r) { return machine.rank_label(r); });
 }
 
 namespace {

@@ -8,6 +8,7 @@
 // stray retransmission or a dropped acknowledgement changes the count).
 #pragma once
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -17,8 +18,16 @@
 #include "panda/protocol.h"
 #include "panda/runtime.h"
 #include "sp2/machine.h"
+#include "trace/export.h"
+#include "trace/metrics.h"
 
 namespace panda {
+
+// Max over a set of per-rank values (0 for an empty set). THE elapsed-
+// time reduction: a collective is over when its slowest participant is,
+// so both the report's clock line and the bench harness's elapsed-time
+// measurement go through this one helper (they can never disagree).
+double MaxOverRanks(std::span<const double> values);
 
 struct MachineReport {
   MsgStats messages;                 // whole-transport totals
@@ -34,12 +43,21 @@ struct MachineReport {
   // crash-stopped ranks. All-zero when the lossy layer and the kill
   // injector are disarmed (the acceptance bar for clean runs).
   TransportFaultCounters transport;
+  // The same counters (plus span aggregates and histograms when tracing
+  // was armed) as one named bag — the single source of truth behind
+  // MetricsJson exports. ToString and this snapshot both derive from the
+  // struct fields above, so the human table and the JSON agree.
+  trace::MetricsSnapshot metrics;
 
   std::string ToString() const;
 };
 
 // Snapshot of all counters (pass the world to split clocks by role).
 MachineReport Snapshot(Machine& machine);
+
+// Chrome trace_event JSON of the machine's collector ("" when tracing
+// is disarmed), with tracks labeled "client N" / "ion N".
+std::string MachineTraceJson(const Machine& machine);
 
 // The exact number of point-to-point messages one collective moves,
 // derived from the plan: request + server broadcast + per-piece traffic

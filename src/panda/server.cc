@@ -11,6 +11,7 @@
 #include "panda/integrity.h"
 #include "panda/journal.h"
 #include "panda/schema_io.h"
+#include "trace/trace.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
 
@@ -218,7 +219,10 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
     } else if (k + 1 < work.size()) {
       send_requests(k + 1);
     }
-    // Assemble the sub-chunk in traditional array order.
+    // Assemble the sub-chunk in traditional array order. The pull span
+    // covers the whole gather of this sub-chunk's pieces (per-piece
+    // assembly spans nest inside it).
+    const double pull_begin = ep.clock().Now();
     if (!timing) buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
     for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
       const PiecePlan& piece = sp.pieces[pi];
@@ -231,6 +235,7 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       // CRC32C after the echoed piece header (0 in timing-only mode).
       const std::uint32_t wire_crc = dec.Get<std::uint32_t>();
       if (!piece.contiguous_in_subchunk) {
+        PANDA_SPAN(asm_span, trace::SpanKind::kServerAssemble, piece.bytes);
         ep.AdvanceCompute(static_cast<double>(piece.bytes) /
                           params.memcpy_Bps);
       }
@@ -255,13 +260,24 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
                       "piece virtual size mismatch");
       }
     }
+    trace::RecordSpan(trace::SpanKind::kServerPull, pull_begin,
+                      ep.clock().Now(), sp.bytes);
+    trace::ObserveMetric(trace::MetricId::kSubchunkBytes,
+                         static_cast<double>(sp.bytes));
+    // The write span shows the *caller-visible* delay (near zero in
+    // overlap mode); the disk.op_seconds histogram, observed inside the
+    // scheduler's charge window, records true device time either way.
+    PANDA_SPAN(write_span, trace::SpanKind::kServerWrite, sp.bytes);
     disk.Write([&] {
+      const double dev_begin = ep.clock().Now();
       // Positioned writes are idempotent, so a retry after a torn write
       // rewrites the full range and heals the tear.
       retry.Run(&ep.clock(), stats, [&] {
         file->WriteAt(base + item.file_offset, {buf.data(), buf.size()},
                       sp.bytes);
       });
+      trace::ObserveMetric(trace::MetricId::kDiskOpSeconds,
+                           ep.clock().Now() - dev_begin);
       if (sidecar != nullptr) {
         const CrcRecord rec{base + item.file_offset, sp.bytes,
                             Crc32c({buf.data(), buf.size()})};
@@ -281,9 +297,13 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
         rec.file_offset = base + item.file_offset;
         rec.bytes = sp.bytes;
         rec.data_crc = Crc32c({buf.data(), buf.size()});
-        retry.Run(&ep.clock(), stats, [&] {
-          WriteJournalRecord(*journal, record_base + item.record_ordinal, rec);
-        });
+        {
+          PANDA_SPAN(journal_span, trace::SpanKind::kJournalAppend, sp.bytes);
+          retry.Run(&ep.clock(), stats, [&] {
+            WriteJournalRecord(*journal, record_base + item.record_ordinal,
+                               rec);
+          });
+        }
         if (stats != nullptr) stats->journal_records_written.fetch_add(1);
         const bool chunk_done =
             k + 1 == work.size() ||
@@ -351,11 +371,17 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
     // Sequential read of the sub-chunk...
     if (!timing) buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
     auto read_subchunk = [&] {
+      PANDA_SPAN(read_span, trace::SpanKind::kServerRead, sp.bytes);
+      const double dev_begin = ep.clock().Now();
       retry.Run(&ep.clock(), stats, [&] {
         file->ReadAt(base + item.file_offset, {buf.data(), buf.size()},
                      sp.bytes);
       });
+      trace::ObserveMetric(trace::MetricId::kDiskOpSeconds,
+                           ep.clock().Now() - dev_begin);
     };
+    trace::ObserveMetric(trace::MetricId::kSubchunkBytes,
+                         static_cast<double>(sp.bytes));
     read_subchunk();
     if (sidecar != nullptr) {
       const std::int64_t rec_index = record_base + item.record_ordinal;
@@ -398,6 +424,7 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
     for (size_t pi = 0; pi < sp.pieces.size(); ++pi) {
       const PiecePlan& piece = sp.pieces[pi];
       if (!piece.contiguous_in_subchunk) {
+        PANDA_SPAN(asm_span, trace::SpanKind::kServerAssemble, piece.bytes);
         ep.AdvanceCompute(static_cast<double>(piece.bytes) /
                           params.memcpy_Bps);
       }
@@ -464,7 +491,10 @@ void ServerExecuteImpl(Endpoint& ep, FileSystem& fs, const World& world,
   if (plan_cache == nullptr) plan_cache = &local_cache;
   const int sidx = world.server_index(ep.rank());
   // Digest the request and form the local plan.
-  ep.AdvanceCompute(params.plan_compute_s);
+  {
+    PANDA_SPAN(plan_span, trace::SpanKind::kServerPlan, 0);
+    ep.AdvanceCompute(params.plan_compute_s);
+  }
   DiskWriteScheduler disk(ep, options.overlap_io);
   // Checkpoint files staged for two-phase commit (see below).
   std::vector<std::pair<std::string, std::string>> local_renames;
@@ -595,8 +625,12 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
       // during recovery simply triggers another round: the layout is
       // recomputed from scratch and kAdoptedOnly rewrites every
       // adopted chunk, including those a newly-dead adopter took).
-      ServerExecuteImpl(ep, fs, world, params, req, options, plan_cache, dead,
-                        WorkPhase::kAdoptedOnly, &staged);
+      {
+        PANDA_SPAN(replan_span, trace::SpanKind::kFailoverReplan,
+                   static_cast<std::int64_t>(dead.size()));
+        ServerExecuteImpl(ep, fs, world, params, req, options, plan_cache,
+                          dead, WorkPhase::kAdoptedOnly, &staged);
+      }
     }
     // Release the survivors: empty notice = commit.
     for (int s = 1; s < world.num_servers; ++s) {
@@ -614,8 +648,12 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
       std::vector<int> more;
       for (int r : notice.dead_ranks) more.push_back(world.server_index(r));
       MergeDead(dead, more);
-      ServerExecuteImpl(ep, fs, world, params, req, options, plan_cache, dead,
-                        WorkPhase::kAdoptedOnly, &staged);
+      {
+        PANDA_SPAN(replan_span, trace::SpanKind::kFailoverReplan,
+                   static_cast<std::int64_t>(dead.size()));
+        ServerExecuteImpl(ep, fs, world, params, req, options, plan_cache,
+                          dead, WorkPhase::kAdoptedOnly, &staged);
+      }
     }
   }
 

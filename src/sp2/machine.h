@@ -78,6 +78,28 @@ class Machine {
   // Live view of the transport's fault counters.
   TransportFaultStats& fault_stats() { return transport_->fault_stats(); }
 
+  // --- Observability (see trace/trace.h, docs/OBSERVABILITY.md) ---
+
+  // Arms span tracing on the transport: every subsequent Run() records
+  // client/transport/server/journal/retry spans in virtual time, one
+  // recorder per rank. Purely observational — clocks and byte counts are
+  // bit-identical to an untraced run.
+  void EnableTrace(const trace::TraceOptions& options = {}) {
+    transport_->SetTrace(options);
+  }
+
+  // The armed collector, or nullptr when tracing is off.
+  trace::Collector* trace_collector() { return transport_->trace_collector(); }
+  const trace::Collector* trace_collector() const {
+    return transport_->trace_collector();
+  }
+
+  // Track label for rank `r` in exported traces ("client 0", "ion 2").
+  std::string rank_label(int r) const {
+    return r < num_clients_ ? ("client " + std::to_string(r))
+                            : ("ion " + std::to_string(r - num_clients_));
+  }
+
   // Runs `client_main(endpoint, client_index)` on client ranks and
   // `server_main(endpoint, server_index)` on server ranks.
   void Run(const std::function<void(Endpoint&, int)>& client_main,

@@ -1,0 +1,138 @@
+#include "trace/export.h"
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+namespace panda {
+namespace trace {
+
+std::string JsonDouble(double d) {
+  if (!std::isfinite(d)) return "0";
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.17g", d);
+  return std::string(buf);
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 8);
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+std::string ChromeTraceJson(
+    const Collector& collector,
+    const std::function<std::string(int)>& rank_label) {
+  std::string out;
+  out += "{\"displayTimeUnit\":\"ms\",\"traceEvents\":[";
+  bool first = true;
+  auto comma = [&] {
+    if (!first) out += ",";
+    first = false;
+  };
+  // Metadata: name each rank's track.
+  for (int r = 0; r < collector.nranks(); ++r) {
+    std::string label =
+        rank_label ? rank_label(r) : ("rank " + std::to_string(r));
+    comma();
+    out += "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":0,\"tid\":";
+    out += std::to_string(r);
+    out += ",\"args\":{\"name\":\"";
+    out += JsonEscape(label);
+    out += "\"}}";
+  }
+  // Complete ("X") events, one per span, virtual microseconds.
+  for (const Collector::RankSpan& rs : collector.MergedSpans()) {
+    comma();
+    out += "{\"ph\":\"X\",\"pid\":0,\"tid\":";
+    out += std::to_string(rs.rank);
+    out += ",\"name\":\"";
+    out += SpanKindName(rs.span.kind);
+    out += "\",\"cat\":\"panda\",\"ts\":";
+    out += JsonDouble(rs.span.begin_vs * 1e6);
+    out += ",\"dur\":";
+    out += JsonDouble((rs.span.end_vs - rs.span.begin_vs) * 1e6);
+    out += ",\"args\":{\"arg\":";
+    out += std::to_string(rs.span.arg);
+    out += "}}";
+  }
+  out += "]}";
+  return out;
+}
+
+std::string MetricsJson(const MetricsSnapshot& snapshot) {
+  std::string out = "{";
+  out += "\"counters\":{";
+  bool first = true;
+  for (const auto& [name, value] : snapshot.counters) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + std::to_string(value);
+  }
+  out += "},\"gauges\":{";
+  first = true;
+  for (const auto& [name, value] : snapshot.gauges) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":" + JsonDouble(value);
+  }
+  out += "},\"histograms\":{";
+  first = true;
+  for (const auto& [name, hist] : snapshot.histograms) {
+    if (!first) out += ",";
+    first = false;
+    out += "\"" + JsonEscape(name) + "\":{\"edges\":[";
+    for (size_t i = 0; i < hist.edges.size(); ++i) {
+      if (i != 0) out += ",";
+      out += JsonDouble(hist.edges[i]);
+    }
+    out += "],\"counts\":[";
+    for (size_t i = 0; i < hist.counts.size(); ++i) {
+      if (i != 0) out += ",";
+      out += std::to_string(hist.counts[i]);
+    }
+    out += "],\"total_count\":" + std::to_string(hist.total_count);
+    out += ",\"sum\":" + JsonDouble(hist.sum);
+    out += "}";
+  }
+  out += "}}";
+  return out;
+}
+
+bool WriteTextFile(const std::string& path, const std::string& content) {
+  std::ofstream f(path, std::ios::out | std::ios::trunc);
+  if (!f.is_open()) return false;
+  f << content;
+  f.flush();
+  return f.good();
+}
+
+}  // namespace trace
+}  // namespace panda

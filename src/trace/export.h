@@ -1,0 +1,48 @@
+// Exporters for the trace/metrics subsystem.
+//
+// Two machine-readable formats leave this layer:
+//  * Chrome trace_event JSON ("traceEvents") — one track (tid) per rank,
+//    loadable in Perfetto / chrome://tracing. Timestamps are virtual
+//    microseconds, so the timeline shows *simulated* time, which is what
+//    the paper's figures attribute.
+//  * Metrics JSON — the plain-value MetricsSnapshot (counters, gauges,
+//    histograms), used by `--metrics_out` and embedded in BENCH_*.json.
+//
+// Both emitters format doubles with %.17g so values round-trip exactly
+// (the bench schema's 1e-9 throughput match is really an == match).
+#pragma once
+
+#include <functional>
+#include <string>
+
+#include "trace/metrics.h"
+#include "trace/trace.h"
+
+namespace panda {
+namespace trace {
+
+// Serializes `d` with enough digits to round-trip exactly ("%.17g"),
+// mapping non-finite values to 0 (JSON has no inf/nan).
+std::string JsonDouble(double d);
+
+// Escapes `s` for inclusion inside a JSON string literal.
+std::string JsonEscape(const std::string& s);
+
+// Chrome trace_event JSON for every span in `collector`, one track per
+// rank. `rank_label(rank)` names the track ("client 0", "server 2", ...);
+// pass nullptr for plain "rank N". Deterministic: events are emitted in
+// MergedSpans() order.
+std::string ChromeTraceJson(
+    const Collector& collector,
+    const std::function<std::string(int)>& rank_label = nullptr);
+
+// Metrics JSON: {"counters":{...},"gauges":{...},"histograms":{...}}.
+// Keys are emitted in map (sorted) order, so output is deterministic.
+std::string MetricsJson(const MetricsSnapshot& snapshot);
+
+// Writes `content` to `path` (truncating). Returns false (and leaves a
+// partial file possibly behind) on I/O failure; callers report, not abort.
+bool WriteTextFile(const std::string& path, const std::string& content);
+
+}  // namespace trace
+}  // namespace panda

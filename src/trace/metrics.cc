@@ -1,0 +1,93 @@
+#include "trace/metrics.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace panda {
+namespace trace {
+
+Histogram::Histogram(std::vector<double> edges) : edges_(std::move(edges)) {
+  PANDA_CHECK_MSG(!edges_.empty(), "histogram needs at least one edge");
+  for (size_t i = 1; i < edges_.size(); ++i) {
+    PANDA_CHECK_MSG(edges_[i - 1] < edges_[i],
+                    "histogram edges must be strictly ascending");
+  }
+  counts_.assign(edges_.size() + 1, 0);
+}
+
+Histogram Histogram::Exponential(double lo, double factor, int n) {
+  PANDA_CHECK_MSG(lo > 0.0 && factor > 1.0 && n >= 1,
+                  "bad exponential histogram spec");
+  std::vector<double> edges;
+  edges.reserve(static_cast<size_t>(n));
+  double e = lo;
+  for (int i = 0; i < n; ++i) {
+    edges.push_back(e);
+    e *= factor;
+  }
+  return Histogram(std::move(edges));
+}
+
+size_t Histogram::BucketIndex(const std::vector<double>& edges, double value) {
+  // First edge strictly greater than value; values >= the last edge
+  // land in the overflow bucket (index edges.size()).
+  return static_cast<size_t>(
+      std::upper_bound(edges.begin(), edges.end(), value) - edges.begin());
+}
+
+void Histogram::Observe(double value) {
+  ++counts_[BucketIndex(edges_, value)];
+  ++total_count_;
+  sum_ += value;
+}
+
+void Histogram::Merge(const Histogram& other) {
+  PANDA_CHECK_MSG(edges_ == other.edges_,
+                  "merging histograms with different bucket edges");
+  for (size_t i = 0; i < counts_.size(); ++i) counts_[i] += other.counts_[i];
+  total_count_ += other.total_count_;
+  sum_ += other.sum_;
+}
+
+void Histogram::Reset() {
+  std::fill(counts_.begin(), counts_.end(), 0);
+  total_count_ = 0;
+  sum_ = 0.0;
+}
+
+void MetricsRegistry::AddCounter(const std::string& name, std::int64_t delta) {
+  counters_[name] += delta;
+}
+
+void MetricsRegistry::SetGauge(const std::string& name, double value) {
+  gauges_[name] = value;
+}
+
+void MetricsRegistry::MergeHistogram(const std::string& name,
+                                     const Histogram& h) {
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    histograms_.emplace(name, h);
+    return;
+  }
+  it->second.Merge(h);
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.counters = counters_;
+  snap.gauges = gauges_;
+  for (const auto& [name, h] : histograms_) {
+    MetricsSnapshot::Hist out;
+    out.edges = h.edges();
+    out.counts = h.counts();
+    out.total_count = h.total_count();
+    out.sum = h.sum();
+    snap.histograms.emplace(name, std::move(out));
+  }
+  return snap;
+}
+
+}  // namespace trace
+}  // namespace panda

@@ -1,0 +1,95 @@
+// Metrics primitives: counters, gauges, fixed-bucket histograms.
+//
+// The metrics layer is deliberately dumb: a Histogram is a fixed set of
+// ascending bucket edges plus counts, a MetricsRegistry is a named bag
+// of counters/gauges/histograms, and a MetricsSnapshot is the plain-
+// value view exported to JSON. All the concurrency discipline lives in
+// the trace layer (per-rank recorders, merged after the rank threads
+// join) — nothing here takes a lock.
+//
+// Bucket semantics (asserted by tests/trace_test.cc): a value `v` falls
+// into bucket `i` when `v < edges[i]` and `v >= edges[i-1]` (edges are
+// upper bounds, exclusive); values >= the last edge land in the
+// overflow bucket, so `counts().size() == edges().size() + 1`.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+namespace panda {
+namespace trace {
+
+class Histogram {
+ public:
+  // `edges` must be non-empty and strictly ascending.
+  explicit Histogram(std::vector<double> edges);
+
+  // Convenience: n exponentially spaced edges lo, lo*factor, ...
+  static Histogram Exponential(double lo, double factor, int n);
+
+  void Observe(double value);
+
+  // Adds another histogram's counts into this one (same edges required).
+  void Merge(const Histogram& other);
+
+  // Bucket index of `value` under the upper-bound-exclusive rule above.
+  static size_t BucketIndex(const std::vector<double>& edges, double value);
+
+  const std::vector<double>& edges() const { return edges_; }
+  const std::vector<std::int64_t>& counts() const { return counts_; }
+  std::int64_t total_count() const { return total_count_; }
+  double sum() const { return sum_; }
+
+  void Reset();
+
+ private:
+  std::vector<double> edges_;
+  std::vector<std::int64_t> counts_;  // edges_.size() + 1 (overflow last)
+  std::int64_t total_count_ = 0;
+  double sum_ = 0.0;
+};
+
+// Plain-value export of a whole registry (what MetricsJson serializes
+// and MachineReport carries).
+struct MetricsSnapshot {
+  struct Hist {
+    std::vector<double> edges;
+    std::vector<std::int64_t> counts;
+    std::int64_t total_count = 0;
+    double sum = 0.0;
+  };
+  std::map<std::string, std::int64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, Hist> histograms;
+
+  bool empty() const {
+    return counters.empty() && gauges.empty() && histograms.empty();
+  }
+};
+
+// Named metric store, merged across ranks (and across subsystems: the
+// robustness and transport-fault counters are imported here so the
+// machine report and the JSON export share one source of truth).
+class MetricsRegistry {
+ public:
+  // Accumulates `delta` into the named counter (creates at 0).
+  void AddCounter(const std::string& name, std::int64_t delta);
+
+  // Sets (overwrites) the named gauge.
+  void SetGauge(const std::string& name, double value);
+
+  // Merges `h` into the named histogram (creates with h's edges).
+  void MergeHistogram(const std::string& name, const Histogram& h);
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  std::map<std::string, std::int64_t> counters_;
+  std::map<std::string, double> gauges_;
+  std::map<std::string, Histogram> histograms_;
+};
+
+}  // namespace trace
+}  // namespace panda

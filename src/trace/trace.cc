@@ -1,0 +1,250 @@
+#include "trace/trace.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+#include "util/units.h"
+
+namespace panda {
+namespace trace {
+
+const char* SpanKindName(SpanKind kind) {
+  switch (kind) {
+    case SpanKind::kClientCollective:
+      return "client.collective";
+    case SpanKind::kClientPack:
+      return "client.pack";
+    case SpanKind::kClientUnpack:
+      return "client.unpack";
+    case SpanKind::kTransportSend:
+      return "transport.send";
+    case SpanKind::kTransportRecv:
+      return "transport.recv";
+    case SpanKind::kTransportRetransmit:
+      return "transport.retransmit";
+    case SpanKind::kServerPlan:
+      return "server.plan";
+    case SpanKind::kServerPull:
+      return "server.pull";
+    case SpanKind::kServerAssemble:
+      return "server.assemble";
+    case SpanKind::kServerWrite:
+      return "server.write";
+    case SpanKind::kServerRead:
+      return "server.read";
+    case SpanKind::kJournalAppend:
+      return "journal.append";
+    case SpanKind::kRetryBackoff:
+      return "retry.backoff";
+    case SpanKind::kFailoverReplan:
+      return "failover.replan";
+    case SpanKind::kNumKinds:
+      break;
+  }
+  return "unknown";
+}
+
+const char* MetricName(MetricId id) {
+  switch (id) {
+    case MetricId::kSubchunkBytes:
+      return "server.subchunk_bytes";
+    case MetricId::kDiskOpSeconds:
+      return "disk.op_seconds";
+    case MetricId::kMailboxDepth:
+      return "mailbox.depth";
+    case MetricId::kNumMetrics:
+      break;
+  }
+  return "unknown";
+}
+
+const std::vector<double>& DefaultMetricEdges(MetricId id) {
+  // Fixed edges so cross-rank (and cross-run) merges always line up.
+  static const std::vector<double> subchunk_bytes = [] {
+    // 4 KiB .. 16 MiB, powers of two (the paper's sub-chunk knee is at
+    // 1 MiB; see bench_subchunk_size).
+    std::vector<double> e;
+    for (double v = 4.0 * kKiB; v <= 16.0 * kMiB; v *= 2.0) e.push_back(v);
+    return e;
+  }();
+  static const std::vector<double> disk_op_seconds = [] {
+    // 100 us .. ~1.6 s, powers of two (AIX 1 MiB writes sit near 0.5 s).
+    std::vector<double> e;
+    for (double v = 1.0e-4; v <= 2.0; v *= 2.0) e.push_back(v);
+    return e;
+  }();
+  static const std::vector<double> mailbox_depth = {1,  2,  4,   8,
+                                                    16, 32, 64, 128};
+  switch (id) {
+    case MetricId::kSubchunkBytes:
+      return subchunk_bytes;
+    case MetricId::kDiskOpSeconds:
+      return disk_op_seconds;
+    case MetricId::kMailboxDepth:
+      return mailbox_depth;
+    case MetricId::kNumMetrics:
+      break;
+  }
+  PANDA_CHECK_MSG(false, "bad metric id");
+  return mailbox_depth;  // unreachable
+}
+
+TraceRecorder::TraceRecorder(int rank, size_t ring_capacity)
+    : rank_(rank), capacity_(ring_capacity == 0 ? 1 : ring_capacity) {
+  ring_.resize(capacity_);
+  histograms_.reserve(kNumMetricIds);
+  for (size_t i = 0; i < kNumMetricIds; ++i) {
+    histograms_.emplace_back(DefaultMetricEdges(static_cast<MetricId>(i)));
+  }
+}
+
+void TraceRecorder::Record(SpanKind kind, double begin_vs, double end_vs,
+                           std::int64_t arg) {
+  TraceSpan& slot = ring_[next_];
+  next_ = (next_ + 1) % capacity_;
+  if (size_ < capacity_) {
+    ++size_;
+  } else {
+    ++dropped_;  // the slot held the oldest span; it is gone now
+  }
+  slot.kind = kind;
+  slot.begin_vs = begin_vs;
+  slot.end_vs = end_vs;
+  slot.arg = arg;
+
+  SpanAggregate& agg = aggregates_[static_cast<size_t>(kind)];
+  agg.count += 1;
+  agg.total_s += end_vs - begin_vs;
+  agg.total_arg += arg;
+}
+
+void TraceRecorder::Observe(MetricId id, double value) {
+  histograms_[static_cast<size_t>(id)].Observe(value);
+}
+
+std::vector<TraceSpan> TraceRecorder::Spans() const {
+  std::vector<TraceSpan> out;
+  out.reserve(size_);
+  // Oldest first: when the ring has wrapped, the oldest span sits at
+  // next_ (the slot about to be overwritten).
+  const size_t start = size_ < capacity_ ? 0 : next_;
+  for (size_t i = 0; i < size_; ++i) {
+    out.push_back(ring_[(start + i) % capacity_]);
+  }
+  return out;
+}
+
+void TraceRecorder::Reset() {
+  next_ = 0;
+  size_ = 0;
+  dropped_ = 0;
+  aggregates_.fill(SpanAggregate{});
+  for (Histogram& h : histograms_) h.Reset();
+}
+
+Collector::Collector(int nranks, TraceOptions options) : options_(options) {
+  PANDA_CHECK_MSG(nranks >= 1, "collector needs at least one rank");
+  recorders_.reserve(static_cast<size_t>(nranks));
+  for (int r = 0; r < nranks; ++r) {
+    recorders_.push_back(
+        std::make_unique<TraceRecorder>(r, options_.ring_capacity));
+  }
+}
+
+TraceRecorder& Collector::recorder(int rank) {
+  PANDA_CHECK(rank >= 0 && rank < nranks());
+  return *recorders_[static_cast<size_t>(rank)];
+}
+
+const TraceRecorder& Collector::recorder(int rank) const {
+  PANDA_CHECK(rank >= 0 && rank < nranks());
+  return *recorders_[static_cast<size_t>(rank)];
+}
+
+std::vector<Collector::RankSpan> Collector::MergedSpans() const {
+  // Tag each span with (rank, per-rank index) and sort by
+  // (begin, end, rank, index): a total, deterministic order because
+  // virtual clocks and per-rank record order are deterministic.
+  struct Keyed {
+    RankSpan rs;
+    size_t index;
+  };
+  std::vector<Keyed> keyed;
+  for (const auto& rec : recorders_) {
+    const std::vector<TraceSpan> spans = rec->Spans();
+    for (size_t i = 0; i < spans.size(); ++i) {
+      keyed.push_back(Keyed{RankSpan{rec->rank(), spans[i]}, i});
+    }
+  }
+  std::sort(keyed.begin(), keyed.end(), [](const Keyed& a, const Keyed& b) {
+    if (a.rs.span.begin_vs != b.rs.span.begin_vs) {
+      return a.rs.span.begin_vs < b.rs.span.begin_vs;
+    }
+    if (a.rs.span.end_vs != b.rs.span.end_vs) {
+      return a.rs.span.end_vs < b.rs.span.end_vs;
+    }
+    if (a.rs.rank != b.rs.rank) return a.rs.rank < b.rs.rank;
+    return a.index < b.index;
+  });
+  std::vector<RankSpan> out;
+  out.reserve(keyed.size());
+  for (auto& k : keyed) out.push_back(k.rs);
+  return out;
+}
+
+std::array<SpanAggregate, kNumSpanKinds> Collector::AggregateByKind() const {
+  std::array<SpanAggregate, kNumSpanKinds> total{};
+  for (const auto& rec : recorders_) {
+    for (size_t k = 0; k < kNumSpanKinds; ++k) {
+      const SpanAggregate& a = rec->aggregate(static_cast<SpanKind>(k));
+      total[k].count += a.count;
+      total[k].total_s += a.total_s;
+      total[k].total_arg += a.total_arg;
+    }
+  }
+  return total;
+}
+
+Histogram Collector::MergedHistogram(MetricId id) const {
+  Histogram merged(DefaultMetricEdges(id));
+  for (const auto& rec : recorders_) merged.Merge(rec->histogram(id));
+  return merged;
+}
+
+std::int64_t Collector::TotalDropped() const {
+  std::int64_t total = 0;
+  for (const auto& rec : recorders_) total += rec->dropped();
+  return total;
+}
+
+void Collector::FillRegistry(MetricsRegistry& registry) const {
+  const auto aggregates = AggregateByKind();
+  for (size_t k = 0; k < kNumSpanKinds; ++k) {
+    const SpanAggregate& a = aggregates[k];
+    if (a.count == 0) continue;
+    const std::string base =
+        std::string("span.") + SpanKindName(static_cast<SpanKind>(k));
+    registry.AddCounter(base + ".count", a.count);
+    registry.SetGauge(base + ".total_s", a.total_s);
+    registry.AddCounter(base + ".total_arg", a.total_arg);
+  }
+  for (size_t m = 0; m < kNumMetricIds; ++m) {
+    const MetricId id = static_cast<MetricId>(m);
+    const Histogram merged = MergedHistogram(id);
+    if (merged.total_count() == 0) continue;
+    registry.MergeHistogram(MetricName(id), merged);
+  }
+  registry.AddCounter("trace.spans_dropped", TotalDropped());
+}
+
+void Collector::Reset() {
+  for (auto& rec : recorders_) rec->Reset();
+}
+
+RankContext& CurrentContext() {
+  thread_local RankContext ctx;
+  return ctx;
+}
+
+}  // namespace trace
+}  // namespace panda

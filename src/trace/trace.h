@@ -1,0 +1,317 @@
+// Virtual-time span tracing: per-rank recorders, RAII spans, collector.
+//
+// The paper's entire argument is *where time goes* inside a collective —
+// sequential disk time vs. network vs. server buffer stalls (Figures
+// 3-9). This subsystem records that attribution as spans stamped in the
+// SP2 virtual clock: client pack/unpack, transport send/recv/
+// retransmit, server plan/pull/assemble/write/read, journal appends,
+// retry backoff, failover re-planning.
+//
+// Design rules:
+//  * Spans only *read* clocks, never advance them: a traced run's
+//    virtual clocks and byte counts are bit-identical to an untraced
+//    run (asserted by tests/trace_test.cc).
+//  * One TraceRecorder per rank, touched only by that rank's thread —
+//    no locks on the hot path. Merging happens after the rank threads
+//    join.
+//  * Bounded memory: each recorder is a fixed-capacity ring; overflow
+//    drops the *oldest* span and counts the drop. Per-kind aggregates
+//    (count, total seconds, total bytes) are kept outside the ring, so
+//    bench summaries survive overflow.
+//  * Zero cost when disabled: the PANDA_SPAN macro and the RecordSpan/
+//    ObserveMetric helpers compile to nothing with -DPANDA_TRACE_ENABLED=0
+//    (CMake option PANDA_TRACE), and cost one thread-local load + null
+//    check when compiled in but not armed at run time (TraceOptions).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "msg/virtual_clock.h"
+#include "trace/metrics.h"
+
+#ifndef PANDA_TRACE_ENABLED
+#define PANDA_TRACE_ENABLED 1
+#endif
+
+namespace panda {
+namespace trace {
+
+// The span taxonomy (docs/OBSERVABILITY.md). Every kind maps onto one
+// stage of the collective protocol (docs/PROTOCOL.md message tags).
+enum class SpanKind : std::uint8_t {
+  kClientCollective = 0,  // whole collective, client side (WriteArray...)
+  kClientPack,            // gather/pack of one outgoing write piece
+  kClientUnpack,          // scatter/unpack of one incoming read piece
+  kTransportSend,         // send overhead + outbound wire occupancy
+  kTransportRecv,         // blocked receive (wait + ingest + overhead)
+  kTransportRetransmit,   // receiver-driven rescue of dropped messages
+  kServerPlan,            // request digestion + local plan formation
+  kServerPull,            // gathering one sub-chunk's pieces from clients
+  kServerAssemble,        // reorganizing a non-contiguous piece
+  kServerWrite,           // one sub-chunk's disk write (caller-visible)
+  kServerRead,            // one sub-chunk's disk read
+  kJournalAppend,         // write-ahead chunk-journal record append
+  kRetryBackoff,          // virtual backoff between disk-op retries
+  kFailoverReplan,        // degraded-mode re-planning round
+  kNumKinds,
+};
+
+inline constexpr size_t kNumSpanKinds =
+    static_cast<size_t>(SpanKind::kNumKinds);
+
+// Stable export name of a span kind ("server.write", ...).
+const char* SpanKindName(SpanKind kind);
+
+// Fixed histogram metrics recorded per rank (DefaultMetricEdges picks
+// the bucket layout; see docs/OBSERVABILITY.md for the catalog).
+enum class MetricId : std::uint8_t {
+  kSubchunkBytes = 0,  // bytes of each sub-chunk moved through a server
+  kDiskOpSeconds,      // device time of each disk read/write request
+  kMailboxDepth,       // queued messages seen by each blocking receive
+  kNumMetrics,
+};
+
+inline constexpr size_t kNumMetricIds =
+    static_cast<size_t>(MetricId::kNumMetrics);
+
+const char* MetricName(MetricId id);
+const std::vector<double>& DefaultMetricEdges(MetricId id);
+
+// One recorded span. 32 bytes; the ring is a flat array of these.
+struct TraceSpan {
+  double begin_vs = 0.0;  // virtual seconds
+  double end_vs = 0.0;
+  std::int64_t arg = 0;  // kind-specific payload (usually bytes)
+  SpanKind kind = SpanKind::kClientCollective;
+
+  bool operator==(const TraceSpan&) const = default;
+};
+
+// Running per-kind totals, kept outside the ring so aggregates are
+// exact even after overflow drops spans.
+struct SpanAggregate {
+  std::int64_t count = 0;
+  double total_s = 0.0;
+  std::int64_t total_arg = 0;
+};
+
+struct TraceOptions {
+  bool enabled = true;  // runtime master switch
+  // Max spans retained per rank; overflow drops the oldest.
+  size_t ring_capacity = 1 << 15;
+};
+
+// Per-rank span recorder. Single-owner: only the rank's thread may call
+// Record/Observe; reads (Spans, aggregates) happen after the rank
+// threads join. No locking anywhere.
+class TraceRecorder {
+ public:
+  TraceRecorder(int rank, size_t ring_capacity);
+
+  int rank() const { return rank_; }
+
+  // Records a completed span. Out-of-order end times are fine (nested
+  // spans complete inner-first); exporters sort.
+  void Record(SpanKind kind, double begin_vs, double end_vs,
+              std::int64_t arg);
+
+  // Records one histogram observation.
+  void Observe(MetricId id, double value);
+
+  // Retained spans, oldest first (ring order).
+  std::vector<TraceSpan> Spans() const;
+
+  std::int64_t dropped() const { return dropped_; }
+  const SpanAggregate& aggregate(SpanKind kind) const {
+    return aggregates_[static_cast<size_t>(kind)];
+  }
+  const Histogram& histogram(MetricId id) const {
+    return histograms_[static_cast<size_t>(id)];
+  }
+
+  void Reset();
+
+ private:
+  int rank_;
+  size_t capacity_;
+  std::vector<TraceSpan> ring_;
+  size_t next_ = 0;      // ring slot the next span goes to
+  size_t size_ = 0;      // spans currently retained
+  std::int64_t dropped_ = 0;
+  std::array<SpanAggregate, kNumSpanKinds> aggregates_{};
+  std::vector<Histogram> histograms_;  // one per MetricId
+};
+
+// One machine's recorders: one per rank, created when tracing is armed
+// (ThreadTransport::SetTrace / Machine::EnableTrace).
+class Collector {
+ public:
+  Collector(int nranks, TraceOptions options);
+
+  int nranks() const { return static_cast<int>(recorders_.size()); }
+  const TraceOptions& options() const { return options_; }
+
+  TraceRecorder& recorder(int rank);
+  const TraceRecorder& recorder(int rank) const;
+
+  // A span tagged with its rank, for merged (cross-rank) views.
+  struct RankSpan {
+    int rank = 0;
+    TraceSpan span;
+
+    bool operator==(const RankSpan&) const = default;
+  };
+
+  // All ranks' spans merged deterministically: sorted by (begin, end,
+  // rank, per-rank record order). Virtual clocks are deterministic, so
+  // two runs of the same seeded workload merge identically
+  // (tests/trace_test.cc).
+  std::vector<RankSpan> MergedSpans() const;
+
+  // Per-kind aggregates summed over all ranks.
+  std::array<SpanAggregate, kNumSpanKinds> AggregateByKind() const;
+
+  // All ranks' observations of `id` merged into one histogram.
+  Histogram MergedHistogram(MetricId id) const;
+
+  // Total spans dropped to ring overflow, all ranks.
+  std::int64_t TotalDropped() const;
+
+  // Adds span aggregates, merged histograms and the drop counter to
+  // `registry` (span.<name>.count / .total_s / .total_arg counters and
+  // gauges; one histogram per MetricId; trace.spans_dropped).
+  void FillRegistry(MetricsRegistry& registry) const;
+
+  void Reset();
+
+ private:
+  TraceOptions options_;
+  std::vector<std::unique_ptr<TraceRecorder>> recorders_;
+};
+
+// ---- Thread-local rank context --------------------------------------
+//
+// Instrumentation sites (client, server, retry, transport) record
+// against "the current rank", installed by ThreadTransport::Run for the
+// lifetime of each rank thread. Outside a rank thread (or with tracing
+// disarmed) the context is null and every helper is a no-op.
+
+struct RankContext {
+  TraceRecorder* recorder = nullptr;
+  const VirtualClock* clock = nullptr;
+};
+
+RankContext& CurrentContext();
+
+// Installs (and on destruction restores) the calling thread's context.
+class ScopedRankContext {
+ public:
+  ScopedRankContext(TraceRecorder* recorder, const VirtualClock* clock)
+      : prev_(CurrentContext()) {
+    CurrentContext() = RankContext{recorder, clock};
+  }
+  ~ScopedRankContext() { CurrentContext() = prev_; }
+
+  ScopedRankContext(const ScopedRankContext&) = delete;
+  ScopedRankContext& operator=(const ScopedRankContext&) = delete;
+
+ private:
+  RankContext prev_;
+};
+
+// ---- Recording helpers (compile away with PANDA_TRACE_ENABLED=0) ----
+
+#if PANDA_TRACE_ENABLED
+
+// True when the calling thread has an armed recorder.
+inline bool Active() { return CurrentContext().recorder != nullptr; }
+
+// Records an explicit-time span against the current rank.
+inline void RecordSpan(SpanKind kind, double begin_vs, double end_vs,
+                       std::int64_t arg = 0) {
+  TraceRecorder* rec = CurrentContext().recorder;
+  if (rec != nullptr) rec->Record(kind, begin_vs, end_vs, arg);
+}
+
+// Records a zero-duration span at the current rank's current clock.
+inline void RecordInstant(SpanKind kind, std::int64_t arg = 0) {
+  const RankContext& ctx = CurrentContext();
+  if (ctx.recorder != nullptr) {
+    const double now = ctx.clock != nullptr ? ctx.clock->Now() : 0.0;
+    ctx.recorder->Record(kind, now, now, arg);
+  }
+}
+
+// Records one histogram observation against the current rank.
+inline void ObserveMetric(MetricId id, double value) {
+  TraceRecorder* rec = CurrentContext().recorder;
+  if (rec != nullptr) rec->Observe(id, value);
+}
+
+// RAII span over the current rank's virtual clock: [Now() at
+// construction, Now() at destruction].
+class SpanScope {
+ public:
+  explicit SpanScope(SpanKind kind, std::int64_t arg = 0) : arg_(arg) {
+    const RankContext& ctx = CurrentContext();
+    rec_ = ctx.recorder;
+    if (rec_ == nullptr) return;
+    clock_ = ctx.clock;
+    kind_ = kind;
+    begin_ = clock_ != nullptr ? clock_->Now() : 0.0;
+  }
+  ~SpanScope() {
+    if (rec_ != nullptr) {
+      rec_->Record(kind_, begin_,
+                   clock_ != nullptr ? clock_->Now() : begin_, arg_);
+    }
+  }
+
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+
+  void set_arg(std::int64_t arg) { arg_ = arg; }
+
+ private:
+  TraceRecorder* rec_ = nullptr;
+  const VirtualClock* clock_ = nullptr;
+  SpanKind kind_ = SpanKind::kClientCollective;
+  double begin_ = 0.0;
+  std::int64_t arg_ = 0;
+};
+
+#else  // !PANDA_TRACE_ENABLED
+
+inline bool Active() { return false; }
+inline void RecordSpan(SpanKind, double, double, std::int64_t = 0) {}
+inline void RecordInstant(SpanKind, std::int64_t = 0) {}
+inline void ObserveMetric(MetricId, double) {}
+
+class SpanScope {
+ public:
+  explicit SpanScope(SpanKind, std::int64_t = 0) {}
+  SpanScope(const SpanScope&) = delete;
+  SpanScope& operator=(const SpanScope&) = delete;
+  void set_arg(std::int64_t) {}
+};
+
+#endif  // PANDA_TRACE_ENABLED
+
+}  // namespace trace
+}  // namespace panda
+
+// RAII span macro for clock-bounded regions. Usage:
+//   { PANDA_SPAN(span, ::panda::trace::SpanKind::kServerPlan, 0);
+//     ... clock-advancing work ... }
+// Compiles to nothing with PANDA_TRACE_ENABLED=0.
+#if PANDA_TRACE_ENABLED
+#define PANDA_SPAN(var, kind, arg) ::panda::trace::SpanScope var(kind, arg)
+#else
+#define PANDA_SPAN(var, kind, arg) \
+  do {                             \
+  } while (0)
+#endif

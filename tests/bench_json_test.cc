@@ -1,0 +1,118 @@
+// The machine-readable bench schema is a contract: tools/bench.sh and
+// downstream dashboards parse it. This test pins the schema keys and
+// checks that the JSON's numbers are the table's numbers — throughput
+// re-derived from the exported elapsed matches to 1e-9 (in fact
+// bit-exactly, since doubles are printed with %.17g).
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "../bench/bench_util.h"
+
+namespace panda {
+namespace bench {
+namespace {
+
+// Minimal scalar extraction: the first `"key":<number>` after `from`.
+double NumberAfter(const std::string& json, const std::string& key,
+                   size_t from = 0) {
+  const std::string needle = "\"" + key + "\":";
+  const size_t pos = json.find(needle, from);
+  EXPECT_NE(pos, std::string::npos) << "missing key " << key;
+  if (pos == std::string::npos) return 0.0;
+  return std::strtod(json.c_str() + pos + needle.size(), nullptr);
+}
+
+FigureSpec SmokeSpec() {
+  FigureSpec spec;
+  spec.id = "smoke";
+  spec.description = "bench json schema smoke";
+  spec.op = IoOp::kWrite;
+  spec.num_clients = 8;
+  spec.cn_mesh = Shape{2, 2, 2};
+  spec.io_nodes = {2};
+  spec.sizes_mb = {16};
+  spec.reps = 1;
+  return spec;
+}
+
+TEST(BenchJson, SchemaKeysAndRoundTrip) {
+  const FigureSpec spec = SmokeSpec();
+
+  MeasureSpec ms;
+  ms.op = spec.op;
+  ms.params = Sp2Params::Nas();
+  ms.num_clients = spec.num_clients;
+  ms.io_nodes = spec.io_nodes[0];
+  ms.reps = spec.reps;
+  ms.trace = true;
+  const ArrayMeta meta =
+      PaperArrayMeta(spec.sizes_mb[0], spec.cn_mesh, spec.traditional,
+                     spec.io_nodes[0]);
+  const MeasureResult r = MeasureCollective(ms, meta);
+  ASSERT_GT(r.elapsed_s, 0.0);
+
+  std::vector<FigureRow> rows{FigureRow{spec.io_nodes[0], spec.sizes_mb[0], r}};
+  const std::string json = BenchJson(spec, /*quick=*/true, spec.reps, rows);
+
+  // Stable schema keys (tools/bench.sh greps for exactly these).
+  for (const char* key :
+       {"\"schema_version\":1", "\"kind\":\"panda_bench\"", "\"bench\":",
+        "\"description\":", "\"op\":\"write\"", "\"quick\":true", "\"reps\":1",
+        "\"rows\":[", "\"io_nodes\":", "\"size_mb\":", "\"elapsed_s\":",
+        "\"aggregate_Bps\":", "\"per_ion_Bps\":", "\"normalized\":",
+        "\"spans\":"}) {
+    EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
+  }
+
+  // The JSON's numbers ARE the table's numbers: %.17g round-trips
+  // doubles exactly, so re-parsing gives back the same bits.
+  const size_t row_pos = json.find("\"rows\":[");
+  EXPECT_EQ(NumberAfter(json, "elapsed_s", row_pos), r.elapsed_s);
+  EXPECT_EQ(NumberAfter(json, "aggregate_Bps", row_pos), r.aggregate_Bps);
+  EXPECT_EQ(NumberAfter(json, "per_ion_Bps", row_pos), r.per_ion_Bps);
+  EXPECT_EQ(NumberAfter(json, "normalized", row_pos), r.normalized);
+
+  // Acceptance bound: throughput re-derived from the exported elapsed
+  // matches the exported throughput within 1e-9 relative.
+  const double elapsed = NumberAfter(json, "elapsed_s", row_pos);
+  const double aggregate = NumberAfter(json, "aggregate_Bps", row_pos);
+  const double bytes = static_cast<double>(meta.total_bytes());
+  EXPECT_NEAR(bytes / elapsed, aggregate, 1e-9 * aggregate);
+  const double per_ion = NumberAfter(json, "per_ion_Bps", row_pos);
+  EXPECT_NEAR(aggregate / spec.io_nodes[0], per_ion, 1e-9 * per_ion);
+
+#if PANDA_TRACE_ENABLED
+  // Spans rode along (MeasureSpec::trace was set): the row's span block
+  // names at least the write path, and the top-level block sums rows.
+  EXPECT_NE(json.find("\"server.write\":{\"count\":"), std::string::npos);
+  EXPECT_NE(json.find("\"client.collective\":{\"count\":"),
+            std::string::npos);
+#else
+  // Compiled out: the schema keeps its shape, the span blocks are empty.
+  EXPECT_NE(json.find("\"spans\":{}"), std::string::npos);
+#endif
+}
+
+TEST(BenchJson, QuickFalseAndReadOpSpelledOut) {
+  FigureSpec spec = SmokeSpec();
+  spec.op = IoOp::kRead;
+  std::vector<FigureRow> rows;
+  const std::string json = BenchJson(spec, /*quick=*/false, 3, rows);
+  EXPECT_NE(json.find("\"op\":\"read\""), std::string::npos);
+  EXPECT_NE(json.find("\"quick\":false"), std::string::npos);
+  EXPECT_NE(json.find("\"reps\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"rows\":[]"), std::string::npos);
+}
+
+TEST(BenchUtil, MaxOverRanksIsSharedReduction) {
+  // The bench's per-rep elapsed reduction and the report's clock line
+  // use the same helper (the dedup satellite): pin its semantics.
+  const std::vector<double> values{0.25, 1.5, 0.75};
+  EXPECT_DOUBLE_EQ(MaxOverRanks(values), 1.5);
+  EXPECT_DOUBLE_EQ(MaxOverRanks(std::span<const double>{}), 0.0);
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace panda

@@ -1,0 +1,337 @@
+// The observability layer's core guarantees: span nesting, bounded
+// ring memory (drop-oldest + counter), histogram bucket semantics,
+// deterministic cross-rank merges, and — the one that matters most —
+// that tracing never perturbs the simulation: virtual clocks and byte
+// counts are bit-identical with tracing off, compiled-in-but-disarmed,
+// and fully armed.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "panda/report.h"
+#include "test_harness.h"
+#include "trace/export.h"
+#include "trace/trace.h"
+
+namespace panda {
+namespace {
+
+using test::FillPattern;
+
+// ---- TraceRecorder / SpanScope core ---------------------------------
+
+TEST(TraceRecorder, RecordsSpansInOrder) {
+  trace::TraceRecorder rec(0, 16);
+  rec.Record(trace::SpanKind::kServerWrite, 1.0, 2.5, 100);
+  rec.Record(trace::SpanKind::kServerRead, 3.0, 3.25, 50);
+
+  const std::vector<trace::TraceSpan> spans = rec.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kind, trace::SpanKind::kServerWrite);
+  EXPECT_DOUBLE_EQ(spans[0].begin_vs, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].end_vs, 2.5);
+  EXPECT_EQ(spans[0].arg, 100);
+  EXPECT_EQ(spans[1].kind, trace::SpanKind::kServerRead);
+
+  const trace::SpanAggregate& agg =
+      rec.aggregate(trace::SpanKind::kServerWrite);
+  EXPECT_EQ(agg.count, 1);
+  EXPECT_DOUBLE_EQ(agg.total_s, 1.5);
+  EXPECT_EQ(agg.total_arg, 100);
+  EXPECT_EQ(rec.dropped(), 0);
+}
+
+TEST(TraceRecorder, NestedScopesCompleteInnerFirst) {
+  trace::TraceRecorder rec(0, 16);
+  VirtualClock clock;
+  trace::ScopedRankContext ctx(&rec, &clock);
+
+  {
+    PANDA_SPAN(outer, trace::SpanKind::kClientCollective, 1);
+    clock.Advance(1.0);
+    {
+      PANDA_SPAN(inner, trace::SpanKind::kServerWrite, 2);
+      clock.Advance(0.5);
+    }
+    clock.Advance(1.0);
+  }
+
+#if PANDA_TRACE_ENABLED
+  // The inner span is recorded first (its destructor runs first), fully
+  // contained in the outer span's [0, 2.5] window.
+  const std::vector<trace::TraceSpan> spans = rec.Spans();
+  ASSERT_EQ(spans.size(), 2u);
+  EXPECT_EQ(spans[0].kind, trace::SpanKind::kServerWrite);
+  EXPECT_DOUBLE_EQ(spans[0].begin_vs, 1.0);
+  EXPECT_DOUBLE_EQ(spans[0].end_vs, 1.5);
+  EXPECT_EQ(spans[1].kind, trace::SpanKind::kClientCollective);
+  EXPECT_DOUBLE_EQ(spans[1].begin_vs, 0.0);
+  EXPECT_DOUBLE_EQ(spans[1].end_vs, 2.5);
+  EXPECT_LE(spans[1].begin_vs, spans[0].begin_vs);
+  EXPECT_GE(spans[1].end_vs, spans[0].end_vs);
+#else
+  EXPECT_TRUE(rec.Spans().empty());
+#endif
+}
+
+TEST(TraceRecorder, HelpersAreNoOpsWithoutContext) {
+  // No ScopedRankContext installed: nothing to record against, nothing
+  // crashes.
+  EXPECT_FALSE(trace::Active());
+  trace::RecordSpan(trace::SpanKind::kServerWrite, 0.0, 1.0, 8);
+  trace::RecordInstant(trace::SpanKind::kTransportRetransmit, 8);
+  trace::ObserveMetric(trace::MetricId::kSubchunkBytes, 4096.0);
+  { PANDA_SPAN(span, trace::SpanKind::kServerPlan, 0); }
+}
+
+TEST(TraceRecorder, RingOverflowDropsOldestAndCounts) {
+  trace::TraceRecorder rec(0, 4);
+  for (int i = 0; i < 10; ++i) {
+    rec.Record(trace::SpanKind::kServerWrite, static_cast<double>(i),
+               static_cast<double>(i) + 0.5, i);
+  }
+
+  // Ring keeps the newest 4 spans, oldest first.
+  const std::vector<trace::TraceSpan> spans = rec.Spans();
+  ASSERT_EQ(spans.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_DOUBLE_EQ(spans[static_cast<size_t>(i)].begin_vs, 6.0 + i);
+    EXPECT_EQ(spans[static_cast<size_t>(i)].arg, 6 + i);
+  }
+  EXPECT_EQ(rec.dropped(), 6);
+
+  // Aggregates are exact despite the drops.
+  const trace::SpanAggregate& agg =
+      rec.aggregate(trace::SpanKind::kServerWrite);
+  EXPECT_EQ(agg.count, 10);
+  EXPECT_DOUBLE_EQ(agg.total_s, 5.0);
+  EXPECT_EQ(agg.total_arg, 45);
+}
+
+// ---- Histogram semantics --------------------------------------------
+
+TEST(Histogram, BucketEdgesAreUpperBoundExclusive) {
+  trace::Histogram h({1.0, 10.0, 100.0});
+  ASSERT_EQ(h.counts().size(), 4u);  // 3 edges + overflow
+
+  h.Observe(0.5);    // < 1.0          -> bucket 0
+  h.Observe(1.0);    // >= 1.0, < 10   -> bucket 1 (edges exclusive above)
+  h.Observe(9.999);  //                -> bucket 1
+  h.Observe(10.0);   // >= 10, < 100   -> bucket 2
+  h.Observe(100.0);  // >= last edge   -> overflow
+  h.Observe(1e9);    //                -> overflow
+
+  EXPECT_EQ(h.counts()[0], 1);
+  EXPECT_EQ(h.counts()[1], 2);
+  EXPECT_EQ(h.counts()[2], 1);
+  EXPECT_EQ(h.counts()[3], 2);
+  EXPECT_EQ(h.total_count(), 6);
+  EXPECT_NEAR(h.sum(), 0.5 + 1.0 + 9.999 + 10.0 + 100.0 + 1e9, 1e-6);
+}
+
+TEST(Histogram, MergeRequiresSameEdgesAndAddsCounts) {
+  trace::Histogram a({1.0, 2.0});
+  trace::Histogram b({1.0, 2.0});
+  a.Observe(0.5);
+  b.Observe(0.7);
+  b.Observe(5.0);
+  a.Merge(b);
+  EXPECT_EQ(a.counts()[0], 2);
+  EXPECT_EQ(a.counts()[2], 1);
+  EXPECT_EQ(a.total_count(), 3);
+}
+
+TEST(Histogram, ExponentialEdgesAscend) {
+  const trace::Histogram h = trace::Histogram::Exponential(4096.0, 2.0, 8);
+  ASSERT_EQ(h.edges().size(), 8u);
+  EXPECT_DOUBLE_EQ(h.edges().front(), 4096.0);
+  for (size_t i = 1; i < h.edges().size(); ++i) {
+    EXPECT_DOUBLE_EQ(h.edges()[i], h.edges()[i - 1] * 2.0);
+  }
+}
+
+// ---- Whole-machine runs ---------------------------------------------
+
+struct RunOutcome {
+  MachineReport report;
+  std::vector<trace::Collector::RankSpan> merged;
+  std::string chrome_json;
+};
+
+// One seeded lossy write+read workload; `traced` arms the collector.
+RunOutcome RunWorkload(bool traced) {
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 1024;
+  const int kClients = 4;
+  const int kServers = 2;
+  Machine machine = Machine::Simulated(kClients, kServers, params,
+                                       /*store_data=*/true, false);
+  LossSpec loss;
+  loss.seed = 7;
+  loss.drop_prob = 0.05;
+  loss.dup_prob = 0.05;
+  machine.SetLoss(loss);
+  if (traced) machine.EnableTrace();
+
+  const World world{kClients, kServers};
+  ArrayMeta meta;
+  meta.name = "t";
+  meta.elem_size = 4;
+  const Shape shape{16, 12, 8};
+  meta.memory = Schema(shape, Mesh(Shape{2, 2}),
+                       {DimDist::Block(), DimDist::Block(), DimDist::None()});
+  meta.disk = Schema(shape, Mesh(Shape{kServers}),
+                     {DimDist::Block(), DimDist::None(), DimDist::None()});
+
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        PandaClient client(ep, world, params);
+        Array a(meta.name, meta.elem_size, meta.memory, meta.disk);
+        a.BindClient(idx);
+        FillPattern(a, 11);
+        client.WriteArray(a);
+        client.ReadArray(a);
+        if (idx == 0) client.Shutdown();
+      },
+      [&](Endpoint& ep, int sidx) {
+        ServerMain(ep, machine.server_fs(sidx), world, params);
+      });
+
+  RunOutcome outcome;
+  outcome.report = Snapshot(machine);
+  if (const trace::Collector* collector = machine.trace_collector()) {
+    outcome.merged = collector->MergedSpans();
+    outcome.chrome_json = MachineTraceJson(machine);
+  }
+  return outcome;
+}
+
+// The load-bearing guarantee: arming tracing changes no virtual clock
+// and no byte count. Spans only read the clocks.
+TEST(TraceEquivalence, TracedRunClocksBitIdenticalToUntraced) {
+  const RunOutcome off = RunWorkload(false);
+  const RunOutcome on = RunWorkload(true);
+
+  ASSERT_EQ(off.report.client_clock_s.size(), on.report.client_clock_s.size());
+  for (size_t i = 0; i < off.report.client_clock_s.size(); ++i) {
+    // Bit-identical, not nearly-equal.
+    EXPECT_EQ(off.report.client_clock_s[i], on.report.client_clock_s[i]);
+  }
+  ASSERT_EQ(off.report.server_clock_s.size(), on.report.server_clock_s.size());
+  for (size_t i = 0; i < off.report.server_clock_s.size(); ++i) {
+    EXPECT_EQ(off.report.server_clock_s[i], on.report.server_clock_s[i]);
+  }
+  EXPECT_EQ(off.report.messages.messages_sent,
+            on.report.messages.messages_sent);
+  EXPECT_EQ(off.report.messages.bytes_sent, on.report.messages.bytes_sent);
+  ASSERT_EQ(off.report.server_fs.size(), on.report.server_fs.size());
+  for (size_t s = 0; s < off.report.server_fs.size(); ++s) {
+    EXPECT_EQ(off.report.server_fs[s].bytes_written,
+              on.report.server_fs[s].bytes_written);
+    EXPECT_EQ(off.report.server_fs[s].bytes_read,
+              on.report.server_fs[s].bytes_read);
+    EXPECT_EQ(off.report.server_fs[s].writes, on.report.server_fs[s].writes);
+  }
+}
+
+#if PANDA_TRACE_ENABLED
+
+// Same seeded workload, same merged timeline: virtual clocks are
+// deterministic, so the cross-rank merge is reproducible span for span.
+TEST(TraceEquivalence, MergedSpansDeterministicUnderFixedSeed) {
+  const RunOutcome a = RunWorkload(true);
+  const RunOutcome b = RunWorkload(true);
+  ASSERT_FALSE(a.merged.empty());
+  ASSERT_EQ(a.merged.size(), b.merged.size());
+  EXPECT_TRUE(a.merged == b.merged);
+  EXPECT_EQ(a.chrome_json, b.chrome_json);
+}
+
+TEST(TraceEquivalence, MergedSpansAreSortedAndCoverTheProtocol) {
+  const RunOutcome on = RunWorkload(true);
+  ASSERT_FALSE(on.merged.empty());
+  for (size_t i = 1; i < on.merged.size(); ++i) {
+    EXPECT_LE(on.merged[i - 1].span.begin_vs, on.merged[i].span.begin_vs);
+  }
+  std::array<std::int64_t, trace::kNumSpanKinds> seen{};
+  for (const trace::Collector::RankSpan& rs : on.merged) {
+    ++seen[static_cast<size_t>(rs.span.kind)];
+    EXPECT_GE(rs.span.end_vs, rs.span.begin_vs);
+    EXPECT_GE(rs.rank, 0);
+  }
+  // A lossy write+read exercises every protocol stage we instrument.
+  using SK = trace::SpanKind;
+  for (const SK kind :
+       {SK::kClientCollective, SK::kTransportSend, SK::kTransportRecv,
+        SK::kTransportRetransmit, SK::kServerPlan, SK::kServerPull,
+        SK::kServerWrite, SK::kServerRead}) {
+    EXPECT_GT(seen[static_cast<size_t>(kind)], 0)
+        << "missing span kind " << trace::SpanKindName(kind);
+  }
+}
+
+TEST(TraceEquivalence, MetricsRegistryCarriesSpansAndHistograms) {
+  const RunOutcome on = RunWorkload(true);
+  const trace::MetricsSnapshot& m = on.report.metrics;
+  // Imported report counters (single source of truth).
+  EXPECT_EQ(m.counters.at("msg.messages_sent"),
+            on.report.messages.messages_sent);
+  EXPECT_EQ(m.counters.at("transport.drops_injected"),
+            on.report.transport.drops_injected);
+  EXPECT_EQ(m.counters.at("robustness.io_retries"),
+            on.report.robustness.io_retries);
+  // Span aggregates and histograms from the collector.
+  EXPECT_GT(m.counters.at("span.server.write.count"), 0);
+  EXPECT_GT(m.gauges.at("span.client.collective.total_s"), 0.0);
+  const trace::MetricsSnapshot::Hist& sub =
+      m.histograms.at("server.subchunk_bytes");
+  EXPECT_GT(sub.total_count, 0);
+  EXPECT_EQ(sub.counts.size(), sub.edges.size() + 1);
+  EXPECT_TRUE(m.histograms.count("disk.op_seconds"));
+  EXPECT_TRUE(m.histograms.count("mailbox.depth"));
+  EXPECT_EQ(m.counters.at("trace.spans_dropped"), 0);
+}
+
+TEST(TraceExport, ChromeJsonIsWellFormedEnough) {
+  const RunOutcome on = RunWorkload(true);
+  const std::string& json = on.chrome_json;
+  ASSERT_FALSE(json.empty());
+  // Perfetto's minimum demands: a traceEvents array, per-rank
+  // thread_name metadata, X events with ts/dur, balanced braces.
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"client 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ion 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":"), std::string::npos);
+  std::int64_t depth = 0;
+  for (const char c : json) {
+    if (c == '{') ++depth;
+    if (c == '}') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+  std::int64_t brackets = 0;
+  for (const char c : json) {
+    if (c == '[') ++brackets;
+    if (c == ']') --brackets;
+    ASSERT_GE(brackets, 0);
+  }
+  EXPECT_EQ(brackets, 0);
+}
+
+#endif  // PANDA_TRACE_ENABLED
+
+TEST(TraceExport, JsonDoubleRoundTrips) {
+  for (const double v : {0.0, 1.0 / 3.0, 1e-300, 123456.789012345678,
+                         6.25e-2}) {
+    const std::string s = trace::JsonDouble(v);
+    EXPECT_EQ(std::stod(s), v) << s;
+  }
+  // Non-finite values must not leak into JSON.
+  EXPECT_EQ(trace::JsonDouble(std::nan("")), "0");
+}
+
+}  // namespace
+}  // namespace panda

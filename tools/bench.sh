@@ -1,0 +1,64 @@
+#!/bin/sh
+# Smoke bench + schema guard: runs the Figure 4 bench in --quick mode,
+# writes the machine-readable outputs, and fails if the stable
+# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 1)
+# drifts — downstream dashboards and the CI artifact step parse it.
+#
+#   tools/bench.sh [BUILD_DIR] [OUT_DIR]
+#
+# BUILD_DIR defaults to ./build (must already contain the bench
+# binaries); OUT_DIR defaults to BUILD_DIR/bench-out. Writes
+# BENCH_fig4_smoke.json and TRACE_fig4_smoke.json.
+set -eu
+
+BUILD_DIR="${1:-build}"
+OUT_DIR="${2:-$BUILD_DIR/bench-out}"
+BIN="$BUILD_DIR/bench/bench_fig4_write_natural"
+
+if [ ! -x "$BIN" ]; then
+  echo "bench.sh: missing $BIN (build the repo first)" >&2
+  exit 1
+fi
+
+mkdir -p "$OUT_DIR"
+JSON="$OUT_DIR/BENCH_fig4_smoke.json"
+TRACE="$OUT_DIR/TRACE_fig4_smoke.json"
+
+"$BIN" --quick --json_out="$JSON" --trace_out="$TRACE"
+
+# --- schema drift check -------------------------------------------------
+# Every key of schema_version 1 must be present, spelled exactly.
+fail=0
+for key in \
+    '"schema_version":1' \
+    '"kind":"panda_bench"' \
+    '"bench":' \
+    '"description":' \
+    '"op":' \
+    '"quick":' \
+    '"reps":' \
+    '"rows":[' \
+    '"io_nodes":' \
+    '"size_mb":' \
+    '"elapsed_s":' \
+    '"aggregate_Bps":' \
+    '"per_ion_Bps":' \
+    '"normalized":' \
+    '"spans":'; do
+  if ! grep -qF "$key" "$JSON"; then
+    echo "bench.sh: SCHEMA DRIFT — missing $key in $JSON" >&2
+    fail=1
+  fi
+done
+
+# The trace artifact must be a Chrome trace_event JSON with per-rank
+# tracks and complete events.
+for key in '"traceEvents":[' '"thread_name"' '"ph":"X"' '"ts":' '"dur":'; do
+  if ! grep -qF "$key" "$TRACE"; then
+    echo "bench.sh: TRACE DRIFT — missing $key in $TRACE" >&2
+    fail=1
+  fi
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "bench.sh OK: $JSON $TRACE"

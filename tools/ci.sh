@@ -14,6 +14,10 @@
 # arrive — fails the suite instead of wedging CI. An explicit
 # `ctest --timeout` backstop covers tests added without the property.
 #
+# Between the plain suite and the sanitizers, tools/bench.sh runs a
+# quick Figure 4 sweep, guards the machine-readable bench schema, and
+# archives one Chrome trace artifact (docs/OBSERVABILITY.md).
+#
 #   tools/ci.sh [--skip-sanitizers]
 set -eu
 
@@ -34,11 +38,26 @@ run_suite() {
 echo "== plain build + tests"
 run_suite build-ci 120
 
+echo "== smoke bench + schema check"
+# Runs the Figure 4 quick sweep, writes BENCH_fig4_smoke.json and a
+# Chrome trace, and fails on panda_bench schema drift
+# (docs/OBSERVABILITY.md). The trace is the CI run's archived
+# observability artifact.
+tools/bench.sh build-ci build-ci/bench-out
+mkdir -p build-ci/artifacts
+cp build-ci/bench-out/TRACE_fig4_smoke.json \
+   build-ci/bench-out/BENCH_fig4_smoke.json build-ci/artifacts/
+echo "archived artifacts: build-ci/artifacts/"
+
 if [ -z "$SKIP_SAN" ]; then
+  # Sanitizer passes build with tracing compiled in (PANDA_TRACE=ON is
+  # the default, passed explicitly so a default flip cannot silently
+  # shrink sanitizer coverage of the span/metrics hot paths).
   echo "== asan/ubsan build + tests"
-  run_suite build-ci-asan 600 "-DPANDA_SANITIZE=address;undefined"
+  run_suite build-ci-asan 600 "-DPANDA_SANITIZE=address;undefined" \
+            -DPANDA_TRACE=ON
   echo "== tsan build + tests"
-  run_suite build-ci-tsan 600 "-DPANDA_SANITIZE=thread"
+  run_suite build-ci-tsan 600 "-DPANDA_SANITIZE=thread" -DPANDA_TRACE=ON
 fi
 
 echo "CI OK"
