@@ -13,7 +13,7 @@
 // checker can audit the degraded group afterwards:
 //
 //   ./examples/failover_demo [--dir=PATH]
-//   ./examples/panda_fsck --root=PATH --io_nodes=3 --schema=demo.schema \
+//   ./examples/panda_fsck --root=PATH --io_nodes=3 --schema=demo.schema
 //       --subchunk_bytes=8192 --verify_checksums --verify_journal
 //
 // fsck reads the `__panda.dead_servers` attribute from demo.schema,

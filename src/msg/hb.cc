@@ -1,0 +1,155 @@
+#include "msg/hb.h"
+
+#include <algorithm>
+
+#include "util/error.h"
+
+namespace panda {
+namespace hb {
+
+std::string Race::ToString() const {
+  return "unordered " + std::string(prev_write ? "write" : "read") + "/" +
+         (write ? "write" : "read") + " on '" + object + "' by ranks " +
+         std::to_string(prev_rank) + " and " + std::to_string(rank) +
+         " (no happens-before edge orders them)";
+}
+
+Checker::Checker(int nranks) : nranks_(nranks) {
+  PANDA_CHECK_MSG(nranks >= 1, "hb checker needs at least one rank");
+  vc_.assign(static_cast<size_t>(nranks) + 1,
+             VectorClock(static_cast<size_t>(nranks) + 1, 0));
+}
+
+VectorClock& Checker::VcLocked(int rank) {
+  PANDA_CHECK(rank >= 0 && rank <= nranks_);
+  return vc_[static_cast<size_t>(rank)];
+}
+
+void Checker::JoinLocked(VectorClock& into, const VectorClock& from) {
+  for (size_t i = 0; i < into.size(); ++i) {
+    into[i] = std::max(into[i], from[i]);
+  }
+}
+
+void Checker::OnRunStart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorClock& root = vc_[static_cast<size_t>(nranks_)];
+  ++root[static_cast<size_t>(nranks_)];
+  for (int r = 0; r < nranks_; ++r) {
+    JoinLocked(vc_[static_cast<size_t>(r)], root);
+  }
+}
+
+void Checker::OnRunEnd() {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorClock& root = vc_[static_cast<size_t>(nranks_)];
+  for (int r = 0; r < nranks_; ++r) {
+    JoinLocked(root, vc_[static_cast<size_t>(r)]);
+  }
+}
+
+void Checker::OnSend(int rank, std::uint64_t msg_id) {
+  if (msg_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorClock& vc = VcLocked(rank);
+  // Snapshot first, then tick: the send itself precedes whatever the
+  // sender does next, but the receiver only inherits up to the send.
+  sends_[msg_id] = vc;
+  ++vc[static_cast<size_t>(rank)];
+}
+
+void Checker::OnRecv(int rank, std::uint64_t msg_id) {
+  if (msg_id == 0) return;
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sends_.find(msg_id);
+  if (it == sends_.end()) return;  // message predates this checker
+  JoinLocked(VcLocked(rank), it->second);
+}
+
+void Checker::OnLockAcquire(int rank, const void* lock_ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = locks_.find(lock_ptr);
+  if (it != locks_.end()) JoinLocked(VcLocked(rank), it->second);
+}
+
+void Checker::OnLockRelease(int rank, const void* lock_ptr) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorClock& vc = VcLocked(rank);
+  locks_[lock_ptr] = vc;
+  ++vc[static_cast<size_t>(rank)];
+}
+
+void Checker::ReportLocked(const ObjectState& obj, int prev_rank,
+                           bool prev_write, int rank, bool write) {
+  // Deduplicate per (object, rank pair, kind pair): a racy loop would
+  // otherwise flood the report with the same finding.
+  const auto key =
+      std::make_tuple(static_cast<const void*>(&obj), prev_rank, rank,
+                      prev_write, write);
+  if (!reported_.emplace(key, true).second) return;
+  races_.push_back(Race{obj.name, prev_rank, prev_write, rank, write});
+}
+
+void Checker::OnAccess(int rank, const void* object, const char* name,
+                       bool is_write) {
+  std::lock_guard<std::mutex> lock(mu_);
+  VectorClock& vc = VcLocked(rank);
+  auto [it, inserted] = objects_.try_emplace(object);
+  ObjectState& obj = it->second;
+  if (inserted) {
+    obj.name = name;
+    obj.reads.assign(static_cast<size_t>(nranks_) + 1, 0);
+  }
+
+  // Read/write after an unordered write?
+  if (obj.last_writer >= 0 && obj.last_writer != rank &&
+      obj.last_write_clock > vc[static_cast<size_t>(obj.last_writer)]) {
+    ReportLocked(obj, obj.last_writer, /*prev_write=*/true, rank, is_write);
+  }
+  if (is_write) {
+    // Write after an unordered read?
+    for (int r = 0; r < static_cast<int>(obj.reads.size()); ++r) {
+      if (r == rank) continue;
+      if (obj.reads[static_cast<size_t>(r)] > vc[static_cast<size_t>(r)]) {
+        ReportLocked(obj, r, /*prev_write=*/false, rank, /*write=*/true);
+      }
+    }
+    ++vc[static_cast<size_t>(rank)];
+    obj.last_writer = rank;
+    obj.last_write_clock = vc[static_cast<size_t>(rank)];
+    // The write epoch subsumes every checked read.
+    std::fill(obj.reads.begin(), obj.reads.end(), 0);
+  } else {
+    ++vc[static_cast<size_t>(rank)];
+    obj.reads[static_cast<size_t>(rank)] = vc[static_cast<size_t>(rank)];
+  }
+}
+
+std::vector<Race> Checker::Races() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return races_;
+}
+
+std::size_t Checker::race_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return races_.size();
+}
+
+void Checker::ClearRaces() {
+  std::lock_guard<std::mutex> lock(mu_);
+  races_.clear();
+  reported_.clear();
+}
+
+void Checker::ForgetMessages() {
+  std::lock_guard<std::mutex> lock(mu_);
+  sends_.clear();
+}
+
+ThreadContext& CurrentThread() {
+  thread_local ThreadContext ctx;
+  return ctx;
+}
+
+}  // namespace hb
+}  // namespace panda

@@ -1,0 +1,197 @@
+// Vector-clock happens-before race checker for the simulated machine.
+//
+// The paper's whole argument rests on *deterministic, reproducible*
+// collective schedules: two runs of the same seeded workload must
+// produce bit-identical virtual clocks and file bytes. Ranks execute as
+// real threads, so the one thing that can silently break determinism is
+// a pair of conflicting shared-state accesses that are not ordered by
+// the protocol itself — a mailbox race, a lossy-layer bookkeeping slip,
+// a server touching another server's file system. TSan catches the
+// C++-level data race; this checker catches the *protocol-level* one:
+// accesses that are individually synchronized (atomics, mutexes) but
+// whose ORDER the message graph does not fix, which is exactly the kind
+// of bug that makes a run seed-dependent.
+//
+// Model (classic vector clocks, FastTrack-style epochs for objects):
+//  * every rank thread (plus the driver "root") carries a VectorClock;
+//  * a message send snapshots the sender's VC under the message id and
+//    the receive joins it into the receiver — Lamport's happened-before;
+//  * lock release/acquire pairs add release-consistency edges, so data
+//    guarded by a real mutex (the lossy layer's reliable_mu_) is not
+//    misreported;
+//  * Run() fork/join edges connect rank threads to the driver;
+//  * an instrumented access to a shared object checks the last write
+//    epoch (and, for writes, every rank's last read) against the
+//    accessor's VC; an unordered conflicting pair is recorded as a Race.
+//
+// Compile gate: like PANDA_TRACE, the stamping helpers (Stamp*) compile
+// to nothing with -DPANDA_HB_ENABLED=0 (CMake option PANDA_HB, default
+// OFF), so production builds are bit-identical to a tree without this
+// file. The Checker class itself always compiles: tests exercise the
+// algorithm in every build. See docs/ANALYSIS.md.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#ifndef PANDA_HB_ENABLED
+#define PANDA_HB_ENABLED 0
+#endif
+
+namespace panda {
+namespace hb {
+
+using VectorClock = std::vector<std::uint64_t>;
+
+// One detected unordered conflicting access pair.
+struct Race {
+  std::string object;   // instrumentation name ("server.fs", ...)
+  int prev_rank = -1;   // earlier access (program order of detection)
+  bool prev_write = false;
+  int rank = -1;        // access that exposed the race
+  bool write = false;
+
+  std::string ToString() const;
+};
+
+// A machine-wide happens-before checker. One instance per
+// ThreadTransport; rank -1..nranks-1 are rank threads and rank nranks
+// is the driver thread ("root"). All methods are internally locked —
+// this is a debugging instrument, not a hot path.
+class Checker {
+ public:
+  explicit Checker(int nranks);
+
+  int nranks() const { return nranks_; }
+
+  // --- fork/join edges (ThreadTransport::Run) ---
+  void OnRunStart();  // root happens-before every rank's first step
+  void OnRunEnd();    // every rank's last step happens-before root
+
+  // --- message edges ---
+  // Snapshots `rank`'s VC under `msg_id` (0 = untracked, ignored).
+  void OnSend(int rank, std::uint64_t msg_id);
+  // Joins the sender VC recorded under `msg_id` into `rank`.
+  void OnRecv(int rank, std::uint64_t msg_id);
+
+  // --- lock edges (release consistency) ---
+  void OnLockAcquire(int rank, const void* lock);
+  void OnLockRelease(int rank, const void* lock);
+
+  // --- instrumented shared-state access ---
+  // `object` identifies the shared state (pointer identity); `name` is
+  // the human-readable label used in race reports.
+  void OnAccess(int rank, const void* object, const char* name,
+                bool is_write);
+
+  std::vector<Race> Races() const;
+  std::size_t race_count() const;
+  void ClearRaces();
+
+  // Drops per-message VC snapshots (bounds memory across epochs; called
+  // by ThreadTransport::ResetClocksAndStats between repetitions).
+  void ForgetMessages();
+
+ private:
+  struct ObjectState {
+    std::string name;
+    int last_writer = -1;
+    std::uint64_t last_write_clock = 0;
+    VectorClock reads;  // per-rank last read epoch
+  };
+
+  // Returns the rank's VC slot; root uses index nranks_.
+  VectorClock& VcLocked(int rank);
+  void JoinLocked(VectorClock& into, const VectorClock& from);
+  void ReportLocked(const ObjectState& obj, int prev_rank, bool prev_write,
+                    int rank, bool write);
+
+  const int nranks_;
+  mutable std::mutex mu_;
+  std::vector<VectorClock> vc_;  // nranks_ + 1 (root last)
+  std::map<std::uint64_t, VectorClock> sends_;
+  std::map<const void*, VectorClock> locks_;
+  std::map<const void*, ObjectState> objects_;
+  std::vector<Race> races_;
+  std::map<std::tuple<const void*, int, int, bool, bool>, bool> reported_;
+};
+
+// ---- Thread-local rank context --------------------------------------
+//
+// Stamping sites record against "the current rank's checker", installed
+// by ThreadTransport::Run for the lifetime of each rank thread (exactly
+// like trace::ScopedRankContext). Outside a rank thread, or with the
+// gate compiled out, every stamp is a no-op.
+
+struct ThreadContext {
+  Checker* checker = nullptr;
+  int rank = -1;
+};
+
+ThreadContext& CurrentThread();
+
+class ScopedThread {
+ public:
+  ScopedThread(Checker* checker, int rank) : prev_(CurrentThread()) {
+    CurrentThread() = ThreadContext{checker, rank};
+  }
+  ~ScopedThread() { CurrentThread() = prev_; }
+
+  ScopedThread(const ScopedThread&) = delete;
+  ScopedThread& operator=(const ScopedThread&) = delete;
+
+ private:
+  ThreadContext prev_;
+};
+
+// ---- Stamping helpers (compile away with PANDA_HB_ENABLED=0) --------
+
+#if PANDA_HB_ENABLED
+
+inline bool Active() { return CurrentThread().checker != nullptr; }
+
+inline void StampSend(std::uint64_t msg_id) {
+  const ThreadContext& ctx = CurrentThread();
+  if (ctx.checker != nullptr) ctx.checker->OnSend(ctx.rank, msg_id);
+}
+
+inline void StampRecv(std::uint64_t msg_id) {
+  const ThreadContext& ctx = CurrentThread();
+  if (ctx.checker != nullptr) ctx.checker->OnRecv(ctx.rank, msg_id);
+}
+
+inline void StampAccess(const void* object, const char* name,
+                        bool is_write) {
+  const ThreadContext& ctx = CurrentThread();
+  if (ctx.checker != nullptr) {
+    ctx.checker->OnAccess(ctx.rank, object, name, is_write);
+  }
+}
+
+inline void StampLockAcquire(const void* lock) {
+  const ThreadContext& ctx = CurrentThread();
+  if (ctx.checker != nullptr) ctx.checker->OnLockAcquire(ctx.rank, lock);
+}
+
+inline void StampLockRelease(const void* lock) {
+  const ThreadContext& ctx = CurrentThread();
+  if (ctx.checker != nullptr) ctx.checker->OnLockRelease(ctx.rank, lock);
+}
+
+#else  // !PANDA_HB_ENABLED
+
+inline bool Active() { return false; }
+inline void StampSend(std::uint64_t) {}
+inline void StampRecv(std::uint64_t) {}
+inline void StampAccess(const void*, const char*, bool) {}
+inline void StampLockAcquire(const void*) {}
+inline void StampLockRelease(const void*) {}
+
+#endif  // PANDA_HB_ENABLED
+
+}  // namespace hb
+}  // namespace panda

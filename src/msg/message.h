@@ -15,6 +15,10 @@
 #include "util/codec.h"
 #include "util/error.h"
 
+#ifndef PANDA_HB_ENABLED
+#define PANDA_HB_ENABLED 0
+#endif
+
 namespace panda {
 
 struct Message {
@@ -29,6 +33,12 @@ struct Message {
   // real stacks carry sequence numbers inside the per-message framing
   // already charged via the constant header overhead.
   std::int64_t seq = -1;
+#if PANDA_HB_ENABLED
+  // Happens-before checker identity (msg/hb.h): ties this message's
+  // receive back to the sender's vector clock snapshot. 0 = untracked.
+  // Only exists in PANDA_HB builds so production layouts are unchanged.
+  std::uint64_t hb_id = 0;
+#endif
 
   // Attaches a real payload.
   void SetPayload(std::vector<std::byte> bytes) {

@@ -1,7 +1,9 @@
 #include "msg/transport.h"
 
 #include <algorithm>
+#include <chrono>
 #include <exception>
+#include <numeric>
 #include <thread>
 
 #include "util/error.h"
@@ -23,6 +25,21 @@ std::uint64_t PairSeed(std::uint64_t seed, int src, int dst) {
   x ^= x >> 27;
   return x;
 }
+
+// Tags a message for the happens-before checker and stamps the send
+// edge. Compiled to nothing without PANDA_HB (Message has no hb_id
+// field then, so the whole body must be gated).
+#if PANDA_HB_ENABLED
+void HbTagSend(std::atomic<std::uint64_t>& counter, Message& msg) {
+  if (!hb::Active()) return;
+  msg.hb_id = counter.fetch_add(1, std::memory_order_relaxed);
+  hb::StampSend(msg.hb_id);
+}
+void HbStampRecv(const Message& msg) { hb::StampRecv(msg.hb_id); }
+#else
+void HbTagSend(std::atomic<std::uint64_t>&, Message&) {}
+void HbStampRecv(const Message&) {}
+#endif
 }  // namespace
 
 int Endpoint::world_size() const { return transport_->world_size(); }
@@ -64,6 +81,9 @@ void Endpoint::SendResponse(double ready_time, int dst, int tag, Message msg) {
 ThreadTransport::ThreadTransport(int nranks, Config config)
     : config_(config) {
   PANDA_CHECK_MSG(nranks >= 1, "transport needs at least one rank");
+#if PANDA_HB_ENABLED
+  hb_ = std::make_unique<hb::Checker>(nranks);
+#endif
   mailboxes_.reserve(static_cast<size_t>(nranks));
   endpoints_.reserve(static_cast<size_t>(nranks));
   alive_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(nranks));
@@ -115,6 +135,29 @@ void ThreadTransport::InstallHooks() {
     hooks.rescue = [this, r] { Rescue(r); };
     hooks.peer_dead = [this](int rank) { return !alive(rank); };
     mailboxes_[static_cast<size_t>(r)]->InstallHooks(std::move(hooks));
+  }
+}
+
+void ThreadTransport::MaybePerturb(Endpoint& self) {
+  if (schedule_seed_ == 0) return;
+  // Seeded wall-clock jitter: force the OS to consider other runnable
+  // rank threads here. Determinism contract: virtual clocks and bytes
+  // are computed from message stamps and per-rank state only, so ANY
+  // interleaving must produce bit-identical results — this perturbation
+  // exists to falsify that claim when it stops being true.
+  const std::uint64_t u = self.sched_rng_.Next();
+  switch (u & 7u) {
+    case 0:
+      std::this_thread::sleep_for(
+          std::chrono::microseconds(1 + (u >> 8) % 120));
+      break;
+    case 1:
+    case 2:
+    case 3:
+      std::this_thread::yield();
+      break;
+    default:
+      break;  // run through
   }
 }
 
@@ -229,6 +272,12 @@ void ThreadTransport::Dispatch(int src, int dst, Message msg) {
     return;
   }
   std::lock_guard<std::mutex> lock(reliable_mu_);
+  // HB model: the reliable layer's bookkeeping is shared mutable state
+  // touched by every sender (and by receivers via Rescue). The mutex
+  // serializes it; the lock edges teach the checker that order, and the
+  // access stamp would flag any future lock-free "optimization".
+  hb::StampLockAcquire(&reliable_mu_);
+  hb::StampAccess(&pairs_, "transport.reliable", /*is_write=*/true);
   PairState& pair = PairLocked(src, dst);
   msg.seq = pair.next_seq[msg.tag]++;
   switch (DrawOutcome(pair)) {
@@ -263,11 +312,14 @@ void ThreadTransport::Dispatch(int src, int dst, Message msg) {
       FlushLimboLocked(dst, pair);
       break;
   }
+  hb::StampLockRelease(&reliable_mu_);
 }
 
 void ThreadTransport::Rescue(int dst) {
   if (!reliable_) return;
   std::lock_guard<std::mutex> lock(reliable_mu_);
+  hb::StampLockAcquire(&reliable_mu_);
+  hb::StampAccess(&pairs_, "transport.reliable", /*is_write=*/true);
   for (auto& entry : pairs_) {
     if (entry.first.second != dst) continue;
     PairState& pair = entry.second;
@@ -285,11 +337,14 @@ void ThreadTransport::Rescue(int dst) {
       SequenceLocked(dst, std::move(again));
     }
   }
+  hb::StampLockRelease(&reliable_mu_);
 }
 
 void ThreadTransport::DoSend(Endpoint& from, int dst, int tag, Message msg) {
   PANDA_CHECK_MSG(dst >= 0 && dst < world_size(), "send to bad rank %d", dst);
+  MaybePerturb(from);
   MaybeKill(from);
+  HbTagSend(next_hb_id_, msg);
   msg.src = from.rank();
   msg.tag = tag;
   if (config_.timing_only && !msg.payload.empty()) {
@@ -344,11 +399,13 @@ void ThreadTransport::ObserveMailboxDepth(Endpoint& self) {
 
 Message ThreadTransport::DoRecv(Endpoint& self, int src, int tag) {
   PANDA_CHECK_MSG(src >= 0 && src < world_size(), "recv from bad rank %d", src);
+  MaybePerturb(self);
   const double recv_begin = self.clock_.Now();
   try {
     Message msg =
         mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceive(src,
                                                                       tag);
+    HbStampRecv(msg);
     ObserveMailboxDepth(self);
     AccountRecv(self, msg);
     trace::RecordSpan(trace::SpanKind::kTransportRecv, recv_begin,
@@ -366,9 +423,11 @@ Message ThreadTransport::DoRecv(Endpoint& self, int src, int tag) {
 }
 
 Message ThreadTransport::DoRecvAny(Endpoint& self, int tag) {
+  MaybePerturb(self);
   const double recv_begin = self.clock_.Now();
   Message msg =
       mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceiveAny(tag);
+  HbStampRecv(msg);
   ObserveMailboxDepth(self);
   AccountRecv(self, msg);
   trace::RecordSpan(trace::SpanKind::kTransportRecv, recv_begin,
@@ -379,6 +438,7 @@ Message ThreadTransport::DoRecvAny(Endpoint& self, int tag) {
 std::optional<Message> ThreadTransport::DoTryRecv(Endpoint& self, int src,
                                                   int tag, double timeout_vs) {
   PANDA_CHECK(timeout_vs >= 0.0);
+  MaybePerturb(self);
   Mailbox& mb = *mailboxes_[static_cast<size_t>(self.rank())];
   std::optional<Message> msg = mb.ReceiveWithin(src, tag, kTryRecvGrace);
   if (!msg && reliable_) {
@@ -387,6 +447,7 @@ std::optional<Message> ThreadTransport::DoTryRecv(Endpoint& self, int src,
     msg = mb.ReceiveWithin(src, tag, std::chrono::milliseconds(0));
   }
   if (msg) {
+    HbStampRecv(*msg);
     const double recv_begin = self.clock_.Now();
     ObserveMailboxDepth(self);
     AccountRecv(self, *msg);
@@ -403,8 +464,10 @@ std::optional<Message> ThreadTransport::DoTryRecv(Endpoint& self, int src,
 
 Endpoint::Delivery ThreadTransport::DoRecvAnyDelivery(Endpoint& self,
                                                       int tag) {
+  MaybePerturb(self);
   Endpoint::Delivery d;
   d.msg = mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceiveAny(tag);
+  HbStampRecv(d.msg);
   // Contention-free ingest: responder receives are serviced in wall-clock
   // arrival order, which under thread scheduling can diverge from virtual
   // arrival order; routing them through the shared rx-link horizon would
@@ -430,7 +493,9 @@ Endpoint::Delivery ThreadTransport::DoRecvAnyDelivery(Endpoint& self,
 void ThreadTransport::DoSendResponse(Endpoint& from, double ready_time,
                                      int dst, int tag, Message msg) {
   PANDA_CHECK_MSG(dst >= 0 && dst < world_size(), "send to bad rank %d", dst);
+  MaybePerturb(from);
   MaybeKill(from);
+  HbTagSend(next_hb_id_, msg);
   msg.src = from.rank();
   msg.tag = tag;
   if (config_.timing_only && !msg.payload.empty()) {
@@ -468,7 +533,30 @@ void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
   std::exception_ptr first_error;
   std::mutex error_mu;
 
-  for (auto& ep : endpoints_) {
+  // Fork edge: everything the driver did before this Run happens-before
+  // every rank's first step.
+  if (hb_) hb_->OnRunStart();
+
+  // Schedule perturbation: launch rank threads in a seeded-shuffled
+  // order and hand each endpoint a fresh per-rank jitter stream. The
+  // same seed reproduces the same perturbation; different seeds force
+  // different OS interleavings, and the determinism contract says the
+  // virtual outcome must not care.
+  std::vector<int> launch_order(endpoints_.size());
+  std::iota(launch_order.begin(), launch_order.end(), 0);
+  if (schedule_seed_ != 0) {
+    Rng shuffle_rng(schedule_seed_ ^ 0x5eedc0de5eedc0deull);
+    for (size_t i = launch_order.size(); i > 1; --i) {
+      std::swap(launch_order[i - 1],
+                launch_order[static_cast<size_t>(shuffle_rng.NextBelow(i))]);
+    }
+    for (auto& ep : endpoints_) {
+      ep->sched_rng_ = Rng(PairSeed(schedule_seed_, ep->rank(), ep->rank()));
+    }
+  }
+
+  for (int launch : launch_order) {
+    auto& ep = endpoints_[static_cast<size_t>(launch)];
     // Crash-stopped ranks stay silent forever: their main never runs
     // again on later Run() calls.
     if (!alive(ep->rank())) continue;
@@ -480,6 +568,9 @@ void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
       trace::ScopedRankContext trace_ctx(
           trace_ ? &trace_->recorder(endpoint->rank()) : nullptr,
           &endpoint->clock());
+      // Likewise the happens-before checker context (null unless the
+      // PANDA_HB gate is compiled in).
+      hb::ScopedThread hb_ctx(hb_.get(), endpoint->rank());
       try {
         rank_main(*endpoint);
       } catch (const RankKilledError&) {
@@ -506,6 +597,9 @@ void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
     });
   }
   for (auto& t : threads) t.join();
+  // Join edge: every rank's last step happens-before whatever the
+  // driver does next.
+  if (hb_) hb_->OnRunEnd();
   if (first_error) std::rethrow_exception(first_error);
 }
 
@@ -571,6 +665,10 @@ void ThreadTransport::ResetClocksAndStats() {
   // Spans are stats too: after a reset the collector holds only what the
   // next Run records (bench reps export the final measured repetition).
   if (trace_) trace_->Reset();
+  // Delivered messages' VC snapshots are no longer needed (the join
+  // edge at Run()'s end subsumes them); drop them so long bench sweeps
+  // don't accumulate per-message checker state.
+  if (hb_) hb_->ForgetMessages();
 }
 
 }  // namespace panda

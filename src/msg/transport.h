@@ -38,6 +38,7 @@
 #include <tuple>
 #include <vector>
 
+#include "msg/hb.h"
 #include "msg/lossy.h"
 #include "msg/mailbox.h"
 #include "msg/net_model.h"
@@ -134,6 +135,8 @@ class Endpoint {
   int rank_;
   VirtualClock clock_;
   MsgStats stats_;
+  // Schedule-perturbation stream (SetScheduleSeed): owner-thread only.
+  Rng sched_rng_{0};
   // Inbound-link occupancy: messages from concurrent senders serialize
   // on the receiver's switch port, so N senders cannot deliver more than
   // one link's bandwidth (the SP2 switch is full-duplex: the outbound
@@ -189,6 +192,21 @@ class ThreadTransport {
   // sites throughout the stack record against it. Tracing only *reads*
   // clocks — virtual time and byte counts are bit-identical either way.
   void SetTrace(const trace::TraceOptions& options);
+
+  // Schedule perturbation: with a non-zero seed, Run() launches rank
+  // threads in a seeded-shuffled order and every send/receive entry
+  // point injects seeded wall-clock yields/sleeps, forcing different OS
+  // interleavings of the rank threads. Virtual time is untouched —
+  // any seed must produce bit-identical clocks and file bytes, which is
+  // the determinism contract tests/hb_race_test.cc asserts across
+  // seeds. 0 (default) disarms (no rng draws, no yields).
+  void SetScheduleSeed(std::uint64_t seed) { schedule_seed_ = seed; }
+  std::uint64_t schedule_seed() const { return schedule_seed_; }
+
+  // The happens-before checker, or nullptr unless compiled with
+  // -DPANDA_HB=ON (msg/hb.h). Valid for the transport's lifetime.
+  hb::Checker* hb_checker() { return hb_.get(); }
+  const hb::Checker* hb_checker() const { return hb_.get(); }
 
   // The armed collector, or nullptr. Valid until the next SetTrace.
   trace::Collector* trace_collector() { return trace_.get(); }
@@ -254,6 +272,9 @@ class ThreadTransport {
   // Fires the scheduled kill for `from`'s rank if its send budget is
   // exhausted (throws RankKilledError); otherwise counts the send.
   void MaybeKill(Endpoint& from);
+  // Seeded wall-clock yield/sleep at a send/receive entry point (no-op
+  // when SetScheduleSeed was not armed). Never touches virtual time.
+  void MaybePerturb(Endpoint& self);
   // Routes a fully-accounted message through the lossy/reliable layer
   // (or straight to the destination mailbox when disarmed).
   void Dispatch(int src, int dst, Message msg);
@@ -294,6 +315,13 @@ class ThreadTransport {
   // Span tracing (null when disarmed). One recorder per rank; recorders
   // are touched only by their rank's thread during Run().
   std::unique_ptr<trace::Collector> trace_;
+
+  // Happens-before race checker (null unless compiled with PANDA_HB).
+  std::unique_ptr<hb::Checker> hb_;
+  std::atomic<std::uint64_t> next_hb_id_{1};
+
+  // Schedule perturbation (0 = disarmed).
+  std::uint64_t schedule_seed_ = 0;
 };
 
 }  // namespace panda

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "mdarray/strided_copy.h"
+#include "msg/hb.h"
 #include "panda/failover.h"
 #include "panda/integrity.h"
 #include "panda/journal.h"
@@ -102,6 +103,10 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   const std::int64_t base = BaseOffset(layout, req.purpose, req.seq, sidx);
   const RetryPolicy& retry = options.retry;
   RobustnessStats* stats = options.robustness;
+  // Each i/o node owns its local file system exclusively; any second
+  // rank touching it is a protocol bug. The stamp is a no-op unless
+  // built with -DPANDA_HB=ON (see msg/hb.h).
+  hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
   // Sidecar checksums and the journal need real bytes; timing-only
   // sweeps skip them.
   const bool sidecars = options.disk_checksums && !timing;
@@ -335,6 +340,9 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
   const std::int64_t base = BaseOffset(layout, req.purpose, req.seq, sidx);
   const RetryPolicy& retry = options.retry;
   RobustnessStats* stats = options.robustness;
+  // Reading still mutates FS statistics and file cursors: model it as a
+  // write for exclusivity purposes (no-op unless -DPANDA_HB=ON).
+  hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
 
   const std::vector<WorkItem> work =
       BuildServerWork(plan, layout, sidx, WorkPhase::kFull);

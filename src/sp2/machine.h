@@ -94,6 +94,22 @@ class Machine {
     return transport_->trace_collector();
   }
 
+  // --- Analysis hooks (see msg/hb.h, docs/ANALYSIS.md) ---
+
+  // Seeds the schedule-perturbation layer: thread launch order and
+  // wall-clock yield jitter are derived from `seed`. Virtual time is
+  // never touched — two runs with different seeds must produce
+  // bit-identical virtual clocks and file bytes, and hb_race_test
+  // asserts exactly that. Call before Run().
+  void SetScheduleSeed(std::uint64_t seed) {
+    transport_->SetScheduleSeed(seed);
+  }
+
+  // The happens-before checker, or nullptr unless built with
+  // -DPANDA_HB=ON. Races() is the post-run report.
+  hb::Checker* hb_checker() { return transport_->hb_checker(); }
+  const hb::Checker* hb_checker() const { return transport_->hb_checker(); }
+
   // Track label for rank `r` in exported traces ("client 0", "ion 2").
   std::string rank_label(int r) const {
     return r < num_clients_ ? ("client " + std::to_string(r))

@@ -1,0 +1,327 @@
+// panda_lint (tools/analyze) unit tests: each project-invariant rule is
+// exercised against a small fixture "tree" — one seeded violation per
+// rule, asserting rule id, relative path, and line — plus the
+// suppression contract (`// panda-lint: allow(...)` / allow-file) and
+// the tokenizer's comment/string/raw-string handling that the rules
+// depend on.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "analyze/rules.h"
+
+namespace panda {
+namespace lint {
+namespace {
+
+// Lints one in-memory fixture file under `config`.
+std::vector<Diagnostic> Lint(const std::string& rel_path,
+                             const std::string& content,
+                             LintConfig config = {}) {
+  return CheckFile(Tokenize(rel_path, content), config);
+}
+
+bool HasRule(const std::vector<Diagnostic>& diags, const std::string& rule) {
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) return true;
+  }
+  return false;
+}
+
+// ---- tokenizer --------------------------------------------------------
+
+TEST(LintLexer, CommentsAndStringsAreNotCode) {
+  // The banned identifier appears only inside comments and literals:
+  // the tokenizer must not surface it as an identifier token.
+  const SourceFile f = Tokenize("src/panda/x.cc",
+                                "// steady_clock in a line comment\n"
+                                "/* steady_clock in a block\n"
+                                "   comment */\n"
+                                "const char* s = \"steady_clock\";\n"
+                                "const char* r = R\"x(steady_clock)x\";\n");
+  for (const Token& t : f.tokens) {
+    EXPECT_FALSE(t.kind == TokKind::kIdent && t.text == "steady_clock")
+        << "line " << t.line;
+  }
+  EXPECT_TRUE(Lint("src/panda/x.cc",
+                   "// steady_clock\nconst char* s = \"steady_clock\";\n")
+                  .empty());
+}
+
+TEST(LintLexer, PreprocessorContinuationsStayOneToken) {
+  const SourceFile f = Tokenize("src/panda/x.cc",
+                                "#define M(a) \\\n  do_thing(a)\n"
+                                "int y = 0;\n");
+  ASSERT_FALSE(f.tokens.empty());
+  EXPECT_EQ(f.tokens[0].kind, TokKind::kPrepro);
+  // The continuation is folded into the directive's logical line.
+  EXPECT_NE(f.tokens[0].text.find("do_thing"), std::string::npos);
+}
+
+TEST(LintLexer, TracksPragmaOnceAndIncludes) {
+  const SourceFile f = Tokenize("src/panda/x.h",
+                                "#pragma once\n"
+                                "#include <vector>\n"
+                                "#include \"panda/server.h\"\n");
+  EXPECT_TRUE(f.IsHeader());
+  EXPECT_EQ(f.pragma_once_count, 1);
+  ASSERT_EQ(f.includes.size(), 2u);
+  EXPECT_EQ(f.includes[0].second, "<vector>");
+  EXPECT_EQ(f.includes[1].second, "\"panda/server.h\"");
+}
+
+// ---- wall-clock -------------------------------------------------------
+
+TEST(LintRules, WallClockBannedOutsideTimingLayers) {
+  const std::vector<Diagnostic> diags =
+      Lint("src/panda/client.cc",
+           "void f() {\n"
+           "  auto t0 = std::chrono::steady_clock::now();\n"
+           "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "wall-clock");
+  EXPECT_EQ(diags[0].file, "src/panda/client.cc");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintRules, WallClockAllowedInWhitelistedLayers) {
+  const std::string code =
+      "void f() { auto t = std::chrono::steady_clock::now(); }\n";
+  EXPECT_TRUE(Lint("src/sp2/params.cc", code).empty());
+  EXPECT_TRUE(Lint("src/msg/mailbox.cc", code).empty());
+  EXPECT_TRUE(Lint("src/iosim/posix_fs.cc", code).empty());
+}
+
+TEST(LintRules, WallClockCatchesTimeCallNotTimeWord) {
+  EXPECT_TRUE(HasRule(Lint("src/panda/x.cc", "long t = time(nullptr);\n"),
+                      "wall-clock"));
+  // `time` as a plain identifier (variable name, member) is fine.
+  EXPECT_TRUE(Lint("src/panda/x.cc", "double time = 0.0;\n").empty());
+}
+
+// ---- raw-io -----------------------------------------------------------
+
+TEST(LintRules, RawIoOutsideRetryRunFlagged) {
+  const std::vector<Diagnostic> diags =
+      Lint("src/panda/server.cc",
+           "void f(File* file) {\n"
+           "  file->WriteAt(0, data, 64);\n"
+           "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "raw-io");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintRules, RawIoInsideRetryRunIsClean) {
+  EXPECT_TRUE(Lint("src/panda/server.cc",
+                   "void f(File* file) {\n"
+                   "  retry.Run(&clock, stats, [&] {\n"
+                   "    file->WriteAt(0, data, 64);\n"
+                   "  });\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintRules, RawIoIgnoresDesignatedLayersAndOtherDirs) {
+  const std::string code = "void f(File* file) { file->Sync(); }\n";
+  EXPECT_TRUE(Lint("src/panda/journal.cc", code).empty());
+  EXPECT_TRUE(Lint("src/panda/integrity.cc", code).empty());
+  EXPECT_TRUE(Lint("src/iosim/sim_fs.cc", code).empty());
+  EXPECT_TRUE(HasRule(Lint("src/panda/server.cc", code), "raw-io"));
+}
+
+// ---- raw-send ---------------------------------------------------------
+
+TEST(LintRules, RawSendInternalsFlaggedOutsideMsg) {
+  const std::vector<Diagnostic> diags =
+      Lint("src/panda/client.cc",
+           "void f(Mailbox& mb, Message m) {\n"
+           "  mb.Deposit(std::move(m));\n"
+           "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "raw-send");
+  EXPECT_EQ(diags[0].line, 2);
+}
+
+TEST(LintRules, RawSendAllowedInsideMsg) {
+  EXPECT_TRUE(Lint("src/msg/transport.cc",
+                   "void f(Mailbox& mb, Message m) {\n"
+                   "  mb.Deposit(std::move(m));\n"
+                   "}\n")
+                  .empty());
+}
+
+// ---- span-coverage ----------------------------------------------------
+
+TEST(LintRules, SpanCoverageFlagsUninstrumentedStage) {
+  LintConfig config;
+  config.span_manifest = {{"src/panda/server.cc", "ServerWriteArray"}};
+  const std::vector<Diagnostic> diags =
+      Lint("src/panda/server.cc",
+           "void ServerWriteArray(Endpoint& ep) {\n"
+           "  do_work(ep);\n"
+           "}\n",
+           config);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "span-coverage");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintRules, SpanCoverageAcceptsInstrumentedStage) {
+  LintConfig config;
+  config.span_manifest = {{"src/panda/server.cc", "ServerWriteArray"}};
+  EXPECT_TRUE(Lint("src/panda/server.cc",
+                   "void ServerWriteArray(Endpoint& ep) {\n"
+                   "  PANDA_SPAN(span, trace::SpanKind::kServerWrite, 0);\n"
+                   "  do_work(ep);\n"
+                   "}\n",
+                   config)
+                  .empty());
+}
+
+TEST(LintRules, SpanCoverageFlagsMissingManifestFunction) {
+  LintConfig config;
+  config.span_manifest = {{"src/panda/server.cc", "NoSuchStage"}};
+  const std::vector<Diagnostic> diags =
+      Lint("src/panda/server.cc", "void Other() {}\n", config);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "span-coverage");
+  EXPECT_NE(diags[0].message.find("not found"), std::string::npos);
+}
+
+TEST(LintRules, SpanManifestParserSkipsCommentsAndBlanks) {
+  const auto entries = ParseSpanManifest(
+      "# protocol stages\n"
+      "\n"
+      "src/panda/server.cc ServerWriteArray\n"
+      "src/msg/transport.cc DoSend  # trailing comment\n");
+  ASSERT_EQ(entries.size(), 2u);
+  EXPECT_EQ(entries[0].first, "src/panda/server.cc");
+  EXPECT_EQ(entries[0].second, "ServerWriteArray");
+  EXPECT_EQ(entries[1].second, "DoSend");
+}
+
+// ---- header-hygiene ---------------------------------------------------
+
+TEST(LintRules, HeaderHygieneMissingPragmaOnce) {
+  const std::vector<Diagnostic> diags =
+      Lint("src/panda/x.h", "int f();\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "header-hygiene");
+  EXPECT_EQ(diags[0].line, 1);
+}
+
+TEST(LintRules, HeaderHygieneUsingNamespaceAndIostream) {
+  const std::vector<Diagnostic> diags =
+      Lint("src/panda/x.h",
+           "#pragma once\n"
+           "#include <iostream>\n"
+           "using namespace std;\n");
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(HasRule(diags, "header-hygiene"));
+  // Sources (.cc) may include <iostream> and use using-namespace.
+  EXPECT_TRUE(Lint("src/panda/report.cc",
+                   "#include <iostream>\nusing namespace std;\n")
+                  .empty());
+}
+
+// ---- report-silence ---------------------------------------------------
+
+TEST(LintRules, ReportSilenceFlagsPrintingInSrc) {
+  EXPECT_TRUE(HasRule(
+      Lint("src/panda/plan.cc", "void f() { printf(\"x\"); }\n"),
+      "report-silence"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/panda/plan.cc", "void f() { std::cerr << 1; }\n"),
+      "report-silence"));
+}
+
+TEST(LintRules, ReportSilenceAllowsDesignatedSinksAndNonSrc) {
+  const std::string code = "void f() { printf(\"x\"); }\n";
+  EXPECT_TRUE(Lint("src/panda/report.cc", code).empty());
+  EXPECT_TRUE(Lint("src/trace/export.cc", code).empty());
+  EXPECT_TRUE(Lint("bench/bench_fig4.cc", code).empty());
+  EXPECT_TRUE(Lint("examples/demo.cc", code).empty());
+}
+
+// ---- trace-no-clock ---------------------------------------------------
+
+TEST(LintRules, TraceNeverAdvancesVirtualClocks) {
+  const std::vector<Diagnostic> diags =
+      Lint("src/trace/trace.cc", "void f(VirtualClock& c) { c.Advance(1.0); }\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "trace-no-clock");
+  // Reading the clock is what tracing does — allowed.
+  EXPECT_TRUE(
+      Lint("src/trace/trace.cc", "double f(VirtualClock& c) { return c.Now(); }\n")
+          .empty());
+}
+
+// ---- suppressions -----------------------------------------------------
+
+TEST(LintSuppress, AllowOnSameLine) {
+  EXPECT_TRUE(Lint("src/panda/x.cc",
+                   "auto t = std::chrono::steady_clock::now();"
+                   "  // panda-lint: allow(wall-clock)\n")
+                  .empty());
+}
+
+TEST(LintSuppress, AllowOnPrecedingLineShieldsNextLine) {
+  EXPECT_TRUE(Lint("src/panda/x.cc",
+                   "// panda-lint: allow(wall-clock)\n"
+                   "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(LintSuppress, AllowWrongRuleDoesNotSuppress) {
+  EXPECT_TRUE(HasRule(Lint("src/panda/x.cc",
+                           "// panda-lint: allow(raw-io)\n"
+                           "auto t = std::chrono::steady_clock::now();\n"),
+                      "wall-clock"));
+}
+
+TEST(LintSuppress, AllowStarSuppressesEveryRule) {
+  EXPECT_TRUE(Lint("src/panda/x.cc",
+                   "// panda-lint: allow(*)\n"
+                   "auto t = std::chrono::steady_clock::now();\n")
+                  .empty());
+}
+
+TEST(LintSuppress, AllowFileCoversWholeFile) {
+  EXPECT_TRUE(Lint("src/panda/x.cc",
+                   "// panda-lint: allow-file(wall-clock)\n"
+                   "void f() {\n"
+                   "  auto a = std::chrono::steady_clock::now();\n"
+                   "  auto b = std::chrono::system_clock::now();\n"
+                   "}\n")
+                  .empty());
+}
+
+TEST(LintSuppress, DisabledRulesAreSkipped) {
+  LintConfig config;
+  config.disabled_rules = {"wall-clock"};
+  EXPECT_TRUE(Lint("src/panda/x.cc",
+                   "auto t = std::chrono::steady_clock::now();\n", config)
+                  .empty());
+}
+
+// ---- diagnostics ------------------------------------------------------
+
+TEST(LintDiag, ToStringIsFileLineRuleMessage) {
+  const Diagnostic d{"wall-clock", "src/panda/x.cc", 7, "boom"};
+  EXPECT_EQ(d.ToString(), "src/panda/x.cc:7: [wall-clock] boom");
+}
+
+TEST(LintDiag, RegistryExposesAllRules) {
+  std::vector<std::string> ids;
+  for (const Rule& rule : Registry()) ids.push_back(rule.id);
+  const std::vector<std::string> expected = {
+      "wall-clock",      "raw-io",         "raw-send",  "span-coverage",
+      "header-hygiene",  "report-silence", "trace-no-clock"};
+  EXPECT_EQ(ids, expected);
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace panda

@@ -1,5 +1,10 @@
 // Unit tests for src/msg: mailboxes, the thread transport, virtual-time
 // accounting, and tree collectives.
+//
+// This file tests the Mailbox itself, so it calls the raw deposit /
+// receive internals that the rest of the tree must reach only through
+// Endpoint.
+// panda-lint: allow-file(raw-send)
 #include <gtest/gtest.h>
 
 #include <atomic>

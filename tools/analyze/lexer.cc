@@ -1,0 +1,269 @@
+#include "analyze/lexer.h"
+
+#include <cctype>
+#include <cstddef>
+
+namespace panda {
+namespace lint {
+
+namespace {
+
+bool IsIdentStart(char c) {
+  return std::isalpha(static_cast<unsigned char>(c)) || c == '_';
+}
+
+bool IsIdentChar(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) || c == '_';
+}
+
+// Parses "panda-lint: allow(rule-a, rule-b)" / "allow-file(rule)"
+// markers out of one comment's text.
+void ParseSuppressions(const std::string& comment, int line, SourceFile* out) {
+  const std::string kMarker = "panda-lint:";
+  size_t pos = comment.find(kMarker);
+  if (pos == std::string::npos) return;
+  pos += kMarker.size();
+  while (pos < comment.size()) {
+    while (pos < comment.size() &&
+           std::isspace(static_cast<unsigned char>(comment[pos]))) {
+      ++pos;
+    }
+    size_t word_end = pos;
+    while (word_end < comment.size() &&
+           (IsIdentChar(comment[word_end]) || comment[word_end] == '-')) {
+      ++word_end;
+    }
+    const std::string verb = comment.substr(pos, word_end - pos);
+    if (verb != "allow" && verb != "allow-file") return;
+    size_t open = comment.find('(', word_end);
+    if (open == std::string::npos) return;
+    size_t close = comment.find(')', open);
+    if (close == std::string::npos) return;
+    // Split the rule list on commas/whitespace.
+    size_t i = open + 1;
+    while (i < close) {
+      while (i < close && (comment[i] == ',' ||
+                           std::isspace(static_cast<unsigned char>(comment[i])))) {
+        ++i;
+      }
+      size_t j = i;
+      while (j < close && comment[j] != ',' &&
+             !std::isspace(static_cast<unsigned char>(comment[j]))) {
+        ++j;
+      }
+      if (j > i) {
+        const std::string rule = comment.substr(i, j - i);
+        if (verb == "allow") {
+          out->allow_lines[line].insert(rule);
+        } else {
+          out->allow_file.insert(rule);
+        }
+      }
+      i = j;
+    }
+    pos = close + 1;
+  }
+}
+
+}  // namespace
+
+bool SourceFile::IsHeader() const {
+  return rel_path.size() >= 2 &&
+         rel_path.compare(rel_path.size() - 2, 2, ".h") == 0;
+}
+
+bool SourceFile::Suppressed(const std::string& rule, int line) const {
+  if (allow_file.count(rule) != 0 || allow_file.count("*") != 0) return true;
+  for (int l : {line, line - 1}) {
+    auto it = allow_lines.find(l);
+    if (it == allow_lines.end()) continue;
+    if (it->second.count(rule) != 0 || it->second.count("*") != 0) return true;
+  }
+  return false;
+}
+
+SourceFile Tokenize(const std::string& rel_path, const std::string& content) {
+  SourceFile out;
+  out.rel_path = rel_path;
+
+  const size_t n = content.size();
+  size_t i = 0;
+  int line = 1;
+  bool at_line_start = true;  // only whitespace seen since the last newline
+
+  auto advance = [&](size_t count) {
+    for (size_t k = 0; k < count && i < n; ++k, ++i) {
+      if (content[i] == '\n') {
+        ++line;
+        at_line_start = true;
+      }
+    }
+  };
+
+  while (i < n) {
+    const char c = content[i];
+
+    // Whitespace.
+    if (std::isspace(static_cast<unsigned char>(c))) {
+      advance(1);
+      continue;
+    }
+
+    // Line comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '/') {
+      const int start_line = line;
+      size_t end = i;
+      while (end < n && content[end] != '\n') ++end;
+      ParseSuppressions(content.substr(i, end - i), start_line, &out);
+      advance(end - i);
+      continue;
+    }
+
+    // Block comment.
+    if (c == '/' && i + 1 < n && content[i + 1] == '*') {
+      const int start_line = line;
+      size_t end = content.find("*/", i + 2);
+      if (end == std::string::npos) end = n; else end += 2;
+      ParseSuppressions(content.substr(i, end - i), start_line, &out);
+      advance(end - i);
+      continue;
+    }
+
+    // Preprocessor logical line (joins backslash continuations).
+    if (c == '#' && at_line_start) {
+      const int start_line = line;
+      std::string text;
+      size_t end = i;
+      while (end < n) {
+        if (content[end] == '\n') {
+          if (!text.empty() && text.back() == '\\') {
+            text.pop_back();
+            text.push_back(' ');
+            ++end;
+            continue;
+          }
+          break;
+        }
+        text.push_back(content[end]);
+        ++end;
+      }
+      // Strip a trailing // comment from the directive text.
+      const size_t slashes = text.find("//");
+      if (slashes != std::string::npos) text.resize(slashes);
+      out.tokens.push_back({TokKind::kPrepro, text, start_line});
+      // Side tables: pragma once and includes.
+      if (text.find("pragma") != std::string::npos &&
+          text.find("once") != std::string::npos) {
+        ++out.pragma_once_count;
+        if (out.pragma_once_line == 0) out.pragma_once_line = start_line;
+      }
+      const size_t inc = text.find("include");
+      if (text.find("#") == 0 && inc != std::string::npos) {
+        size_t q = text.find_first_of("<\"", inc);
+        if (q != std::string::npos) {
+          const char close = text[q] == '<' ? '>' : '"';
+          const size_t qe = text.find(close, q + 1);
+          if (qe != std::string::npos) {
+            out.includes.emplace_back(start_line,
+                                      text.substr(q, qe - q + 1));
+          }
+        }
+      }
+      advance(end - i);
+      continue;
+    }
+    at_line_start = false;
+
+    // Identifier (with raw-string lookahead: R"( u8R"( ...).
+    if (IsIdentStart(c)) {
+      size_t end = i;
+      while (end < n && IsIdentChar(content[end])) ++end;
+      std::string ident = content.substr(i, end - i);
+      const bool raw_prefix =
+          !ident.empty() && ident.back() == 'R' && end < n && content[end] == '"';
+      if (raw_prefix) {
+        // Raw string literal: R"delim( ... )delim".
+        const int start_line = line;
+        size_t p = end + 1;
+        std::string delim;
+        while (p < n && content[p] != '(') delim.push_back(content[p++]);
+        const std::string closer = ")" + delim + "\"";
+        size_t close = content.find(closer, p);
+        if (close == std::string::npos) close = n;
+        else close += closer.size();
+        out.tokens.push_back(
+            {TokKind::kString, content.substr(i, close - i), start_line});
+        advance(close - i);
+        continue;
+      }
+      out.tokens.push_back({TokKind::kIdent, std::move(ident), line});
+      advance(end - i);
+      continue;
+    }
+
+    // Number (pp-number: digits, idents chars, quotes-as-separators,
+    // dots, exponent signs).
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && i + 1 < n &&
+         std::isdigit(static_cast<unsigned char>(content[i + 1])))) {
+      size_t end = i;
+      while (end < n) {
+        const char d = content[end];
+        if (IsIdentChar(d) || d == '.') {
+          ++end;
+        } else if (d == '\'' && end + 1 < n &&
+                   IsIdentChar(content[end + 1])) {
+          end += 2;  // digit separator
+        } else if ((d == '+' || d == '-') && end > i &&
+                   (content[end - 1] == 'e' || content[end - 1] == 'E' ||
+                    content[end - 1] == 'p' || content[end - 1] == 'P')) {
+          ++end;  // exponent sign
+        } else {
+          break;
+        }
+      }
+      out.tokens.push_back({TokKind::kNumber, content.substr(i, end - i), line});
+      advance(end - i);
+      continue;
+    }
+
+    // String literal.
+    if (c == '"') {
+      const int start_line = line;
+      size_t end = i + 1;
+      while (end < n && content[end] != '"') {
+        if (content[end] == '\\' && end + 1 < n) ++end;
+        ++end;
+      }
+      if (end < n) ++end;
+      out.tokens.push_back(
+          {TokKind::kString, content.substr(i, end - i), start_line});
+      advance(end - i);
+      continue;
+    }
+
+    // Char literal.
+    if (c == '\'') {
+      const int start_line = line;
+      size_t end = i + 1;
+      while (end < n && content[end] != '\'') {
+        if (content[end] == '\\' && end + 1 < n) ++end;
+        ++end;
+      }
+      if (end < n) ++end;
+      out.tokens.push_back(
+          {TokKind::kChar, content.substr(i, end - i), start_line});
+      advance(end - i);
+      continue;
+    }
+
+    // Everything else: one punctuation character per token.
+    out.tokens.push_back({TokKind::kPunct, std::string(1, c), line});
+    advance(1);
+  }
+
+  return out;
+}
+
+}  // namespace lint
+}  // namespace panda

@@ -1,0 +1,71 @@
+// A lightweight C++ tokenizer for panda_lint (tools/analyze).
+//
+// This is deliberately NOT a compiler front end: no preprocessing, no
+// name lookup, no libclang dependency. The linter's rules are lexical
+// invariants ("this identifier must not be called outside that
+// directory"), so a token stream with line numbers — comments stripped,
+// string/char literals collapsed to single tokens, preprocessor logical
+// lines kept whole — is exactly the right level of abstraction. It
+// tokenizes the whole repository in a few milliseconds, which is what
+// lets panda_lint run as a pre-commit/CI gate with zero build-system
+// coupling.
+//
+// Comments are not discarded entirely: `// panda-lint: allow(<rule>)`
+// markers are parsed into a per-line suppression table (see
+// docs/ANALYSIS.md for the suppression contract).
+#pragma once
+
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+namespace panda {
+namespace lint {
+
+enum class TokKind {
+  kIdent,    // identifiers and keywords
+  kNumber,   // pp-numbers (including 0x1'000 digit separators)
+  kString,   // "..." including raw strings; text holds the full literal
+  kChar,     // '...'
+  kPunct,    // single punctuation character
+  kPrepro,   // one full preprocessor logical line (continuations joined)
+};
+
+struct Token {
+  TokKind kind = TokKind::kPunct;
+  std::string text;
+  int line = 0;  // 1-based line of the token's first character
+};
+
+// One tokenized source file plus the side tables the rules consume.
+struct SourceFile {
+  std::string rel_path;  // forward-slash path relative to the lint root
+  std::vector<Token> tokens;
+
+  // line -> rules allowed on that line (via "// panda-lint: allow(x)");
+  // "*" means every rule. A marker suppresses diagnostics on its own
+  // line and on the line directly below it (so a standalone comment can
+  // shield the statement it precedes).
+  std::map<int, std::set<std::string>> allow_lines;
+
+  // Rules allowed for the entire file ("// panda-lint: allow-file(x)").
+  std::set<std::string> allow_file;
+
+  // Convenience extracts from kPrepro tokens.
+  int pragma_once_count = 0;
+  int pragma_once_line = 0;
+  std::vector<std::pair<int, std::string>> includes;  // line, "<x>" or "\"x\""
+
+  bool IsHeader() const;
+
+  // True when a diagnostic of `rule` at `line` is suppressed.
+  bool Suppressed(const std::string& rule, int line) const;
+};
+
+// Tokenizes `content`. Never fails: unrecognized bytes become kPunct
+// tokens (the rules simply won't match them).
+SourceFile Tokenize(const std::string& rel_path, const std::string& content);
+
+}  // namespace lint
+}  // namespace panda

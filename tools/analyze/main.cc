@@ -1,0 +1,81 @@
+// panda_lint — the project-invariant linter (tools/analyze).
+//
+//   panda_lint [--root=DIR] [--dir=a,b,...] [--disable=rule-a,rule-b]
+//              [--list_rules]
+//
+// Exits 0 when the tree is clean, 1 when any diagnostic fires, 2 on
+// usage errors. Diagnostics print one per line as
+//   path:line: [rule-id] message
+// so editors and CI logs can jump straight to the offending line.
+// Suppress a finding in source with `// panda-lint: allow(<rule>)`
+// (docs/ANALYSIS.md documents every rule and the suppression contract).
+#include <cstdio>
+#include <exception>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/rules.h"
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  panda::lint::LintConfig config;
+  bool list_rules = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (name == "--root") {
+      config.root = value;
+    } else if (name == "--dir") {
+      config.dirs = SplitCommas(value);
+    } else if (name == "--disable") {
+      for (const std::string& r : SplitCommas(value)) {
+        config.disabled_rules.insert(r);
+      }
+    } else if (name == "--list_rules") {
+      list_rules = true;
+    } else {
+      std::fprintf(stderr, "panda_lint: unknown option '%s'\n", arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list_rules) {
+    for (const panda::lint::Rule& rule : panda::lint::Registry()) {
+      std::printf("%-16s %s\n", rule.id.c_str(), rule.description.c_str());
+    }
+    return 0;
+  }
+
+  try {
+    const std::vector<panda::lint::Diagnostic> diags =
+        panda::lint::RunLint(config);
+    for (const panda::lint::Diagnostic& d : diags) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+    if (!diags.empty()) {
+      std::printf("panda_lint: %zu violation(s)\n", diags.size());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "panda_lint: %s\n", e.what());
+    return 2;
+  }
+}

@@ -1,0 +1,445 @@
+#include "analyze/rules.h"
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+#include <iterator>
+#include <sstream>
+#include <tuple>
+
+namespace panda {
+namespace lint {
+
+namespace {
+
+namespace fs = std::filesystem;
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.size() >= prefix.size() && s.compare(0, prefix.size(), prefix) == 0;
+}
+
+bool AnyPrefix(const std::string& path, const std::vector<std::string>& pres) {
+  for (const auto& p : pres) {
+    if (StartsWith(path, p)) return true;
+  }
+  return false;
+}
+
+bool IsIdent(const Token& t, const char* text) {
+  return t.kind == TokKind::kIdent && t.text == text;
+}
+
+bool IsPunct(const Token& t, char c) {
+  return t.kind == TokKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+// True when tokens[i] is an identifier immediately invoked: `ident(`.
+bool IsCall(const std::vector<Token>& toks, size_t i) {
+  return toks[i].kind == TokKind::kIdent && i + 1 < toks.size() &&
+         IsPunct(toks[i + 1], '(');
+}
+
+// Backward lexical walk from `idx`: true when the token at `idx` sits
+// inside the argument list (directly or via nested lambdas/calls) of a
+// call whose callee identifier is `callee`. This is how raw-io decides
+// that `file->WriteAt(...)` is wrapped by `retry.Run(..., [&] { ... })`.
+// Bounded to `budget` tokens so a pathological file cannot stall lint.
+bool EnclosedByCall(const std::vector<Token>& toks, size_t idx,
+                    const char* callee, size_t budget = 800) {
+  int depth = 0;
+  size_t steps = 0;
+  for (size_t j = idx; j-- > 0;) {
+    if (++steps > budget) return false;
+    const Token& t = toks[j];
+    if (t.kind == TokKind::kPrepro) continue;
+    if (t.kind != TokKind::kPunct || t.text.size() != 1) continue;
+    const char c = t.text[0];
+    if (c == ')' || c == ']' || c == '}') {
+      ++depth;
+    } else if (c == '(' || c == '[' || c == '{') {
+      if (depth > 0) {
+        --depth;
+        continue;
+      }
+      // Unmatched opener: we just stepped out one enclosing level.
+      if (c == '(') {
+        // Find the callee identifier directly before the paren.
+        size_t k = j;
+        while (k-- > 0 && toks[k].kind == TokKind::kPrepro) {
+        }
+        if (k < toks.size() && toks[k].kind == TokKind::kIdent &&
+            toks[k].text == callee) {
+          return true;
+        }
+      }
+      // Keep walking outward (depth stays 0).
+    }
+  }
+  return false;
+}
+
+// A function definition's body: token index of its '{' and the def line.
+struct BodyRange {
+  size_t open = 0;   // index of '{'
+  size_t close = 0;  // index of matching '}'
+  int line = 0;
+};
+
+// Finds definitions of `name` in the token stream (heuristic: `name (`
+// whose parameter list is followed by qualifiers and then '{'; a ';' or
+// '=' means declaration/deleted — skipped, as are constructors with
+// init lists).
+std::vector<BodyRange> FindDefinitions(const std::vector<Token>& toks,
+                                       const std::string& name) {
+  std::vector<BodyRange> out;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != name) continue;
+    if (!IsPunct(toks[i + 1], '(')) continue;
+    // Match the parameter list.
+    int depth = 0;
+    size_t j = i + 1;
+    for (; j < toks.size(); ++j) {
+      if (IsPunct(toks[j], '(')) ++depth;
+      if (IsPunct(toks[j], ')') && --depth == 0) break;
+    }
+    if (j >= toks.size()) break;
+    // Scan qualifiers until '{' (definition) or ';'/'='/':' (not one).
+    size_t k = j + 1;
+    bool is_def = false;
+    for (size_t steps = 0; k < toks.size() && steps < 32; ++k, ++steps) {
+      const Token& t = toks[k];
+      if (IsPunct(t, '{')) {
+        is_def = true;
+        break;
+      }
+      if (IsPunct(t, ';') || IsPunct(t, '=') || IsPunct(t, ':') ||
+          IsPunct(t, ',') || IsPunct(t, ')')) {
+        break;
+      }
+      // const / noexcept / override / -> Type / && qualifiers: keep going.
+    }
+    if (!is_def) continue;
+    // Match the body braces.
+    size_t close = k;
+    int bdepth = 0;
+    for (; close < toks.size(); ++close) {
+      if (IsPunct(toks[close], '{')) ++bdepth;
+      if (IsPunct(toks[close], '}') && --bdepth == 0) break;
+    }
+    if (close >= toks.size()) break;
+    out.push_back({k, close, toks[i].line});
+    i = k;  // resume after the signature (bodies may nest lambdas)
+  }
+  return out;
+}
+
+void Diag(std::vector<Diagnostic>* out, const std::string& rule,
+          const SourceFile& f, int line, std::string message) {
+  out->push_back({rule, f.rel_path, line, std::move(message)});
+}
+
+// ---- wall-clock ------------------------------------------------------
+
+void CheckWallClock(const SourceFile& f, const LintConfig&,
+                    std::vector<Diagnostic>* out) {
+  static const std::vector<std::string> kAllowed = {
+      "src/sp2/", "src/msg/", "src/iosim/posix_fs"};
+  if (AnyPrefix(f.rel_path, kAllowed)) return;
+  static const std::set<std::string> kBanned = {
+      "gettimeofday",          "clock_gettime", "timespec_get",
+      "system_clock",          "steady_clock",  "high_resolution_clock",
+      "QueryPerformanceCounter"};
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const bool banned_name = kBanned.count(toks[i].text) != 0;
+    const bool time_call = toks[i].text == "time" && IsCall(toks, i);
+    if (banned_name || time_call) {
+      Diag(out, "wall-clock", f, toks[i].line,
+           "wall-clock source '" + toks[i].text +
+               "' outside src/sp2//src/msg/ — the simulation may only "
+               "observe virtual time");
+    }
+  }
+}
+
+// ---- raw-io ----------------------------------------------------------
+
+void CheckRawIo(const SourceFile& f, const LintConfig&,
+                std::vector<Diagnostic>* out) {
+  if (!StartsWith(f.rel_path, "src/panda/")) return;
+  // Designated raw-I/O layers: the WAL, checksum sidecars, schema
+  // metadata and the sequential baseline own their durability story.
+  static const std::vector<std::string> kAllowed = {
+      "src/panda/journal.", "src/panda/integrity.", "src/panda/schema_io.",
+      "src/panda/sequential."};
+  if (AnyPrefix(f.rel_path, kAllowed)) return;
+  static const std::set<std::string> kOps = {"WriteAt", "ReadAt", "Sync"};
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent || kOps.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (!IsCall(toks, i)) continue;
+    if (EnclosedByCall(toks, i, "Run")) continue;  // RetryPolicy::Run wrap
+    Diag(out, "raw-io", f, toks[i].line,
+         "direct FileSystem::" + toks[i].text +
+             " outside RetryPolicy::Run — transient disk faults would "
+             "not heal");
+  }
+}
+
+// ---- raw-send --------------------------------------------------------
+
+void CheckRawSend(const SourceFile& f, const LintConfig&,
+                  std::vector<Diagnostic>* out) {
+  if (StartsWith(f.rel_path, "src/msg/")) return;
+  static const std::set<std::string> kInternals = {
+      "Deposit",        "BlockingReceive", "BlockingReceiveAny",
+      "ReceiveWithin",  "ForceAbort",      "PurgeIf",
+      "InstallHooks",   "NotifyAll",       "Poison"};
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent ||
+        kInternals.count(toks[i].text) == 0) {
+      continue;
+    }
+    if (!IsCall(toks, i)) continue;
+    Diag(out, "raw-send", f, toks[i].line,
+         "mailbox/transport internal '" + toks[i].text +
+             "' used outside src/msg/ — go through Endpoint "
+             "send/receive");
+  }
+}
+
+// ---- span-coverage ---------------------------------------------------
+
+void CheckSpanCoverage(const SourceFile& f, const LintConfig& config,
+                       std::vector<Diagnostic>* out) {
+  static const std::set<std::string> kSpanIdents = {
+      "PANDA_SPAN", "RecordSpan", "RecordInstant", "SpanScope"};
+  for (const auto& entry : config.span_manifest) {
+    if (entry.first != f.rel_path) continue;
+    const std::vector<BodyRange> defs =
+        FindDefinitions(f.tokens, entry.second);
+    if (defs.empty()) {
+      Diag(out, "span-coverage", f, 1,
+           "manifest function '" + entry.second +
+               "' not found — update tools/analyze/span_manifest.txt");
+      continue;
+    }
+    for (const BodyRange& body : defs) {
+      bool has_span = false;
+      for (size_t i = body.open; i <= body.close && i < f.tokens.size();
+           ++i) {
+        if (f.tokens[i].kind == TokKind::kIdent &&
+            kSpanIdents.count(f.tokens[i].text) != 0) {
+          has_span = true;
+          break;
+        }
+      }
+      if (!has_span) {
+        Diag(out, "span-coverage", f, body.line,
+             "protocol stage '" + entry.second +
+                 "' has no PANDA_SPAN/RecordSpan — observability "
+                 "coverage regressed (docs/OBSERVABILITY.md)");
+      }
+    }
+  }
+}
+
+// ---- header-hygiene --------------------------------------------------
+
+void CheckHeaderHygiene(const SourceFile& f, const LintConfig&,
+                        std::vector<Diagnostic>* out) {
+  if (!f.IsHeader()) return;
+  if (f.pragma_once_count == 0) {
+    Diag(out, "header-hygiene", f, 1,
+         "header is missing #pragma once");
+  } else if (f.pragma_once_count > 1) {
+    Diag(out, "header-hygiene", f, f.pragma_once_line,
+         "duplicate #pragma once");
+  }
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (IsIdent(toks[i], "using") && IsIdent(toks[i + 1], "namespace")) {
+      Diag(out, "header-hygiene", f, toks[i].line,
+           "'using namespace' in a header leaks into every includer");
+    }
+  }
+  if (StartsWith(f.rel_path, "src/")) {
+    for (const auto& inc : f.includes) {
+      if (inc.second == "<iostream>") {
+        Diag(out, "header-hygiene", f, inc.first,
+             "<iostream> in a src/ header (static-initializer cost in "
+             "every TU; include it in the .cc that prints)");
+      }
+    }
+  }
+}
+
+// ---- report-silence --------------------------------------------------
+
+void CheckReportSilence(const SourceFile& f, const LintConfig&,
+                        std::vector<Diagnostic>* out) {
+  if (!StartsWith(f.rel_path, "src/")) return;
+  // Designated output sinks: the report printer, trace exporters and
+  // the util diagnostics (PANDA_CHECK abort path, PANDA_LOG).
+  static const std::vector<std::string> kAllowed = {
+      "src/panda/report.cc", "src/trace/export.", "src/util/error.",
+      "src/util/logging."};
+  if (AnyPrefix(f.rel_path, kAllowed)) return;
+  static const std::set<std::string> kPrintCalls = {
+      "printf", "fprintf", "vprintf", "vfprintf", "puts", "fputs",
+      "putchar"};
+  static const std::set<std::string> kStreams = {"cout", "cerr", "clog"};
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (kPrintCalls.count(toks[i].text) != 0 && IsCall(toks, i)) {
+      Diag(out, "report-silence", f, toks[i].line,
+           "'" + toks[i].text +
+               "' in src/ — reports are silent-when-clean; print only "
+               "from report.cc / trace/export.cc");
+    } else if (kStreams.count(toks[i].text) != 0) {
+      Diag(out, "report-silence", f, toks[i].line,
+           "std::" + toks[i].text +
+               " in src/ — reports are silent-when-clean; print only "
+               "from report.cc / trace/export.cc");
+    }
+  }
+}
+
+// ---- trace-no-clock --------------------------------------------------
+
+void CheckTraceNoClock(const SourceFile& f, const LintConfig&,
+                       std::vector<Diagnostic>* out) {
+  if (!StartsWith(f.rel_path, "src/trace/")) return;
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if ((toks[i].text == "Advance" || toks[i].text == "SyncTo") &&
+        IsCall(toks, i)) {
+      Diag(out, "trace-no-clock", f, toks[i].line,
+           "src/trace/ calls VirtualClock::" + toks[i].text +
+               " — tracing must observe time, never advance it "
+               "(traced and untraced runs are bit-identical)");
+    }
+  }
+}
+
+}  // namespace
+
+std::string Diagnostic::ToString() const {
+  std::ostringstream os;
+  os << file << ":" << line << ": [" << rule << "] " << message;
+  return os.str();
+}
+
+const std::vector<Rule>& Registry() {
+  static const std::vector<Rule>* kRules = new std::vector<Rule>{
+      {"wall-clock",
+       "no wall-clock sources outside src/sp2/, src/msg/, posix_fs",
+       CheckWallClock},
+      {"raw-io",
+       "server disk ops in src/panda/ must go through RetryPolicy::Run",
+       CheckRawIo},
+      {"raw-send",
+       "mailbox/transport internals stay inside src/msg/",
+       CheckRawSend},
+      {"span-coverage",
+       "manifest protocol stages carry PANDA_SPAN instrumentation",
+       CheckSpanCoverage},
+      {"header-hygiene",
+       "#pragma once exactly once; no using-namespace / <iostream> in "
+       "headers",
+       CheckHeaderHygiene},
+      {"report-silence",
+       "no printing from src/ outside report.cc and trace/export.cc",
+       CheckReportSilence},
+      {"trace-no-clock",
+       "src/trace/ never advances virtual clocks",
+       CheckTraceNoClock},
+  };
+  return *kRules;
+}
+
+std::vector<Diagnostic> CheckFile(const SourceFile& file,
+                                  const LintConfig& config) {
+  std::vector<Diagnostic> raw;
+  for (const Rule& rule : Registry()) {
+    if (config.disabled_rules.count(rule.id) != 0) continue;
+    rule.check(file, config, &raw);
+  }
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : raw) {
+    if (!file.Suppressed(d.rule, d.line)) kept.push_back(std::move(d));
+  }
+  return kept;
+}
+
+std::vector<std::pair<std::string, std::string>> ParseSpanManifest(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string path;
+    std::string fn;
+    if (fields >> path >> fn) out.emplace_back(path, fn);
+  }
+  return out;
+}
+
+std::vector<Diagnostic> RunLint(const LintConfig& config) {
+  LintConfig cfg = config;
+  if (cfg.span_manifest.empty()) {
+    const fs::path manifest =
+        fs::path(cfg.root) / "tools" / "analyze" / "span_manifest.txt";
+    std::ifstream in(manifest);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      cfg.span_manifest = ParseSpanManifest(buf.str());
+    }
+  }
+
+  // Deterministic file order: collect, sort, lint.
+  std::vector<fs::path> files;
+  for (const std::string& dir : cfg.dirs) {
+    const fs::path base = fs::path(cfg.root) / dir;
+    if (!fs::exists(base)) continue;
+    for (const auto& entry : fs::recursive_directory_iterator(base)) {
+      if (!entry.is_regular_file()) continue;
+      const std::string ext = entry.path().extension().string();
+      if (ext == ".h" || ext == ".cc") files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  std::vector<Diagnostic> diags;
+  for (const fs::path& path : files) {
+    std::ifstream in(path, std::ios::binary);
+    if (!in) continue;
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    const std::string rel =
+        fs::path(fs::relative(path, cfg.root)).generic_string();
+    const SourceFile file = Tokenize(rel, buf.str());
+    std::vector<Diagnostic> d = CheckFile(file, cfg);
+    diags.insert(diags.end(), std::make_move_iterator(d.begin()),
+                 std::make_move_iterator(d.end()));
+  }
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return diags;
+}
+
+}  // namespace lint
+}  // namespace panda

@@ -1,0 +1,90 @@
+// panda_lint rule registry and driver (tools/analyze).
+//
+// Each rule enforces one project invariant that the codebase previously
+// relied on by convention (docs/ANALYSIS.md has the full catalogue):
+//
+//   wall-clock      no wall-clock reads outside src/sp2/, src/msg/ and
+//                   the POSIX file-system backend — virtual time is the
+//                   only clock the simulation may observe.
+//   raw-io          every server disk op in src/panda/ goes through
+//                   RetryPolicy::Run (transient faults must heal).
+//   raw-send        mailbox/transport internals (Deposit, BlockingReceive,
+//                   Poison, ...) are used only inside src/msg/.
+//   span-coverage   protocol stage functions listed in the manifest
+//                   (tools/analyze/span_manifest.txt) contain a
+//                   PANDA_SPAN / RecordSpan instrumentation site.
+//   header-hygiene  headers use #pragma once exactly once, never
+//                   `using namespace`, and src/ headers never include
+//                   <iostream>.
+//   report-silence  no printf/cout/cerr in src/ outside the designated
+//                   sinks (report.cc, trace/export.cc, util diagnostics)
+//                   — reports stay silent-when-clean.
+//   trace-no-clock  src/trace/ never advances a virtual clock — tracing
+//                   observes time, it must not create it.
+//
+// Diagnostics are suppressible in source with
+//   // panda-lint: allow(<rule>)        (this line and the next)
+//   // panda-lint: allow-file(<rule>)   (whole file)
+#pragma once
+
+#include <functional>
+#include <set>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace panda {
+namespace lint {
+
+struct Diagnostic {
+  std::string rule;
+  std::string file;  // relative to the lint root
+  int line = 0;
+  std::string message;
+
+  std::string ToString() const;
+};
+
+struct LintConfig {
+  // Directory walked by RunLint; rules see paths relative to it.
+  std::string root = ".";
+  // Subdirectories (relative to root) to scan.
+  std::vector<std::string> dirs = {"src", "bench", "examples", "tests"};
+  // span-coverage manifest entries: (relative file, function name).
+  // When empty, RunLint loads tools/analyze/span_manifest.txt under
+  // `root` (rule skipped when that file does not exist).
+  std::vector<std::pair<std::string, std::string>> span_manifest;
+  // Rule ids to skip entirely.
+  std::set<std::string> disabled_rules;
+};
+
+struct Rule {
+  std::string id;
+  std::string description;
+  // Appends diagnostics for one file (suppressions applied by caller).
+  std::function<void(const SourceFile&, const LintConfig&,
+                     std::vector<Diagnostic>*)>
+      check;
+};
+
+// The registered rules, in reporting order.
+const std::vector<Rule>& Registry();
+
+// Runs every enabled rule over one tokenized file; returns unsuppressed
+// diagnostics. (Unit-test entry point; RunLint uses it per file.)
+std::vector<Diagnostic> CheckFile(const SourceFile& file,
+                                  const LintConfig& config);
+
+// Walks config.root/config.dirs for *.h / *.cc files, lints each, and
+// returns every unsuppressed diagnostic sorted by (file, line, rule).
+std::vector<Diagnostic> RunLint(const LintConfig& config);
+
+// Parses span manifest text ("relative/path FunctionName" per line; '#'
+// comments and blank lines ignored).
+std::vector<std::pair<std::string, std::string>> ParseSpanManifest(
+    const std::string& text);
+
+}  // namespace lint
+}  // namespace panda

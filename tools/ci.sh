@@ -18,6 +18,18 @@
 # quick Figure 4 sweep, guards the machine-readable bench schema, and
 # archives one Chrome trace artifact (docs/OBSERVABILITY.md).
 #
+# Static-analysis gates (docs/ANALYSIS.md):
+#  * tools/lint.sh runs BEFORE any compile: clang-format and clang-tidy
+#    when installed (skipped loudly otherwise — the container bakes in
+#    only g++), and panda_lint (tools/analyze) always — the
+#    project-invariant linter needs nothing but a C++ compiler.
+#  * The plain suite builds with -DPANDA_WERROR=ON: warnings are errors
+#    in CI, advisory on developer machines.
+#  * A fourth suite builds with -DPANDA_HB=ON: the vector-clock
+#    happens-before checker is compiled in, hb_race_test's machine-level
+#    tests arm it, and a protocol-level ordering bug fails CI here
+#    before it ever becomes a seed-dependent flake.
+#
 #   tools/ci.sh [--skip-sanitizers]
 set -eu
 
@@ -35,8 +47,23 @@ run_suite() {
   ctest --test-dir "$build_dir" --output-on-failure -j "$JOBS"         --timeout "$timeout_s"
 }
 
-echo "== plain build + tests"
-run_suite build-ci 120
+echo "== lint (pre-build)"
+tools/lint.sh
+
+echo "== plain build + tests (-Werror)"
+run_suite build-ci 120 -DPANDA_WERROR=ON
+
+echo "== panda_lint (CMake-built binary over the full tree)"
+cmake --build build-ci -j "$JOBS" --target panda_lint
+build-ci/tools-analyze/panda_lint --root=.
+
+echo "== header hygiene (every src/ header compiles standalone)"
+cmake --build build-ci -j "$JOBS" --target header_compile_test
+
+if command -v clang-tidy > /dev/null 2>&1; then
+  echo "== clang-tidy (compile_commands.json from build-ci)"
+  tools/lint.sh --tidy build-ci build-ci/tools-analyze/panda_lint
+fi
 
 echo "== smoke bench + schema check"
 # Runs the Figure 4 quick sweep, writes BENCH_fig4_smoke.json and a
@@ -58,6 +85,12 @@ if [ -z "$SKIP_SAN" ]; then
             -DPANDA_TRACE=ON
   echo "== tsan build + tests"
   run_suite build-ci-tsan 600 "-DPANDA_SANITIZE=thread" -DPANDA_TRACE=ON
+
+  # TSan polices C++-level data races; the happens-before build polices
+  # PROTOCOL-level ones — individually-synchronized accesses whose order
+  # the message graph does not fix (docs/ANALYSIS.md).
+  echo "== happens-before build + tests"
+  run_suite build-ci-hb 240 -DPANDA_HB=ON -DPANDA_WERROR=ON
 fi
 
 echo "CI OK"

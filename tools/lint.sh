@@ -1,0 +1,87 @@
+#!/bin/sh
+# Fast pre-build lint stage (wired into tools/ci.sh before any compile):
+#
+#   1. clang-format --dry-run -Werror over the tree   (skipped if absent)
+#   2. clang-tidy over src/, driven by the curated .clang-tidy
+#      (needs a configured build dir with compile_commands.json;
+#       skipped if clang-tidy is absent)            [--tidy BUILD_DIR]
+#   3. panda_lint — the project-invariant linter (tools/analyze). This
+#      stage has no external dependency: the linter is built from two
+#      translation units with the host C++ compiler if no build dir
+#      provides it, so it ALWAYS runs, even on a box with no clang
+#      tooling installed.
+#
+# Exit status is non-zero if any stage that actually ran found a
+# violation. Missing optional tools are reported but do not fail the
+# gate (the container image bakes in only the C++ toolchain).
+#
+#   tools/lint.sh [--tidy BUILD_DIR] [PANDA_LINT_BINARY]
+set -eu
+
+cd "$(dirname "$0")/.."
+
+TIDY_BUILD=""
+if [ "${1:-}" = "--tidy" ]; then
+  TIDY_BUILD="$2"
+  shift 2
+fi
+LINT_BIN="${1:-}"
+
+FAIL=0
+
+# ---- 1. clang-format -------------------------------------------------
+if command -v clang-format > /dev/null 2>&1; then
+  echo "== lint: clang-format"
+  # shellcheck disable=SC2046
+  if ! find src tests bench examples tools/analyze \
+        -name '*.h' -o -name '*.cc' | sort \
+        | xargs clang-format --dry-run -Werror; then
+    FAIL=1
+  fi
+else
+  echo "== lint: clang-format not installed — stage skipped"
+fi
+
+# ---- 2. clang-tidy ---------------------------------------------------
+if [ -n "$TIDY_BUILD" ]; then
+  if command -v clang-tidy > /dev/null 2>&1; then
+    if [ -f "$TIDY_BUILD/compile_commands.json" ]; then
+      echo "== lint: clang-tidy ($TIDY_BUILD)"
+      if ! find src -name '*.cc' | sort \
+            | xargs clang-tidy -p "$TIDY_BUILD" --quiet; then
+        FAIL=1
+      fi
+    else
+      echo "== lint: no $TIDY_BUILD/compile_commands.json — tidy skipped"
+    fi
+  else
+    echo "== lint: clang-tidy not installed — stage skipped"
+  fi
+fi
+
+# ---- 3. panda_lint ---------------------------------------------------
+echo "== lint: panda_lint"
+if [ -z "$LINT_BIN" ] || [ ! -x "$LINT_BIN" ]; then
+  # Build the linter directly: two TUs, no dependencies beyond the
+  # standard library. ~2 s, cached by mtime.
+  LINT_BIN="build-lint/panda_lint"
+  if [ ! -x "$LINT_BIN" ] \
+     || [ tools/analyze/rules.cc -nt "$LINT_BIN" ] \
+     || [ tools/analyze/lexer.cc -nt "$LINT_BIN" ] \
+     || [ tools/analyze/main.cc -nt "$LINT_BIN" ]; then
+    mkdir -p build-lint
+    CXX_BIN="${CXX:-c++}"
+    "$CXX_BIN" -std=c++20 -O1 -I tools \
+      tools/analyze/lexer.cc tools/analyze/rules.cc tools/analyze/main.cc \
+      -o "$LINT_BIN"
+  fi
+fi
+if ! "$LINT_BIN" --root=.; then
+  FAIL=1
+fi
+
+if [ "$FAIL" -ne 0 ]; then
+  echo "lint FAILED"
+  exit 1
+fi
+echo "lint OK"
