@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <cstring>
 #include <numeric>
 
+#include "codec/frame.h"
 #include "trace/export.h"
 #include "util/units.h"
 
@@ -40,11 +42,62 @@ double NormalizationPeakBps(const MeasureSpec& spec) {
                                 : aix.WriteThroughput(1 * kMiB);
 }
 
+namespace {
+
+// Compressible fill for codec ablations: element value = its global
+// row-major offset, little-endian — a smooth ramp, the friendly case
+// for shuffle/delta the paper's regular scientific fields resemble.
+void FillRamp(Array& array) {
+  const Region& cell = array.local_region();
+  if (cell.empty()) return;
+  std::span<std::byte> data = array.local_data();
+  const auto elem = static_cast<size_t>(array.elem_size());
+  const Shape& shape = array.shape();
+  Index off = Index::Zeros(cell.rank());
+  const Shape ext = cell.extent();
+  size_t n = 0;
+  do {
+    std::int64_t linear = 0;
+    for (int d = 0; d < cell.rank(); ++d) {
+      linear = linear * shape[d] + (cell.lo()[d] + off[d]);
+    }
+    const auto v = static_cast<std::uint64_t>(linear);
+    std::memcpy(data.data() + n * elem, &v, std::min(elem, sizeof(v)));
+    if (elem > sizeof(v)) {
+      std::memset(data.data() + n * elem + sizeof(v), 0, elem - sizeof(v));
+    }
+    ++n;
+  } while (NextIndexRowMajor(ext, off));
+}
+
+// The framed/raw ratio the advisor would sample for the ramp fill:
+// encode one sub-chunk-sized window of the same pattern.
+double SampledRatio(CodecId codec, std::int64_t elem_size) {
+  if (codec == CodecId::kNone) return 1.0;
+  const std::int64_t kSample = 64 * kKiB;
+  std::vector<std::byte> sample(static_cast<size_t>(kSample));
+  for (std::int64_t i = 0; i * elem_size < kSample; ++i) {
+    const auto v = static_cast<std::uint64_t>(i);
+    std::memcpy(sample.data() + i * elem_size, &v,
+                std::min<size_t>(static_cast<size_t>(elem_size), sizeof(v)));
+  }
+  const SubchunkFrame frame = EncodeSubchunkFrame(codec, sample, elem_size);
+  return static_cast<double>(frame.frame_bytes(kSample)) /
+         static_cast<double>(kSample);
+}
+
+}  // namespace
+
 MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
                                 std::string* trace_json) {
-  Machine machine = Machine::Simulated(spec.num_clients, spec.io_nodes,
-                                       spec.params, /*store_data=*/false,
-                                       /*timing_only=*/true);
+  // A codec run measures real payloads (compression on elided bytes is
+  // meaningless), so it pays for store_data file systems + actual
+  // packing; codec=none keeps the classic timing-only harness,
+  // bit-identical to the pre-codec benches.
+  const bool coded = spec.codec != CodecId::kNone;
+  Machine machine =
+      Machine::Simulated(spec.num_clients, spec.io_nodes, spec.params,
+                         /*store_data=*/coded, /*timing_only=*/!coded);
   if (spec.trace) machine.EnableTrace();
   const World world{spec.num_clients, spec.io_nodes};
 
@@ -56,7 +109,9 @@ MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
       [&](Endpoint& ep, int client_index) {
         PandaClient client(ep, world, spec.params);
         Array array(meta.name, meta.elem_size, meta.memory, meta.disk);
-        array.BindClient(client_index, /*allocate=*/false);
+        array.set_codec(spec.codec);
+        array.BindClient(client_index, /*allocate=*/coded);
+        if (coded) FillRamp(array);
 
         // Warm-up write so read benches have files on the i/o nodes
         // (also reproduces the paper's methodology: data is written,
@@ -93,6 +148,12 @@ MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
   result.aggregate_Bps = static_cast<double>(bytes) / result.elapsed_s;
   result.per_ion_Bps = result.aggregate_Bps / spec.io_nodes;
   result.normalized = result.per_ion_Bps / NormalizationPeakBps(spec);
+  const MachineReport report = Snapshot(machine);
+  result.wire_bytes_sent = report.messages.bytes_sent;
+  for (const FsStats& fs : report.server_fs) {
+    result.disk_bytes_written += fs.bytes_written;
+  }
+  result.codec_ratio = SampledRatio(spec.codec, meta.elem_size);
   if (const trace::Collector* collector = machine.trace_collector()) {
     result.spans = collector->AggregateByKind();
     if (trace_json != nullptr) *trace_json = MachineTraceJson(machine);
@@ -128,12 +189,13 @@ std::string SpansJson(
 std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
                       std::span<const FigureRow> rows) {
   std::string out = "{";
-  out += "\"schema_version\":1,";
+  out += "\"schema_version\":2,";
   out += "\"kind\":\"panda_bench\",";
   out += "\"bench\":\"" + trace::JsonEscape(spec.id) + "\",";
   out += "\"description\":\"" + trace::JsonEscape(spec.description) + "\",";
   out += std::string("\"op\":\"") +
          (spec.op == IoOp::kRead ? "read" : "write") + "\",";
+  out += std::string("\"codec\":\"") + CodecName(spec.codec) + "\",";
   out += std::string("\"quick\":") + (quick ? "true" : "false") + ",";
   out += "\"reps\":" + std::to_string(reps) + ",";
   out += "\"rows\":[";
@@ -147,6 +209,10 @@ std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
     out += ",\"aggregate_Bps\":" + trace::JsonDouble(row.result.aggregate_Bps);
     out += ",\"per_ion_Bps\":" + trace::JsonDouble(row.result.per_ion_Bps);
     out += ",\"normalized\":" + trace::JsonDouble(row.result.normalized);
+    out += ",\"wire_bytes_sent\":" + std::to_string(row.result.wire_bytes_sent);
+    out += ",\"disk_bytes_written\":" +
+           std::to_string(row.result.disk_bytes_written);
+    out += ",\"codec_ratio\":" + trace::JsonDouble(row.result.codec_ratio);
     out += ",\"spans\":" + SpansJson(row.result.spans);
     out += "}";
     for (size_t k = 0; k < trace::kNumSpanKinds; ++k) {
@@ -172,18 +238,22 @@ void RunFigure(const FigureSpec& spec, bool quick, const FigureOutput& out) {
   if (quick) {
     sizes = {sizes.front(), sizes.back()};
     reps = 1;
+    // Codec runs move real payloads; the quick smoke keeps only the
+    // smallest size so the ablation stays seconds, not minutes.
+    if (spec.codec != CodecId::kNone) sizes = {sizes.front()};
   }
   const bool want_outputs = !out.json_path.empty() || !out.trace_path.empty();
   std::vector<FigureRow> rows;
   std::string trace_json;
 
   std::printf("# %s: %s\n", spec.id.c_str(), spec.description.c_str());
-  std::printf("# %d compute nodes (%s mesh), %s, %s disk, op=%s\n",
+  std::printf("# %d compute nodes (%s mesh), %s, %s disk, op=%s, codec=%s\n",
               spec.num_clients, spec.cn_mesh.ToString().c_str(),
               spec.traditional ? "traditional order (BLOCK,*,*)"
                                : "natural chunking",
               spec.fast_disk ? "infinitely fast" : "NAS AIX",
-              spec.op == IoOp::kRead ? "read" : "write");
+              spec.op == IoOp::kRead ? "read" : "write",
+              CodecName(spec.codec));
   std::printf("%-9s %-8s %-12s %-14s %-14s %-10s\n", "io_nodes", "size_mb",
               "elapsed_s", "aggregate", "per_io_node", "normalized");
 
@@ -197,6 +267,7 @@ void RunFigure(const FigureSpec& spec, bool quick, const FigureOutput& out) {
       ms.reps = reps;
       ms.fast_disk = spec.fast_disk;
       ms.trace = want_outputs;
+      ms.codec = spec.codec;
       const ArrayMeta meta =
           PaperArrayMeta(mb, spec.cn_mesh, spec.traditional, ion);
       // The exported trace is the last sweep point's (one Run per point;
@@ -234,6 +305,12 @@ int FigureMain(int argc, char** argv, FigureSpec spec) {
     FigureOutput out;
     out.json_path = opts.GetString("json_out", "");
     out.trace_path = opts.GetString("trace_out", "");
+    const std::string codec_name =
+        opts.GetString("codec", CodecName(spec.codec));
+    PANDA_REQUIRE(CodecFromName(codec_name, spec.codec),
+                  "unknown --codec '%s' (try: none, rle, shuffle, delta, "
+                  "shuffle+rle)",
+                  codec_name.c_str());
     opts.CheckAllConsumed();
     spec.reps = static_cast<int>(reps);
     RunFigure(spec, quick, out);

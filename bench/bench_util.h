@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/codec.h"
 #include "panda/panda.h"
 #include "panda/report.h"
 #include "trace/trace.h"
@@ -37,6 +38,15 @@ struct MeasureResult {
   double aggregate_Bps = 0.0;
   double per_ion_Bps = 0.0;
   double normalized = 0.0;    // per-ion / peak (AIX or MPI)
+  // Byte accounting over the whole measured run (warm-up included):
+  // transport payload bytes and i/o-node file bytes. With a codec armed
+  // these shrink against the codec=none run of the same spec — the
+  // ablation tools/bench.sh runs.
+  std::int64_t wire_bytes_sent = 0;
+  std::int64_t disk_bytes_written = 0;
+  // Sampled framed/raw ratio of the fill pattern under MeasureSpec::
+  // codec (what AdviseCodec feeds the cost model); 1.0 when codec=none.
+  double codec_ratio = 1.0;
   // Per-kind span aggregates over the whole measured run (warm-up
   // included), all ranks summed. All-zero unless MeasureSpec::trace.
   std::array<trace::SpanAggregate, trace::kNumSpanKinds> spans{};
@@ -50,6 +60,12 @@ struct MeasureSpec {
   int reps = 5;
   bool fast_disk = false;   // normalize against MPI peak instead of AIX
   bool trace = false;       // arm span tracing (fills MeasureResult::spans)
+  // Sub-chunk codec for the swept array. kNone keeps the classic
+  // timing-only run (payloads elided, bit-identical to the pre-codec
+  // harness). Any other codec switches the measurement to real data —
+  // smooth-ramp fill, store_data file systems — because compression is
+  // meaningless on elided payloads.
+  CodecId codec = CodecId::kNone;
   ServerOptions server_options;
 };
 
@@ -78,6 +94,8 @@ struct FigureSpec {
   std::vector<int> io_nodes;
   std::vector<std::int64_t> sizes_mb;
   int reps = 5;
+  // Codec ablation (--codec=NAME): forwarded to MeasureSpec::codec.
+  CodecId codec = CodecId::kNone;
 };
 
 // Machine-readable outputs of a figure run (empty paths = skip).
@@ -93,10 +111,13 @@ struct FigureRow {
   MeasureResult result;
 };
 
-// The stable machine-readable bench schema (schema_version 1): a single
+// The stable machine-readable bench schema (schema_version 2): a single
 // JSON object {schema_version, kind:"panda_bench", bench, description,
-// op, quick, reps, rows:[{io_nodes, size_mb, elapsed_s, aggregate_Bps,
-// per_ion_Bps, normalized, spans:{...}}], spans:{...}}. Doubles are
+// op, codec, quick, reps, rows:[{io_nodes, size_mb, elapsed_s,
+// aggregate_Bps, per_ion_Bps, normalized, wire_bytes_sent,
+// disk_bytes_written, codec_ratio, spans:{...}}], spans:{...}}.
+// Version history: v2 added `codec` and the per-row byte/ratio fields
+// (all other keys unchanged, so v1 consumers keep working). Doubles are
 // %.17g, so values round-trip exactly (tests/bench_json_test.cc
 // re-derives throughput from elapsed to 1e-9).
 std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
@@ -110,7 +131,9 @@ void RunFigure(const FigureSpec& spec, bool quick);
 void RunFigure(const FigureSpec& spec, bool quick, const FigureOutput& out);
 
 // Parses common bench options (--quick, --reps=N, --json_out=FILE,
-// --trace_out=FILE) and runs the figure.
+// --trace_out=FILE, --codec=NAME) and runs the figure. --codec takes
+// the registry spellings (none, rle, shuffle, delta, shuffle+rle) and
+// switches the sweep to real compressible data; see MeasureSpec::codec.
 int FigureMain(int argc, char** argv, FigureSpec spec);
 
 }  // namespace bench

@@ -1,0 +1,365 @@
+#include "codec/codec.h"
+
+#include <array>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+// Clamps the element size codecs work with: anything non-positive (or
+// absurd) degenerates to byte-oriented behaviour instead of dying —
+// codecs must cope with whatever an ArrayMeta carries.
+std::int64_t SaneElem(std::int64_t elem_size) {
+  if (elem_size < 1) return 1;
+  if (elem_size > 64) return 1;
+  return elem_size;
+}
+
+// ---- none ------------------------------------------------------------
+
+class NoneCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kNone; }
+  const char* name() const override { return "none"; }
+
+  void Encode(std::span<const std::byte> raw, std::int64_t,
+              std::vector<std::byte>& out) const override {
+    out.insert(out.end(), raw.begin(), raw.end());
+  }
+
+  void Decode(std::span<const std::byte> enc, std::int64_t,
+              std::span<std::byte> out) const override {
+    PANDA_REQUIRE(enc.size() == out.size(),
+                  "none codec size mismatch (%zu encoded, %zu expected)",
+                  enc.size(), out.size());
+    if (!enc.empty()) std::memcpy(out.data(), enc.data(), enc.size());
+  }
+};
+
+// ---- rle -------------------------------------------------------------
+//
+// Byte-level runs as (length, value) pairs, length in 1..255. Worst
+// case doubles the input; framing falls back to stored-raw then.
+
+void RleEncode(std::span<const std::byte> raw, std::vector<std::byte>& out) {
+  size_t i = 0;
+  while (i < raw.size()) {
+    const std::byte v = raw[i];
+    size_t run = 1;
+    while (run < 255 && i + run < raw.size() && raw[i + run] == v) ++run;
+    out.push_back(static_cast<std::byte>(run));
+    out.push_back(v);
+    i += run;
+  }
+}
+
+void RleDecode(std::span<const std::byte> enc, std::span<std::byte> out) {
+  size_t oi = 0;
+  size_t i = 0;
+  while (i < enc.size()) {
+    PANDA_REQUIRE(i + 2 <= enc.size(), "rle stream ends mid-pair");
+    const size_t run = static_cast<size_t>(enc[i]);
+    const std::byte v = enc[i + 1];
+    i += 2;
+    PANDA_REQUIRE(run >= 1, "rle run of length zero");
+    PANDA_REQUIRE(oi + run <= out.size(),
+                  "rle stream decodes past the expected %zu bytes",
+                  out.size());
+    std::memset(out.data() + oi, static_cast<int>(v), run);
+    oi += run;
+  }
+  PANDA_REQUIRE(oi == out.size(),
+                "rle stream decodes to %zu bytes, expected %zu", oi,
+                out.size());
+}
+
+class RleCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kRle; }
+  const char* name() const override { return "rle"; }
+
+  void Encode(std::span<const std::byte> raw, std::int64_t,
+              std::vector<std::byte>& out) const override {
+    RleEncode(raw, out);
+  }
+
+  void Decode(std::span<const std::byte> enc, std::int64_t,
+              std::span<std::byte> out) const override {
+    RleDecode(enc, out);
+  }
+};
+
+// ---- shuffle ---------------------------------------------------------
+//
+// Byte-plane transposition: all elements' byte 0, then all byte 1, ...
+// Size-preserving and only useful chained (near-constant high bytes of
+// smooth numeric data become long runs for rle). A tail shorter than
+// one element is appended unshuffled.
+
+void ShuffleEncode(std::span<const std::byte> raw, std::int64_t elem_size,
+                   std::vector<std::byte>& out) {
+  const size_t elem = static_cast<size_t>(SaneElem(elem_size));
+  const size_t n = raw.size() / elem;  // whole elements
+  const size_t body = n * elem;
+  const size_t base = out.size();
+  out.resize(base + raw.size());
+  for (size_t p = 0; p < elem; ++p) {
+    std::byte* dst = out.data() + base + p * n;
+    for (size_t i = 0; i < n; ++i) dst[i] = raw[i * elem + p];
+  }
+  if (body < raw.size()) {
+    std::memcpy(out.data() + base + body, raw.data() + body,
+                raw.size() - body);
+  }
+}
+
+void ShuffleDecode(std::span<const std::byte> enc, std::int64_t elem_size,
+                   std::span<std::byte> out) {
+  PANDA_REQUIRE(enc.size() == out.size(),
+                "shuffle size mismatch (%zu encoded, %zu expected)",
+                enc.size(), out.size());
+  const size_t elem = static_cast<size_t>(SaneElem(elem_size));
+  const size_t n = out.size() / elem;
+  const size_t body = n * elem;
+  for (size_t p = 0; p < elem; ++p) {
+    const std::byte* src = enc.data() + p * n;
+    for (size_t i = 0; i < n; ++i) out[i * elem + p] = src[i];
+  }
+  if (body < out.size()) {
+    std::memcpy(out.data() + body, enc.data() + body, out.size() - body);
+  }
+}
+
+class ShuffleCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kShuffle; }
+  const char* name() const override { return "shuffle"; }
+
+  void Encode(std::span<const std::byte> raw, std::int64_t elem_size,
+              std::vector<std::byte>& out) const override {
+    ShuffleEncode(raw, elem_size, out);
+  }
+
+  void Decode(std::span<const std::byte> enc, std::int64_t elem_size,
+              std::span<std::byte> out) const override {
+    ShuffleDecode(enc, elem_size, out);
+  }
+};
+
+// ---- delta + varint --------------------------------------------------
+//
+// Treats the input as little-endian unsigned integers of the element
+// width (1/2/4/8; anything else degrades to bytes), takes wrapping
+// deltas between consecutive elements (first element deltas from 0),
+// recenters the delta into a signed value of the same width, and
+// zigzag-varint encodes it. Slowly varying sequences become streams of
+// 1-byte varints. A tail shorter than one element is stored raw after
+// the varint stream.
+
+std::int64_t DeltaWidth(std::int64_t elem_size) {
+  switch (elem_size) {
+    case 2:
+    case 4:
+    case 8:
+      return elem_size;
+    default:
+      return 1;
+  }
+}
+
+std::uint64_t LoadLe(const std::byte* p, std::int64_t width) {
+  std::uint64_t v = 0;
+  for (std::int64_t b = 0; b < width; ++b) {
+    v |= static_cast<std::uint64_t>(static_cast<std::uint8_t>(p[b]))
+         << (8 * b);
+  }
+  return v;
+}
+
+void StoreLe(std::byte* p, std::int64_t width, std::uint64_t v) {
+  for (std::int64_t b = 0; b < width; ++b) {
+    p[b] = static_cast<std::byte>((v >> (8 * b)) & 0xff);
+  }
+}
+
+void PutVarint(std::vector<std::byte>& out, std::uint64_t v) {
+  while (v >= 0x80) {
+    out.push_back(static_cast<std::byte>((v & 0x7f) | 0x80));
+    v >>= 7;
+  }
+  out.push_back(static_cast<std::byte>(v));
+}
+
+std::uint64_t GetVarint(std::span<const std::byte> enc, size_t& pos) {
+  std::uint64_t v = 0;
+  int shift = 0;
+  for (;;) {
+    PANDA_REQUIRE(pos < enc.size(), "varint stream truncated");
+    PANDA_REQUIRE(shift < 64, "varint too long");
+    const std::uint8_t b = static_cast<std::uint8_t>(enc[pos++]);
+    v |= static_cast<std::uint64_t>(b & 0x7f) << shift;
+    if ((b & 0x80) == 0) return v;
+    shift += 7;
+  }
+}
+
+std::uint64_t Zigzag(std::int64_t v) {
+  return (static_cast<std::uint64_t>(v) << 1) ^
+         static_cast<std::uint64_t>(v >> 63);
+}
+
+std::int64_t Unzigzag(std::uint64_t v) {
+  return static_cast<std::int64_t>(v >> 1) ^
+         -static_cast<std::int64_t>(v & 1);
+}
+
+void DeltaEncode(std::span<const std::byte> raw, std::int64_t elem_size,
+                 std::vector<std::byte>& out) {
+  const std::int64_t width = DeltaWidth(SaneElem(elem_size));
+  const std::uint64_t mask =
+      width == 8 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * width)) - 1);
+  const size_t n = raw.size() / static_cast<size_t>(width);
+  const size_t body = n * static_cast<size_t>(width);
+  std::uint64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::uint64_t v =
+        LoadLe(raw.data() + i * static_cast<size_t>(width), width);
+    const std::uint64_t d = (v - prev) & mask;
+    prev = v;
+    // Recenter the wrapped delta: values in the top half of the range
+    // are small negative steps.
+    std::int64_t centered;
+    if (width == 8) {
+      centered = static_cast<std::int64_t>(d);
+    } else if (d > (mask >> 1)) {
+      centered = static_cast<std::int64_t>(d) -
+                 static_cast<std::int64_t>(mask + 1);
+    } else {
+      centered = static_cast<std::int64_t>(d);
+    }
+    PutVarint(out, Zigzag(centered));
+  }
+  if (body < raw.size()) {
+    out.insert(out.end(), raw.begin() + static_cast<std::ptrdiff_t>(body),
+               raw.end());
+  }
+}
+
+void DeltaDecode(std::span<const std::byte> enc, std::int64_t elem_size,
+                 std::span<std::byte> out) {
+  const std::int64_t width = DeltaWidth(SaneElem(elem_size));
+  const std::uint64_t mask =
+      width == 8 ? ~std::uint64_t{0} : ((std::uint64_t{1} << (8 * width)) - 1);
+  const size_t n = out.size() / static_cast<size_t>(width);
+  const size_t body = n * static_cast<size_t>(width);
+  const size_t tail = out.size() - body;
+  size_t pos = 0;
+  std::uint64_t prev = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const std::int64_t centered = Unzigzag(GetVarint(enc, pos));
+    const std::uint64_t d = static_cast<std::uint64_t>(centered) & mask;
+    const std::uint64_t v = (prev + d) & mask;
+    prev = v;
+    StoreLe(out.data() + i * static_cast<size_t>(width), width, v);
+  }
+  PANDA_REQUIRE(enc.size() - pos == tail,
+                "delta stream leaves %zu trailing bytes, expected %zu",
+                enc.size() - pos, tail);
+  if (tail > 0) std::memcpy(out.data() + body, enc.data() + pos, tail);
+}
+
+class DeltaCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kDelta; }
+  const char* name() const override { return "delta"; }
+
+  void Encode(std::span<const std::byte> raw, std::int64_t elem_size,
+              std::vector<std::byte>& out) const override {
+    DeltaEncode(raw, elem_size, out);
+  }
+
+  void Decode(std::span<const std::byte> enc, std::int64_t elem_size,
+              std::span<std::byte> out) const override {
+    DeltaDecode(enc, elem_size, out);
+  }
+};
+
+// ---- shuffle + rle ---------------------------------------------------
+
+class ShuffleRleCodec final : public Codec {
+ public:
+  CodecId id() const override { return CodecId::kShuffleRle; }
+  const char* name() const override { return "shuffle+rle"; }
+
+  void Encode(std::span<const std::byte> raw, std::int64_t elem_size,
+              std::vector<std::byte>& out) const override {
+    std::vector<std::byte> shuffled;
+    ShuffleEncode(raw, elem_size, shuffled);
+    RleEncode(shuffled, out);
+  }
+
+  void Decode(std::span<const std::byte> enc, std::int64_t elem_size,
+              std::span<std::byte> out) const override {
+    // Shuffle is size-preserving, so the intermediate is out.size().
+    std::vector<std::byte> shuffled(out.size());
+    RleDecode(enc, shuffled);
+    ShuffleDecode(shuffled, elem_size, out);
+  }
+};
+
+constexpr std::array<CodecId, kNumCodecIds> kAllCodecIds = {
+    CodecId::kNone, CodecId::kRle, CodecId::kShuffle, CodecId::kDelta,
+    CodecId::kShuffleRle,
+};
+
+}  // namespace
+
+bool IsValidCodecId(std::uint8_t id) { return id < kNumCodecIds; }
+
+const char* CodecName(CodecId id) { return GetCodec(id).name(); }
+
+bool CodecFromName(std::string_view name, CodecId& id) {
+  for (const CodecId c : kAllCodecIds) {
+    if (name == GetCodec(c).name()) {
+      id = c;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::span<const CodecId> AllCodecIds() { return kAllCodecIds; }
+
+const Codec& GetCodec(CodecId id) {
+  static const NoneCodec none;
+  static const RleCodec rle;
+  static const ShuffleCodec shuffle;
+  static const DeltaCodec delta;
+  static const ShuffleRleCodec shuffle_rle;
+  switch (id) {
+    case CodecId::kNone:
+      return none;
+    case CodecId::kRle:
+      return rle;
+    case CodecId::kShuffle:
+      return shuffle;
+    case CodecId::kDelta:
+      return delta;
+    case CodecId::kShuffleRle:
+      return shuffle_rle;
+  }
+  PANDA_CHECK_MSG(false, "invalid codec id %u",
+                  static_cast<unsigned>(id));
+  return none;  // unreachable
+}
+
+std::int64_t EncodedSize(CodecId id, std::span<const std::byte> raw,
+                         std::int64_t elem_size) {
+  std::vector<std::byte> tmp;
+  GetCodec(id).Encode(raw, elem_size, tmp);
+  return static_cast<std::int64_t>(tmp.size());
+}
+
+}  // namespace panda

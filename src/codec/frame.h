@@ -1,0 +1,155 @@
+// Self-describing codec frames and per-file frame directories.
+//
+// A frame is `[header | encoded bytes]` where the 28-byte header names
+// the codec and both lengths and carries its own CRC32C:
+//
+//   [ u32 magic | u8 codec | u8 flags | u16 reserved |
+//     u64 raw_bytes | u64 enc_bytes | u32 header_crc(first 24) ]
+//
+// Wire piece payloads always carry the header when a collective
+// negotiates a codec. On disk, frames are written at the sub-chunk's
+// *plan* offset (so timestep append, checkpoint overwrite, adopted-chunk
+// offsets and idempotent retries keep working) and must fit the
+// sub-chunk's slot; when the encoding does not save at least a header's
+// worth, the sub-chunk is stored raw with no header at all — exactly
+// the bytes codec=none would write.
+//
+// Readers locate encoded sub-chunks through the frame directory
+// (`F.fdx`): fixed 32-byte CRC-framed records, one per work-list
+// ordinal, mirroring the checksum sidecar's indexing. Like the journal,
+// a torn or corrupt directory record is tolerated: readers fall back to
+// probing the slot's self-describing header (a stored-raw slot has no
+// header; the magic + header CRC make a false positive negligible).
+//
+// Integrity layering: CRC32C sidecars and journal data CRCs stay
+// computed over the *uncompressed* bytes, so the one-re-read heal and
+// all offline verifiers work unchanged on encoded files.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "iosim/file_system.h"
+
+namespace panda {
+
+inline constexpr std::uint32_t kFrameMagic = 0x31465250;  // "PRF1"
+inline constexpr std::int64_t kFrameHeaderBytes = 28;
+
+struct FrameHeader {
+  CodecId codec = CodecId::kNone;
+  std::int64_t raw_bytes = 0;
+  std::int64_t enc_bytes = 0;
+};
+
+// Appends the 28-byte header to `out`.
+void AppendFrameHeader(std::vector<std::byte>& out, const FrameHeader& h);
+
+// Parses a header from the first 28 bytes of `bytes`. Returns nullopt
+// on short input, bad magic, bad header CRC, invalid codec id or
+// nonsensical lengths — callers treat that as "not a frame".
+std::optional<FrameHeader> ParseFrameHeader(std::span<const std::byte> bytes);
+
+// ---- wire frames -----------------------------------------------------
+
+// Encodes `raw` for the wire under `requested`. The header is always
+// present; when the encoding does not shrink, the payload is stored
+// (header.codec == kNone) so decode cost is paid only where it won.
+// `used` (optional) reports the representation chosen.
+std::vector<std::byte> EncodeWireFrame(CodecId requested,
+                                       std::span<const std::byte> raw,
+                                       std::int64_t elem_size,
+                                       CodecId* used = nullptr);
+
+// Decodes a wire frame back to raw bytes. Throws PandaError on a
+// malformed frame or when the header's raw length differs from
+// `expected_raw` (plans diverged or bytes corrupted in flight).
+std::vector<std::byte> DecodeWireFrame(std::span<const std::byte> framed,
+                                       std::int64_t expected_raw,
+                                       std::int64_t elem_size,
+                                       CodecId* used = nullptr);
+
+// ---- disk sub-chunk frames -------------------------------------------
+
+// The representation of one sub-chunk slot on disk.
+struct SubchunkFrame {
+  // The framed bytes to write at the sub-chunk's plan offset, or empty
+  // when the sub-chunk is stored raw (write the raw bytes unchanged).
+  std::vector<std::byte> bytes;
+  // kNone means stored-raw (no header on disk).
+  CodecId codec = CodecId::kNone;
+
+  std::int64_t frame_bytes(std::int64_t raw_bytes) const {
+    return codec == CodecId::kNone ? raw_bytes
+                                   : static_cast<std::int64_t>(bytes.size());
+  }
+};
+
+// Encodes a sub-chunk for disk: frames under `requested` when
+// header + encoding fits the raw-size slot, stored-raw otherwise.
+SubchunkFrame EncodeSubchunkFrame(CodecId requested,
+                                  std::span<const std::byte> raw,
+                                  std::int64_t elem_size);
+
+// Decodes a slot whose representation is known (from a frame directory
+// record): `slot` holds exactly frame_bytes. Throws PandaError on any
+// mismatch or malformed encoding.
+std::vector<std::byte> DecodeSubchunkFrame(std::span<const std::byte> slot,
+                                           CodecId codec,
+                                           std::int64_t raw_bytes,
+                                           std::int64_t elem_size);
+
+// Decodes a slot of *unknown* representation (torn or missing frame
+// directory record): probes the self-describing header; a slot that is
+// not a valid frame must be stored-raw of exactly `raw_bytes`. Throws
+// PandaError when it is neither. `used` reports what was found.
+std::vector<std::byte> ProbeDecodeSubchunk(std::span<const std::byte> slot,
+                                           std::int64_t raw_bytes,
+                                           std::int64_t elem_size,
+                                           CodecId* used = nullptr);
+
+// ---- frame directory (`F.fdx`) ---------------------------------------
+
+// Sidecar naming, mirroring integrity's `F.crc` and the journal's
+// `F.wal`.
+std::string FrameDirFileName(const std::string& data_file);
+
+inline constexpr std::int64_t kFrameDirRecordBytes = 32;
+
+// One directory record: where a sub-chunk's frame lives and how it is
+// represented. record layout:
+//   [ i64 file_offset | i64 raw_bytes | i64 frame_bytes |
+//     u32 codec | u32 record_crc(first 28) ]
+struct FrameDirRecord {
+  std::int64_t file_offset = 0;  // absolute offset of the slot
+  std::int64_t raw_bytes = 0;    // decoded (plan) size of the sub-chunk
+  std::int64_t frame_bytes = 0;  // bytes actually stored at the offset
+  CodecId codec = CodecId::kNone;  // kNone = stored raw (no header)
+};
+
+// Writes the fixed-size record at `record_index`.
+void WriteFrameDirRecord(File& dir, std::int64_t record_index,
+                         const FrameDirRecord& rec);
+
+// Batched append: `recs` occupy the contiguous index run starting at
+// `first_index` and go to disk as ONE positioned write. Servers buffer
+// a collective's records and flush once per run, so the directory
+// costs a single per-request disk overhead per collective instead of
+// one per sub-chunk (which would eat the codec's disk savings on
+// overhead-dominated devices). Crash safety is unchanged: a collective
+// that dies before the flush leaves frames without records, and
+// readers heal those by probing the slots' self-describing headers.
+void WriteFrameDirRecords(File& dir, std::int64_t first_index,
+                          std::span<const FrameDirRecord> recs);
+
+// Reads the record at `record_index`; nullopt when the directory is too
+// short (torn tail) or the record fails its CRC — the caller falls back
+// to probing the slot's self-describing header.
+std::optional<FrameDirRecord> ReadFrameDirRecord(File& dir,
+                                                 std::int64_t record_index);
+
+}  // namespace panda

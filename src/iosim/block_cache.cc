@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "msg/hb.h"
 #include "util/error.h"
 #include "util/math.h"
 
@@ -106,6 +107,10 @@ void BlockCache::WriteBackAllDirty() {
 void BlockCache::WriteAt(std::int64_t offset, std::span<const std::byte> data,
                          std::int64_t vbytes) {
   (void)data;  // timing-model layer: contents are not cached
+  // The LRU list, block map and stream table are unsynchronized shared
+  // state: under -DPANDA_HB every access must be ordered by a message,
+  // lock or fork/join edge, or the checker reports a race.
+  hb::StampAccess(this, "iosim.block_cache", /*is_write=*/true);
   PANDA_CHECK(offset >= 0 && vbytes >= 0);
   const std::int64_t bb = options_.block_bytes;
   const std::int64_t first = offset / bb;
@@ -121,6 +126,9 @@ void BlockCache::WriteAt(std::int64_t offset, std::span<const std::byte> data,
 void BlockCache::ReadAt(std::int64_t offset, std::span<std::byte> out,
                         std::int64_t vbytes) {
   (void)out;
+  // Even a cache *read* mutates shared state (LRU reordering, stream
+  // table, prefetch installs), so it stamps as a write.
+  hb::StampAccess(this, "iosim.block_cache", /*is_write=*/true);
   PANDA_CHECK(offset >= 0 && vbytes >= 0);
   const std::int64_t bb = options_.block_bytes;
   const std::int64_t first = offset / bb;
@@ -184,6 +192,7 @@ bool BlockCache::DetectSequential(std::int64_t offset, std::int64_t vbytes) {
 }
 
 void BlockCache::Flush() {
+  hb::StampAccess(this, "iosim.block_cache", /*is_write=*/true);
   WriteBackAllDirty();
   base_->Sync();
 }

@@ -33,12 +33,15 @@ struct RobustnessCounters {
   std::int64_t failovers_completed = 0;    // degraded-mode re-plans committed
   std::int64_t chunks_adopted = 0;         // dead servers' chunks re-homed
   std::int64_t journal_records_written = 0;  // WAL commit records appended
+  std::int64_t frame_rereads = 0;            // frame decodes healed by re-read
+  std::int64_t frame_decode_failures = 0;    // undecodable sub-chunk frames
 
   bool AllZero() const {
     return io_retries == 0 && io_giveups == 0 && wire_checksum_failures == 0 &&
            disk_checksum_failures == 0 && disk_checksum_rereads == 0 &&
            collectives_aborted == 0 && failovers_completed == 0 &&
-           chunks_adopted == 0 && journal_records_written == 0;
+           chunks_adopted == 0 && journal_records_written == 0 &&
+           frame_rereads == 0 && frame_decode_failures == 0;
   }
 };
 
@@ -57,6 +60,8 @@ class RobustnessStats {
   std::atomic<std::int64_t> failovers_completed{0};
   std::atomic<std::int64_t> chunks_adopted{0};
   std::atomic<std::int64_t> journal_records_written{0};
+  std::atomic<std::int64_t> frame_rereads{0};
+  std::atomic<std::int64_t> frame_decode_failures{0};
 
   RobustnessCounters Snapshot() const {
     RobustnessCounters c;
@@ -69,6 +74,8 @@ class RobustnessStats {
     c.failovers_completed = failovers_completed.load();
     c.chunks_adopted = chunks_adopted.load();
     c.journal_records_written = journal_records_written.load();
+    c.frame_rereads = frame_rereads.load();
+    c.frame_decode_failures = frame_decode_failures.load();
     return c;
   }
 
@@ -82,6 +89,8 @@ class RobustnessStats {
     failovers_completed = 0;
     chunks_adopted = 0;
     journal_records_written = 0;
+    frame_rereads = 0;
+    frame_decode_failures = 0;
   }
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "codec/frame.h"
 #include "util/error.h"
 
 namespace panda {
@@ -131,6 +132,40 @@ std::vector<SchemaCandidate> RankDiskSchemas(const ArrayMeta& meta,
               return a.objective_s < b.objective_s;
             });
   return out;
+}
+
+CodecAdvice AdviseCodec(std::span<const std::byte> sample,
+                        std::int64_t elem_size) {
+  PANDA_REQUIRE(elem_size > 0, "element size must be positive");
+  constexpr std::int64_t kMaxSampleBytes = 256 * 1024;
+  // Clip to whole elements so shuffle/delta see well-formed input.
+  std::int64_t n = std::min<std::int64_t>(
+      static_cast<std::int64_t>(sample.size()), kMaxSampleBytes);
+  n -= n % elem_size;
+  CodecAdvice best;  // codec=none, ratio 1.0
+  if (n == 0) return best;
+  const std::span<const std::byte> clipped =
+      sample.subspan(0, static_cast<size_t>(n));
+
+  double best_ratio = 1.0;
+  CodecId best_codec = CodecId::kNone;
+  for (const CodecId id : AllCodecIds()) {
+    if (id == CodecId::kNone) continue;
+    const SubchunkFrame frame = EncodeSubchunkFrame(id, clipped, elem_size);
+    if (frame.codec == CodecId::kNone) continue;  // did not fit its slot
+    const double ratio = static_cast<double>(frame.frame_bytes(n)) /
+                         static_cast<double>(n);
+    if (ratio < best_ratio) {
+      best_ratio = ratio;
+      best_codec = id;
+    }
+  }
+  // Incompressible (or barely compressible) data is not worth the
+  // encode/decode compute: under a 5% saving, advise none.
+  if (best_codec == CodecId::kNone || best_ratio >= 0.95) return best;
+  best.codec = best_codec;
+  best.sampled_ratio = best_ratio;
+  return best;
 }
 
 SchemaCandidate AdviseDiskSchema(const ArrayMeta& meta, const World& world,

@@ -15,6 +15,8 @@
 // objective.
 #pragma once
 
+#include <cstddef>
+#include <span>
 #include <vector>
 
 #include "panda/cost_model.h"
@@ -60,5 +62,24 @@ SchemaCandidate AdviseDiskSchema(const ArrayMeta& meta, const World& world,
 // array (only the outermost extent-carrying dimension is distributed,
 // and chunk ids ascend with file order across servers).
 bool IsTraditionalOrder(const Schema& disk, int num_servers);
+
+// ---- Codec advisor --------------------------------------------------
+//
+// Picks the sub-chunk codec for an array by sampling: every registered
+// codec encodes (at most the first 256 KiB of) `sample` and the one
+// with the smallest framed/raw ratio wins. Incompressible data is not
+// worth the compute: when even the best codec saves less than 5%
+// (ratio >= 0.95) the advice is codec=none with ratio 1.0.
+//
+// `sampled_ratio` is what PredictCollective's `codec_ratio` parameter
+// wants: framed bytes (header included) over raw bytes.
+
+struct CodecAdvice {
+  CodecId codec = CodecId::kNone;
+  double sampled_ratio = 1.0;  // framed/raw for the winning codec
+};
+
+CodecAdvice AdviseCodec(std::span<const std::byte> sample,
+                        std::int64_t elem_size);
 
 }  // namespace panda

@@ -7,16 +7,23 @@ namespace panda {
 void ArrayMeta::EncodeTo(Encoder& enc) const {
   enc.PutString(name);
   enc.Put<std::int64_t>(elem_size);
+  enc.Put<std::uint8_t>(static_cast<std::uint8_t>(codec));
   memory.EncodeTo(enc);
   disk.EncodeTo(enc);
 }
 
-ArrayMeta ArrayMeta::Decode(Decoder& dec) {
+ArrayMeta ArrayMeta::Decode(Decoder& dec, bool with_codec) {
   ArrayMeta meta;
   meta.name = dec.GetString();
   meta.elem_size = dec.Get<std::int64_t>();
   PANDA_REQUIRE(meta.elem_size >= 1, "bad element size %lld",
                 static_cast<long long>(meta.elem_size));
+  if (with_codec) {
+    const std::uint8_t codec = dec.Get<std::uint8_t>();
+    PANDA_REQUIRE(IsValidCodecId(codec), "bad codec id %u in array metadata",
+                  static_cast<unsigned>(codec));
+    meta.codec = static_cast<CodecId>(codec);
+  }
   meta.memory = Schema::Decode(dec);
   meta.disk = Schema::Decode(dec);
   PANDA_REQUIRE(meta.memory.array_shape() == meta.disk.array_shape(),

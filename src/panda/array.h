@@ -14,6 +14,7 @@
 #include <string>
 #include <vector>
 
+#include "codec/codec.h"
 #include "mdarray/schema.h"
 #include "util/codec.h"
 
@@ -49,13 +50,21 @@ struct ArrayMeta {
   std::int64_t elem_size = 0;
   Schema memory;  // schema over the compute-node mesh
   Schema disk;    // schema over the logical i/o mesh
+  // Sub-chunk codec negotiated per array (docs/PROTOCOL.md "Codec
+  // negotiation and frame format"): wire piece payloads and on-disk
+  // sub-chunks are framed under it. kNone is bit-identical to the
+  // pre-codec format on disk. Round-trips through CollectiveRequest and
+  // the group metadata (v1 metadata decodes as kNone).
+  CodecId codec = CodecId::kNone;
 
   std::int64_t total_bytes() const {
     return memory.array_shape().Volume() * elem_size;
   }
 
   void EncodeTo(Encoder& enc) const;
-  static ArrayMeta Decode(Decoder& dec);
+  // `with_codec` is false only when decoding version-1 group metadata,
+  // which predates the codec byte (the wire always carries it).
+  static ArrayMeta Decode(Decoder& dec, bool with_codec = true);
 };
 
 // A client-side array handle: metadata plus this compute node's chunk of
@@ -76,6 +85,10 @@ class Array {
 
   const std::string& name() const { return meta_.name; }
   std::int64_t elem_size() const { return meta_.elem_size; }
+  // Sub-chunk codec for this array's collectives (default kNone). Set
+  // before the first collective; all clients must agree (SPMD).
+  CodecId codec() const { return meta_.codec; }
+  void set_codec(CodecId codec) { meta_.codec = codec; }
   const Shape& shape() const { return meta_.memory.array_shape(); }
   const Schema& memory_schema() const { return meta_.memory; }
   const Schema& disk_schema() const { return meta_.disk; }

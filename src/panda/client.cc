@@ -6,6 +6,7 @@
 
 #include <algorithm>
 
+#include "codec/frame.h"
 #include "mdarray/strided_copy.h"
 #include "panda/failover.h"
 #include "trace/trace.h"
@@ -312,9 +313,34 @@ void PandaClient::ServeWritePiece(const Endpoint::Delivery& request,
     PackRegion({payload.data(), payload.size()}, array.local_data(),
                array.local_region(), piece.region,
                static_cast<size_t>(array.elem_size()));
-    // End-to-end wire checksum, verified by the receiving server.
+    // End-to-end wire checksum over the *uncompressed* packed bytes,
+    // verified by the receiving server after it decodes the frame.
     enc.Put<std::uint32_t>(Crc32c({payload.data(), payload.size()}));
-    data.SetPayload(std::move(payload));
+    if (array.codec() != CodecId::kNone) {
+      // Frame the piece for the wire. Encoding is client CPU charged
+      // into the response chain like packing; the stored fallback
+      // (incompressible piece) costs nothing beyond the attempt.
+      const double enc_begin = ready;
+      CodecId used = CodecId::kNone;
+      std::vector<std::byte> framed =
+          EncodeWireFrame(array.codec(), {payload.data(), payload.size()},
+                          static_cast<std::int64_t>(array.elem_size()), &used);
+      if (used != CodecId::kNone) {
+        ready += static_cast<double>(piece.bytes) / params_.codec_encode_Bps;
+      }
+      trace::RecordSpan(trace::SpanKind::kCodecEncode, enc_begin, ready,
+                        piece.bytes);
+      trace::ObserveMetric(trace::MetricId::kCodecEncodeSeconds,
+                           ready - enc_begin);
+      trace::ObserveMetric(
+          trace::MetricId::kCodecRatio,
+          piece.bytes > 0 ? static_cast<double>(framed.size()) /
+                                static_cast<double>(piece.bytes)
+                          : 1.0);
+      data.SetPayload(std::move(framed));
+    } else {
+      data.SetPayload(std::move(payload));
+    }
   } else {
     enc.Put<std::uint32_t>(0);
     data.SetVirtualPayload(piece.bytes);
@@ -334,11 +360,37 @@ void PandaClient::ServeReadPiece(const Endpoint::Delivery& delivery,
                       ready, piece.bytes);
   }
   if (!ep_->timing_only()) {
-    PANDA_REQUIRE(
-        static_cast<std::int64_t>(data.payload.size()) == piece.bytes,
-        "piece payload size mismatch");
-    const std::uint32_t got =
-        Crc32c({data.payload.data(), data.payload.size()});
+    std::span<const std::byte> raw{data.payload.data(), data.payload.size()};
+    std::vector<std::byte> decoded;
+    if (array.codec() != CodecId::kNone) {
+      // The server framed the piece; decode before the end-to-end
+      // checksum (the CRC covers uncompressed bytes).
+      const double dec_begin = ready;
+      CodecId used = CodecId::kNone;
+      try {
+        decoded = DecodeWireFrame(raw, piece.bytes,
+                                  static_cast<std::int64_t>(array.elem_size()),
+                                  &used);
+      } catch (const PandaError& e) {
+        if (robustness_ != nullptr) {
+          robustness_->wire_checksum_failures.fetch_add(1);
+        }
+        PANDA_REQUIRE(false,
+                      "read piece %s is not a valid codec frame: %s",
+                      piece.region.ToString().c_str(), e.what());
+      }
+      if (used != CodecId::kNone) {
+        ready += static_cast<double>(piece.bytes) / params_.codec_decode_Bps;
+      }
+      trace::RecordSpan(trace::SpanKind::kCodecDecode, dec_begin, ready,
+                        piece.bytes);
+      raw = {decoded.data(), decoded.size()};
+    } else {
+      PANDA_REQUIRE(
+          static_cast<std::int64_t>(data.payload.size()) == piece.bytes,
+          "piece payload size mismatch");
+    }
+    const std::uint32_t got = Crc32c(raw);
     if (got != wire_crc) {
       if (robustness_ != nullptr) {
         robustness_->wire_checksum_failures.fetch_add(1);
@@ -348,8 +400,7 @@ void PandaClient::ServeReadPiece(const Endpoint::Delivery& delivery,
                     "(wire %08x != computed %08x)",
                     piece.region.ToString().c_str(), wire_crc, got);
     }
-    UnpackRegion(array.local_data(), array.local_region(),
-                 {data.payload.data(), data.payload.size()}, piece.region,
+    UnpackRegion(array.local_data(), array.local_region(), raw, piece.region,
                  static_cast<size_t>(array.elem_size()));
   } else {
     PANDA_REQUIRE(data.payload_vbytes == piece.bytes,

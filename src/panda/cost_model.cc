@@ -19,11 +19,12 @@ int TreeDepth(int n) {
 
 CostEstimate PredictCollective(std::span<const ArrayMeta> arrays, IoOp op,
                                const World& world, const Sp2Params& params,
-                               const Region* subarray) {
+                               const Region* subarray, double codec_ratio) {
   PANDA_REQUIRE(op == IoOp::kWrite || op == IoOp::kRead,
                 "cost model covers read/write collectives");
   PANDA_REQUIRE(subarray == nullptr || op == IoOp::kRead,
                 "subarray access is only supported for reads");
+  PANDA_REQUIRE(codec_ratio > 0.0, "codec_ratio must be positive");
   world.Validate();
   const double o = params.net.per_message_overhead_s;
   const double L = params.net.latency_s;
@@ -39,6 +40,19 @@ CostEstimate PredictCollective(std::span<const ArrayMeta> arrays, IoOp op,
             ? IoPlan(meta, world.num_servers, params.subchunk_bytes,
                      *subarray)
             : IoPlan(meta, world.num_servers, params.subchunk_bytes);
+    // Arrays that negotiated a codec move `ratio` x bytes over the wire
+    // and to disk, and pay encode/decode compute at every pipeline stage
+    // the runtime instruments (client pack->encode, server decode->disk
+    // encode on writes; the mirror image on reads). codec=none arrays
+    // take exactly the pre-codec formulas.
+    const bool coded = meta.codec != CodecId::kNone;
+    const double ratio = coded ? codec_ratio : 1.0;
+    const auto scaled = [ratio](std::int64_t bytes) {
+      return static_cast<std::int64_t>(
+          std::llround(static_cast<double>(bytes) * ratio));
+    };
+    const double enc_Bps = params.codec_encode_Bps;
+    const double dec_Bps = params.codec_decode_Bps;
     for (int s = 0; s < world.num_servers; ++s) {
       double busy = 0.0;
       double disk = 0.0;
@@ -57,29 +71,48 @@ CostEstimate PredictCollective(std::span<const ArrayMeta> arrays, IoOp op,
               if (!p0.contiguous_in_client) {
                 pack0 = static_cast<double>(p0.bytes) / params.memcpy_Bps;
               }
+              if (coded) {  // the fill waits on client 0's wire encode too
+                pack0 += static_cast<double>(p0.bytes) / enc_Bps;
+              }
               busy += 2 * L + 2 * o + pack0;  // fill: round trip to client 0
             }
             // Pieces pipeline through the inbound link: the receive
-            // overhead and strided unpack of piece p overlap with piece
-            // p+1's wire transfer, so each piece costs the larger of its
-            // two stages; the final piece drains the cpu stage.
+            // overhead, wire decode and strided unpack of piece p overlap
+            // with piece p+1's wire transfer, so each piece costs the
+            // larger of its two stages; the final piece drains the cpu
+            // stage.
             double last_cpu = 0.0;
             for (const PiecePlan& p : sp.pieces) {
               double cpu = o;
+              if (coded) {
+                cpu += static_cast<double>(p.bytes) / dec_Bps;
+              }
               if (!p.contiguous_in_subchunk) {
                 cpu += static_cast<double>(p.bytes) / params.memcpy_Bps;
               }
-              busy += std::max(params.net.TransferSeconds(p.bytes), cpu);
+              busy += std::max(params.net.TransferSeconds(scaled(p.bytes)),
+                               cpu);
               last_cpu = cpu;
             }
             busy += last_cpu;
-            disk += params.disk.WriteSeconds(sp.bytes, !first_access);
+            if (coded) {  // sub-chunk frame encode before the disk write
+              busy += static_cast<double>(sp.bytes) / enc_Bps;
+            }
+            disk += params.disk.WriteSeconds(scaled(sp.bytes), !first_access);
           } else {
-            disk += params.disk.ReadSeconds(sp.bytes, !first_access);
-            // Serial push chain per piece: pack, send, wait for the ack
-            // (which trails the client's unpack).
+            disk += params.disk.ReadSeconds(scaled(sp.bytes), !first_access);
+            if (coded) {  // disk frame decode after the read
+              busy += static_cast<double>(sp.bytes) / dec_Bps;
+            }
+            // Serial push chain per piece: pack, encode, send, wait for
+            // the ack (which trails the client's decode and unpack).
             for (const PiecePlan& p : sp.pieces) {
-              busy += 4 * o + 2 * L + params.net.TransferSeconds(p.bytes);
+              busy += 4 * o + 2 * L +
+                      params.net.TransferSeconds(scaled(p.bytes));
+              if (coded) {
+                busy += static_cast<double>(p.bytes) / enc_Bps;   // server
+                busy += static_cast<double>(p.bytes) / dec_Bps;   // client
+              }
               if (!p.contiguous_in_subchunk) {
                 busy += static_cast<double>(p.bytes) / params.memcpy_Bps;
               }
@@ -103,12 +136,18 @@ CostEstimate PredictCollective(std::span<const ArrayMeta> arrays, IoOp op,
       for (const ClientStep& step : plan.StepsOfClient(c)) {
         const PiecePlan& p = plan.piece(step);
         if (op == IoOp::kWrite) {
-          busy += 2 * o + params.net.TransferSeconds(p.bytes);
+          busy += 2 * o + params.net.TransferSeconds(scaled(p.bytes));
+          if (coded) {  // wire frame encode before the send
+            busy += static_cast<double>(p.bytes) / enc_Bps;
+          }
           if (!p.contiguous_in_client) {
             busy += static_cast<double>(p.bytes) / params.memcpy_Bps;
           }
         } else {
           busy += 2 * o;  // data receive + ack send
+          if (coded) {  // wire frame decode before the unpack
+            busy += static_cast<double>(p.bytes) / dec_Bps;
+          }
           if (!p.contiguous_in_client) {
             busy += static_cast<double>(p.bytes) / params.memcpy_Bps;
           }
@@ -138,8 +177,10 @@ CostEstimate PredictCollective(std::span<const ArrayMeta> arrays, IoOp op,
 }
 
 CostEstimate PredictArrayIo(const ArrayMeta& meta, IoOp op, const World& world,
-                            const Sp2Params& params, const Region* subarray) {
-  return PredictCollective({&meta, 1}, op, world, params, subarray);
+                            const Sp2Params& params, const Region* subarray,
+                            double codec_ratio) {
+  return PredictCollective({&meta, 1}, op, world, params, subarray,
+                           codec_ratio);
 }
 
 }  // namespace panda

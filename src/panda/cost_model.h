@@ -38,13 +38,22 @@ struct CostEstimate {
 // Predicts one collective over `arrays` (all processed sequentially, as
 // the runtime does). `subarray` (reads only) clips the plan like
 // PandaClient::ReadSubarray does.
+//
+// `codec_ratio` models the sub-chunk compression pipeline for arrays
+// that negotiated a codec (meta.codec != kNone): wire and disk bytes
+// scale by the ratio (framed/raw, usually sampled via AdviseCodec) and
+// every piece/sub-chunk pays the encode/decode compute of
+// params.codec_*_Bps. Arrays with codec=none ignore it entirely, so the
+// default 1.0 predicts exactly the pre-codec model.
 CostEstimate PredictCollective(std::span<const ArrayMeta> arrays, IoOp op,
                                const World& world, const Sp2Params& params,
-                               const Region* subarray = nullptr);
+                               const Region* subarray = nullptr,
+                               double codec_ratio = 1.0);
 
 // Single-array convenience.
 CostEstimate PredictArrayIo(const ArrayMeta& meta, IoOp op, const World& world,
                             const Sp2Params& params,
-                            const Region* subarray = nullptr);
+                            const Region* subarray = nullptr,
+                            double codec_ratio = 1.0);
 
 }  // namespace panda

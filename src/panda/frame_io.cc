@@ -1,0 +1,244 @@
+#include "panda/frame_io.h"
+
+#include <algorithm>
+#include <optional>
+#include <utility>
+
+#include "panda/failover.h"
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+void AppendLog(std::string* log, const std::string& line) {
+  if (log == nullptr) return;
+  log->append(line);
+  log->push_back('\n');
+}
+
+}  // namespace
+
+FramedSubchunkRead ReadFramedSubchunk(File& data, File* frame_dir,
+                                      std::int64_t record_index,
+                                      std::int64_t file_offset,
+                                      std::int64_t raw_bytes,
+                                      std::int64_t elem_size,
+                                      const RetryPolicy& retry,
+                                      VirtualClock* clock,
+                                      RobustnessStats* stats) {
+  FramedSubchunkRead out;
+
+  const auto read_slot = [&](std::int64_t nbytes) {
+    std::vector<std::byte> buf(static_cast<size_t>(nbytes));
+    retry.Run(clock, stats,
+              [&] { data.ReadAt(file_offset, {buf.data(), buf.size()},
+                                nbytes); });
+    return buf;
+  };
+
+  // Fast path: the directory names the slot's exact representation.
+  bool directory_tried = false;
+  if (frame_dir != nullptr) {
+    std::optional<FrameDirRecord> rec;
+    retry.Run(clock, stats,
+              [&] { rec = ReadFrameDirRecord(*frame_dir, record_index); });
+    if (rec.has_value() && rec->file_offset == file_offset &&
+        rec->raw_bytes == raw_bytes && rec->frame_bytes >= 0 &&
+        rec->frame_bytes <= raw_bytes) {
+      directory_tried = true;
+      try {
+        std::vector<std::byte> slot = read_slot(rec->frame_bytes);
+        out.raw = DecodeSubchunkFrame({slot.data(), slot.size()}, rec->codec,
+                                      raw_bytes, elem_size);
+        out.codec = rec->codec;
+        out.frame_bytes = rec->frame_bytes;
+        return out;
+      } catch (const TransientIoError&) {
+        throw;  // retry budget exhausted: genuinely unreadable
+      } catch (const PandaError&) {
+        // Directory and slot disagree; fall through to the probe.
+      }
+    }
+    // A torn/corrupt/mismatched record is tolerated like a torn journal
+    // tail: the slot's self-describing header is the fallback.
+  }
+
+  // Probe path: read the whole slot (bounded by the file's actual end —
+  // a framed tail sub-chunk legitimately leaves the file short) and let
+  // the self-describing header sort out the representation.
+  try {
+    const std::int64_t remaining = data.Size() - file_offset;
+    PANDA_REQUIRE(remaining > 0,
+                  "sub-chunk slot at offset %lld is past the end of the file",
+                  static_cast<long long>(file_offset));
+    const std::int64_t avail = std::min(raw_bytes, remaining);
+    std::vector<std::byte> slot = read_slot(avail);
+    const std::optional<FrameHeader> h =
+        ParseFrameHeader({slot.data(), slot.size()});
+    out.frame_bytes = (h.has_value() && h->raw_bytes == raw_bytes &&
+                       kFrameHeaderBytes + h->enc_bytes <= avail)
+                          ? kFrameHeaderBytes + h->enc_bytes
+                          : raw_bytes;
+    out.raw = ProbeDecodeSubchunk({slot.data(), slot.size()}, raw_bytes,
+                                  elem_size, &out.codec);
+  } catch (const TransientIoError&) {
+    throw;
+  } catch (const PandaError&) {
+    if (stats != nullptr) stats->frame_decode_failures.fetch_add(1);
+    throw;
+  }
+  if (directory_tried) {
+    out.healed = true;
+    if (stats != nullptr) stats->frame_rereads.fetch_add(1);
+  }
+  return out;
+}
+
+std::vector<std::byte> ReadSubchunkForVerify(File& data, File* frame_dir,
+                                             CodecId codec,
+                                             std::int64_t record_index,
+                                             std::int64_t file_offset,
+                                             std::int64_t raw_bytes,
+                                             std::int64_t elem_size) {
+  if (codec == CodecId::kNone) {
+    std::vector<std::byte> buf(static_cast<size_t>(raw_bytes));
+    data.ReadAt(file_offset, {buf.data(), buf.size()}, raw_bytes);
+    return buf;
+  }
+  const RetryPolicy no_retry{1};
+  return ReadFramedSubchunk(data, frame_dir, record_index, file_offset,
+                            raw_bytes, elem_size, no_retry, /*clock=*/nullptr,
+                            /*stats=*/nullptr)
+      .raw;
+}
+
+void FrameReport::Merge(const FrameReport& other) {
+  files_checked += other.files_checked;
+  files_without_directory += other.files_without_directory;
+  subchunks_checked += other.subchunks_checked;
+  frames_encoded += other.frames_encoded;
+  torn_records += other.torn_records;
+  framing_mismatches += other.framing_mismatches;
+  decode_failures += other.decode_failures;
+}
+
+FrameReport VerifyArrayFrames(std::span<FileSystem* const> fs,
+                              const ArrayMeta& meta,
+                              std::int64_t subchunk_bytes, Purpose purpose,
+                              std::int64_t num_segments,
+                              const std::string& group, std::string* log,
+                              const std::vector<int>& dead_servers) {
+  FrameReport report;
+  const int num_servers = static_cast<int>(fs.size());
+  const IoPlan plan(meta, num_servers, subchunk_bytes);
+  const DegradedLayout layout = DegradedLayout::Compute(plan, dead_servers);
+  const RetryPolicy no_retry{1};  // offline pass: fail loudly, heal nothing
+
+  for (int s = 0; s < num_servers; ++s) {
+    if (!layout.alive[static_cast<size_t>(s)]) continue;  // lost disk
+    const std::vector<WorkItem> work =
+        BuildServerWork(plan, layout, s, WorkPhase::kFull);
+    if (work.empty()) continue;  // this server stores none of the array
+
+    const std::string data_name = DataFileName(group, meta.name, purpose, s);
+    if (!fs[s]->Exists(data_name)) continue;  // array/purpose never written
+
+    const std::string dir_name = FrameDirFileName(data_name);
+    std::unique_ptr<File> dir;
+    if (fs[s]->Exists(dir_name)) {
+      dir = fs[s]->Open(dir_name, OpenMode::kRead);
+    } else {
+      ++report.files_without_directory;
+      AppendLog(log, "no frame directory (probing headers): " + data_name +
+                         " [server " + std::to_string(s) + "]");
+    }
+
+    ++report.files_checked;
+    auto data = fs[s]->Open(data_name, OpenMode::kRead);
+    const std::int64_t records_per_segment =
+        static_cast<std::int64_t>(work.size());
+
+    for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+      const std::int64_t base =
+          purpose == Purpose::kTimestep ? seg * layout.SegmentBytes(s) : 0;
+      for (std::int64_t k = 0; k < records_per_segment; ++k) {
+        const WorkItem& item = work[static_cast<size_t>(k)];
+        const SubchunkPlan& sp =
+            plan.chunks()[static_cast<size_t>(item.chunk_index)]
+                .subchunks[static_cast<size_t>(item.sub_index)];
+        const std::int64_t record_index = seg * records_per_segment + k;
+        const std::string where =
+            data_name + " [server " + std::to_string(s) + ", segment " +
+            std::to_string(seg) + ", subchunk " + std::to_string(k) + "]";
+
+        // Cross-check the directory record against the plan before
+        // trusting it; a valid-CRC record pointing elsewhere means the
+        // schemas diverged.
+        bool record_usable = false;
+        if (dir != nullptr) {
+          const std::optional<FrameDirRecord> rec =
+              ReadFrameDirRecord(*dir, record_index);
+          if (!rec.has_value()) {
+            ++report.torn_records;
+            AppendLog(log, "torn frame directory record " +
+                               std::to_string(record_index) +
+                               " (probing header): " + where);
+          } else if (rec->file_offset != base + item.file_offset ||
+                     rec->raw_bytes != sp.bytes ||
+                     rec->frame_bytes > sp.bytes) {
+            ++report.framing_mismatches;
+            AppendLog(log,
+                      "frame directory mismatch (record says offset " +
+                          std::to_string(rec->file_offset) + "/" +
+                          std::to_string(rec->raw_bytes) + "B raw, plan says " +
+                          std::to_string(base + item.file_offset) + "/" +
+                          std::to_string(sp.bytes) + "B): " + where);
+            continue;
+          } else {
+            record_usable = true;
+          }
+        }
+
+        ++report.subchunks_checked;
+        try {
+          FramedSubchunkRead got = ReadFramedSubchunk(
+              *data, record_usable ? dir.get() : nullptr, record_index,
+              base + item.file_offset, sp.bytes, meta.elem_size, no_retry,
+              /*clock=*/nullptr, /*stats=*/nullptr);
+          if (got.codec != CodecId::kNone) ++report.frames_encoded;
+        } catch (const PandaError& e) {
+          ++report.decode_failures;
+          AppendLog(log, "undecodable sub-chunk (" + std::string(e.what()) +
+                             "): " + where);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+FrameReport VerifyGroupFrames(std::span<FileSystem* const> fs,
+                              const GroupMeta& meta,
+                              std::int64_t subchunk_bytes, std::string* log) {
+  FrameReport report;
+  const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
+  for (const ArrayMeta& array : meta.arrays) {
+    if (array.codec == CodecId::kNone) continue;  // stored raw, no frames
+    report.Merge(VerifyArrayFrames(fs, array, subchunk_bytes,
+                                   Purpose::kGeneral, 1, meta.group, log,
+                                   dead));
+    if (meta.timesteps > 0) {
+      report.Merge(VerifyArrayFrames(fs, array, subchunk_bytes,
+                                     Purpose::kTimestep, meta.timesteps,
+                                     meta.group, log, dead));
+    }
+    if (meta.has_checkpoint) {
+      report.Merge(VerifyArrayFrames(fs, array, subchunk_bytes,
+                                     Purpose::kCheckpoint, 1, meta.group, log,
+                                     dead));
+    }
+  }
+  return report;
+}
+
+}  // namespace panda

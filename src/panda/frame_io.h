@@ -1,0 +1,115 @@
+// Framed sub-chunk i/o: the read path of the disk codec pipeline.
+//
+// Writers (ServerWriteArray) frame each sub-chunk with
+// EncodeSubchunkFrame and record its representation in the data file's
+// frame directory (`F.fdx`, codec/frame.h). This header holds the
+// matching read path, shared by the servers' online reads and the
+// offline verifiers (panda_fsck --verify_frames):
+//
+//   * ReadFramedSubchunk — directory-directed read + decode of one
+//     sub-chunk, every disk access wrapped in the caller's RetryPolicy.
+//     A torn or corrupt directory record, or a record whose frame fails
+//     to decode, falls back to probing the slot's self-describing
+//     header (one extra full-slot read, counted as a frame re-read);
+//     a slot that is neither a valid frame nor plausible raw bytes
+//     counts a frame decode failure and throws PandaError, which the
+//     server escalates to a structured abort.
+//   * VerifyArrayFrames / VerifyGroupFrames — offline sweep mirroring
+//     integrity.cc: walks the deterministic plan order, cross-checks
+//     every directory record against the plan, and proves every slot
+//     decodes to its plan size.
+//
+// Decode *content* integrity is deliberately not this layer's job: CRC
+// sidecars are computed over uncompressed bytes, so a frame that
+// decodes to corrupt data is caught by the existing checksum verify.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "codec/frame.h"
+#include "iosim/file_system.h"
+#include "iosim/retry.h"
+#include "msg/virtual_clock.h"
+#include "panda/plan.h"
+#include "panda/protocol.h"
+#include "panda/schema_io.h"
+
+namespace panda {
+
+// Result of reading one framed sub-chunk slot.
+struct FramedSubchunkRead {
+  std::vector<std::byte> raw;      // decoded bytes, exactly raw_bytes long
+  CodecId codec = CodecId::kNone;  // representation found on disk
+  std::int64_t frame_bytes = 0;    // bytes occupied in the slot
+  bool healed = false;  // directory-directed decode failed; probe healed
+};
+
+// Reads and decodes the sub-chunk at `file_offset` whose plan size is
+// `raw_bytes`. `frame_dir` may be null (directory missing entirely):
+// the slot is probed directly. All disk accesses run under `retry`
+// (`clock`/`stats` as in RetryPolicy::Run); `stats` additionally counts
+// frame_rereads / frame_decode_failures. Throws PandaError when the
+// slot cannot be decoded by any means.
+FramedSubchunkRead ReadFramedSubchunk(File& data, File* frame_dir,
+                                      std::int64_t record_index,
+                                      std::int64_t file_offset,
+                                      std::int64_t raw_bytes,
+                                      std::int64_t elem_size,
+                                      const RetryPolicy& retry,
+                                      VirtualClock* clock,
+                                      RobustnessStats* stats);
+
+// Reads one sub-chunk's *decoded* bytes for an offline verifier: a
+// directory-directed framed read (probe fallback) when the array
+// negotiated a codec, a plain positioned read otherwise. No retries, no
+// healing, no counters — offline passes want to see problems, not fix
+// them. Throws PandaError when the slot cannot be read or decoded.
+std::vector<std::byte> ReadSubchunkForVerify(File& data, File* frame_dir,
+                                             CodecId codec,
+                                             std::int64_t record_index,
+                                             std::int64_t file_offset,
+                                             std::int64_t raw_bytes,
+                                             std::int64_t elem_size);
+
+// Aggregate result of an offline frame verification pass.
+struct FrameReport {
+  std::int64_t files_checked = 0;
+  std::int64_t files_without_directory = 0;  // no `.fdx` (legacy / none)
+  std::int64_t subchunks_checked = 0;
+  std::int64_t frames_encoded = 0;    // slots stored framed (codec != none)
+  std::int64_t torn_records = 0;      // directory records healed by probing
+  std::int64_t framing_mismatches = 0;  // directory vs. plan disagreement
+  std::int64_t decode_failures = 0;     // slots that decode no way at all
+
+  bool Clean() const {
+    return framing_mismatches == 0 && decode_failures == 0;
+  }
+  void Merge(const FrameReport& other);
+};
+
+// Verifies one array's per-server frame directories and slots (only
+// meaningful when the array negotiated a codec; see VerifyGroupFrames).
+// Parameters mirror VerifyArrayChecksums: `num_segments` is the
+// timestep count for Purpose::kTimestep and 1 otherwise;
+// `dead_servers` selects the degraded layout the data was committed
+// under. Human-readable findings append to `log` when non-null.
+FrameReport VerifyArrayFrames(std::span<FileSystem* const> fs,
+                              const ArrayMeta& meta,
+                              std::int64_t subchunk_bytes, Purpose purpose,
+                              std::int64_t num_segments,
+                              const std::string& group,
+                              std::string* log = nullptr,
+                              const std::vector<int>& dead_servers = {});
+
+// Group-level sweep over every codec-bearing array: timestep streams
+// and the checkpoint (if present). Arrays with codec=none are skipped —
+// they store raw bytes with no directory.
+FrameReport VerifyGroupFrames(std::span<FileSystem* const> fs,
+                              const GroupMeta& meta,
+                              std::int64_t subchunk_bytes,
+                              std::string* log = nullptr);
+
+}  // namespace panda

@@ -4,6 +4,7 @@
 #include <vector>
 
 #include "panda/failover.h"
+#include "panda/frame_io.h"
 #include "panda/plan.h"
 #include "util/codec.h"
 #include "util/crc32c.h"
@@ -90,6 +91,14 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
     ++report.files_checked;
     auto data = fs[s]->Open(data_name, OpenMode::kRead);
     auto sidecar = fs[s]->Open(sidecar_name, OpenMode::kRead);
+    // Codec arrays store frames; the CRC sidecar covers the decoded
+    // bytes, so verification decodes through the frame directory (or
+    // header probing when it is missing) before comparing.
+    std::unique_ptr<File> frame_dir;
+    if (meta.codec != CodecId::kNone &&
+        fs[s]->Exists(FrameDirFileName(data_name))) {
+      frame_dir = fs[s]->Open(FrameDirFileName(data_name), OpenMode::kRead);
+    }
     const std::int64_t records_per_segment =
         static_cast<std::int64_t>(work.size());
     const std::int64_t sidecar_records = sidecar->Size() / kCrcRecordBytes;
@@ -129,10 +138,10 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
         }
 
         ++report.subchunks_checked;
-        buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
         try {
-          data->ReadAt(base + item.file_offset, {buf.data(), buf.size()},
-                       sp.bytes);
+          buf = ReadSubchunkForVerify(*data, frame_dir.get(), meta.codec,
+                                      record_index, base + item.file_offset,
+                                      sp.bytes, meta.elem_size);
         } catch (const PandaError& e) {
           ++report.crc_mismatches;
           AppendLog(log,

@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "panda/frame_io.h"
 #include "util/codec.h"
 #include "util/crc32c.h"
 #include "util/error.h"
@@ -109,6 +110,13 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
     ++report.files_checked;
     auto data = fs[s]->Open(data_name, OpenMode::kRead);
     auto journal = fs[s]->Open(journal_name, OpenMode::kRead);
+    // Journal data CRCs cover the *decoded* bytes: codec arrays verify
+    // through the frame directory (or header probing).
+    std::unique_ptr<File> frame_dir;
+    if (meta.codec != CodecId::kNone &&
+        fs[s]->Exists(FrameDirFileName(data_name))) {
+      frame_dir = fs[s]->Open(FrameDirFileName(data_name), OpenMode::kRead);
+    }
     const std::int64_t records_per_segment =
         static_cast<std::int64_t>(work.size());
     const std::int64_t journal_bytes = journal->Size();
@@ -169,9 +177,10 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
         }
 
         ++report.records_checked;
-        buf.assign(static_cast<size_t>(sp.bytes), std::byte{0});
         try {
-          data->ReadAt(want_offset, {buf.data(), buf.size()}, sp.bytes);
+          buf = ReadSubchunkForVerify(*data, frame_dir.get(), meta.codec,
+                                      record_index, want_offset, sp.bytes,
+                                      meta.elem_size);
         } catch (const PandaError& e) {
           ++report.data_mismatches;
           AppendLog(log, "unreadable journaled sub-chunk (" +

@@ -26,12 +26,15 @@
 //     });
 #pragma once
 
+#include "codec/codec.h"
+#include "codec/frame.h"
 #include "panda/advisor.h"
 #include "panda/array.h"
 #include "panda/array_group.h"
 #include "panda/client.h"
 #include "panda/cost_model.h"
 #include "panda/failover.h"
+#include "panda/frame_io.h"
 #include "panda/integrity.h"
 #include "panda/journal.h"
 #include "panda/plan.h"

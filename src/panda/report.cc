@@ -37,17 +37,21 @@ std::string MachineReport::ToString() const {
       robustness.wire_checksum_failures != 0 ||
       robustness.disk_checksum_failures != 0 ||
       robustness.disk_checksum_rereads != 0 ||
-      robustness.collectives_aborted != 0;
+      robustness.collectives_aborted != 0 ||
+      robustness.frame_rereads != 0 ||
+      robustness.frame_decode_failures != 0;
   if (faults_nonzero) {
     out += StrFormat(
         "robustness: %lld retries, %lld give-ups, %lld wire checksum "
         "failures, %lld disk checksum failures (%lld healed by re-read), "
-        "%lld aborts\n",
+        "%lld frame decode failures (%lld healed by re-read), %lld aborts\n",
         static_cast<long long>(robustness.io_retries),
         static_cast<long long>(robustness.io_giveups),
         static_cast<long long>(robustness.wire_checksum_failures),
         static_cast<long long>(robustness.disk_checksum_failures),
         static_cast<long long>(robustness.disk_checksum_rereads),
+        static_cast<long long>(robustness.frame_decode_failures),
+        static_cast<long long>(robustness.frame_rereads),
         static_cast<long long>(robustness.collectives_aborted));
   }
   if (robustness.failovers_completed != 0 || robustness.chunks_adopted != 0 ||
@@ -126,6 +130,9 @@ void FillRegistryFromReport(const MachineReport& report,
   registry.AddCounter("robustness.chunks_adopted", rb.chunks_adopted);
   registry.AddCounter("robustness.journal_records_written",
                       rb.journal_records_written);
+  registry.AddCounter("robustness.frame_rereads", rb.frame_rereads);
+  registry.AddCounter("robustness.frame_decode_failures",
+                      rb.frame_decode_failures);
 
   const TransportFaultCounters& tf = report.transport;
   registry.AddCounter("transport.drops_injected", tf.drops_injected);

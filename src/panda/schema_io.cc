@@ -33,8 +33,8 @@ GroupMeta GroupMeta::Decode(std::span<const std::byte> bytes) {
                 "not a Panda group metadata file");
   GroupMeta meta;
   meta.version = dec.Get<std::uint32_t>();
-  PANDA_REQUIRE(meta.version == 1, "unsupported metadata version %u",
-                meta.version);
+  PANDA_REQUIRE(meta.version == 1 || meta.version == 2,
+                "unsupported metadata version %u", meta.version);
   meta.group = dec.GetString();
   meta.timesteps = dec.Get<std::int64_t>();
   PANDA_REQUIRE(meta.timesteps >= 0, "negative timestep count in metadata");
@@ -51,8 +51,15 @@ GroupMeta GroupMeta::Decode(std::span<const std::byte> bytes) {
   const auto n = dec.Get<std::int32_t>();
   PANDA_REQUIRE(n >= 0 && n <= 4096, "bad array count in metadata");
   meta.arrays.reserve(static_cast<size_t>(n));
-  for (int i = 0; i < n; ++i) meta.arrays.push_back(ArrayMeta::Decode(dec));
+  // Version-1 files predate the per-array codec byte; their arrays are
+  // un-encoded (CodecId::kNone) by construction.
+  const bool with_codec = meta.version >= 2;
+  for (int i = 0; i < n; ++i) {
+    meta.arrays.push_back(ArrayMeta::Decode(dec, with_codec));
+  }
   PANDA_REQUIRE(dec.AtEnd(), "trailing bytes in metadata file");
+  // Re-encoding always writes the current version.
+  meta.version = 2;
   return meta;
 }
 

@@ -19,7 +19,10 @@
 namespace panda {
 
 struct GroupMeta {
-  std::uint32_t version = 1;
+  // Version 2 adds a per-array codec byte (docs/PROTOCOL.md "Codec
+  // negotiation and frame format"). Version-1 files still decode; their
+  // arrays default to CodecId::kNone.
+  std::uint32_t version = 2;
   std::string group;
   std::int64_t timesteps = 0;       // number of timestep segments present
   bool has_checkpoint = false;

@@ -6,9 +6,11 @@
 #include <utility>
 #include <vector>
 
+#include "codec/frame.h"
 #include "mdarray/strided_copy.h"
 #include "msg/hb.h"
 #include "panda/failover.h"
+#include "panda/frame_io.h"
 #include "panda/integrity.h"
 #include "panda/journal.h"
 #include "panda/schema_io.h"
@@ -111,6 +113,12 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   // sweeps skip them.
   const bool sidecars = options.disk_checksums && !timing;
   const bool journaling = options.journal && !timing;
+  // The negotiated codec frames sub-chunks on disk and pieces on the
+  // wire. Timing-only sweeps skip it (framing needs real bytes), and
+  // codec=none collectives take exactly the pre-codec code paths — the
+  // bit-identity the tests assert.
+  const CodecId codec = meta.codec;
+  const bool framing = codec != CodecId::kNone && !timing;
 
   // Checkpoints are published atomically: written to a temporary file
   // and renamed over the previous checkpoint only after every server
@@ -133,12 +141,17 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       pending_renames.emplace_back(JournalFileName(write_name),
                                    JournalFileName(final_name));
     }
+    if (framing) {
+      pending_renames.emplace_back(FrameDirFileName(write_name),
+                                   FrameDirFileName(final_name));
+    }
   }
 
-  // With checksums/journaling off, drop any stale sidecar or journal
-  // left by an earlier run: fresh data under old records would read
-  // back as corruption.
-  if (!timing && phase == WorkPhase::kFull && (!sidecars || !journaling)) {
+  // With checksums/journaling/framing off, drop any stale sidecar,
+  // journal or frame directory left by an earlier run: fresh data under
+  // old records would read back as corruption.
+  if (!timing && phase == WorkPhase::kFull &&
+      (!sidecars || !journaling || !framing)) {
     retry.Run(&ep.clock(), stats, [&] {
       if (!sidecars) {
         fs.Remove(SidecarFileName(write_name));
@@ -147,6 +160,10 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       if (!journaling) {
         fs.Remove(JournalFileName(write_name));
         if (write_name != final_name) fs.Remove(JournalFileName(final_name));
+      }
+      if (!framing) {
+        fs.Remove(FrameDirFileName(write_name));
+        if (write_name != final_name) fs.Remove(FrameDirFileName(final_name));
       }
     });
   }
@@ -191,6 +208,13 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
                         WriteOpenMode(req.purpose, req.seq, phase));
     });
   }
+  std::unique_ptr<File> frame_dir;
+  if (framing) {
+    retry.Run(&ep.clock(), stats, [&] {
+      frame_dir = fs.Open(FrameDirFileName(write_name),
+                          WriteOpenMode(req.purpose, req.seq, phase));
+    });
+  }
 
   // Server-directed: request every piece of sub-chunk `k`.
   auto send_requests = [&](size_t k) {
@@ -212,6 +236,14 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   // sub-chunk k's data is consumed, so the clients' packing and the
   // request round trip overlap the current gather and disk write.
   if (options.pipeline_requests && !work.empty()) send_requests(0);
+
+  // Frame-directory records are buffered here and flushed as runs of
+  // contiguous indices in ONE positioned write each after the data
+  // loop: on overhead-dominated disks a 32-byte append per sub-chunk
+  // would cost more than the codec saves. A crash before the flush
+  // only loses records — readers probe the slots' self-describing
+  // headers instead (frame.h).
+  std::vector<std::pair<std::int64_t, FrameDirRecord>> frame_recs;
 
   std::vector<std::byte> buf;
   for (size_t k = 0; k < work.size(); ++k) {
@@ -245,11 +277,37 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
                           params.memcpy_Bps);
       }
       if (!timing) {
-        PANDA_REQUIRE(
-            static_cast<std::int64_t>(data.payload.size()) == piece.bytes,
-            "piece payload size mismatch");
-        const std::uint32_t got =
-            Crc32c({data.payload.data(), data.payload.size()});
+        std::span<const std::byte> raw{data.payload.data(),
+                                       data.payload.size()};
+        std::vector<std::byte> decoded;
+        if (framing) {
+          // The client framed the piece; decode before the end-to-end
+          // checksum — the CRC covers the *uncompressed* bytes, so a
+          // codec bug is caught exactly like wire corruption.
+          const double dec_begin = ep.clock().Now();
+          CodecId used = CodecId::kNone;
+          try {
+            decoded = DecodeWireFrame(raw, piece.bytes, meta.elem_size, &used);
+          } catch (const PandaError& e) {
+            if (stats != nullptr) stats->wire_checksum_failures.fetch_add(1);
+            PANDA_REQUIRE(false,
+                          "piece payload from client %d is not a valid codec "
+                          "frame: %s",
+                          piece.client, e.what());
+          }
+          if (used != CodecId::kNone) {
+            ep.AdvanceCompute(static_cast<double>(piece.bytes) /
+                              params.codec_decode_Bps);
+          }
+          trace::RecordSpan(trace::SpanKind::kCodecDecode, dec_begin,
+                            ep.clock().Now(), piece.bytes);
+          raw = {decoded.data(), decoded.size()};
+        } else {
+          PANDA_REQUIRE(
+              static_cast<std::int64_t>(data.payload.size()) == piece.bytes,
+              "piece payload size mismatch");
+        }
+        const std::uint32_t got = Crc32c(raw);
         if (got != wire_crc) {
           if (stats != nullptr) stats->wire_checksum_failures.fetch_add(1);
           PANDA_REQUIRE(false,
@@ -257,8 +315,7 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
                         "checksum (wire %08x != computed %08x)",
                         piece.client, wire_crc, got);
         }
-        UnpackRegion({buf.data(), buf.size()}, sp.region,
-                     {data.payload.data(), data.payload.size()}, piece.region,
+        UnpackRegion({buf.data(), buf.size()}, sp.region, raw, piece.region,
                      static_cast<size_t>(meta.elem_size));
       } else {
         PANDA_REQUIRE(data.payload_vbytes == piece.bytes,
@@ -269,6 +326,28 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
                       ep.clock().Now(), sp.bytes);
     trace::ObserveMetric(trace::MetricId::kSubchunkBytes,
                          static_cast<double>(sp.bytes));
+    // Frame the assembled sub-chunk for disk. Encoding is CPU work on
+    // the server (charged to its clock before the device is touched);
+    // the stored-raw fallback writes exactly the bytes codec=none
+    // would, so incompressible data costs only the encode attempt.
+    SubchunkFrame frame;
+    if (framing) {
+      const double enc_begin = ep.clock().Now();
+      {
+        PANDA_SPAN(enc_span, trace::SpanKind::kCodecEncode, sp.bytes);
+        frame = EncodeSubchunkFrame(codec, {buf.data(), buf.size()},
+                                    meta.elem_size);
+        ep.AdvanceCompute(static_cast<double>(sp.bytes) /
+                          params.codec_encode_Bps);
+      }
+      trace::ObserveMetric(trace::MetricId::kCodecEncodeSeconds,
+                           ep.clock().Now() - enc_begin);
+      trace::ObserveMetric(
+          trace::MetricId::kCodecRatio,
+          sp.bytes > 0 ? static_cast<double>(frame.frame_bytes(sp.bytes)) /
+                             static_cast<double>(sp.bytes)
+                       : 1.0);
+    }
     // The write span shows the *caller-visible* delay (near zero in
     // overlap mode); the disk.op_seconds histogram, observed inside the
     // scheduler's charge window, records true device time either way.
@@ -278,11 +357,23 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       // Positioned writes are idempotent, so a retry after a torn write
       // rewrites the full range and heals the tear.
       retry.Run(&ep.clock(), stats, [&] {
-        file->WriteAt(base + item.file_offset, {buf.data(), buf.size()},
-                      sp.bytes);
+        if (framing && frame.codec != CodecId::kNone) {
+          file->WriteAt(base + item.file_offset,
+                        {frame.bytes.data(), frame.bytes.size()},
+                        static_cast<std::int64_t>(frame.bytes.size()));
+        } else {
+          file->WriteAt(base + item.file_offset, {buf.data(), buf.size()},
+                        sp.bytes);
+        }
       });
       trace::ObserveMetric(trace::MetricId::kDiskOpSeconds,
                            ep.clock().Now() - dev_begin);
+      if (frame_dir != nullptr) {
+        frame_recs.emplace_back(
+            record_base + item.record_ordinal,
+            FrameDirRecord{base + item.file_offset, sp.bytes,
+                           frame.frame_bytes(sp.bytes), frame.codec});
+      }
       if (sidecar != nullptr) {
         const CrcRecord rec{base + item.file_offset, sp.bytes,
                             Crc32c({buf.data(), buf.size()})};
@@ -328,6 +419,29 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   if (journal != nullptr) {
     retry.Run(&ep.clock(), stats, [&] { journal->Sync(); });
   }
+  if (frame_dir != nullptr) {
+    // Flush the buffered directory: coalesce contiguous index runs
+    // (normally the whole work list is one run) and write each with a
+    // single positioned request.
+    std::sort(frame_recs.begin(), frame_recs.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    size_t i = 0;
+    while (i < frame_recs.size()) {
+      size_t j = i + 1;
+      std::vector<FrameDirRecord> run{frame_recs[i].second};
+      while (j < frame_recs.size() &&
+             frame_recs[j].first == frame_recs[i].first +
+                                        static_cast<std::int64_t>(j - i)) {
+        run.push_back(frame_recs[j].second);
+        ++j;
+      }
+      retry.Run(&ep.clock(), stats, [&] {
+        WriteFrameDirRecords(*frame_dir, frame_recs[i].first, run);
+      });
+      i = j;
+    }
+    retry.Run(&ep.clock(), stats, [&] { frame_dir->Sync(); });
+  }
 }
 
 void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
@@ -364,6 +478,18 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
     });
   }
 
+  // Frame-directory-directed reads when the array negotiated a codec.
+  // A missing directory (legacy data, or one lost to a crash) is fine:
+  // every slot's self-describing header is probed instead.
+  const CodecId codec = meta.codec;
+  const bool framing = codec != CodecId::kNone && !timing;
+  std::unique_ptr<File> frame_dir;
+  if (framing && fs.Exists(FrameDirFileName(data_name))) {
+    retry.Run(&ep.clock(), stats, [&] {
+      frame_dir = fs.Open(FrameDirFileName(data_name), OpenMode::kRead);
+    });
+  }
+
   const std::int64_t record_base = RecordBase(
       req.purpose, req.seq, RecordsPerSegment(plan, layout, sidx));
 
@@ -381,6 +507,24 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
     auto read_subchunk = [&] {
       PANDA_SPAN(read_span, trace::SpanKind::kServerRead, sp.bytes);
       const double dev_begin = ep.clock().Now();
+      if (framing) {
+        // Directory-directed framed read (probe fallback inside). Device
+        // time ends when the bytes are off the disk; the decode below is
+        // CPU work charged to the codec pipeline.
+        FramedSubchunkRead got = ReadFramedSubchunk(
+            *file, frame_dir.get(), record_base + item.record_ordinal,
+            base + item.file_offset, sp.bytes, meta.elem_size, retry,
+            &ep.clock(), stats);
+        trace::ObserveMetric(trace::MetricId::kDiskOpSeconds,
+                             ep.clock().Now() - dev_begin);
+        if (got.codec != CodecId::kNone) {
+          PANDA_SPAN(dec_span, trace::SpanKind::kCodecDecode, sp.bytes);
+          ep.AdvanceCompute(static_cast<double>(sp.bytes) /
+                            params.codec_decode_Bps);
+        }
+        buf = std::move(got.raw);
+        return;
+      }
       retry.Run(&ep.clock(), stats, [&] {
         file->ReadAt(base + item.file_offset, {buf.data(), buf.size()},
                      sp.bytes);
@@ -446,9 +590,31 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
         PackRegion({payload.data(), payload.size()},
                    {buf.data(), buf.size()}, sp.region, piece.region,
                    static_cast<size_t>(meta.elem_size));
-        // End-to-end wire checksum, verified by the receiving client.
+        // End-to-end wire checksum over the *uncompressed* bytes,
+        // verified by the receiving client after it decodes the frame.
         enc.Put<std::uint32_t>(Crc32c({payload.data(), payload.size()}));
-        data.SetPayload(std::move(payload));
+        if (framing) {
+          const double enc_begin = ep.clock().Now();
+          CodecId used = CodecId::kNone;
+          std::vector<std::byte> framed =
+              EncodeWireFrame(codec, {payload.data(), payload.size()},
+                              meta.elem_size, &used);
+          if (used != CodecId::kNone) {
+            ep.AdvanceCompute(static_cast<double>(piece.bytes) /
+                              params.codec_encode_Bps);
+          }
+          trace::RecordSpan(trace::SpanKind::kCodecEncode, enc_begin,
+                            ep.clock().Now(), piece.bytes);
+          trace::ObserveMetric(
+              trace::MetricId::kCodecRatio,
+              piece.bytes > 0
+                  ? static_cast<double>(framed.size()) /
+                        static_cast<double>(piece.bytes)
+                  : 1.0);
+          data.SetPayload(std::move(framed));
+        } else {
+          data.SetPayload(std::move(payload));
+        }
       } else {
         enc.Put<std::uint32_t>(0);
         data.SetVirtualPayload(piece.bytes);

@@ -38,6 +38,16 @@ struct Sp2Params {
   // settled on 1 MB after experimentation).
   std::int64_t subchunk_bytes = 1 * kMiB;
 
+  // Codec throughput for the sub-chunk compression pipeline
+  // (src/codec/): encode on the producing side (client wire frames,
+  // server disk frames), decode on the consuming side. Charged only
+  // when an array negotiates a codec — codec=none collectives never
+  // touch these. Modeled on mid-90s RS/6000-class byte-shuffling rates:
+  // far faster than the ~2 MB/s AIX disk (so compression wins on disk-
+  // bound runs) but slow enough to matter on fast-disk sweeps.
+  double codec_encode_Bps = 60.0 * kMiB;
+  double codec_decode_Bps = 120.0 * kMiB;
+
   // The machine of Table 1.
   static Sp2Params Nas() {
     Sp2Params p;
@@ -60,6 +70,8 @@ struct Sp2Params {
     p.disk = DiskModel::Instant();
     p.memcpy_Bps = 1e18;
     p.plan_compute_s = 0.0;
+    p.codec_encode_Bps = 1e18;
+    p.codec_decode_Bps = 1e18;
     return p;
   }
 };

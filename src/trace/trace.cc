@@ -38,6 +38,10 @@ const char* SpanKindName(SpanKind kind) {
       return "retry.backoff";
     case SpanKind::kFailoverReplan:
       return "failover.replan";
+    case SpanKind::kCodecEncode:
+      return "codec.encode";
+    case SpanKind::kCodecDecode:
+      return "codec.decode";
     case SpanKind::kNumKinds:
       break;
   }
@@ -52,6 +56,10 @@ const char* MetricName(MetricId id) {
       return "disk.op_seconds";
     case MetricId::kMailboxDepth:
       return "mailbox.depth";
+    case MetricId::kCodecRatio:
+      return "codec.ratio";
+    case MetricId::kCodecEncodeSeconds:
+      return "codec.encode_seconds";
     case MetricId::kNumMetrics:
       break;
   }
@@ -75,6 +83,14 @@ const std::vector<double>& DefaultMetricEdges(MetricId id) {
   }();
   static const std::vector<double> mailbox_depth = {1,  2,  4,   8,
                                                     16, 32, 64, 128};
+  static const std::vector<double> codec_ratio = {
+      0.05, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9, 1.0};
+  static const std::vector<double> codec_encode_seconds = [] {
+    // 10 us .. ~0.16 s, powers of two (1 MiB at 60 MiB/s is ~17 ms).
+    std::vector<double> e;
+    for (double v = 1.0e-5; v <= 0.2; v *= 2.0) e.push_back(v);
+    return e;
+  }();
   switch (id) {
     case MetricId::kSubchunkBytes:
       return subchunk_bytes;
@@ -82,6 +98,10 @@ const std::vector<double>& DefaultMetricEdges(MetricId id) {
       return disk_op_seconds;
     case MetricId::kMailboxDepth:
       return mailbox_depth;
+    case MetricId::kCodecRatio:
+      return codec_ratio;
+    case MetricId::kCodecEncodeSeconds:
+      return codec_encode_seconds;
     case MetricId::kNumMetrics:
       break;
   }

@@ -57,6 +57,8 @@ enum class SpanKind : std::uint8_t {
   kJournalAppend,         // write-ahead chunk-journal record append
   kRetryBackoff,          // virtual backoff between disk-op retries
   kFailoverReplan,        // degraded-mode re-planning round
+  kCodecEncode,           // framing one sub-chunk / wire piece (arg: raw bytes)
+  kCodecDecode,           // decoding one frame back to raw (arg: raw bytes)
   kNumKinds,
 };
 
@@ -72,6 +74,8 @@ enum class MetricId : std::uint8_t {
   kSubchunkBytes = 0,  // bytes of each sub-chunk moved through a server
   kDiskOpSeconds,      // device time of each disk read/write request
   kMailboxDepth,       // queued messages seen by each blocking receive
+  kCodecRatio,         // framed/raw bytes of each encode (1.0 = stored)
+  kCodecEncodeSeconds, // modeled compute time of each encode
   kNumMetrics,
 };
 

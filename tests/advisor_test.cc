@@ -1,6 +1,10 @@
 // Tests for the disk-schema advisor (cost-model application).
 #include <gtest/gtest.h>
 
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
 #include "panda/advisor.h"
 #include "panda/panda.h"
 
@@ -110,6 +114,49 @@ TEST(AdvisorTest, InfeasiblePartitionsSkipped) {
       EXPECT_FALSE(chunk.region.empty());
     }
   }
+}
+
+// ---------------------------------------------------------------------------
+// Codec advice (the sampling front end of the compression pipeline).
+
+TEST(AdviseCodecTest, SmoothDataGetsACompressor) {
+  // A slowly-varying f64 field — the classic shuffle+rle win: high bytes
+  // are near-constant, so the transposed stream runs.
+  std::vector<std::byte> sample(64 * 1024);
+  for (std::size_t i = 0; i < sample.size() / 8; ++i) {
+    const std::uint64_t v = 1'000'000 + i;
+    for (int b = 0; b < 8; ++b) {
+      sample[i * 8 + b] = static_cast<std::byte>((v >> (8 * b)) & 0xff);
+    }
+  }
+  const CodecAdvice advice = AdviseCodec(sample, 8);
+  EXPECT_NE(advice.codec, CodecId::kNone);
+  EXPECT_LT(advice.sampled_ratio, 0.95);
+}
+
+TEST(AdviseCodecTest, IncompressibleNoiseFallsBackToNone) {
+  // splitmix64 noise: no codec reaches the 0.95 break-even threshold,
+  // so the advisor must answer "don't bother" rather than pay encode
+  // compute for nothing.
+  std::vector<std::byte> sample(64 * 1024);
+  std::uint64_t x = 0x9e3779b97f4a7c15ull;
+  for (auto& b : sample) {
+    x += 0x9e3779b97f4a7c15ull;
+    std::uint64_t z = x;
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    b = static_cast<std::byte>((z ^ (z >> 31)) & 0xff);
+  }
+  const CodecAdvice advice = AdviseCodec(sample, 8);
+  EXPECT_EQ(advice.codec, CodecId::kNone);
+  EXPECT_DOUBLE_EQ(advice.sampled_ratio, 1.0);
+}
+
+TEST(AdviseCodecTest, EmptyOrSubElementSampleIsNone) {
+  EXPECT_EQ(AdviseCodec({}, 8).codec, CodecId::kNone);
+  std::vector<std::byte> tiny(3);  // < one 8-byte element after clipping
+  EXPECT_EQ(AdviseCodec(tiny, 8).codec, CodecId::kNone);
+  EXPECT_THROW(AdviseCodec(tiny, 0), PandaError);
 }
 
 }  // namespace

@@ -56,12 +56,15 @@ TEST(BenchJson, SchemaKeysAndRoundTrip) {
   const std::string json = BenchJson(spec, /*quick=*/true, spec.reps, rows);
 
   // Stable schema keys (tools/bench.sh greps for exactly these).
+  // schema_version 2 added codec + the per-row byte/ratio fields; all
+  // v1 keys are unchanged so v1 consumers keep parsing.
   for (const char* key :
-       {"\"schema_version\":1", "\"kind\":\"panda_bench\"", "\"bench\":",
-        "\"description\":", "\"op\":\"write\"", "\"quick\":true", "\"reps\":1",
-        "\"rows\":[", "\"io_nodes\":", "\"size_mb\":", "\"elapsed_s\":",
-        "\"aggregate_Bps\":", "\"per_ion_Bps\":", "\"normalized\":",
-        "\"spans\":"}) {
+       {"\"schema_version\":2", "\"kind\":\"panda_bench\"", "\"bench\":",
+        "\"description\":", "\"op\":\"write\"", "\"codec\":\"none\"",
+        "\"quick\":true", "\"reps\":1", "\"rows\":[", "\"io_nodes\":",
+        "\"size_mb\":", "\"elapsed_s\":", "\"aggregate_Bps\":",
+        "\"per_ion_Bps\":", "\"normalized\":", "\"wire_bytes_sent\":",
+        "\"disk_bytes_written\":", "\"codec_ratio\":", "\"spans\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 
@@ -82,6 +85,14 @@ TEST(BenchJson, SchemaKeysAndRoundTrip) {
   const double per_ion = NumberAfter(json, "per_ion_Bps", row_pos);
   EXPECT_NEAR(aggregate / spec.io_nodes[0], per_ion, 1e-9 * per_ion);
 
+  // v2 byte accounting: a timing-only codec=none run still counts the
+  // modeled transport and disk bytes (warm-up + the measured rep).
+  EXPECT_EQ(NumberAfter(json, "wire_bytes_sent", row_pos),
+            static_cast<double>(r.wire_bytes_sent));
+  EXPECT_GE(r.wire_bytes_sent, meta.total_bytes());
+  EXPECT_GE(r.disk_bytes_written, meta.total_bytes());
+  EXPECT_EQ(NumberAfter(json, "codec_ratio", row_pos), 1.0);
+
 #if PANDA_TRACE_ENABLED
   // Spans rode along (MeasureSpec::trace was set): the row's span block
   // names at least the write path, and the top-level block sums rows.
@@ -97,9 +108,11 @@ TEST(BenchJson, SchemaKeysAndRoundTrip) {
 TEST(BenchJson, QuickFalseAndReadOpSpelledOut) {
   FigureSpec spec = SmokeSpec();
   spec.op = IoOp::kRead;
+  spec.codec = CodecId::kShuffleRle;
   std::vector<FigureRow> rows;
   const std::string json = BenchJson(spec, /*quick=*/false, 3, rows);
   EXPECT_NE(json.find("\"op\":\"read\""), std::string::npos);
+  EXPECT_NE(json.find("\"codec\":\"shuffle+rle\""), std::string::npos);
   EXPECT_NE(json.find("\"quick\":false"), std::string::npos);
   EXPECT_NE(json.find("\"reps\":3"), std::string::npos);
   EXPECT_NE(json.find("\"rows\":[]"), std::string::npos);

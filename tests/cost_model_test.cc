@@ -179,5 +179,75 @@ TEST(CostModelTest, ReorganizationCostsMoreOnFastDisks) {
   EXPECT_GT(tt, 1.05 * tn);
 }
 
+// ---------------------------------------------------------------------------
+// Codec-aware predictions (ISSUE 5: the advisor samples a ratio via
+// AdviseCodec and feeds it here before choosing whether to compress).
+
+ArrayMeta CodecMeta(CodecId codec) {
+  ArrayMeta meta;
+  meta.name = "cz";
+  meta.elem_size = 4;
+  const Shape shape{16, 512, 512};
+  meta.memory = Schema(shape, Mesh(Shape{2, 2, 2}),
+                       std::vector<DimDist>(3, DimDist::Block()));
+  meta.disk = Schema(shape, Mesh(Shape{2}),
+                     {DimDist::Block(), DimDist::None(), DimDist::None()});
+  meta.codec = codec;
+  return meta;
+}
+
+TEST(CostModelTest, CodecRatioShrinksCodedPredictions) {
+  const Sp2Params params = Sp2Params::Nas();
+  const World world{8, 2};
+  const ArrayMeta coded = CodecMeta(CodecId::kShuffleRle);
+  for (const IoOp op : {IoOp::kWrite, IoOp::kRead}) {
+    const double at_unity =
+        PredictArrayIo(coded, op, world, params, nullptr, 1.0).elapsed_s;
+    const double at_half =
+        PredictArrayIo(coded, op, world, params, nullptr, 0.5).elapsed_s;
+    // Half the wire+disk bytes must predict faster, even after paying
+    // the encode/decode compute terms.
+    EXPECT_LT(at_half, at_unity) << "op " << static_cast<int>(op);
+  }
+}
+
+TEST(CostModelTest, NoneArraysIgnoreTheRatio) {
+  // codec=none must predict exactly the pre-codec formulas no matter
+  // what ratio is passed — bit-identical baseline, like the runtime.
+  const Sp2Params params = Sp2Params::Nas();
+  const World world{8, 2};
+  const ArrayMeta plain = CodecMeta(CodecId::kNone);
+  const double base =
+      PredictArrayIo(plain, IoOp::kWrite, world, params).elapsed_s;
+  const double with_ratio =
+      PredictArrayIo(plain, IoOp::kWrite, world, params, nullptr, 0.25)
+          .elapsed_s;
+  EXPECT_DOUBLE_EQ(base, with_ratio);
+}
+
+TEST(CostModelTest, CodedArrayPaysComputeAtUnityRatio) {
+  // With ratio 1.0 (incompressible data someone forced through a
+  // codec), the coded prediction can only be slower than none: same
+  // bytes plus encode/decode compute.
+  const Sp2Params params = Sp2Params::Nas();
+  const World world{8, 2};
+  const double plain =
+      PredictArrayIo(CodecMeta(CodecId::kNone), IoOp::kWrite, world, params)
+          .elapsed_s;
+  const double coded =
+      PredictArrayIo(CodecMeta(CodecId::kRle), IoOp::kWrite, world, params,
+                     nullptr, 1.0)
+          .elapsed_s;
+  EXPECT_GT(coded, plain);
+}
+
+TEST(CostModelTest, InvalidRatioRejected) {
+  const Sp2Params params = Sp2Params::Nas();
+  const World world{8, 2};
+  EXPECT_THROW(PredictArrayIo(CodecMeta(CodecId::kRle), IoOp::kWrite, world,
+                              params, nullptr, 0.0),
+               PandaError);
+}
+
 }  // namespace
 }  // namespace panda

@@ -19,6 +19,8 @@
 #include <string>
 #include <vector>
 
+#include "iosim/block_cache.h"
+#include "iosim/sim_fs.h"
 #include "msg/hb.h"
 #include "panda/protocol.h"
 #include "panda/report.h"
@@ -300,6 +302,75 @@ TEST(HbMachine, MessageEdgeLicensesHandoff) {
         } else {
           (void)ep.Recv(/*src=*/0, kTagApp);
           hb::StampAccess(&shared, "test.shared", true);
+        }
+      },
+      [&](Endpoint&, int) {});
+
+  ASSERT_NE(machine.hb_checker(), nullptr);
+  EXPECT_EQ(machine.hb_checker()->race_count(), 0u);
+}
+
+TEST(HbMachine, UnorderedBlockCacheSharingIsCaught) {
+  // BlockCache's LRU list / block map / stream table are unsynchronized
+  // shared state: two rank threads hammering one cache with no message
+  // between them is a race, and the instrumentation in
+  // src/iosim/block_cache.cc must surface it.
+  Sp2Params params = Sp2Params::Functional();
+  Machine machine =
+      Machine::Simulated(2, 1, params, /*store_data=*/true, false);
+  // A timing-only simulated base file of its own: the machine supplies
+  // only the rank threads and the armed checker.
+  VirtualClock cache_clock;
+  SimFileSystem::Options fs_opt;
+  fs_opt.store_data = false;
+  fs_opt.clock = &cache_clock;
+  SimFileSystem base_fs(fs_opt);
+  std::unique_ptr<File> base = base_fs.Open("bc_base", OpenMode::kReadWrite);
+  BlockCache::Options opt;
+  opt.block_bytes = 64;
+  opt.capacity_blocks = 8;
+  BlockCache cache(base.get(), opt);
+  machine.Run(
+      [&](Endpoint&, int idx) {
+        cache.WriteAt(static_cast<std::int64_t>(idx) * 64, {}, 64);
+      },
+      [&](Endpoint&, int) {});
+
+  ASSERT_NE(machine.hb_checker(), nullptr);
+  const std::vector<hb::Race> races = machine.hb_checker()->Races();
+  ASSERT_EQ(races.size(), 1u);
+  EXPECT_EQ(races[0].object, "iosim.block_cache");
+  EXPECT_TRUE(races[0].prev_write);
+  EXPECT_TRUE(races[0].write);
+}
+
+TEST(HbMachine, MessageOrderedBlockCacheHandoffIsClean) {
+  // The same two accesses with a message edge between them: rank 0
+  // touches the cache then sends, rank 1 receives then touches — an
+  // ordered handoff, zero races. (Cache reads stamp as writes too:
+  // LRU reordering mutates shared state.)
+  Sp2Params params = Sp2Params::Functional();
+  Machine machine =
+      Machine::Simulated(2, 1, params, /*store_data=*/true, false);
+  VirtualClock cache_clock;
+  SimFileSystem::Options fs_opt;
+  fs_opt.store_data = false;
+  fs_opt.clock = &cache_clock;
+  SimFileSystem base_fs(fs_opt);
+  std::unique_ptr<File> base = base_fs.Open("bc_base", OpenMode::kReadWrite);
+  BlockCache::Options opt;
+  opt.block_bytes = 64;
+  opt.capacity_blocks = 8;
+  BlockCache cache(base.get(), opt);
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        if (idx == 0) {
+          cache.WriteAt(0, {}, 64);
+          Message m;
+          ep.Send(/*dst=*/1, kTagApp, std::move(m));
+        } else {
+          (void)ep.Recv(/*src=*/0, kTagApp);
+          cache.ReadAt(0, {}, 64);
         }
       },
       [&](Endpoint&, int) {});

@@ -127,6 +127,7 @@ TEST(LintRules, RawIoIgnoresDesignatedLayersAndOtherDirs) {
   const std::string code = "void f(File* file) { file->Sync(); }\n";
   EXPECT_TRUE(Lint("src/panda/journal.cc", code).empty());
   EXPECT_TRUE(Lint("src/panda/integrity.cc", code).empty());
+  EXPECT_TRUE(Lint("src/panda/frame_io.cc", code).empty());
   EXPECT_TRUE(Lint("src/iosim/sim_fs.cc", code).empty());
   EXPECT_TRUE(HasRule(Lint("src/panda/server.cc", code), "raw-io"));
 }
@@ -200,6 +201,87 @@ TEST(LintRules, SpanManifestParserSkipsCommentsAndBlanks) {
   EXPECT_EQ(entries[0].first, "src/panda/server.cc");
   EXPECT_EQ(entries[0].second, "ServerWriteArray");
   EXPECT_EQ(entries[1].second, "DoSend");
+}
+
+// ---- tag-coverage -----------------------------------------------------
+
+namespace {
+const char kMsgTagFixture[] =
+    "#pragma once\n"
+    "enum MsgTag : int {\n"
+    "  kTagPieceData = 4,\n"
+    "  kTagBarrier = 8,\n"
+    "};\n";
+}  // namespace
+
+TEST(LintRules, TagCoverageFlagsUncoveredTag) {
+  LintConfig config;
+  // Seeded violation: kTagBarrier exists in the enum but the manifest
+  // declares no integrity mechanism for it.
+  config.tag_manifest = {{"kTagPieceData", "wire-crc"}};
+  const std::vector<Diagnostic> diags =
+      Lint("src/msg/message.h", kMsgTagFixture, config);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "tag-coverage");
+  EXPECT_EQ(diags[0].file, "src/msg/message.h");
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("kTagBarrier"), std::string::npos);
+}
+
+TEST(LintRules, TagCoverageAcceptsFullyCoveredEnum) {
+  LintConfig config;
+  config.tag_manifest = {{"kTagPieceData", "wire-crc"},
+                         {"kTagBarrier", "control"}};
+  EXPECT_TRUE(Lint("src/msg/message.h", kMsgTagFixture, config).empty());
+}
+
+TEST(LintRules, TagCoverageFlagsUnknownMechanismAndStaleEntry) {
+  LintConfig config;
+  config.tag_manifest = {{"kTagPieceData", "pinky-swear"},
+                         {"kTagBarrier", "control"},
+                         {"kTagGone", "control"}};
+  const std::vector<Diagnostic> diags =
+      Lint("src/msg/message.h", kMsgTagFixture, config);
+  ASSERT_EQ(diags.size(), 2u);
+  EXPECT_TRUE(HasRule(diags, "tag-coverage"));
+  bool saw_mechanism = false;
+  bool saw_stale = false;
+  for (const Diagnostic& d : diags) {
+    if (d.message.find("pinky-swear") != std::string::npos) {
+      saw_mechanism = true;
+    }
+    if (d.message.find("kTagGone") != std::string::npos) saw_stale = true;
+  }
+  EXPECT_TRUE(saw_mechanism);
+  EXPECT_TRUE(saw_stale);
+}
+
+TEST(LintRules, TagCoverageOnlyAppliesToMessageHeader) {
+  LintConfig config;
+  config.tag_manifest = {{"kTagPieceData", "wire-crc"}};
+  // Same enum elsewhere: not the protocol header, not this rule's
+  // business.
+  EXPECT_TRUE(Lint("src/panda/other.h", kMsgTagFixture, config).empty());
+}
+
+TEST(LintRules, TagManifestParserPicksTagLinesOnly) {
+  const std::string text =
+      "# manifest\n"
+      "src/panda/server.cc ServerWriteArray\n"
+      "tag kTagPieceData wire-crc  # payload crc\n"
+      "tag kTagBarrier control\n";
+  const auto tags = ParseTagManifest(text);
+  ASSERT_EQ(tags.size(), 2u);
+  EXPECT_EQ(tags[0].first, "kTagPieceData");
+  EXPECT_EQ(tags[0].second, "wire-crc");
+  EXPECT_EQ(tags[1].first, "kTagBarrier");
+  EXPECT_EQ(tags[1].second, "control");
+  // The span parser sees tag lines as ("tag", ...) pairs — never a real
+  // file path, so span-coverage ignores them.
+  const auto spans = ParseSpanManifest(text);
+  ASSERT_EQ(spans.size(), 3u);
+  EXPECT_EQ(spans[0].first, "src/panda/server.cc");
+  EXPECT_EQ(spans[1].first, "tag");
 }
 
 // ---- header-hygiene ---------------------------------------------------
@@ -317,8 +399,9 @@ TEST(LintDiag, RegistryExposesAllRules) {
   std::vector<std::string> ids;
   for (const Rule& rule : Registry()) ids.push_back(rule.id);
   const std::vector<std::string> expected = {
-      "wall-clock",      "raw-io",         "raw-send",  "span-coverage",
-      "header-hygiene",  "report-silence", "trace-no-clock"};
+      "wall-clock",     "raw-io",         "raw-send",
+      "span-coverage",  "tag-coverage",   "header-hygiene",
+      "report-silence", "trace-no-clock"};
   EXPECT_EQ(ids, expected);
 }
 

@@ -169,10 +169,12 @@ void CheckRawIo(const SourceFile& f, const LintConfig&,
                 std::vector<Diagnostic>* out) {
   if (!StartsWith(f.rel_path, "src/panda/")) return;
   // Designated raw-I/O layers: the WAL, checksum sidecars, schema
-  // metadata and the sequential baseline own their durability story.
+  // metadata, the codec frame reader (its offline-verify entry points
+  // deliberately run without retries) and the sequential baseline own
+  // their durability story.
   static const std::vector<std::string> kAllowed = {
       "src/panda/journal.", "src/panda/integrity.", "src/panda/schema_io.",
-      "src/panda/sequential."};
+      "src/panda/frame_io.", "src/panda/sequential."};
   if (AnyPrefix(f.rel_path, kAllowed)) return;
   static const std::set<std::string> kOps = {"WriteAt", "ReadAt", "Sync"};
   const auto& toks = f.tokens;
@@ -244,6 +246,74 @@ void CheckSpanCoverage(const SourceFile& f, const LintConfig& config,
                  "' has no PANDA_SPAN/RecordSpan — observability "
                  "coverage regressed (docs/OBSERVABILITY.md)");
       }
+    }
+  }
+}
+
+// ---- tag-coverage ----------------------------------------------------
+
+// Every message tag must declare how its payload is integrity-protected
+// (docs/PROTOCOL.md): `wire-crc` (payload carries a CRC32C checked by
+// the receiver), `header-checked` (fixed framing fully validated on
+// decode), or `control` (no data payload to protect). A tag added to
+// the enum without a manifest line is exactly the regression this rule
+// exists to catch: data moving with no declared integrity story.
+void CheckTagCoverage(const SourceFile& f, const LintConfig& config,
+                      std::vector<Diagnostic>* out) {
+  if (f.rel_path != "src/msg/message.h") return;
+  if (config.tag_manifest.empty()) return;  // manifest not loaded
+  static const std::set<std::string> kMechanisms = {"wire-crc",
+                                                    "header-checked",
+                                                    "control"};
+  // Collect the MsgTag enumerators: identifiers directly following '{'
+  // or ',' inside `enum ... MsgTag ... { ... }`.
+  const auto& toks = f.tokens;
+  std::vector<std::pair<std::string, int>> tags;  // (name, line)
+  for (size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (!IsIdent(toks[i], "enum")) continue;
+    size_t j = i + 1;
+    bool is_msgtag = false;
+    for (; j < toks.size() && !IsPunct(toks[j], '{'); ++j) {
+      if (IsIdent(toks[j], "MsgTag")) is_msgtag = true;
+      if (IsPunct(toks[j], ';')) break;  // forward declaration
+    }
+    if (!is_msgtag || j >= toks.size() || !IsPunct(toks[j], '{')) continue;
+    for (size_t k = j + 1; k < toks.size() && !IsPunct(toks[k], '}'); ++k) {
+      if (toks[k].kind == TokKind::kIdent &&
+          (IsPunct(toks[k - 1], '{') || IsPunct(toks[k - 1], ','))) {
+        tags.emplace_back(toks[k].text, toks[k].line);
+      }
+    }
+    i = j;
+  }
+
+  for (const auto& [name, line] : tags) {
+    const auto it = std::find_if(
+        config.tag_manifest.begin(), config.tag_manifest.end(),
+        [&name](const auto& e) { return e.first == name; });
+    if (it == config.tag_manifest.end()) {
+      Diag(out, "tag-coverage", f, line,
+           "message tag '" + name +
+               "' has no coverage entry — declare its integrity "
+               "mechanism with `tag " + name +
+               " <wire-crc|header-checked|control>` in "
+               "tools/analyze/span_manifest.txt");
+    } else if (kMechanisms.count(it->second) == 0) {
+      Diag(out, "tag-coverage", f, line,
+           "message tag '" + name + "' declares unknown integrity "
+               "mechanism '" + it->second +
+               "' (expected wire-crc, header-checked or control)");
+    }
+  }
+  // Stale manifest entries are as misleading as missing ones.
+  for (const auto& entry : config.tag_manifest) {
+    const auto it = std::find_if(
+        tags.begin(), tags.end(),
+        [&entry](const auto& t) { return t.first == entry.first; });
+    if (it == tags.end()) {
+      Diag(out, "tag-coverage", f, 1,
+           "manifest covers unknown message tag '" + entry.first +
+               "' — remove it from tools/analyze/span_manifest.txt");
     }
   }
 }
@@ -350,6 +420,9 @@ const std::vector<Rule>& Registry() {
       {"span-coverage",
        "manifest protocol stages carry PANDA_SPAN instrumentation",
        CheckSpanCoverage},
+      {"tag-coverage",
+       "every MsgTag declares its integrity mechanism in the manifest",
+       CheckTagCoverage},
       {"header-hygiene",
        "#pragma once exactly once; no using-namespace / <iostream> in "
        "headers",
@@ -394,16 +467,41 @@ std::vector<std::pair<std::string, std::string>> ParseSpanManifest(
   return out;
 }
 
+std::vector<std::pair<std::string, std::string>> ParseTagManifest(
+    const std::string& text) {
+  std::vector<std::pair<std::string, std::string>> out;
+  std::istringstream is(text);
+  std::string line;
+  while (std::getline(is, line)) {
+    const size_t hash = line.find('#');
+    if (hash != std::string::npos) line.resize(hash);
+    std::istringstream fields(line);
+    std::string keyword;
+    std::string tag;
+    std::string mechanism;
+    if (fields >> keyword >> tag >> mechanism && keyword == "tag") {
+      out.emplace_back(tag, mechanism);
+    }
+  }
+  return out;
+}
+
 std::vector<Diagnostic> RunLint(const LintConfig& config) {
   LintConfig cfg = config;
-  if (cfg.span_manifest.empty()) {
+  if (cfg.span_manifest.empty() || cfg.tag_manifest.empty()) {
     const fs::path manifest =
         fs::path(cfg.root) / "tools" / "analyze" / "span_manifest.txt";
     std::ifstream in(manifest);
     if (in) {
       std::ostringstream buf;
       buf << in.rdbuf();
-      cfg.span_manifest = ParseSpanManifest(buf.str());
+      const std::string text = buf.str();
+      if (cfg.span_manifest.empty()) {
+        cfg.span_manifest = ParseSpanManifest(text);
+      }
+      if (cfg.tag_manifest.empty()) {
+        cfg.tag_manifest = ParseTagManifest(text);
+      }
     }
   }
 

@@ -13,6 +13,10 @@
 //   span-coverage   protocol stage functions listed in the manifest
 //                   (tools/analyze/span_manifest.txt) contain a
 //                   PANDA_SPAN / RecordSpan instrumentation site.
+//   tag-coverage    every MsgTag enumerator in src/msg/message.h has a
+//                   `tag <name> <mechanism>` manifest line declaring
+//                   how its payload is integrity-protected (wire-crc,
+//                   header-checked, or control).
 //   header-hygiene  headers use #pragma once exactly once, never
 //                   `using namespace`, and src/ headers never include
 //                   <iostream>.
@@ -56,6 +60,10 @@ struct LintConfig {
   // When empty, RunLint loads tools/analyze/span_manifest.txt under
   // `root` (rule skipped when that file does not exist).
   std::vector<std::pair<std::string, std::string>> span_manifest;
+  // tag-coverage manifest entries: (MsgTag enumerator, integrity
+  // mechanism). When empty, RunLint loads the `tag <name> <mechanism>`
+  // lines of the same manifest file (rule skipped when none exist).
+  std::vector<std::pair<std::string, std::string>> tag_manifest;
   // Rule ids to skip entirely.
   std::set<std::string> disabled_rules;
 };
@@ -82,8 +90,16 @@ std::vector<Diagnostic> CheckFile(const SourceFile& file,
 std::vector<Diagnostic> RunLint(const LintConfig& config);
 
 // Parses span manifest text ("relative/path FunctionName" per line; '#'
-// comments and blank lines ignored).
+// comments and blank lines ignored). `tag ...` lines (see
+// ParseTagManifest) come back as ("tag", <name>) pairs; harmless, since
+// "tag" never matches a real file path.
 std::vector<std::pair<std::string, std::string>> ParseSpanManifest(
+    const std::string& text);
+
+// Parses the message-tag coverage lines of the same manifest text:
+// "tag <MsgTag enumerator> <integrity mechanism>". Other lines, '#'
+// comments and blanks are ignored.
+std::vector<std::pair<std::string, std::string>> ParseTagManifest(
     const std::string& text);
 
 }  // namespace lint

@@ -1,14 +1,19 @@
 #!/bin/sh
 # Smoke bench + schema guard: runs the Figure 4 bench in --quick mode,
 # writes the machine-readable outputs, and fails if the stable
-# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 1)
+# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 2)
 # drifts — downstream dashboards and the CI artifact step parse it.
+# Then runs the codec ablation: the same figure with --codec=shuffle+rle
+# on real compressible data must move fewer wire and disk bytes AND
+# finish faster than codec=none (the compression pipeline's acceptance
+# bar), or the script fails.
 #
 #   tools/bench.sh [BUILD_DIR] [OUT_DIR]
 #
 # BUILD_DIR defaults to ./build (must already contain the bench
 # binaries); OUT_DIR defaults to BUILD_DIR/bench-out. Writes
-# BENCH_fig4_smoke.json and TRACE_fig4_smoke.json.
+# BENCH_fig4_smoke.json, TRACE_fig4_smoke.json and the ablation pair
+# BENCH_fig4_codec_{none,shuffle_rle}.json.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -27,14 +32,15 @@ TRACE="$OUT_DIR/TRACE_fig4_smoke.json"
 "$BIN" --quick --json_out="$JSON" --trace_out="$TRACE"
 
 # --- schema drift check -------------------------------------------------
-# Every key of schema_version 1 must be present, spelled exactly.
+# Every key of schema_version 2 must be present, spelled exactly.
 fail=0
 for key in \
-    '"schema_version":1' \
+    '"schema_version":2' \
     '"kind":"panda_bench"' \
     '"bench":' \
     '"description":' \
     '"op":' \
+    '"codec":' \
     '"quick":' \
     '"reps":' \
     '"rows":[' \
@@ -44,6 +50,9 @@ for key in \
     '"aggregate_Bps":' \
     '"per_ion_Bps":' \
     '"normalized":' \
+    '"wire_bytes_sent":' \
+    '"disk_bytes_written":' \
+    '"codec_ratio":' \
     '"spans":'; do
   if ! grep -qF "$key" "$JSON"; then
     echo "bench.sh: SCHEMA DRIFT — missing $key in $JSON" >&2
@@ -61,4 +70,31 @@ for key in '"traceEvents":[' '"thread_name"' '"ph":"X"' '"ts":' '"dur":'; do
 done
 
 [ "$fail" -eq 0 ] || exit 1
-echo "bench.sh OK: $JSON $TRACE"
+
+# --- codec ablation ------------------------------------------------------
+# Same figure, real compressible data, codec off vs on. The first row of
+# each run is the same (io_nodes, size_mb) point; shuffle+rle must
+# reduce wire bytes, disk bytes and elapsed against none.
+NONE_JSON="$OUT_DIR/BENCH_fig4_codec_none.json"
+CODED_JSON="$OUT_DIR/BENCH_fig4_codec_shuffle_rle.json"
+"$BIN" --quick --codec=none --json_out="$NONE_JSON" > /dev/null
+"$BIN" --quick --codec=shuffle+rle --json_out="$CODED_JSON" > /dev/null
+
+first_field() {  # first_field FILE KEY -> first numeric value of "KEY":
+  sed -n "s/.*\"$2\":\([0-9.eE+-]*\).*/\1/p" "$1" | head -n 1
+}
+
+for key in elapsed_s wire_bytes_sent disk_bytes_written; do
+  none_v="$(first_field "$NONE_JSON" "$key")"
+  coded_v="$(first_field "$CODED_JSON" "$key")"
+  if [ -z "$none_v" ] || [ -z "$coded_v" ]; then
+    echo "bench.sh: ABLATION — missing $key in ablation JSON" >&2
+    fail=1
+  elif ! awk -v a="$coded_v" -v b="$none_v" 'BEGIN{exit !(a < b)}'; then
+    echo "bench.sh: ABLATION — $key not improved (none=$none_v, shuffle+rle=$coded_v)" >&2
+    fail=1
+  fi
+done
+
+[ "$fail" -eq 0 ] || exit 1
+echo "bench.sh OK: $JSON $TRACE $NONE_JSON $CODED_JSON"
