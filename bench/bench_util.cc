@@ -154,6 +154,7 @@ MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
     result.disk_bytes_written += fs.bytes_written;
   }
   result.codec_ratio = SampledRatio(spec.codec, meta.elem_size);
+  result.metrics = report.metrics;
   if (const trace::Collector* collector = machine.trace_collector()) {
     result.spans = collector->AggregateByKind();
     if (trace_json != nullptr) *trace_json = MachineTraceJson(machine);
@@ -184,12 +185,36 @@ std::string SpansJson(
   return out;
 }
 
+// Top-level v3 metrics: counters sum across sweep points, gauges keep
+// the last point's value, histograms merge bucket-wise when the edges
+// agree (they always do — every point runs the same machine shape).
+trace::MetricsSnapshot MergeRowMetrics(std::span<const FigureRow> rows) {
+  trace::MetricsSnapshot merged;
+  for (const FigureRow& row : rows) {
+    const trace::MetricsSnapshot& m = row.result.metrics;
+    for (const auto& [name, v] : m.counters) merged.counters[name] += v;
+    for (const auto& [name, v] : m.gauges) merged.gauges[name] = v;
+    for (const auto& [name, h] : m.histograms) {
+      auto [it, inserted] = merged.histograms.emplace(name, h);
+      if (inserted) continue;
+      trace::MetricsSnapshot::Hist& acc = it->second;
+      if (acc.edges != h.edges) continue;
+      for (size_t i = 0; i < acc.counts.size(); ++i) {
+        acc.counts[i] += h.counts[i];
+      }
+      acc.total_count += h.total_count;
+      acc.sum += h.sum;
+    }
+  }
+  return merged;
+}
+
 }  // namespace
 
 std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
                       std::span<const FigureRow> rows) {
   std::string out = "{";
-  out += "\"schema_version\":2,";
+  out += "\"schema_version\":3,";
   out += "\"kind\":\"panda_bench\",";
   out += "\"bench\":\"" + trace::JsonEscape(spec.id) + "\",";
   out += "\"description\":\"" + trace::JsonEscape(spec.description) + "\",";
@@ -223,6 +248,7 @@ std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
   }
   out += "],";
   out += "\"spans\":" + SpansJson(total);
+  out += ",\"metrics\":" + trace::MetricsJson(MergeRowMetrics(rows));
   out += "}";
   return out;
 }

@@ -50,6 +50,10 @@ struct MeasureResult {
   // Per-kind span aggregates over the whole measured run (warm-up
   // included), all ranks summed. All-zero unless MeasureSpec::trace.
   std::array<trace::SpanAggregate, trace::kNumSpanKinds> spans{};
+  // The machine's full metrics snapshot at the end of the run
+  // (robustness.*, transport.*, plus any tracing histograms) — what
+  // BenchJson merges into the top-level v3 "metrics" block.
+  trace::MetricsSnapshot metrics;
 };
 
 struct MeasureSpec {
@@ -111,15 +115,20 @@ struct FigureRow {
   MeasureResult result;
 };
 
-// The stable machine-readable bench schema (schema_version 2): a single
+// The stable machine-readable bench schema (schema_version 3): a single
 // JSON object {schema_version, kind:"panda_bench", bench, description,
 // op, codec, quick, reps, rows:[{io_nodes, size_mb, elapsed_s,
 // aggregate_Bps, per_ion_Bps, normalized, wire_bytes_sent,
-// disk_bytes_written, codec_ratio, spans:{...}}], spans:{...}}.
-// Version history: v2 added `codec` and the per-row byte/ratio fields
-// (all other keys unchanged, so v1 consumers keep working). Doubles are
-// %.17g, so values round-trip exactly (tests/bench_json_test.cc
-// re-derives throughput from elapsed to 1e-9).
+// disk_bytes_written, codec_ratio, spans:{...}}], spans:{...},
+// metrics:{counters:{...},gauges:{...},histograms:{...}}}.
+// Version history: v2 added `codec` and the per-row byte/ratio fields;
+// v3 added the top-level `metrics` block (trace::MetricsJson shape —
+// counters summed across sweep points, gauges from the last point),
+// which panda_mc's explorer JSON shares so bench-consuming tooling
+// ingests exploration runs unchanged. All pre-existing keys are
+// untouched, so v1/v2 consumers keep working. Doubles are %.17g, so
+// values round-trip exactly (tests/bench_json_test.cc re-derives
+// throughput from elapsed to 1e-9).
 std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
                       std::span<const FigureRow> rows);
 

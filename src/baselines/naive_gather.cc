@@ -4,6 +4,7 @@
 
 #include "baselines/baseline_util.h"
 #include "mdarray/strided_copy.h"
+#include "msg/hb.h"
 #include "panda/protocol.h"
 
 namespace panda {
@@ -114,6 +115,7 @@ void NaiveGatherWriteServer(Endpoint& ep, FileSystem& fs, const World& world,
                             const Sp2Params& params, const ArrayMeta& meta) {
   const int sidx = ep.rank() - world.num_clients;
   if (sidx == 0) {
+    hb::StampAccess(&fs, "baselines.naive.fs", /*is_write=*/true);
     auto file = fs.Open(DataFileName("", meta.name, Purpose::kGeneral, 0),
                         OpenMode::kWrite);
     std::int64_t offset = 0;
@@ -218,6 +220,7 @@ void NaiveScatterReadServer(Endpoint& ep, FileSystem& fs, const World& world,
                             const Sp2Params& params, const ArrayMeta& meta) {
   const int sidx = world.server_index(ep.rank());
   if (sidx == 0) {
+    hb::StampAccess(&fs, "baselines.naive.fs", /*is_write=*/false);
     auto file = fs.Open(DataFileName("", meta.name, Purpose::kGeneral, 0),
                         OpenMode::kRead);
     const bool timing = ep.timing_only();

@@ -4,6 +4,7 @@
 
 #include "baselines/baseline_util.h"
 #include "iosim/block_cache.h"
+#include "msg/hb.h"
 #include "util/codec.h"
 
 namespace panda {
@@ -58,6 +59,7 @@ void CachingWriteServer(Endpoint& ep, FileSystem& fs, const World& world,
                         const Sp2Params& params, const ArrayMeta& meta,
                         const CachingOptions& options) {
   (void)params;
+  hb::StampAccess(&fs, "baselines.caching.fs", /*is_write=*/true);
   auto file = fs.Open("striped." + meta.name + "." +
                           std::to_string(ep.rank() - world.num_clients),
                       OpenMode::kWrite);
@@ -130,6 +132,7 @@ void CachingReadServer(Endpoint& ep, FileSystem& fs, const World& world,
                        const Sp2Params& params, const ArrayMeta& meta,
                        const CachingOptions& options) {
   (void)params;
+  hb::StampAccess(&fs, "baselines.caching.fs", /*is_write=*/true);
   auto file = fs.Open("striped." + meta.name + "." +
                           std::to_string(world.server_index(ep.rank())),
                       OpenMode::kReadWrite);

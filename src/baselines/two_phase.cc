@@ -5,6 +5,7 @@
 
 #include "baselines/baseline_util.h"
 #include "mdarray/strided_copy.h"
+#include "msg/hb.h"
 #include "panda/protocol.h"
 
 namespace panda {
@@ -128,6 +129,7 @@ void TwoPhaseWriteServer(Endpoint& ep, FileSystem& fs, const World& world,
   const bool timing = ep.timing_only();
 
   if (!plan.ChunksOfServer(sidx).empty()) {
+    hb::StampAccess(&fs, "baselines.two_phase.fs", /*is_write=*/true);
     auto file = fs.Open(DataFileName("", meta.name, Purpose::kGeneral, sidx),
                         OpenMode::kWrite);
     for (const int ci : plan.ChunksOfServer(sidx)) {
@@ -256,6 +258,7 @@ void TwoPhaseReadServer(Endpoint& ep, FileSystem& fs, const World& world,
   const bool timing = ep.timing_only();
 
   if (!plan.ChunksOfServer(sidx).empty()) {
+    hb::StampAccess(&fs, "baselines.two_phase.fs", /*is_write=*/false);
     auto file = fs.Open(DataFileName("", meta.name, Purpose::kGeneral, sidx),
                         OpenMode::kRead);
     for (const int ci : plan.ChunksOfServer(sidx)) {

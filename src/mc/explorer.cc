@@ -1,0 +1,306 @@
+#include "mc/explorer.h"
+
+#include <algorithm>
+#include <deque>
+#include <sstream>
+
+#include "util/error.h"
+
+namespace panda::mc {
+
+namespace {
+
+// Counts the fault (non-deliver loss) and kill decisions of an
+// assignment — the static budget enforcement: DFS never schedules an
+// assignment over budget, so no runtime cap can race the exploration.
+void CountBudget(const Assignment& assignment, int* faults, int* kills) {
+  *faults = 0;
+  *kills = 0;
+  for (const auto& [key, decision] : assignment) {
+    if (IsDefaultDecision(key.kind, decision)) continue;
+    if (key.kind == ChoiceKind::kLoss) ++*faults;
+    if (key.kind == ChoiceKind::kKill) ++*kills;
+  }
+}
+
+int NonDefaultCount(const Assignment& assignment) {
+  int n = 0;
+  for (const auto& [key, decision] : assignment) {
+    if (!IsDefaultDecision(key.kind, decision)) ++n;
+  }
+  return n;
+}
+
+// The effective assignment of a finished run: every non-default
+// decision that actually surfaced. This is what gets minimized and
+// serialized — scheduled-but-unreached decisions are dropped.
+Assignment AssignmentFromTrail(const std::vector<TrailEntry>& trail) {
+  Assignment assignment;
+  for (const TrailEntry& entry : trail) {
+    if (!IsDefaultDecision(entry.key.kind, entry.decision)) {
+      assignment[entry.key] = entry.decision;
+    }
+  }
+  return assignment;
+}
+
+std::string ScheduledFingerprint(const Assignment& assignment) {
+  std::ostringstream out;
+  for (const auto& [key, decision] : assignment) {
+    if (IsDefaultDecision(key.kind, decision)) continue;
+    out << static_cast<int>(key.kind) << ':' << key.a << ':' << key.b << ':'
+        << key.seq << '=' << decision << ';';
+  }
+  return out.str();
+}
+
+// A frontier node: the decisions to force, plus the canonical-trail
+// index this node may branch from (decisions before the floor were
+// already branched on by an ancestor — re-branching would enumerate the
+// same sequences again).
+struct Node {
+  Assignment assignment;
+  size_t branch_floor = 0;
+};
+
+}  // namespace
+
+Assignment Minimize(const McConfig& config, const Assignment& assignment,
+                    std::int64_t* runs) {
+  Assignment current = assignment;
+  // Drop scheduled defaults first — they are semantically identity.
+  for (auto it = current.begin(); it != current.end();) {
+    if (IsDefaultDecision(it->first.kind, it->second)) {
+      it = current.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  const std::vector<ChoiceKey> keys = [&] {
+    std::vector<ChoiceKey> out;
+    for (const auto& [key, decision] : current) out.push_back(key);
+    return out;
+  }();
+  for (const ChoiceKey& key : keys) {
+    Assignment trial = current;
+    trial.erase(key);
+    const McRunResult result = RunWorkload(config, trial);
+    if (runs != nullptr) ++*runs;
+    if (!result.violations.empty()) current = std::move(trial);
+  }
+  return current;
+}
+
+McTrace MakeTrace(const McConfig& config, const Assignment& assignment,
+                  const McRunResult& result) {
+  McTrace trace;
+  trace.config = config.ToConfigLines();
+  trace.assignment = assignment;
+  trace.expect.emplace_back("violated",
+                            result.violations.empty() ? "0" : "1");
+  std::vector<int> dead = result.dead_servers;
+  std::ostringstream dead_csv;
+  for (size_t i = 0; i < dead.size(); ++i) {
+    if (i > 0) dead_csv << ',';
+    dead_csv << dead[i];
+  }
+  trace.expect.emplace_back("dead", dead_csv.str());
+  trace.expect.emplace_back("ckpt", result.checkpoint_committed ? "1" : "0");
+  std::ostringstream hash;
+  hash << std::hex << result.data_hash;
+  trace.expect.emplace_back("hash", hash.str());
+  return trace;
+}
+
+bool ReplayTrace(const McTrace& trace, std::string* why) {
+  const McConfig config = McConfig::FromConfigLines(trace.config);
+  const McRunResult result = RunWorkload(config, trace.assignment);
+  const auto fail = [&](const std::string& message) {
+    if (why != nullptr) *why = message;
+    return false;
+  };
+  // A forced decision that never surfaced means the protocol's choice
+  // ordinals shifted under the trace: the schedule no longer pins what
+  // it claims to. Fail loudly instead of passing vacuously.
+  if (result.unreached_forced > 0) {
+    return fail(std::to_string(result.unreached_forced) +
+                " forced decision(s) never surfaced during replay");
+  }
+  for (const auto& [key, want] : trace.expect) {
+    if (key == "violated") {
+      const std::string got = result.violations.empty() ? "0" : "1";
+      if (got != want) {
+        return fail("expected violated=" + want + ", got " + got +
+                    (result.violations.empty()
+                         ? ""
+                         : " (" + result.violations.front() + ")"));
+      }
+    } else if (key == "dead") {
+      std::ostringstream got;
+      for (size_t i = 0; i < result.dead_servers.size(); ++i) {
+        if (i > 0) got << ',';
+        got << result.dead_servers[i];
+      }
+      if (got.str() != want) {
+        return fail("expected dead=" + want + ", got " + got.str());
+      }
+    } else if (key == "ckpt") {
+      const std::string got = result.checkpoint_committed ? "1" : "0";
+      if (got != want) return fail("expected ckpt=" + want + ", got " + got);
+    } else if (key == "hash") {
+      std::ostringstream got;
+      got << std::hex << result.data_hash;
+      if (got.str() != want) {
+        return fail("expected hash=" + want + ", got " + got.str());
+      }
+    } else {
+      return fail("unknown expect key '" + key + "'");
+    }
+  }
+  return true;
+}
+
+void PublishMetrics(const ExploreResult& result,
+                    trace::MetricsRegistry* metrics) {
+  if (metrics == nullptr) return;
+  metrics->AddCounter("mc.runs", result.runs);
+  metrics->AddCounter("mc.distinct_states", result.distinct_states);
+  metrics->AddCounter("mc.duplicates", result.duplicates);
+  metrics->AddCounter("mc.divergences", result.divergences);
+  metrics->AddCounter("mc.pruned_por", result.pruned_por);
+  metrics->AddCounter("mc.pruned_budget", result.pruned_budget);
+  metrics->AddCounter("mc.pruned_depth", result.pruned_depth);
+  metrics->AddCounter("mc.violations",
+                      static_cast<std::int64_t>(result.violations.size()));
+  metrics->SetGauge("mc.exhausted", result.exhausted ? 1.0 : 0.0);
+  metrics->SetGauge("mc.outcomes",
+                    static_cast<double>(result.outcomes.size()));
+}
+
+ExploreResult Explore(const McConfig& config, const ExploreOptions& options) {
+  ExploreResult result;
+
+  const auto record_violation = [&](const Assignment& effective,
+                                    const McRunResult& run) {
+    McViolation violation;
+    violation.messages = run.violations;
+    violation.outcome = run.Outcome();
+    violation.assignment = effective;
+    if (options.minimize) {
+      violation.assignment =
+          Minimize(config, violation.assignment, &result.runs);
+    }
+    result.violations.push_back(std::move(violation));
+  };
+
+  if (options.walk_seed != 0) {
+    // Random-walk mode: seeded sampling of the decision space, one walk
+    // per run. Walks also explore delivery choices, which DFS leaves at
+    // the default (their candidate sets are wall-clock dependent).
+    for (std::int64_t i = 0; i < options.max_runs; ++i) {
+      const McRunResult run =
+          RunWorkload(config, Assignment{}, options.walk_seed +
+                                                static_cast<std::uint64_t>(i));
+      ++result.runs;
+      result.outcomes.insert(run.Outcome());
+      ++result.distinct_states;  // walks are not deduplicated
+      if (!run.violations.empty()) {
+        record_violation(AssignmentFromTrail(run.trail), run);
+        if (options.stop_on_violation) break;
+      }
+    }
+    return result;
+  }
+
+  // DFS over the decision tree (stateless replay; see header comment).
+  std::deque<Node> frontier;
+  frontier.push_back(Node{});
+  std::set<std::string> scheduled;  // assignments ever pushed
+  std::set<std::string> visited;    // effective assignments executed
+  scheduled.insert(ScheduledFingerprint(Assignment{}));
+
+  while (!frontier.empty() && result.runs < options.max_runs) {
+    const Node node = std::move(frontier.back());
+    frontier.pop_back();
+
+    const McRunResult run = RunWorkload(config, node.assignment);
+    ++result.runs;
+    result.outcomes.insert(run.Outcome());
+    if (run.unreached_forced > 0) ++result.divergences;
+    if (!visited.insert(AssignmentFingerprint(run.trail)).second) {
+      ++result.duplicates;
+      continue;  // an equivalent run was already expanded
+    }
+    ++result.distinct_states;
+    if (!run.violations.empty()) {
+      record_violation(AssignmentFromTrail(run.trail), run);
+      if (options.stop_on_violation) break;
+    }
+
+    // Expand: branch on each alternative at each trail position at or
+    // past the floor, forcing the canonical prefix as taken.
+    int base_faults = 0;
+    int base_kills = 0;
+    for (size_t i = node.branch_floor; i < run.trail.size(); ++i) {
+      // Decisions strictly before position i, as this run took them.
+      Assignment prefix;
+      for (size_t j = 0; j < i; ++j) {
+        const TrailEntry& taken = run.trail[j];
+        if (!IsDefaultDecision(taken.key.kind, taken.decision)) {
+          prefix[taken.key] = taken.decision;
+        }
+      }
+      CountBudget(prefix, &base_faults, &base_kills);
+      const TrailEntry& entry = run.trail[i];
+      for (const Decision alt : Alternatives(entry)) {
+        if (options.por && entry.key.kind == ChoiceKind::kLoss) {
+          const auto action = static_cast<LossAction>(alt);
+          // A duplicated copy is absorbed by receive-side dedup above
+          // the reliable layer: same terminal state as kDeliver.
+          if (action == LossAction::kDup) {
+            ++result.pruned_por;
+            continue;
+          }
+          // Pure timing perturbations cannot change a terminal state
+          // when nobody can die (no failure detector observes timing).
+          if (!config.HasKillSurface() &&
+              (action == LossAction::kDelay ||
+               action == LossAction::kReorder)) {
+            ++result.pruned_por;
+            continue;
+          }
+        }
+        Assignment child = prefix;
+        if (IsDefaultDecision(entry.key.kind, alt)) {
+          child.erase(entry.key);
+        } else {
+          child[entry.key] = alt;
+        }
+        int faults = base_faults;
+        int kills = base_kills;
+        if (!IsDefaultDecision(entry.key.kind, alt)) {
+          if (entry.key.kind == ChoiceKind::kLoss) ++faults;
+          if (entry.key.kind == ChoiceKind::kKill) ++kills;
+        }
+        if (faults > config.max_faults || kills > config.max_kills) {
+          ++result.pruned_budget;
+          continue;
+        }
+        if (NonDefaultCount(child) > options.max_depth) {
+          ++result.pruned_depth;
+          continue;
+        }
+        if (!scheduled.insert(ScheduledFingerprint(child)).second) {
+          continue;
+        }
+        frontier.push_back(Node{std::move(child), i + 1});
+      }
+    }
+  }
+
+  result.exhausted = frontier.empty();
+  PublishMetrics(result, options.metrics);
+  return result;
+}
+
+}  // namespace panda::mc

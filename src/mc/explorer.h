@@ -1,0 +1,95 @@
+// panda_mc's exploration engine: stateless-replay DFS over the decision
+// tree of the transport's choice points, plus a seeded random-walk
+// fallback for spaces too large to exhaust.
+//
+// DFS over a threaded protocol machine works here because a run's
+// outcome is a pure function of its decision assignment (mc/trace.h):
+// the explorer replays the machine from scratch per branch, forcing the
+// canonical trail prefix and one alternative at the branch point, and
+// leaving later choices to the protocol default. Frontier nodes carry a
+// branch floor so each decision sequence is generated exactly once.
+//
+// Partial-order reduction (sleep-set style, but over message-fault
+// commutativity rather than thread interleavings): alternatives that
+// provably reach the terminal state of an already-scheduled sibling are
+// pruned — a duplicated message is absorbed by receive-side dedup, and
+// pure timing perturbations (delay, reorder) cannot change any terminal
+// state when no kill surface is armed (nobody dies, so no failure
+// detector observes timing). mc_test audits the equivalence by
+// comparing reachable-outcome sets with POR on and off.
+#pragma once
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mc/workload.h"
+#include "trace/metrics.h"
+
+namespace panda::mc {
+
+struct ExploreOptions {
+  // Run budget: exploration stops after this many workload executions
+  // (minimization runs included).
+  std::int64_t max_runs = 10000;
+  // Maximum non-default decisions per assignment (DFS depth).
+  int max_depth = 16;
+  // Sound equivalence pruning (see header comment).
+  bool por = true;
+  // Stop exploring once a violation is found (it is still minimized).
+  bool stop_on_violation = true;
+  // Minimize the first violating assignment (greedy decision removal).
+  bool minimize = true;
+  // Nonzero: random-walk mode — draw `max_runs` seeded walks instead of
+  // DFS (unforced choices are sampled; see RecordingDecider).
+  std::uint64_t walk_seed = 0;
+  // Exploration statistics sink (optional).
+  trace::MetricsRegistry* metrics = nullptr;
+};
+
+// One invariant violation: the minimized decision assignment that
+// manufactures it, ready to serialize as a .mctrace regression test.
+struct McViolation {
+  Assignment assignment;
+  std::vector<std::string> messages;  // the violated invariants
+  std::string outcome;                // terminal-state label of the run
+};
+
+struct ExploreResult {
+  std::int64_t runs = 0;              // workload executions, total
+  std::int64_t distinct_states = 0;   // distinct effective assignments
+  std::int64_t duplicates = 0;        // runs that collapsed onto a visited state
+  std::int64_t divergences = 0;       // runs with unreached forced decisions
+  std::int64_t pruned_por = 0;        // alternatives pruned as equivalent
+  std::int64_t pruned_budget = 0;     // alternatives over the fault/kill budget
+  std::int64_t pruned_depth = 0;      // alternatives over max_depth
+  bool exhausted = false;             // frontier drained: full coverage
+  std::vector<McViolation> violations;
+  std::set<std::string> outcomes;     // all terminal-state labels seen
+};
+
+// Explores `config`'s decision space under `options`.
+ExploreResult Explore(const McConfig& config, const ExploreOptions& options);
+
+// Greedy trace minimization: drops each decision of `assignment` in
+// turn, keeping the removal whenever the run still violates. `runs` (if
+// non-null) accumulates the number of replays spent.
+Assignment Minimize(const McConfig& config, const Assignment& assignment,
+                    std::int64_t* runs);
+
+// Builds the regression .mctrace for a violating run: config lines, the
+// assignment, and expect lines pinning the violated outcome.
+McTrace MakeTrace(const McConfig& config, const Assignment& assignment,
+                  const McRunResult& result);
+
+// Replays `trace` and checks its expect lines. Returns true when every
+// expectation holds; `why` (if non-null) explains the first mismatch.
+bool ReplayTrace(const McTrace& trace, std::string* why);
+
+// Publishes `result`'s statistics into `metrics` as mc.* counters and
+// gauges (panda_bench JSON rides the same registry).
+void PublishMetrics(const ExploreResult& result,
+                    trace::MetricsRegistry* metrics);
+
+}  // namespace panda::mc

@@ -1,0 +1,131 @@
+#include "mc/strategy.h"
+
+#include <algorithm>
+
+namespace panda::mc {
+
+RecordingDecider::RecordingDecider(GateOptions gate, Assignment forced,
+                                   std::uint64_t random_seed)
+    : gate_(std::move(gate)),
+      forced_(std::move(forced)),
+      random_(random_seed != 0),
+      rng_(random_seed == 0 ? 1 : random_seed) {}
+
+Decision RecordingDecider::Lookup(const ChoiceKey& key, bool* forced) {
+  const auto it = forced_.find(key);
+  if (it == forced_.end()) {
+    *forced = false;
+    return 0;
+  }
+  *forced = true;
+  matched_.insert(key);
+  return it->second;
+}
+
+void RecordingDecider::Record(const TrailEntry& entry) {
+  if (!seen_.insert(entry.key).second) {
+    ++anomalies_;
+    return;
+  }
+  trail_.push_back(entry);
+}
+
+LossAction RecordingDecider::ChooseLoss(const LossChoice& choice) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TrailEntry entry;
+  entry.key = ChoiceKey{ChoiceKind::kLoss, choice.src, choice.dst,
+                        choice.link_seq};
+  entry.vtime = choice.vtime;
+  entry.allowed = choice.allowed;
+  entry.tag = choice.tag;
+  bool forced = false;
+  Decision decision = Lookup(entry.key, &forced);
+  if (forced) {
+    // Trust the explorer: it only forces actions it saw in `allowed`.
+    if ((choice.allowed &
+         LossActionBit(static_cast<LossAction>(decision))) == 0) {
+      decision = static_cast<int>(LossAction::kDeliver);
+    }
+  } else if (random_ && faults_fired_ < gate_.max_faults) {
+    // Half the draws stay clean so walks make forward progress; the
+    // rest pick uniformly among the armed fault classes.
+    if (rng_.NextDouble() >= 0.5) {
+      std::vector<int> fault_actions;
+      for (int action = static_cast<int>(LossAction::kDrop);
+           action <= static_cast<int>(LossAction::kDelay); ++action) {
+        if ((choice.allowed &
+             LossActionBit(static_cast<LossAction>(action))) != 0) {
+          fault_actions.push_back(action);
+        }
+      }
+      if (!fault_actions.empty()) {
+        decision = fault_actions[static_cast<size_t>(
+            rng_.NextBelow(static_cast<std::uint64_t>(fault_actions.size())))];
+      }
+    }
+  }
+  if (decision != static_cast<int>(LossAction::kDeliver)) ++faults_fired_;
+  entry.decision = decision;
+  Record(entry);
+  return static_cast<LossAction>(decision);
+}
+
+bool RecordingDecider::ChooseKill(const KillChoice& choice) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (std::find(gate_.kill_ranks.begin(), gate_.kill_ranks.end(),
+                choice.rank) == gate_.kill_ranks.end()) {
+    return false;
+  }
+  if (choice.send_index < gate_.kill_window_lo ||
+      choice.send_index >= gate_.kill_window_hi) {
+    return false;
+  }
+  TrailEntry entry;
+  entry.key = ChoiceKey{ChoiceKind::kKill, choice.rank, 0, choice.send_index};
+  entry.vtime = choice.vtime;
+  entry.num_options = 2;
+  bool forced = false;
+  Decision decision = Lookup(entry.key, &forced);
+  if (!forced && random_ && kills_fired_ < gate_.max_kills) {
+    // 1-in-8 per surfaced point keeps most walks alive long enough to
+    // reach interesting protocol phases.
+    if (rng_.NextBelow(8) == 0) decision = 1;
+  }
+  if (decision != 0) ++kills_fired_;
+  entry.decision = decision;
+  Record(entry);
+  return decision != 0;
+}
+
+int RecordingDecider::ChooseDelivery(const DeliveryChoice& choice) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TrailEntry entry;
+  entry.key = ChoiceKey{ChoiceKind::kDelivery, choice.rank, choice.tag,
+                        choice.recv_index};
+  entry.num_options = static_cast<int>(choice.candidate_srcs.size());
+  bool forced = false;
+  Decision decision = Lookup(entry.key, &forced);
+  if (!forced && random_ && entry.num_options > 1) {
+    decision = static_cast<int>(
+        rng_.NextBelow(static_cast<std::uint64_t>(entry.num_options)));
+  }
+  if (decision < 0 || decision >= entry.num_options) decision = 0;
+  entry.decision = decision;
+  Record(entry);
+  return decision;
+}
+
+std::vector<TrailEntry> RecordingDecider::Trail() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<TrailEntry> trail = trail_;
+  SortTrail(&trail);
+  return trail;
+}
+
+std::int64_t RecordingDecider::unreached_forced() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<std::int64_t>(forced_.size()) -
+         static_cast<std::int64_t>(matched_.size());
+}
+
+}  // namespace panda::mc

@@ -1,0 +1,88 @@
+// Exploration strategies for panda_mc: deciders that replay a decision
+// assignment (DFS branches, .mctrace regression replays) or draw
+// unforced decisions from a seeded RNG (random-walk fallback), while
+// recording every surfaced choice point as the branching trail.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <set>
+#include <vector>
+
+#include "mc/trace.h"
+#include "msg/choice.h"
+#include "util/random.h"
+
+namespace panda::mc {
+
+// Which choice surfaces the exploration opens up, and the runtime
+// budgets the random-walk mode honors (DFS enforces budgets statically
+// when generating child assignments, so forced decisions are always
+// obeyed verbatim).
+struct GateOptions {
+  // Ranks whose sends surface kill choice points (empty: no kill
+  // exploration). Typically server ranks.
+  std::vector<int> kill_ranks;
+  // Kill choices surface only for send indices in [lo, hi).
+  std::int64_t kill_window_lo = 0;
+  std::int64_t kill_window_hi = 0;
+  // Surface any-source delivery picks (random walk only: the candidate
+  // set depends on wall-clock arrival order, so DFS does not branch on
+  // these; see docs/MODEL_CHECKING.md).
+  bool surface_delivery = false;
+  // Random-walk budgets (ignored for forced decisions).
+  int max_kills = 1;
+  int max_faults = 2;
+};
+
+// A ChoiceDecider that (a) answers each surfaced choice point from a
+// forced assignment, falling back to the protocol default — or, in
+// random-walk mode, to a seeded draw — and (b) records every surfaced
+// choice point so the explorer can branch on the alternatives.
+//
+// Thread safety: all entry points lock an internal mutex (ChooseKill /
+// ChooseDelivery arrive concurrently from rank threads).
+class RecordingDecider : public ChoiceDecider {
+ public:
+  // random_seed == 0: pure replay (unforced choices take the default).
+  // random_seed != 0: random walk (unforced choices are drawn).
+  RecordingDecider(GateOptions gate, Assignment forced,
+                   std::uint64_t random_seed = 0);
+
+  LossAction ChooseLoss(const LossChoice& choice) override;
+  bool ChooseKill(const KillChoice& choice) override;
+  int ChooseDelivery(const DeliveryChoice& choice) override;
+  bool WantsKillChoices() const override { return !gate_.kill_ranks.empty(); }
+  bool WantsDeliveryChoices() const override {
+    return gate_.surface_delivery;
+  }
+
+  // The surfaced choice points in canonical (vtime, key) order.
+  std::vector<TrailEntry> Trail() const;
+
+  // Forced decisions whose choice point never surfaced — a replay
+  // divergence (the run took a path where the choice no longer exists).
+  std::int64_t unreached_forced() const;
+
+  // Choice points that surfaced more than once under the same key —
+  // would break replay determinism; always 0 for a sound seam.
+  std::int64_t anomalies() const { return anomalies_; }
+
+ private:
+  Decision Lookup(const ChoiceKey& key, bool* forced);
+  void Record(const TrailEntry& entry);
+
+  const GateOptions gate_;
+  const Assignment forced_;
+  const bool random_;
+  mutable std::mutex mu_;
+  Rng rng_;
+  std::vector<TrailEntry> trail_;
+  std::set<ChoiceKey> seen_;
+  std::set<ChoiceKey> matched_;
+  std::int64_t anomalies_ = 0;
+  int kills_fired_ = 0;
+  int faults_fired_ = 0;
+};
+
+}  // namespace panda::mc

@@ -1,0 +1,126 @@
+// Decision traces for the model checker (panda_mc).
+//
+// The explorer never captures machine state: a run is identified
+// entirely by the *decisions* taken at the transport's nondeterministic
+// choice points (msg/choice.h). Each choice point has a deterministic
+// key derived from protocol-level ordinals — per-link dispatch sequence
+// for loss verdicts, per-rank send index for kill points, per-(rank,
+// tag) receive ordinal for any-source delivery picks — so a decision
+// map ("assignment") replays exactly even though wall-clock thread
+// interleaving differs between runs.
+//
+// A failing assignment is serialized as a `.mctrace` file: a tiny text
+// format embedding the workload config, the non-default decisions, and
+// the expected outcome, replayable as a deterministic regression test
+// (tests/schedules/, mc_replay_test).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <map>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "msg/choice.h"
+
+namespace panda::mc {
+
+// Which kind of nondeterministic choice a key identifies.
+enum class ChoiceKind : int {
+  kLoss = 0,      // lossy-layer verdict for one dispatched message
+  kKill = 1,      // crash-stop decision at one send of one rank
+  kDelivery = 2,  // any-source receive pick among queued candidates
+};
+
+// Deterministic identity of one choice point. Meaning of the fields:
+//   kLoss:     a = src rank, b = dst rank, seq = per-(src,dst) dispatch
+//              ordinal (PairState::dispatch_seq).
+//   kKill:     a = rank, b = 0, seq = that rank's send index.
+//   kDelivery: a = receiving rank, b = tag, seq = per-(rank,tag)
+//              any-source receive ordinal.
+struct ChoiceKey {
+  ChoiceKind kind = ChoiceKind::kLoss;
+  int a = 0;
+  int b = 0;
+  std::int64_t seq = 0;
+
+  friend bool operator<(const ChoiceKey& x, const ChoiceKey& y) {
+    if (x.kind != y.kind) return static_cast<int>(x.kind) < static_cast<int>(y.kind);
+    if (x.a != y.a) return x.a < y.a;
+    if (x.b != y.b) return x.b < y.b;
+    return x.seq < y.seq;
+  }
+  friend bool operator==(const ChoiceKey& x, const ChoiceKey& y) {
+    return x.kind == y.kind && x.a == y.a && x.b == y.b && x.seq == y.seq;
+  }
+};
+
+// Decision values.
+//   kLoss:     static_cast<int>(LossAction).
+//   kKill:     0 = spare, 1 = crash-stop.
+//   kDelivery: index into the candidate source list.
+using Decision = int;
+
+// The pure input of a run: every non-default decision, keyed by choice
+// point. Choice points absent from the map take the protocol default
+// (deliver / spare / first candidate).
+using Assignment = std::map<ChoiceKey, Decision>;
+
+// One surfaced choice point as observed during a run, with enough
+// context to enumerate its alternatives and to order the trail
+// canonically.
+struct TrailEntry {
+  ChoiceKey key;
+  double vtime = 0.0;          // virtual time at the choice point
+  std::uint32_t allowed = 1;   // kLoss: LossActionBit mask of legal verdicts
+  int num_options = 1;         // kKill: 2; kDelivery: candidate count
+  Decision decision = 0;       // what this run chose
+  int tag = 0;                 // kLoss: message tag (annotation only)
+};
+
+// Canonical trail order for branching: by (vtime, key). Virtual time is
+// deterministic given an assignment, so this order is stable across
+// replays regardless of wall-clock interleaving.
+void SortTrail(std::vector<TrailEntry>* trail);
+
+// Enumerates the alternative decisions at `entry` other than the one
+// taken (the DFS expansion set).
+std::vector<Decision> Alternatives(const TrailEntry& entry);
+
+// True when `decision` is the protocol default for `kind` — default
+// decisions are omitted from assignments and traces.
+bool IsDefaultDecision(ChoiceKind kind, Decision decision);
+
+// Canonical fingerprint of an assignment restricted to the choice
+// points that actually surfaced in `trail` (used for visited-state
+// deduplication: two decision vectors that agree on every surfaced
+// point denote the same run).
+std::string AssignmentFingerprint(const std::vector<TrailEntry>& trail);
+
+// --- .mctrace serialization -------------------------------------------
+
+// A parsed .mctrace file: workload config lines, the decision
+// assignment, and outcome expectations for replay verification.
+struct McTrace {
+  // Ordered config key/value pairs (workload.h interprets them).
+  std::vector<std::pair<std::string, std::string>> config;
+  Assignment assignment;
+  // Expected outcome key/value pairs, checked by the replayer
+  // ("violation=expect_no_aborts", "aborted=1", ...).
+  std::vector<std::pair<std::string, std::string>> expect;
+};
+
+// Renders `trace` in the textual panda-mctrace v1 format.
+std::string EncodeMcTrace(const McTrace& trace);
+
+// Parses a panda-mctrace v1 document. Throws PandaError on malformed
+// input (unknown directive, bad key, unsupported version).
+McTrace DecodeMcTrace(const std::string& text);
+
+// Human-readable forms used by the trace format and diagnostics.
+std::string LossActionName(LossAction action);
+LossAction LossActionFromName(const std::string& name);
+std::string DescribeKey(const ChoiceKey& key);
+
+}  // namespace panda::mc

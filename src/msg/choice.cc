@@ -1,0 +1,40 @@
+#include "msg/choice.h"
+
+namespace panda {
+
+std::uint64_t PairSeed(std::uint64_t seed, int src, int dst) {
+  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull +
+                    static_cast<std::uint64_t>(src) * 0x100000001b3ull +
+                    static_cast<std::uint64_t>(dst) * 0x1000193ull;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  return x;
+}
+
+LossAction SeededChoiceDecider::ChooseLoss(const LossChoice& choice) {
+  const auto key = std::make_pair(choice.src, choice.dst);
+  auto it = rngs_.find(key);
+  if (it == rngs_.end()) {
+    it = rngs_.emplace(key, Rng(PairSeed(spec_.seed, choice.src, choice.dst)))
+             .first;
+  }
+  // One draw per surfaced choice, mapped through the spec's cumulative
+  // probability bands — the exact draw sequence of the pre-seam
+  // transport (which also drew exactly once per non-forced-clean send).
+  const double u = it->second.NextDouble();
+  LossAction action = LossAction::kDeliver;
+  double band = spec_.drop_prob;
+  if (u < band) {
+    action = LossAction::kDrop;
+  } else if (u < (band += spec_.dup_prob)) {
+    action = LossAction::kDup;
+  } else if (u < (band += spec_.reorder_prob)) {
+    action = LossAction::kReorder;
+  } else if (u < (band += spec_.delay_prob)) {
+    action = LossAction::kDelay;
+  }
+  return action;
+}
+
+}  // namespace panda

@@ -1,0 +1,140 @@
+// The nondeterministic-choice seam (docs/MODEL_CHECKING.md).
+//
+// Every nondeterministic decision the transport makes — whether the
+// lossy adversary molests a send, where a crash-stop kill fires, which
+// pending message an any-source receive takes — is routed through a
+// pluggable ChoiceDecider. The production decider (SeededChoiceDecider)
+// reproduces the seeded-RNG adversary bit for bit, so arming the seam
+// changes nothing for existing tests and benches. The model checker
+// (src/mc/) installs its own deciders to enumerate decision vectors
+// systematically instead of sampling them.
+//
+// Identity of a choice point: each decision carries a key that is a
+// deterministic function of one rank's program order — a per-(src,dst)
+// link ordinal for loss choices, a per-rank send ordinal for kill
+// choices, a per-(rank,tag) receive ordinal for delivery choices. The
+// *wall-clock* order in which choice points from different ranks reach
+// the decider is scheduler noise, but the keys (and, for a fixed
+// decision vector, the decisions) are stable across replays — that is
+// what makes stateless-replay exploration sound on a threaded machine.
+//
+// Threading: ChooseLoss is invoked under the transport's reliable-layer
+// lock (serialized); ChooseKill and ChooseDelivery may be invoked
+// concurrently from different rank threads. Implementations with
+// mutable state must synchronize it (the transport's built-in seeded
+// decider is only called under the reliable-layer lock).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <vector>
+
+#include "msg/lossy.h"
+#include "util/random.h"
+
+namespace panda {
+
+// The adversary's verdict for one logical send. kDeliver is the clean
+// path; the rest mirror LossSpec's fault classes.
+enum class LossAction {
+  kDeliver = 0,
+  kDrop = 1,
+  kDup = 2,
+  kReorder = 3,
+  kDelay = 4,
+};
+
+constexpr std::uint32_t LossActionBit(LossAction a) {
+  return 1u << static_cast<int>(a);
+}
+
+// One loss choice point: the adversary's options for one logical send
+// on the (src, dst) link. `allowed` is the bitmask of legal actions
+// (kDeliver always included); the bounded-adversary caps are applied by
+// the transport *before* the decider sees the choice, so a forced-clean
+// send surfaces no choice point at all.
+struct LossChoice {
+  int src = 0;
+  int dst = 0;
+  int tag = 0;
+  // Per-(src, dst) dispatch ordinal (sender program order; stable
+  // across replays).
+  std::int64_t link_seq = 0;
+  // The message's virtual departure time.
+  double vtime = 0.0;
+  std::uint32_t allowed = LossActionBit(LossAction::kDeliver);
+};
+
+// One kill choice point: may rank `rank`'s `send_index`-th send be its
+// last? Surfaced for every send of every live rank when the decider
+// asks for kill choices (WantsKillChoices); deciders narrow the set to
+// their victim candidates.
+struct KillChoice {
+  int rank = 0;
+  std::int64_t send_index = 0;  // per-rank send ordinal
+  double vtime = 0.0;           // the rank's clock at the send
+};
+
+// One delivery choice point: which of the currently-matching pending
+// messages should this any-source receive take? Index 0 is the
+// earliest-deposited message — the transport's historical behavior.
+// Only surfaced when the decider asks (WantsDeliveryChoices) and more
+// than one message matches.
+struct DeliveryChoice {
+  int rank = 0;  // the receiving rank
+  int tag = 0;
+  std::int64_t recv_index = 0;  // per-(rank, tag) any-source ordinal
+  std::vector<int> candidate_srcs;  // sources, earliest deposited first
+};
+
+// The pluggable decider. See the threading contract above.
+class ChoiceDecider {
+ public:
+  virtual ~ChoiceDecider() = default;
+
+  // Picks one action from choice.allowed. Returning an action outside
+  // the mask is clamped to kDeliver by the transport.
+  virtual LossAction ChooseLoss(const LossChoice& choice) = 0;
+
+  // True crash-stops the rank at this send (RankKilledError unwind).
+  virtual bool ChooseKill(const KillChoice& choice) = 0;
+
+  // Index into choice.candidate_srcs. Out-of-range picks are clamped
+  // to 0 by the mailbox.
+  virtual int ChooseDelivery(const DeliveryChoice& choice) = 0;
+
+  // Opt-in surfaces: the transport only pays for kill/delivery choice
+  // plumbing when a decider asks for it, so the production path stays
+  // byte- and time-identical to the pre-seam transport.
+  virtual bool WantsKillChoices() const { return false; }
+  virtual bool WantsDeliveryChoices() const { return false; }
+};
+
+// The production strategy: the seeded bounded adversary. One RNG
+// stream per (src, dst) pair, derived from the spec seed exactly as the
+// pre-seam transport derived it, drawing one double per surfaced choice
+// and mapping it through the spec's probability bands — bit-identical
+// outcomes to the original in-transport DrawOutcome. Never kills
+// (ScheduleKill remains the transport's own mechanism) and always
+// delivers in deposit order.
+class SeededChoiceDecider : public ChoiceDecider {
+ public:
+  explicit SeededChoiceDecider(const LossSpec& spec) : spec_(spec) {}
+
+  LossAction ChooseLoss(const LossChoice& choice) override;
+  bool ChooseKill(const KillChoice&) override { return false; }
+  int ChooseDelivery(const DeliveryChoice&) override { return 0; }
+
+ private:
+  LossSpec spec_;
+  // Guarded by the caller (ChooseLoss runs under the reliable-layer
+  // lock; see the threading contract above).
+  std::map<std::pair<int, int>, Rng> rngs_;
+};
+
+// The per-(src, dst) RNG seed derivation shared by the seeded decider
+// and the transport's schedule-perturbation streams.
+std::uint64_t PairSeed(std::uint64_t seed, int src, int dst);
+
+}  // namespace panda

@@ -54,22 +54,49 @@ void Mailbox::ThrowIfDeadLocked(int want_tag) {
   }
 }
 
-std::optional<Message> Mailbox::ReceiveCore(
+std::optional<Message> Mailbox::TakeMatchLocked(
     int src, int tag,
-    const std::optional<std::chrono::steady_clock::time_point>& deadline,
-    bool allow_peer_dead) {
-  std::unique_lock<std::mutex> lock(mu_);
+    const std::function<size_t(const std::vector<int>&)>* pick) {
   const auto match = [&](const Message& m) {
     return m.tag == tag && (src < 0 || m.src == src);
   };
+  if (pick != nullptr && src < 0) {
+    // Delivery choice point: gather every match (deposit order) and let
+    // the chooser pick. With zero or one candidate there is nothing to
+    // choose; the chooser is consulted only on real forks.
+    std::vector<std::deque<Message>::iterator> candidates;
+    for (auto it = queue_.begin(); it != queue_.end(); ++it) {
+      if (match(*it)) candidates.push_back(it);
+    }
+    if (candidates.empty()) return std::nullopt;
+    size_t index = 0;
+    if (candidates.size() > 1) {
+      std::vector<int> srcs;
+      srcs.reserve(candidates.size());
+      for (const auto& it : candidates) srcs.push_back(it->src);
+      index = (*pick)(srcs);
+      if (index >= candidates.size()) index = 0;
+    }
+    Message msg = std::move(*candidates[index]);
+    queue_.erase(candidates[index]);
+    return msg;
+  }
+  auto it = std::find_if(queue_.begin(), queue_.end(), match);
+  if (it == queue_.end()) return std::nullopt;
+  Message msg = std::move(*it);
+  queue_.erase(it);
+  return msg;
+}
+
+std::optional<Message> Mailbox::ReceiveCore(
+    int src, int tag,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline,
+    bool allow_peer_dead,
+    const std::function<size_t(const std::vector<int>&)>* pick) {
+  std::unique_lock<std::mutex> lock(mu_);
   for (;;) {
     ThrowIfDeadLocked(tag);
-    auto it = std::find_if(queue_.begin(), queue_.end(), match);
-    if (it != queue_.end()) {
-      Message msg = std::move(*it);
-      queue_.erase(it);
-      return msg;
-    }
+    if (auto msg = TakeMatchLocked(src, tag, pick)) return msg;
     if (deadline && std::chrono::steady_clock::now() >= *deadline) {
       return std::nullopt;
     }
@@ -92,12 +119,7 @@ std::optional<Message> Mailbox::ReceiveCore(
         lock.lock();
       }
       ThrowIfDeadLocked(tag);
-      it = std::find_if(queue_.begin(), queue_.end(), match);
-      if (it != queue_.end()) {
-        Message msg = std::move(*it);
-        queue_.erase(it);
-        return msg;
-      }
+      if (auto msg = TakeMatchLocked(src, tag, pick)) return msg;
       // The rescue above flushed everything recoverable that was headed
       // here. If the awaited peer is dead and still nothing matched,
       // nothing ever will: convert the infinite hang into a diagnosis.
@@ -115,6 +137,11 @@ Message Mailbox::BlockingReceive(int src, int tag) {
 
 Message Mailbox::BlockingReceiveAny(int tag) {
   return *ReceiveCore(-1, tag, std::nullopt, /*allow_peer_dead=*/false);
+}
+
+Message Mailbox::BlockingReceiveAnyChoose(
+    int tag, const std::function<size_t(const std::vector<int>&)>& pick) {
+  return *ReceiveCore(-1, tag, std::nullopt, /*allow_peer_dead=*/false, &pick);
 }
 
 std::optional<Message> Mailbox::ReceiveWithin(
@@ -139,6 +166,14 @@ size_t Mailbox::PurgeIf(const std::function<bool(const Message&)>& pred) {
   queue_.erase(std::remove_if(queue_.begin(), queue_.end(), pred),
                queue_.end());
   return before - queue_.size();
+}
+
+void Mailbox::ResetForRestart() {
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.clear();
+  poisoned_ = false;
+  aborted_ = false;
+  abort_notice_ = AbortNotice{};
 }
 
 void Mailbox::Poison() {

@@ -31,6 +31,7 @@
 #include <mutex>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "msg/message.h"
 
@@ -65,6 +66,15 @@ class Mailbox {
   // throws PeerDeadError (no specific awaited peer).
   Message BlockingReceiveAny(int tag);
 
+  // BlockingReceiveAny with a delivery chooser (the model checker's
+  // delivery choice point, msg/choice.h): when more than one pending
+  // message matches `tag`, `pick` selects which one this receive takes
+  // by index into the candidate sources (deposit order; index 0 is the
+  // BlockingReceiveAny behavior). Called with the mailbox lock HELD, so
+  // it must not touch this mailbox.
+  Message BlockingReceiveAnyChoose(
+      int tag, const std::function<size_t(const std::vector<int>&)>& pick);
+
   // Bounded wait: like BlockingReceive/-Any (src = -1 for any source)
   // but gives up after `wall_budget` of wall-clock time with no match,
   // returning nullopt instead of blocking forever. The caller owns the
@@ -91,6 +101,13 @@ class Mailbox {
   // An existing abort state takes precedence (keeps the blame).
   void Poison();
 
+  // Process-restart semantics: discards every queued message and clears
+  // the poisoned/aborted state. Must not race with blocked receives —
+  // callers invoke it between Run()s, never during one. Part of
+  // ThreadTransport::ResetForRecovery (the model checker's post-crash
+  // restart).
+  void ResetForRestart();
+
   // Moves the mailbox into the aborted state directly (backstop used by
   // the transport when an abort escapes a rank's main function without
   // having reached every mailbox as a message). First notice wins.
@@ -107,11 +124,19 @@ class Mailbox {
   void ThrowIfDeadLocked(int want_tag);
 
   // Shared receive core. src == -1 matches any source. A null deadline
-  // blocks forever.
+  // blocks forever. A non-null `pick` chooses among multiple matches
+  // (any-source receives only).
   std::optional<Message> ReceiveCore(
       int src, int tag,
       const std::optional<std::chrono::steady_clock::time_point>& deadline,
-      bool allow_peer_dead);
+      bool allow_peer_dead,
+      const std::function<size_t(const std::vector<int>&)>* pick = nullptr);
+
+  // Removes and returns the first queued message matching (src, tag),
+  // or the `pick`-chosen one among all matches. Caller must hold mu_.
+  std::optional<Message> TakeMatchLocked(
+      int src, int tag,
+      const std::function<size_t(const std::vector<int>&)>* pick);
 
   std::mutex mu_;
   std::condition_variable cv_;

@@ -11,21 +11,6 @@
 namespace panda {
 
 namespace {
-// Wall-clock grace a TryRecv grants a live-but-slow sender before
-// charging the virtual timeout. Pure pacing; never enters virtual time.
-constexpr std::chrono::milliseconds kTryRecvGrace{50};
-
-// Derives a deterministic per-(src, dst) RNG stream from the spec seed.
-std::uint64_t PairSeed(std::uint64_t seed, int src, int dst) {
-  std::uint64_t x = seed + 0x9e3779b97f4a7c15ull +
-                    static_cast<std::uint64_t>(src) * 0x100000001b3ull +
-                    static_cast<std::uint64_t>(dst) * 0x1000193ull;
-  x ^= x >> 30;
-  x *= 0xbf58476d1ce4e5b9ull;
-  x ^= x >> 27;
-  return x;
-}
-
 // Tags a message for the happens-before checker and stamps the send
 // edge. Compiled to nothing without PANDA_HB (Message has no hb_id
 // field then, so the whole body must be gated).
@@ -104,7 +89,17 @@ Endpoint& ThreadTransport::endpoint(int rank) {
 void ThreadTransport::SetLoss(const LossSpec& loss) {
   loss_ = loss;
   reliable_ = loss.Enabled();
+  // Rebuild the production strategy so its per-pair RNG streams are
+  // derived from the (possibly new) spec seed.
+  seeded_decider_ = std::make_unique<SeededChoiceDecider>(loss);
   if (reliable_) InstallHooks();
+}
+
+void ThreadTransport::SetChoiceDecider(ChoiceDecider* decider) {
+  decider_ = decider;
+  // Decider-driven kills need the liveness hooks (rescue + peer-death
+  // probes) just like scheduled kills do.
+  if (decider_ != nullptr) InstallHooks();
 }
 
 void ThreadTransport::SetHeartbeat(const HeartbeatConfig& heartbeat) {
@@ -163,55 +158,76 @@ void ThreadTransport::MaybePerturb(Endpoint& self) {
 
 void ThreadTransport::MaybeKill(Endpoint& from) {
   const size_t r = static_cast<size_t>(from.rank());
+  bool fire = false;
   if (!kill_at_count_.empty()) {
     const auto it = kill_at_count_.find(from.rank());
-    if (it != kill_at_count_.end() && send_count_[r] >= it->second &&
-        alive(from.rank())) {
-      // Crash-stop: record the time of death, go silent, wake every
-      // blocked receive so failure detectors can start their leases.
-      death_time_[r] = from.clock_.Now();
-      alive_[r].store(false, std::memory_order_release);
-      fault_stats_.ranks_killed.fetch_add(1);
-      for (auto& mb : mailboxes_) mb->NotifyAll();
-      throw RankKilledError(from.rank());
-    }
+    fire = it != kill_at_count_.end() && send_count_[r] >= it->second &&
+           alive(from.rank());
+  }
+  if (!fire && decider_ != nullptr && decider_->WantsKillChoices() &&
+      alive(from.rank())) {
+    // Kill choice point: may this rank's next send be its last? Keyed
+    // by the rank's own send ordinal, so a fixed decision vector
+    // reproduces the same death across replays.
+    KillChoice choice;
+    choice.rank = from.rank();
+    choice.send_index = send_count_[r];
+    choice.vtime = from.clock_.Now();
+    fire = decider_->ChooseKill(choice);
+  }
+  if (fire) {
+    // Crash-stop: record the time of death, go silent, wake every
+    // blocked receive so failure detectors can start their leases.
+    death_time_[r] = from.clock_.Now();
+    alive_[r].store(false, std::memory_order_release);
+    fault_stats_.ranks_killed.fetch_add(1);
+    for (auto& mb : mailboxes_) mb->NotifyAll();
+    throw RankKilledError(from.rank());
   }
   ++send_count_[r];
 }
 
 ThreadTransport::PairState& ThreadTransport::PairLocked(int src, int dst) {
-  const auto key = std::make_pair(src, dst);
-  auto it = pairs_.find(key);
-  if (it == pairs_.end()) {
-    it = pairs_.emplace(key, PairState(PairSeed(loss_.seed, src, dst))).first;
-  }
-  return it->second;
+  return pairs_[std::make_pair(src, dst)];
 }
 
-ThreadTransport::LossOutcome ThreadTransport::DrawOutcome(PairState& pair) {
-  if (!loss_.AnyFaults()) return LossOutcome::kClean;
+LossAction ThreadTransport::DecideOutcome(PairState& pair, int src, int dst,
+                                          const Message& msg) {
+  const std::int64_t link_seq = pair.dispatch_seq++;
+  // The bounded-adversary caps decide which actions are *legal*; the
+  // decider picks among them. Forced-clean sends consult nobody and
+  // draw no randomness — bit-identical to the pre-seam DrawOutcome,
+  // which also skipped its RNG on these paths.
+  if (!loss_.AnyFaults()) return LossAction::kDeliver;
   if (pair.clean_owed > 0) {
     --pair.clean_owed;
-    return LossOutcome::kClean;
+    return LossAction::kDeliver;
   }
   if (loss_.max_faults_total >= 0 && faults_total_ >= loss_.max_faults_total) {
-    return LossOutcome::kClean;
+    return LossAction::kDeliver;
   }
-  const double u = pair.rng.NextDouble();
-  LossOutcome outcome = LossOutcome::kClean;
-  double band = loss_.drop_prob;
-  if (u < band) {
-    outcome = LossOutcome::kDrop;
-  } else if (u < (band += loss_.dup_prob)) {
-    outcome = LossOutcome::kDup;
-  } else if (u < (band += loss_.reorder_prob)) {
-    outcome = LossOutcome::kReorder;
-  } else if (u < (band += loss_.delay_prob)) {
-    outcome = LossOutcome::kDelay;
+  LossChoice choice;
+  choice.src = src;
+  choice.dst = dst;
+  choice.tag = msg.tag;
+  choice.link_seq = link_seq;
+  choice.vtime = msg.depart_time;
+  choice.allowed = LossActionBit(LossAction::kDeliver);
+  if (loss_.drop_prob > 0.0) choice.allowed |= LossActionBit(LossAction::kDrop);
+  if (loss_.dup_prob > 0.0) choice.allowed |= LossActionBit(LossAction::kDup);
+  if (loss_.reorder_prob > 0.0) {
+    choice.allowed |= LossActionBit(LossAction::kReorder);
   }
-  if (outcome == LossOutcome::kClean) {
+  if (loss_.delay_prob > 0.0) {
+    choice.allowed |= LossActionBit(LossAction::kDelay);
+  }
+  LossAction action = EffectiveDecider()->ChooseLoss(choice);
+  if ((choice.allowed & LossActionBit(action)) == 0) {
+    action = LossAction::kDeliver;
+  }
+  if (action == LossAction::kDeliver) {
     pair.consecutive_faults = 0;
-    return outcome;
+    return action;
   }
   ++faults_total_;
   if (++pair.consecutive_faults >= loss_.max_consecutive_faults) {
@@ -219,7 +235,7 @@ ThreadTransport::LossOutcome ThreadTransport::DrawOutcome(PairState& pair) {
     pair.consecutive_faults = 0;
     pair.clean_owed = loss_.min_clean_after_fault;
   }
-  return outcome;
+  return action;
 }
 
 void ThreadTransport::SequenceLocked(int dst, Message msg) {
@@ -280,18 +296,18 @@ void ThreadTransport::Dispatch(int src, int dst, Message msg) {
   hb::StampAccess(&pairs_, "transport.reliable", /*is_write=*/true);
   PairState& pair = PairLocked(src, dst);
   msg.seq = pair.next_seq[msg.tag]++;
-  switch (DrawOutcome(pair)) {
-    case LossOutcome::kClean:
+  switch (DecideOutcome(pair, src, dst, msg)) {
+    case LossAction::kDeliver:
       SequenceLocked(dst, std::move(msg));
       FlushLimboLocked(dst, pair);
       break;
-    case LossOutcome::kDrop:
+    case LossAction::kDrop:
       // The wire ate it. It stays with the sender's in-flight state
       // until the receiver's rescue retransmits it at depart + rto.
       fault_stats_.drops_injected.fetch_add(1);
       pair.dropped.push_back(std::move(msg));
       break;
-    case LossOutcome::kDup: {
+    case LossAction::kDup: {
       fault_stats_.dups_injected.fetch_add(1);
       Message copy = msg;
       SequenceLocked(dst, std::move(msg));
@@ -299,13 +315,13 @@ void ThreadTransport::Dispatch(int src, int dst, Message msg) {
       FlushLimboLocked(dst, pair);
       break;
     }
-    case LossOutcome::kReorder:
+    case LossAction::kReorder:
       // Held back until the pair's next send (or a rescue) releases it;
       // the resequencer puts the stream back in order above the layer.
       fault_stats_.reorders_injected.fetch_add(1);
       pair.limbo.push_back(std::move(msg));
       break;
-    case LossOutcome::kDelay:
+    case LossAction::kDelay:
       fault_stats_.delays_injected.fetch_add(1);
       msg.depart_time += loss_.delay_s;
       SequenceLocked(dst, std::move(msg));
@@ -422,11 +438,34 @@ Message ThreadTransport::DoRecv(Endpoint& self, int src, int tag) {
   }
 }
 
+Message ThreadTransport::ReceiveAnyWithChoice(Endpoint& self, int tag) {
+  Mailbox& mb = *mailboxes_[static_cast<size_t>(self.rank())];
+  ChoiceDecider* decider = decider_;
+  if (decider == nullptr || !decider->WantsDeliveryChoices()) {
+    return mb.BlockingReceiveAny(tag);
+  }
+  // Delivery choice point: when several pending messages match an
+  // any-source receive, the decider picks which one this receive takes.
+  // Keyed by the receiver's own per-tag ordinal. Index 0 (earliest
+  // deposited) is the transport's historical behavior.
+  const std::int64_t recv_index = self.recv_any_seq_[tag]++;
+  return mb.BlockingReceiveAnyChoose(
+      tag, [&](const std::vector<int>& srcs) {
+        DeliveryChoice choice;
+        choice.rank = self.rank();
+        choice.tag = tag;
+        choice.recv_index = recv_index;
+        choice.candidate_srcs = srcs;
+        int pick = decider->ChooseDelivery(choice);
+        if (pick < 0 || pick >= static_cast<int>(srcs.size())) pick = 0;
+        return static_cast<size_t>(pick);
+      });
+}
+
 Message ThreadTransport::DoRecvAny(Endpoint& self, int tag) {
   MaybePerturb(self);
   const double recv_begin = self.clock_.Now();
-  Message msg =
-      mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceiveAny(tag);
+  Message msg = ReceiveAnyWithChoice(self, tag);
   HbStampRecv(msg);
   ObserveMailboxDepth(self);
   AccountRecv(self, msg);
@@ -440,7 +479,7 @@ std::optional<Message> ThreadTransport::DoTryRecv(Endpoint& self, int src,
   PANDA_CHECK(timeout_vs >= 0.0);
   MaybePerturb(self);
   Mailbox& mb = *mailboxes_[static_cast<size_t>(self.rank())];
-  std::optional<Message> msg = mb.ReceiveWithin(src, tag, kTryRecvGrace);
+  std::optional<Message> msg = mb.ReceiveWithin(src, tag, try_recv_grace_);
   if (!msg && reliable_) {
     // Last chance: flush anything the lossy layer still owes us.
     Rescue(self.rank());
@@ -466,7 +505,7 @@ Endpoint::Delivery ThreadTransport::DoRecvAnyDelivery(Endpoint& self,
                                                       int tag) {
   MaybePerturb(self);
   Endpoint::Delivery d;
-  d.msg = mailboxes_[static_cast<size_t>(self.rank())]->BlockingReceiveAny(tag);
+  d.msg = ReceiveAnyWithChoice(self, tag);
   HbStampRecv(d.msg);
   // Contention-free ingest: responder receives are serviced in wall-clock
   // arrival order, which under thread scheduling can diverge from virtual
@@ -668,6 +707,34 @@ void ThreadTransport::ResetClocksAndStats() {
   // Delivered messages' VC snapshots are no longer needed (the join
   // edge at Run()'s end subsumes them); drop them so long bench sweeps
   // don't accumulate per-message checker state.
+  if (hb_) hb_->ForgetMessages();
+}
+
+void ThreadTransport::ResetForRecovery() {
+  // Process-restart semantics: whatever was queued, in flight, or stuck
+  // in the lossy layer died with the old processes. Sticky abort state
+  // is cleared too — the restarted processes are new incarnations, not
+  // continuations of the aborted ones.
+  for (auto& mb : mailboxes_) mb->ResetForRestart();
+  for (auto& ep : endpoints_) {
+    ep->clock_.Reset();
+    ep->stats_ = MsgStats{};
+    ep->rx_link_busy_until_ = 0.0;
+    ep->recv_any_seq_.clear();
+  }
+  {
+    std::lock_guard<std::mutex> lock(reliable_mu_);
+    pairs_.clear();
+    streams_.clear();
+    faults_total_ = 0;
+  }
+  kill_at_count_.clear();
+  for (size_t r = 0; r < send_count_.size(); ++r) send_count_[r] = 0;
+  // The dead stay dead, but their deaths are ancient history: detection
+  // charges no further lease against the fresh clocks.
+  for (size_t r = 0; r < death_time_.size(); ++r) death_time_[r] = 0.0;
+  fault_stats_.Reset();
+  if (trace_) trace_->Reset();
   if (hb_) hb_->ForgetMessages();
 }
 

@@ -28,6 +28,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -38,6 +39,7 @@
 #include <tuple>
 #include <vector>
 
+#include "msg/choice.h"
 #include "msg/hb.h"
 #include "msg/lossy.h"
 #include "msg/mailbox.h"
@@ -137,6 +139,10 @@ class Endpoint {
   MsgStats stats_;
   // Schedule-perturbation stream (SetScheduleSeed): owner-thread only.
   Rng sched_rng_{0};
+  // Per-tag any-source receive ordinals (delivery choice-point keys);
+  // owner-thread only, counted only while a decider asks for delivery
+  // choices.
+  std::map<int, std::int64_t> recv_any_seq_;
   // Inbound-link occupancy: messages from concurrent senders serialize
   // on the receiver's switch port, so N senders cannot deliver more than
   // one link's bandwidth (the SP2 switch is full-duplex: the outbound
@@ -163,6 +169,14 @@ class ThreadTransport {
   void SetLoss(const LossSpec& loss);
   const LossSpec& loss() const { return loss_; }
 
+  // Wall-clock grace a TryRecv grants a live-but-slow sender before
+  // charging its virtual timeout (default 50 ms). Pure pacing — never
+  // enters virtual time. The model checker shrinks it so kill-probing
+  // runs spend milliseconds, not seconds, on dead-peer probes.
+  void SetTryRecvGraceMs(int ms) {
+    try_recv_grace_ = std::chrono::milliseconds(ms);
+  }
+
   // Configures the modeled heartbeat/lease failure detector (affects
   // only the virtual time charged when a peer is declared dead).
   void SetHeartbeat(const HeartbeatConfig& heartbeat);
@@ -171,6 +185,16 @@ class ThreadTransport {
   // Virtual time from a rank's silent death to a blocked peer declaring
   // it dead (the heartbeat lease).
   double detection_lease_s() const { return heartbeat_.lease_s(); }
+
+  // Installs a custom nondeterminism strategy (msg/choice.h): loss
+  // verdicts, kill choice points and any-source delivery picks are
+  // routed through `decider` instead of the built-in seeded adversary.
+  // Non-owning; nullptr restores the seeded default. The bounded-
+  // adversary caps of the armed LossSpec still gate which loss actions
+  // are legal — the decider picks among them, it cannot exceed them.
+  // Call before Run(); used by the model checker (src/mc/).
+  void SetChoiceDecider(ChoiceDecider* decider);
+  ChoiceDecider* choice_decider() { return decider_; }
 
   // Crash-stop injector: after `after_more_sends` further successful
   // sends, `rank`'s next send attempt marks it dead and unwinds its
@@ -230,18 +254,24 @@ class ThreadTransport {
   // live ranks must have drained theirs.
   void ResetClocksAndStats();
 
+  // Simulates restarting the surviving processes on the same machine:
+  // every mailbox is cleared (including sticky abort state), the lossy
+  // layer's in-flight traffic and sequence numbers are discarded,
+  // scheduled kills are cancelled, and clocks/stats reset. File systems
+  // live outside the transport and death records persist — the dead
+  // stay dead. The model checker's invariant harness uses this to drive
+  // a real post-crash restart without rebuilding the machine.
+  void ResetForRecovery();
+
  private:
   friend class Endpoint;
 
-  // --- lossy/reliable layer state (guarded by reliable_mu_) ---
-  enum class LossOutcome { kClean, kDrop, kDup, kReorder, kDelay };
-
-  // Sender-side per-(src,dst) state.
+  // Sender-side per-(src,dst) state of the lossy/reliable layer
+  // (guarded by reliable_mu_).
   struct PairState {
-    explicit PairState(std::uint64_t seed) : rng(seed) {}
-    Rng rng;
     int consecutive_faults = 0;
     int clean_owed = 0;
+    std::int64_t dispatch_seq = 0;         // loss choice-point ordinal
     std::map<int, std::int64_t> next_seq;  // per tag
     std::deque<Message> limbo;             // reordered, awaiting release
     std::deque<Message> dropped;           // awaiting rescue retransmit
@@ -258,6 +288,9 @@ class ThreadTransport {
                       Message msg);
   Message DoRecv(Endpoint& self, int src, int tag);
   Message DoRecvAny(Endpoint& self, int tag);
+  // Any-source receive, routed through the delivery choice point when
+  // the installed decider asks for it (plain deposit order otherwise).
+  Message ReceiveAnyWithChoice(Endpoint& self, int tag);
   std::optional<Message> DoTryRecv(Endpoint& self, int src, int tag,
                                    double timeout_vs);
   Endpoint::Delivery DoRecvAnyDelivery(Endpoint& self, int tag);
@@ -281,8 +314,14 @@ class ThreadTransport {
   // Flushes reorder limbo and retransmits drops headed for `dst`
   // (receiver-driven recovery; installed as the mailbox rescue hook).
   void Rescue(int dst);
-  // Draws the adversary's verdict for one send on `pair`.
-  LossOutcome DrawOutcome(PairState& pair);
+  // Applies the bounded-adversary caps, surfaces the choice point to
+  // the effective decider, and updates the caps for the verdict.
+  LossAction DecideOutcome(PairState& pair, int src, int dst,
+                           const Message& msg);
+  // The installed custom decider, or the built-in seeded one.
+  ChoiceDecider* EffectiveDecider() {
+    return decider_ != nullptr ? decider_ : seeded_decider_.get();
+  }
   // Receive-side dedup/resequencing; deposits in-order messages.
   void SequenceLocked(int dst, Message msg);
   void FlushLimboLocked(int dst, PairState& pair);
@@ -297,12 +336,17 @@ class ThreadTransport {
   // Lossy/reliable layer.
   LossSpec loss_;
   bool reliable_ = false;
+  // Nondeterminism strategies (msg/choice.h): the built-in seeded
+  // adversary (rebuilt by SetLoss) and an optional custom override.
+  std::unique_ptr<SeededChoiceDecider> seeded_decider_;
+  ChoiceDecider* decider_ = nullptr;
   std::mutex reliable_mu_;
   std::map<std::pair<int, int>, PairState> pairs_;
   std::map<std::tuple<int, int, int>, StreamState> streams_;
   std::int64_t faults_total_ = 0;
 
   // Failure detection / kill injection.
+  std::chrono::milliseconds try_recv_grace_{50};
   HeartbeatConfig heartbeat_;
   std::unique_ptr<std::atomic<bool>[]> alive_;
   std::vector<double> death_time_;             // victim's clock at death

@@ -87,8 +87,23 @@ double PandaClient::Execute(CollectiveRequest req,
     // then die with the structured error. Sends are buffered, so a
     // dying rank never blocks on its own notifications.
     if (robustness_ != nullptr) robustness_->collectives_aborted.fetch_add(1);
-    ep_->Send(world_.master_server_rank(), kTagAbort,
-              MakeAbortMessage(ep_->rank(), e.what()));
+    const int hub = world_.master_server_rank();
+    if (ep_->peer_alive(hub)) {
+      ep_->Send(hub, kTagAbort, MakeAbortMessage(ep_->rank(), e.what()));
+    } else {
+      // The hub is dead, so the server-side relay chain is cut: notify
+      // every surviving server directly, or a worker still waiting on
+      // our piece traffic blocks forever (found by panda_mc replay: a
+      // master kill racing the survivor's dead-set read leaves the
+      // survivor mid-data-phase while the clients abort among
+      // themselves).
+      for (int s = 0; s < world_.num_servers; ++s) {
+        const int r = world_.server_rank(s);
+        if (ep_->peer_alive(r)) {
+          ep_->Send(r, kTagAbort, MakeAbortMessage(ep_->rank(), e.what()));
+        }
+      }
+    }
     if (is_master()) {
       RelayAbortToClients(ep_->rank(), e.what());
     } else {

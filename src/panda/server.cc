@@ -832,7 +832,11 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
   }
 
   // Commit point passed (the release doubles as the checkpoint
-  // barrier): publish staged checkpoint files.
+  // barrier): publish staged checkpoint files. The renames touch data,
+  // sidecar and journal names alike — recovery's journal republication
+  // rides this same loop, so stamp it for the race checker (no-op
+  // unless -DPANDA_HB=ON).
+  hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
   for (const auto& [from, to] : staged) {
     options.retry.Run(&ep.clock(), options.robustness,
                       [&] { fs.Rename(from, to); });
@@ -846,6 +850,7 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
       if (!dead.empty()) {
         meta_req.attributes[kDeadServersAttr] = EncodeDeadServersAttr(dead);
       }
+      hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
       options.retry.Run(&ep.clock(), options.robustness,
                         [&] { UpdateGroupMeta(fs, meta_req); });
     }
@@ -895,7 +900,21 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
           ep.Send(world.server_rank(s), kTagBcast, std::move(copy));
         }
       } else {
-        request_msg = ep.Recv(world.master_server_rank(), kTagBcast);
+        try {
+          request_msg = ep.Recv(world.master_server_rank(), kTagBcast);
+        } catch (const PandaAbortError&) {
+          throw;
+        } catch (const PandaError& e) {
+          // The master server died between collectives. Without the hub
+          // no further request can be distributed and no abort can be
+          // relayed through it, so convert the detection into the
+          // structured abort directly; the machine-level abort backstop
+          // fans it out to every remaining rank.
+          if (options.robustness != nullptr) {
+            options.robustness->collectives_aborted.fetch_add(1);
+          }
+          throw PandaAbortError(ep.rank(), e.what());
+        }
       }
     } else {
       request_msg = Bcast(ep, servers, 0, std::move(request_msg));

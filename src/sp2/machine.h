@@ -69,6 +69,15 @@ class Machine {
     transport_->SetHeartbeat(heartbeat);
   }
 
+  // Installs a custom nondeterminism strategy on the transport
+  // (msg/choice.h): loss verdicts, kill choice points and any-source
+  // delivery picks route through `decider` instead of the seeded
+  // adversary. Non-owning; nullptr restores the default. Used by the
+  // model checker (src/mc/, docs/MODEL_CHECKING.md).
+  void SetChoiceDecider(ChoiceDecider* decider) {
+    transport_->SetChoiceDecider(decider);
+  }
+
   // Crash-stops i/o node `server_index` at its (n+1)-th further send:
   // the Panda analogue of kill -9 on one i/o node mid-collective.
   void KillServerAfterSends(int server_index, std::int64_t after_more_sends) {
@@ -129,6 +138,13 @@ class Machine {
 
   // Clears virtual clocks and message/FS statistics between repetitions.
   void ResetClocksAndStats();
+
+  // Simulates restarting the surviving processes on this machine:
+  // mailboxes (including abort state), the lossy layer and clocks are
+  // wiped; the per-server file systems and death records persist. The
+  // model checker's "previous checkpoint restorable" invariant drives a
+  // real restart through this (see ThreadTransport::ResetForRecovery).
+  void ResetForRecovery() { transport_->ResetForRecovery(); }
 
  private:
   Machine(int num_clients, int num_servers, Sp2Params params);

@@ -56,17 +56,26 @@ TEST(BenchJson, SchemaKeysAndRoundTrip) {
   const std::string json = BenchJson(spec, /*quick=*/true, spec.reps, rows);
 
   // Stable schema keys (tools/bench.sh greps for exactly these).
-  // schema_version 2 added codec + the per-row byte/ratio fields; all
-  // v1 keys are unchanged so v1 consumers keep parsing.
+  // schema_version 2 added codec + the per-row byte/ratio fields; v3
+  // added the top-level metrics block; all earlier keys are unchanged
+  // so v1/v2 consumers keep parsing.
   for (const char* key :
-       {"\"schema_version\":2", "\"kind\":\"panda_bench\"", "\"bench\":",
+       {"\"schema_version\":3", "\"kind\":\"panda_bench\"", "\"bench\":",
         "\"description\":", "\"op\":\"write\"", "\"codec\":\"none\"",
         "\"quick\":true", "\"reps\":1", "\"rows\":[", "\"io_nodes\":",
         "\"size_mb\":", "\"elapsed_s\":", "\"aggregate_Bps\":",
         "\"per_ion_Bps\":", "\"normalized\":", "\"wire_bytes_sent\":",
-        "\"disk_bytes_written\":", "\"codec_ratio\":", "\"spans\":"}) {
+        "\"disk_bytes_written\":", "\"codec_ratio\":", "\"spans\":",
+        "\"metrics\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
+
+  // v3 metrics: the machine's robustness/transport counters ride along
+  // in trace::MetricsJson shape (a fault-free timing run publishes them
+  // at zero — presence, not value, is the contract).
+  EXPECT_NE(json.find("\"metrics\":{\"counters\":{"), std::string::npos);
+  EXPECT_NE(json.find("\"transport.retransmits\":"), std::string::npos);
+  EXPECT_NE(json.find("\"robustness."), std::string::npos);
 
   // The JSON's numbers ARE the table's numbers: %.17g round-trips
   // doubles exactly, so re-parsing gives back the same bits.
@@ -116,6 +125,10 @@ TEST(BenchJson, QuickFalseAndReadOpSpelledOut) {
   EXPECT_NE(json.find("\"quick\":false"), std::string::npos);
   EXPECT_NE(json.find("\"reps\":3"), std::string::npos);
   EXPECT_NE(json.find("\"rows\":[]"), std::string::npos);
+  // An empty sweep still carries a well-formed (empty) metrics block.
+  EXPECT_NE(json.find(
+                "\"metrics\":{\"counters\":{},\"gauges\":{},\"histograms\":{}}"),
+            std::string::npos);
 }
 
 TEST(BenchUtil, MaxOverRanksIsSharedReduction) {

@@ -289,6 +289,10 @@ TEST(FaultSoakTest, TransientFaultsHealByteExactAcrossCollectives) {
   });
   ServerOptions options;
   options.disk_checksums = true;
+  // A deeper retry budget than the default: at a 10% fault rate,
+  // back-to-back transients on one operation are likely enough across a
+  // whole soak that success should not hinge on exactly 4 tries.
+  options.retry.max_attempts = 6;
 
   ArrayLayout memory("m", {2, 2});
   cluster.Run(

@@ -16,6 +16,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -377,6 +378,53 @@ TEST(HbMachine, MessageOrderedBlockCacheHandoffIsClean) {
 
   ASSERT_NE(machine.hb_checker(), nullptr);
   EXPECT_EQ(machine.hb_checker()->race_count(), 0u);
+}
+
+TEST(HbMachine, FailoverRecoveryHasNoRaces) {
+  // The hardest ordered-handoff claim in the tree: a server crash-stops
+  // mid-write, the survivors run the recovery rounds (adopted-chunk
+  // rewrite, journal republication, staged checkpoint renames, group
+  // metadata with the dead set) — every stamped file-system and
+  // transport access must still be ordered by message, lock, or
+  // fork/join edges. A failover that "works" only because the host
+  // scheduler was kind shows up here as a race.
+  Sp2Params params = Sp2Params::Functional();
+  params.subchunk_bytes = 256;
+  Machine machine = Machine::Simulated(4, 3, params, /*store_data=*/true,
+                                       /*timing_only=*/false);
+  machine.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+  machine.KillServerAfterSends(/*server_index=*/1, /*after_more_sends=*/3);
+  const World world{4, 3};
+  ServerOptions options;
+  options.failover = true;
+  options.disk_checksums = true;
+  options.journal = true;
+  options.robustness = &machine.robustness();
+  ArrayLayout memory("m", {2, 2});
+  machine.Run(
+      [&](Endpoint& ep, int idx) {
+        PandaClient client(ep, world, params);
+        client.set_robustness(&machine.robustness());
+        client.set_failover(true);
+        Array a("field", {32, 32}, 8, memory, {BLOCK, BLOCK}, memory,
+                {BLOCK, BLOCK});
+        a.BindClient(idx);
+        FillPattern(a, 77);
+        client.WriteArray(a);
+        std::memset(a.local_data().data(), 0, a.local_data().size());
+        client.ReadArray(a);
+        VerifyPattern(a, 77);
+        if (idx == 0) client.Shutdown();
+      },
+      [&](Endpoint& ep, int sidx) {
+        ServerMain(ep, machine.server_fs(sidx), world, params, options);
+      });
+
+  EXPECT_GE(machine.robustness().Snapshot().failovers_completed, 1);
+  ASSERT_NE(machine.hb_checker(), nullptr);
+  for (const hb::Race& race : machine.hb_checker()->Races()) {
+    ADD_FAILURE() << race.ToString();
+  }
 }
 
 #endif  // PANDA_HB_ENABLED

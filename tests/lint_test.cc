@@ -388,6 +388,137 @@ TEST(LintSuppress, DisabledRulesAreSkipped) {
                   .empty());
 }
 
+// ---- cross-file rules -------------------------------------------------
+
+// Lints a fixture corpus through the two-phase cross-file path.
+std::vector<Diagnostic> LintCorpus(
+    const std::vector<std::pair<std::string, std::string>>& fixture,
+    LintConfig config = {}) {
+  std::vector<SourceFile> files;
+  for (const auto& [rel, content] : fixture) {
+    files.push_back(Tokenize(rel, content));
+  }
+  // The fixtures are tiny headerless snippets: disable the per-file
+  // rules so only the cross-file phases speak.
+  for (const Rule& rule : Registry()) config.disabled_rules.insert(rule.id);
+  return CheckFiles(files, config);
+}
+
+TEST(LintCrossFile, UncaughtErrorSubclassFlagged) {
+  const auto diags = LintCorpus(
+      {{"src/util/error.h",
+        "class PandaError {};\n"
+        "class LonelyError : public PandaError {};\n"},
+       {"src/panda/x.cc", "void f() { throw LonelyError(); }\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "error-caught");
+  EXPECT_EQ(diags[0].file, "src/util/error.h");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("LonelyError"), std::string::npos);
+}
+
+TEST(LintCrossFile, CaughtAnywhereInTheTreeIsClean) {
+  // The declaration and the catch live in different files — exactly the
+  // case a per-file rule cannot see.
+  EXPECT_TRUE(LintCorpus({{"src/util/error.h",
+                           "class PandaError {};\n"
+                           "class LonelyError : public PandaError {};\n"},
+                          {"tests/x_test.cc",
+                           "void f() {\n"
+                           "  try { g(); } catch (const LonelyError& e) {}\n"
+                           "}\n"}})
+                  .empty());
+}
+
+TEST(LintCrossFile, TransitiveSubclassesAreCovered) {
+  // B derives PandaError only through A: the closure must still reach
+  // it, and catching A does not excuse B.
+  const auto diags = LintCorpus(
+      {{"src/util/error.h",
+        "class PandaError {};\n"
+        "class AError : public PandaError {};\n"
+        "class BError : public AError {};\n"},
+       {"src/panda/x.cc",
+        "void f() { try { g(); } catch (const AError& e) {} }\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "error-caught");
+  EXPECT_NE(diags[0].message.find("BError"), std::string::npos);
+}
+
+TEST(LintCrossFile, NonSrcErrorDeclarationsIgnored) {
+  // A test-local error type is harness scaffolding, not protocol
+  // surface: the rule only audits src/.
+  EXPECT_TRUE(LintCorpus({{"src/util/error.h", "class PandaError {};\n"},
+                          {"tests/x_test.cc",
+                           "class FixtureError : public PandaError {};\n"}})
+                  .empty());
+}
+
+TEST(LintCrossFile, UntestedServerOptionFlagged) {
+  const auto diags = LintCorpus(
+      {{"src/panda/server.h",
+        "struct ServerOptions {\n"
+        "  bool failover = false;\n"
+        "  bool untested_knob = false;\n"
+        "  RetryPolicy retry;\n"
+        "};\n"},
+       {"tests/x_test.cc",
+        "void f() { ServerOptions o; o.failover = true; (void)o.retry; }\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "options-tested");
+  EXPECT_EQ(diags[0].file, "src/panda/server.h");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("untested_knob"), std::string::npos);
+}
+
+TEST(LintCrossFile, PointerAndInitializerFieldsParse) {
+  // Field extraction must see through `Type* name = nullptr;` and plain
+  // `Type name;` declarations alike.
+  const auto diags = LintCorpus(
+      {{"src/panda/server.h",
+        "struct ServerOptions {\n"
+        "  RobustnessStats* robustness = nullptr;\n"
+        "  int num_applications = 1;\n"
+        "};\n"},
+       {"tests/x_test.cc", "void f() { o.robustness = &stats; }\n"}});
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("num_applications"), std::string::npos);
+}
+
+TEST(LintCrossFile, SuppressionsApplyToCrossFileDiagnostics) {
+  EXPECT_TRUE(
+      LintCorpus(
+          {{"src/util/error.h",
+            "class PandaError {};\n"
+            "// panda-lint: allow(error-caught)\n"
+            "class LonelyError : public PandaError {};\n"}})
+          .empty());
+}
+
+TEST(LintCrossFile, DisabledCrossFileRulesAreSkipped) {
+  LintConfig config;
+  config.disabled_rules = {"error-caught", "options-tested"};
+  EXPECT_TRUE(LintCorpus({{"src/util/error.h",
+                           "class PandaError {};\n"
+                           "class LonelyError : public PandaError {};\n"}},
+                         config)
+                  .empty());
+}
+
+TEST(LintCrossFile, RealTreeIsClean) {
+  // The rules gate CI (tools/ci.sh): the actual repository must satisfy
+  // both of them. Walk the real tree from the source root.
+  LintConfig config;
+  config.root = PANDA_LINT_ROOT;
+  std::vector<Diagnostic> cross;
+  for (const Diagnostic& d : RunLint(config)) {
+    if (d.rule == "error-caught" || d.rule == "options-tested") {
+      cross.push_back(d);
+    }
+  }
+  for (const Diagnostic& d : cross) ADD_FAILURE() << d.ToString();
+}
+
 // ---- diagnostics ------------------------------------------------------
 
 TEST(LintDiag, ToStringIsFileLineRuleMessage) {

@@ -1,0 +1,58 @@
+// Replays the checked-in counter-schedule corpus (tests/schedules/).
+//
+// Each .mctrace is a minimized decision trace that once witnessed an
+// interesting terminal state — a protocol hole the explorer found, a
+// degraded-but-safe failover, a fault pattern absorbed below the
+// collective layer. Replaying them pins those outcomes: a protocol
+// change that shifts any of them fails here with the exact decision
+// schedule that exposes it, long before a full exploration would. After
+// an *intentional* behavior change, refresh a trace's expect lines with
+// `panda_mc --replay=FILE --update`.
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "mc/explorer.h"
+#include "mc/trace.h"
+
+namespace panda::mc {
+namespace {
+
+std::vector<std::filesystem::path> CorpusFiles() {
+  std::vector<std::filesystem::path> files;
+  for (const auto& entry :
+       std::filesystem::directory_iterator(PANDA_SCHEDULES_DIR)) {
+    if (entry.path().extension() == ".mctrace") files.push_back(entry.path());
+  }
+  std::sort(files.begin(), files.end());
+  return files;
+}
+
+std::string ReadFile(const std::filesystem::path& path) {
+  std::ifstream in(path, std::ios::binary);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+TEST(McReplayTest, CorpusIsNonEmpty) {
+  EXPECT_GE(CorpusFiles().size(), 3u);
+}
+
+TEST(McReplayTest, EveryScheduleReplaysToItsRecordedOutcome) {
+  for (const auto& path : CorpusFiles()) {
+    SCOPED_TRACE(path.filename().string());
+    const McTrace trace = DecodeMcTrace(ReadFile(path));
+    // A corpus entry without expectations pins nothing — reject it.
+    EXPECT_FALSE(trace.expect.empty());
+    std::string why;
+    EXPECT_TRUE(ReplayTrace(trace, &why)) << why;
+  }
+}
+
+}  // namespace
+}  // namespace panda::mc

@@ -1,0 +1,245 @@
+// In-process tests for the panda_mc model checker (src/mc/): the
+// stateless-replay DFS explorer, the invariant harness, trace
+// minimization, .mctrace round-tripping, and the POR soundness audit.
+// Each test explores a genuinely tiny config so the whole file stays
+// well inside the tier-1 timeout on one core.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "mc/explorer.h"
+#include "mc/trace.h"
+#include "mc/workload.h"
+#include "trace/metrics.h"
+#include "util/error.h"
+
+namespace panda::mc {
+namespace {
+
+// --- .mctrace format ---------------------------------------------------
+
+TEST(McTraceTest, EncodeDecodeRoundTrip) {
+  McTrace trace;
+  trace.config = {{"clients", "2"}, {"servers", "2"}, {"kill_servers", "0,1"}};
+  trace.assignment[{ChoiceKind::kLoss, 1, 2, 7}] =
+      static_cast<int>(LossAction::kDrop);
+  trace.assignment[{ChoiceKind::kKill, 3, 0, 5}] = 1;
+  trace.assignment[{ChoiceKind::kDelivery, 2, 11, 0}] = 1;
+  trace.expect = {{"violated", "1"}, {"dead", "0"}};
+
+  const McTrace back = DecodeMcTrace(EncodeMcTrace(trace));
+  EXPECT_EQ(back.config, trace.config);
+  EXPECT_EQ(back.assignment, trace.assignment);
+  EXPECT_EQ(back.expect, trace.expect);
+}
+
+TEST(McTraceTest, DecodeRejectsMalformedInput) {
+  EXPECT_THROW(DecodeMcTrace("not-a-trace\n"), PandaError);
+  EXPECT_THROW(DecodeMcTrace("panda-mctrace v99\n"), PandaError);
+  EXPECT_THROW(DecodeMcTrace("panda-mctrace v1\nchoice bogus 1 2 3 4\n"),
+               PandaError);
+  EXPECT_THROW(DecodeMcTrace("panda-mctrace v1\nchoice loss 1 2\n"),
+               PandaError);
+}
+
+TEST(McTraceTest, CommentsAndBlankLinesIgnored) {
+  const McTrace trace = DecodeMcTrace(
+      "panda-mctrace v1\n"
+      "# a comment\n"
+      "\n"
+      "config clients=2\n"
+      "choice kill 2 7 1\n");
+  EXPECT_EQ(trace.config.size(), 1u);
+  EXPECT_EQ(trace.assignment.size(), 1u);
+}
+
+TEST(McTraceTest, ConfigLinesRoundTripThroughMcConfig) {
+  McConfig config;
+  config.drop = true;
+  config.dup = true;
+  config.kill_servers = {0, 1};
+  config.kill_lo = 2;
+  config.kill_hi = 9;
+  config.max_faults = 3;
+  config.expect_no_aborts = true;
+  const McConfig back = McConfig::FromConfigLines(config.ToConfigLines());
+  EXPECT_EQ(back.ToConfigLines(), config.ToConfigLines());
+  EXPECT_TRUE(back.drop);
+  EXPECT_TRUE(back.expect_no_aborts);
+  EXPECT_EQ(back.kill_servers, config.kill_servers);
+}
+
+// --- exhaustive exploration --------------------------------------------
+
+// With no fault surface armed there is exactly one schedule: the run
+// completes, commits, and upholds every invariant. This is the base
+// case of the whole approach — the explorer must recognize that the
+// space is a single state and report full coverage.
+TEST(McExploreTest, NoFaultSpaceIsOneCleanState) {
+  McConfig config;  // defaults: 2 clients x 2 servers, no surfaces
+  ExploreOptions options;
+  const ExploreResult result = Explore(config, options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_EQ(result.runs, 1);
+  EXPECT_EQ(result.distinct_states, 1);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_EQ(result.outcomes.size(), 1u);
+}
+
+// Crash-stopping either i/o node at any send in the window must land in
+// a safe terminal state: either the failover path degrades the group
+// coherently or every client aborts. The space is small enough to
+// exhaust, so this is full coverage of single-kill schedules.
+TEST(McExploreTest, SingleKillExplorationUpholdsInvariants) {
+  McConfig config;
+  config.kill_servers = {0, 1};
+  config.kill_lo = 0;
+  config.kill_hi = 8;
+  ExploreOptions options;
+  options.max_runs = 500;
+  const ExploreResult result = Explore(config, options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.violations.empty())
+      << result.violations.front().messages.front();
+  EXPECT_GT(result.outcomes.size(), 1u);  // clean + degraded + abort states
+  EXPECT_GT(result.runs, 8);
+}
+
+// The DFS enforces the fault budget statically: with max_faults=1 every
+// assignment carrying two non-deliver verdicts is pruned, never run.
+TEST(McExploreTest, FaultBudgetPrunesStatically) {
+  McConfig config;
+  config.drop = true;
+  config.max_faults = 1;
+  ExploreOptions options;
+  options.max_runs = 2000;
+  const ExploreResult result = Explore(config, options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.violations.empty());
+  EXPECT_GT(result.pruned_budget, 0);
+  // Drops are absorbed below the collective layer: one terminal state.
+  EXPECT_EQ(result.outcomes.size(), 1u);
+}
+
+// --- POR soundness audit -----------------------------------------------
+
+// The partial-order reduction claims duplicated messages and pure
+// timing perturbations cannot reach new terminal states. Audit the
+// claim: explore the same config with POR on and off and require the
+// reachable-outcome sets to be identical (the reduction may only prune
+// runs, never outcomes).
+TEST(McExploreTest, PorPreservesReachableOutcomes) {
+  McConfig config;
+  config.dup = true;
+  config.max_faults = 1;
+
+  ExploreOptions with_por;
+  with_por.max_runs = 2000;
+  with_por.por = true;
+  const ExploreResult reduced = Explore(config, with_por);
+
+  ExploreOptions without_por;
+  without_por.max_runs = 2000;
+  without_por.por = false;
+  const ExploreResult full = Explore(config, without_por);
+
+  ASSERT_TRUE(reduced.exhausted);
+  ASSERT_TRUE(full.exhausted);
+  EXPECT_EQ(reduced.outcomes, full.outcomes);
+  EXPECT_LT(reduced.runs, full.runs);  // the reduction actually reduced
+  EXPECT_GT(reduced.pruned_por, 0);
+}
+
+// --- broken-invariant harness ------------------------------------------
+
+// expect_no_aborts is deliberately too strict: the protocol aborts by
+// design when the master i/o node dies. Exploring master kills under
+// the flag manufactures a real counterexample, which must be caught,
+// minimized to its single essential decision, serialized, and replayed
+// bit-deterministically.
+TEST(McExploreTest, BrokenInvariantCaughtMinimizedAndReplayed) {
+  McConfig config;
+  config.kill_servers = {0};  // the master i/o node
+  config.kill_lo = 0;
+  config.kill_hi = 8;
+  config.expect_no_aborts = true;
+  ExploreOptions options;
+  options.max_runs = 200;
+  const ExploreResult result = Explore(config, options);
+
+  ASSERT_FALSE(result.violations.empty());
+  const McViolation& violation = result.violations.front();
+  // Greedy minimization strips everything but the kill decision.
+  EXPECT_EQ(violation.assignment.size(), 1u);
+  ASSERT_FALSE(violation.messages.empty());
+  EXPECT_NE(violation.messages.front().find("expect_no_aborts"),
+            std::string::npos);
+
+  // Serialize the counterexample and replay it through the text format,
+  // twice, to pin determinism end to end.
+  const McRunResult rerun = RunWorkload(config, violation.assignment);
+  ASSERT_FALSE(rerun.violations.empty());
+  const McTrace trace = MakeTrace(config, violation.assignment, rerun);
+  const McTrace decoded = DecodeMcTrace(EncodeMcTrace(trace));
+  for (int attempt = 0; attempt < 2; ++attempt) {
+    std::string why;
+    EXPECT_TRUE(ReplayTrace(decoded, &why)) << why;
+  }
+}
+
+// A replayed trace whose expectations no longer hold must fail loudly,
+// not silently pass — tamper with the expected outcome and check.
+TEST(McExploreTest, ReplayDetectsExpectationMismatch) {
+  McConfig config;
+  const McRunResult result = RunWorkload(config, {});
+  ASSERT_TRUE(result.violations.empty());
+  McTrace trace = MakeTrace(config, {}, result);
+  for (auto& [key, value] : trace.expect) {
+    if (key == "violated") value = "1";  // claim a violation that isn't
+  }
+  std::string why;
+  EXPECT_FALSE(ReplayTrace(trace, &why));
+  EXPECT_NE(why.find("violated"), std::string::npos);
+}
+
+// --- statistics --------------------------------------------------------
+
+TEST(McExploreTest, PublishesMetrics) {
+  McConfig config;
+  trace::MetricsRegistry registry;
+  ExploreOptions options;
+  options.metrics = &registry;
+  const ExploreResult result = Explore(config, options);
+  EXPECT_TRUE(result.exhausted);
+  const trace::MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_TRUE(snapshot.counters.count("mc.runs"));
+  EXPECT_EQ(snapshot.counters.at("mc.runs"), result.runs);
+  EXPECT_TRUE(snapshot.counters.count("mc.distinct_states"));
+  EXPECT_TRUE(snapshot.gauges.count("mc.exhausted"));
+}
+
+// --- random-walk fallback ----------------------------------------------
+
+// Walk mode trades coverage guarantees for reach: every walk must still
+// terminate in an invariant-clean state, and distinct seeds should
+// surface more than one outcome when kills are armed.
+TEST(McExploreTest, RandomWalksStayInvariantClean) {
+  McConfig config;
+  config.kill_servers = {0, 1};
+  config.kill_lo = 0;
+  config.kill_hi = 8;
+  config.drop = true;
+  ExploreOptions options;
+  options.max_runs = 12;
+  options.walk_seed = 7;
+  const ExploreResult result = Explore(config, options);
+  EXPECT_EQ(result.runs, 12);
+  EXPECT_TRUE(result.violations.empty())
+      << result.violations.front().messages.front();
+  EXPECT_FALSE(result.exhausted);  // walks never claim full coverage
+}
+
+}  // namespace
+}  // namespace panda::mc

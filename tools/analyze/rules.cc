@@ -437,6 +437,230 @@ const std::vector<Rule>& Registry() {
   return *kRules;
 }
 
+// ---- cross-file rules ------------------------------------------------
+
+namespace {
+
+// error-caught: every PandaError subclass declared in src/ must be
+// caught by its exact name somewhere in the tree. Phase 1 collects
+// class declarations (derived -> bases) and `catch (const X&)` names;
+// phase 2 walks the inheritance edges transitively from PandaError and
+// flags subclasses nobody names in a catch clause.
+class ErrorCaughtCheck : public CrossFileCheck {
+ public:
+  void Scan(const SourceFile& file, const LintConfig&) override {
+    const std::vector<Token>& toks = file.tokens;
+    for (size_t i = 0; i + 3 < toks.size(); ++i) {
+      // `class X : ... Base1 ... , ... Base2 ... {`
+      if ((IsIdent(toks[i], "class") || IsIdent(toks[i], "struct")) &&
+          toks[i + 1].kind == TokKind::kIdent && IsPunct(toks[i + 2], ':')) {
+        Decl decl;
+        decl.name = toks[i + 1].text;
+        decl.file = file.rel_path;
+        decl.line = toks[i + 1].line;
+        decl.in_src = StartsWith(file.rel_path, "src/");
+        for (size_t j = i + 3; j < toks.size() && !IsPunct(toks[j], '{') &&
+                               !IsPunct(toks[j], ';');
+             ++j) {
+          if (toks[j].kind == TokKind::kIdent && !IsIdent(toks[j], "public") &&
+              !IsIdent(toks[j], "protected") &&
+              !IsIdent(toks[j], "private") && !IsIdent(toks[j], "virtual") &&
+              !IsIdent(toks[j], "std")) {
+            decl.bases.push_back(toks[j].text);
+          }
+        }
+        decls_.push_back(std::move(decl));
+      }
+      // `catch ( const? Ns :: X &? name? )` — the caught type is the
+      // last identifier inside the parens (skipping `const`).
+      if (IsIdent(toks[i], "catch") && IsPunct(toks[i + 1], '(')) {
+        std::string caught;
+        for (size_t j = i + 2; j < toks.size() && !IsPunct(toks[j], ')');
+             ++j) {
+          if (toks[j].kind == TokKind::kIdent && !IsIdent(toks[j], "const")) {
+            caught = toks[j].text;
+          }
+          if (IsPunct(toks[j], '&')) break;  // past the type, into the name
+        }
+        if (!caught.empty()) caught_.insert(caught);
+      }
+    }
+  }
+
+  void Report(std::vector<Diagnostic>* out) override {
+    // Transitive closure of "derives from PandaError".
+    std::set<std::string> error_types = {"PandaError"};
+    for (bool grew = true; grew;) {
+      grew = false;
+      for (const Decl& decl : decls_) {
+        if (error_types.count(decl.name) != 0) continue;
+        for (const std::string& base : decl.bases) {
+          if (error_types.count(base) != 0) {
+            error_types.insert(decl.name);
+            grew = true;
+            break;
+          }
+        }
+      }
+    }
+    for (const Decl& decl : decls_) {
+      if (!decl.in_src || decl.name == "PandaError") continue;
+      if (error_types.count(decl.name) == 0) continue;
+      if (caught_.count(decl.name) != 0) continue;
+      out->push_back(
+          {"error-caught", decl.file, decl.line,
+           "PandaError subclass '" + decl.name +
+               "' is never caught by name anywhere in the tree — either "
+               "some protocol path should handle it, or the type is dead"});
+    }
+  }
+
+ private:
+  struct Decl {
+    std::string name;
+    std::vector<std::string> bases;
+    std::string file;
+    int line = 0;
+    bool in_src = false;
+  };
+  std::vector<Decl> decls_;
+  std::set<std::string> caught_;
+};
+
+// options-tested: every field of `struct ServerOptions` (src/) must be
+// referenced by at least one file under tests/. Phase 1 records the
+// field declarations and every identifier the tests mention; phase 2
+// flags unreferenced fields.
+class OptionsTestedCheck : public CrossFileCheck {
+ public:
+  void Scan(const SourceFile& file, const LintConfig&) override {
+    const std::vector<Token>& toks = file.tokens;
+    if (StartsWith(file.rel_path, "tests/")) {
+      for (const Token& t : toks) {
+        if (t.kind == TokKind::kIdent) test_idents_.insert(t.text);
+      }
+    }
+    if (!StartsWith(file.rel_path, "src/")) return;
+    for (size_t i = 0; i + 2 < toks.size(); ++i) {
+      if (!IsIdent(toks[i], "struct") ||
+          !IsIdent(toks[i + 1], "ServerOptions") ||
+          !IsPunct(toks[i + 2], '{')) {
+        continue;
+      }
+      // Walk the struct body at depth 1. A field statement ends in `;`;
+      // its name is the last identifier before the first `=` or the
+      // terminating `;` (`bool x = false;`, `RetryPolicy retry;`,
+      // `RobustnessStats* robustness = nullptr;`).
+      int depth = 1;
+      const Token* last_ident = nullptr;
+      bool in_initializer = false;
+      for (size_t j = i + 3; j < toks.size() && depth > 0; ++j) {
+        const Token& t = toks[j];
+        if (t.kind == TokKind::kPunct && t.text.size() == 1) {
+          const char c = t.text[0];
+          if (c == '{' || c == '(') ++depth;
+          if (c == '}' || c == ')') --depth;
+          if (depth == 1 && c == '=' && !in_initializer) {
+            if (last_ident != nullptr) {
+              fields_.push_back({last_ident->text, file.rel_path,
+                                 last_ident->line});
+            }
+            in_initializer = true;
+          }
+          if (depth == 1 && c == ';') {
+            if (!in_initializer && last_ident != nullptr) {
+              fields_.push_back({last_ident->text, file.rel_path,
+                                 last_ident->line});
+            }
+            in_initializer = false;
+            last_ident = nullptr;
+          }
+        } else if (t.kind == TokKind::kIdent && depth == 1 &&
+                   !in_initializer) {
+          last_ident = &t;
+        }
+      }
+    }
+  }
+
+  void Report(std::vector<Diagnostic>* out) override {
+    for (const Field& field : fields_) {
+      if (test_idents_.count(field.name) != 0) continue;
+      out->push_back(
+          {"options-tested", field.file, field.line,
+           "ServerOptions field '" + field.name +
+               "' is never referenced by any test — an untested server "
+               "knob rots silently"});
+    }
+  }
+
+ private:
+  struct Field {
+    std::string name;
+    std::string file;
+    int line = 0;
+  };
+  std::vector<Field> fields_;
+  std::set<std::string> test_idents_;
+};
+
+}  // namespace
+
+const std::vector<CrossFileRule>& CrossFileRegistry() {
+  static const auto* kRules = new std::vector<CrossFileRule>{
+      {"error-caught",
+       "every PandaError subclass is caught by name somewhere",
+       [] { return std::unique_ptr<CrossFileCheck>(new ErrorCaughtCheck); }},
+      {"options-tested",
+       "every ServerOptions field is referenced by a test",
+       [] {
+         return std::unique_ptr<CrossFileCheck>(new OptionsTestedCheck);
+       }},
+  };
+  return *kRules;
+}
+
+std::vector<Diagnostic> CheckFiles(const std::vector<SourceFile>& files,
+                                   const LintConfig& config) {
+  std::vector<Diagnostic> diags;
+  for (const SourceFile& file : files) {
+    std::vector<Diagnostic> d = CheckFile(file, config);
+    diags.insert(diags.end(), std::make_move_iterator(d.begin()),
+                 std::make_move_iterator(d.end()));
+  }
+
+  std::vector<std::unique_ptr<CrossFileCheck>> checks;
+  for (const CrossFileRule& rule : CrossFileRegistry()) {
+    if (config.disabled_rules.count(rule.id) != 0) continue;
+    checks.push_back(rule.make());
+  }
+  for (const SourceFile& file : files) {
+    for (auto& check : checks) check->Scan(file, config);
+  }
+  std::vector<Diagnostic> cross;
+  for (auto& check : checks) check->Report(&cross);
+  // Suppressions for cross-file diagnostics resolve against the file
+  // the diagnostic anchors to.
+  for (Diagnostic& d : cross) {
+    const SourceFile* anchor = nullptr;
+    for (const SourceFile& file : files) {
+      if (file.rel_path == d.file) {
+        anchor = &file;
+        break;
+      }
+    }
+    if (anchor != nullptr && anchor->Suppressed(d.rule, d.line)) continue;
+    diags.push_back(std::move(d));
+  }
+
+  std::sort(diags.begin(), diags.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return diags;
+}
+
 std::vector<Diagnostic> CheckFile(const SourceFile& file,
                                   const LintConfig& config) {
   std::vector<Diagnostic> raw;
@@ -518,7 +742,10 @@ std::vector<Diagnostic> RunLint(const LintConfig& config) {
   }
   std::sort(files.begin(), files.end());
 
-  std::vector<Diagnostic> diags;
+  // Tokenize the whole corpus first: the cross-file rules need every
+  // file in view before they can report (CheckFiles runs both phases).
+  std::vector<SourceFile> sources;
+  sources.reserve(files.size());
   for (const fs::path& path : files) {
     std::ifstream in(path, std::ios::binary);
     if (!in) continue;
@@ -526,17 +753,9 @@ std::vector<Diagnostic> RunLint(const LintConfig& config) {
     buf << in.rdbuf();
     const std::string rel =
         fs::path(fs::relative(path, cfg.root)).generic_string();
-    const SourceFile file = Tokenize(rel, buf.str());
-    std::vector<Diagnostic> d = CheckFile(file, cfg);
-    diags.insert(diags.end(), std::make_move_iterator(d.begin()),
-                 std::make_move_iterator(d.end()));
+    sources.push_back(Tokenize(rel, buf.str()));
   }
-  std::sort(diags.begin(), diags.end(),
-            [](const Diagnostic& a, const Diagnostic& b) {
-              return std::tie(a.file, a.line, a.rule) <
-                     std::tie(b.file, b.line, b.rule);
-            });
-  return diags;
+  return CheckFiles(sources, cfg);
 }
 
 }  // namespace lint

@@ -26,12 +26,24 @@
 //   trace-no-clock  src/trace/ never advances a virtual clock — tracing
 //                   observes time, it must not create it.
 //
+// Cross-file rules (two-phase: Scan every file, then Report with the
+// whole tree in view):
+//
+//   error-caught    every PandaError subclass declared in src/ is
+//                   caught by its exact name somewhere — an error type
+//                   nobody catches is either dead weight or a protocol
+//                   path nobody handles.
+//   options-tested  every ServerOptions field is referenced by at least
+//                   one test — an untested server knob is a config
+//                   surface that can rot silently.
+//
 // Diagnostics are suppressible in source with
 //   // panda-lint: allow(<rule>)        (this line and the next)
 //   // panda-lint: allow-file(<rule>)   (whole file)
 #pragma once
 
 #include <functional>
+#include <memory>
 #include <set>
 #include <string>
 #include <utility>
@@ -80,10 +92,36 @@ struct Rule {
 // The registered rules, in reporting order.
 const std::vector<Rule>& Registry();
 
+// A cross-file check instance: Scan() observes each file in turn,
+// Report() emits diagnostics once the whole corpus has been seen. One
+// fresh instance per lint run (Scan accumulates state).
+class CrossFileCheck {
+ public:
+  virtual ~CrossFileCheck() = default;
+  virtual void Scan(const SourceFile& file, const LintConfig& config) = 0;
+  virtual void Report(std::vector<Diagnostic>* out) = 0;
+};
+
+struct CrossFileRule {
+  std::string id;
+  std::string description;
+  std::function<std::unique_ptr<CrossFileCheck>()> make;
+};
+
+// The registered cross-file rules, in reporting order.
+const std::vector<CrossFileRule>& CrossFileRegistry();
+
 // Runs every enabled rule over one tokenized file; returns unsuppressed
 // diagnostics. (Unit-test entry point; RunLint uses it per file.)
 std::vector<Diagnostic> CheckFile(const SourceFile& file,
                                   const LintConfig& config);
+
+// Lints a whole corpus: per-file rules on each file plus the cross-file
+// rules over the full set, suppressions applied, sorted by (file, line,
+// rule). (Unit-test entry point; RunLint tokenizes the tree and calls
+// this.)
+std::vector<Diagnostic> CheckFiles(const std::vector<SourceFile>& files,
+                                   const LintConfig& config);
 
 // Walks config.root/config.dirs for *.h / *.cc files, lints each, and
 // returns every unsuppressed diagnostic sorted by (file, line, rule).

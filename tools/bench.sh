@@ -1,7 +1,7 @@
 #!/bin/sh
 # Smoke bench + schema guard: runs the Figure 4 bench in --quick mode,
 # writes the machine-readable outputs, and fails if the stable
-# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 2)
+# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 3)
 # drifts — downstream dashboards and the CI artifact step parse it.
 # Then runs the codec ablation: the same figure with --codec=shuffle+rle
 # on real compressible data must move fewer wire and disk bytes AND
@@ -32,10 +32,10 @@ TRACE="$OUT_DIR/TRACE_fig4_smoke.json"
 "$BIN" --quick --json_out="$JSON" --trace_out="$TRACE"
 
 # --- schema drift check -------------------------------------------------
-# Every key of schema_version 2 must be present, spelled exactly.
+# Every key of schema_version 3 must be present, spelled exactly.
 fail=0
 for key in \
-    '"schema_version":2' \
+    '"schema_version":3' \
     '"kind":"panda_bench"' \
     '"bench":' \
     '"description":' \
@@ -53,7 +53,9 @@ for key in \
     '"wire_bytes_sent":' \
     '"disk_bytes_written":' \
     '"codec_ratio":' \
-    '"spans":'; do
+    '"spans":' \
+    '"metrics":' \
+    '"counters":'; do
   if ! grep -qF "$key" "$JSON"; then
     echo "bench.sh: SCHEMA DRIFT — missing $key in $JSON" >&2
     fail=1

@@ -16,7 +16,10 @@
 #
 # Between the plain suite and the sanitizers, tools/bench.sh runs a
 # quick Figure 4 sweep, guards the machine-readable bench schema, and
-# archives one Chrome trace artifact (docs/OBSERVABILITY.md).
+# archives one Chrome trace artifact (docs/OBSERVABILITY.md); then a
+# budgeted panda_mc smoke exhausts the 2x2 no-fault and bounded
+# kill+drop decision spaces with zero invariant violations
+# (docs/MODEL_CHECKING.md).
 #
 # Static-analysis gates (docs/ANALYSIS.md):
 #  * tools/lint.sh runs BEFORE any compile: clang-format and clang-tidy
@@ -75,6 +78,29 @@ mkdir -p build-ci/artifacts
 cp build-ci/bench-out/TRACE_fig4_smoke.json \
    build-ci/bench-out/BENCH_fig4_smoke.json build-ci/artifacts/
 echo "archived artifacts: build-ci/artifacts/"
+
+echo "== panda_mc smoke (docs/MODEL_CHECKING.md)"
+# Budgeted model-checker smoke, ~15 s total. Two configs:
+#  1. the 2x2 no-fault space — must EXHAUST with zero violations and
+#     exactly one terminal state (the clean run);
+#  2. a bounded kill+drop space (both servers killable across their
+#     first six sends, two-fault budget; ~2.2k runs, ~8 s) — must
+#     exhaust with zero violations. A protocol regression in the
+#     failover/abort paths shows up here as a minimized
+#     counter-schedule in the CI log.
+# The >=10k-interleaving acceptance sweep is a manual run (too slow
+# for CI); its corpus pins live in tests/schedules/ via mc_replay_test.
+MC=build-ci/tools-mc/panda_mc
+$MC --budget=50 > build-ci/mc_nofault.txt
+grep -q "space exhausted" build-ci/mc_nofault.txt
+grep -q "no invariant violations" build-ci/mc_nofault.txt
+grep -q " 1 distinct states" build-ci/mc_nofault.txt
+$MC --kill=0,1 --kill_lo=0 --kill_hi=6 --actions=drop --max_faults=2 \
+    --budget=12000 --json_out=build-ci/artifacts/MC_smoke.json \
+    > build-ci/mc_faulty.txt
+grep -q "space exhausted" build-ci/mc_faulty.txt
+grep -q "no invariant violations" build-ci/mc_faulty.txt
+echo "panda_mc smoke OK"
 
 if [ -z "$SKIP_SAN" ]; then
   # Sanitizer passes build with tracing compiled in (PANDA_TRACE=ON is

@@ -1,0 +1,186 @@
+// panda_mc: systematic state-space exploration of the failover /
+// recovery protocol (docs/MODEL_CHECKING.md).
+//
+// Modes:
+//   panda_mc [config flags]            DFS-explore the decision space
+//   panda_mc --walk --budget=N         seeded random walks instead
+//   panda_mc --replay=FILE.mctrace     replay one decision trace
+//   panda_mc --replay=FILE --update    re-run and rewrite expect lines
+//
+// Every terminal state is checked against the four safety invariants
+// (outcome coherence, committed-checkpoint restorability, offline fsck
+// cleanliness, untorn group metadata). The first violation is minimized
+// to its essential decisions and written as a .mctrace (--out=FILE),
+// replayable as a deterministic regression test.
+//
+// Exit status: 0 = explored clean, 1 = violation found, 2 = usage /
+// replay-expectation errors.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "mc/explorer.h"
+#include "trace/export.h"
+#include "trace/metrics.h"
+#include "util/error.h"
+#include "util/options.h"
+
+namespace panda::mc {
+namespace {
+
+std::string ReadFileOrDie(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) throw PandaError("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+// Bench-schema JSON (v3) for the explorer run: kind panda_bench, an
+// empty sweep table, and the mc.* statistics in the metrics block, so
+// bench-consuming tooling ingests explorer runs unchanged.
+std::string ExplorerJson(const ExploreResult& result) {
+  trace::MetricsRegistry registry;
+  PublishMetrics(result, &registry);
+  std::ostringstream out;
+  out << "{\"schema_version\":3,\"kind\":\"panda_bench\","
+      << "\"bench\":\"panda_mc\","
+      << "\"description\":\"failover protocol state-space exploration\","
+      << "\"op\":\"explore\",\"codec\":\"none\",\"quick\":false,"
+      << "\"reps\":1,\"rows\":[],"
+      << "\"metrics\":" << trace::MetricsJson(registry.Snapshot()) << "}";
+  return out.str();
+}
+
+int Main(int argc, char** argv) {
+  Options options(argc, argv);
+
+  const std::string replay_path = options.GetString("replay", "");
+  const std::string out_path = options.GetString("out", "");
+  const std::string json_path = options.GetString("json_out", "");
+
+  if (!replay_path.empty()) {
+    const McTrace trace = DecodeMcTrace(ReadFileOrDie(replay_path));
+    if (options.GetBool("update", false)) {
+      // Trace refresh: after an intentional protocol change shifts a
+      // counter-schedule's outcome, re-derive the expect lines from the
+      // recorded decisions instead of hand-editing them.
+      options.CheckAllConsumed();
+      const McConfig cfg = McConfig::FromConfigLines(trace.config);
+      const McRunResult rerun = RunWorkload(cfg, trace.assignment);
+      const McTrace fresh = MakeTrace(cfg, trace.assignment, rerun);
+      trace::WriteTextFile(replay_path, EncodeMcTrace(fresh));
+      std::cout << "updated " << replay_path << " ("
+                << trace.assignment.size() << " forced decisions, "
+                << rerun.violations.size() << " violations)\n";
+      return 0;
+    }
+    options.CheckAllConsumed();
+    std::string why;
+    if (!ReplayTrace(trace, &why)) {
+      std::cerr << "replay " << replay_path << ": MISMATCH: " << why << "\n";
+      return 2;
+    }
+    std::cout << "replay " << replay_path << ": outcome matches ("
+              << trace.assignment.size() << " forced decisions)\n";
+    return 0;
+  }
+
+  McConfig config;
+  config.clients = static_cast<int>(options.GetInt("clients", 2));
+  config.servers = static_cast<int>(options.GetInt("servers", 2));
+  config.arrays = static_cast<int>(options.GetInt("arrays", 1));
+  config.rows = static_cast<int>(options.GetInt("rows", 8));
+  config.cols = static_cast<int>(options.GetInt("cols", 8));
+  config.subchunk_bytes = options.GetInt("subchunk", 128);
+  // --actions=drop,dup,reorder,delay arms the loss choice surface.
+  {
+    const std::string actions = options.GetString("actions", "");
+    std::istringstream in(actions);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+      if (item == "drop") config.drop = true;
+      else if (item == "dup") config.dup = true;
+      else if (item == "reorder") config.reorder = true;
+      else if (item == "delay") config.delay = true;
+      else if (!item.empty())
+        throw PandaError("unknown --actions item '" + item + "'");
+    }
+  }
+  // --kill=S1,S2 surfaces kill choices for those server indices inside
+  // the send window [--kill_lo, --kill_hi).
+  {
+    const std::string kill = options.GetString("kill", "");
+    std::istringstream in(kill);
+    std::string item;
+    while (std::getline(in, item, ',')) {
+      if (!item.empty()) config.kill_servers.push_back(std::stoi(item));
+    }
+  }
+  config.kill_lo = options.GetInt("kill_lo", 0);
+  config.kill_hi = options.GetInt("kill_hi", 6);
+  config.deliver_choices = options.GetBool("deliver", false);
+  config.max_faults = static_cast<int>(options.GetInt("max_faults", 2));
+  config.max_kills = static_cast<int>(options.GetInt("max_kills", 1));
+  config.expect_no_aborts = options.GetBool("expect_no_aborts", false);
+
+  ExploreOptions explore;
+  explore.max_runs = options.GetInt("budget", 10000);
+  explore.max_depth = static_cast<int>(options.GetInt("max_depth", 16));
+  explore.por = options.GetBool("por", true);
+  explore.minimize = options.GetBool("minimize", true);
+  explore.stop_on_violation = options.GetBool("stop_on_violation", true);
+  if (options.GetBool("walk", false)) {
+    explore.walk_seed = static_cast<std::uint64_t>(
+        options.GetInt("walk_seed", 1));
+  }
+  options.CheckAllConsumed();
+
+  const ExploreResult result = Explore(config, explore);
+
+  std::cout << "panda_mc: " << result.runs << " runs, "
+            << result.distinct_states << " distinct states, "
+            << result.outcomes.size() << " outcomes"
+            << (result.exhausted ? " (space exhausted)" : "") << "\n"
+            << "  pruned: " << result.pruned_por << " por, "
+            << result.pruned_budget << " budget, " << result.pruned_depth
+            << " depth; " << result.duplicates << " duplicates, "
+            << result.divergences << " divergences\n";
+
+  if (!json_path.empty()) {
+    trace::WriteTextFile(json_path, ExplorerJson(result));
+  }
+
+  if (result.violations.empty()) {
+    std::cout << "  no invariant violations\n";
+    return 0;
+  }
+  const McViolation& violation = result.violations.front();
+  std::cout << "  VIOLATION (" << violation.assignment.size()
+            << " decisions after minimization):\n";
+  for (const std::string& message : violation.messages) {
+    std::cout << "    " << message << "\n";
+  }
+  for (const auto& [key, decision] : violation.assignment) {
+    std::cout << "    " << DescribeKey(key) << " -> " << decision << "\n";
+  }
+  if (!out_path.empty()) {
+    const McRunResult rerun = RunWorkload(config, violation.assignment);
+    const McTrace trace = MakeTrace(config, violation.assignment, rerun);
+    trace::WriteTextFile(out_path, EncodeMcTrace(trace));
+    std::cout << "  wrote " << out_path << "\n";
+  }
+  return 1;
+}
+
+}  // namespace
+}  // namespace panda::mc
+
+int main(int argc, char** argv) {
+  try {
+    return panda::mc::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::cerr << "panda_mc: " << e.what() << "\n";
+    return 2;
+  }
+}
