@@ -173,14 +173,17 @@ int main(int argc, char** argv) {
       std::printf(
           "journal: %lld files verified (%lld without journal), %lld "
           "records checked, %lld missing, %lld torn, %lld framing "
-          "mismatches, %lld data mismatches\n",
+          "mismatches, %lld data mismatches, %lld gc'd, %lld epoch "
+          "mismatches\n",
           static_cast<long long>(report.files_checked),
           static_cast<long long>(report.files_without_journal),
           static_cast<long long>(report.records_checked),
           static_cast<long long>(report.records_missing),
           static_cast<long long>(report.torn_records),
           static_cast<long long>(report.framing_mismatches),
-          static_cast<long long>(report.data_mismatches));
+          static_cast<long long>(report.data_mismatches),
+          static_cast<long long>(report.records_gced),
+          static_cast<long long>(report.epoch_mismatches));
       journal_clean = report.Clean();
     }
 

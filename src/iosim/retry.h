@@ -35,13 +35,19 @@ struct RobustnessCounters {
   std::int64_t journal_records_written = 0;  // WAL commit records appended
   std::int64_t frame_rereads = 0;            // frame decodes healed by re-read
   std::int64_t frame_decode_failures = 0;    // undecodable sub-chunk frames
+  std::int64_t rejoins_completed = 0;        // restarted servers re-admitted
+  std::int64_t chunks_restored = 0;          // adopted chunks migrated back
+  std::int64_t journal_gc_truncations = 0;   // WALs compacted at a checkpoint
+  std::int64_t journal_records_salvaged = 0; // replayed clean on rejoin
 
   bool AllZero() const {
     return io_retries == 0 && io_giveups == 0 && wire_checksum_failures == 0 &&
            disk_checksum_failures == 0 && disk_checksum_rereads == 0 &&
            collectives_aborted == 0 && failovers_completed == 0 &&
            chunks_adopted == 0 && journal_records_written == 0 &&
-           frame_rereads == 0 && frame_decode_failures == 0;
+           frame_rereads == 0 && frame_decode_failures == 0 &&
+           rejoins_completed == 0 && chunks_restored == 0 &&
+           journal_gc_truncations == 0 && journal_records_salvaged == 0;
   }
 };
 
@@ -62,6 +68,10 @@ class RobustnessStats {
   std::atomic<std::int64_t> journal_records_written{0};
   std::atomic<std::int64_t> frame_rereads{0};
   std::atomic<std::int64_t> frame_decode_failures{0};
+  std::atomic<std::int64_t> rejoins_completed{0};
+  std::atomic<std::int64_t> chunks_restored{0};
+  std::atomic<std::int64_t> journal_gc_truncations{0};
+  std::atomic<std::int64_t> journal_records_salvaged{0};
 
   RobustnessCounters Snapshot() const {
     RobustnessCounters c;
@@ -76,6 +86,10 @@ class RobustnessStats {
     c.journal_records_written = journal_records_written.load();
     c.frame_rereads = frame_rereads.load();
     c.frame_decode_failures = frame_decode_failures.load();
+    c.rejoins_completed = rejoins_completed.load();
+    c.chunks_restored = chunks_restored.load();
+    c.journal_gc_truncations = journal_gc_truncations.load();
+    c.journal_records_salvaged = journal_records_salvaged.load();
     return c;
   }
 
@@ -91,6 +105,10 @@ class RobustnessStats {
     journal_records_written = 0;
     frame_rereads = 0;
     frame_decode_failures = 0;
+    rejoins_completed = 0;
+    chunks_restored = 0;
+    journal_gc_truncations = 0;
+    journal_records_salvaged = 0;
   }
 };
 

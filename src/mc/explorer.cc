@@ -91,6 +91,19 @@ Assignment Minimize(const McConfig& config, const Assignment& assignment,
   return current;
 }
 
+namespace {
+
+std::string IntCsv(const std::vector<int>& values) {
+  std::ostringstream out;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) out << ',';
+    out << values[i];
+  }
+  return out.str();
+}
+
+}  // namespace
+
 McTrace MakeTrace(const McConfig& config, const Assignment& assignment,
                   const McRunResult& result) {
   McTrace trace;
@@ -98,17 +111,19 @@ McTrace MakeTrace(const McConfig& config, const Assignment& assignment,
   trace.assignment = assignment;
   trace.expect.emplace_back("violated",
                             result.violations.empty() ? "0" : "1");
-  std::vector<int> dead = result.dead_servers;
-  std::ostringstream dead_csv;
-  for (size_t i = 0; i < dead.size(); ++i) {
-    if (i > 0) dead_csv << ',';
-    dead_csv << dead[i];
-  }
-  trace.expect.emplace_back("dead", dead_csv.str());
+  trace.expect.emplace_back("dead", IntCsv(result.dead_servers));
   trace.expect.emplace_back("ckpt", result.checkpoint_committed ? "1" : "0");
   std::ostringstream hash;
   hash << std::hex << result.data_hash;
   trace.expect.emplace_back("hash", hash.str());
+  // Rejoin schedules additionally pin the post-rejoin membership and the
+  // committed layout generation, so a regression in the repair path shows
+  // up as an expect mismatch even when the data hash happens to agree.
+  if (result.rejoin_attempted) {
+    trace.expect.emplace_back("rejoin", "1");
+    trace.expect.emplace_back("rejoin_dead", IntCsv(result.dead_after_rejoin));
+    trace.expect.emplace_back("epoch", std::to_string(result.layout_epoch));
+  }
   return trace;
 }
 
@@ -136,13 +151,24 @@ bool ReplayTrace(const McTrace& trace, std::string* why) {
                          : " (" + result.violations.front() + ")"));
       }
     } else if (key == "dead") {
-      std::ostringstream got;
-      for (size_t i = 0; i < result.dead_servers.size(); ++i) {
-        if (i > 0) got << ',';
-        got << result.dead_servers[i];
+      const std::string got = IntCsv(result.dead_servers);
+      if (got != want) {
+        return fail("expected dead=" + want + ", got " + got);
       }
-      if (got.str() != want) {
-        return fail("expected dead=" + want + ", got " + got.str());
+    } else if (key == "rejoin") {
+      const std::string got = result.rejoin_attempted ? "1" : "0";
+      if (got != want) {
+        return fail("expected rejoin=" + want + ", got " + got);
+      }
+    } else if (key == "rejoin_dead") {
+      const std::string got = IntCsv(result.dead_after_rejoin);
+      if (got != want) {
+        return fail("expected rejoin_dead=" + want + ", got " + got);
+      }
+    } else if (key == "epoch") {
+      const std::string got = std::to_string(result.layout_epoch);
+      if (got != want) {
+        return fail("expected epoch=" + want + ", got " + got);
       }
     } else if (key == "ckpt") {
       const std::string got = result.checkpoint_committed ? "1" : "0";
@@ -195,8 +221,7 @@ ExploreResult Explore(const McConfig& config, const ExploreOptions& options) {
 
   if (options.walk_seed != 0) {
     // Random-walk mode: seeded sampling of the decision space, one walk
-    // per run. Walks also explore delivery choices, which DFS leaves at
-    // the default (their candidate sets are wall-clock dependent).
+    // per run.
     for (std::int64_t i = 0; i < options.max_runs; ++i) {
       const McRunResult run =
           RunWorkload(config, Assignment{}, options.walk_seed +
@@ -253,6 +278,15 @@ ExploreResult Explore(const McConfig& config, const ExploreOptions& options) {
       CountBudget(prefix, &base_faults, &base_kills);
       const TrailEntry& entry = run.trail[i];
       for (const Decision alt : Alternatives(entry)) {
+        // Any-source service order is commutative at the protocol level
+        // when nobody can die: each request is served independently, and
+        // no failure detector observes the timing. The POR audit
+        // (mc_test) checks this reduction against the unpruned space.
+        if (options.por && entry.key.kind == ChoiceKind::kDelivery &&
+            !config.HasKillSurface()) {
+          ++result.pruned_por;
+          continue;
+        }
         if (options.por && entry.key.kind == ChoiceKind::kLoss) {
           const auto action = static_cast<LossAction>(alt);
           // A duplicated copy is absorbed by receive-side dedup above

@@ -4,6 +4,13 @@
 
 namespace panda::mc {
 
+namespace {
+// How many times one delivery pick may defer waiting for its forced
+// source before giving up (each deferral is one ~1ms mailbox wake, so
+// this bounds a doomed wait to a few wall-clock seconds).
+constexpr int kMaxDeliveryWaitRounds = 4000;
+}  // namespace
+
 RecordingDecider::RecordingDecider(GateOptions gate, Assignment forced,
                                    std::uint64_t random_seed)
     : gate_(std::move(gate)),
@@ -103,16 +110,51 @@ int RecordingDecider::ChooseDelivery(const DeliveryChoice& choice) {
   entry.key = ChoiceKey{ChoiceKind::kDelivery, choice.rank, choice.tag,
                         choice.recv_index};
   entry.num_options = static_cast<int>(choice.candidate_srcs.size());
+  entry.options = choice.candidate_srcs;
   bool forced = false;
-  Decision decision = Lookup(entry.key, &forced);
-  if (!forced && random_ && entry.num_options > 1) {
-    decision = static_cast<int>(
+  const Decision decision = Lookup(entry.key, &forced);
+  if (forced && decision >= 0) {
+    // Forced delivery decisions name a SOURCE rank: the candidate set's
+    // arrival order is scheduler noise, the source identity is not.
+    const auto& srcs = choice.candidate_srcs;
+    const auto it = std::find(srcs.begin(), srcs.end(), decision);
+    if (it != srcs.end()) {
+      wait_rounds_.erase(entry.key);
+      entry.decision = decision;
+      Record(entry);
+      return static_cast<int>(it - srcs.begin());
+    }
+    // The forced source has nothing queued yet. Defer: a source that
+    // surfaced as a candidate in the recording run is causally bound to
+    // send again under the same decision prefix, so it will arrive.
+    // Bounded anyway — a hand-edited trace can force a source that
+    // never sends, and that must diverge, not hang.
+    if (++wait_rounds_[entry.key] < kMaxDeliveryWaitRounds) {
+      return kDeliveryWaitPick;
+    }
+    ++delivery_waits_abandoned_;
+    wait_rounds_.erase(entry.key);
+    entry.decision = -1;
+    Record(entry);
+    return 0;
+  }
+  if (forced) {
+    // Explicitly forced default: take the earliest-deposited candidate.
+    entry.decision = -1;
+    Record(entry);
+    return 0;
+  }
+  // A single candidate is not a fork: take it without recording,
+  // exactly as when no decider is armed.
+  if (entry.num_options <= 1) return 0;
+  size_t index = 0;
+  if (random_) {
+    index = static_cast<size_t>(
         rng_.NextBelow(static_cast<std::uint64_t>(entry.num_options)));
   }
-  if (decision < 0 || decision >= entry.num_options) decision = 0;
-  entry.decision = decision;
+  entry.decision = index == 0 ? -1 : choice.candidate_srcs[index];
   Record(entry);
-  return decision;
+  return static_cast<int>(index);
 }
 
 std::vector<TrailEntry> RecordingDecider::Trail() const {
@@ -124,8 +166,11 @@ std::vector<TrailEntry> RecordingDecider::Trail() const {
 
 std::int64_t RecordingDecider::unreached_forced() const {
   std::lock_guard<std::mutex> lock(mu_);
+  // Abandoned delivery waits count as divergences even though their
+  // key surfaced: the forced source was never honored.
   return static_cast<std::int64_t>(forced_.size()) -
-         static_cast<std::int64_t>(matched_.size());
+         static_cast<std::int64_t>(matched_.size()) +
+         delivery_waits_abandoned_;
 }
 
 }  // namespace panda::mc

@@ -5,6 +5,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <mutex>
 #include <set>
 #include <vector>
@@ -26,9 +27,11 @@ struct GateOptions {
   // Kill choices surface only for send indices in [lo, hi).
   std::int64_t kill_window_lo = 0;
   std::int64_t kill_window_hi = 0;
-  // Surface any-source delivery picks (random walk only: the candidate
-  // set depends on wall-clock arrival order, so DFS does not branch on
-  // these; see docs/MODEL_CHECKING.md).
+  // Surface any-source delivery picks. Forced delivery decisions name
+  // a source rank (not a candidate index), and a replay *waits* for the
+  // forced source when it has not arrived yet, so DFS branches on these
+  // soundly even though the candidate set's arrival order is scheduler
+  // noise; see docs/MODEL_CHECKING.md.
   bool surface_delivery = false;
   // Random-walk budgets (ignored for forced decisions).
   int max_kills = 1;
@@ -62,6 +65,8 @@ class RecordingDecider : public ChoiceDecider {
 
   // Forced decisions whose choice point never surfaced — a replay
   // divergence (the run took a path where the choice no longer exists).
+  // Includes abandoned delivery waits: forced sources that never
+  // produced a candidate before the wait bound expired.
   std::int64_t unreached_forced() const;
 
   // Choice points that surfaced more than once under the same key —
@@ -80,7 +85,11 @@ class RecordingDecider : public ChoiceDecider {
   std::vector<TrailEntry> trail_;
   std::set<ChoiceKey> seen_;
   std::set<ChoiceKey> matched_;
+  // Per-key count of delivery picks deferred because the forced source
+  // had no candidate yet (bounded; see kMaxDeliveryWaitRounds).
+  std::map<ChoiceKey, int> wait_rounds_;
   std::int64_t anomalies_ = 0;
+  std::int64_t delivery_waits_abandoned_ = 0;
   int kills_fired_ = 0;
   int faults_fired_ = 0;
 };

@@ -75,11 +75,22 @@ std::vector<Decision> Alternatives(const TrailEntry& entry) {
       if (entry.decision != 0) out.push_back(0);
       if (entry.decision != 1) out.push_back(1);
       break;
-    case ChoiceKind::kDelivery:
-      for (int pick = 0; pick < entry.num_options; ++pick) {
-        if (pick != entry.decision) out.push_back(pick);
+    case ChoiceKind::kDelivery: {
+      // Alternatives are the candidate SOURCES not taken (decisions are
+      // by source rank, not index). A default decision took the
+      // earliest-deposited candidate; duplicate sources collapse — one
+      // forced child per distinct source.
+      const int taken = entry.decision >= 0
+                            ? entry.decision
+                            : (entry.options.empty() ? -1
+                                                     : entry.options.front());
+      for (int src : entry.options) {
+        if (src == taken) continue;
+        if (std::find(out.begin(), out.end(), src) != out.end()) continue;
+        out.push_back(src);
       }
       break;
+    }
   }
   return out;
 }
@@ -89,8 +100,9 @@ bool IsDefaultDecision(ChoiceKind kind, Decision decision) {
     case ChoiceKind::kLoss:
       return decision == static_cast<int>(LossAction::kDeliver);
     case ChoiceKind::kKill:
-    case ChoiceKind::kDelivery:
       return decision == 0;
+    case ChoiceKind::kDelivery:
+      return decision < 0;  // -1: earliest-deposited candidate
   }
   return true;
 }

@@ -59,7 +59,13 @@ struct ChoiceKey {
 // Decision values.
 //   kLoss:     static_cast<int>(LossAction).
 //   kKill:     0 = spare, 1 = crash-stop.
-//   kDelivery: index into the candidate source list.
+//   kDelivery: the SOURCE RANK to deliver from (-1: default, earliest
+//              deposited). Forcing by source — not by candidate index —
+//              is what makes delivery decisions replayable: the
+//              candidate set's arrival order is scheduler noise, but a
+//              source that was a candidate in the recording run is
+//              causally bound to send again under the same decision
+//              prefix, so the replay waits for it (strategy.cc).
 using Decision = int;
 
 // The pure input of a run: every non-default decision, keyed by choice
@@ -77,6 +83,10 @@ struct TrailEntry {
   int num_options = 1;         // kKill: 2; kDelivery: candidate count
   Decision decision = 0;       // what this run chose
   int tag = 0;                 // kLoss: message tag (annotation only)
+  // kDelivery: candidate source ranks at the pick, earliest deposited
+  // first (the DFS expansion set; may repeat a source that has several
+  // messages queued).
+  std::vector<int> options;
 };
 
 // Canonical trail order for branching: by (vtime, key). Virtual time is

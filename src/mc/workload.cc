@@ -12,9 +12,14 @@ namespace panda::mc {
 
 namespace {
 
-// Salts for the two collectives (per array: salt + array index).
+// Salts for the collectives (per array: salt + array index; later
+// timesteps add 1000*t so every commit has a distinct pattern). The
+// rejoin phase writes fresh patterns so a repaired cluster is verified
+// against post-rejoin data, not leftovers.
 constexpr std::uint64_t kTimestepSalt = 100;
 constexpr std::uint64_t kCheckpointSalt = 500;
+constexpr std::uint64_t kRejoinTimestepSalt = 700;
+constexpr std::uint64_t kRejoinCheckpointSalt = 900;
 
 constexpr char kGroupName[] = "mc";
 constexpr char kSchemaFile[] = "mc.schema";
@@ -153,6 +158,7 @@ std::vector<std::pair<std::string, std::string>> McConfig::ToConfigLines()
   add("rows", std::to_string(rows));
   add("cols", std::to_string(cols));
   add("subchunk", std::to_string(subchunk_bytes));
+  add("timesteps", std::to_string(timesteps));
   add("drop", drop ? "1" : "0");
   add("dup", dup ? "1" : "0");
   add("reorder", reorder ? "1" : "0");
@@ -161,6 +167,7 @@ std::vector<std::pair<std::string, std::string>> McConfig::ToConfigLines()
   add("kill_lo", std::to_string(kill_lo));
   add("kill_hi", std::to_string(kill_hi));
   add("deliver", deliver_choices ? "1" : "0");
+  add("rejoin", rejoin ? "1" : "0");
   add("max_faults", std::to_string(max_faults));
   add("max_kills", std::to_string(max_kills));
   add("expect_no_aborts", expect_no_aborts ? "1" : "0");
@@ -177,6 +184,7 @@ McConfig McConfig::FromConfigLines(
     else if (key == "rows") config.rows = std::stoi(value);
     else if (key == "cols") config.cols = std::stoi(value);
     else if (key == "subchunk") config.subchunk_bytes = std::stoll(value);
+    else if (key == "timesteps") config.timesteps = std::stoi(value);
     else if (key == "drop") config.drop = ParseBool(value);
     else if (key == "dup") config.dup = ParseBool(value);
     else if (key == "reorder") config.reorder = ParseBool(value);
@@ -185,6 +193,7 @@ McConfig McConfig::FromConfigLines(
     else if (key == "kill_lo") config.kill_lo = std::stoll(value);
     else if (key == "kill_hi") config.kill_hi = std::stoll(value);
     else if (key == "deliver") config.deliver_choices = ParseBool(value);
+    else if (key == "rejoin") config.rejoin = ParseBool(value);
     else if (key == "max_faults") config.max_faults = std::stoi(value);
     else if (key == "max_kills") config.max_kills = std::stoi(value);
     else if (key == "expect_no_aborts")
@@ -203,6 +212,12 @@ std::string McRunResult::Outcome() const {
       << " meta=" << (meta_exists ? (meta_parses ? "ok" : "torn") : "none")
       << " hash=" << std::hex << data_hash << std::dec
       << " viol=" << violations.size();
+  if (rejoin_attempted) {
+    out << " rj_p=" << JoinInts(rejoin_progress)
+        << " rj_a=" << JoinInts(rejoin_aborted)
+        << " rj_dead=" << JoinInts(dead_after_rejoin)
+        << " epoch=" << layout_epoch;
+  }
   return out.str();
 }
 
@@ -270,22 +285,26 @@ McRunResult RunWorkload(const McConfig& config, const Assignment& forced,
           ArrayGroup group(kGroupName, kSchemaFile);
           for (auto& a : arrays) group.Include(a.get());
           try {
-            for (int i = 0; i < config.arrays; ++i) {
-              FillPattern(*arrays[static_cast<size_t>(i)],
-                          kTimestepSalt + static_cast<std::uint64_t>(i));
-            }
-            group.Timestep(client);
-            result.progress[static_cast<size_t>(idx)] = 1;
-            if (idx == 0) {
-              // The layout the first commit was written under: which
-              // servers had already crash-stopped when the master
-              // client saw the timestep complete. Causally ordered
-              // after the commit, so stable across replays except for
-              // kills racing the completion fan-out (conservative:
-              // such runs skip invariant 3).
-              for (int s = 0; s < config.servers; ++s) {
-                if (!machine.transport().alive(machine.server_rank(s))) {
-                  result.dead_at_first_commit.push_back(s);
+            for (int t = 0; t < config.timesteps; ++t) {
+              for (int i = 0; i < config.arrays; ++i) {
+                FillPattern(*arrays[static_cast<size_t>(i)],
+                            kTimestepSalt + static_cast<std::uint64_t>(i) +
+                                1000ULL * static_cast<std::uint64_t>(t));
+              }
+              group.Timestep(client);
+              if (t > 0) continue;
+              result.progress[static_cast<size_t>(idx)] = 1;
+              if (idx == 0) {
+                // The layout the first commit was written under: which
+                // servers had already crash-stopped when the master
+                // client saw the timestep complete. Causally ordered
+                // after the commit, so stable across replays except for
+                // kills racing the completion fan-out (conservative:
+                // such runs skip invariant 3).
+                for (int s = 0; s < config.servers; ++s) {
+                  if (!machine.transport().alive(machine.server_rank(s))) {
+                    result.dead_at_first_commit.push_back(s);
+                  }
                 }
               }
             }
@@ -311,16 +330,6 @@ McRunResult RunWorkload(const McConfig& config, const Assignment& forced,
     result.violations.push_back(std::string("run error: ") + e.what());
   }
 
-  // The branching trail belongs to the main run only; the restart phase
-  // below runs with the decider detached.
-  result.trail = decider.Trail();
-  result.unreached_forced = decider.unreached_forced();
-  result.anomalies = decider.anomalies();
-  if (result.anomalies > 0) {
-    result.violations.push_back("choice-point key surfaced twice (seam bug)");
-  }
-  machine.SetChoiceDecider(nullptr);
-
   for (int s = 0; s < config.servers; ++s) {
     if (!machine.transport().alive(machine.server_rank(s))) {
       result.dead_servers.push_back(s);
@@ -333,6 +342,105 @@ McRunResult RunWorkload(const McConfig& config, const Assignment& forced,
                   [](int p) { return p >= 2; }) &&
       std::none_of(result.aborted.begin(), result.aborted.end(),
                    [](int a) { return a != 0; });
+
+  // --- Rejoin phase (config.rejoin) ----------------------------------
+  // Eligible only when the main run left a stable, committed degraded
+  // state: no aborts, a committed checkpoint, a non-empty dead set the
+  // master survived, all commits under ONE layout, and metadata that
+  // records exactly that dead set. Anything else either cannot rejoin
+  // by design (master death is fatal) or spans two layouts, which the
+  // offline verifiers already refuse.
+  std::vector<int> rejoin_resume_failed(static_cast<size_t>(config.clients),
+                                        0);
+  if (config.rejoin && result.checkpoint_committed &&
+      !result.dead_servers.empty() && result.run_error.empty() &&
+      !result.run_aborted &&
+      std::none_of(result.aborted.begin(), result.aborted.end(),
+                   [](int a) { return a != 0; }) &&
+      std::find(result.dead_servers.begin(), result.dead_servers.end(), 0) ==
+          result.dead_servers.end() &&
+      result.dead_at_first_commit == result.dead_servers) {
+    bool meta_matches = false;
+    try {
+      const GroupMeta pre =
+          ReadGroupMeta(machine.server_fs(0), kSchemaFile);
+      meta_matches =
+          ParseDeadServersAttr(pre.attributes) == result.dead_servers;
+    } catch (const PandaError&) {
+      meta_matches = false;
+    }
+    if (meta_matches) {
+      result.rejoin_attempted = true;
+      result.rejoin_progress.assign(static_cast<size_t>(config.clients), 0);
+      result.rejoin_aborted.assign(static_cast<size_t>(config.clients), 0);
+      // Disarm loss for the rejoin run (its per-link resequencing state
+      // belongs to the first run); kill and delivery choice points stay
+      // armed, and the decider stays attached — the explorer branches
+      // on faults during rejoin too (kill -> rejoin -> re-kill).
+      machine.SetLoss(LossSpec{});
+      machine.ResetForRejoin();
+      for (const int s : result.dead_servers) machine.RestartServer(s);
+      try {
+        machine.Run(
+            [&](Endpoint& ep, int idx) {
+              PandaClient client(ep, world, machine.params());
+              client.set_robustness(&machine.robustness());
+              client.set_failover(true);
+              auto arrays = MakeArrays(config, memory, idx);
+              ArrayGroup group(kGroupName, kSchemaFile);
+              for (auto& a : arrays) group.Include(a.get());
+              try {
+                if (!group.Resume(client)) {
+                  rejoin_resume_failed[static_cast<size_t>(idx)] = 1;
+                } else {
+                  for (int i = 0; i < config.arrays; ++i) {
+                    FillPattern(*arrays[static_cast<size_t>(i)],
+                                kRejoinTimestepSalt +
+                                    static_cast<std::uint64_t>(i));
+                  }
+                  group.Timestep(client);
+                  result.rejoin_progress[static_cast<size_t>(idx)] = 1;
+                  for (int i = 0; i < config.arrays; ++i) {
+                    FillPattern(*arrays[static_cast<size_t>(i)],
+                                kRejoinCheckpointSalt +
+                                    static_cast<std::uint64_t>(i));
+                  }
+                  group.Checkpoint(client);
+                  result.rejoin_progress[static_cast<size_t>(idx)] = 2;
+                }
+              } catch (const PandaAbortError&) {
+                result.rejoin_aborted[static_cast<size_t>(idx)] = 1;
+              }
+              if (idx == 0) client.Shutdown();
+            },
+            [&](Endpoint& ep, int server_index) {
+              ServerMain(ep, machine.server_fs(server_index), world,
+                         machine.params(), options);
+            });
+      } catch (const PandaAbortError&) {
+        result.rejoin_run_aborted = true;
+      } catch (const PandaError& e) {
+        result.rejoin_run_error = e.what();
+        result.violations.push_back(std::string("rejoin run error: ") +
+                                    e.what());
+      }
+      for (int s = 0; s < config.servers; ++s) {
+        if (!machine.transport().alive(machine.server_rank(s))) {
+          result.dead_after_rejoin.push_back(s);
+        }
+      }
+    }
+  }
+
+  // The branching trail covers the main run and the rejoin phase; only
+  // the invariant-2 restart below runs with the decider detached.
+  result.trail = decider.Trail();
+  result.unreached_forced = decider.unreached_forced();
+  result.anomalies = decider.anomalies();
+  if (result.anomalies > 0) {
+    result.violations.push_back("choice-point key surfaced twice (seam bug)");
+  }
+  machine.SetChoiceDecider(nullptr);
 
   // --- Invariant 1: outcome coherence --------------------------------
   if (result.run_error.empty()) {
@@ -351,6 +459,40 @@ McRunResult RunWorkload(const McConfig& config, const Assignment& forced,
       result.violations.push_back(
           "coherence: no abort anywhere yet a client stalled (progress=" +
           JoinInts(result.progress) + ")");
+    }
+  }
+
+  // Invariant 1 again for the rejoin run: a revived cluster must not
+  // split between abort and success either.
+  const bool rejoin_no_aborts =
+      result.rejoin_attempted && !result.rejoin_run_aborted &&
+      std::none_of(result.rejoin_aborted.begin(), result.rejoin_aborted.end(),
+                   [](int a) { return a != 0; });
+  if (result.rejoin_attempted && result.rejoin_run_error.empty()) {
+    const int rj_aborts = static_cast<int>(
+        std::count_if(result.rejoin_aborted.begin(),
+                      result.rejoin_aborted.end(),
+                      [](int a) { return a != 0; }));
+    if (rj_aborts > 0 && rj_aborts < config.clients) {
+      result.violations.push_back(
+          "rejoin coherence: clients split between abort and success "
+          "(aborted=" + JoinInts(result.rejoin_aborted) +
+          " progress=" + JoinInts(result.rejoin_progress) + ")");
+    }
+    const bool any_resume_failed =
+        std::any_of(rejoin_resume_failed.begin(), rejoin_resume_failed.end(),
+                    [](int f) { return f != 0; });
+    if (rj_aborts == 0 && any_resume_failed) {
+      result.violations.push_back(
+          "rejoin: a client could not resume the committed group");
+    }
+    if (rj_aborts == 0 && !any_resume_failed &&
+        std::any_of(result.rejoin_progress.begin(),
+                    result.rejoin_progress.end(),
+                    [](int p) { return p < 2; })) {
+      result.violations.push_back(
+          "rejoin coherence: no abort anywhere yet a client stalled "
+          "(progress=" + JoinInts(result.rejoin_progress) + ")");
     }
   }
 
@@ -373,13 +515,23 @@ McRunResult RunWorkload(const McConfig& config, const Assignment& forced,
       meta = ReadGroupMeta(master_fs, kSchemaFile);
       result.meta_parses = true;
       result.meta_dead_servers = ParseDeadServersAttr(meta.attributes);
+      result.layout_epoch = ParseLayoutEpochAttr(meta.attributes);
     } catch (const PandaError& e) {
       result.violations.push_back(std::string("torn metadata: ") + e.what());
     }
   }
+  // The recorded dead set may lag a rejoin (repair not yet committed)
+  // but must never name a server that was not killed in SOME run.
+  std::vector<int> ever_killed = result.dead_servers;
+  for (const int s : result.dead_after_rejoin) {
+    if (std::find(ever_killed.begin(), ever_killed.end(), s) ==
+        ever_killed.end()) {
+      ever_killed.push_back(s);
+    }
+  }
   for (const int s : result.meta_dead_servers) {
-    if (std::find(result.dead_servers.begin(), result.dead_servers.end(),
-                  s) == result.dead_servers.end()) {
+    if (std::find(ever_killed.begin(), ever_killed.end(), s) ==
+        ever_killed.end()) {
       result.violations.push_back(
           "metadata records server " + std::to_string(s) +
           " dead but it was never killed");
@@ -390,17 +542,53 @@ McRunResult RunWorkload(const McConfig& config, const Assignment& forced,
         "all clients completed but no committed group metadata");
   }
 
+  // --- Rejoin repair invariants --------------------------------------
+  // A clean rejoin run (every client resumed and committed, nobody was
+  // re-killed) must leave the group fully repaired: the dead set
+  // cleared from metadata and the layout epoch bumped past the degraded
+  // generation.
+  const bool rejoin_clean =
+      result.rejoin_attempted && result.rejoin_run_error.empty() &&
+      rejoin_no_aborts && result.dead_after_rejoin.empty() &&
+      std::none_of(rejoin_resume_failed.begin(), rejoin_resume_failed.end(),
+                   [](int f) { return f != 0; }) &&
+      std::all_of(result.rejoin_progress.begin(), result.rejoin_progress.end(),
+                  [](int p) { return p >= 2; });
+  if (rejoin_clean) {
+    if (!result.meta_parses) {
+      result.violations.push_back(
+          "rejoin: clean rejoin run but group metadata missing or torn");
+    } else {
+      if (!result.meta_dead_servers.empty()) {
+        result.violations.push_back(
+            "rejoin: metadata still records dead servers (" +
+            JoinInts(result.meta_dead_servers) + ") after a clean rejoin");
+      }
+      if (result.layout_epoch < 1) {
+        result.violations.push_back(
+            "rejoin: layout epoch not bumped by the repair (epoch=" +
+            std::to_string(result.layout_epoch) + ")");
+      }
+    }
+  }
+
   // --- Invariant 3: offline fsck clean -------------------------------
   std::vector<FileSystem*> all_fs;
   for (int s = 0; s < config.servers; ++s) {
     all_fs.push_back(&machine.server_fs(s));
   }
+  // After a rejoin attempt only a fully clean second run has one
+  // describable layout (the repaired identity one); a re-killed run 2
+  // spans generations again and is out of offline-verification scope.
   result.fsck_checked =
-      result.meta_parses &&
-      (!config.HasKillSurface() ||
-       (result.progress[0] >= 1 &&
-        result.dead_at_first_commit == result.dead_servers &&
-        result.meta_dead_servers == result.dead_servers));
+      result.rejoin_attempted
+          ? (rejoin_clean && result.meta_parses &&
+             result.meta_dead_servers.empty())
+          : (result.meta_parses &&
+             (!config.HasKillSurface() ||
+              (result.progress[0] >= 1 &&
+               result.dead_at_first_commit == result.dead_servers &&
+               result.meta_dead_servers == result.dead_servers)));
   if (result.fsck_checked) {
     std::string log;
     const IntegrityReport crcs =
@@ -444,15 +632,24 @@ McRunResult RunWorkload(const McConfig& config, const Assignment& forced,
   // server died *after* the commit (a crash-stopped node's local files
   // are genuinely lost — the protocol only promises checkpoints written
   // under the layout that excludes the recorded dead set; see
-  // docs/MODEL_CHECKING.md).
-  if (result.checkpoint_committed) {
+  // docs/MODEL_CHECKING.md). When a rejoin run re-checkpointed, the
+  // latest commit is the rejoin one: verify against its salt and
+  // against the POST-rejoin dead set.
+  const bool rejoin_ckpt = result.rejoin_attempted &&
+                           !result.rejoin_progress.empty() &&
+                           result.rejoin_progress[0] >= 2;
+  const std::vector<int>& final_dead =
+      result.rejoin_attempted ? result.dead_after_rejoin
+                              : result.dead_servers;
+  const std::uint64_t restart_salt =
+      rejoin_ckpt ? kRejoinCheckpointSalt : kCheckpointSalt;
+  if (result.checkpoint_committed || rejoin_ckpt) {
     if (!result.meta_parses || !meta.has_checkpoint) {
       result.violations.push_back(
           "checkpoint committed but metadata records none");
-    } else if (std::find(result.dead_servers.begin(),
-                         result.dead_servers.end(),
-                         0) == result.dead_servers.end() &&
-               result.meta_dead_servers == result.dead_servers) {
+    } else if (std::find(final_dead.begin(), final_dead.end(), 0) ==
+                   final_dead.end() &&
+               result.meta_dead_servers == final_dead) {
       result.restart_checked = true;
       machine.SetLoss(LossSpec{});  // clean wire for the recovery run
       machine.ResetForRecovery();
@@ -475,7 +672,7 @@ McRunResult RunWorkload(const McConfig& config, const Assignment& forced,
                 for (int i = 0; i < config.arrays; ++i) {
                   mismatches[static_cast<size_t>(idx)] += CountMismatches(
                       *arrays[static_cast<size_t>(i)],
-                      kCheckpointSalt + static_cast<std::uint64_t>(i));
+                      restart_salt + static_cast<std::uint64_t>(i));
                 }
               }
               if (idx == 0) client.Shutdown();

@@ -18,7 +18,16 @@
 //      systems), and the group's single recorded dead set cannot
 //      describe two layouts — the explorer found exactly this.
 //   4. No torn group metadata — the schema file, when present, parses;
-//      its dead-server set never exceeds the actually-killed set.
+//      its dead-server set never exceeds the ever-killed set.
+//
+// With `rejoin` set, eligible schedules append a second phase after the
+// main run: the killed servers are revived (Machine::RestartServer over
+// a ResetForRejoin'd transport), the cluster resumes the group, and one
+// more timestep + checkpoint run under the SAME decider — so the
+// explorer also branches on faults *during* rejoin (kill -> rejoin ->
+// re-kill). A clean second phase must leave the group fully repaired:
+// metadata records no dead servers, the layout epoch is bumped, and the
+// offline verifiers accept the files under the identity layout.
 //
 // A run's outcome is a pure function of the decision assignment; the
 // explorer (mc/explorer.h) leans on that for stateless replay.
@@ -42,6 +51,7 @@ struct McConfig {
   int rows = 8;         // array shape (rows x cols, 8-byte elements)
   int cols = 8;
   std::int64_t subchunk_bytes = 128;
+  int timesteps = 1;    // timestep collectives before the checkpoint
 
   // Which loss verdicts the adversary may pick per surfaced send.
   bool drop = false;
@@ -55,8 +65,15 @@ struct McConfig {
   std::int64_t kill_lo = 0;
   std::int64_t kill_hi = 0;
 
-  // Surface any-source delivery picks (random walks only).
+  // Surface any-source delivery picks (DFS expands every candidate
+  // source; random walks sample one).
   bool deliver_choices = false;
+
+  // Revive the killed servers after the main run and model-check the
+  // rejoin protocol too (see the header comment). Only schedules whose
+  // main run left a stable, committed degraded state are eligible; the
+  // rest skip the phase (their outcome label says so).
+  bool rejoin = false;
 
   // Exploration budgets: at most this many non-deliver loss decisions /
   // fired kills per run. DFS enforces them statically on assignments;
@@ -104,6 +121,15 @@ struct McRunResult {
   // is out of scope (the dead node's committed data is lost).
   std::vector<int> dead_at_first_commit;
   std::uint64_t data_hash = 0;         // FNV over committed server files
+
+  // Rejoin phase (config.rejoin only; see the header comment).
+  bool rejoin_attempted = false;       // eligibility preconditions held
+  std::vector<int> rejoin_progress;    // per client, run 2 (0/1/2)
+  std::vector<int> rejoin_aborted;     // per client: run 2 abort
+  bool rejoin_run_aborted = false;
+  std::string rejoin_run_error;
+  std::vector<int> dead_after_rejoin;  // dead (indices) after run 2
+  std::int64_t layout_epoch = 0;       // meta epoch after the final run
 
   // The branching trail: every surfaced choice point, canonical order.
   std::vector<TrailEntry> trail;

@@ -79,14 +79,24 @@ struct KillChoice {
 // One delivery choice point: which of the currently-matching pending
 // messages should this any-source receive take? Index 0 is the
 // earliest-deposited message — the transport's historical behavior.
-// Only surfaced when the decider asks (WantsDeliveryChoices) and more
-// than one message matches.
+// Only surfaced when the decider asks (WantsDeliveryChoices) and at
+// least one message matches; the same receive may surface repeatedly
+// (same recv_index, growing candidate set) while the decider defers
+// with kDeliveryWaitPick.
 struct DeliveryChoice {
   int rank = 0;  // the receiving rank
   int tag = 0;
   std::int64_t recv_index = 0;  // per-(rank, tag) any-source ordinal
   std::vector<int> candidate_srcs;  // sources, earliest deposited first
 };
+
+// ChooseDelivery return value meaning "take nothing yet": every
+// candidate stays queued and the decider is consulted again on the
+// receive's next wake. Lets a replaying decider wait for a *specific
+// source* that has not arrived yet (mc forces delivery decisions by
+// source rank, since candidate arrival order is scheduler noise).
+// Deciders must bound their own waiting — the mailbox polls forever.
+constexpr int kDeliveryWaitPick = -1;
 
 // The pluggable decider. See the threading contract above.
 class ChoiceDecider {
@@ -100,8 +110,9 @@ class ChoiceDecider {
   // True crash-stops the rank at this send (RankKilledError unwind).
   virtual bool ChooseKill(const KillChoice& choice) = 0;
 
-  // Index into choice.candidate_srcs. Out-of-range picks are clamped
-  // to 0 by the mailbox.
+  // Index into choice.candidate_srcs, or kDeliveryWaitPick to leave
+  // every candidate queued and be consulted again. Other out-of-range
+  // picks are clamped to 0 by the transport.
   virtual int ChooseDelivery(const DeliveryChoice& choice) = 0;
 
   // Opt-in surfaces: the transport only pays for kill/delivery choice

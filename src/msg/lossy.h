@@ -86,12 +86,17 @@ struct TransportFaultCounters {
   std::int64_t dups_suppressed = 0;  // receive-side dedup hits
   std::int64_t peers_declared_dead = 0;  // heartbeat leases expired
   std::int64_t ranks_killed = 0;         // crash-stop injections fired
+  std::int64_t ranks_revived = 0;        // crash-stopped ranks restarted
+  // Messages from a rank's previous incarnation fenced off at revival
+  // or on delivery (zombie traffic; see ThreadTransport::Revive).
+  std::int64_t stale_incarnation_dropped = 0;
 
   bool AllZero() const {
     return drops_injected == 0 && dups_injected == 0 &&
            reorders_injected == 0 && delays_injected == 0 &&
            retransmits == 0 && dups_suppressed == 0 &&
-           peers_declared_dead == 0 && ranks_killed == 0;
+           peers_declared_dead == 0 && ranks_killed == 0 &&
+           ranks_revived == 0 && stale_incarnation_dropped == 0;
   }
 };
 
@@ -107,6 +112,8 @@ class TransportFaultStats {
   std::atomic<std::int64_t> dups_suppressed{0};
   std::atomic<std::int64_t> peers_declared_dead{0};
   std::atomic<std::int64_t> ranks_killed{0};
+  std::atomic<std::int64_t> ranks_revived{0};
+  std::atomic<std::int64_t> stale_incarnation_dropped{0};
 
   TransportFaultCounters Snapshot() const {
     TransportFaultCounters c;
@@ -118,6 +125,8 @@ class TransportFaultStats {
     c.dups_suppressed = dups_suppressed.load();
     c.peers_declared_dead = peers_declared_dead.load();
     c.ranks_killed = ranks_killed.load();
+    c.ranks_revived = ranks_revived.load();
+    c.stale_incarnation_dropped = stale_incarnation_dropped.load();
     return c;
   }
 
@@ -130,6 +139,8 @@ class TransportFaultStats {
     dups_suppressed = 0;
     peers_declared_dead = 0;
     ranks_killed = 0;
+    ranks_revived = 0;
+    stale_incarnation_dropped = 0;
   }
 };
 

@@ -49,7 +49,8 @@ void Mailbox::ThrowIfDeadLocked(int want_tag) {
     if (it != queue_.end()) {
       const FailoverNotice notice = DecodeFailoverNotice(*it);
       queue_.erase(it);
-      throw PandaFailoverError(notice.origin_rank, notice.dead_ranks);
+      throw PandaFailoverError(notice.origin_rank, notice.dead_ranks,
+                               notice.epoch);
     }
   }
 }
@@ -62,21 +63,21 @@ std::optional<Message> Mailbox::TakeMatchLocked(
   };
   if (pick != nullptr && src < 0) {
     // Delivery choice point: gather every match (deposit order) and let
-    // the chooser pick. With zero or one candidate there is nothing to
-    // choose; the chooser is consulted only on real forks.
+    // the chooser pick. The chooser sees even single-candidate sets — a
+    // replaying chooser waiting for a specific source must be able to
+    // skip past whatever arrived first (kMailboxPickWait: take nothing,
+    // ask again on the next wake).
     std::vector<std::deque<Message>::iterator> candidates;
     for (auto it = queue_.begin(); it != queue_.end(); ++it) {
       if (match(*it)) candidates.push_back(it);
     }
     if (candidates.empty()) return std::nullopt;
-    size_t index = 0;
-    if (candidates.size() > 1) {
-      std::vector<int> srcs;
-      srcs.reserve(candidates.size());
-      for (const auto& it : candidates) srcs.push_back(it->src);
-      index = (*pick)(srcs);
-      if (index >= candidates.size()) index = 0;
-    }
+    std::vector<int> srcs;
+    srcs.reserve(candidates.size());
+    for (const auto& it : candidates) srcs.push_back(it->src);
+    size_t index = (*pick)(srcs);
+    if (index == kMailboxPickWait) return std::nullopt;
+    if (index >= candidates.size()) index = 0;
     Message msg = std::move(*candidates[index]);
     queue_.erase(candidates[index]);
     return msg;
@@ -100,7 +101,10 @@ std::optional<Message> Mailbox::ReceiveCore(
     if (deadline && std::chrono::steady_clock::now() >= *deadline) {
       return std::nullopt;
     }
-    if (!has_hooks_) {
+    // A deferring pick (kMailboxPickWait) leaves its candidates queued,
+    // so no deposit will ever re-wake this wait; pace it like a hooked
+    // wait so the pick is re-polled and can stop deferring.
+    if (!has_hooks_ && pick == nullptr) {
       if (deadline) {
         cv_.wait_until(lock, *deadline);
       } else {

@@ -48,6 +48,10 @@ struct MailboxHooks {
   std::function<bool(int)> peer_dead;
 };
 
+// Sentinel a delivery pick returns to take nothing this round (the
+// size_t face of msg/choice.h's kDeliveryWaitPick).
+inline constexpr size_t kMailboxPickWait = static_cast<size_t>(-1);
+
 class Mailbox {
  public:
   // Deposits a message (thread-safe, never blocks).
@@ -67,11 +71,15 @@ class Mailbox {
   Message BlockingReceiveAny(int tag);
 
   // BlockingReceiveAny with a delivery chooser (the model checker's
-  // delivery choice point, msg/choice.h): when more than one pending
+  // delivery choice point, msg/choice.h): whenever at least one pending
   // message matches `tag`, `pick` selects which one this receive takes
   // by index into the candidate sources (deposit order; index 0 is the
-  // BlockingReceiveAny behavior). Called with the mailbox lock HELD, so
-  // it must not touch this mailbox.
+  // BlockingReceiveAny behavior). Returning kMailboxPickWait takes
+  // nothing: the candidates stay queued and `pick` is consulted again
+  // on the next wake (waits with a pick installed are paced like hooked
+  // waits, so a deferring pick is re-polled even with no new deposits).
+  // Called with the mailbox lock HELD, so it must not touch this
+  // mailbox.
   Message BlockingReceiveAnyChoose(
       int tag, const std::function<size_t(const std::vector<int>&)>& pick);
 

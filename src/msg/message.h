@@ -33,6 +33,13 @@ struct Message {
   // real stacks carry sequence numbers inside the per-message framing
   // already charged via the constant header overhead.
   std::int64_t seq = -1;
+  // The sender's incarnation number at send time (incremented by
+  // ThreadTransport::Revive when a crash-stopped rank restarts). The
+  // transport drops any message stamped by a previous life of its
+  // sender, so a zombie's late retransmits cannot poison the new epoch.
+  // 0 = unstamped (never fenced). Like seq, part of the per-message
+  // framing already charged via the header overhead: not in WireBytes().
+  std::int64_t incarnation = 0;
 #if PANDA_HB_ENABLED
   // Happens-before checker identity (msg/hb.h): ties this message's
   // receive back to the sender's vector clock snapshot. 0 = untracked.
@@ -71,6 +78,7 @@ enum MsgTag : int {
   kTagPieceAck = 10,          // client -> server (read-path flow control)
   kTagAbort = 11,             // structured cluster-wide abort fan-out
   kTagFailover = 12,          // degraded-mode notices and phase decisions
+  kTagRejoin = 13,            // rejoin handshake + repair collective
   kTagApp = 100,              // first tag available to applications/tests
 };
 
@@ -108,14 +116,22 @@ inline AbortNotice DecodeAbortNotice(const Message& msg) {
 // mode rather than dying.
 struct FailoverNotice {
   std::int32_t origin_rank = -1;
+  // The coordinator's layout epoch (`__panda.layout_epoch`) for the
+  // collective this notice belongs to. Clients record it from the
+  // completion notice, so after a failover or a rejoin repair they know
+  // which layout generation the group's files are under before their
+  // next collective.
+  std::int64_t epoch = 0;
   std::vector<int> dead_ranks;
 };
 
 inline Message MakeFailoverMessage(int origin_rank,
-                                   const std::vector<int>& dead_ranks) {
+                                   const std::vector<int>& dead_ranks,
+                                   std::int64_t epoch = 0) {
   Message msg;
   Encoder enc(msg.header);
   enc.Put<std::int32_t>(origin_rank);
+  enc.Put<std::int64_t>(epoch);
   enc.Put<std::int32_t>(static_cast<std::int32_t>(dead_ranks.size()));
   for (int r : dead_ranks) enc.Put<std::int32_t>(r);
   return msg;
@@ -125,8 +141,52 @@ inline FailoverNotice DecodeFailoverNotice(const Message& msg) {
   Decoder dec(msg.header);
   FailoverNotice notice;
   notice.origin_rank = dec.Get<std::int32_t>();
+  notice.epoch = dec.Get<std::int64_t>();
   const std::int32_t n = dec.Get<std::int32_t>();
   PANDA_REQUIRE(n >= 0, "corrupt failover notice");
+  notice.dead_ranks.reserve(static_cast<size_t>(n));
+  for (std::int32_t i = 0; i < n; ++i) {
+    notice.dead_ranks.push_back(dec.Get<std::int32_t>());
+  }
+  return notice;
+}
+
+// The header of a kTagRejoin handshake message. A restarted server
+// announces its new life to the master ({origin_rank, incarnation});
+// the master's ack carries the membership verdict: the new layout
+// epoch, whether a repair collective will rebuild the identity layout
+// before the next data phase, and the server ranks the committed
+// metadata still records dead. Repair-collective data transfers reuse
+// the tag but carry their own header (panda/rejoin.h).
+struct RejoinNotice {
+  std::int32_t origin_rank = -1;
+  std::int64_t incarnation = 0;
+  std::int64_t epoch = 0;
+  bool repair = false;
+  std::vector<int> dead_ranks;
+};
+
+inline Message MakeRejoinMessage(const RejoinNotice& notice) {
+  Message msg;
+  Encoder enc(msg.header);
+  enc.Put<std::int32_t>(notice.origin_rank);
+  enc.Put<std::int64_t>(notice.incarnation);
+  enc.Put<std::int64_t>(notice.epoch);
+  enc.Put<std::int32_t>(notice.repair ? 1 : 0);
+  enc.Put<std::int32_t>(static_cast<std::int32_t>(notice.dead_ranks.size()));
+  for (int r : notice.dead_ranks) enc.Put<std::int32_t>(r);
+  return msg;
+}
+
+inline RejoinNotice DecodeRejoinNotice(const Message& msg) {
+  Decoder dec(msg.header);
+  RejoinNotice notice;
+  notice.origin_rank = dec.Get<std::int32_t>();
+  notice.incarnation = dec.Get<std::int64_t>();
+  notice.epoch = dec.Get<std::int64_t>();
+  notice.repair = dec.Get<std::int32_t>() != 0;
+  const std::int32_t n = dec.Get<std::int32_t>();
+  PANDA_REQUIRE(n >= 0, "corrupt rejoin notice");
   notice.dead_ranks.reserve(static_cast<size_t>(n));
   for (std::int32_t i = 0; i < n; ++i) {
     notice.dead_ranks.push_back(dec.Get<std::int32_t>());

@@ -55,6 +55,14 @@ std::optional<Message> Endpoint::TryRecvAny(int tag, double timeout_vs) {
 
 bool Endpoint::peer_alive(int rank) const { return transport_->alive(rank); }
 
+std::int64_t Endpoint::incarnation() const {
+  return transport_->incarnation(rank_);
+}
+
+std::int64_t Endpoint::peer_incarnation(int rank) const {
+  return transport_->incarnation(rank);
+}
+
 Endpoint::Delivery Endpoint::RecvAnyDelivery(int tag) {
   return transport_->DoRecvAnyDelivery(*this, tag);
 }
@@ -72,6 +80,7 @@ ThreadTransport::ThreadTransport(int nranks, Config config)
   mailboxes_.reserve(static_cast<size_t>(nranks));
   endpoints_.reserve(static_cast<size_t>(nranks));
   alive_ = std::make_unique<std::atomic<bool>[]>(static_cast<size_t>(nranks));
+  incarnation_.assign(static_cast<size_t>(nranks), 1);
   death_time_.assign(static_cast<size_t>(nranks), 0.0);
   send_count_.assign(static_cast<size_t>(nranks), 0);
   for (int r = 0; r < nranks; ++r) {
@@ -177,7 +186,12 @@ void ThreadTransport::MaybeKill(Endpoint& from) {
   }
   if (fire) {
     // Crash-stop: record the time of death, go silent, wake every
-    // blocked receive so failure detectors can start their leases.
+    // blocked receive so failure detectors can start their leases. The
+    // fatal send consumes its ordinal too — otherwise a revived rank's
+    // first send would re-present the same (rank, send_index) kill
+    // choice key, and a decider attached across a rejoin would see the
+    // key twice.
+    ++send_count_[r];
     death_time_[r] = from.clock_.Now();
     alive_[r].store(false, std::memory_order_release);
     fault_stats_.ranks_killed.fetch_add(1);
@@ -238,7 +252,21 @@ LossAction ThreadTransport::DecideOutcome(PairState& pair, int src, int dst,
   return action;
 }
 
+bool ThreadTransport::StaleIncarnation(const Message& msg) const {
+  if (msg.incarnation <= 0 || msg.src < 0 || msg.src >= world_size()) {
+    return false;
+  }
+  return msg.incarnation < incarnation_[static_cast<size_t>(msg.src)];
+}
+
 void ThreadTransport::SequenceLocked(int dst, Message msg) {
+  // Incarnation fence, deposit side: a message stamped by a previous
+  // life of its sender (e.g. a rescue retransmit of traffic the zombie
+  // left in the lossy layer) is dropped here, never deposited.
+  if (StaleIncarnation(msg)) {
+    fault_stats_.stale_incarnation_dropped.fetch_add(1);
+    return;
+  }
   Mailbox& mb = *mailboxes_[static_cast<size_t>(dst)];
   if (msg.seq < 0) {
     mb.Deposit(std::move(msg));
@@ -283,7 +311,15 @@ void ThreadTransport::Dispatch(int src, int dst, Message msg) {
   // dropped or reordered notice would let an adopted request overtake
   // it and present a piece from a server the client still believes is a
   // non-owner. Control-plane traffic rides the reliable channel.
-  if (!reliable_ || msg.tag == kTagAbort || msg.tag == kTagFailover) {
+  // kTagRejoin is control plane of the same kind: the rejoin handshake
+  // and the repair collective must complete deterministically even
+  // under an armed adversary.
+  if (!reliable_ || msg.tag == kTagAbort || msg.tag == kTagFailover ||
+      msg.tag == kTagRejoin) {
+    if (StaleIncarnation(msg)) {
+      fault_stats_.stale_incarnation_dropped.fetch_add(1);
+      return;
+    }
     mailboxes_[static_cast<size_t>(dst)]->Deposit(std::move(msg));
     return;
   }
@@ -363,6 +399,7 @@ void ThreadTransport::DoSend(Endpoint& from, int dst, int tag, Message msg) {
   HbTagSend(next_hb_id_, msg);
   msg.src = from.rank();
   msg.tag = tag;
+  msg.incarnation = incarnation_[static_cast<size_t>(from.rank())];
   if (config_.timing_only && !msg.payload.empty()) {
     // Keep sweeps honest: timing-only runs must not move bulk data.
     msg.SetVirtualPayload(static_cast<std::int64_t>(msg.payload.size()));
@@ -456,8 +493,11 @@ Message ThreadTransport::ReceiveAnyWithChoice(Endpoint& self, int tag) {
         choice.tag = tag;
         choice.recv_index = recv_index;
         choice.candidate_srcs = srcs;
-        int pick = decider->ChooseDelivery(choice);
-        if (pick < 0 || pick >= static_cast<int>(srcs.size())) pick = 0;
+        const int pick = decider->ChooseDelivery(choice);
+        if (pick == kDeliveryWaitPick) return kMailboxPickWait;
+        if (pick < 0 || pick >= static_cast<int>(srcs.size())) {
+          return static_cast<size_t>(0);
+        }
         return static_cast<size_t>(pick);
       });
 }
@@ -537,6 +577,7 @@ void ThreadTransport::DoSendResponse(Endpoint& from, double ready_time,
   HbTagSend(next_hb_id_, msg);
   msg.src = from.rank();
   msg.tag = tag;
+  msg.incarnation = incarnation_[static_cast<size_t>(from.rank())];
   if (config_.timing_only && !msg.payload.empty()) {
     msg.SetVirtualPayload(static_cast<std::int64_t>(msg.payload.size()));
   }
@@ -710,6 +751,67 @@ void ThreadTransport::ResetClocksAndStats() {
   if (hb_) hb_->ForgetMessages();
 }
 
+void ThreadTransport::Revive(int rank) {
+  PANDA_CHECK(rank >= 0 && rank < world_size());
+  PANDA_CHECK_MSG(!alive(rank), "revive of a rank that is not dead");
+  const size_t r = static_cast<size_t>(rank);
+  // Fence the old life before anything can hear from it again: every
+  // message the dead incarnation left behind — queued in any mailbox,
+  // stuck in reorder limbo, awaiting a rescue retransmit, or stashed
+  // out of order at a receiver — is dropped and counted. Survivor
+  // traffic still in flight *to* the dead rank is cleared too (the old
+  // process never received it), but only the zombie's own messages
+  // count as stale-incarnation drops.
+  std::int64_t stale = 0;
+  for (auto& mb : mailboxes_) {
+    stale += static_cast<std::int64_t>(
+        mb->PurgeIf([rank](const Message& m) { return m.src == rank; }));
+  }
+  {
+    std::lock_guard<std::mutex> lock(reliable_mu_);
+    for (auto& entry : pairs_) {
+      const int src = entry.first.first;
+      const int dst = entry.first.second;
+      if (src != rank && dst != rank) continue;
+      PairState& pair = entry.second;
+      if (src == rank) {
+        stale += static_cast<std::int64_t>(pair.limbo.size()) +
+                 static_cast<std::int64_t>(pair.dropped.size());
+      }
+      pair.limbo.clear();
+      pair.dropped.clear();
+      pair.consecutive_faults = 0;
+      pair.clean_owed = 0;
+      // Per-incarnation resequencing reset: the new life's streams
+      // start at sequence zero in both directions. dispatch_seq keeps
+      // counting so loss choice-point keys stay unique across lives.
+      pair.next_seq.clear();
+    }
+    for (auto& entry : streams_) {
+      const int dst = std::get<0>(entry.first);
+      const int src = std::get<1>(entry.first);
+      if (src != rank && dst != rank) continue;
+      if (src == rank) {
+        stale += static_cast<std::int64_t>(entry.second.stash.size());
+      }
+      entry.second.stash.clear();
+      entry.second.next_expected = 0;
+    }
+  }
+  if (stale > 0) fault_stats_.stale_incarnation_dropped.fetch_add(stale);
+  // The new life boots with an empty mailbox and no abort baggage; its
+  // virtual clock continues from the moment of death (restart takes no
+  // modeled time — the lease-based detector already charged survivors).
+  mailboxes_[r]->ResetForRestart();
+  // A kill scheduled against the old life must not immediately fell the
+  // new one (send_count_ keeps counting across lives by design).
+  kill_at_count_.erase(rank);
+  death_time_[r] = 0.0;
+  ++incarnation_[r];
+  alive_[r].store(true, std::memory_order_release);
+  fault_stats_.ranks_revived.fetch_add(1);
+}
+
 void ThreadTransport::ResetForRecovery() {
   // Process-restart semantics: whatever was queued, in flight, or stuck
   // in the lossy layer died with the old processes. Sticky abort state
@@ -734,6 +836,35 @@ void ThreadTransport::ResetForRecovery() {
   // charges no further lease against the fresh clocks.
   for (size_t r = 0; r < death_time_.size(); ++r) death_time_[r] = 0.0;
   fault_stats_.Reset();
+  if (trace_) trace_->Reset();
+  if (hb_) hb_->ForgetMessages();
+}
+
+void ThreadTransport::ResetForRejoin() {
+  // Between-runs reset for a rejoin phase that CONTINUES the same
+  // explored execution: an attached choice decider keeps observing the
+  // machine across the boundary, so everything that feeds choice-point
+  // keys — per-rank send ordinals (kill points), per-(rank,tag)
+  // any-source receive ordinals (delivery picks) — keeps counting, and
+  // the fault counters accumulated so far (stale-incarnation drops,
+  // revivals) survive into the final report. Per-run message state is
+  // dropped exactly as in ResetForRecovery. The per-pair link sequence
+  // state is cleared, so the caller must disarm loss for the next run
+  // (a fresh link_seq under an armed decider would collide loss keys).
+  for (auto& mb : mailboxes_) mb->ResetForRestart();
+  for (auto& ep : endpoints_) {
+    ep->clock_.Reset();
+    ep->stats_ = MsgStats{};
+    ep->rx_link_busy_until_ = 0.0;
+  }
+  {
+    std::lock_guard<std::mutex> lock(reliable_mu_);
+    pairs_.clear();
+    streams_.clear();
+    faults_total_ = 0;
+  }
+  kill_at_count_.clear();
+  for (size_t r = 0; r < death_time_.size(); ++r) death_time_[r] = 0.0;
   if (trace_) trace_->Reset();
   if (hb_) hb_->ForgetMessages();
 }

@@ -104,6 +104,17 @@ class Endpoint {
   // False once `rank` has been crash-stopped by the kill injector.
   bool peer_alive(int rank) const;
 
+  // This rank's incarnation number (1 on first boot; incremented by
+  // every ThreadTransport::Revive). A server whose incarnation exceeds
+  // 1 knows it is a restart and must rejoin before serving.
+  std::int64_t incarnation() const;
+
+  // `rank`'s current incarnation. Incarnations only change between
+  // Run() calls, so reading a peer's is race-free during a run. The
+  // master server compares these against the incarnations it has
+  // already shaken hands with to detect pending rejoins.
+  std::int64_t peer_incarnation(int rank) const;
+
   // A received message together with the virtual time its processing
   // completed (last byte in + receive overhead).
   struct Delivery {
@@ -209,6 +220,24 @@ class ThreadTransport {
     return alive_[static_cast<size_t>(rank)].load(std::memory_order_acquire);
   }
 
+  // Restarts a crash-stopped rank as a new incarnation. Must be called
+  // between Run() calls (no rank threads executing). Everything the old
+  // life left behind — messages queued in any mailbox, traffic stuck in
+  // reorder limbo or awaiting retransmit, out-of-order stashes — is
+  // dropped and counted as stale_incarnation_dropped, the per-pair
+  // resequencing state touching the rank is reset for the new life, and
+  // any scheduled kill for the rank is cancelled. Send/receive choice
+  // ordinals (send_count_, recv_any_seq_, dispatch_seq) deliberately
+  // keep counting across lives so model-checker choice keys stay unique.
+  // The revived rank's main runs again on the next Run().
+  void Revive(int rank);
+
+  // `rank`'s incarnation number: 1 until its first Revive, +1 per
+  // Revive. Only written between Run() calls.
+  std::int64_t incarnation(int rank) const {
+    return incarnation_[static_cast<size_t>(rank)];
+  }
+
   TransportFaultStats& fault_stats() { return fault_stats_; }
 
   // Arms (options.enabled) or disarms span tracing. Run() then installs
@@ -262,6 +291,14 @@ class ThreadTransport {
   // stay dead. The model checker's invariant harness uses this to drive
   // a real post-crash restart without rebuilding the machine.
   void ResetForRecovery();
+
+  // Like ResetForRecovery, but for a rejoin phase that continues the
+  // same explored execution with the same attached choice decider:
+  // send/receive choice ordinals and accumulated fault counters are
+  // preserved so choice-point keys stay unique across the boundary.
+  // The caller must disarm loss for the next run (link sequence state
+  // is cleared).
+  void ResetForRejoin();
 
  private:
   friend class Endpoint;
@@ -322,6 +359,9 @@ class ThreadTransport {
   ChoiceDecider* EffectiveDecider() {
     return decider_ != nullptr ? decider_ : seeded_decider_.get();
   }
+  // True when `msg` was stamped by a previous incarnation of its
+  // sender (the incarnation fence drops such messages).
+  bool StaleIncarnation(const Message& msg) const;
   // Receive-side dedup/resequencing; deposits in-order messages.
   void SequenceLocked(int dst, Message msg);
   void FlushLimboLocked(int dst, PairState& pair);
@@ -349,6 +389,7 @@ class ThreadTransport {
   std::chrono::milliseconds try_recv_grace_{50};
   HeartbeatConfig heartbeat_;
   std::unique_ptr<std::atomic<bool>[]> alive_;
+  std::vector<std::int64_t> incarnation_;      // written between Run()s only
   std::vector<double> death_time_;             // victim's clock at death
   std::vector<std::int64_t> send_count_;       // touched by owner thread only
   std::map<int, std::int64_t> kill_at_count_;  // rank -> send budget

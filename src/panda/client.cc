@@ -252,7 +252,13 @@ void PandaClient::ExecuteBodyFailover(const CollectiveRequest& req,
     try {
       delivery = ep_->RecvAnyDelivery(data_tag);
     } catch (const PandaFailoverError& e) {
-      if (e.dead_ranks().empty()) break;  // completion
+      if (e.dead_ranks().empty()) {
+        // Completion. The release notice carries the coordinator's
+        // layout epoch; remember it so the application can tell when a
+        // failover or rejoin repair changed the layout generation.
+        if (e.epoch() != 0) layout_epoch_ = e.epoch();
+        break;
+      }
       std::vector<int> more;
       more.reserve(e.dead_ranks().size());
       for (int r : e.dead_ranks()) more.push_back(world_.server_index(r));

@@ -61,6 +61,14 @@ class PandaClient {
   // Elapsed virtual time of the most recent collective on this client.
   double last_elapsed() const { return last_elapsed_; }
 
+  // The layout epoch (`__panda.layout_epoch`) the coordinator stamped on
+  // the most recent failover-mode completion notice: which generation of
+  // the chunk->server layout the group's files are under. 0 until the
+  // first epoch-stamped collective completes. A rejoin repair bumps it,
+  // so a client observing an epoch change knows the next collective uses
+  // the restored full-set layout.
+  std::int64_t layout_epoch() const { return layout_epoch_; }
+
   // Robustness accounting sink (may be null: counting is skipped).
   // End-to-end checksum failures caught on this client and aborts it
   // originates are counted here.
@@ -96,6 +104,7 @@ class PandaClient {
   RobustnessStats* robustness_ = nullptr;
   bool failover_ = false;
   double last_elapsed_ = 0.0;
+  std::int64_t layout_epoch_ = 0;
   // Plans repeat across a timestep stream; memoize them.
   PlanCache plan_cache_;
 };

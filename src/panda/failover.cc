@@ -146,4 +146,28 @@ std::vector<int> ParseDeadServersAttr(
   return dead;
 }
 
+std::int64_t ParseLayoutEpochAttr(
+    const std::map<std::string, std::string>& attributes) {
+  const auto it = attributes.find(kLayoutEpochAttr);
+  if (it == attributes.end() || it->second.empty()) return 0;
+  return static_cast<std::int64_t>(std::stoll(it->second));
+}
+
+std::vector<RepairItem> BuildRepairPlan(const IoPlan& plan,
+                                        const DegradedLayout& degraded) {
+  std::vector<RepairItem> items;
+  const auto& chunks = plan.chunks();
+  for (size_t ci = 0; ci < chunks.size(); ++ci) {
+    const int identity_owner = chunks[ci].server;
+    const int adopter = degraded.owner[ci];
+    if (adopter == identity_owner) continue;
+    RepairItem item;
+    item.chunk_index = static_cast<int>(ci);
+    item.from_server = adopter;
+    item.to_server = identity_owner;
+    items.push_back(item);
+  }
+  return items;
+}
+
 }  // namespace panda

@@ -110,4 +110,32 @@ std::string EncodeDeadServersAttr(const std::vector<int>& dead_servers);
 std::vector<int> ParseDeadServersAttr(
     const std::map<std::string, std::string>& attributes);
 
+// The group-metadata attribute versioning the chunk->server layout.
+// Bumped whenever a committed collective changes the recorded dead set
+// — a failover (servers adopted chunks) or a rejoin repair (chunks
+// migrated back) — so clients and offline tools can tell *which*
+// layout a group's files are under without diffing dead sets. Absent
+// (0) means the identity layout has never changed.
+inline constexpr const char* kLayoutEpochAttr = "__panda.layout_epoch";
+
+std::int64_t ParseLayoutEpochAttr(
+    const std::map<std::string, std::string>& attributes);
+
+// One chunk the degraded layout moved off its identity owner: who holds
+// it now and who must get it back when the owner rejoins. The offsets
+// on both sides are derivable from the two layouts (degraded
+// chunk_offset on the adopter, plan file_offset on the owner).
+struct RepairItem {
+  int chunk_index = 0;
+  int from_server = 0;  // adopter under the degraded layout
+  int to_server = 0;    // identity owner (the rejoined server)
+};
+
+// The inverse of DegradedLayout adoption: every adopted chunk of
+// `degraded`, ascending chunk order — the migration list of the repair
+// collective (panda/rejoin.h). Deterministic for the same reason the
+// layout is.
+std::vector<RepairItem> BuildRepairPlan(const IoPlan& plan,
+                                        const DegradedLayout& degraded);
+
 }  // namespace panda

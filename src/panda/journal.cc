@@ -1,5 +1,6 @@
 #include "panda/journal.h"
 
+#include <algorithm>
 #include <vector>
 
 #include "panda/frame_io.h"
@@ -37,20 +38,133 @@ std::string JournalFileName(const std::string& data_file) {
   return data_file + ".wal";
 }
 
+void WriteJournalHeader(File& journal, const JournalHeader& hdr) {
+  std::vector<std::byte> buf;
+  buf.reserve(static_cast<size_t>(kJournalHeaderBytes));
+  Encoder enc(buf);
+  enc.Put<std::uint32_t>(kJournalHeaderMagic);
+  enc.Put<std::uint32_t>(kJournalHeaderVersion);
+  enc.Put<std::int64_t>(hdr.base_record);
+  enc.Put<std::int64_t>(hdr.epoch);
+  for (int i = 0; i < 20; ++i) enc.Put<std::uint8_t>(0);  // reserved
+  const std::uint32_t crc = Crc32c({buf.data(), buf.size()});
+  enc.Put<std::uint32_t>(crc);
+  PANDA_CHECK(static_cast<std::int64_t>(buf.size()) == kJournalHeaderBytes);
+  journal.WriteAt(0, buf, kJournalHeaderBytes);
+}
+
+std::optional<JournalHeader> ReadJournalHeader(File& journal) {
+  if (journal.Size() < kJournalHeaderBytes) return std::nullopt;
+  std::vector<std::byte> buf(static_cast<size_t>(kJournalHeaderBytes));
+  journal.ReadAt(0, buf, kJournalHeaderBytes);
+  Decoder dec(buf);
+  if (dec.Get<std::uint32_t>() != kJournalHeaderMagic) return std::nullopt;
+  const std::uint32_t version = dec.Get<std::uint32_t>();
+  JournalHeader hdr;
+  hdr.base_record = dec.Get<std::int64_t>();
+  hdr.epoch = dec.Get<std::int64_t>();
+  for (int i = 0; i < 20; ++i) (void)dec.Get<std::uint8_t>();
+  const std::uint32_t stored = dec.Get<std::uint32_t>();
+  const std::uint32_t computed =
+      Crc32c({buf.data(), static_cast<size_t>(kJournalHeaderBytes) - 4});
+  // A torn or corrupt header slot is indistinguishable from a corrupt
+  // record 0 — treat the journal as headerless and let record-level
+  // verification flag the slot.
+  if (stored != computed || version != kJournalHeaderVersion) {
+    return std::nullopt;
+  }
+  if (hdr.base_record < 0) return std::nullopt;
+  return hdr;
+}
+
+std::int64_t JournalRecordOffset(const std::optional<JournalHeader>& hdr,
+                                 std::int64_t record_index) {
+  if (!hdr) return record_index * kJournalRecordBytes;
+  return kJournalHeaderBytes +
+         (record_index - hdr->base_record) * kJournalRecordBytes;
+}
+
+JournalGcResult GcJournal(FileSystem& fs, const std::string& journal_name,
+                          std::int64_t new_base, std::int64_t fallback_epoch) {
+  JournalGcResult result;
+  std::optional<JournalHeader> hdr;
+  std::int64_t tail_offset = 0;
+  std::int64_t size = 0;
+  std::vector<std::byte> tail;
+  {
+    auto journal = fs.Open(journal_name, OpenMode::kRead);
+    hdr = ReadJournalHeader(*journal);
+    const std::int64_t old_base = hdr ? hdr->base_record : 0;
+    if (new_base <= old_base) return result;  // nothing below the new base
+    // Byte position of the first surviving record. Everything from
+    // there to EOF — including a torn trailing record — is copied
+    // verbatim, so GC never changes what verification would say about
+    // the surviving slots.
+    tail_offset = JournalRecordOffset(hdr, new_base);
+    size = journal->Size();
+    if (tail_offset < size) {
+      tail.resize(static_cast<size_t>(size - tail_offset));
+      journal->ReadAt(tail_offset, tail,
+                      static_cast<std::int64_t>(tail.size()));
+    }
+  }
+  JournalHeader fresh;
+  fresh.base_record = new_base;
+  fresh.epoch = hdr ? hdr->epoch : fallback_epoch;
+  // Rewrite-and-rename: a crash mid-GC leaves either the old journal or
+  // the new one, never a mix (File has no truncate; rename is the
+  // publication primitive everywhere else in Panda too).
+  const std::string tmp_name = journal_name + ".gc";
+  {
+    auto tmp = fs.Open(tmp_name, OpenMode::kWrite);
+    WriteJournalHeader(*tmp, fresh);
+    if (!tail.empty()) {
+      tmp->WriteAt(kJournalHeaderBytes, tail,
+                   static_cast<std::int64_t>(tail.size()));
+    }
+    tmp->Sync();
+  }
+  fs.Rename(tmp_name, journal_name);
+  const std::int64_t old_base = hdr ? hdr->base_record : 0;
+  const std::int64_t old_body = std::max<std::int64_t>(
+      0, size - (hdr ? kJournalHeaderBytes : 0));
+  const std::int64_t old_records = old_base + old_body / kJournalRecordBytes;
+  result.truncated = true;
+  result.records_dropped = std::min(new_base, old_records) - old_base;
+  return result;
+}
+
 void WriteJournalRecord(File& journal, std::int64_t record_index,
                         const JournalRecord& rec) {
+  WriteJournalRecord(journal, std::nullopt, record_index, rec);
+}
+
+void WriteJournalRecord(File& journal,
+                        const std::optional<JournalHeader>& hdr,
+                        std::int64_t record_index, const JournalRecord& rec) {
+  PANDA_CHECK_MSG(!hdr || record_index >= hdr->base_record,
+                  "journal write below the GC base");
   std::vector<std::byte> buf = EncodeRecordBody(rec);
   const std::uint32_t record_crc = Crc32c({buf.data(), buf.size()});
   Encoder enc(buf);
   enc.Put<std::uint32_t>(record_crc);
   PANDA_CHECK(static_cast<std::int64_t>(buf.size()) == kJournalRecordBytes);
-  journal.WriteAt(record_index * kJournalRecordBytes, buf, kJournalRecordBytes);
+  journal.WriteAt(JournalRecordOffset(hdr, record_index), buf,
+                  kJournalRecordBytes);
 }
 
 std::optional<JournalRecord> ReadJournalRecord(File& journal,
                                                std::int64_t record_index) {
+  return ReadJournalRecord(journal, std::nullopt, record_index);
+}
+
+std::optional<JournalRecord> ReadJournalRecord(
+    File& journal, const std::optional<JournalHeader>& hdr,
+    std::int64_t record_index) {
+  if (hdr && record_index < hdr->base_record) return std::nullopt;
   std::vector<std::byte> buf(static_cast<size_t>(kJournalRecordBytes));
-  journal.ReadAt(record_index * kJournalRecordBytes, buf, kJournalRecordBytes);
+  journal.ReadAt(JournalRecordOffset(hdr, record_index), buf,
+                 kJournalRecordBytes);
   Decoder dec(buf);
   JournalRecord rec;
   rec.array_index = dec.Get<std::int32_t>();
@@ -76,6 +190,8 @@ void JournalReport::Merge(const JournalReport& other) {
   torn_records += other.torn_records;
   framing_mismatches += other.framing_mismatches;
   data_mismatches += other.data_mismatches;
+  records_gced += other.records_gced;
+  epoch_mismatches += other.epoch_mismatches;
 }
 
 JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
@@ -84,7 +200,8 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
                                  std::int64_t num_segments,
                                  const std::string& group,
                                  const std::vector<int>& dead_servers,
-                                 std::string* log) {
+                                 std::string* log,
+                                 std::int64_t expected_epoch) {
   JournalReport report;
   const int num_servers = static_cast<int>(fs.size());
   const IoPlan plan(meta, num_servers, subchunk_bytes);
@@ -119,9 +236,19 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
     }
     const std::int64_t records_per_segment =
         static_cast<std::int64_t>(work.size());
-    const std::int64_t journal_bytes = journal->Size();
-    const std::int64_t full_records = journal_bytes / kJournalRecordBytes;
-    const bool torn_tail = (journal_bytes % kJournalRecordBytes) != 0;
+    const std::optional<JournalHeader> hdr = ReadJournalHeader(*journal);
+    const std::int64_t jbase = hdr ? hdr->base_record : 0;
+    if (hdr && expected_epoch >= 0 && hdr->epoch > expected_epoch) {
+      ++report.epoch_mismatches;
+      AppendLog(log, "journal epoch " + std::to_string(hdr->epoch) +
+                         " ahead of committed metadata epoch " +
+                         std::to_string(expected_epoch) + ": " + data_name +
+                         " [server " + std::to_string(s) + "]");
+    }
+    const std::int64_t body_bytes =
+        journal->Size() - (hdr ? kJournalHeaderBytes : 0);
+    const std::int64_t full_records = jbase + body_bytes / kJournalRecordBytes;
+    const bool torn_tail = (body_bytes % kJournalRecordBytes) != 0;
 
     std::vector<std::byte> buf;
     for (std::int64_t seg = 0; seg < num_segments; ++seg) {
@@ -139,6 +266,12 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
             std::to_string(seg) + ", record " + std::to_string(record_index) +
             "]";
 
+        if (record_index < jbase) {
+          // Garbage-collected at a committed checkpoint: the checkpoint
+          // supersedes this record's durability claim. Benign.
+          ++report.records_gced;
+          continue;
+        }
         if (record_index >= full_records) {
           // A crash mid-append may leave exactly one torn trailing
           // record; anything beyond that is an uncommitted sub-chunk.
@@ -152,7 +285,7 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
           continue;
         }
         const std::optional<JournalRecord> rec =
-            ReadJournalRecord(*journal, record_index);
+            ReadJournalRecord(*journal, hdr, record_index);
         if (!rec) {
           ++report.torn_records;
           AppendLog(log, "record crc failed: " + where);
@@ -206,21 +339,22 @@ JournalReport VerifyGroupJournal(std::span<FileSystem* const> fs,
                                  std::string* log) {
   JournalReport report;
   const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
+  const std::int64_t epoch = ParseLayoutEpochAttr(meta.attributes);
   for (size_t a = 0; a < meta.arrays.size(); ++a) {
     const ArrayMeta& array = meta.arrays[a];
     const auto idx = static_cast<std::int32_t>(a);
     report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
                                     Purpose::kGeneral, 1, meta.group, dead,
-                                    log));
+                                    log, epoch));
     if (meta.timesteps > 0) {
       report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
                                       Purpose::kTimestep, meta.timesteps,
-                                      meta.group, dead, log));
+                                      meta.group, dead, log, epoch));
     }
     if (meta.has_checkpoint) {
       report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
                                       Purpose::kCheckpoint, 1, meta.group, dead,
-                                      log));
+                                      log, epoch));
     }
   }
   return report;

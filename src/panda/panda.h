@@ -40,6 +40,7 @@
 #include "panda/plan.h"
 #include "panda/plan_cache.h"
 #include "panda/protocol.h"
+#include "panda/rejoin.h"
 #include "panda/report.h"
 #include "panda/runtime.h"
 #include "panda/schema_io.h"

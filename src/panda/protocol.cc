@@ -53,7 +53,7 @@ CollectiveRequest CollectiveRequest::FromMessage(const Message& msg) {
   Decoder dec(msg.header);
   CollectiveRequest req;
   const auto op = dec.Get<std::uint8_t>();
-  PANDA_REQUIRE(op <= 3, "bad collective op %u", op);
+  PANDA_REQUIRE(op <= 4, "bad collective op %u", op);
   req.op = static_cast<IoOp>(op);
   const auto purpose = dec.Get<std::uint8_t>();
   PANDA_REQUIRE(purpose <= 2, "bad collective purpose %u", purpose);

@@ -26,6 +26,8 @@ enum class IoOp : std::uint8_t {
   kRead = 1,
   kShutdown = 2,   // ends the server loop
   kQueryMeta = 3,  // fetch the group's .schema metadata (resume support)
+  kRepair = 4,     // server-only repair collective after a rejoin
+                   // (panda/rejoin.h; never sent by clients)
 };
 
 // What kind of files a collective targets; selects naming and offsets.

@@ -1,0 +1,581 @@
+#include "panda/rejoin.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "codec/frame.h"
+#include "msg/collectives.h"
+#include "msg/hb.h"
+#include "msg/message.h"
+#include "panda/failover.h"
+#include "panda/frame_io.h"
+#include "panda/integrity.h"
+#include "panda/journal.h"
+#include "trace/trace.h"
+#include "util/crc32c.h"
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+std::string EncodeCsvInts(const std::vector<int>& v) {
+  std::string s;
+  for (int x : v) {
+    if (!s.empty()) s.push_back(',');
+    s += std::to_string(x);
+  }
+  return s;
+}
+
+std::vector<int> ParseCsvInts(const std::map<std::string, std::string>& attrs,
+                              const char* key) {
+  std::vector<int> out;
+  const auto it = attrs.find(key);
+  if (it == attrs.end() || it->second.empty()) return out;
+  const std::string& s = it->second;
+  size_t pos = 0;
+  while (pos < s.size()) {
+    size_t comma = s.find(',', pos);
+    if (comma == std::string::npos) comma = s.size();
+    out.push_back(std::stoi(s.substr(pos, comma - pos)));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+std::int64_t ParseInt64Attr(const std::map<std::string, std::string>& attrs,
+                            const char* key, std::int64_t fallback) {
+  const auto it = attrs.find(key);
+  if (it == attrs.end() || it->second.empty()) return fallback;
+  return static_cast<std::int64_t>(std::stoll(it->second));
+}
+
+bool Contains(const std::vector<int>& v, int x) {
+  return std::find(v.begin(), v.end(), x) != v.end();
+}
+
+// The header of one adopted-sub-chunk transfer (payload: the raw,
+// decoded sub-chunk bytes; the CRC covers them end-to-end).
+struct RepairTransfer {
+  std::int32_t array_index = 0;
+  std::uint8_t purpose = 0;
+  std::int64_t seg = 0;
+  std::int32_t chunk_index = 0;
+  std::int32_t sub_index = 0;
+  std::uint32_t crc = 0;
+};
+
+Message MakeTransferMessage(const RepairTransfer& t,
+                            std::vector<std::byte> payload) {
+  Message msg;
+  Encoder enc(msg.header);
+  enc.Put<std::int32_t>(t.array_index);
+  enc.Put<std::uint8_t>(t.purpose);
+  enc.Put<std::int64_t>(t.seg);
+  enc.Put<std::int32_t>(t.chunk_index);
+  enc.Put<std::int32_t>(t.sub_index);
+  enc.Put<std::uint32_t>(t.crc);
+  msg.SetPayload(std::move(payload));
+  return msg;
+}
+
+RepairTransfer DecodeTransferHeader(const Message& msg) {
+  Decoder dec(msg.header);
+  RepairTransfer t;
+  t.array_index = dec.Get<std::int32_t>();
+  t.purpose = dec.Get<std::uint8_t>();
+  t.seg = dec.Get<std::int64_t>();
+  t.chunk_index = dec.Get<std::int32_t>();
+  t.sub_index = dec.Get<std::int32_t>();
+  t.crc = dec.Get<std::uint32_t>();
+  return t;
+}
+
+// Sub-chunk writer shared by the rejoinee (final names) and the
+// adopters (`.repair` staging): the same frame/sidecar/journal pipeline
+// ServerWriteArray runs, minus the overlap scheduler — repair moves
+// already-committed bytes, not a collective's critical path.
+class RepairFileWriter {
+ public:
+  RepairFileWriter(Endpoint& ep, FileSystem& fs, const ServerOptions& options,
+                   const ArrayMeta& meta, const std::string& write_name,
+                   const JournalHeader& journal_header)
+      : ep_(ep), options_(options), meta_(meta) {
+    const RetryPolicy& retry = options.retry;
+    RobustnessStats* stats = options.robustness;
+    retry.Run(&ep.clock(), stats,
+              [&] { data_ = fs.Open(write_name, OpenMode::kWrite); });
+    if (options.disk_checksums) {
+      retry.Run(&ep.clock(), stats, [&] {
+        sidecar_ = fs.Open(SidecarFileName(write_name), OpenMode::kWrite);
+      });
+    }
+    if (options.journal) {
+      retry.Run(&ep.clock(), stats, [&] {
+        journal_ = fs.Open(JournalFileName(write_name), OpenMode::kWrite);
+      });
+      jhdr_ = journal_header;
+      retry.Run(&ep.clock(), stats,
+                [&] { WriteJournalHeader(*journal_, *jhdr_); });
+    }
+    if (meta.codec != CodecId::kNone) {
+      retry.Run(&ep.clock(), stats, [&] {
+        frame_dir_ = fs.Open(FrameDirFileName(write_name), OpenMode::kWrite);
+      });
+    }
+  }
+
+  // Writes one sub-chunk's raw bytes at `file_offset` / record slot
+  // `record_index`, with the journal record's logical coordinates.
+  void WriteSubchunk(const JournalRecord& rec,
+                     std::span<const std::byte> raw) {
+    const RetryPolicy& retry = options_.retry;
+    RobustnessStats* stats = options_.robustness;
+    SubchunkFrame frame;
+    if (frame_dir_ != nullptr) {
+      frame = EncodeSubchunkFrame(meta_.codec, raw, meta_.elem_size);
+    }
+    retry.Run(&ep_.clock(), stats, [&] {
+      if (frame_dir_ != nullptr && frame.codec != CodecId::kNone) {
+        data_->WriteAt(rec.file_offset,
+                       {frame.bytes.data(), frame.bytes.size()},
+                       static_cast<std::int64_t>(frame.bytes.size()));
+      } else {
+        data_->WriteAt(rec.file_offset, raw, rec.bytes);
+      }
+    });
+    if (frame_dir_ != nullptr) {
+      frame_recs_.emplace_back(
+          rec_index_override_,
+          FrameDirRecord{rec.file_offset, rec.bytes,
+                         frame.frame_bytes(rec.bytes), frame.codec});
+    }
+    if (sidecar_ != nullptr) {
+      const CrcRecord crc_rec{rec.file_offset, rec.bytes, rec.data_crc};
+      retry.Run(&ep_.clock(), stats, [&] {
+        WriteCrcRecord(*sidecar_, rec_index_override_, crc_rec);
+      });
+    }
+    if (journal_ != nullptr &&
+        rec_index_override_ >= jhdr_->base_record) {
+      retry.Run(&ep_.clock(), stats, [&] {
+        WriteJournalRecord(*journal_, jhdr_, rec_index_override_, rec);
+      });
+      if (stats != nullptr) stats->journal_records_written.fetch_add(1);
+    }
+  }
+
+  void set_record_index(std::int64_t index) { rec_index_override_ = index; }
+
+  // Flushes the buffered frame directory and fsyncs everything.
+  void Finish() {
+    const RetryPolicy& retry = options_.retry;
+    RobustnessStats* stats = options_.robustness;
+    if (frame_dir_ != nullptr) {
+      std::sort(frame_recs_.begin(), frame_recs_.end(),
+                [](const auto& a, const auto& b) { return a.first < b.first; });
+      size_t i = 0;
+      while (i < frame_recs_.size()) {
+        size_t j = i + 1;
+        std::vector<FrameDirRecord> run{frame_recs_[i].second};
+        while (j < frame_recs_.size() &&
+               frame_recs_[j].first ==
+                   frame_recs_[i].first + static_cast<std::int64_t>(j - i)) {
+          run.push_back(frame_recs_[j].second);
+          ++j;
+        }
+        retry.Run(&ep_.clock(), stats, [&] {
+          WriteFrameDirRecords(*frame_dir_, frame_recs_[i].first, run);
+        });
+        i = j;
+      }
+      retry.Run(&ep_.clock(), stats, [&] { frame_dir_->Sync(); });
+    }
+    retry.Run(&ep_.clock(), stats, [&] { data_->Sync(); });
+    if (sidecar_ != nullptr) {
+      retry.Run(&ep_.clock(), stats, [&] { sidecar_->Sync(); });
+    }
+    if (journal_ != nullptr) {
+      retry.Run(&ep_.clock(), stats, [&] { journal_->Sync(); });
+    }
+  }
+
+ private:
+  Endpoint& ep_;
+  const ServerOptions& options_;
+  const ArrayMeta& meta_;
+  std::unique_ptr<File> data_;
+  std::unique_ptr<File> sidecar_;
+  std::unique_ptr<File> journal_;
+  std::unique_ptr<File> frame_dir_;
+  std::optional<JournalHeader> jhdr_;
+  std::int64_t rec_index_override_ = 0;
+  std::vector<std::pair<std::int64_t, FrameDirRecord>> frame_recs_;
+};
+
+// Drops every on-disk artifact of `data_name` (stale-cede on the
+// rejoinee, and disabled-feature cleanup before staging).
+void RemoveFileSet(Endpoint& ep, FileSystem& fs, const ServerOptions& options,
+                   const std::string& data_name) {
+  options.retry.Run(&ep.clock(), options.robustness, [&] {
+    fs.Remove(data_name);
+    fs.Remove(SidecarFileName(data_name));
+    fs.Remove(JournalFileName(data_name));
+    fs.Remove(FrameDirFileName(data_name));
+  });
+}
+
+// Replays the rejoinee's stale journal as a diagnostic before it is
+// ceded: every record that still parses clean is a write the old life
+// provably committed (journal_records_salvaged). The data itself is
+// NOT trusted — the cluster adopted and rewrote those chunks.
+void SalvageStaleJournal(Endpoint& ep, FileSystem& fs,
+                         const ServerOptions& options,
+                         const std::string& data_name) {
+  if (!options.journal) return;
+  const std::string jname = JournalFileName(data_name);
+  if (!fs.Exists(jname)) return;
+  std::int64_t salvaged = 0;
+  options.retry.Run(&ep.clock(), options.robustness, [&] {
+    salvaged = 0;
+    auto journal = fs.Open(jname, OpenMode::kRead);
+    const std::optional<JournalHeader> hdr = ReadJournalHeader(*journal);
+    const std::int64_t base = hdr ? hdr->base_record : 0;
+    const std::int64_t body =
+        journal->Size() - (hdr ? kJournalHeaderBytes : 0);
+    const std::int64_t full = base + body / kJournalRecordBytes;
+    for (std::int64_t r = base; r < full; ++r) {
+      if (ReadJournalRecord(*journal, hdr, r)) ++salvaged;
+    }
+  });
+  if (options.robustness != nullptr) {
+    options.robustness->journal_records_salvaged.fetch_add(salvaged);
+  }
+}
+
+// One (array, purpose) pair of the repair. Returns the number of chunks
+// this server received back (rejoinee side; 0 elsewhere).
+std::int64_t RepairArrayPurpose(
+    Endpoint& ep, FileSystem& fs, const World& world,
+    const CollectiveRequest& req, std::int32_t array_index, const IoPlan& plan,
+    const DegradedLayout& degraded, const DegradedLayout& identity,
+    Purpose purpose, std::int64_t num_segments, std::int64_t checkpoint_seq,
+    std::int64_t new_epoch, const std::vector<int>& prev_dead,
+    const ServerOptions& options,
+    std::vector<std::pair<std::string, std::string>>& staged) {
+  const int sidx = world.server_index(ep.rank());
+  const ArrayMeta& meta = req.arrays[static_cast<size_t>(array_index)];
+  const bool rejoinee = Contains(prev_dead, sidx);
+  const std::string final_name =
+      DataFileName(req.group, meta.name, purpose, sidx);
+  const std::vector<WorkItem> identity_work =
+      BuildServerWork(plan, identity, sidx, WorkPhase::kFull);
+  const std::int64_t rps_identity = RecordsPerSegment(plan, identity, sidx);
+  // Rebuilt timestep journals keep the committed checkpoint's GC base;
+  // single-segment purposes start from record 0.
+  JournalHeader jhdr;
+  jhdr.epoch = new_epoch;
+  if (purpose == Purpose::kTimestep && checkpoint_seq > 0) {
+    jhdr.base_record = checkpoint_seq * rps_identity;
+  }
+
+  if (rejoinee) {
+    SalvageStaleJournal(ep, fs, options, final_name);
+    RemoveFileSet(ep, fs, options, final_name);
+    if (identity_work.empty()) {
+      if (purpose != Purpose::kTimestep) {
+        options.retry.Run(&ep.clock(), options.robustness,
+                          [&] { fs.Open(final_name, OpenMode::kWrite); });
+      }
+      return 0;
+    }
+    // Rebuild at the final names: the committed metadata still records
+    // this server dead, so a crash mid-rebuild leaves nothing trusted.
+    RepairFileWriter writer(ep, fs, options, meta, final_name, jhdr);
+    std::int64_t chunks_back = 0;
+    std::vector<std::byte> buf;
+    for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+      const std::int64_t base_off =
+          purpose == Purpose::kTimestep ? seg * plan.SegmentBytes(sidx) : 0;
+      const std::int64_t record_base =
+          purpose == Purpose::kTimestep ? seg * rps_identity : 0;
+      for (const WorkItem& item : identity_work) {
+        const ChunkPlan& cp =
+            plan.chunks()[static_cast<size_t>(item.chunk_index)];
+        const SubchunkPlan& sp =
+            cp.subchunks[static_cast<size_t>(item.sub_index)];
+        const int owner = degraded.owner[static_cast<size_t>(item.chunk_index)];
+        Message msg = ep.Recv(world.server_rank(owner), kTagRejoin);
+        const RepairTransfer t = DecodeTransferHeader(msg);
+        PANDA_REQUIRE(t.array_index == array_index &&
+                          t.purpose == static_cast<std::uint8_t>(purpose) &&
+                          t.seg == seg && t.chunk_index == item.chunk_index &&
+                          t.sub_index == item.sub_index,
+                      "repair transfer out of order: adopter %d sent array=%d "
+                      "purpose=%u seg=%lld chunk=%d sub=%d",
+                      owner, t.array_index, t.purpose,
+                      static_cast<long long>(t.seg), t.chunk_index,
+                      t.sub_index);
+        PANDA_REQUIRE(
+            static_cast<std::int64_t>(msg.payload.size()) == sp.bytes,
+            "repair transfer size mismatch");
+        const std::uint32_t got =
+            Crc32c({msg.payload.data(), msg.payload.size()});
+        if (got != t.crc) {
+          if (options.robustness != nullptr) {
+            options.robustness->wire_checksum_failures.fetch_add(1);
+          }
+          PANDA_REQUIRE(false,
+                        "repair transfer from server %d failed its end-to-end "
+                        "checksum (wire %08x != computed %08x)",
+                        owner, t.crc, got);
+        }
+        JournalRecord rec;
+        rec.array_index = array_index;
+        rec.chunk_id = cp.chunk_id;
+        rec.sub_index = item.sub_index;
+        rec.seq = purpose == Purpose::kTimestep ? seg : 0;
+        rec.file_offset = base_off + item.file_offset;
+        rec.bytes = sp.bytes;
+        rec.data_crc = got;
+        writer.set_record_index(record_base + item.record_ordinal);
+        writer.WriteSubchunk(rec, {msg.payload.data(), msg.payload.size()});
+        if (item.sub_index == 0) ++chunks_back;
+      }
+    }
+    writer.Finish();
+    return chunks_back;
+  }
+
+  // Survivor. Without adopted chunks the degraded file IS the identity
+  // file (same owners, same offsets, same stride): untouched.
+  const std::vector<int>& adopted = degraded.adopted[static_cast<size_t>(sidx)];
+  if (adopted.empty()) return 0;
+
+  // Old record index and in-segment offset of every (chunk, sub) this
+  // server holds under the degraded layout.
+  struct OldSlot {
+    std::int64_t file_offset = 0;
+    std::int64_t record_ordinal = 0;
+  };
+  std::map<std::pair<int, int>, OldSlot> old_slots;
+  const std::vector<WorkItem> degraded_work =
+      BuildServerWork(plan, degraded, sidx, WorkPhase::kFull);
+  for (const WorkItem& item : degraded_work) {
+    old_slots[{item.chunk_index, item.sub_index}] =
+        OldSlot{item.file_offset, item.record_ordinal};
+  }
+  const std::int64_t rps_degraded = RecordsPerSegment(plan, degraded, sidx);
+
+  std::unique_ptr<File> old_data;
+  options.retry.Run(&ep.clock(), options.robustness,
+                    [&] { old_data = fs.Open(final_name, OpenMode::kRead); });
+  std::unique_ptr<File> old_frame_dir;
+  if (meta.codec != CodecId::kNone &&
+      fs.Exists(FrameDirFileName(final_name))) {
+    options.retry.Run(&ep.clock(), options.robustness, [&] {
+      old_frame_dir = fs.Open(FrameDirFileName(final_name), OpenMode::kRead);
+    });
+  }
+
+  // Stage the identity-layout rebuild; renamed after the barrier.
+  const std::string stage_name = final_name + ".repair";
+  RemoveFileSet(ep, fs, options, stage_name);
+  RepairFileWriter writer(ep, fs, options, meta, stage_name, jhdr);
+  staged.emplace_back(stage_name, final_name);
+  if (options.disk_checksums) {
+    staged.emplace_back(SidecarFileName(stage_name),
+                        SidecarFileName(final_name));
+  } else {
+    // The rename replaces only the data file: drop stale artifacts of
+    // now-disabled features explicitly.
+    options.retry.Run(&ep.clock(), options.robustness,
+                      [&] { fs.Remove(SidecarFileName(final_name)); });
+  }
+  if (options.journal) {
+    staged.emplace_back(JournalFileName(stage_name),
+                        JournalFileName(final_name));
+  } else {
+    options.retry.Run(&ep.clock(), options.robustness,
+                      [&] { fs.Remove(JournalFileName(final_name)); });
+  }
+  if (meta.codec != CodecId::kNone) {
+    staged.emplace_back(FrameDirFileName(stage_name),
+                        FrameDirFileName(final_name));
+  } else {
+    options.retry.Run(&ep.clock(), options.robustness,
+                      [&] { fs.Remove(FrameDirFileName(final_name)); });
+  }
+
+  auto read_old = [&](const WorkItem& like, std::int64_t seg,
+                      const SubchunkPlan& sp) {
+    const OldSlot& slot = old_slots.at({like.chunk_index, like.sub_index});
+    const std::int64_t old_base =
+        purpose == Purpose::kTimestep ? seg * degraded.SegmentBytes(sidx) : 0;
+    const std::int64_t old_record =
+        (purpose == Purpose::kTimestep ? seg * rps_degraded : 0) +
+        slot.record_ordinal;
+    std::vector<std::byte> raw;
+    options.retry.Run(&ep.clock(), options.robustness, [&] {
+      raw = ReadSubchunkForVerify(*old_data, old_frame_dir.get(), meta.codec,
+                                  old_record, old_base + slot.file_offset,
+                                  sp.bytes, meta.elem_size);
+    });
+    return raw;
+  };
+
+  for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+    const std::int64_t base_off =
+        purpose == Purpose::kTimestep ? seg * plan.SegmentBytes(sidx) : 0;
+    const std::int64_t record_base =
+        purpose == Purpose::kTimestep ? seg * rps_identity : 0;
+    // Own chunks: same bytes, identity offsets and stride.
+    for (const WorkItem& item : identity_work) {
+      const ChunkPlan& cp =
+          plan.chunks()[static_cast<size_t>(item.chunk_index)];
+      const SubchunkPlan& sp =
+          cp.subchunks[static_cast<size_t>(item.sub_index)];
+      const std::vector<std::byte> raw = read_old(item, seg, sp);
+      JournalRecord rec;
+      rec.array_index = array_index;
+      rec.chunk_id = cp.chunk_id;
+      rec.sub_index = item.sub_index;
+      rec.seq = purpose == Purpose::kTimestep ? seg : 0;
+      rec.file_offset = base_off + item.file_offset;
+      rec.bytes = sp.bytes;
+      rec.data_crc = Crc32c({raw.data(), raw.size()});
+      writer.set_record_index(record_base + item.record_ordinal);
+      writer.WriteSubchunk(rec, {raw.data(), raw.size()});
+    }
+    // Adopted chunks: stream each sub-chunk back to its identity owner
+    // (ascending chunk then sub order — the receivers' directed-Recv
+    // order is the same subsequence).
+    for (int ci : adopted) {
+      const ChunkPlan& cp = plan.chunks()[static_cast<size_t>(ci)];
+      for (size_t si = 0; si < cp.subchunks.size(); ++si) {
+        const SubchunkPlan& sp = cp.subchunks[si];
+        WorkItem like;
+        like.chunk_index = ci;
+        like.sub_index = static_cast<int>(si);
+        std::vector<std::byte> raw = read_old(like, seg, sp);
+        RepairTransfer t;
+        t.array_index = array_index;
+        t.purpose = static_cast<std::uint8_t>(purpose);
+        t.seg = seg;
+        t.chunk_index = ci;
+        t.sub_index = static_cast<int>(si);
+        t.crc = Crc32c({raw.data(), raw.size()});
+        ep.Send(world.server_rank(cp.server), kTagRejoin,
+                MakeTransferMessage(t, std::move(raw)));
+      }
+    }
+  }
+  writer.Finish();
+  return 0;
+}
+
+}  // namespace
+
+CollectiveRequest BuildRepairRequest(FileSystem& master_fs,
+                                     const GroupMeta& meta,
+                                     const std::string& meta_file,
+                                     const std::vector<int>& prev_dead,
+                                     std::int64_t new_epoch, int first_client,
+                                     int num_clients) {
+  CollectiveRequest req;
+  req.op = IoOp::kRepair;
+  req.purpose = Purpose::kTimestep;
+  req.seq = meta.timesteps;  // segments to rebuild per timestep stream
+  req.group = meta.group;
+  req.meta_file = meta_file;
+  req.first_client = first_client;
+  req.num_clients = num_clients;
+  req.arrays = meta.arrays;
+  req.attributes[kRepairPrevDeadAttr] = EncodeCsvInts(prev_dead);
+  req.attributes[kRepairEpochAttr] = std::to_string(new_epoch);
+  req.attributes[kRepairCheckpointSeqAttr] =
+      std::to_string(meta.has_checkpoint ? meta.checkpoint_seq : -1);
+  // Every general collective creates a (possibly empty) file on each
+  // live server, so existence on the master's disk is the global truth
+  // for which arrays have a general stream to repair.
+  std::vector<int> general_arrays;
+  for (size_t a = 0; a < meta.arrays.size(); ++a) {
+    if (master_fs.Exists(DataFileName(meta.group, meta.arrays[a].name,
+                                      Purpose::kGeneral, /*server_index=*/0))) {
+      general_arrays.push_back(static_cast<int>(a));
+    }
+  }
+  req.attributes[kRepairGeneralAttr] = EncodeCsvInts(general_arrays);
+  return req;
+}
+
+void RepairCollective(Endpoint& ep, FileSystem& fs, const World& world,
+                      const Sp2Params& params, const CollectiveRequest& req,
+                      const ServerOptions& options, PlanCache* plan_cache) {
+  PANDA_REQUIRE(!ep.timing_only(),
+                "rejoin repair needs real data (timing-only run)");
+  PANDA_CHECK(req.op == IoOp::kRepair);
+  PlanCache local_cache(4);
+  if (plan_cache == nullptr) plan_cache = &local_cache;
+  const int sidx = world.server_index(ep.rank());
+  const std::vector<int> prev_dead =
+      ParseCsvInts(req.attributes, kRepairPrevDeadAttr);
+  PANDA_REQUIRE(!prev_dead.empty(), "repair request with no dead set");
+  const std::int64_t new_epoch =
+      ParseInt64Attr(req.attributes, kRepairEpochAttr, 1);
+  const std::int64_t checkpoint_seq =
+      ParseInt64Attr(req.attributes, kRepairCheckpointSeqAttr, -1);
+  const std::vector<int> general_arrays =
+      ParseCsvInts(req.attributes, kRepairGeneralAttr);
+  const std::int64_t timesteps = req.seq;
+
+  PANDA_SPAN(repair_span, trace::SpanKind::kRejoinRepair,
+             static_cast<std::int64_t>(prev_dead.size()));
+  hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
+
+  std::vector<std::pair<std::string, std::string>> staged;
+  std::int64_t chunks_back = 0;
+  for (std::int32_t ai = 0; ai < static_cast<std::int32_t>(req.arrays.size());
+       ++ai) {
+    const std::shared_ptr<const IoPlan> plan_ptr =
+        plan_cache->Get(req.arrays[static_cast<size_t>(ai)], world.num_servers,
+                        params.subchunk_bytes, nullptr);
+    const IoPlan& plan = *plan_ptr;
+    const DegradedLayout degraded = DegradedLayout::Compute(plan, prev_dead);
+    const DegradedLayout identity = DegradedLayout::Compute(plan, {});
+    if (Contains(general_arrays, static_cast<int>(ai))) {
+      chunks_back += RepairArrayPurpose(
+          ep, fs, world, req, ai, plan, degraded, identity, Purpose::kGeneral,
+          1, checkpoint_seq, new_epoch, prev_dead, options, staged);
+    }
+    if (timesteps > 0) {
+      chunks_back += RepairArrayPurpose(ep, fs, world, req, ai, plan, degraded,
+                                        identity, Purpose::kTimestep, timesteps,
+                                        checkpoint_seq, new_epoch, prev_dead,
+                                        options, staged);
+    }
+    if (checkpoint_seq >= 0) {
+      chunks_back += RepairArrayPurpose(
+          ep, fs, world, req, ai, plan, degraded, identity, Purpose::kCheckpoint,
+          1, checkpoint_seq, new_epoch, prev_dead, options, staged);
+    }
+  }
+  if (chunks_back > 0 && options.robustness != nullptr) {
+    options.robustness->chunks_restored.fetch_add(chunks_back);
+  }
+
+  // Commit point: every server finished writing and fsyncing before any
+  // degraded file is replaced. The window between these renames and the
+  // master's metadata commit is the torn state the journal epoch check
+  // detects offline.
+  Barrier(ep, world.ServerGroup(ep.rank()));
+  hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
+  for (const auto& [from, to] : staged) {
+    options.retry.Run(&ep.clock(), options.robustness,
+                      [&] { fs.Rename(from, to); });
+  }
+}
+
+}  // namespace panda

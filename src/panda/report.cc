@@ -63,11 +63,23 @@ std::string MachineReport::ToString() const {
         static_cast<long long>(robustness.chunks_adopted),
         static_cast<long long>(robustness.journal_records_written));
   }
+  if (robustness.rejoins_completed != 0 || robustness.chunks_restored != 0 ||
+      robustness.journal_records_salvaged != 0 ||
+      robustness.journal_gc_truncations != 0) {
+    out += StrFormat(
+        "rejoin: %lld rejoins, %lld chunks restored, %lld journal records "
+        "salvaged, %lld journal gc truncations\n",
+        static_cast<long long>(robustness.rejoins_completed),
+        static_cast<long long>(robustness.chunks_restored),
+        static_cast<long long>(robustness.journal_records_salvaged),
+        static_cast<long long>(robustness.journal_gc_truncations));
+  }
   if (!transport.AllZero()) {
     out += StrFormat(
         "transport faults: %lld drops (%lld retransmits), %lld dups "
         "(%lld suppressed), %lld reorders, %lld delays, %lld peers "
-        "declared dead, %lld ranks killed\n",
+        "declared dead, %lld ranks killed (%lld revived, %lld stale "
+        "incarnation drops)\n",
         static_cast<long long>(transport.drops_injected),
         static_cast<long long>(transport.retransmits),
         static_cast<long long>(transport.dups_injected),
@@ -75,7 +87,9 @@ std::string MachineReport::ToString() const {
         static_cast<long long>(transport.reorders_injected),
         static_cast<long long>(transport.delays_injected),
         static_cast<long long>(transport.peers_declared_dead),
-        static_cast<long long>(transport.ranks_killed));
+        static_cast<long long>(transport.ranks_killed),
+        static_cast<long long>(transport.ranks_revived),
+        static_cast<long long>(transport.stale_incarnation_dropped));
   }
   return out;
 }
@@ -130,6 +144,10 @@ void FillRegistryFromReport(const MachineReport& report,
   registry.AddCounter("robustness.chunks_adopted", rb.chunks_adopted);
   registry.AddCounter("robustness.journal_records_written",
                       rb.journal_records_written);
+  registry.AddCounter("failover.rejoins", rb.rejoins_completed);
+  registry.AddCounter("failover.chunks_restored", rb.chunks_restored);
+  registry.AddCounter("journal.records_salvaged", rb.journal_records_salvaged);
+  registry.AddCounter("journal.gc_truncations", rb.journal_gc_truncations);
   registry.AddCounter("robustness.frame_rereads", rb.frame_rereads);
   registry.AddCounter("robustness.frame_decode_failures",
                       rb.frame_decode_failures);
@@ -143,6 +161,9 @@ void FillRegistryFromReport(const MachineReport& report,
   registry.AddCounter("transport.dups_suppressed", tf.dups_suppressed);
   registry.AddCounter("transport.peers_declared_dead", tf.peers_declared_dead);
   registry.AddCounter("transport.ranks_killed", tf.ranks_killed);
+  registry.AddCounter("transport.ranks_revived", tf.ranks_revived);
+  registry.AddCounter("transport.stale_incarnation_dropped",
+                      tf.stale_incarnation_dropped);
 }
 
 }  // namespace

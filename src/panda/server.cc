@@ -1,7 +1,9 @@
 #include "panda/server.h"
 
 #include <algorithm>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -13,6 +15,7 @@
 #include "panda/frame_io.h"
 #include "panda/integrity.h"
 #include "panda/journal.h"
+#include "panda/rejoin.h"
 #include "panda/schema_io.h"
 #include "trace/trace.h"
 #include "util/crc32c.h"
@@ -177,10 +180,19 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   if (work.empty()) {
     if (phase == WorkPhase::kFull && req.purpose != Purpose::kTimestep) {
       // Still create the (empty) file so concatenation scripts see a
-      // complete set of per-server files. (No sidecar: there is nothing
-      // to checksum, and the verifier skips empty segments.)
+      // complete set of per-server files. A checkpoint staged its
+      // sidecar/journal/frame-directory renames above, so those sources
+      // must exist too — empty: nothing to checksum, nothing to replay,
+      // and the verifiers skip empty segments. An i/o node can own no
+      // chunks legitimately (disk layout narrower than the server set).
       retry.Run(&ep.clock(), stats, [&] {
-        fs.Open(write_name, WriteOpenMode(req.purpose, req.seq, phase));
+        const OpenMode mode = WriteOpenMode(req.purpose, req.seq, phase);
+        fs.Open(write_name, mode);
+        if (req.purpose == Purpose::kCheckpoint) {
+          if (sidecars) fs.Open(SidecarFileName(write_name), mode);
+          if (journaling) fs.Open(JournalFileName(write_name), mode);
+          if (framing) fs.Open(FrameDirFileName(write_name), mode);
+        }
       });
     }
     return;
@@ -202,11 +214,18 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
     });
   }
   std::unique_ptr<File> journal;
+  std::optional<JournalHeader> journal_header;
   if (journaling) {
-    retry.Run(&ep.clock(), stats, [&] {
-      journal = fs.Open(JournalFileName(write_name),
-                        WriteOpenMode(req.purpose, req.seq, phase));
-    });
+    const OpenMode jmode = WriteOpenMode(req.purpose, req.seq, phase);
+    retry.Run(&ep.clock(), stats,
+              [&] { journal = fs.Open(JournalFileName(write_name), jmode); });
+    if (jmode == OpenMode::kReadWrite) {
+      // A journal compacted after a checkpoint — or rebuilt by a rejoin
+      // repair — carries a header whose base offsets the record slots;
+      // honor it. Freshly truncated journals are headerless.
+      retry.Run(&ep.clock(), stats,
+                [&] { journal_header = ReadJournalHeader(*journal); });
+    }
   }
   std::unique_ptr<File> frame_dir;
   if (framing) {
@@ -396,8 +415,8 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
         {
           PANDA_SPAN(journal_span, trace::SpanKind::kJournalAppend, sp.bytes);
           retry.Run(&ep.clock(), stats, [&] {
-            WriteJournalRecord(*journal, record_base + item.record_ordinal,
-                               rec);
+            WriteJournalRecord(*journal, journal_header,
+                               record_base + item.record_ordinal, rec);
           });
         }
         if (stats != nullptr) stats->journal_records_written.fetch_add(1);
@@ -648,6 +667,37 @@ void RelayAbortFromMasterServer(Endpoint& ep, const World& world,
   }
 }
 
+// After a committed checkpoint, truncate the timestep journals'
+// replayable region: restarts (and rejoin replays) recover from the
+// checkpoint, so records below `seq * records_per_segment` must never
+// be reapplied. Runs on every server right after the checkpoint's
+// commit point (the rename barrier); each server compacts its own
+// journals, keeping any existing header epoch.
+void MaybeGcJournals(Endpoint& ep, FileSystem& fs, const World& world,
+                     const Sp2Params& params, const CollectiveRequest& req,
+                     const ServerOptions& options, PlanCache* plan_cache,
+                     const std::vector<int>& dead_servers) {
+  if (!options.journal || ep.timing_only()) return;
+  if (req.purpose != Purpose::kCheckpoint || req.seq <= 0) return;
+  const int sidx = world.server_index(ep.rank());
+  for (const ArrayMeta& meta : req.arrays) {
+    const std::shared_ptr<const IoPlan> plan = plan_cache->Get(
+        meta, world.num_servers, params.subchunk_bytes, nullptr);
+    const DegradedLayout layout = DegradedLayout::Compute(*plan, dead_servers);
+    const std::int64_t rps = RecordsPerSegment(*plan, layout, sidx);
+    const std::string jname = JournalFileName(
+        DataFileName(req.group, meta.name, Purpose::kTimestep, sidx));
+    if (rps <= 0 || !fs.Exists(jname)) continue;
+    JournalGcResult gc{};
+    options.retry.Run(&ep.clock(), options.robustness, [&] {
+      gc = GcJournal(fs, jname, req.seq * rps, /*fallback_epoch=*/0);
+    });
+    if (gc.truncated && options.robustness != nullptr) {
+      options.robustness->journal_gc_truncations.fetch_add(1);
+    }
+  }
+}
+
 // The body of one collective on this server. `dead_servers` selects the
 // degraded layout (empty = the identity layout, byte-identical to the
 // pre-failover behavior); `phase` selects the slice of the work list.
@@ -710,6 +760,11 @@ void ServerExecuteImpl(Endpoint& ep, FileSystem& fs, const World& world,
       options.retry.Run(&ep.clock(), options.robustness,
                         [&] { fs.Rename(from, to); });
     }
+  }
+  // A committed checkpoint retires the timestep journal's history.
+  if (req.op == IoOp::kWrite) {
+    MaybeGcJournals(ep, fs, world, params, req, options, plan_cache,
+                    dead_servers);
   }
   // Group metadata: the master server records the schemas so consumers
   // (and restarts) can interpret the files without the application.
@@ -841,14 +896,36 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
     options.retry.Run(&ep.clock(), options.robustness,
                       [&] { fs.Rename(from, to); });
   }
+  // A committed checkpoint retires the timestep journal's history.
+  if (req.op == IoOp::kWrite) {
+    MaybeGcJournals(ep, fs, world, params, req, options, plan_cache, dead);
+  }
 
   if (sidx == 0) {
+    std::int64_t epoch = 0;
     // Group metadata, with the dead set recorded for offline tools.
     if (req.op == IoOp::kWrite && !req.meta_file.empty() &&
         !ep.timing_only()) {
+      // Version the layout: a commit that changes the recorded dead set
+      // — this failover, or (through the rejoin path) a repair that
+      // cleared it — bumps the epoch, so clients and offline tools can
+      // tell which layout generation the files are under.
+      std::vector<int> prev_dead;
+      std::int64_t prev_epoch = 0;
+      if (fs.Exists(req.meta_file)) {
+        GroupMeta prev;
+        options.retry.Run(&ep.clock(), options.robustness,
+                          [&] { prev = ReadGroupMeta(fs, req.meta_file); });
+        prev_dead = ParseDeadServersAttr(prev.attributes);
+        prev_epoch = ParseLayoutEpochAttr(prev.attributes);
+      }
+      epoch = prev_epoch + (dead != prev_dead ? 1 : 0);
       CollectiveRequest meta_req = req;
       if (!dead.empty()) {
         meta_req.attributes[kDeadServersAttr] = EncodeDeadServersAttr(dead);
+      }
+      if (epoch > 0) {
+        meta_req.attributes[kLayoutEpochAttr] = std::to_string(epoch);
       }
       hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
       options.retry.Run(&ep.clock(), options.robustness,
@@ -856,10 +933,122 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
     }
     // Completion: an empty failover notice to every client replaces the
     // kTagServerDone + client-broadcast epilogue of the clean protocol.
+    // It carries the committed layout epoch, so every client knows the
+    // layout generation before its next collective.
     for (int c = 0; c < world.num_clients; ++c) {
       ep.Send(world.client_rank(c), kTagFailover,
-              MakeFailoverMessage(ep.rank(), {}));
+              MakeFailoverMessage(ep.rank(), {}, epoch));
     }
+  }
+}
+
+// Master-side rejoin admission (docs/PROTOCOL.md "Rejoin and
+// incarnation fencing"). Called while holding the next trigger request,
+// before it is distributed — every other live server is parked on its
+// kTagBcast receive, so a repair collective can run ahead of the
+// trigger and the trigger's collective already sees the restored
+// layout. `acked` maps server index -> the highest incarnation this
+// master has shaken hands with (local to one ServerMain invocation:
+// a later Run() simply re-admits, which is idempotent).
+void HandleRejoinsAsMaster(Endpoint& ep, FileSystem& fs, const World& world,
+                           const Sp2Params& params,
+                           const CollectiveRequest& trigger,
+                           const ServerOptions& options, PlanCache& plan_cache,
+                           std::map<int, std::int64_t>& acked) {
+  // Pending rejoiners: revived peers whose current incarnation we have
+  // not acknowledged. Transport liveness — not message arrival — is the
+  // trigger, because the handshake may still be in flight; the directed
+  // receive below waits for it. Incarnations only change between Run()
+  // calls, so this scan cannot race a restart.
+  std::vector<int> pending;
+  for (int s = 1; s < world.num_servers; ++s) {
+    const int r = world.server_rank(s);
+    if (ep.peer_alive(r) && ep.peer_incarnation(r) > 1 &&
+        acked[s] < ep.peer_incarnation(r)) {
+      pending.push_back(s);
+    }
+  }
+  if (pending.empty()) return;
+  for (int s : pending) {
+    const RejoinNotice hello =
+        DecodeRejoinNotice(ep.Recv(world.server_rank(s), kTagRejoin));
+    PANDA_CHECK_MSG(hello.origin_rank == world.server_rank(s),
+                    "rejoin handshake origin mismatch");
+    acked[s] = hello.incarnation;
+  }
+
+  // Membership verdict. Repair is possible only with committed group
+  // metadata naming the dead set; a trigger without usable metadata
+  // (a shutdown, a timing-only sweep, a group that never committed)
+  // still acknowledges the rejoiners — they must never wedge on the
+  // handshake — and the membership update is a no-op.
+  GroupMeta meta;
+  std::vector<int> prev_dead;
+  bool have_meta = false;
+  if (!trigger.meta_file.empty() && !ep.timing_only() &&
+      fs.Exists(trigger.meta_file)) {
+    options.retry.Run(&ep.clock(), options.robustness,
+                      [&] { meta = ReadGroupMeta(fs, trigger.meta_file); });
+    prev_dead = ParseDeadServersAttr(meta.attributes);
+    have_meta = true;
+  }
+  const bool repair = have_meta && !prev_dead.empty();
+  if (repair) {
+    // All-or-nothing: re-admitting a subset would mix two layouts in
+    // one group — the still-dead servers' chunks stay adopted while the
+    // rejoined one's migrate back, and no collective could verify
+    // against either. Abort (structured, liveness-preserving: the
+    // rejoiners are blocked on this ack) rather than guess.
+    for (int s : prev_dead) {
+      PANDA_REQUIRE(ep.peer_alive(world.server_rank(s)),
+                    "partial rejoin: server %d is still dead while others "
+                    "rejoined; repair needs the full recorded-dead set back",
+                    s);
+    }
+  }
+
+  const std::int64_t prev_epoch =
+      have_meta ? ParseLayoutEpochAttr(meta.attributes) : 0;
+  const std::int64_t new_epoch = prev_epoch + 1;
+  std::vector<int> dead_ranks;
+  dead_ranks.reserve(prev_dead.size());
+  for (int s : prev_dead) dead_ranks.push_back(world.server_rank(s));
+  for (int s : pending) {
+    RejoinNotice ack;
+    ack.origin_rank = ep.rank();
+    ack.incarnation = acked[s];
+    ack.epoch = repair ? new_epoch : prev_epoch;
+    ack.repair = repair;
+    ack.dead_ranks = dead_ranks;
+    ep.Send(world.server_rank(s), kTagRejoin, MakeRejoinMessage(ack));
+  }
+  if (!repair) return;
+
+  // Rebalance back: broadcast the synthetic repair collective to every
+  // live server (all parked on kTagBcast), run the master's own share,
+  // then commit the membership update — dead set cleared, epoch bumped.
+  // Until the metadata write lands the group still records the old
+  // membership; a crash inside this window is the torn state the
+  // journal-epoch check in panda_fsck flags offline.
+  const CollectiveRequest repair_req =
+      BuildRepairRequest(fs, meta, trigger.meta_file, prev_dead, new_epoch,
+                         trigger.first_client, trigger.num_clients);
+  const Message repair_msg = repair_req.ToMessage();
+  for (int s = 1; s < world.num_servers; ++s) {
+    if (!ep.peer_alive(world.server_rank(s))) continue;
+    Message copy = repair_msg;
+    ep.Send(world.server_rank(s), kTagBcast, std::move(copy));
+  }
+  RepairCollective(ep, fs, world, params, repair_req, options, &plan_cache);
+  meta.attributes.erase(kDeadServersAttr);
+  meta.attributes[kLayoutEpochAttr] = std::to_string(new_epoch);
+  hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
+  options.retry.Run(&ep.clock(), options.robustness, [&] {
+    WriteGroupMeta(fs, trigger.meta_file, meta);
+  });
+  if (options.robustness != nullptr) {
+    options.robustness->rejoins_completed.fetch_add(
+        static_cast<std::int64_t>(prev_dead.size()));
   }
 }
 
@@ -882,6 +1071,32 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
   const Group servers = world.ServerGroup(ep.rank());
   PlanCache plan_cache;
 
+  // Rejoin handshake (failover mode only). A restarted server announces
+  // itself to the master and blocks until admitted; the master folds the
+  // admission into its next trigger request (HandleRejoinsAsMaster), so
+  // the rejoinee may wait across idle time. A first-incarnation server
+  // (incarnation 1) has nothing to announce. If the master itself is
+  // dead the handshake can never complete — convert the detection into
+  // the structured abort, exactly like the request-distribution path.
+  if (options.failover && sidx != 0 && ep.incarnation() > 1) {
+    try {
+      RejoinNotice hello;
+      hello.origin_rank = ep.rank();
+      hello.incarnation = ep.incarnation();
+      ep.Send(world.master_server_rank(), kTagRejoin, MakeRejoinMessage(hello));
+      (void)DecodeRejoinNotice(
+          ep.Recv(world.master_server_rank(), kTagRejoin));
+    } catch (const PandaAbortError&) {
+      throw;
+    } catch (const PandaError& e) {
+      if (options.robustness != nullptr) {
+        options.robustness->collectives_aborted.fetch_add(1);
+      }
+      throw PandaAbortError(ep.rank(), e.what());
+    }
+  }
+  std::map<int, std::int64_t> rejoin_acked;
+
   int live_applications = options.num_applications;
   while (live_applications > 0) {
     Message request_msg;
@@ -889,6 +1104,31 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
       // Any application's master client may request next; the broadcast
       // imposes one global order on all servers.
       request_msg = ep.RecvAny(kTagCollectiveRequest);
+      if (options.failover) {
+        // Admit any pending rejoiners before distributing the trigger:
+        // every other live server is still parked on its kTagBcast
+        // receive, so a repair collective can run here and the trigger
+        // below already executes under the restored layout.
+        const CollectiveRequest trigger =
+            CollectiveRequest::FromMessage(request_msg);
+        const World trigger_world =
+            world.WithClients(trigger.first_client, trigger.num_clients);
+        try {
+          HandleRejoinsAsMaster(ep, fs, world, params, trigger, options,
+                                plan_cache, rejoin_acked);
+        } catch (const PandaAbortError& e) {
+          RelayAbortFromMasterServer(ep, world, trigger_world,
+                                     e.origin_rank(), e.reason());
+          throw;
+        } catch (const PandaError& e) {
+          if (options.robustness != nullptr) {
+            options.robustness->collectives_aborted.fetch_add(1);
+          }
+          RelayAbortFromMasterServer(ep, world, trigger_world, ep.rank(),
+                                     e.what());
+          throw PandaAbortError(ep.rank(), e.what());
+        }
+      }
     }
     if (options.failover) {
       // Point-to-point request distribution to the *live* servers: the
@@ -952,6 +1192,14 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
     const World app_world = world.WithClients(req.first_client,
                                               req.num_clients);
     try {
+      if (req.op == IoOp::kRepair) {
+        // Synthetic repair collective broadcast by the master during
+        // rejoin admission (HandleRejoinsAsMaster). Only non-masters see
+        // it through the request loop — the master runs its share inline.
+        RepairCollective(ep, fs, app_world, params, req, options,
+                         &plan_cache);
+        continue;
+      }
       if (options.failover) {
         FailoverCollective(ep, fs, app_world, params, req, options,
                            &plan_cache);

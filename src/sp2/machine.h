@@ -84,6 +84,16 @@ class Machine {
     transport_->ScheduleKill(server_rank(server_index), after_more_sends);
   }
 
+  // Restarts a crash-stopped i/o node as a new incarnation (between
+  // Run() calls). Its file system persists across the crash; its old
+  // life's in-flight messages are fenced off (stale_incarnation_dropped
+  // counts them). On the next Run() the server boots, replays its
+  // journal, and rejoins the group through the master
+  // (docs/PROTOCOL.md, "Rejoin").
+  void RestartServer(int server_index) {
+    transport_->Revive(server_rank(server_index));
+  }
+
   // Live view of the transport's fault counters.
   TransportFaultStats& fault_stats() { return transport_->fault_stats(); }
 
@@ -145,6 +155,12 @@ class Machine {
   // model checker's "previous checkpoint restorable" invariant drives a
   // real restart through this (see ThreadTransport::ResetForRecovery).
   void ResetForRecovery() { transport_->ResetForRecovery(); }
+
+  // Between-runs reset for a rejoin phase that continues the same
+  // explored execution (model-checker run 2): choice ordinals and fault
+  // counters persist; loss must stay disarmed for the next Run() (see
+  // ThreadTransport::ResetForRejoin).
+  void ResetForRejoin() { transport_->ResetForRejoin(); }
 
  private:
   Machine(int num_clients, int num_servers, Sp2Params params);

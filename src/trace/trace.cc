@@ -42,6 +42,8 @@ const char* SpanKindName(SpanKind kind) {
       return "codec.encode";
     case SpanKind::kCodecDecode:
       return "codec.decode";
+    case SpanKind::kRejoinRepair:
+      return "rejoin.repair";
     case SpanKind::kNumKinds:
       break;
   }

@@ -59,6 +59,7 @@ enum class SpanKind : std::uint8_t {
   kFailoverReplan,        // degraded-mode re-planning round
   kCodecEncode,           // framing one sub-chunk / wire piece (arg: raw bytes)
   kCodecDecode,           // decoding one frame back to raw (arg: raw bytes)
+  kRejoinRepair,          // rejoin repair collective (arg: chunks migrated)
   kNumKinds,
 };
 

@@ -6,6 +6,7 @@
 // I/O failures) throw PandaError.
 #pragma once
 
+#include <cstdint>
 #include <stdexcept>
 #include <string>
 #include <vector>
@@ -74,18 +75,25 @@ class PeerDeadError : public PandaError {
 // Deliberately NOT sticky: unlike an abort, the collective continues.
 class PandaFailoverError : public PandaError {
  public:
-  PandaFailoverError(int origin_rank, std::vector<int> dead_ranks)
+  PandaFailoverError(int origin_rank, std::vector<int> dead_ranks,
+                     std::int64_t epoch = 0)
       : PandaError("collective entering degraded mode (coordinator rank " +
                    std::to_string(origin_rank) + ", " +
                    std::to_string(dead_ranks.size()) + " dead server(s))"),
         origin_rank_(origin_rank),
+        epoch_(epoch),
         dead_ranks_(std::move(dead_ranks)) {}
 
   int origin_rank() const { return origin_rank_; }
+  // The coordinator's layout epoch (carried on completion notices so
+  // clients learn which layout generation the group is under; 0 when
+  // the notice predates epoch versioning).
+  std::int64_t epoch() const { return epoch_; }
   const std::vector<int>& dead_ranks() const { return dead_ranks_; }
 
  private:
   int origin_rank_;
+  std::int64_t epoch_;
   std::vector<int> dead_ranks_;
 };
 

@@ -293,6 +293,241 @@ TEST(FailoverTest, SoakKillUnderLossyWireWithCheckpointRestart) {
   EXPECT_EQ(wal.files_without_journal, 0);
 }
 
+// ---------------------------------------------------------------------
+// Rejoin: restart the dead node, repair, and serve full-set collectives
+
+std::vector<std::byte> ReadAllBytes(FileSystem& fs, const std::string& name) {
+  std::unique_ptr<File> file = fs.Open(name, OpenMode::kRead);
+  std::vector<std::byte> bytes(static_cast<size_t>(file->Size()));
+  file->ReadAt(0, bytes, static_cast<std::int64_t>(bytes.size()));
+  return bytes;
+}
+
+TEST(FailoverTest, RejoinRestoresIdentityLayoutBitExact) {
+  // The issue's end-to-end acceptance scenario. Machine A: kill server 1
+  // mid-write, commit a degraded timestep + checkpoint, restart the
+  // cluster with server 1 revived, and run one more timestep +
+  // checkpoint over the repaired full server set. Machine B: the same
+  // history with no failure at all. The committed data files and
+  // sidecars must be BYTE-identical between the two — repair put every
+  // chunk back where the identity layout wants it, checksums included.
+  const auto app_run1 = [](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2, 2});
+    Array a("state", {32, 32}, 8, memory, {BLOCK, BLOCK}, memory,
+            {BLOCK, BLOCK});
+    a.BindClient(idx);
+    ArrayGroup group("rejoin", "rejoin.schema");
+    group.Include(&a);
+    FillPattern(a, 100);
+    group.Timestep(client);
+    FillPattern(a, 500);
+    group.Checkpoint(client);
+  };
+  const auto app_run2 = [](PandaClient& client, int idx) {
+    ArrayLayout memory("m", {2, 2});
+    Array a("state", {32, 32}, 8, memory, {BLOCK, BLOCK}, memory,
+            {BLOCK, BLOCK});
+    a.BindClient(idx);
+    ArrayGroup group("rejoin", "rejoin.schema");
+    group.Include(&a);
+    ASSERT_TRUE(group.Resume(client));
+    FillPattern(a, 101);
+    group.Timestep(client);
+    FillPattern(a, 501);
+    group.Checkpoint(client);
+    // Full round trip over the restored layout: the checkpoint and both
+    // timesteps read back bit-exactly on the full server set.
+    FillPattern(a, 999);
+    group.Restart(client);
+    VerifyPattern(a, 501);
+    group.ReadTimestep(client, 0);
+    VerifyPattern(a, 100);
+    group.ReadTimestep(client, 1);
+    VerifyPattern(a, 101);
+  };
+
+  Machine failed = SmallMachine(4, 3);
+  failed.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+  failed.KillServerAfterSends(/*server_index=*/1, /*after_more_sends=*/3);
+  RunFailoverCluster(failed, app_run1);
+  {
+    const GroupMeta meta = ReadGroupMeta(failed.server_fs(0), "rejoin.schema");
+    ASSERT_EQ(ParseDeadServersAttr(meta.attributes), (std::vector<int>{1}));
+    EXPECT_EQ(ParseLayoutEpochAttr(meta.attributes), 1);
+  }
+  failed.ResetForRecovery();
+  failed.RestartServer(1);
+  RunFailoverCluster(failed, app_run2);
+
+  Machine reference = SmallMachine(4, 3);
+  reference.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+  RunFailoverCluster(reference, app_run1);
+  reference.ResetForRecovery();
+  RunFailoverCluster(reference, app_run2);
+
+  // The repair ran exactly once and moved data back.
+  const RobustnessCounters counters = failed.robustness().Snapshot();
+  EXPECT_EQ(counters.rejoins_completed, 1);
+  EXPECT_GT(counters.chunks_restored, 0);
+  EXPECT_GE(counters.failovers_completed, 1);
+  EXPECT_EQ(counters.collectives_aborted, 0);
+  EXPECT_GE(counters.journal_gc_truncations, 1);  // checkpoint-time GC
+  EXPECT_EQ(failed.fault_stats().Snapshot().ranks_revived, 1);
+
+  // Membership: the dead set is cleared and the layout epoch counts
+  // both generation changes (failover, then repair).
+  const GroupMeta meta = ReadGroupMeta(failed.server_fs(0), "rejoin.schema");
+  EXPECT_TRUE(ParseDeadServersAttr(meta.attributes).empty());
+  EXPECT_EQ(ParseLayoutEpochAttr(meta.attributes), 2);
+
+  // Byte identity with the never-failed run: data files and checksum
+  // sidecars, every server, both purposes. (Journals record different
+  // histories by design; they are verified semantically below.)
+  for (int s = 0; s < 3; ++s) {
+    for (const Purpose purpose : {Purpose::kTimestep, Purpose::kCheckpoint}) {
+      const std::string data = DataFileName("rejoin", "state", purpose, s);
+      ASSERT_TRUE(failed.server_fs(s).Exists(data)) << data;
+      EXPECT_EQ(ReadAllBytes(failed.server_fs(s), data),
+                ReadAllBytes(reference.server_fs(s), data))
+          << "server " << s << " " << data;
+      const std::string crc = SidecarFileName(data);
+      ASSERT_TRUE(failed.server_fs(s).Exists(crc)) << crc;
+      EXPECT_EQ(ReadAllBytes(failed.server_fs(s), crc),
+                ReadAllBytes(reference.server_fs(s), crc))
+          << "server " << s << " " << crc;
+    }
+  }
+
+  // Offline verification under the repaired (identity) layout.
+  FileSystem* fs[] = {&failed.server_fs(0), &failed.server_fs(1),
+                      &failed.server_fs(2)};
+  std::string log;
+  const IntegrityReport crcs = VerifyGroupChecksums(fs, meta, 256, &log);
+  EXPECT_TRUE(crcs.Clean()) << log;
+  EXPECT_GT(crcs.subchunks_checked, 0);
+  log.clear();
+  const JournalReport wal = VerifyGroupJournal(fs, meta, 256, &log);
+  EXPECT_TRUE(wal.Clean()) << log;
+
+  // Epoch fencing in the offline verifier: forge one journal header to
+  // claim a layout generation AHEAD of the committed metadata (the torn
+  // window of a repair commit) and fsck's journal pass must flag it.
+  {
+    const std::string wal_name = JournalFileName(
+        DataFileName("rejoin", "state", Purpose::kTimestep, 1));
+    auto f = failed.server_fs(1).Open(wal_name, OpenMode::kReadWrite);
+    const std::optional<JournalHeader> hdr = ReadJournalHeader(*f);
+    ASSERT_TRUE(hdr.has_value());  // checkpoint-time GC stamped a header
+    WriteJournalHeader(
+        *f, JournalHeader{hdr->base_record,
+                          ParseLayoutEpochAttr(meta.attributes) + 1});
+  }
+  log.clear();
+  const JournalReport forged = VerifyGroupJournal(fs, meta, 256, &log);
+  EXPECT_FALSE(forged.Clean());
+  EXPECT_GT(forged.epoch_mismatches, 0) << log;
+}
+
+TEST(FailoverTest, IdleIoNodeCheckpointCommitsCleanly) {
+  // Disk mesh narrower than the server set: server 2 owns no chunks.
+  // Its checkpoint share is empty, but the staged two-phase renames
+  // still cover its (empty) sidecar and journal — a commit must not
+  // abort renaming files that were never created, and a restart must
+  // read the group back as if the idle node were not there.
+  Machine machine = SmallMachine(2, 3);
+  machine.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+  ArrayLayout memory("m", {2});
+  const std::uint64_t seed = 21;
+  RunFailoverCluster(machine, [&](PandaClient& client, int idx) {
+    Array a("field", {16, 16}, 8, memory, {BLOCK, NONE}, memory,
+            {BLOCK, NONE});
+    a.BindClient(idx);
+    ArrayGroup group("idle", "idle.schema");
+    group.Include(&a);
+    FillPattern(a, seed);
+    group.Timestep(client);
+    FillPattern(a, seed + 1);
+    group.Checkpoint(client);
+  });
+  EXPECT_EQ(machine.robustness().Snapshot().collectives_aborted, 0);
+  EXPECT_EQ(machine.robustness().Snapshot().failovers_completed, 0);
+
+  machine.ResetForRecovery();
+  RunFailoverCluster(machine, [&](PandaClient& client, int idx) {
+    Array a("field", {16, 16}, 8, memory, {BLOCK, NONE}, memory,
+            {BLOCK, NONE});
+    a.BindClient(idx);
+    ArrayGroup group("idle", "idle.schema");
+    group.Include(&a);
+    ASSERT_TRUE(group.Resume(client));
+    group.ReadTimestep(client, 0);
+    VerifyPattern(a, seed);
+    FillPattern(a, 999);
+    group.Restart(client);
+    VerifyPattern(a, seed + 1);
+  });
+}
+
+TEST(FailoverTest, RejoinSoakLossySeedsAndKillPoints) {
+  // Seeded loss in the failed run, kill point swept across the write:
+  // every schedule must rejoin and serve a bit-exact full-set read.
+  for (const std::int64_t kill_after : {2, 5}) {
+    for (const std::uint64_t seed : {11ull, 12ull}) {
+      Machine machine = SmallMachine(2, 3);
+      LossSpec loss;
+      loss.seed = seed;
+      loss.drop_prob = 0.08;
+      loss.dup_prob = 0.04;
+      machine.SetLoss(loss);
+      machine.SetHeartbeat(HeartbeatConfig{true, 1.0e-2, 3});
+      machine.KillServerAfterSends(/*server_index=*/2, kill_after);
+      ArrayLayout memory("m", {2});
+      // Disk mesh {3}: one chunk per i/o node, so the killed server owns
+      // data and its death forces a real failover + rejoin. 32 rows give
+      // it 5 sub-chunk pulls before the first commit, so every swept
+      // kill point lands inside the timestep write — the stable-dead-set
+      // histories the repair contract covers (docs/PROTOCOL.md).
+      ArrayLayout disk("d", {3});
+      RunFailoverCluster(machine, [&](PandaClient& client, int idx) {
+        Array a("field", {32, 16}, 8, memory, {BLOCK, NONE}, disk,
+                {BLOCK, NONE});
+        a.BindClient(idx);
+        ArrayGroup group("soak", "soak.schema");
+        group.Include(&a);
+        FillPattern(a, seed);
+        group.Timestep(client);
+        FillPattern(a, seed + 1);
+        group.Checkpoint(client);
+      });
+      ASSERT_EQ(machine.fault_stats().Snapshot().ranks_killed, 1)
+          << "kill_after " << kill_after << " seed " << seed;
+
+      machine.SetLoss(LossSpec{});
+      machine.ResetForRecovery();
+      machine.RestartServer(2);
+      RunFailoverCluster(machine, [&](PandaClient& client, int idx) {
+        Array a("field", {32, 16}, 8, memory, {BLOCK, NONE}, disk,
+                {BLOCK, NONE});
+        a.BindClient(idx);
+        ArrayGroup group("soak", "soak.schema");
+        group.Include(&a);
+        ASSERT_TRUE(group.Resume(client));
+        group.ReadTimestep(client, 0);
+        VerifyPattern(a, seed);
+        FillPattern(a, 999);
+        group.Restart(client);
+        VerifyPattern(a, seed + 1);
+      });
+      EXPECT_EQ(machine.robustness().Snapshot().rejoins_completed, 1)
+          << "kill_after " << kill_after << " seed " << seed;
+      const GroupMeta meta =
+          ReadGroupMeta(machine.server_fs(0), "soak.schema");
+      EXPECT_TRUE(ParseDeadServersAttr(meta.attributes).empty())
+          << "kill_after " << kill_after << " seed " << seed;
+    }
+  }
+}
+
 TEST(FailoverTest, SoakManySeedsKillAtVaryingPoints) {
   // Sweep the kill point across the collective (different send budgets)
   // and several loss seeds: every schedule must converge to the same

@@ -220,6 +220,57 @@ TEST(LossyTransportTest, RecvFromKilledRankThrowsPeerDeadAfterLease) {
   EXPECT_TRUE(tt.alive(2));
 }
 
+// ---------------------------------------------------------------------
+// Revival + incarnation fencing
+
+TEST(LossyTransportTest, ReviveFencesZombieTrafficAndBumpsIncarnation) {
+  // Rank 1 deposits a message into rank 2's mailbox and dies before
+  // rank 2 reads it. Reviving rank 1 must fence that zombie — the new
+  // incarnation's first message, not the old one's leftover, is what
+  // rank 2 receives next — and the fence must be visible in the
+  // stale_incarnation_dropped counter.
+  ThreadTransport tt(3, InstantConfig());
+  HeartbeatConfig hb;
+  hb.enabled = true;
+  hb.interval_s = 1.0e-2;
+  hb.misses = 3;
+  tt.SetHeartbeat(hb);
+  tt.ScheduleKill(/*rank=*/1, /*after_more_sends=*/1);
+  tt.Run([&](Endpoint& ep) {
+    if (ep.rank() == 1) {
+      EXPECT_EQ(ep.incarnation(), 1);
+      ep.Send(2, kTagApp, SeqMessage(7));  // delivered, never received
+      ep.Send(2, kTagApp, SeqMessage(8));  // kill fires: silent unwind
+      FAIL() << "the kill injector must not return";
+    } else if (ep.rank() == 2) {
+      // Park on a different tag long enough for the zombie to land in
+      // this mailbox and for the death to be detected; take nothing.
+      const std::optional<Message> m = ep.TryRecv(1, kTagApp + 1, 1.0e-1);
+      EXPECT_FALSE(m.has_value());
+      EXPECT_FALSE(ep.peer_alive(1));
+    }
+  });
+  ASSERT_FALSE(tt.alive(1));
+
+  tt.Revive(1);
+  EXPECT_TRUE(tt.alive(1));
+  EXPECT_EQ(tt.incarnation(1), 2);
+  const TransportFaultCounters after = tt.fault_stats().Snapshot();
+  EXPECT_EQ(after.ranks_revived, 1);
+  EXPECT_GE(after.stale_incarnation_dropped, 1);  // the queued zombie
+
+  tt.Run([&](Endpoint& ep) {
+    if (ep.rank() == 1) {
+      EXPECT_EQ(ep.incarnation(), 2);
+      ep.Send(2, kTagApp, SeqMessage(42));
+    } else if (ep.rank() == 2) {
+      // The fenced message 7 is gone; the new life's stream starts
+      // fresh at sequence zero and delivers cleanly.
+      EXPECT_EQ(SeqOf(ep.Recv(1, kTagApp)), 42);
+    }
+  });
+}
+
 TEST(LossyTransportTest, DetectionWorksUnderLossToo) {
   // Drops + a crash-stop together: the survivor still gets everything
   // sent before death (retransmits included) and then a clean

@@ -62,6 +62,9 @@ TEST(McTraceTest, ConfigLinesRoundTripThroughMcConfig) {
   config.kill_servers = {0, 1};
   config.kill_lo = 2;
   config.kill_hi = 9;
+  config.timesteps = 3;
+  config.deliver_choices = true;
+  config.rejoin = true;
   config.max_faults = 3;
   config.expect_no_aborts = true;
   const McConfig back = McConfig::FromConfigLines(config.ToConfigLines());
@@ -69,6 +72,9 @@ TEST(McTraceTest, ConfigLinesRoundTripThroughMcConfig) {
   EXPECT_TRUE(back.drop);
   EXPECT_TRUE(back.expect_no_aborts);
   EXPECT_EQ(back.kill_servers, config.kill_servers);
+  EXPECT_EQ(back.timesteps, 3);
+  EXPECT_TRUE(back.deliver_choices);
+  EXPECT_TRUE(back.rejoin);
 }
 
 // --- exhaustive exploration --------------------------------------------
@@ -105,6 +111,36 @@ TEST(McExploreTest, SingleKillExplorationUpholdsInvariants) {
       << result.violations.front().messages.front();
   EXPECT_GT(result.outcomes.size(), 1u);  // clean + degraded + abort states
   EXPECT_GT(result.runs, 8);
+}
+
+// Close the fault loop: every schedule that kills the non-master i/o
+// node and commits is continued through the rejoin protocol, and the
+// kill window is wide enough that the DFS also reaches RE-kill
+// decisions inside the rejoin run (send ordinals keep counting across
+// the revive). The whole kill -> rejoin -> re-kill space must exhaust
+// with zero invariant violations, and at least one terminal state must
+// actually have exercised the rejoin phase.
+TEST(McExploreTest, KillRejoinRekillExplorationUpholdsInvariants) {
+  McConfig config;
+  config.kill_servers = {1};
+  config.kill_lo = 0;
+  config.kill_hi = 40;  // reaches into the rejoin run's send ordinals
+  config.max_kills = 2;
+  config.rejoin = true;
+  ExploreOptions options;
+  options.max_runs = 500;
+  const ExploreResult result = Explore(config, options);
+  EXPECT_TRUE(result.exhausted);
+  EXPECT_TRUE(result.violations.empty())
+      << result.violations.front().messages.front();
+  bool saw_rejoin = false;
+  bool saw_rekill = false;
+  for (const std::string& outcome : result.outcomes) {
+    if (outcome.find("rj_p=") != std::string::npos) saw_rejoin = true;
+    if (outcome.find("rj_dead=1") != std::string::npos) saw_rekill = true;
+  }
+  EXPECT_TRUE(saw_rejoin);
+  EXPECT_TRUE(saw_rekill);
 }
 
 // The DFS enforces the fault budget statically: with max_faults=1 every
@@ -150,6 +186,36 @@ TEST(McExploreTest, PorPreservesReachableOutcomes) {
   EXPECT_EQ(reduced.outcomes, full.outcomes);
   EXPECT_LT(reduced.runs, full.runs);  // the reduction actually reduced
   EXPECT_GT(reduced.pruned_por, 0);
+}
+
+// Same audit for the any-source delivery reduction: when nobody can
+// die, service order at an any-source receive is commutative, so POR
+// prunes every delivery pick (and the timing perturbations that create
+// multi-candidate queues). Explore a config where delayed messages DO
+// pile up behind receivers with the reduction off, and require the
+// full interleaving space to reach exactly the outcomes the reduced
+// space reached.
+TEST(McExploreTest, PorPreservesOutcomesUnderDeliveryChoices) {
+  McConfig config;
+  config.delay = true;
+  config.deliver_choices = true;
+
+  ExploreOptions with_por;
+  with_por.max_runs = 2000;
+  with_por.por = true;
+  const ExploreResult reduced = Explore(config, with_por);
+
+  ExploreOptions without_por;
+  without_por.max_runs = 2000;
+  without_por.por = false;
+  const ExploreResult full = Explore(config, without_por);
+
+  ASSERT_TRUE(reduced.exhausted);
+  ASSERT_TRUE(full.exhausted);
+  EXPECT_EQ(reduced.outcomes, full.outcomes);
+  EXPECT_LT(reduced.runs, full.runs);
+  EXPECT_GT(reduced.pruned_por, 0);
+  EXPECT_TRUE(full.violations.empty());
 }
 
 // --- broken-invariant harness ------------------------------------------
@@ -231,6 +297,7 @@ TEST(McExploreTest, RandomWalksStayInvariantClean) {
   config.kill_lo = 0;
   config.kill_hi = 8;
   config.drop = true;
+  config.deliver_choices = true;  // walks sample any-source picks too
   ExploreOptions options;
   options.max_runs = 12;
   options.walk_seed = 7;

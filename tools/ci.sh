@@ -80,7 +80,7 @@ cp build-ci/bench-out/TRACE_fig4_smoke.json \
 echo "archived artifacts: build-ci/artifacts/"
 
 echo "== panda_mc smoke (docs/MODEL_CHECKING.md)"
-# Budgeted model-checker smoke, ~15 s total. Two configs:
+# Budgeted model-checker smoke, ~15 s total. Three configs:
 #  1. the 2x2 no-fault space — must EXHAUST with zero violations and
 #     exactly one terminal state (the clean run);
 #  2. a bounded kill+drop space (both servers killable across their
@@ -88,6 +88,12 @@ echo "== panda_mc smoke (docs/MODEL_CHECKING.md)"
 #     exhaust with zero violations. A protocol regression in the
 #     failover/abort paths shows up here as a minimized
 #     counter-schedule in the CI log.
+#  3. the closed fault loop: kill the non-master i/o node anywhere in a
+#     wide send window, rejoin it after the degraded commit, and allow a
+#     RE-kill inside the rejoin run (the window reaches the rejoin run's
+#     send ordinals because they keep counting across the revive). Must
+#     exhaust with zero violations — this is the kill -> rejoin ->
+#     re-kill space from docs/PROTOCOL.md's rejoin section.
 # The >=10k-interleaving acceptance sweep is a manual run (too slow
 # for CI); its corpus pins live in tests/schedules/ via mc_replay_test.
 MC=build-ci/tools-mc/panda_mc
@@ -100,6 +106,11 @@ $MC --kill=0,1 --kill_lo=0 --kill_hi=6 --actions=drop --max_faults=2 \
     > build-ci/mc_faulty.txt
 grep -q "space exhausted" build-ci/mc_faulty.txt
 grep -q "no invariant violations" build-ci/mc_faulty.txt
+$MC --kill=1 --kill_lo=0 --kill_hi=40 --max_kills=2 --rejoin \
+    --budget=2000 --json_out=build-ci/artifacts/MC_rejoin_smoke.json \
+    > build-ci/mc_rejoin.txt
+grep -q "space exhausted" build-ci/mc_rejoin.txt
+grep -q "no invariant violations" build-ci/mc_rejoin.txt
 echo "panda_mc smoke OK"
 
 if [ -z "$SKIP_SAN" ]; then

@@ -93,6 +93,7 @@ int Main(int argc, char** argv) {
   config.rows = static_cast<int>(options.GetInt("rows", 8));
   config.cols = static_cast<int>(options.GetInt("cols", 8));
   config.subchunk_bytes = options.GetInt("subchunk", 128);
+  config.timesteps = static_cast<int>(options.GetInt("timesteps", 1));
   // --actions=drop,dup,reorder,delay arms the loss choice surface.
   {
     const std::string actions = options.GetString("actions", "");
@@ -120,6 +121,9 @@ int Main(int argc, char** argv) {
   config.kill_lo = options.GetInt("kill_lo", 0);
   config.kill_hi = options.GetInt("kill_hi", 6);
   config.deliver_choices = options.GetBool("deliver", false);
+  // --rejoin revives the killed servers after eligible runs and
+  // model-checks the rejoin protocol too (kill -> rejoin -> re-kill).
+  config.rejoin = options.GetBool("rejoin", false);
   config.max_faults = static_cast<int>(options.GetInt("max_faults", 2));
   config.max_kills = static_cast<int>(options.GetInt("max_kills", 1));
   config.expect_no_aborts = options.GetBool("expect_no_aborts", false);
