@@ -1,0 +1,203 @@
+// Shard-store granularity x storage backend: what the sharded chunk
+// store (src/store/) buys, and what AdviseShardSize picks.
+//
+// One write collective of the paper's {mb, 512, 512} float array, swept
+// over shard granularity on two simulated backends:
+//
+//   posix        the calibrated NAS AIX local-disk model; the flat
+//                one-file-per-(array, server) layout is the baseline,
+//                and sharding must not cost throughput (the data moves
+//                through the same sequential writes either way).
+//   objectstore  src/iosim/object_store.h: every shard is one
+//                whole-object PUT with a fixed round trip, amortized
+//                over a bounded number of concurrent channels. Tiny
+//                shards drown in round trips; the advisor sizes them
+//                so a segment flush fills the channels. The bench
+//                models a wide-area store (60 ms PUT / 40 ms GET
+//                round trips — the regime object sharding exists
+//                for), and hands the same model to AdviseShardSize.
+//
+// Rows are labeled configurations (schema_version 4 `label`), not a
+// (size, io_nodes) sweep; tools/bench.sh asserts two acceptance bars:
+// the advisor-chosen object shard beats per-sub-chunk objects by >= 2x
+// elapsed, and posix sharded stays within 5% of posix flat.
+//
+//   ./bench/bench_shard_backend [--quick] [--reps=N] [--json_out=FILE]
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "util/units.h"
+
+using namespace panda;
+using namespace panda::bench;
+
+namespace {
+
+struct Config {
+  std::string label;
+  store::StoreBackend backend = store::StoreBackend::kPosix;
+  std::int64_t shard_bytes = 0;  // 0 = flat layout
+};
+
+// MeasureCollective hardcodes the plain simulated machine; this bench
+// needs the factory chosen per row, so it carries its own measurement
+// loop (same methodology: timing-only, warm-up write, elapsed = max
+// over compute nodes averaged over reps).
+// The modeled store: wide-area object storage, where the PUT round
+// trip (not the local disk) is the cost the shard size must amortize.
+ObjectStoreModel WideAreaStore() {
+  ObjectStoreModel model;
+  model.put_latency_s = 0.060;
+  model.get_latency_s = 0.040;
+  return model;
+}
+
+MeasureResult Measure(const Config& config, const ArrayMeta& meta,
+                      const Sp2Params& params, int num_clients, int io_nodes,
+                      int reps) {
+  const bool object_store = config.backend == store::StoreBackend::kObjectStore;
+  Machine machine =
+      object_store
+          ? Machine::SimulatedObjectStore(num_clients, io_nodes, params,
+                                          WideAreaStore(),
+                                          /*store_data=*/false,
+                                          /*timing_only=*/true)
+          : Machine::Simulated(num_clients, io_nodes, params,
+                               /*store_data=*/false, /*timing_only=*/true);
+  const World world{num_clients, io_nodes};
+  ServerOptions options;
+  options.backend = config.backend;
+  options.shard_bytes = config.shard_bytes;
+
+  std::vector<double> elapsed(static_cast<size_t>(reps * num_clients), 0.0);
+  machine.Run(
+      [&](Endpoint& ep, int client_index) {
+        PandaClient client(ep, world, params);
+        Array array(meta.name, meta.elem_size, meta.memory, meta.disk);
+        array.BindClient(client_index, /*allocate=*/false);
+        client.WriteArray(array);  // warm-up
+        for (int rep = 0; rep < reps; ++rep) {
+          elapsed[static_cast<size_t>(rep * num_clients + client_index)] =
+              client.WriteArray(array);
+        }
+        if (client_index == 0) client.Shutdown();
+      },
+      [&](Endpoint& ep, int server_index) {
+        ServerMain(ep, machine.server_fs(server_index), world, params,
+                   options);
+      });
+
+  double sum = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    sum += MaxOverRanks(std::span<const double>(
+        elapsed.data() + static_cast<size_t>(rep * num_clients),
+        static_cast<size_t>(num_clients)));
+  }
+  MeasureResult result;
+  result.elapsed_s = sum / reps;
+  const std::int64_t bytes = meta.total_bytes();
+  result.aggregate_Bps = static_cast<double>(bytes) / result.elapsed_s;
+  result.per_ion_Bps = result.aggregate_Bps / io_nodes;
+  const DiskModel aix = DiskModel::NasSp2Aix();
+  result.normalized = result.per_ion_Bps / aix.WriteThroughput(1 * kMiB);
+  const MachineReport report = Snapshot(machine);
+  result.wire_bytes_sent = report.messages.bytes_sent;
+  for (const FsStats& fs : report.server_fs) {
+    result.disk_bytes_written += fs.bytes_written;
+    result.disk_ops += fs.reads + fs.writes + fs.syncs;
+  }
+  result.metrics = report.metrics;
+  return result;
+}
+
+int Run(int argc, char** argv) {
+  Options opts(argc, argv);
+  const bool quick = opts.GetBool("quick", false);
+  const int reps = static_cast<int>(opts.GetInt("reps", quick ? 1 : 3));
+  const std::string json_out = opts.GetString("json_out", "");
+  opts.CheckAllConsumed();
+
+  const std::int64_t size_mb = quick ? 16 : 64;
+  const int num_clients = 8;
+  const int io_nodes = 2;
+  Sp2Params params = Sp2Params::Nas();
+  // Fine-grained sub-chunks are the motivating pathology: a naive
+  // object mapping (one object per sub-chunk) pays a PUT round trip
+  // per 32 KiB, which the advisor's shard sizing amortizes away.
+  params.subchunk_bytes = 32 * kKiB;
+  const ArrayMeta meta = PaperArrayMeta(size_mb, Shape{2, 2, 2},
+                                        /*traditional=*/false, io_nodes);
+  const std::int64_t segment_bytes = size_mb * kMiB / io_nodes;
+  const std::int64_t subchunk = params.subchunk_bytes;
+  const std::int64_t posix_advice = AdviseShardSize(
+      store::StoreBackend::kPosix, segment_bytes, subchunk);
+  const std::int64_t object_advice =
+      AdviseShardSize(store::StoreBackend::kObjectStore, segment_bytes,
+                      subchunk, WideAreaStore());
+
+  std::vector<Config> configs = {
+      {"posix flat", store::StoreBackend::kPosix, 0},
+      {"posix sharded 1m", store::StoreBackend::kPosix, 1 * kMiB},
+      {"posix sharded advisor", store::StoreBackend::kPosix, posix_advice},
+      {"object per-subchunk", store::StoreBackend::kObjectStore, subchunk},
+      {"object 8x-subchunk", store::StoreBackend::kObjectStore, 8 * subchunk},
+      {"object advisor", store::StoreBackend::kObjectStore, object_advice},
+  };
+
+  std::printf("# Shard store x backend: %lld MB write, %d compute nodes, "
+              "%d i/o nodes, %s sub-chunks\n",
+              static_cast<long long>(size_mb), num_clients, io_nodes,
+              FormatBytes(subchunk).c_str());
+  std::printf("# advisor picks: posix %s, objectstore %s (segment %s)\n",
+              FormatBytes(posix_advice).c_str(),
+              FormatBytes(object_advice).c_str(),
+              FormatBytes(segment_bytes).c_str());
+  std::printf("%-24s %-12s %-12s %-10s %-14s\n", "config", "shard",
+              "elapsed_s", "disk_ops", "aggregate");
+
+  FigureSpec spec;
+  spec.id = "shard-backend";
+  spec.description =
+      "sharded chunk store: shard granularity x storage backend, one "
+      "write collective";
+  spec.op = IoOp::kWrite;
+  spec.num_clients = num_clients;
+  spec.cn_mesh = Shape{2, 2, 2};
+  spec.io_nodes = {io_nodes};
+  spec.sizes_mb = {size_mb};
+  spec.reps = reps;
+
+  std::vector<FigureRow> rows;
+  for (const Config& config : configs) {
+    const MeasureResult r =
+        Measure(config, meta, params, num_clients, io_nodes, reps);
+    std::printf("%-24s %-12s %-12.4f %-10lld %-14s\n", config.label.c_str(),
+                config.shard_bytes == 0
+                    ? "flat"
+                    : FormatBytes(config.shard_bytes).c_str(),
+                r.elapsed_s, static_cast<long long>(r.disk_ops),
+                FormatThroughput(r.aggregate_Bps).c_str());
+    rows.push_back(FigureRow{io_nodes, size_mb, r, config.label});
+  }
+
+  if (!json_out.empty()) {
+    const std::string json = BenchJson(spec, quick, reps, rows);
+    PANDA_REQUIRE(trace::WriteTextFile(json_out, json),
+                  "cannot write bench json '%s'", json_out.c_str());
+    std::printf("# wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  try {
+    return Run(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

@@ -152,6 +152,7 @@ MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
   result.wire_bytes_sent = report.messages.bytes_sent;
   for (const FsStats& fs : report.server_fs) {
     result.disk_bytes_written += fs.bytes_written;
+    result.disk_ops += fs.reads + fs.writes + fs.syncs;
   }
   result.codec_ratio = SampledRatio(spec.codec, meta.elem_size);
   result.metrics = report.metrics;
@@ -214,7 +215,7 @@ trace::MetricsSnapshot MergeRowMetrics(std::span<const FigureRow> rows) {
 std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
                       std::span<const FigureRow> rows) {
   std::string out = "{";
-  out += "\"schema_version\":3,";
+  out += "\"schema_version\":4,";
   out += "\"kind\":\"panda_bench\",";
   out += "\"bench\":\"" + trace::JsonEscape(spec.id) + "\",";
   out += "\"description\":\"" + trace::JsonEscape(spec.description) + "\",";
@@ -238,6 +239,8 @@ std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
     out += ",\"disk_bytes_written\":" +
            std::to_string(row.result.disk_bytes_written);
     out += ",\"codec_ratio\":" + trace::JsonDouble(row.result.codec_ratio);
+    out += ",\"disk_ops\":" + std::to_string(row.result.disk_ops);
+    out += ",\"label\":\"" + trace::JsonEscape(row.label) + "\"";
     out += ",\"spans\":" + SpansJson(row.result.spans);
     out += "}";
     for (size_t k = 0; k < trace::kNumSpanKinds; ++k) {

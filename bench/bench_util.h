@@ -44,6 +44,10 @@ struct MeasureResult {
   // ablation tools/bench.sh runs.
   std::int64_t wire_bytes_sent = 0;
   std::int64_t disk_bytes_written = 0;
+  // Total disk operations (reads + writes + syncs) across the i/o
+  // nodes' file systems — the figure of merit shard granularity moves:
+  // an object store pays a round trip per op, so fewer/larger ops win.
+  std::int64_t disk_ops = 0;
   // Sampled framed/raw ratio of the fill pattern under MeasureSpec::
   // codec (what AdviseCodec feeds the cost model); 1.0 when codec=none.
   double codec_ratio = 1.0;
@@ -108,27 +112,33 @@ struct FigureOutput {
   std::string trace_path;  // Chrome trace JSON of the last sweep point
 };
 
-// One sweep point of a figure.
+// One sweep point of a figure. `label` names the configuration when
+// the sweep axis is not (io_nodes, size_mb) — bench_shard_backend's
+// "object advisor" vs "object per-subchunk" rows; figure sweeps leave
+// it empty.
 struct FigureRow {
   int io_nodes = 0;
   std::int64_t size_mb = 0;
   MeasureResult result;
+  std::string label;
 };
 
-// The stable machine-readable bench schema (schema_version 3): a single
+// The stable machine-readable bench schema (schema_version 4): a single
 // JSON object {schema_version, kind:"panda_bench", bench, description,
 // op, codec, quick, reps, rows:[{io_nodes, size_mb, elapsed_s,
 // aggregate_Bps, per_ion_Bps, normalized, wire_bytes_sent,
-// disk_bytes_written, codec_ratio, spans:{...}}], spans:{...},
-// metrics:{counters:{...},gauges:{...},histograms:{...}}}.
+// disk_bytes_written, codec_ratio, disk_ops, label, spans:{...}}],
+// spans:{...}, metrics:{counters:{...},gauges:{...},histograms:{...}}}.
 // Version history: v2 added `codec` and the per-row byte/ratio fields;
 // v3 added the top-level `metrics` block (trace::MetricsJson shape —
 // counters summed across sweep points, gauges from the last point),
 // which panda_mc's explorer JSON shares so bench-consuming tooling
-// ingests exploration runs unchanged. All pre-existing keys are
-// untouched, so v1/v2 consumers keep working. Doubles are %.17g, so
-// values round-trip exactly (tests/bench_json_test.cc re-derives
-// throughput from elapsed to 1e-9).
+// ingests exploration runs unchanged; v4 added the per-row `disk_ops`
+// operation count and `label` configuration name (empty for plain
+// figure sweeps) for the shard-store/backend benches. All pre-existing
+// keys are untouched, so v1..v3 consumers keep working. Doubles are
+// %.17g, so values round-trip exactly (tests/bench_json_test.cc
+// re-derives throughput from elapsed to 1e-9).
 std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
                       std::span<const FigureRow> rows);
 

@@ -12,7 +12,7 @@
 // The output directory is real (PosixFileSystem), so the offline
 // checker can audit the degraded group afterwards:
 //
-//   ./examples/failover_demo [--dir=PATH]
+//   ./examples/failover_demo [--dir=PATH] [--backend=posix|objectstore]
 //   ./examples/panda_fsck --root=PATH --io_nodes=3 --schema=demo.schema
 //       --subchunk_bytes=8192 --verify_checksums --verify_journal
 //
@@ -20,12 +20,19 @@
 // skips the dead node's stale files as lost, and verifies the
 // survivors' files — adopted chunks included — against their CRC32C
 // sidecars and write-ahead journals.
+//
+// --backend=objectstore reruns the same fault script against simulated
+// i/o nodes fronting an object store (src/iosim/object_store.h): data
+// moves through the sharded chunk store (src/store/) as whole-object
+// PUT/GET shards, sized by AdviseShardSize, and the degraded group is
+// audited in-process with VerifyGroupShards instead of offline fsck.
 #include <cstdio>
 #include <cstring>
 
 #include "panda/panda.h"
 #include "trace/export.h"
 #include "util/options.h"
+#include "util/units.h"
 
 using namespace panda;
 
@@ -79,7 +86,12 @@ int Run(int argc, char** argv) {
   // JSON and merged metrics JSON of the whole faulty run.
   const std::string trace_out = opts.GetString("trace_out", "");
   const std::string metrics_out = opts.GetString("metrics_out", "");
+  const std::string backend = opts.GetString("backend", "posix");
   opts.CheckAllConsumed();
+  PANDA_REQUIRE(backend == "posix" || backend == "objectstore",
+                "--backend must be posix or objectstore, got '%s'",
+                backend.c_str());
+  const bool object_store = backend == "objectstore";
 
   const int kClients = 4;
   const int kServers = 3;
@@ -87,7 +99,13 @@ int Run(int argc, char** argv) {
 
   Sp2Params params = Sp2Params::Nas();
   params.subchunk_bytes = 8192;  // several piece rounds per chunk
-  Machine machine = Machine::WithPosixFs(kClients, kServers, params, dir);
+  Machine machine =
+      object_store
+          ? Machine::SimulatedObjectStore(kClients, kServers, params,
+                                          ObjectStoreModel{},
+                                          /*store_data=*/true,
+                                          /*timing_only=*/false)
+          : Machine::WithPosixFs(kClients, kServers, params, dir);
 
   // A bounded adversary on every link: 5% of messages dropped, 5%
   // duplicated, 5% delivered out of order. The reliable-delivery layer
@@ -114,6 +132,14 @@ int Run(int argc, char** argv) {
   options.disk_checksums = true;  // CRC32C sidecars (F.crc)
   options.journal = true;         // write-ahead chunk journal (F.wal)
   options.robustness = &machine.robustness();
+  if (object_store) {
+    // 128x128 doubles over 3 i/o nodes: size shards for whole-object
+    // PUT round trips rather than the posix default flat layout.
+    const std::int64_t segment_est = 128 * 128 * 8 / kServers;
+    options.backend = store::StoreBackend::kObjectStore;
+    options.shard_bytes = AdviseShardSize(store::StoreBackend::kObjectStore,
+                                          segment_est, params.subchunk_bytes);
+  }
 
   std::int64_t mismatches = 0;
   machine.Run(
@@ -195,18 +221,39 @@ int Run(int argc, char** argv) {
               dead_csv.c_str());
   std::printf("  restart + 2 timestep reads: %s\n",
               mismatches == 0 ? "bit-exact" : "MISMATCH");
-  std::printf(
-      "audit the degraded directory offline with:\n"
-      "  ./examples/panda_fsck --root=%s --io_nodes=%d --schema=demo.schema "
-      "--subchunk_bytes=%lld --verify_checksums --verify_journal\n",
-      dir.c_str(), kServers,
-      static_cast<long long>(params.subchunk_bytes));
+
+  bool shards_clean = true;
+  if (object_store) {
+    // The object store is simulated in-memory, so the shard audit runs
+    // in-process instead of via offline fsck.
+    std::vector<FileSystem*> fs_ptrs;
+    for (int s = 0; s < kServers; ++s) fs_ptrs.push_back(&machine.server_fs(s));
+    std::string log;
+    const ShardReport shard_report =
+        VerifyGroupShards(fs_ptrs, meta, params.subchunk_bytes, &log);
+    if (!log.empty()) std::printf("%s", log.c_str());
+    std::printf(
+        "  shard audit (object store, %s shards): %lld shard files, %lld "
+        "sub-chunks, %s\n",
+        FormatBytes(ParseShardBytesAttr(meta.attributes)).c_str(),
+        static_cast<long long>(shard_report.files_checked),
+        static_cast<long long>(shard_report.subchunks_checked),
+        shard_report.Clean() ? "clean" : "CORRUPT");
+    shards_clean = shard_report.Clean() && shard_report.subchunks_checked > 0;
+  } else {
+    std::printf(
+        "audit the degraded directory offline with:\n"
+        "  ./examples/panda_fsck --root=%s --io_nodes=%d --schema=demo.schema "
+        "--subchunk_bytes=%lld --verify_checksums --verify_journal\n",
+        dir.c_str(), kServers,
+        static_cast<long long>(params.subchunk_bytes));
+  }
 
   const bool ok = mismatches == 0 && dead == std::vector<int>{1} &&
                   report.robustness.failovers_completed >= 1 &&
                   report.robustness.chunks_adopted > 0 &&
                   report.robustness.collectives_aborted == 0 &&
-                  report.transport.ranks_killed == 1;
+                  report.transport.ranks_killed == 1 && shards_clean;
   return ok ? 0 : 1;
 }
 

@@ -24,6 +24,18 @@
 // slot's self-describing header). Arrays written with codec=none store
 // raw bytes and are skipped.
 //
+// With --verify_shards, additionally audits sharded layouts: every
+// shard's self-describing table (`F.shard.N`, see src/store/) is
+// cross-checked against the plan, every sub-chunk is proven to decode
+// (torn tables fall back to the slots' frame headers and are counted as
+// healed, not fatal), and decoded bytes are compared against the CRC
+// sidecar when one exists.
+//
+// Groups written through the sharded store carry a
+// `__panda.shard_bytes` attribute; fsck then expects `F.shard.N` files
+// (each at least its data region plus table) instead of flat files,
+// and the basic sweep sizes each shard from the recorded granularity.
+//
 // Groups written in degraded mode (after a server crash-stop) carry a
 // `__panda.dead_servers` attribute; fsck honours it everywhere: dead
 // servers' files are skipped as lost, survivors are expected to hold
@@ -32,6 +44,7 @@
 //
 //   ./examples/panda_fsck --root=DIR --io_nodes=N --schema=FILE
 //       [--verify_checksums] [--verify_journal] [--verify_frames]
+//       [--verify_shards]
 #include <cstdio>
 
 #include "panda/panda.h"
@@ -75,6 +88,46 @@ void CheckFile(FileSystem& fs, const std::string& path,
               FormatBytes(size).c_str(), framed ? " (framed)" : "");
 }
 
+// Sharded layouts: one size check per shard file. A shard holds its
+// data region plus a table of its records; codec-encoded slots may
+// store fewer bytes than their plan extent, so the floor is what a
+// fully raw shard needs and --verify_shards proves the contents.
+void CheckShards(FileSystem& fs, const std::string& data_name,
+                 const IoPlan& plan, const DegradedLayout& layout, int server,
+                 std::int64_t num_segments, std::int64_t shard_bytes,
+                 CheckResult& result) {
+  const store::ShardLayout shards =
+      BuildShardLayout(plan, layout, server, shard_bytes);
+  for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+    for (std::int64_t local = 0; local < shards.shards_per_segment();
+         ++local) {
+      const store::ShardSpec& spec = shards.shard(local);
+      const std::string path = store::ShardFileName(
+          data_name, seg * shards.shards_per_segment() + local);
+      const std::int64_t floor_bytes =
+          store::ShardFileBytes(spec.data_bytes, spec.num_records);
+      ++result.checked;
+      if (!fs.Exists(path)) {
+        std::printf("  MISSING   %-40s (expected >= %s)\n", path.c_str(),
+                    FormatBytes(floor_bytes).c_str());
+        ++result.missing;
+        continue;
+      }
+      const std::int64_t size = fs.Open(path, OpenMode::kRead)->Size();
+      if (size < floor_bytes) {
+        std::printf("  BAD SIZE  %-40s (%s, expected at least %s)\n",
+                    path.c_str(), FormatBytes(size).c_str(),
+                    FormatBytes(floor_bytes).c_str());
+        ++result.wrong_size;
+        continue;
+      }
+      std::printf("  ok        %-40s %s (%lld records)\n", path.c_str(),
+                  FormatBytes(size).c_str(),
+                  static_cast<long long>(spec.num_records));
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -89,6 +142,7 @@ int main(int argc, char** argv) {
     const bool verify_checksums = opts.GetBool("verify_checksums", false);
     const bool verify_journal = opts.GetBool("verify_journal", false);
     const bool verify_frames = opts.GetBool("verify_frames", false);
+    const bool verify_shards = opts.GetBool("verify_shards", false);
     opts.CheckAllConsumed();
 
     std::vector<std::unique_ptr<PosixFileSystem>> fs;
@@ -103,6 +157,13 @@ int main(int argc, char** argv) {
                 static_cast<long long>(meta.timesteps),
                 meta.has_checkpoint ? "present" : "absent");
 
+    const std::int64_t shard_bytes = ParseShardBytesAttr(meta.attributes);
+    if (shard_bytes > 0) {
+      std::printf(
+          "group written through the sharded store (%s per shard); "
+          "expecting F.shard.N files instead of flat segments\n",
+          FormatBytes(shard_bytes).c_str());
+    }
     const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
     if (!dead.empty()) {
       std::string who;
@@ -126,16 +187,26 @@ int main(int argc, char** argv) {
         if (segment == 0) continue;  // server stores none of this array
         const bool framed = array.codec != CodecId::kNone;
         if (meta.timesteps > 0) {
-          CheckFile(*fs[static_cast<size_t>(s)],
-                    DataFileName(meta.group, array.name, Purpose::kTimestep,
-                                 s),
-                    meta.timesteps * segment, framed, result);
+          const std::string name =
+              DataFileName(meta.group, array.name, Purpose::kTimestep, s);
+          if (shard_bytes > 0) {
+            CheckShards(*fs[static_cast<size_t>(s)], name, plan, layout, s,
+                        meta.timesteps, shard_bytes, result);
+          } else {
+            CheckFile(*fs[static_cast<size_t>(s)], name,
+                      meta.timesteps * segment, framed, result);
+          }
         }
         if (meta.has_checkpoint) {
-          CheckFile(*fs[static_cast<size_t>(s)],
-                    DataFileName(meta.group, array.name, Purpose::kCheckpoint,
-                                 s),
-                    segment, framed, result);
+          const std::string name =
+              DataFileName(meta.group, array.name, Purpose::kCheckpoint, s);
+          if (shard_bytes > 0) {
+            CheckShards(*fs[static_cast<size_t>(s)], name, plan, layout, s,
+                        /*num_segments=*/1, shard_bytes, result);
+          } else {
+            CheckFile(*fs[static_cast<size_t>(s)], name, segment, framed,
+                      result);
+          }
         }
       }
     }
@@ -208,8 +279,34 @@ int main(int argc, char** argv) {
           static_cast<long long>(report.decode_failures));
       frames_clean = report.Clean();
     }
+
+    bool shards_clean = true;
+    if (verify_shards) {
+      std::vector<FileSystem*> fs_ptrs;
+      for (const auto& f : fs) fs_ptrs.push_back(f.get());
+      std::string log;
+      const ShardReport report = VerifyGroupShards(fs_ptrs, meta, subchunk,
+                                                   &log);
+      if (!log.empty()) std::printf("%s", log.c_str());
+      std::printf(
+          "shards: %lld files checked (%lld missing, %lld short), %lld torn "
+          "tables, %lld invalid entries, %lld sub-chunks checked (%lld "
+          "healed), %lld decode failures, %lld crc mismatches, %lld framing "
+          "mismatches\n",
+          static_cast<long long>(report.files_checked),
+          static_cast<long long>(report.files_missing),
+          static_cast<long long>(report.size_mismatches),
+          static_cast<long long>(report.tables_torn),
+          static_cast<long long>(report.entries_invalid),
+          static_cast<long long>(report.subchunks_checked),
+          static_cast<long long>(report.healed_slots),
+          static_cast<long long>(report.decode_failures),
+          static_cast<long long>(report.crc_mismatches),
+          static_cast<long long>(report.framing_mismatches));
+      shards_clean = report.Clean();
+    }
     return (result.missing + result.wrong_size) == 0 && checksums_clean &&
-                   journal_clean && frames_clean
+                   journal_clean && frames_clean && shards_clean
                ? 0
                : 1;
   } catch (const std::exception& e) {

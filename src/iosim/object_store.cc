@@ -1,0 +1,210 @@
+#include "iosim/object_store.h"
+
+#include <algorithm>
+#include <cstring>
+
+#include "util/error.h"
+
+namespace panda {
+
+ObjectStoreFileSystem::ObjectStoreFileSystem(Options options)
+    : options_(options) {
+  PANDA_REQUIRE(options_.model.channels >= 1,
+                "object store needs at least one channel");
+  channel_busy_until_.assign(
+      static_cast<size_t>(options_.model.channels), 0.0);
+}
+
+bool ObjectStoreFileSystem::IsObjectPath(const std::string& path) {
+  return path.find(".shard.") != std::string::npos;
+}
+
+void ObjectStoreFileSystem::ChargePut(std::int64_t bytes) {
+  stats_.writes += 1;
+  stats_.bytes_written += bytes;
+  if (options_.clock == nullptr) return;
+  const double now = options_.clock->Now();
+  auto ch = std::min_element(channel_busy_until_.begin(),
+                             channel_busy_until_.end());
+  const double start = std::max(now + options_.model.issue_s, *ch);
+  const double service = options_.model.put_latency_s +
+                         static_cast<double>(bytes) / options_.model.put_Bps;
+  *ch = start + service;
+  stats_.busy_seconds += service;
+  options_.clock->SyncTo(now + options_.model.issue_s);
+}
+
+void ObjectStoreFileSystem::ChargeGet(std::int64_t bytes, double extra_s) {
+  stats_.reads += 1;
+  stats_.bytes_read += bytes;
+  if (options_.clock == nullptr) return;
+  const double now = options_.clock->Now();
+  auto ch = std::min_element(channel_busy_until_.begin(),
+                             channel_busy_until_.end());
+  const double start = std::max(now + options_.model.issue_s, *ch);
+  const double service = options_.model.get_latency_s +
+                         static_cast<double>(bytes) / options_.model.get_Bps +
+                         extra_s;
+  *ch = start + service;
+  stats_.busy_seconds += service;
+  options_.clock->SyncTo(*ch);  // reads block: the caller needs the bytes
+}
+
+void ObjectStoreFileSystem::ChargeLocal(std::int64_t inode_id,
+                                        std::int64_t offset, std::int64_t n,
+                                        bool write) {
+  const bool sequential = inode_id == head_inode_ && offset == head_offset_;
+  head_inode_ = inode_id;
+  head_offset_ = offset + n;
+  if (!sequential) stats_.seeks += 1;
+  const double seconds = write
+                             ? options_.model.local.WriteSeconds(n, sequential)
+                             : options_.model.local.ReadSeconds(n, sequential);
+  if (options_.clock != nullptr) options_.clock->Advance(seconds);
+  stats_.busy_seconds += seconds;
+  stats_.reads += write ? 0 : 1;
+  stats_.writes += write ? 1 : 0;
+  (write ? stats_.bytes_written : stats_.bytes_read) += n;
+}
+
+void ObjectStoreFileSystem::DrainChannels() {
+  if (options_.clock == nullptr) return;
+  double done = options_.clock->Now();
+  for (const double busy : channel_busy_until_) done = std::max(done, busy);
+  options_.clock->SyncTo(done);
+}
+
+class ObjectStoreFile : public File {
+ public:
+  ObjectStoreFile(ObjectStoreFileSystem* fs,
+                  ObjectStoreFileSystem::Inode* inode, std::int64_t inode_id)
+      : fs_(fs), inode_(inode), inode_id_(inode_id) {}
+
+  void WriteAt(std::int64_t offset, std::span<const std::byte> data,
+               std::int64_t vbytes) override {
+    PANDA_CHECK(offset >= 0 && vbytes >= 0);
+    if (fs_->store_data()) {
+      PANDA_REQUIRE(static_cast<std::int64_t>(data.size()) == vbytes,
+                    "store_data ObjectStoreFileSystem requires real data");
+      if (offset + vbytes > static_cast<std::int64_t>(inode_->data.size())) {
+        inode_->data.resize(static_cast<size_t>(offset + vbytes));
+      }
+      if (vbytes > 0) {
+        std::memcpy(inode_->data.data() + offset, data.data(),
+                    static_cast<size_t>(vbytes));
+      }
+    }
+    const std::int64_t old_size = inode_->size;
+    inode_->size = std::max(inode_->size, offset + vbytes);
+    if (!inode_->object) {
+      fs_->ChargeLocal(inode_id_, offset, vbytes, /*write=*/true);
+      return;
+    }
+    if (offset == 0 && vbytes >= old_size) {
+      fs_->ChargePut(vbytes);  // whole-object PUT, async on a channel
+    } else {
+      // Partial update: synchronous read-modify-write of the object.
+      const double put_s =
+          fs_->model().put_latency_s +
+          static_cast<double>(inode_->size) / fs_->model().put_Bps;
+      fs_->ChargeGet(old_size, put_s);
+      fs_->stats_.writes += 1;
+      fs_->stats_.bytes_written += inode_->size;
+    }
+  }
+
+  void ReadAt(std::int64_t offset, std::span<std::byte> out,
+              std::int64_t vbytes) override {
+    PANDA_CHECK(offset >= 0 && vbytes >= 0);
+    PANDA_REQUIRE(offset + vbytes <= inode_->size,
+                  "read past EOF (offset %lld + %lld > size %lld)",
+                  static_cast<long long>(offset),
+                  static_cast<long long>(vbytes),
+                  static_cast<long long>(inode_->size));
+    if (fs_->store_data()) {
+      PANDA_REQUIRE(static_cast<std::int64_t>(out.size()) == vbytes,
+                    "store_data ObjectStoreFileSystem requires a real buffer");
+      if (vbytes > 0) {
+        std::memcpy(out.data(), inode_->data.data() + offset,
+                    static_cast<size_t>(vbytes));
+      }
+    }
+    if (!inode_->object) {
+      fs_->ChargeLocal(inode_id_, offset, vbytes, /*write=*/false);
+      return;
+    }
+    // GETs move whole objects no matter the window asked for — the
+    // whole point of shard-sized objects is to make this one fetch.
+    fs_->ChargeGet(inode_->size, 0.0);
+  }
+
+  void Sync() override {
+    fs_->stats_.syncs += 1;
+    if (inode_->object) {
+      fs_->DrainChannels();  // durability barrier for outstanding PUTs
+      return;
+    }
+    if (fs_->options_.clock != nullptr) {
+      fs_->options_.clock->Advance(fs_->model().local.fsync_s);
+    }
+    fs_->stats_.busy_seconds += fs_->model().local.fsync_s;
+  }
+
+  std::int64_t Size() override { return inode_->size; }
+
+ private:
+  ObjectStoreFileSystem* fs_;
+  ObjectStoreFileSystem::Inode* inode_;
+  std::int64_t inode_id_;
+};
+
+std::unique_ptr<File> ObjectStoreFileSystem::Open(const std::string& path,
+                                                  OpenMode mode) {
+  auto it = inodes_.find(path);
+  if (mode == OpenMode::kRead) {
+    PANDA_REQUIRE(it != inodes_.end(), "object/file %s does not exist",
+                  path.c_str());
+  } else if (mode == OpenMode::kWrite) {
+    if (it != inodes_.end()) {
+      it->second.data.clear();
+      it->second.size = 0;
+    } else {
+      it = inodes_.emplace(path, Inode{}).first;
+    }
+  } else {  // kReadWrite
+    if (it == inodes_.end()) it = inodes_.emplace(path, Inode{}).first;
+  }
+  it->second.object = IsObjectPath(path);
+  auto id_it = inode_ids_.find(path);
+  if (id_it == inode_ids_.end()) {
+    id_it = inode_ids_.emplace(path, next_inode_id_++).first;
+  }
+  return std::make_unique<ObjectStoreFile>(this, &it->second, id_it->second);
+}
+
+bool ObjectStoreFileSystem::Exists(const std::string& path) {
+  return inodes_.count(path) != 0;
+}
+
+void ObjectStoreFileSystem::Remove(const std::string& path) {
+  inodes_.erase(path);
+}
+
+void ObjectStoreFileSystem::Rename(const std::string& from,
+                                   const std::string& to) {
+  auto it = inodes_.find(from);
+  PANDA_REQUIRE(it != inodes_.end(), "rename: %s does not exist",
+                from.c_str());
+  auto node = inodes_.extract(it);
+  node.key() = to;
+  inodes_.erase(to);
+  inodes_.insert(std::move(node));
+  // A rename is a manifest flip on the node-local metadata disk; the
+  // target's object-ness follows its (possibly different) new name.
+  inodes_.find(to)->second.object = IsObjectPath(to);
+  if (options_.clock != nullptr) {
+    options_.clock->Advance(options_.model.local.fsync_s);
+  }
+}
+
+}  // namespace panda

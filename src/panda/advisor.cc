@@ -1,6 +1,7 @@
 #include "panda/advisor.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "codec/frame.h"
 #include "util/error.h"
@@ -165,6 +166,50 @@ CodecAdvice AdviseCodec(std::span<const std::byte> sample,
   if (best_codec == CodecId::kNone || best_ratio >= 0.95) return best;
   best.codec = best_codec;
   best.sampled_ratio = best_ratio;
+  return best;
+}
+
+std::int64_t AdviseShardSize(store::StoreBackend backend,
+                             std::int64_t segment_bytes,
+                             std::int64_t subchunk_bytes,
+                             const ObjectStoreModel& model) {
+  PANDA_REQUIRE(subchunk_bytes > 0, "sub-chunk size must be positive");
+  constexpr std::int64_t kMiB = 1 << 20;
+  if (segment_bytes <= subchunk_bytes) {
+    return std::max(segment_bytes, subchunk_bytes);
+  }
+  if (backend == store::StoreBackend::kPosix) {
+    // The flat layout is already sequential-optimal on a posix disk;
+    // shards exist for bounded handles and repair granularity, and
+    // every extra shard costs one table write + one fsync. Prefer few,
+    // large shards: the overhead measurably vanishes by 4 MiB
+    // (bench_shard_backend), capped so a segment still splits.
+    const std::int64_t lo = std::max(subchunk_bytes, 4 * kMiB);
+    const std::int64_t hi = std::max<std::int64_t>(lo, 16 * kMiB);
+    return std::clamp(segment_bytes / 4, lo, hi);
+  }
+  // Object store: each shard is one whole-object PUT; `channels` run
+  // concurrently, so a segment flush takes about
+  //   ceil(n / channels) * (put_latency + shard / put_Bps)
+  // waves. Tiny shards drown in round trips, one giant shard wastes
+  // the parallel channels; sweep power-of-two multiples of the
+  // sub-chunk and take the cheapest (larger wins ties: fewer objects).
+  std::int64_t best = subchunk_bytes;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (std::int64_t shard = subchunk_bytes;;) {
+    const std::int64_t capped = std::min(shard, segment_bytes);
+    const std::int64_t n = (segment_bytes + capped - 1) / capped;
+    const std::int64_t waves = (n + model.channels - 1) / model.channels;
+    const double cost =
+        static_cast<double>(waves) *
+        (model.put_latency_s + static_cast<double>(capped) / model.put_Bps);
+    if (cost <= best_cost) {  // <=: tie goes to the larger shard
+      best_cost = cost;
+      best = capped;
+    }
+    if (capped >= segment_bytes) break;
+    shard *= 2;
+  }
   return best;
 }
 

@@ -16,10 +16,13 @@
 #pragma once
 
 #include <cstddef>
+#include <cstdint>
 #include <span>
 #include <vector>
 
+#include "iosim/object_store.h"
 #include "panda/cost_model.h"
+#include "store/shard_store.h"
 
 namespace panda {
 
@@ -81,5 +84,23 @@ struct CodecAdvice {
 
 CodecAdvice AdviseCodec(std::span<const std::byte> sample,
                         std::int64_t elem_size);
+
+// ---- Shard-size advisor ---------------------------------------------
+//
+// Picks `ServerOptions::shard_bytes` from the storage backend's cost
+// shape. A posix disk pays per seek, so modest shards (bounded handle
+// churn, cheap repair granularity) win; an object store pays a fixed
+// round-trip per PUT amortized over `channels` concurrent connections,
+// so the advisor enumerates power-of-two multiples of the sub-chunk
+// size and minimizes predicted per-segment flush time
+//   ceil(num_shards / channels) * (put_latency + shard / put_Bps),
+// preferring the larger shard on ties (fewer objects to manage).
+// `segment_bytes` is the per-server segment the shards cut up (an
+// upper bound for the advice); `subchunk_bytes` is the collective's
+// sub-chunk granularity (a lower bound).
+std::int64_t AdviseShardSize(store::StoreBackend backend,
+                             std::int64_t segment_bytes,
+                             std::int64_t subchunk_bytes,
+                             const ObjectStoreModel& model = {});
 
 }  // namespace panda

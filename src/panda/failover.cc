@@ -153,6 +153,13 @@ std::int64_t ParseLayoutEpochAttr(
   return static_cast<std::int64_t>(std::stoll(it->second));
 }
 
+std::int64_t ParseShardBytesAttr(
+    const std::map<std::string, std::string>& attributes) {
+  const auto it = attributes.find(kShardBytesAttr);
+  if (it == attributes.end() || it->second.empty()) return 0;
+  return static_cast<std::int64_t>(std::stoll(it->second));
+}
+
 std::vector<RepairItem> BuildRepairPlan(const IoPlan& plan,
                                         const DegradedLayout& degraded) {
   std::vector<RepairItem> items;

@@ -121,6 +121,17 @@ inline constexpr const char* kLayoutEpochAttr = "__panda.layout_epoch";
 std::int64_t ParseLayoutEpochAttr(
     const std::map<std::string, std::string>& attributes);
 
+// The group-metadata attribute recording the shard granularity the
+// group's data files were written with (ServerOptions::shard_bytes).
+// Absent (0) means the flat one-file-per-(array, server) layout;
+// positive means every data file is a set of `F.shard.N` files (see
+// src/store/). Offline tools derive the whole shard map from this one
+// number plus the plan.
+inline constexpr const char* kShardBytesAttr = "__panda.shard_bytes";
+
+std::int64_t ParseShardBytesAttr(
+    const std::map<std::string, std::string>& attributes);
+
 // One chunk the degraded layout moved off its identity owner: who holds
 // it now and who must get it back when the owner rejoins. The offsets
 // on both sides are derivable from the two layouts (degraded

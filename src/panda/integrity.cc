@@ -1,11 +1,13 @@
 #include "panda/integrity.h"
 
+#include <optional>
 #include <utility>
 #include <vector>
 
 #include "panda/failover.h"
 #include "panda/frame_io.h"
 #include "panda/plan.h"
+#include "panda/store_io.h"
 #include "util/codec.h"
 #include "util/crc32c.h"
 #include "util/error.h"
@@ -62,8 +64,10 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
                                      Purpose purpose, std::int64_t num_segments,
                                      const std::string& group,
                                      std::string* log,
-                                     const std::vector<int>& dead_servers) {
+                                     const std::vector<int>& dead_servers,
+                                     std::int64_t shard_bytes) {
   IntegrityReport report;
+  const bool sharded = shard_bytes > 0;
   const int num_servers = static_cast<int>(fs.size());
   const IoPlan plan(meta, num_servers, subchunk_bytes);
   // The layout the data was committed under (identity when no server
@@ -78,7 +82,12 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
     if (work.empty()) continue;  // this server stores none of the array
 
     const std::string data_name = DataFileName(group, meta.name, purpose, s);
-    if (!fs[s]->Exists(data_name)) continue;  // array/purpose never written
+    // Sharded layouts have no flat file; shard 0 marks that this
+    // (array, purpose) was ever written on this server.
+    if (!fs[s]->Exists(sharded ? store::ShardFileName(data_name, 0)
+                               : data_name)) {
+      continue;  // array/purpose never written
+    }
 
     const std::string sidecar_name = SidecarFileName(data_name);
     if (!fs[s]->Exists(sidecar_name)) {
@@ -89,15 +98,23 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
     }
 
     ++report.files_checked;
-    auto data = fs[s]->Open(data_name, OpenMode::kRead);
+    std::unique_ptr<File> data;
+    if (!sharded) data = fs[s]->Open(data_name, OpenMode::kRead);
     auto sidecar = fs[s]->Open(sidecar_name, OpenMode::kRead);
     // Codec arrays store frames; the CRC sidecar covers the decoded
     // bytes, so verification decodes through the frame directory (or
-    // header probing when it is missing) before comparing.
+    // header probing when it is missing) before comparing. Sharded
+    // layouts carry the frame metadata in each shard's table instead.
     std::unique_ptr<File> frame_dir;
-    if (meta.codec != CodecId::kNone &&
+    if (!sharded && meta.codec != CodecId::kNone &&
         fs[s]->Exists(FrameDirFileName(data_name))) {
       frame_dir = fs[s]->Open(FrameDirFileName(data_name), OpenMode::kRead);
+    }
+    std::optional<store::ShardLayout> shards;
+    std::optional<store::ShardReader> reader;
+    if (sharded) {
+      shards = BuildShardLayout(plan, layout, s, shard_bytes);
+      reader.emplace(OfflineShardReader(*fs[s], data_name, &*shards));
     }
     const std::int64_t records_per_segment =
         static_cast<std::int64_t>(work.size());
@@ -139,9 +156,13 @@ IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
 
         ++report.subchunks_checked;
         try {
-          buf = ReadSubchunkForVerify(*data, frame_dir.get(), meta.codec,
-                                      record_index, base + item.file_offset,
-                                      sp.bytes, meta.elem_size);
+          if (sharded) {
+            buf = std::move(reader->Get(seg, k, meta.elem_size).raw);
+          } else {
+            buf = ReadSubchunkForVerify(*data, frame_dir.get(), meta.codec,
+                                        record_index, base + item.file_offset,
+                                        sp.bytes, meta.elem_size);
+          }
         } catch (const PandaError& e) {
           ++report.crc_mismatches;
           AppendLog(log,
@@ -168,20 +189,21 @@ IntegrityReport VerifyGroupChecksums(std::span<FileSystem* const> fs,
                                      std::string* log) {
   IntegrityReport report;
   const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
+  const std::int64_t shard_bytes = ParseShardBytesAttr(meta.attributes);
   for (const ArrayMeta& array : meta.arrays) {
     // Plain (general-purpose) files, if the group ever wrote any.
     report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
                                       Purpose::kGeneral, 1, meta.group, log,
-                                      dead));
+                                      dead, shard_bytes));
     if (meta.timesteps > 0) {
       report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
                                         Purpose::kTimestep, meta.timesteps,
-                                        meta.group, log, dead));
+                                        meta.group, log, dead, shard_bytes));
     }
     if (meta.has_checkpoint) {
       report.Merge(VerifyArrayChecksums(fs, array, subchunk_bytes,
                                         Purpose::kCheckpoint, 1, meta.group,
-                                        log, dead));
+                                        log, dead, shard_bytes));
     }
   }
   return report;

@@ -66,14 +66,17 @@ struct IntegrityReport {
 // the data was committed under: dead servers' files are skipped and
 // survivors are checked including their adopted chunks. When `log` is
 // non-null, human-readable findings (one line per problem or skipped
-// file) are appended.
+// file) are appended. A positive `shard_bytes` (the group's
+// `__panda.shard_bytes` attribute) re-reads through the sharded layout
+// (src/store/) instead of the flat per-server file.
 IntegrityReport VerifyArrayChecksums(std::span<FileSystem* const> fs,
                                      const ArrayMeta& meta,
                                      std::int64_t subchunk_bytes,
                                      Purpose purpose, std::int64_t num_segments,
                                      const std::string& group,
                                      std::string* log = nullptr,
-                                     const std::vector<int>& dead_servers = {});
+                                     const std::vector<int>& dead_servers = {},
+                                     std::int64_t shard_bytes = 0);
 
 // Group-level sweep driven by the group's schema metadata: timestep
 // streams and the checkpoint (if present) of every array. The dead

@@ -1,9 +1,12 @@
 #include "panda/journal.h"
 
 #include <algorithm>
+#include <optional>
+#include <utility>
 #include <vector>
 
 #include "panda/frame_io.h"
+#include "panda/store_io.h"
 #include "util/codec.h"
 #include "util/crc32c.h"
 #include "util/error.h"
@@ -201,8 +204,10 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
                                  const std::string& group,
                                  const std::vector<int>& dead_servers,
                                  std::string* log,
-                                 std::int64_t expected_epoch) {
+                                 std::int64_t expected_epoch,
+                                 std::int64_t shard_bytes) {
   JournalReport report;
+  const bool sharded = shard_bytes > 0;
   const int num_servers = static_cast<int>(fs.size());
   const IoPlan plan(meta, num_servers, subchunk_bytes);
   const DegradedLayout layout = DegradedLayout::Compute(plan, dead_servers);
@@ -214,7 +219,12 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
     if (work.empty()) continue;  // this server stores none of the array
 
     const std::string data_name = DataFileName(group, meta.name, purpose, s);
-    if (!fs[s]->Exists(data_name)) continue;  // array/purpose never written
+    // Sharded layouts have no flat file; shard 0 marks that this
+    // (array, purpose) was ever written on this server.
+    if (!fs[s]->Exists(sharded ? store::ShardFileName(data_name, 0)
+                               : data_name)) {
+      continue;  // array/purpose never written
+    }
 
     const std::string journal_name = JournalFileName(data_name);
     if (!fs[s]->Exists(journal_name)) {
@@ -225,14 +235,22 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
     }
 
     ++report.files_checked;
-    auto data = fs[s]->Open(data_name, OpenMode::kRead);
+    std::unique_ptr<File> data;
+    if (!sharded) data = fs[s]->Open(data_name, OpenMode::kRead);
     auto journal = fs[s]->Open(journal_name, OpenMode::kRead);
     // Journal data CRCs cover the *decoded* bytes: codec arrays verify
-    // through the frame directory (or header probing).
+    // through the frame directory (or header probing). Sharded layouts
+    // carry the frame metadata in each shard's table instead.
     std::unique_ptr<File> frame_dir;
-    if (meta.codec != CodecId::kNone &&
+    if (!sharded && meta.codec != CodecId::kNone &&
         fs[s]->Exists(FrameDirFileName(data_name))) {
       frame_dir = fs[s]->Open(FrameDirFileName(data_name), OpenMode::kRead);
+    }
+    std::optional<store::ShardLayout> shards;
+    std::optional<store::ShardReader> reader;
+    if (sharded) {
+      shards = BuildShardLayout(plan, layout, s, shard_bytes);
+      reader.emplace(OfflineShardReader(*fs[s], data_name, &*shards));
     }
     const std::int64_t records_per_segment =
         static_cast<std::int64_t>(work.size());
@@ -311,9 +329,13 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
 
         ++report.records_checked;
         try {
-          buf = ReadSubchunkForVerify(*data, frame_dir.get(), meta.codec,
-                                      record_index, want_offset, sp.bytes,
-                                      meta.elem_size);
+          if (sharded) {
+            buf = std::move(reader->Get(seg, k, meta.elem_size).raw);
+          } else {
+            buf = ReadSubchunkForVerify(*data, frame_dir.get(), meta.codec,
+                                        record_index, want_offset, sp.bytes,
+                                        meta.elem_size);
+          }
         } catch (const PandaError& e) {
           ++report.data_mismatches;
           AppendLog(log, "unreadable journaled sub-chunk (" +
@@ -340,21 +362,23 @@ JournalReport VerifyGroupJournal(std::span<FileSystem* const> fs,
   JournalReport report;
   const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
   const std::int64_t epoch = ParseLayoutEpochAttr(meta.attributes);
+  const std::int64_t shard_bytes = ParseShardBytesAttr(meta.attributes);
   for (size_t a = 0; a < meta.arrays.size(); ++a) {
     const ArrayMeta& array = meta.arrays[a];
     const auto idx = static_cast<std::int32_t>(a);
     report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
                                     Purpose::kGeneral, 1, meta.group, dead,
-                                    log, epoch));
+                                    log, epoch, shard_bytes));
     if (meta.timesteps > 0) {
       report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
                                       Purpose::kTimestep, meta.timesteps,
-                                      meta.group, dead, log, epoch));
+                                      meta.group, dead, log, epoch,
+                                      shard_bytes));
     }
     if (meta.has_checkpoint) {
       report.Merge(VerifyArrayJournal(fs, array, idx, subchunk_bytes,
                                       Purpose::kCheckpoint, 1, meta.group, dead,
-                                      log, epoch));
+                                      log, epoch, shard_bytes));
     }
   }
   return report;

@@ -157,7 +157,10 @@ struct JournalReport {
 // header whose epoch is *greater* counts epoch_mismatches: the journal
 // claims a layout generation the committed metadata never recorded (a
 // torn rejoin-repair commit). A smaller epoch is fine — failovers bump
-// the metadata epoch without rewriting survivor journals.
+// the metadata epoch without rewriting survivor journals. A positive
+// `shard_bytes` (the group's `__panda.shard_bytes` attribute) re-reads
+// data through the sharded layout (src/store/) instead of the flat
+// per-server file.
 JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
                                  const ArrayMeta& meta, std::int32_t array_index,
                                  std::int64_t subchunk_bytes, Purpose purpose,
@@ -165,7 +168,8 @@ JournalReport VerifyArrayJournal(std::span<FileSystem* const> fs,
                                  const std::string& group,
                                  const std::vector<int>& dead_servers,
                                  std::string* log = nullptr,
-                                 std::int64_t expected_epoch = -1);
+                                 std::int64_t expected_epoch = -1,
+                                 std::int64_t shard_bytes = 0);
 
 // Group-level sweep driven by the group's schema metadata (mirrors
 // VerifyGroupChecksums); the dead-server set is read from the group's

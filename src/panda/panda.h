@@ -46,5 +46,6 @@
 #include "panda/schema_io.h"
 #include "panda/sequential.h"
 #include "panda/server.h"
+#include "panda/store_io.h"
 #include "sp2/machine.h"
 #include "sp2/params.h"

@@ -13,6 +13,7 @@
 #include "panda/frame_io.h"
 #include "panda/integrity.h"
 #include "panda/journal.h"
+#include "panda/store_io.h"
 #include "trace/trace.h"
 #include "util/crc32c.h"
 #include "util/error.h"
@@ -99,14 +100,27 @@ RepairTransfer DecodeTransferHeader(const Message& msg) {
 // already-committed bytes, not a collective's critical path.
 class RepairFileWriter {
  public:
+  // `shard_layout` non-null routes the data through a ShardWriter at
+  // `write_name`-derived shard files (src/store/) instead of one flat
+  // file; sidecar and journal stay flat either way.
   RepairFileWriter(Endpoint& ep, FileSystem& fs, const ServerOptions& options,
                    const ArrayMeta& meta, const std::string& write_name,
-                   const JournalHeader& journal_header)
+                   const JournalHeader& journal_header,
+                   const store::ShardLayout* shard_layout = nullptr)
       : ep_(ep), options_(options), meta_(meta) {
     const RetryPolicy& retry = options.retry;
     RobustnessStats* stats = options.robustness;
-    retry.Run(&ep.clock(), stats,
-              [&] { data_ = fs.Open(write_name, OpenMode::kWrite); });
+    if (shard_layout != nullptr) {
+      store::StoreOptions sopt;
+      sopt.shard_bytes = options.shard_bytes;
+      sopt.backend = options.backend;
+      sopt.handle_pool_capacity = options.handle_pool_capacity;
+      shard_writer_.emplace(&fs, write_name, shard_layout, sopt,
+                            OpenMode::kWrite, retry, &ep.clock(), stats);
+    } else {
+      retry.Run(&ep.clock(), stats,
+                [&] { data_ = fs.Open(write_name, OpenMode::kWrite); });
+    }
     if (options.disk_checksums) {
       retry.Run(&ep.clock(), stats, [&] {
         sidecar_ = fs.Open(SidecarFileName(write_name), OpenMode::kWrite);
@@ -120,7 +134,8 @@ class RepairFileWriter {
       retry.Run(&ep.clock(), stats,
                 [&] { WriteJournalHeader(*journal_, *jhdr_); });
     }
-    if (meta.codec != CodecId::kNone) {
+    // The shard table replaces the frame directory under sharding.
+    if (meta.codec != CodecId::kNone && shard_layout == nullptr) {
       retry.Run(&ep.clock(), stats, [&] {
         frame_dir_ = fs.Open(FrameDirFileName(write_name), OpenMode::kWrite);
       });
@@ -134,18 +149,34 @@ class RepairFileWriter {
     const RetryPolicy& retry = options_.retry;
     RobustnessStats* stats = options_.robustness;
     SubchunkFrame frame;
-    if (frame_dir_ != nullptr) {
+    const bool encode =
+        frame_dir_ != nullptr ||
+        (shard_writer_.has_value() && meta_.codec != CodecId::kNone);
+    if (encode) {
       frame = EncodeSubchunkFrame(meta_.codec, raw, meta_.elem_size);
     }
-    retry.Run(&ep_.clock(), stats, [&] {
-      if (frame_dir_ != nullptr && frame.codec != CodecId::kNone) {
-        data_->WriteAt(rec.file_offset,
-                       {frame.bytes.data(), frame.bytes.size()},
-                       static_cast<std::int64_t>(frame.bytes.size()));
+    if (shard_writer_.has_value()) {
+      // The writer retries internally.
+      if (encode && frame.codec != CodecId::kNone) {
+        shard_writer_->Put(seg_, ordinal_, rec.array_index, rec.chunk_id,
+                           rec.sub_index, frame.codec,
+                           {frame.bytes.data(), frame.bytes.size()},
+                           static_cast<std::int64_t>(frame.bytes.size()));
       } else {
-        data_->WriteAt(rec.file_offset, raw, rec.bytes);
+        shard_writer_->Put(seg_, ordinal_, rec.array_index, rec.chunk_id,
+                           rec.sub_index, CodecId::kNone, raw, rec.bytes);
       }
-    });
+    } else {
+      retry.Run(&ep_.clock(), stats, [&] {
+        if (frame_dir_ != nullptr && frame.codec != CodecId::kNone) {
+          data_->WriteAt(rec.file_offset,
+                         {frame.bytes.data(), frame.bytes.size()},
+                         static_cast<std::int64_t>(frame.bytes.size()));
+        } else {
+          data_->WriteAt(rec.file_offset, raw, rec.bytes);
+        }
+      });
+    }
     if (frame_dir_ != nullptr) {
       frame_recs_.emplace_back(
           rec_index_override_,
@@ -167,7 +198,15 @@ class RepairFileWriter {
     }
   }
 
-  void set_record_index(std::int64_t index) { rec_index_override_ = index; }
+  // `seg`/`ordinal` locate the record for the shard writer (segment and
+  // in-segment record ordinal); `index` is the flat sidecar/journal
+  // record slot, as before.
+  void set_record_index(std::int64_t index, std::int64_t seg = 0,
+                        std::int64_t ordinal = 0) {
+    rec_index_override_ = index;
+    seg_ = seg;
+    ordinal_ = ordinal;
+  }
 
   // Flushes the buffered frame directory and fsyncs everything.
   void Finish() {
@@ -193,7 +232,11 @@ class RepairFileWriter {
       }
       retry.Run(&ep_.clock(), stats, [&] { frame_dir_->Sync(); });
     }
-    retry.Run(&ep_.clock(), stats, [&] { data_->Sync(); });
+    if (shard_writer_.has_value()) {
+      shard_writer_->Finish();
+    } else {
+      retry.Run(&ep_.clock(), stats, [&] { data_->Sync(); });
+    }
     if (sidecar_ != nullptr) {
       retry.Run(&ep_.clock(), stats, [&] { sidecar_->Sync(); });
     }
@@ -207,11 +250,14 @@ class RepairFileWriter {
   const ServerOptions& options_;
   const ArrayMeta& meta_;
   std::unique_ptr<File> data_;
+  std::optional<store::ShardWriter> shard_writer_;
   std::unique_ptr<File> sidecar_;
   std::unique_ptr<File> journal_;
   std::unique_ptr<File> frame_dir_;
   std::optional<JournalHeader> jhdr_;
   std::int64_t rec_index_override_ = 0;
+  std::int64_t seg_ = 0;
+  std::int64_t ordinal_ = 0;
   std::vector<std::pair<std::int64_t, FrameDirRecord>> frame_recs_;
 };
 
@@ -224,6 +270,11 @@ void RemoveFileSet(Endpoint& ep, FileSystem& fs, const ServerOptions& options,
     fs.Remove(SidecarFileName(data_name));
     fs.Remove(JournalFileName(data_name));
     fs.Remove(FrameDirFileName(data_name));
+    // Shard files are contiguous from 0 by construction.
+    for (std::int64_t id = 0; fs.Exists(store::ShardFileName(data_name, id));
+         ++id) {
+      fs.Remove(store::ShardFileName(data_name, id));
+    }
   });
 }
 
@@ -273,6 +324,14 @@ std::int64_t RepairArrayPurpose(
   const std::vector<WorkItem> identity_work =
       BuildServerWork(plan, identity, sidx, WorkPhase::kFull);
   const std::int64_t rps_identity = RecordsPerSegment(plan, identity, sidx);
+  // Sharded groups rebuild into shard files under the identity layout's
+  // shard map (the same pure function every writer/reader derives).
+  const bool sharded = options.shard_bytes > 0;
+  std::optional<store::ShardLayout> identity_shards;
+  if (sharded && !identity_work.empty()) {
+    identity_shards =
+        BuildShardLayout(plan, identity, sidx, options.shard_bytes);
+  }
   // Rebuilt timestep journals keep the committed checkpoint's GC base;
   // single-segment purposes start from record 0.
   JournalHeader jhdr;
@@ -293,7 +352,8 @@ std::int64_t RepairArrayPurpose(
     }
     // Rebuild at the final names: the committed metadata still records
     // this server dead, so a crash mid-rebuild leaves nothing trusted.
-    RepairFileWriter writer(ep, fs, options, meta, final_name, jhdr);
+    RepairFileWriter writer(ep, fs, options, meta, final_name, jhdr,
+                            identity_shards ? &*identity_shards : nullptr);
     std::int64_t chunks_back = 0;
     std::vector<std::byte> buf;
     for (std::int64_t seg = 0; seg < num_segments; ++seg) {
@@ -340,7 +400,8 @@ std::int64_t RepairArrayPurpose(
         rec.file_offset = base_off + item.file_offset;
         rec.bytes = sp.bytes;
         rec.data_crc = got;
-        writer.set_record_index(record_base + item.record_ordinal);
+        writer.set_record_index(record_base + item.record_ordinal, seg,
+                                item.record_ordinal);
         writer.WriteSubchunk(rec, {msg.payload.data(), msg.payload.size()});
         if (item.sub_index == 0) ++chunks_back;
       }
@@ -369,22 +430,68 @@ std::int64_t RepairArrayPurpose(
   }
   const std::int64_t rps_degraded = RecordsPerSegment(plan, degraded, sidx);
 
+  // The survivor's degraded-layout data: flat file, or its shard set
+  // under the *degraded* shard map (which is where the adopted chunks
+  // currently live).
   std::unique_ptr<File> old_data;
-  options.retry.Run(&ep.clock(), options.robustness,
-                    [&] { old_data = fs.Open(final_name, OpenMode::kRead); });
   std::unique_ptr<File> old_frame_dir;
-  if (meta.codec != CodecId::kNone &&
-      fs.Exists(FrameDirFileName(final_name))) {
-    options.retry.Run(&ep.clock(), options.robustness, [&] {
-      old_frame_dir = fs.Open(FrameDirFileName(final_name), OpenMode::kRead);
-    });
+  std::optional<store::ShardLayout> old_shards;
+  std::optional<store::ShardReader> old_reader;
+  if (sharded) {
+    old_shards = BuildShardLayout(plan, degraded, sidx, options.shard_bytes);
+    store::StoreOptions sopt;
+    sopt.shard_bytes = options.shard_bytes;
+    sopt.backend = options.backend;
+    sopt.handle_pool_capacity = options.handle_pool_capacity;
+    old_reader.emplace(&fs, final_name, &*old_shards, sopt, options.retry,
+                       &ep.clock(), options.robustness);
+  } else {
+    options.retry.Run(&ep.clock(), options.robustness,
+                      [&] { old_data = fs.Open(final_name, OpenMode::kRead); });
+    if (meta.codec != CodecId::kNone &&
+        fs.Exists(FrameDirFileName(final_name))) {
+      options.retry.Run(&ep.clock(), options.robustness, [&] {
+        old_frame_dir = fs.Open(FrameDirFileName(final_name), OpenMode::kRead);
+      });
+    }
   }
 
   // Stage the identity-layout rebuild; renamed after the barrier.
   const std::string stage_name = final_name + ".repair";
   RemoveFileSet(ep, fs, options, stage_name);
-  RepairFileWriter writer(ep, fs, options, meta, stage_name, jhdr);
-  staged.emplace_back(stage_name, final_name);
+  RepairFileWriter writer(ep, fs, options, meta, stage_name, jhdr,
+                          identity_shards ? &*identity_shards : nullptr);
+  if (identity_shards.has_value()) {
+    // Every identity shard rides the rename barrier; degraded-layout
+    // shards past the identity count (the adopted chunks' spill) are
+    // staged as removals (empty `from`), and so is a stale flat file.
+    const std::int64_t sps = identity_shards->shards_per_segment();
+    const std::int64_t total = num_segments * sps;
+    for (std::int64_t id = 0; id < total; ++id) {
+      staged.emplace_back(store::ShardFileName(stage_name, id),
+                          store::ShardFileName(final_name, id));
+    }
+    for (std::int64_t id = total;
+         fs.Exists(store::ShardFileName(final_name, id)); ++id) {
+      staged.emplace_back(std::string(),
+                          store::ShardFileName(final_name, id));
+    }
+    if (fs.Exists(final_name)) {
+      staged.emplace_back(std::string(), final_name);
+    }
+  } else {
+    // Flat rebuild (also the sharded case with no identity-owned
+    // chunks: the stage file is the empty marker, and every degraded
+    // shard the adoption spilled here is retired at the barrier).
+    staged.emplace_back(stage_name, final_name);
+    if (sharded) {
+      for (std::int64_t id = 0;
+           fs.Exists(store::ShardFileName(final_name, id)); ++id) {
+        staged.emplace_back(std::string(),
+                            store::ShardFileName(final_name, id));
+      }
+    }
+  }
   if (options.disk_checksums) {
     staged.emplace_back(SidecarFileName(stage_name),
                         SidecarFileName(final_name));
@@ -412,6 +519,12 @@ std::int64_t RepairArrayPurpose(
   auto read_old = [&](const WorkItem& like, std::int64_t seg,
                       const SubchunkPlan& sp) {
     const OldSlot& slot = old_slots.at({like.chunk_index, like.sub_index});
+    if (old_reader.has_value()) {
+      const std::int64_t old_seg = purpose == Purpose::kTimestep ? seg : 0;
+      store::ShardRead got =
+          old_reader->Get(old_seg, slot.record_ordinal, meta.elem_size);
+      return std::move(got.raw);
+    }
     const std::int64_t old_base =
         purpose == Purpose::kTimestep ? seg * degraded.SegmentBytes(sidx) : 0;
     const std::int64_t old_record =
@@ -446,7 +559,8 @@ std::int64_t RepairArrayPurpose(
       rec.file_offset = base_off + item.file_offset;
       rec.bytes = sp.bytes;
       rec.data_crc = Crc32c({raw.data(), raw.size()});
-      writer.set_record_index(record_base + item.record_ordinal);
+      writer.set_record_index(record_base + item.record_ordinal, seg,
+                              item.record_ordinal);
       writer.WriteSubchunk(rec, {raw.data(), raw.size()});
     }
     // Adopted chunks: stream each sub-chunk back to its identity owner
@@ -502,8 +616,12 @@ CollectiveRequest BuildRepairRequest(FileSystem& master_fs,
   // for which arrays have a general stream to repair.
   std::vector<int> general_arrays;
   for (size_t a = 0; a < meta.arrays.size(); ++a) {
-    if (master_fs.Exists(DataFileName(meta.group, meta.arrays[a].name,
-                                      Purpose::kGeneral, /*server_index=*/0))) {
+    const std::string flat = DataFileName(meta.group, meta.arrays[a].name,
+                                          Purpose::kGeneral,
+                                          /*server_index=*/0);
+    // A sharded master segment has no flat file; shard 0 marks it.
+    if (master_fs.Exists(flat) ||
+        master_fs.Exists(store::ShardFileName(flat, 0))) {
       general_arrays.push_back(static_cast<int>(a));
     }
   }
@@ -573,8 +691,15 @@ void RepairCollective(Endpoint& ep, FileSystem& fs, const World& world,
   Barrier(ep, world.ServerGroup(ep.rank()));
   hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
   for (const auto& [from, to] : staged) {
-    options.retry.Run(&ep.clock(), options.robustness,
-                      [&] { fs.Rename(from, to); });
+    // An empty `from` is a staged removal: degraded-layout leftovers
+    // (spilled shards, stale flat files) retired at the commit point.
+    options.retry.Run(&ep.clock(), options.robustness, [&] {
+      if (from.empty()) {
+        fs.Remove(to);
+      } else {
+        fs.Rename(from, to);
+      }
+    });
   }
 }
 

@@ -17,6 +17,7 @@
 #include "panda/journal.h"
 #include "panda/rejoin.h"
 #include "panda/schema_io.h"
+#include "panda/store_io.h"
 #include "trace/trace.h"
 #include "util/crc32c.h"
 #include "util/logging.h"
@@ -123,19 +124,59 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   const CodecId codec = meta.codec;
   const bool framing = codec != CodecId::kNone && !timing;
 
+  const std::vector<WorkItem> work = BuildServerWork(plan, layout, sidx, phase);
+  const std::int64_t records_per_segment =
+      RecordsPerSegment(plan, layout, sidx);
+  const std::int64_t record_base =
+      RecordBase(req.purpose, req.seq, records_per_segment);
+  // Sharded store (src/store/): the segment's shard map derives from
+  // the *full* work list under the committed layout, whatever slice
+  // this phase writes — a recovery phase extends the same shards the
+  // full phase laid out.
+  const bool sharded = options.shard_bytes > 0;
+  store::ShardLayout shard_layout;
+  if (sharded) {
+    shard_layout = BuildShardLayout(plan, layout, sidx, options.shard_bytes);
+  }
+  const std::int64_t seg = req.purpose == Purpose::kTimestep ? req.seq : 0;
+
   // Checkpoints are published atomically: written to a temporary file
   // and renamed over the previous checkpoint only after every server
   // has finished its data and fsync (two-phase commit, see
   // ServerExecute), so a crash mid-checkpoint can never leave a mix of
   // old and new checkpoint files. The sidecar and journal travel with
-  // their data file through the same staged rename. A recovery phase
-  // reuses the staging set up by the full phase.
+  // their data file through the same staged rename — and so does every
+  // shard file; leftovers of the *other* layout form (a flat file under
+  // a sharded run, or vice versa) are staged as removals (empty `from`)
+  // so the previous checkpoint stays whole until the commit barrier.
+  // A recovery phase reuses the staging set up by the full phase.
   const std::string final_name =
       DataFileName(req.group, meta.name, req.purpose, sidx);
   const std::string write_name =
       req.purpose == Purpose::kCheckpoint ? final_name + ".tmp" : final_name;
   if (req.purpose == Purpose::kCheckpoint && phase == WorkPhase::kFull) {
-    pending_renames.emplace_back(write_name, final_name);
+    if (sharded && !work.empty()) {
+      const std::int64_t n = shard_layout.shards_per_segment();
+      for (std::int64_t id = 0; id < n; ++id) {
+        pending_renames.emplace_back(store::ShardFileName(write_name, id),
+                                     store::ShardFileName(final_name, id));
+      }
+      for (std::int64_t id = n;
+           fs.Exists(store::ShardFileName(final_name, id)); ++id) {
+        pending_renames.emplace_back(std::string(),
+                                     store::ShardFileName(final_name, id));
+      }
+      if (fs.Exists(final_name)) {
+        pending_renames.emplace_back(std::string(), final_name);
+      }
+    } else {
+      pending_renames.emplace_back(write_name, final_name);
+      for (std::int64_t id = 0;
+           fs.Exists(store::ShardFileName(final_name, id)); ++id) {
+        pending_renames.emplace_back(std::string(),
+                                     store::ShardFileName(final_name, id));
+      }
+    }
     if (sidecars) {
       pending_renames.emplace_back(SidecarFileName(write_name),
                                    SidecarFileName(final_name));
@@ -144,7 +185,7 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
       pending_renames.emplace_back(JournalFileName(write_name),
                                    JournalFileName(final_name));
     }
-    if (framing) {
+    if (framing && !sharded) {
       pending_renames.emplace_back(FrameDirFileName(write_name),
                                    FrameDirFileName(final_name));
     }
@@ -152,9 +193,11 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
 
   // With checksums/journaling/framing off, drop any stale sidecar,
   // journal or frame directory left by an earlier run: fresh data under
-  // old records would read back as corruption.
-  if (!timing && phase == WorkPhase::kFull &&
-      (!sidecars || !journaling || !framing)) {
+  // old records would read back as corruption. Likewise drop leftovers
+  // of the other layout form at the *write* name (checkpoint finals are
+  // handled by the staged removals above): a sharded run keeps no flat
+  // file or frame directory, a flat run keeps no shards.
+  if (!timing && phase == WorkPhase::kFull) {
     retry.Run(&ep.clock(), stats, [&] {
       if (!sidecars) {
         fs.Remove(SidecarFileName(write_name));
@@ -164,18 +207,30 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
         fs.Remove(JournalFileName(write_name));
         if (write_name != final_name) fs.Remove(JournalFileName(final_name));
       }
-      if (!framing) {
+      if (!framing || sharded) {
         fs.Remove(FrameDirFileName(write_name));
         if (write_name != final_name) fs.Remove(FrameDirFileName(final_name));
       }
+      if (sharded && !work.empty()) {
+        fs.Remove(write_name);  // stale flat data file
+        if (write_name == final_name &&
+            WriteOpenMode(req.purpose, req.seq, phase) == OpenMode::kWrite) {
+          // Truncating fresh start: shards beyond the new count are
+          // stale (an earlier run with a smaller shard size).
+          for (std::int64_t id = shard_layout.shards_per_segment();
+               fs.Exists(store::ShardFileName(write_name, id)); ++id) {
+            fs.Remove(store::ShardFileName(write_name, id));
+          }
+        }
+      }
+      if (!sharded && !work.empty() && write_name == final_name) {
+        for (std::int64_t id = 0;
+             fs.Exists(store::ShardFileName(write_name, id)); ++id) {
+          fs.Remove(store::ShardFileName(write_name, id));
+        }
+      }
     });
   }
-
-  const std::vector<WorkItem> work = BuildServerWork(plan, layout, sidx, phase);
-  const std::int64_t records_per_segment =
-      RecordsPerSegment(plan, layout, sidx);
-  const std::int64_t record_base =
-      RecordBase(req.purpose, req.seq, records_per_segment);
 
   if (work.empty()) {
     if (phase == WorkPhase::kFull && req.purpose != Purpose::kTimestep) {
@@ -202,10 +257,25 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
         layout.adopted[static_cast<size_t>(sidx)].size()));
   }
 
+  // Sharded runs open no flat file: the writer owns the shard handles
+  // (bounded by the pool) and its Put/Finish run under the same retry
+  // policy the flat path uses.
   std::unique_ptr<File> file;
-  retry.Run(&ep.clock(), stats, [&] {
-    file = fs.Open(write_name, WriteOpenMode(req.purpose, req.seq, phase));
-  });
+  std::optional<store::ShardWriter> shard_writer;
+  if (sharded) {
+    store::StoreOptions sopt;
+    sopt.shard_bytes = options.shard_bytes;
+    sopt.backend = options.backend;
+    sopt.handle_pool_capacity = options.handle_pool_capacity;
+    sopt.timing = timing;
+    shard_writer.emplace(&fs, write_name, &shard_layout, sopt,
+                         WriteOpenMode(req.purpose, req.seq, phase), retry,
+                         &ep.clock(), stats);
+  } else {
+    retry.Run(&ep.clock(), stats, [&] {
+      file = fs.Open(write_name, WriteOpenMode(req.purpose, req.seq, phase));
+    });
+  }
   std::unique_ptr<File> sidecar;
   if (sidecars) {
     retry.Run(&ep.clock(), stats, [&] {
@@ -227,8 +297,10 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
                 [&] { journal_header = ReadJournalHeader(*journal); });
     }
   }
+  // No frame directory under sharding: the shard table carries the
+  // codec/framing of every slot itself.
   std::unique_ptr<File> frame_dir;
-  if (framing) {
+  if (framing && !sharded) {
     retry.Run(&ep.clock(), stats, [&] {
       frame_dir = fs.Open(FrameDirFileName(write_name),
                           WriteOpenMode(req.purpose, req.seq, phase));
@@ -373,18 +445,33 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
     PANDA_SPAN(write_span, trace::SpanKind::kServerWrite, sp.bytes);
     disk.Write([&] {
       const double dev_begin = ep.clock().Now();
-      // Positioned writes are idempotent, so a retry after a torn write
-      // rewrites the full range and heals the tear.
-      retry.Run(&ep.clock(), stats, [&] {
+      if (sharded) {
+        // The writer retries internally; object-store shards buffer
+        // here and hit the device at Finish.
         if (framing && frame.codec != CodecId::kNone) {
-          file->WriteAt(base + item.file_offset,
-                        {frame.bytes.data(), frame.bytes.size()},
-                        static_cast<std::int64_t>(frame.bytes.size()));
+          shard_writer->Put(seg, item.record_ordinal, array_index,
+                            cp.chunk_id, item.sub_index, frame.codec,
+                            {frame.bytes.data(), frame.bytes.size()},
+                            static_cast<std::int64_t>(frame.bytes.size()));
         } else {
-          file->WriteAt(base + item.file_offset, {buf.data(), buf.size()},
-                        sp.bytes);
+          shard_writer->Put(seg, item.record_ordinal, array_index,
+                            cp.chunk_id, item.sub_index, CodecId::kNone,
+                            {buf.data(), buf.size()}, sp.bytes);
         }
-      });
+      } else {
+        // Positioned writes are idempotent, so a retry after a torn
+        // write rewrites the full range and heals the tear.
+        retry.Run(&ep.clock(), stats, [&] {
+          if (framing && frame.codec != CodecId::kNone) {
+            file->WriteAt(base + item.file_offset,
+                          {frame.bytes.data(), frame.bytes.size()},
+                          static_cast<std::int64_t>(frame.bytes.size()));
+          } else {
+            file->WriteAt(base + item.file_offset, {buf.data(), buf.size()},
+                          sp.bytes);
+          }
+        });
+      }
       trace::ObserveMetric(trace::MetricId::kDiskOpSeconds,
                            ep.clock().Now() - dev_begin);
       if (frame_dir != nullptr) {
@@ -431,7 +518,13 @@ void ServerWriteArray(Endpoint& ep, FileSystem& fs, const World& world,
   }
   disk.Drain();
   // The paper flushes every collective write with fsync.
-  retry.Run(&ep.clock(), stats, [&] { file->Sync(); });
+  if (sharded) {
+    // Flush shard tables (posix) or whole objects (object store) and
+    // make every touched shard durable.
+    shard_writer->Finish();
+  } else {
+    retry.Run(&ep.clock(), stats, [&] { file->Sync(); });
+  }
   if (sidecar != nullptr) {
     retry.Run(&ep.clock(), stats, [&] { sidecar->Sync(); });
   }
@@ -483,9 +576,26 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
 
   const std::string data_name =
       DataFileName(req.group, meta.name, req.purpose, sidx);
+  // Sharded reads go through a ShardReader (no flat file exists); the
+  // shard map re-derives from the plan exactly as the writer's did.
+  const bool sharded = options.shard_bytes > 0;
+  store::ShardLayout shard_layout;
+  std::optional<store::ShardReader> shard_reader;
+  const std::int64_t seg = req.purpose == Purpose::kTimestep ? req.seq : 0;
   std::unique_ptr<File> file;
-  retry.Run(&ep.clock(), stats,
-            [&] { file = fs.Open(data_name, OpenMode::kRead); });
+  if (sharded) {
+    shard_layout = BuildShardLayout(plan, layout, sidx, options.shard_bytes);
+    store::StoreOptions sopt;
+    sopt.shard_bytes = options.shard_bytes;
+    sopt.backend = options.backend;
+    sopt.handle_pool_capacity = options.handle_pool_capacity;
+    sopt.timing = timing;
+    shard_reader.emplace(&fs, data_name, &shard_layout, sopt, retry,
+                         &ep.clock(), stats);
+  } else {
+    retry.Run(&ep.clock(), stats,
+              [&] { file = fs.Open(data_name, OpenMode::kRead); });
+  }
 
   // Verify sub-chunks against the sidecar when asked to and one exists;
   // legacy data (no sidecar) reads back unverified, not failed.
@@ -503,7 +613,7 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
   const CodecId codec = meta.codec;
   const bool framing = codec != CodecId::kNone && !timing;
   std::unique_ptr<File> frame_dir;
-  if (framing && fs.Exists(FrameDirFileName(data_name))) {
+  if (framing && !sharded && fs.Exists(FrameDirFileName(data_name))) {
     retry.Run(&ep.clock(), stats, [&] {
       frame_dir = fs.Open(FrameDirFileName(data_name), OpenMode::kRead);
     });
@@ -526,6 +636,21 @@ void ServerReadArray(Endpoint& ep, FileSystem& fs, const World& world,
     auto read_subchunk = [&] {
       PANDA_SPAN(read_span, trace::SpanKind::kServerRead, sp.bytes);
       const double dev_begin = ep.clock().Now();
+      if (sharded) {
+        // Table-directed shard read; torn tables heal through the
+        // slots' self-describing frame headers inside the reader.
+        store::ShardRead got =
+            shard_reader->Get(seg, item.record_ordinal, meta.elem_size);
+        trace::ObserveMetric(trace::MetricId::kDiskOpSeconds,
+                             ep.clock().Now() - dev_begin);
+        if (got.codec != CodecId::kNone) {
+          PANDA_SPAN(dec_span, trace::SpanKind::kCodecDecode, sp.bytes);
+          ep.AdvanceCompute(static_cast<double>(sp.bytes) /
+                            params.codec_decode_Bps);
+        }
+        if (!timing) buf = std::move(got.raw);
+        return;
+      }
       if (framing) {
         // Directory-directed framed read (probe fallback inside). Device
         // time ends when the bytes are off the disk; the decode below is
@@ -757,8 +882,15 @@ void ServerExecuteImpl(Endpoint& ep, FileSystem& fs, const World& world,
   if (!pending_renames.empty()) {
     Barrier(ep, world.ServerGroup(ep.rank()));
     for (const auto& [from, to] : pending_renames) {
-      options.retry.Run(&ep.clock(), options.robustness,
-                        [&] { fs.Rename(from, to); });
+      // An empty `from` is a staged removal: leftovers of the other
+      // layout form (flat vs sharded) retired at the commit point.
+      options.retry.Run(&ep.clock(), options.robustness, [&] {
+        if (from.empty()) {
+          fs.Remove(to);
+        } else {
+          fs.Rename(from, to);
+        }
+      });
     }
   }
   // A committed checkpoint retires the timestep journal's history.
@@ -771,8 +903,15 @@ void ServerExecuteImpl(Endpoint& ep, FileSystem& fs, const World& world,
   // (Skipped in timing-only sweeps: metadata needs real bytes.)
   if (req.op == IoOp::kWrite && sidx == 0 && !req.meta_file.empty() &&
       !ep.timing_only()) {
+    // A sharded run records its granularity so readers, fsck and the
+    // rejoin repair re-derive the identical shard map offline.
+    CollectiveRequest meta_req = req;
+    if (options.shard_bytes > 0) {
+      meta_req.attributes[kShardBytesAttr] =
+          std::to_string(options.shard_bytes);
+    }
     options.retry.Run(&ep.clock(), options.robustness,
-                      [&] { UpdateGroupMeta(fs, req); });
+                      [&] { UpdateGroupMeta(fs, meta_req); });
   }
 }
 
@@ -893,8 +1032,13 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
   // unless -DPANDA_HB=ON).
   hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
   for (const auto& [from, to] : staged) {
-    options.retry.Run(&ep.clock(), options.robustness,
-                      [&] { fs.Rename(from, to); });
+    options.retry.Run(&ep.clock(), options.robustness, [&] {
+      if (from.empty()) {
+        fs.Remove(to);
+      } else {
+        fs.Rename(from, to);
+      }
+    });
   }
   // A committed checkpoint retires the timestep journal's history.
   if (req.op == IoOp::kWrite) {
@@ -926,6 +1070,10 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
       }
       if (epoch > 0) {
         meta_req.attributes[kLayoutEpochAttr] = std::to_string(epoch);
+      }
+      if (options.shard_bytes > 0) {
+        meta_req.attributes[kShardBytesAttr] =
+            std::to_string(options.shard_bytes);
       }
       hb::StampAccess(&fs, "server.fs", /*is_write=*/true);
       options.retry.Run(&ep.clock(), options.robustness,

@@ -16,6 +16,7 @@
 #include "panda/protocol.h"
 #include "panda/runtime.h"
 #include "sp2/params.h"
+#include "store/shard_store.h"
 
 namespace panda {
 
@@ -64,6 +65,21 @@ struct ServerOptions {
   bool failover = false;
   // Robustness accounting sink (may be null: counting is skipped).
   RobustnessStats* robustness = nullptr;
+  // Sharded chunk store (src/store/): 0 keeps the flat
+  // one-file-per-(array, server) layout; positive routes every data
+  // path through ShardStore — segments are cut into `F.shard.N` files
+  // of about this many data bytes, each carrying a CRC-framed table of
+  // its sub-chunks. The granularity is recorded in the group metadata
+  // (`__panda.shard_bytes`) so readers, fsck and repair re-derive the
+  // identical shard map. AdviseShardSize (panda/advisor.h) picks a
+  // value from the backend's cost model.
+  std::int64_t shard_bytes = 0;
+  // Which storage device shard traffic is shaped for: kPosix writes
+  // sub-chunks in place, kObjectStore buffers whole shards and PUTs
+  // them once (no partial overwrite on an object store).
+  store::StoreBackend backend = store::StoreBackend::kPosix;
+  // Bound on concurrently open shard file handles (LRU beyond it).
+  int handle_pool_capacity = 16;
 };
 
 // Runs the server loop on an i/o-node rank until a shutdown request

@@ -1,0 +1,238 @@
+#include "panda/store_io.h"
+
+#include <utility>
+
+#include "panda/integrity.h"
+#include "panda/protocol.h"
+#include "util/crc32c.h"
+#include "util/error.h"
+
+namespace panda {
+namespace {
+
+void AppendLog(std::string* log, const std::string& line) {
+  if (log == nullptr) return;
+  log->append(line);
+  log->push_back('\n');
+}
+
+}  // namespace
+
+store::ShardLayout BuildShardLayout(const IoPlan& plan,
+                                    const DegradedLayout& layout, int server,
+                                    std::int64_t shard_bytes) {
+  const std::vector<WorkItem> work =
+      BuildServerWork(plan, layout, server, WorkPhase::kFull);
+  std::vector<store::ShardSlot> slots(work.size());
+  for (const WorkItem& item : work) {
+    const SubchunkPlan& sp =
+        plan.chunks()[static_cast<size_t>(item.chunk_index)]
+            .subchunks[static_cast<size_t>(item.sub_index)];
+    slots[static_cast<size_t>(item.record_ordinal)] = {item.file_offset,
+                                                       sp.bytes};
+  }
+  return store::ShardLayout::Pack(slots, shard_bytes);
+}
+
+store::ShardReader OfflineShardReader(FileSystem& fs,
+                                      const std::string& data_file,
+                                      const store::ShardLayout* layout) {
+  store::StoreOptions options;
+  options.backend = store::StoreBackend::kPosix;
+  RetryPolicy one_try;
+  one_try.max_attempts = 1;
+  return store::ShardReader(&fs, data_file, layout, options, one_try,
+                            /*clock=*/nullptr, /*stats=*/nullptr);
+}
+
+void ShardReport::Merge(const ShardReport& other) {
+  files_checked += other.files_checked;
+  files_missing += other.files_missing;
+  size_mismatches += other.size_mismatches;
+  tables_torn += other.tables_torn;
+  entries_invalid += other.entries_invalid;
+  subchunks_checked += other.subchunks_checked;
+  healed_slots += other.healed_slots;
+  decode_failures += other.decode_failures;
+  crc_mismatches += other.crc_mismatches;
+  framing_mismatches += other.framing_mismatches;
+}
+
+ShardReport VerifyArrayShards(std::span<FileSystem* const> fs,
+                              const ArrayMeta& meta,
+                              std::int64_t subchunk_bytes, Purpose purpose,
+                              std::int64_t num_segments,
+                              const std::string& group,
+                              std::int64_t shard_bytes, std::string* log,
+                              const std::vector<int>& dead_servers) {
+  ShardReport report;
+  if (shard_bytes <= 0) return report;  // flat layout: nothing sharded
+  const int num_servers = static_cast<int>(fs.size());
+  const IoPlan plan(meta, num_servers, subchunk_bytes);
+  const DegradedLayout layout = DegradedLayout::Compute(plan, dead_servers);
+
+  for (int s = 0; s < num_servers; ++s) {
+    if (!layout.alive[static_cast<size_t>(s)]) continue;  // lost disk
+    const std::vector<WorkItem> work =
+        BuildServerWork(plan, layout, s, WorkPhase::kFull);
+    if (work.empty()) continue;  // this server stores none of the array
+
+    const std::string data_name = DataFileName(group, meta.name, purpose, s);
+    // Sharded layouts have no flat file; shard 0 marks that this
+    // (array, purpose) was ever written on this server.
+    if (!fs[s]->Exists(store::ShardFileName(data_name, 0))) continue;
+
+    const store::ShardLayout shards =
+        BuildShardLayout(plan, layout, s, shard_bytes);
+    const std::int64_t sps = shards.shards_per_segment();
+    const std::int64_t rps = shards.records_per_segment();
+
+    // Pass 1: shard files and their tables. Data survival is proved in
+    // pass 2 regardless — a torn table only downgrades reads to frame
+    // probing, mirroring a lost .fdx on the flat path.
+    for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+      for (std::int64_t local = 0; local < sps; ++local) {
+        const std::int64_t id = seg * sps + local;
+        const std::string shard_name = store::ShardFileName(data_name, id);
+        const std::string where = shard_name + " [server " +
+                                  std::to_string(s) + ", segment " +
+                                  std::to_string(seg) + "]";
+        ++report.files_checked;
+        if (!fs[s]->Exists(shard_name)) {
+          ++report.files_missing;
+          AppendLog(log, "missing shard: " + where);
+          continue;
+        }
+        const store::ShardSpec& spec = shards.shard(local);
+        auto file = fs[s]->Open(shard_name, OpenMode::kRead);
+        const std::int64_t min_bytes =
+            store::ShardFileBytes(spec.data_bytes, spec.num_records);
+        if (file->Size() < min_bytes) {
+          ++report.size_mismatches;
+          AppendLog(log, "short shard (" + std::to_string(file->Size()) +
+                             "B, needs " + std::to_string(min_bytes) +
+                             "B): " + where);
+          continue;
+        }
+        const auto table = store::ReadShardTable(*file);
+        if (!table.has_value()) {
+          ++report.tables_torn;
+          AppendLog(log, "torn shard table: " + where);
+          continue;
+        }
+        if (static_cast<std::int64_t>(table->size()) != spec.num_records) {
+          ++report.entries_invalid;
+          AppendLog(log, "table record count " +
+                             std::to_string(table->size()) + " != " +
+                             std::to_string(spec.num_records) + ": " + where);
+          continue;
+        }
+        for (std::int64_t i = 0; i < spec.num_records; ++i) {
+          const store::ShardTableEntry& e =
+              (*table)[static_cast<size_t>(i)];
+          const store::ShardSlot slot = shards.slot(spec.first_record + i);
+          const WorkItem& item =
+              work[static_cast<size_t>(spec.first_record + i)];
+          const ChunkPlan& cp =
+              plan.chunks()[static_cast<size_t>(item.chunk_index)];
+          if (!e.valid || e.slot_offset != slot.offset - spec.base_offset ||
+              e.raw_bytes != slot.bytes || e.chunk_id != cp.chunk_id ||
+              e.sub_index != item.sub_index) {
+            ++report.entries_invalid;
+            AppendLog(log, "invalid table record " + std::to_string(i) +
+                               ": " + where);
+          }
+        }
+      }
+    }
+
+    // Pass 2: every sub-chunk must decode to its plan size, and match
+    // the CRC sidecar when one exists. The reader heals torn tables via
+    // the self-describing frame headers; healing is counted, not fatal.
+    store::ShardReader reader = OfflineShardReader(*fs[s], data_name, &shards);
+    const std::string sidecar_name = SidecarFileName(data_name);
+    std::unique_ptr<File> sidecar;
+    std::int64_t sidecar_records = 0;
+    if (fs[s]->Exists(sidecar_name)) {
+      sidecar = fs[s]->Open(sidecar_name, OpenMode::kRead);
+      sidecar_records = sidecar->Size() / kCrcRecordBytes;
+    }
+    for (std::int64_t seg = 0; seg < num_segments; ++seg) {
+      const std::int64_t base =
+          purpose == Purpose::kTimestep ? seg * layout.SegmentBytes(s) : 0;
+      for (std::int64_t k = 0; k < rps; ++k) {
+        const WorkItem& item = work[static_cast<size_t>(k)];
+        const SubchunkPlan& sp =
+            plan.chunks()[static_cast<size_t>(item.chunk_index)]
+                .subchunks[static_cast<size_t>(item.sub_index)];
+        const std::string where =
+            data_name + " [server " + std::to_string(s) + ", segment " +
+            std::to_string(seg) + ", subchunk " + std::to_string(k) + "]";
+        ++report.subchunks_checked;
+        store::ShardRead got;
+        try {
+          got = reader.Get(seg, k, meta.elem_size);
+        } catch (const PandaError& e) {
+          ++report.decode_failures;
+          AppendLog(log, "unreadable sub-chunk (" + std::string(e.what()) +
+                             "): " + where);
+          continue;
+        }
+        if (got.healed) ++report.healed_slots;
+        if (sidecar == nullptr) continue;
+        const std::int64_t record_index = seg * rps + k;
+        if (record_index >= sidecar_records) {
+          ++report.framing_mismatches;
+          AppendLog(log, "sidecar truncated (missing record " +
+                             std::to_string(record_index) + "): " + where);
+          continue;
+        }
+        const CrcRecord rec = ReadCrcRecord(*sidecar, record_index);
+        if (rec.file_offset != base + item.file_offset ||
+            rec.bytes != sp.bytes) {
+          ++report.framing_mismatches;
+          AppendLog(log, "framing mismatch (record says offset " +
+                             std::to_string(rec.file_offset) + "/" +
+                             std::to_string(rec.bytes) + "B, plan says " +
+                             std::to_string(base + item.file_offset) + "/" +
+                             std::to_string(sp.bytes) + "B): " + where);
+          continue;
+        }
+        const std::uint32_t crc = Crc32c({got.raw.data(), got.raw.size()});
+        if (crc != rec.crc) {
+          ++report.crc_mismatches;
+          AppendLog(log, "crc mismatch (stored " + std::to_string(rec.crc) +
+                             ", computed " + std::to_string(crc) +
+                             "): " + where);
+        }
+      }
+    }
+  }
+  return report;
+}
+
+ShardReport VerifyGroupShards(std::span<FileSystem* const> fs,
+                              const GroupMeta& meta,
+                              std::int64_t subchunk_bytes, std::string* log) {
+  ShardReport report;
+  const std::int64_t shard_bytes = ParseShardBytesAttr(meta.attributes);
+  if (shard_bytes <= 0) return report;  // group was written flat
+  const std::vector<int> dead = ParseDeadServersAttr(meta.attributes);
+  for (const ArrayMeta& array : meta.arrays) {
+    report.Merge(VerifyArrayShards(fs, array, subchunk_bytes, Purpose::kGeneral,
+                                   1, meta.group, shard_bytes, log, dead));
+    if (meta.timesteps > 0) {
+      report.Merge(VerifyArrayShards(fs, array, subchunk_bytes,
+                                     Purpose::kTimestep, meta.timesteps,
+                                     meta.group, shard_bytes, log, dead));
+    }
+    if (meta.has_checkpoint) {
+      report.Merge(VerifyArrayShards(fs, array, subchunk_bytes,
+                                     Purpose::kCheckpoint, 1, meta.group,
+                                     shard_bytes, log, dead));
+    }
+  }
+  return report;
+}
+
+}  // namespace panda

@@ -1,0 +1,81 @@
+// Plan-aware glue between the panda protocol layer and src/store/.
+//
+// The shard map is never stored: every party (server write/read paths,
+// rejoin repair, fsck) derives the identical ShardLayout from the i/o
+// plan via BuildShardLayout — the full per-server record list under the
+// committed degraded layout, packed at ServerOptions::shard_bytes
+// granularity (recorded in group metadata as `__panda.shard_bytes`).
+//
+// VerifyArrayShards / VerifyGroupShards implement `panda_fsck
+// --verify_shards`: walk every expected shard file, validate footer +
+// table records, prove every slot decodes to its plan size, and
+// cross-check decoded bytes against the CRC sidecar when one exists.
+// Dead-server aware (lost disks skipped, survivors checked including
+// adopted chunks) like every other fsck pass.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "iosim/file_system.h"
+#include "panda/failover.h"
+#include "panda/plan.h"
+#include "panda/schema_io.h"
+#include "store/shard_store.h"
+
+namespace panda {
+
+// The shard layout of server `server`'s segment under `layout` (the
+// kFull record list, whatever phase the caller is executing).
+store::ShardLayout BuildShardLayout(const IoPlan& plan,
+                                    const DegradedLayout& layout, int server,
+                                    std::int64_t shard_bytes);
+
+// A reader suitable for offline verification: single attempt, no clock,
+// no robustness accounting, posix-style windowed reads.
+store::ShardReader OfflineShardReader(FileSystem& fs,
+                                      const std::string& data_file,
+                                      const store::ShardLayout* layout);
+
+struct ShardReport {
+  std::int64_t files_checked = 0;   // shard files the layout expects
+  std::int64_t files_missing = 0;
+  std::int64_t size_mismatches = 0;  // file cannot hold data+table+footer
+  std::int64_t tables_torn = 0;      // footer unreadable: probe-only shard
+  std::int64_t entries_invalid = 0;  // table records torn or lying
+  std::int64_t subchunks_checked = 0;
+  std::int64_t healed_slots = 0;     // recovered via self-describing frames
+  std::int64_t decode_failures = 0;  // unrecoverable slots
+  std::int64_t crc_mismatches = 0;   // decoded bytes vs. the CRC sidecar
+  std::int64_t framing_mismatches = 0;  // sidecar record vs. the plan
+
+  // Torn tables / invalid entries / healed slots are tolerated damage
+  // (the data still proved out); missing bytes are not.
+  bool Clean() const {
+    return files_missing + size_mismatches + decode_failures +
+               crc_mismatches + framing_mismatches ==
+           0;
+  }
+  void Merge(const ShardReport& other);
+};
+
+ShardReport VerifyArrayShards(std::span<FileSystem* const> fs,
+                              const ArrayMeta& meta,
+                              std::int64_t subchunk_bytes, Purpose purpose,
+                              std::int64_t num_segments,
+                              const std::string& group,
+                              std::int64_t shard_bytes,
+                              std::string* log = nullptr,
+                              const std::vector<int>& dead_servers = {});
+
+// Group sweep driven by the schema metadata; shard size and dead set
+// come from the group's attributes. A group without `__panda.
+// shard_bytes` (flat layout) verifies trivially clean.
+ShardReport VerifyGroupShards(std::span<FileSystem* const> fs,
+                              const GroupMeta& meta,
+                              std::int64_t subchunk_bytes,
+                              std::string* log = nullptr);
+
+}  // namespace panda

@@ -54,6 +54,27 @@ Machine Machine::SimulatedMultiDisk(int num_clients, int num_servers,
   return m;
 }
 
+Machine Machine::SimulatedObjectStore(int num_clients, int num_servers,
+                                      Sp2Params params,
+                                      const ObjectStoreModel& model,
+                                      bool store_data, bool timing_only) {
+  Machine m(num_clients, num_servers, params);
+  ThreadTransport::Config cfg;
+  cfg.net = params.net;
+  cfg.timing_only = timing_only;
+  m.transport_ =
+      std::make_unique<ThreadTransport>(num_clients + num_servers, cfg);
+  for (int s = 0; s < num_servers; ++s) {
+    ObjectStoreFileSystem::Options opt;
+    opt.model = model;
+    opt.model.local = params.disk;
+    opt.store_data = store_data;
+    opt.clock = &m.transport_->endpoint(m.server_rank(s)).clock();
+    m.server_fs_.push_back(std::make_unique<ObjectStoreFileSystem>(opt));
+  }
+  return m;
+}
+
 Machine Machine::WithPosixFs(int num_clients, int num_servers,
                              Sp2Params params, const std::string& root) {
   Machine m(num_clients, num_servers, params);

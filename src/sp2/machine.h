@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "iosim/file_system.h"
+#include "iosim/object_store.h"
 #include "iosim/posix_fs.h"
 #include "iosim/retry.h"
 #include "iosim/sim_fs.h"
@@ -43,6 +44,17 @@ class Machine {
                                     Sp2Params params, int disks_per_node,
                                     std::int64_t stripe_bytes,
                                     bool store_data, bool timing_only);
+
+  // Simulated machine whose i/o nodes front a shared object store
+  // (ObjectStoreFileSystem): shard files (`*.shard.N`) become
+  // whole-object PUT/GET traffic priced by `model`, everything else
+  // (metadata, sidecars, journals) stays on the node's local disk
+  // model. Pair with ServerOptions::backend = kObjectStore and a
+  // shard size from AdviseShardSize.
+  static Machine SimulatedObjectStore(int num_clients, int num_servers,
+                                      Sp2Params params,
+                                      const ObjectStoreModel& model,
+                                      bool store_data, bool timing_only);
 
   int num_clients() const { return num_clients_; }
   int num_servers() const { return num_servers_; }

@@ -1,0 +1,321 @@
+#include "store/shard_store.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "codec/frame.h"
+#include "trace/trace.h"
+#include "util/error.h"
+
+namespace panda {
+namespace store {
+
+ShardWriter::ShardWriter(FileSystem* fs, std::string data_file,
+                         const ShardLayout* layout, StoreOptions options,
+                         OpenMode mode, RetryPolicy retry, VirtualClock* clock,
+                         RobustnessStats* stats)
+    : fs_(fs),
+      data_file_(std::move(data_file)),
+      layout_(layout),
+      options_(options),
+      mode_(mode),
+      retry_(retry),
+      clock_(clock),
+      stats_(stats),
+      pool_(fs, options.handle_pool_capacity) {
+  PANDA_REQUIRE(mode_ != OpenMode::kRead, "ShardWriter needs write access");
+}
+
+ShardWriter::ShardState& ShardWriter::Touch(std::int64_t seg,
+                                            std::int64_t local) {
+  const std::int64_t gid = seg * layout_->shards_per_segment() + local;
+  ShardState& shard = shards_[gid];
+  if (shard.opened) return shard;
+  shard.seg = seg;
+  shard.local = local;
+  shard.opened = true;
+  const std::string name = ShardFileName(data_file_, gid);
+  const bool merge = mode_ == OpenMode::kReadWrite && fs_->Exists(name);
+  retry_.Run(clock_, stats_, [&] {
+    File* file = pool_.Acquire(name, mode_);
+    shard.prior_bytes = file->Size();
+    if (!merge || options_.timing) return;
+    if (options_.backend == StoreBackend::kObjectStore) {
+      // No partial overwrite: pull the whole object so unwritten slots
+      // and the merged table survive the eventual whole-object PUT.
+      shard.image.resize(static_cast<size_t>(shard.prior_bytes));
+      file->ReadAt(0, shard.image, shard.prior_bytes);
+    }
+  });
+  if (merge && !options_.timing) {
+    // Seed the table from what is already in the shard, so this pass
+    // (a failover adoption or timestep append over kReadWrite) only
+    // overrides the records it actually rewrites.
+    std::optional<std::vector<ShardTableEntry>> old;
+    if (options_.backend == StoreBackend::kObjectStore) {
+      old = ParseShardTable(shard.image);
+    } else {
+      retry_.Run(clock_, stats_, [&] {
+        old = ReadShardTable(*pool_.Acquire(name, OpenMode::kReadWrite));
+      });
+    }
+    if (old.has_value()) {
+      for (size_t i = 0; i < old->size(); ++i) {
+        if ((*old)[i].valid) {
+          shard.entries.emplace(static_cast<std::int64_t>(i), (*old)[i]);
+        }
+      }
+    }
+  }
+  return shard;
+}
+
+void ShardWriter::Put(std::int64_t seg, std::int64_t record,
+                      std::int32_t array_index, std::int32_t chunk_id,
+                      std::int32_t sub_index, CodecId codec,
+                      std::span<const std::byte> stored,
+                      std::int64_t stored_vbytes) {
+  PANDA_CHECK(!finished_);
+  const std::int64_t local = layout_->ShardOfRecord(record);
+  const ShardSpec& spec = layout_->shard(local);
+  const ShardSlot& slot = layout_->slot(record);
+  const std::int64_t slot_offset = slot.offset - spec.base_offset;
+  PANDA_REQUIRE(stored_vbytes <= slot.bytes,
+                "stored sub-chunk (%lld bytes) exceeds its slot (%lld)",
+                static_cast<long long>(stored_vbytes),
+                static_cast<long long>(slot.bytes));
+  ShardState& shard = Touch(seg, local);
+
+  ShardTableEntry entry;
+  entry.array_index = array_index;
+  entry.chunk_id = chunk_id;
+  entry.sub_index = sub_index;
+  entry.codec = codec;
+  entry.slot_offset = slot_offset;
+  entry.raw_bytes = slot.bytes;
+  entry.frame_bytes = stored_vbytes;
+  entry.valid = true;
+  shard.entries[record - spec.first_record] = entry;
+
+  if (options_.backend == StoreBackend::kObjectStore) {
+    // Buffer now, PUT whole objects at Finish. Timing runs track only
+    // the virtual footprint (spec sizes), so nothing to do here.
+    if (!options_.timing && !stored.empty()) {
+      const auto end = static_cast<size_t>(slot_offset + slot.bytes);
+      if (shard.image.size() < end) shard.image.resize(end);
+      std::memcpy(shard.image.data() + slot_offset, stored.data(),
+                  stored.size());
+    }
+    return;
+  }
+  const std::string name =
+      ShardFileName(data_file_, seg * layout_->shards_per_segment() + local);
+  retry_.Run(clock_, stats_, [&] {
+    pool_.Acquire(name, OpenMode::kReadWrite)
+        ->WriteAt(slot_offset, stored, stored_vbytes);
+  });
+}
+
+void ShardWriter::Flush(ShardState& shard) {
+  const std::int64_t gid =
+      shard.seg * layout_->shards_per_segment() + shard.local;
+  const ShardSpec& spec = layout_->shard(shard.local);
+  const std::string name = ShardFileName(data_file_, gid);
+  PANDA_SPAN(flush_span, trace::SpanKind::kStoreFlush, spec.data_bytes);
+
+  // Ordered table covering every record of the shard; records this pass
+  // never wrote and no merged table vouched for are emitted invalid
+  // (zeroed), so readers probe those slots instead of trusting them.
+  std::vector<ShardTableEntry> entries(static_cast<size_t>(spec.num_records));
+  for (const auto& [index, entry] : shard.entries) {
+    if (index >= 0 && index < spec.num_records) {
+      entries[static_cast<size_t>(index)] = entry;
+    }
+  }
+  // The tail must reach at least the pre-existing EOF: a shorter
+  // rewrite would leave the old footer dangling at the real EOF and
+  // resurrect the stale table.
+  const std::vector<std::byte> tail =
+      BuildShardTail(entries, spec.data_bytes, shard.prior_bytes);
+  const auto tail_bytes = static_cast<std::int64_t>(tail.size());
+
+  if (options_.backend == StoreBackend::kObjectStore) {
+    const std::int64_t total = spec.data_bytes + tail_bytes;
+    if (!options_.timing) {
+      shard.image.resize(static_cast<size_t>(spec.data_bytes));
+      shard.image.insert(shard.image.end(), tail.begin(), tail.end());
+    }
+    retry_.Run(clock_, stats_, [&] {
+      // One whole-object PUT per shard. The backend issues it to a
+      // parallel channel; durability waits for the Sync in Finish.
+      pool_.Acquire(name, mode_)->WriteAt(0, shard.image, total);
+    });
+    shard.image.clear();
+    shard.image.shrink_to_fit();
+    return;
+  }
+  retry_.Run(clock_, stats_, [&] {
+    File* file = pool_.Acquire(name, OpenMode::kReadWrite);
+    file->WriteAt(spec.data_bytes,
+                  options_.timing ? std::span<const std::byte>{} : tail,
+                  tail_bytes);
+    file->Sync();
+  });
+}
+
+void ShardWriter::Finish() {
+  PANDA_CHECK(!finished_);
+  finished_ = true;
+  for (auto& [gid, shard] : shards_) Flush(shard);
+  if (options_.backend == StoreBackend::kObjectStore && !shards_.empty()) {
+    // One barrier for all the PUTs issued above (drains the backend's
+    // parallel channels) instead of a serializing per-object wait.
+    const std::int64_t gid = shards_.begin()->first;
+    retry_.Run(clock_, stats_, [&] {
+      pool_.Acquire(ShardFileName(data_file_, gid), OpenMode::kReadWrite)
+          ->Sync();
+    });
+  }
+}
+
+ShardReader::ShardReader(FileSystem* fs, std::string data_file,
+                         const ShardLayout* layout, StoreOptions options,
+                         RetryPolicy retry, VirtualClock* clock,
+                         RobustnessStats* stats)
+    : fs_(fs),
+      data_file_(std::move(data_file)),
+      layout_(layout),
+      options_(options),
+      retry_(retry),
+      clock_(clock),
+      stats_(stats),
+      pool_(fs, options.handle_pool_capacity) {}
+
+ShardReader::ShardState& ShardReader::Load(std::int64_t seg,
+                                           std::int64_t local) {
+  const std::int64_t gid = seg * layout_->shards_per_segment() + local;
+  ShardState& shard = shards_[gid];
+  const std::string name = ShardFileName(data_file_, gid);
+  if (options_.timing) {
+    if (options_.backend == StoreBackend::kObjectStore && !shard.charged) {
+      // Whole-object GET, charged once per shard; records served from
+      // the fetched image afterwards.
+      retry_.Run(clock_, stats_, [&] {
+        File* file = pool_.Acquire(name, OpenMode::kRead);
+        file->ReadAt(0, {}, file->Size());
+      });
+      shard.charged = true;
+    }
+    return shard;
+  }
+  if (options_.backend == StoreBackend::kObjectStore) {
+    if (!shard.image_loaded) {
+      retry_.Run(clock_, stats_, [&] {
+        File* file = pool_.Acquire(name, OpenMode::kRead);
+        const std::int64_t size = file->Size();
+        shard.image.resize(static_cast<size_t>(size));
+        file->ReadAt(0, shard.image, size);
+      });
+      shard.image_loaded = true;
+      shard.table = ParseShardTable(shard.image);
+      shard.table_loaded = true;
+      image_lru_.push_front(gid);
+      while (static_cast<int>(image_lru_.size()) >
+             std::max(1, options_.object_cache_shards)) {
+        ShardState& victim = shards_[image_lru_.back()];
+        victim.image.clear();
+        victim.image.shrink_to_fit();
+        victim.image_loaded = false;  // table survives the image eviction
+        image_lru_.pop_back();
+      }
+    } else if (image_lru_.front() != gid) {
+      image_lru_.remove(gid);
+      image_lru_.push_front(gid);
+    }
+    return shard;
+  }
+  if (!shard.table_loaded) {
+    retry_.Run(clock_, stats_, [&] {
+      shard.table = ReadShardTable(*pool_.Acquire(name, OpenMode::kRead));
+    });
+    shard.table_loaded = true;
+  }
+  return shard;
+}
+
+ShardRead ShardReader::Get(std::int64_t seg, std::int64_t record,
+                           std::int64_t elem_size) {
+  const std::int64_t local = layout_->ShardOfRecord(record);
+  const ShardSpec& spec = layout_->shard(local);
+  const ShardSlot& slot = layout_->slot(record);
+  const std::int64_t slot_offset = slot.offset - spec.base_offset;
+  const std::string name =
+      ShardFileName(data_file_, seg * layout_->shards_per_segment() + local);
+  ShardState& shard = Load(seg, local);
+
+  ShardRead out;
+  if (options_.timing) {
+    if (options_.backend != StoreBackend::kObjectStore) {
+      retry_.Run(clock_, stats_, [&] {
+        pool_.Acquire(name, OpenMode::kRead)
+            ->ReadAt(slot_offset, {}, slot.bytes);
+      });
+    }
+    return out;
+  }
+  PANDA_SPAN(get_span, trace::SpanKind::kStoreGet, slot.bytes);
+
+  // The slot window, from the cached image or a positioned read.
+  const auto read_window = [&](std::int64_t n) {
+    std::vector<std::byte> buf(static_cast<size_t>(n));
+    if (options_.backend == StoreBackend::kObjectStore) {
+      PANDA_REQUIRE(static_cast<std::int64_t>(shard.image.size()) >=
+                        slot_offset + n,
+                    "shard %s is truncated at %zu bytes (slot needs %lld)",
+                    name.c_str(), shard.image.size(),
+                    static_cast<long long>(slot_offset + n));
+      std::memcpy(buf.data(), shard.image.data() + slot_offset,
+                  static_cast<size_t>(n));
+      return buf;
+    }
+    retry_.Run(clock_, stats_, [&] {
+      pool_.Acquire(name, OpenMode::kRead)->ReadAt(slot_offset, buf, n);
+    });
+    return buf;
+  };
+
+  const std::int64_t index = record - spec.first_record;
+  const ShardTableEntry* entry = nullptr;
+  if (shard.table.has_value() && index >= 0 &&
+      index < static_cast<std::int64_t>(shard.table->size())) {
+    const ShardTableEntry& e = (*shard.table)[static_cast<size_t>(index)];
+    // Trust the record only when it agrees with the layout about where
+    // and how big the slot is.
+    if (e.valid && e.slot_offset == slot_offset &&
+        e.raw_bytes == slot.bytes && e.frame_bytes <= slot.bytes) {
+      entry = &e;
+    }
+  }
+  if (entry != nullptr) {
+    try {
+      out.raw = DecodeSubchunkFrame(read_window(entry->frame_bytes),
+                                    entry->codec, slot.bytes, elem_size);
+      out.codec = entry->codec;
+      return out;
+    } catch (const PandaError&) {
+      if (stats_ != nullptr) stats_->frame_decode_failures.fetch_add(1);
+    }
+  }
+  // Level 2: the slot's self-describing frame header (or stored-raw).
+  CodecId used = CodecId::kNone;
+  out.raw = ProbeDecodeSubchunk(read_window(slot.bytes), slot.bytes,
+                                elem_size, &used);
+  out.codec = used;
+  out.healed = true;
+  if (stats_ != nullptr) stats_->frame_rereads.fetch_add(1);
+  return out;
+}
+
+}  // namespace store
+}  // namespace panda

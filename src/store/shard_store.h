@@ -1,0 +1,158 @@
+// ShardStore: write/read one server segment through shard files.
+//
+// ShardWriter and ShardReader are the per-collective engines behind a
+// sharded (array, server) segment. Both derive every placement from a
+// ShardLayout (a pure function of the i/o plan), move bytes through a
+// bounded FileHandlePool, and run every FileSystem touch under the
+// server's RetryPolicy so transient disk faults heal exactly as they do
+// on the flat path.
+//
+// Backends change the flush shape, not the format:
+//   kPosix        sub-chunks are written in place as they arrive
+//                 (positioned WriteAt), the table tail is flushed once
+//                 per touched shard at Finish.
+//   kObjectStore  shards buffer in memory and flush as one whole-object
+//                 PUT (data + table + footer) — object stores have no
+//                 partial overwrite. Reads GET whole shards and slice
+//                 from a small in-memory cache.
+//
+// Timing-only machines are supported end to end: payloads stay elided
+// (empty spans, virtual byte counts drive the clock), tables are
+// written as virtual bytes and never re-read.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "codec/codec.h"
+#include "iosim/file_system.h"
+#include "iosim/retry.h"
+#include "msg/virtual_clock.h"
+#include "store/handle_pool.h"
+#include "store/shard_layout.h"
+#include "store/shard_table.h"
+
+namespace panda {
+namespace store {
+
+enum class StoreBackend : std::uint8_t {
+  kPosix = 0,        // in-place positioned writes (disk file systems)
+  kObjectStore = 1,  // whole-object PUT/GET, no partial overwrite
+};
+
+struct StoreOptions {
+  // Target shard size; 0 disables sharding (callers keep the flat
+  // layout and never construct these classes).
+  std::int64_t shard_bytes = 0;
+  StoreBackend backend = StoreBackend::kPosix;
+  int handle_pool_capacity = 16;
+  // How many whole-shard images the object-store read path caches.
+  int object_cache_shards = 2;
+  // Timing-only run: spans are empty, vbytes drive the clock.
+  bool timing = false;
+};
+
+class ShardWriter {
+ public:
+  // `data_file` is the flat data-file name shard names derive from
+  // (possibly a ".tmp"/".repair" staging name). `mode` follows the flat
+  // path's semantics per shard file: kWrite truncates, kReadWrite keeps
+  // existing content — and additionally merges the existing shard table
+  // at first touch, so a failover adoption pass extends a shard without
+  // forgetting the survivor records already in it.
+  ShardWriter(FileSystem* fs, std::string data_file, const ShardLayout* layout,
+              StoreOptions options, OpenMode mode, RetryPolicy retry,
+              VirtualClock* clock, RobustnessStats* stats);
+
+  // Stores one sub-chunk. `record` is the segment-relative record
+  // ordinal; `stored` is the on-disk representation (frame or raw;
+  // empty in timing mode with `stored_vbytes` carrying the size).
+  void Put(std::int64_t seg, std::int64_t record, std::int32_t array_index,
+           std::int32_t chunk_id, std::int32_t sub_index, CodecId codec,
+           std::span<const std::byte> stored, std::int64_t stored_vbytes);
+
+  // Flushes every touched shard (tables on posix, whole objects on the
+  // object store) and makes them durable. Call exactly once.
+  void Finish();
+
+  const FileHandlePool& pool() const { return pool_; }
+
+ private:
+  struct ShardState {
+    std::int64_t seg = 0;
+    std::int64_t local = 0;
+    bool opened = false;
+    std::int64_t prior_bytes = 0;  // file size found at first touch
+    // Table entries by in-shard record index; merged-from-disk entries
+    // are overwritten by fresh Puts.
+    std::map<std::int64_t, ShardTableEntry> entries;
+    std::vector<std::byte> image;  // object backend: whole-object buffer
+  };
+
+  ShardState& Touch(std::int64_t seg, std::int64_t local);
+  void Flush(ShardState& shard);
+
+  FileSystem* fs_;
+  std::string data_file_;
+  const ShardLayout* layout_;
+  StoreOptions options_;
+  OpenMode mode_;
+  RetryPolicy retry_;
+  VirtualClock* clock_;
+  RobustnessStats* stats_;
+  FileHandlePool pool_;
+  std::map<std::int64_t, ShardState> shards_;  // by global shard id
+  bool finished_ = false;
+};
+
+struct ShardRead {
+  std::vector<std::byte> raw;  // decoded payload (empty in timing mode)
+  CodecId codec = CodecId::kNone;  // representation found on disk
+  // Table record was torn, missing or lying; the slot's self-describing
+  // frame header recovered the data (three-level tolerance, level 2).
+  bool healed = false;
+};
+
+class ShardReader {
+ public:
+  ShardReader(FileSystem* fs, std::string data_file, const ShardLayout* layout,
+              StoreOptions options, RetryPolicy retry, VirtualClock* clock,
+              RobustnessStats* stats);
+
+  // Fetches and decodes one sub-chunk. Throws PandaError when the slot
+  // is unrecoverable (neither table nor probe yields a frame and the
+  // slot is not stored-raw).
+  ShardRead Get(std::int64_t seg, std::int64_t record, std::int64_t elem_size);
+
+  const FileHandlePool& pool() const { return pool_; }
+
+ private:
+  struct ShardState {
+    bool table_loaded = false;
+    std::optional<std::vector<ShardTableEntry>> table;
+    bool image_loaded = false;
+    std::vector<std::byte> image;  // object backend whole-object cache
+    bool charged = false;          // timing object GET charged once
+  };
+
+  ShardState& Load(std::int64_t seg, std::int64_t local);
+
+  FileSystem* fs_;
+  std::string data_file_;
+  const ShardLayout* layout_;
+  StoreOptions options_;
+  RetryPolicy retry_;
+  VirtualClock* clock_;
+  RobustnessStats* stats_;
+  FileHandlePool pool_;
+  std::map<std::int64_t, ShardState> shards_;  // by global shard id
+  std::list<std::int64_t> image_lru_;          // global ids holding images
+};
+
+}  // namespace store
+}  // namespace panda

@@ -1,0 +1,97 @@
+// On-disk shard format: data region + indexed table + EOF footer.
+//
+// A shard file generalizes the `.fdx` frame directory into a
+// self-describing index carried *inside* the shard:
+//
+//   [ data region: sub-chunk slots at their segment-relative offsets ]
+//   [ table: one 48-byte record per slot, in record order            ]
+//   [ zero padding (only after an in-place table rewrite)            ]
+//   [ 32-byte footer at EOF: magic "PSH1", record count, data size   ]
+//
+// Any reader locates the footer at Size()-32, validates its CRC, then
+// reads the table at footer.data_bytes — no writer plan needed (the
+// scda-style serial-equivalence property). Each table record carries
+// its own CRC, so torn tables degrade per-entry: an invalid record
+// falls back to the slot's self-describing frame header, and a
+// missing/corrupt footer drops the whole table to the probe path —
+// the same three-level tolerance `.fdx` readers already have.
+//
+// Records are 48 bytes:
+//   [i32 array_index | i32 chunk_id | i32 sub_index | u32 codec |
+//    i64 slot_offset | i64 raw_bytes | i64 frame_bytes |
+//    u32 reserved | u32 crc over the first 44]
+// and the footer is 32:
+//   [u32 magic | u32 version | i64 num_records | i64 data_bytes |
+//    u32 reserved | u32 crc over the first 28]
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <span>
+#include <vector>
+
+#include "codec/codec.h"
+#include "iosim/file_system.h"
+
+namespace panda {
+namespace store {
+
+inline constexpr std::uint32_t kShardMagic = 0x31485350;  // "PSH1"
+inline constexpr std::uint32_t kShardVersion = 1;
+inline constexpr std::int64_t kShardTableEntryBytes = 48;
+inline constexpr std::int64_t kShardFooterBytes = 32;
+
+struct ShardTableEntry {
+  std::int32_t array_index = -1;
+  std::int32_t chunk_id = -1;
+  std::int32_t sub_index = -1;
+  CodecId codec = CodecId::kNone;
+  std::int64_t slot_offset = 0;  // within this shard's data region
+  std::int64_t raw_bytes = 0;
+  std::int64_t frame_bytes = 0;
+  // Decode-side only (never serialized): false for a record whose CRC
+  // or framing failed — the reader probes that slot instead.
+  bool valid = false;
+};
+
+struct ShardFooter {
+  std::int64_t num_records = 0;
+  std::int64_t data_bytes = 0;
+};
+
+// The byte size of a shard whose table starts at `data_bytes`.
+inline std::int64_t ShardFileBytes(std::int64_t data_bytes,
+                                   std::int64_t num_records) {
+  return data_bytes + num_records * kShardTableEntryBytes + kShardFooterBytes;
+}
+
+void AppendShardTableEntry(std::vector<std::byte>& out,
+                           const ShardTableEntry& entry);
+// Returns an entry with valid=false (never throws) when the record's
+// CRC or codec id does not check out.
+ShardTableEntry DecodeShardTableEntry(std::span<const std::byte> bytes);
+
+void AppendShardFooter(std::vector<std::byte>& out, const ShardFooter& footer);
+std::optional<ShardFooter> DecodeShardFooter(std::span<const std::byte> bytes);
+
+// The full tail to write at offset `data_bytes`: table records, zero
+// padding, footer — sized so the file ends at
+// max(ShardFileBytes(...), min_file_bytes). The padding matters when a
+// table is rewritten in place over a longer previous tail (failover
+// adoption extends a shard): the footer must land at the new EOF and
+// every stale byte of the old tail must be overwritten.
+std::vector<std::byte> BuildShardTail(std::span<const ShardTableEntry> entries,
+                                      std::int64_t data_bytes,
+                                      std::int64_t min_file_bytes);
+
+// Reads and validates the table of an open shard file. nullopt when the
+// footer is missing or torn (reader falls back to probing slots);
+// individual entries may still come back valid=false.
+std::optional<std::vector<ShardTableEntry>> ReadShardTable(File& shard);
+
+// Same, from a whole-shard byte image (the object-store GET path).
+std::optional<std::vector<ShardTableEntry>> ParseShardTable(
+    std::span<const std::byte> image);
+
+}  // namespace store
+}  // namespace panda

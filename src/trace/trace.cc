@@ -44,6 +44,10 @@ const char* SpanKindName(SpanKind kind) {
       return "codec.decode";
     case SpanKind::kRejoinRepair:
       return "rejoin.repair";
+    case SpanKind::kStoreFlush:
+      return "store.flush";
+    case SpanKind::kStoreGet:
+      return "store.get";
     case SpanKind::kNumKinds:
       break;
   }

@@ -60,6 +60,8 @@ enum class SpanKind : std::uint8_t {
   kCodecEncode,           // framing one sub-chunk / wire piece (arg: raw bytes)
   kCodecDecode,           // decoding one frame back to raw (arg: raw bytes)
   kRejoinRepair,          // rejoin repair collective (arg: chunks migrated)
+  kStoreFlush,            // shard-store flush: table write / object PUT
+  kStoreGet,              // shard-store sub-chunk fetch (arg: raw bytes)
   kNumKinds,
 };
 

@@ -52,21 +52,23 @@ TEST(BenchJson, SchemaKeysAndRoundTrip) {
   const MeasureResult r = MeasureCollective(ms, meta);
   ASSERT_GT(r.elapsed_s, 0.0);
 
-  std::vector<FigureRow> rows{FigureRow{spec.io_nodes[0], spec.sizes_mb[0], r}};
+  std::vector<FigureRow> rows{
+      FigureRow{spec.io_nodes[0], spec.sizes_mb[0], r, "smoke row"}};
   const std::string json = BenchJson(spec, /*quick=*/true, spec.reps, rows);
 
   // Stable schema keys (tools/bench.sh greps for exactly these).
   // schema_version 2 added codec + the per-row byte/ratio fields; v3
-  // added the top-level metrics block; all earlier keys are unchanged
-  // so v1/v2 consumers keep parsing.
+  // added the top-level metrics block; v4 added the per-row disk_ops
+  // operation count and label; all earlier keys are unchanged so
+  // v1..v3 consumers keep parsing.
   for (const char* key :
-       {"\"schema_version\":3", "\"kind\":\"panda_bench\"", "\"bench\":",
+       {"\"schema_version\":4", "\"kind\":\"panda_bench\"", "\"bench\":",
         "\"description\":", "\"op\":\"write\"", "\"codec\":\"none\"",
         "\"quick\":true", "\"reps\":1", "\"rows\":[", "\"io_nodes\":",
         "\"size_mb\":", "\"elapsed_s\":", "\"aggregate_Bps\":",
         "\"per_ion_Bps\":", "\"normalized\":", "\"wire_bytes_sent\":",
-        "\"disk_bytes_written\":", "\"codec_ratio\":", "\"spans\":",
-        "\"metrics\":"}) {
+        "\"disk_bytes_written\":", "\"codec_ratio\":", "\"disk_ops\":",
+        "\"label\":\"smoke row\"", "\"spans\":", "\"metrics\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 
@@ -101,6 +103,12 @@ TEST(BenchJson, SchemaKeysAndRoundTrip) {
   EXPECT_GE(r.wire_bytes_sent, meta.total_bytes());
   EXPECT_GE(r.disk_bytes_written, meta.total_bytes());
   EXPECT_EQ(NumberAfter(json, "codec_ratio", row_pos), 1.0);
+
+  // v4 op accounting: the run issued at least one disk op per
+  // sub-chunk written, and the JSON carries the exact count.
+  EXPECT_GT(r.disk_ops, 0);
+  EXPECT_EQ(NumberAfter(json, "disk_ops", row_pos),
+            static_cast<double>(r.disk_ops));
 
 #if PANDA_TRACE_ENABLED
   // Spans rode along (MeasureSpec::trace was set): the row's span block

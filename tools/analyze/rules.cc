@@ -167,14 +167,19 @@ void CheckWallClock(const SourceFile& f, const LintConfig&,
 
 void CheckRawIo(const SourceFile& f, const LintConfig&,
                 std::vector<Diagnostic>* out) {
-  if (!StartsWith(f.rel_path, "src/panda/")) return;
+  if (!StartsWith(f.rel_path, "src/panda/") &&
+      !StartsWith(f.rel_path, "src/store/")) {
+    return;
+  }
   // Designated raw-I/O layers: the WAL, checksum sidecars, schema
   // metadata, the codec frame reader (its offline-verify entry points
-  // deliberately run without retries) and the sequential baseline own
-  // their durability story.
+  // deliberately run without retries), the sequential baseline and the
+  // shard-table codec (pure in-memory framing plus offline table reads)
+  // own their durability story.
   static const std::vector<std::string> kAllowed = {
       "src/panda/journal.", "src/panda/integrity.", "src/panda/schema_io.",
-      "src/panda/frame_io.", "src/panda/sequential."};
+      "src/panda/frame_io.", "src/panda/sequential.",
+      "src/store/shard_table."};
   if (AnyPrefix(f.rel_path, kAllowed)) return;
   static const std::set<std::string> kOps = {"WriteAt", "ReadAt", "Sync"};
   const auto& toks = f.tokens;

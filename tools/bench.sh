@@ -1,19 +1,24 @@
 #!/bin/sh
 # Smoke bench + schema guard: runs the Figure 4 bench in --quick mode,
 # writes the machine-readable outputs, and fails if the stable
-# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 3)
+# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 4)
 # drifts — downstream dashboards and the CI artifact step parse it.
 # Then runs the codec ablation: the same figure with --codec=shuffle+rle
 # on real compressible data must move fewer wire and disk bytes AND
 # finish faster than codec=none (the compression pipeline's acceptance
-# bar), or the script fails.
+# bar), or the script fails. Finally runs the shard-store/backend bench
+# (bench_shard_backend) and asserts its two acceptance bars: the
+# advisor-chosen shard size beats per-sub-chunk objects by >= 2x
+# elapsed on the object store, and posix sharded stays within 5% of
+# the flat layout.
 #
 #   tools/bench.sh [BUILD_DIR] [OUT_DIR]
 #
 # BUILD_DIR defaults to ./build (must already contain the bench
 # binaries); OUT_DIR defaults to BUILD_DIR/bench-out. Writes
-# BENCH_fig4_smoke.json, TRACE_fig4_smoke.json and the ablation pair
-# BENCH_fig4_codec_{none,shuffle_rle}.json.
+# BENCH_fig4_smoke.json, TRACE_fig4_smoke.json, the ablation pair
+# BENCH_fig4_codec_{none,shuffle_rle}.json and
+# BENCH_shard_backend.json.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -32,10 +37,10 @@ TRACE="$OUT_DIR/TRACE_fig4_smoke.json"
 "$BIN" --quick --json_out="$JSON" --trace_out="$TRACE"
 
 # --- schema drift check -------------------------------------------------
-# Every key of schema_version 3 must be present, spelled exactly.
+# Every key of schema_version 4 must be present, spelled exactly.
 fail=0
 for key in \
-    '"schema_version":3' \
+    '"schema_version":4' \
     '"kind":"panda_bench"' \
     '"bench":' \
     '"description":' \
@@ -53,6 +58,8 @@ for key in \
     '"wire_bytes_sent":' \
     '"disk_bytes_written":' \
     '"codec_ratio":' \
+    '"disk_ops":' \
+    '"label":' \
     '"spans":' \
     '"metrics":' \
     '"counters":'; do
@@ -99,4 +106,51 @@ for key in elapsed_s wire_bytes_sent disk_bytes_written; do
 done
 
 [ "$fail" -eq 0 ] || exit 1
-echo "bench.sh OK: $JSON $TRACE $NONE_JSON $CODED_JSON"
+
+# --- shard store x backend ----------------------------------------------
+# bench_shard_backend writes labeled rows (schema_version 4): the same
+# write collective over {flat, sharded} x {posix, objectstore}. Two
+# acceptance bars guard the shard subsystem:
+#   1. object store: the advisor-chosen shard size beats the naive
+#      one-object-per-sub-chunk mapping by >= 2x elapsed;
+#   2. posix: the sharded layout stays within 5% of the flat baseline.
+SHARD_BIN="$BUILD_DIR/bench/bench_shard_backend"
+SHARD_JSON="$OUT_DIR/BENCH_shard_backend.json"
+if [ ! -x "$SHARD_BIN" ]; then
+  echo "bench.sh: missing $SHARD_BIN (build the repo first)" >&2
+  exit 1
+fi
+"$SHARD_BIN" --quick --json_out="$SHARD_JSON"
+
+row_elapsed() {  # row_elapsed FILE LABEL -> that row's "elapsed_s" value
+  # `label` precedes the row's only nested object (`spans`), so after
+  # splitting on '{' each row's scalars and label share one line.
+  tr '{' '\n' < "$1" | grep -F "\"label\":\"$2\"" \
+    | sed -n 's/.*"elapsed_s":\([0-9.eE+-]*\).*/\1/p' | head -n 1
+}
+
+flat_v="$(row_elapsed "$SHARD_JSON" "posix flat")"
+sharded_v="$(row_elapsed "$SHARD_JSON" "posix sharded advisor")"
+naive_v="$(row_elapsed "$SHARD_JSON" "object per-subchunk")"
+advised_v="$(row_elapsed "$SHARD_JSON" "object advisor")"
+for v in "$flat_v" "$sharded_v" "$naive_v" "$advised_v"; do
+  if [ -z "$v" ]; then
+    echo "bench.sh: SHARD — missing labeled row in $SHARD_JSON" >&2
+    exit 1
+  fi
+done
+if ! awk -v naive="$naive_v" -v adv="$advised_v" \
+    'BEGIN{exit !(naive >= 2.0 * adv)}'; then
+  echo "bench.sh: SHARD — advisor not >=2x vs per-subchunk objects" \
+       "(per-subchunk=$naive_v, advisor=$advised_v)" >&2
+  fail=1
+fi
+if ! awk -v flat="$flat_v" -v sh="$sharded_v" \
+    'BEGIN{exit !(sh <= 1.05 * flat)}'; then
+  echo "bench.sh: SHARD — posix sharded not within 5% of flat" \
+       "(flat=$flat_v, sharded=$sharded_v)" >&2
+  fail=1
+fi
+
+[ "$fail" -eq 0 ] || exit 1
+echo "bench.sh OK: $JSON $TRACE $NONE_JSON $CODED_JSON $SHARD_JSON"
