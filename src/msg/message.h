@@ -68,6 +68,10 @@ struct Message {
 
 // Panda protocol tags. Collectives and the data phase use disjoint tags
 // so a late barrier message can never be confused with a data piece.
+// Every enumerator has a matching `message` entry (phase, integrity
+// class, direction roles) in tools/analyze/protocol.spec; panda_proto
+// keeps the two in sync bidirectionally and panda_lint reads the
+// integrity classes from there.
 enum MsgTag : int {
   kTagCollectiveRequest = 1,  // master client -> master server
   kTagPieceRequest = 3,       // server -> client (write path)

@@ -465,17 +465,27 @@ double PandaClient::ReadSubarray(Array& array, const Region& region) {
 bool PandaClient::QueryGroupMeta(const std::string& meta_file,
                                  GroupMeta& meta) {
   Message reply;
-  if (is_master()) {
-    CollectiveRequest req;
-    req.op = IoOp::kQueryMeta;
-    req.meta_file = meta_file;
-    req.first_client = world_.first_client;
-    req.num_clients = world_.num_clients;
-    ep_->Send(world_.master_server_rank(), kTagCollectiveRequest,
-              req.ToMessage());
-    reply = ep_->Recv(world_.master_server_rank(), kTagServerDone);
+  try {
+    if (is_master()) {
+      CollectiveRequest req;
+      req.op = IoOp::kQueryMeta;
+      req.meta_file = meta_file;
+      req.first_client = world_.first_client;
+      req.num_clients = world_.num_clients;
+      ep_->Send(world_.master_server_rank(), kTagCollectiveRequest,
+                req.ToMessage());
+      reply = ep_->Recv(world_.master_server_rank(), kTagServerDone);
+    }
+    reply = Bcast(*ep_, world_.ClientGroup(ep_->rank()), 0, std::move(reply));
+  } catch (const PandaAbortError&) {
+    throw;
+  } catch (const PandaError& e) {
+    // A server or peer client dying mid-query must surface as the
+    // structured abort, never as a raw transport error escaping the
+    // client API (the PR 6 master-kill class; see
+    // tests/schedules/master-kill-abort.mctrace).
+    throw PandaAbortError(ep_->rank(), e.what());
   }
-  reply = Bcast(*ep_, world_.ClientGroup(ep_->rank()), 0, std::move(reply));
   Decoder dec(reply.header);
   if (dec.Get<std::uint8_t>() == 0) return false;
   meta = GroupMeta::Decode(dec.GetBytes(dec.remaining()));

@@ -367,6 +367,11 @@ std::int64_t RepairArrayPurpose(
         const SubchunkPlan& sp =
             cp.subchunks[static_cast<size_t>(item.sub_index)];
         const int owner = degraded.owner[static_cast<size_t>(item.chunk_index)];
+        // Repair streams run under ServerMain's converting dispatch: an
+        // adopter that dies mid-stream raises PeerDeadError via its
+        // lease and aborts the repair collective as a whole. A deadline
+        // here would cap legitimate large-segment transfer times.
+        // panda-lint: allow(proto-deadline)
         Message msg = ep.Recv(world.server_rank(owner), kTagRejoin);
         const RepairTransfer t = DecodeTransferHeader(msg);
         PANDA_REQUIRE(t.array_index == array_index &&

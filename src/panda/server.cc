@@ -1009,7 +1009,13 @@ void FailoverCollective(Endpoint& ep, FileSystem& fs, const World& world,
   } else {
     for (;;) {
       ep.Send(world.master_server_rank(), kTagBarrier, Message{});
+      // Master death while a survivor is parked on the phase decision
+      // surfaces through the heartbeat lease as PeerDeadError and
+      // converts to the structured abort at the ServerMain boundary; a
+      // local deadline here would turn a long replan into a spurious
+      // abort.
       const Message decision =
+          // panda-lint: allow(proto-deadline)
           ep.Recv(world.master_server_rank(), kTagFailover);
       const FailoverNotice notice = DecodeFailoverNotice(decision);
       if (notice.dead_ranks.empty()) break;  // released: commit
@@ -1118,7 +1124,12 @@ void HandleRejoinsAsMaster(Endpoint& ep, FileSystem& fs, const World& world,
   }
   if (pending.empty()) return;
   for (int s : pending) {
+    // peer_alive(r) held just above, so the rejoiner's hello is either
+    // already deposited or in flight; if it dies again mid-handshake
+    // the lease raises PeerDeadError, which the ServerMain dispatch
+    // converts to the structured abort.
     const RejoinNotice hello =
+        // panda-lint: allow(proto-deadline)
         DecodeRejoinNotice(ep.Recv(world.server_rank(s), kTagRejoin));
     PANDA_CHECK_MSG(hello.origin_rank == world.server_rank(s),
                     "rejoin handshake origin mismatch");
@@ -1305,7 +1316,20 @@ void ServerMain(Endpoint& ep, FileSystem& fs, const World& world,
         }
       }
     } else {
-      request_msg = Bcast(ep, servers, 0, std::move(request_msg));
+      try {
+        request_msg = Bcast(ep, servers, 0, std::move(request_msg));
+      } catch (const PandaAbortError&) {
+        throw;
+      } catch (const PandaError& e) {
+        // A peer server dying mid-broadcast (non-failover build) must
+        // become the structured abort here, not a raw PeerDeadError
+        // escaping the dispatch loop — the exact class panda_mc caught
+        // in tests/schedules/master-kill-abort.mctrace.
+        if (options.robustness != nullptr) {
+          options.robustness->collectives_aborted.fetch_add(1);
+        }
+        throw PandaAbortError(ep.rank(), e.what());
+      }
     }
     const CollectiveRequest req = CollectiveRequest::FromMessage(request_msg);
     if (req.op == IoOp::kShutdown) {

@@ -264,24 +264,33 @@ TEST(LintRules, TagCoverageOnlyAppliesToMessageHeader) {
   EXPECT_TRUE(Lint("src/panda/other.h", kMsgTagFixture, config).empty());
 }
 
-TEST(LintRules, TagManifestParserPicksTagLinesOnly) {
+TEST(LintRules, TagManifestParserReadsProtocolSpecMessageLines) {
+  // Tag-coverage entries come from protocol.spec since panda_proto
+  // subsumed the old span_manifest `tag` lines: each non-aux message
+  // line yields (tag, integrity class); aux tags live outside the
+  // MsgTag enum and must not be expected there.
   const std::string text =
-      "# manifest\n"
-      "src/panda/server.cc ServerWriteArray\n"
-      "tag kTagPieceData wire-crc  # payload crc\n"
-      "tag kTagBarrier control\n";
+      "# spec\n"
+      "phase data\n"
+      "message kTagPieceData phase=data integrity=wire-crc "
+      "send=client recv=server  # payload crc\n"
+      "message kTagBarrier phase=data integrity=control "
+      "send=server recv=server\n"
+      "message kTagIoReply phase=data integrity=unchecked "
+      "send=app recv=app aux\n"
+      "boundary ServerMain\n";
   const auto tags = ParseTagManifest(text);
   ASSERT_EQ(tags.size(), 2u);
   EXPECT_EQ(tags[0].first, "kTagPieceData");
   EXPECT_EQ(tags[0].second, "wire-crc");
   EXPECT_EQ(tags[1].first, "kTagBarrier");
   EXPECT_EQ(tags[1].second, "control");
-  // The span parser sees tag lines as ("tag", ...) pairs — never a real
-  // file path, so span-coverage ignores them.
-  const auto spans = ParseSpanManifest(text);
-  ASSERT_EQ(spans.size(), 3u);
-  EXPECT_EQ(spans[0].first, "src/panda/server.cc");
-  EXPECT_EQ(spans[1].first, "tag");
+  // The span parser ignores spec text entirely: keywords never match a
+  // real file path, so span-coverage stays unaffected.
+  for (const auto& [path, fn] : ParseSpanManifest(text)) {
+    EXPECT_TRUE(path == "phase" || path == "message" || path == "boundary")
+        << path << " " << fn;
+  }
 }
 
 // ---- header-hygiene ---------------------------------------------------

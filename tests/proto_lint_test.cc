@@ -1,0 +1,610 @@
+// panda_proto (tools/analyze) unit tests: the wire-spec parser, the
+// symbol layer / call graph it builds on, and each cross-TU analysis
+// exercised against small fixture corpora — one seeded violation per
+// rule (unknown tag, wrong-direction send, escaping PeerDeadError,
+// deadline-less recv, lock-order cycle) with rule id, relative path and
+// line asserted — plus the suppression contract and a real-tree run
+// (the same gate tools/ci.sh enforces).
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "analyze/proto_rules.h"
+#include "analyze/protocol_spec.h"
+#include "analyze/symbols.h"
+
+namespace panda {
+namespace lint {
+namespace {
+
+// A fixture spec wide enough for every analysis: one failure-capable
+// phase, one quiet one, role-restricted tags, an app tag, an aux tag,
+// and one escape boundary.
+const char kSpecText[] =
+    "phase request failure-capable\n"
+    "phase data\n"
+    "phase failover failure-capable\n"
+    "message kTagCollectiveRequest phase=request integrity=header-checked "
+    "send=client recv=server\n"
+    "message kTagPieceData phase=data integrity=wire-crc "
+    "send=client,server recv=client,server\n"
+    "message kTagFailover phase=failover integrity=header-checked "
+    "send=server recv=client,server\n"
+    "message kTagApp phase=data integrity=unchecked send=app recv=app\n"
+    "boundary ServerLoop\n";
+
+ProtocolSpec Spec(const std::string& text = kSpecText) {
+  ProtocolSpec spec;
+  std::string error;
+  EXPECT_TRUE(ParseProtocolSpec(text, &spec, &error)) << error;
+  return spec;
+}
+
+// For fixtures that do not define ServerLoop: the vacuous-boundary
+// finding (tested under ProtoEscape) would otherwise ride along.
+ProtocolSpec SpecNoBoundary() {
+  ProtocolSpec spec = Spec();
+  spec.boundaries.clear();
+  return spec;
+}
+
+std::vector<Diagnostic> Check(
+    const std::vector<std::pair<std::string, std::string>>& fixture,
+    const ProtocolSpec& spec, LintConfig config = {}) {
+  std::vector<SourceFile> files;
+  for (const auto& [rel, content] : fixture) {
+    files.push_back(Tokenize(rel, content));
+  }
+  return CheckProtoFiles(files, spec, config);
+}
+
+std::vector<Diagnostic> OfRule(const std::vector<Diagnostic>& diags,
+                               const std::string& rule) {
+  std::vector<Diagnostic> out;
+  for (const Diagnostic& d : diags) {
+    if (d.rule == rule) out.push_back(d);
+  }
+  return out;
+}
+
+// ---- spec parser ------------------------------------------------------
+
+TEST(ProtoSpec, ParsesFullGrammar) {
+  const ProtocolSpec spec = Spec();
+  ASSERT_EQ(spec.phases.size(), 3u);
+  EXPECT_TRUE(spec.FailureCapable("request"));
+  EXPECT_FALSE(spec.FailureCapable("data"));
+  const MessageSpec* req = spec.Find("kTagCollectiveRequest");
+  ASSERT_NE(req, nullptr);
+  EXPECT_EQ(req->integrity, "header-checked");
+  EXPECT_EQ(req->send_roles.count("client"), 1u);
+  EXPECT_EQ(req->recv_roles.count("server"), 1u);
+  const MessageSpec* data = spec.Find("kTagPieceData");
+  ASSERT_NE(data, nullptr);
+  EXPECT_EQ(data->send_roles.size(), 2u);  // client,server list
+  ASSERT_EQ(spec.boundaries.size(), 1u);
+  EXPECT_EQ(spec.boundaries[0].function, "ServerLoop");
+  EXPECT_EQ(spec.boundaries[0].line, 8);
+}
+
+TEST(ProtoSpec, ParsesAuxFlag) {
+  const ProtocolSpec spec = Spec(
+      "phase app\n"
+      "message kTagIoReply phase=app integrity=unchecked send=app "
+      "recv=app aux\n");
+  const MessageSpec* m = spec.Find("kTagIoReply");
+  ASSERT_NE(m, nullptr);
+  EXPECT_TRUE(m->aux);
+}
+
+TEST(ProtoSpec, RejectsMalformedInputWithLineNumbers) {
+  ProtocolSpec spec;
+  std::string error;
+  EXPECT_FALSE(ParseProtocolSpec("frobnicate x\n", &spec, &error));
+  EXPECT_NE(error.find("protocol.spec:1"), std::string::npos);
+
+  EXPECT_FALSE(ParseProtocolSpec(
+      "message kTagX phase=ghost integrity=control send=any recv=any\n",
+      &spec, &error));
+  EXPECT_NE(error.find("undeclared phase"), std::string::npos);
+
+  EXPECT_FALSE(ParseProtocolSpec(
+      "phase p\n"
+      "message kTagX phase=p integrity=pinky-swear send=any recv=any\n",
+      &spec, &error));
+  EXPECT_NE(error.find("integrity"), std::string::npos);
+
+  EXPECT_FALSE(ParseProtocolSpec(
+      "phase p\n"
+      "message kTagX phase=p integrity=control send=any recv=any\n"
+      "message kTagX phase=p integrity=control send=any recv=any\n",
+      &spec, &error));
+  EXPECT_NE(error.find("duplicate"), std::string::npos);
+
+  EXPECT_FALSE(ParseProtocolSpec("# only comments\n", &spec, &error));
+  EXPECT_NE(error.find("no messages"), std::string::npos);
+}
+
+TEST(ProtoSpec, DotExportRendersEdgesAndFailureColor) {
+  const std::string dot = ProtocolDot(Spec());
+  EXPECT_NE(dot.find("digraph panda_protocol"), std::string::npos);
+  EXPECT_NE(dot.find("\"client\" -> \"server\""), std::string::npos);
+  EXPECT_NE(dot.find("kTagCollectiveRequest"), std::string::npos);
+  // Failure-capable phases draw red; the quiet data phase does not.
+  EXPECT_NE(dot.find("(request, header-checked)\", color=\"#b22222\""),
+            std::string::npos);
+  EXPECT_EQ(dot.find("(data, wire-crc)\", color"), std::string::npos);
+}
+
+// ---- symbol layer / call graph ----------------------------------------
+
+TEST(ProtoSymbols, ExtractsFunctionsCallsAndTries) {
+  const SourceFile f = Tokenize(
+      "src/x/a.cc",
+      "void Helper(int v) { Use(v); }\n"
+      "void Outer() {\n"
+      "  try {\n"
+      "    Helper(1);\n"
+      "  } catch (const PandaError& e) {\n"
+      "  }\n"
+      "  Helper(2);\n"
+      "}\n");
+  const FileSymbols syms = AnalyzeFile(f);
+  ASSERT_EQ(syms.functions.size(), 2u);
+  EXPECT_EQ(syms.functions[0].name, "Helper");
+  EXPECT_EQ(syms.functions[1].name, "Outer");
+  const FunctionDef& outer = syms.functions[1];
+  ASSERT_EQ(outer.calls.size(), 2u);
+  ASSERT_EQ(outer.tries.size(), 1u);
+  EXPECT_EQ(outer.tries[0].caught.count("PandaError"), 1u);
+  // First call guarded, second not.
+  EXPECT_TRUE(GuardedBy(outer, outer.calls[0].tok, {"PandaError"}));
+  EXPECT_FALSE(GuardedBy(outer, outer.calls[1].tok, {"PandaError"}));
+}
+
+TEST(ProtoSymbols, RecursionTerminatesInEscapeFixpoint) {
+  // Self-recursion must not loop the leak fixpoint or the witness walk.
+  const ProtocolSpec spec = Spec(
+      "phase failover failure-capable\n"
+      "message kTagFailover phase=failover integrity=header-checked "
+      "send=server recv=server\n"
+      "boundary Loop\n");
+  const auto diags = OfRule(
+      Check({{"src/panda/a.cc",
+              "void Loop(Endpoint& ep) {\n"
+              "  Loop(ep);\n"
+              "  ep.Recv(0, kTagFailover);\n"
+              "}\n"}},
+            spec),
+      "proto-escape");
+  ASSERT_FALSE(diags.empty());
+  bool saw_direct = false;
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.file, "src/panda/a.cc");
+    if (d.line == 3) saw_direct = true;
+  }
+  EXPECT_TRUE(saw_direct);
+}
+
+TEST(ProtoSymbols, FunctionPointerCallsDegradeGracefully) {
+  // A call through a std::function / pointer value has no resolvable
+  // callee definition: no edge, no finding, no crash.
+  const ProtocolSpec spec = Spec(
+      "phase data\n"
+      "message kTagApp phase=data integrity=unchecked send=app recv=app\n"
+      "boundary Drive\n");
+  EXPECT_TRUE(Check({{"src/panda/a.cc",
+                      "void Drive(std::function<void()> cb) {\n"
+                      "  cb();\n"
+                      "  (*handler_)();\n"
+                      "}\n"}},
+                    spec)
+                  .empty());
+}
+
+// ---- proto-tag --------------------------------------------------------
+
+TEST(ProtoTag, UnknownTagFlagged) {
+  const auto diags =
+      Check({{"src/panda/server.cc",
+              "void f(Endpoint& ep) {\n"
+              "  ep.Send(0, kTagMystery, Message{});\n"
+              "}\n"}},
+            SpecNoBoundary());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "proto-tag");
+  EXPECT_EQ(diags[0].file, "src/panda/server.cc");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("kTagMystery"), std::string::npos);
+}
+
+TEST(ProtoTag, WrongDirectionSendFlagged) {
+  // kTagCollectiveRequest is send=client; a server-subsystem send is
+  // protocol drift.
+  const auto diags =
+      Check({{"src/panda/server.cc",
+              "void f(Endpoint& ep) {\n"
+              "  ep.Send(0, kTagCollectiveRequest, Message{});\n"
+              "}\n"}},
+            SpecNoBoundary());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "proto-tag");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("server"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("send=client"), std::string::npos);
+}
+
+TEST(ProtoTag, MatchingRolesAndAnyAreClean) {
+  EXPECT_TRUE(
+      Check({{"src/panda/client.cc",
+              "void f(Endpoint& ep) {\n"
+              "  ep.Send(0, kTagCollectiveRequest, Message{});\n"
+              "}\n"},
+             {"tests/x_test.cc",
+              "void g(Endpoint& ep) { ep.Send(1, kTagApp, Message{}); }\n"}},
+            SpecNoBoundary())
+          .empty());
+}
+
+TEST(ProtoTag, TransportLayerExemptFromRoleChecksButNotUnknownTags) {
+  // src/msg speaks every side of the protocol: direction roles don't
+  // apply. Unknown tags still do.
+  EXPECT_TRUE(Check({{"src/msg/transport.cc",
+                      "void f(Endpoint& ep) {\n"
+                      "  ep.Send(0, kTagCollectiveRequest, Message{});\n"
+                      "}\n"}},
+                    SpecNoBoundary())
+                  .empty());
+  const auto diags = Check({{"src/msg/transport.cc",
+                             "void f(Endpoint& ep) {\n"
+                             "  ep.Send(0, kTagBogus, Message{});\n"
+                             "}\n"}},
+                           SpecNoBoundary());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "proto-tag");
+}
+
+TEST(ProtoTag, VariableTagsAreSkipped) {
+  EXPECT_TRUE(Check({{"src/panda/server.cc",
+                      "void f(Endpoint& ep, int tag) {\n"
+                      "  ep.Send(0, tag, Message{});\n"
+                      "}\n"}},
+                    SpecNoBoundary())
+                  .empty());
+}
+
+TEST(ProtoTag, DriftGuardFlagsEnumTagMissingFromSpec) {
+  // A spec covering exactly the declared enum minus kTagOrphan: the
+  // one missing entry is the only finding.
+  const ProtocolSpec spec = Spec(
+      "phase request failure-capable\n"
+      "message kTagCollectiveRequest phase=request "
+      "integrity=header-checked send=client recv=server\n");
+  const auto diags = Check({{"src/msg/message.h",
+                             "#pragma once\n"
+                             "enum MsgTag : int {\n"
+                             "  kTagCollectiveRequest = 1,\n"
+                             "  kTagOrphan = 2,\n"
+                             "};\n"}},
+                           spec);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "proto-tag");
+  EXPECT_EQ(diags[0].file, "src/msg/message.h");
+  EXPECT_EQ(diags[0].line, 4);
+  EXPECT_NE(diags[0].message.find("kTagOrphan"), std::string::npos);
+}
+
+TEST(ProtoTag, DriftGuardFlagsStaleSpecEntries) {
+  // kTagPieceData / kTagFailover / kTagApp are in the spec but not this
+  // enum — each is a stale non-aux entry once the enum has been seen.
+  const auto diags = Check({{"src/msg/message.h",
+                             "#pragma once\n"
+                             "enum MsgTag : int {\n"
+                             "  kTagCollectiveRequest = 1,\n"
+                             "};\n"}},
+                           SpecNoBoundary());
+  EXPECT_EQ(diags.size(), 3u);
+  for (const Diagnostic& d : diags) {
+    EXPECT_EQ(d.rule, "proto-tag");
+    EXPECT_EQ(d.file, "src/msg/message.h");
+    EXPECT_NE(d.message.find("stale"), std::string::npos);
+  }
+}
+
+TEST(ProtoTag, DriftGuardFlagsAuxTagNobodyMentions) {
+  const ProtocolSpec spec = Spec(
+      "phase app\n"
+      "message kTagCollectiveRequest phase=app integrity=control "
+      "send=any recv=any\n"
+      "message kTagGhost phase=app integrity=unchecked send=app recv=app "
+      "aux\n");
+  const auto diags = Check({{"src/msg/message.h",
+                             "#pragma once\n"
+                             "enum MsgTag : int {\n"
+                             "  kTagCollectiveRequest = 1,\n"
+                             "};\n"}},
+                           spec);
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_NE(diags[0].message.find("kTagGhost"), std::string::npos);
+}
+
+TEST(ProtoTag, DriftGuardSkippedWhenEnumNotInCorpus) {
+  // Fixture corpora without src/msg/message.h must not drown in stale
+  // warnings for every spec entry.
+  EXPECT_TRUE(Check({{"src/panda/x.cc", "void f() {}\n"}}, SpecNoBoundary()).empty());
+}
+
+// ---- proto-escape -----------------------------------------------------
+
+TEST(ProtoEscape, EscapingRecvThroughHelperFlagged) {
+  const auto diags = Check(
+      {{"src/msg/coll.cc",
+        "Message Pull(Endpoint& ep) {\n"
+        "  return ep.Recv(0, kTagFailover);\n"
+        "}\n"},
+       {"src/panda/loop.cc",
+        "void ServerLoop(Endpoint& ep) {\n"
+        "  Pull(ep);\n"
+        "}\n"}},
+      Spec());
+  // The deadline rule fires inside Pull too; the escape finding anchors
+  // at the boundary's unguarded call.
+  const auto escapes = OfRule(diags, "proto-escape");
+  ASSERT_EQ(escapes.size(), 1u);
+  EXPECT_EQ(escapes[0].file, "src/panda/loop.cc");
+  EXPECT_EQ(escapes[0].line, 2);
+  EXPECT_NE(escapes[0].message.find("ServerLoop -> Pull -> Recv"),
+            std::string::npos);
+  EXPECT_NE(escapes[0].message.find("src/msg/coll.cc:2"), std::string::npos);
+}
+
+TEST(ProtoEscape, BoundaryWithConvertingCatchIsClean) {
+  EXPECT_TRUE(OfRule(Check({{"src/panda/loop.cc",
+                             "void ServerLoop(Endpoint& ep) {\n"
+                             "  try {\n"
+                             "    ep.Recv(0, kTagFailover);\n"
+                             "  } catch (const PandaError& e) {\n"
+                             "    Convert(e);\n"
+                             "  }\n"
+                             "}\n"}},
+                           Spec()),
+                     "proto-escape")
+                  .empty());
+}
+
+TEST(ProtoEscape, CatchingOnlyAbortErrorDoesNotCover) {
+  // PeerDeadError derives from PandaError, not PandaAbortError: a
+  // dispatch that only handles aborts still leaks peer deaths.
+  const auto diags = OfRule(Check({{"src/panda/loop.cc",
+                                    "void ServerLoop(Endpoint& ep) {\n"
+                                    "  try {\n"
+                                    "    ep.Recv(0, kTagFailover);\n"
+                                    "  } catch (const PandaAbortError& a) {\n"
+                                    "  }\n"
+                                    "}\n"}},
+                                  Spec()),
+                            "proto-escape");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].line, 3);
+}
+
+TEST(ProtoEscape, RegressionMasterKillBcastShape) {
+  // The exact shape panda_mc caught dynamically in
+  // tests/schedules/master-kill-abort.mctrace and PR 6 fixed: the
+  // server dispatch loop forwarding a request through Bcast with no
+  // converting catch on the path. src/panda/server.cc now wraps the
+  // non-failover Bcast; this pins the pre-fix shape as a finding so the
+  // class cannot quietly return.
+  const auto diags = OfRule(
+      Check({{"src/msg/collectives.cc",
+              "Message TreeBcast(Endpoint& ep, int root, Message m) {\n"
+              "  return ep.Recv(root, kTagFailover);\n"
+              "}\n"
+              "Message Bcast(Endpoint& ep, int root, Message m) {\n"
+              "  return TreeBcast(ep, root, std::move(m));\n"
+              "}\n"},
+             {"src/panda/server.cc",
+              "void ServerLoop(Endpoint& ep) {\n"
+              "  Message request_msg;\n"
+              "  request_msg = Bcast(ep, 0, std::move(request_msg));\n"
+              "}\n"}},
+            Spec()),
+      "proto-escape");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "src/panda/server.cc");
+  EXPECT_EQ(diags[0].line, 3);
+  EXPECT_NE(diags[0].message.find("Bcast -> TreeBcast -> Recv"),
+            std::string::npos);
+  EXPECT_NE(diags[0].message.find("master-kill-abort.mctrace"),
+            std::string::npos);
+}
+
+TEST(ProtoEscape, BoundaryWithNoDefinitionFlagged) {
+  // A renamed boundary silently turns the analysis vacuous — that drift
+  // is itself a finding, anchored in the spec.
+  const auto diags = OfRule(
+      Check({{"src/panda/x.cc", "void NotTheLoop() {}\n"}}, Spec()),
+      "proto-escape");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].file, "tools/analyze/protocol.spec");
+  EXPECT_EQ(diags[0].line, 8);
+  EXPECT_NE(diags[0].message.find("ServerLoop"), std::string::npos);
+}
+
+TEST(ProtoEscape, AppHarnessCodeStaysOutOfTheGraph) {
+  // An examples/ helper sharing a name with a library function must not
+  // taint the src/ graph with its raw Recv.
+  EXPECT_TRUE(OfRule(Check({{"examples/demo.cc",
+                             "void Run(Endpoint& ep) {\n"
+                             "  ep.Recv(0, kTagApp);\n"
+                             "}\n"},
+                            {"src/panda/loop.cc",
+                             "void ServerLoop(Retry& retry) {\n"
+                             "  retry.Run([] {});\n"
+                             "}\n"}},
+                           Spec()),
+                     "proto-escape")
+                  .empty());
+}
+
+// ---- proto-deadline ---------------------------------------------------
+
+TEST(ProtoDeadline, BlockingRecvInFailureCapablePhaseFlagged) {
+  const auto diags = Check({{"src/panda/failover.cc",
+                             "void Wait(Endpoint& ep) {\n"
+                             "  ep.Recv(0, kTagFailover);\n"
+                             "}\n"}},
+                           SpecNoBoundary());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "proto-deadline");
+  EXPECT_EQ(diags[0].file, "src/panda/failover.cc");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_NE(diags[0].message.find("failover"), std::string::npos);
+}
+
+TEST(ProtoDeadline, GuardedQuietPhaseAndTryRecvAreClean) {
+  // A converting catch, a non-failure-capable phase, a TryRecv deadline
+  // variant, and the implementing layer itself: all quiet.
+  EXPECT_TRUE(
+      Check({{"src/panda/a.cc",
+              "void f(Endpoint& ep) {\n"
+              "  try { ep.Recv(0, kTagFailover); }\n"
+              "  catch (const PeerDeadError& e) {}\n"
+              "}\n"},
+             {"src/panda/b.cc",
+              "void g(Endpoint& ep) { ep.Recv(0, kTagPieceData); }\n"},
+             {"src/panda/c.cc",
+              "void h(Endpoint& ep) { ep.TryRecv(0, kTagFailover, 50); }\n"},
+             {"src/msg/transport.cc",
+              "void d(Endpoint& ep) { ep.Recv(0, kTagFailover); }\n"}},
+            SpecNoBoundary())
+          .empty());
+}
+
+TEST(ProtoDeadline, SuppressionMarkerHonored) {
+  EXPECT_TRUE(
+      Check({{"src/panda/failover.cc",
+              "void Wait(Endpoint& ep) {\n"
+              "  // panda-lint: allow(proto-deadline)\n"
+              "  ep.Recv(0, kTagFailover);\n"
+              "}\n"}},
+            SpecNoBoundary())
+          .empty());
+}
+
+// ---- proto-lock-order -------------------------------------------------
+
+TEST(ProtoLockOrder, OppositeOrderInOneFileFlagged) {
+  const auto diags = Check(
+      {{"src/x/a.cc",
+        "void f() {\n"
+        "  std::lock_guard<std::mutex> l1(mu_a);\n"
+        "  std::lock_guard<std::mutex> l2(mu_b);\n"
+        "}\n"
+        "void g() {\n"
+        "  std::lock_guard<std::mutex> l1(mu_b);\n"
+        "  std::lock_guard<std::mutex> l2(mu_a);\n"
+        "}\n"}},
+      SpecNoBoundary());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "proto-lock-order");
+  EXPECT_EQ(diags[0].file, "src/x/a.cc");
+  EXPECT_NE(diags[0].message.find("src/x/a:mu_a"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("src/x/a:mu_b"), std::string::npos);
+}
+
+TEST(ProtoLockOrder, CrossFileCycleThroughCallsFlagged) {
+  // a holds its mutex and calls into b; b holds its own and calls back
+  // into a — the classic two-component deadlock, visible only with the
+  // whole tree in view.
+  const auto diags = Check(
+      {{"src/x/a.cc",
+        "void LockA() { std::lock_guard<std::mutex> l(mu_); }\n"
+        "void AThenB() {\n"
+        "  std::lock_guard<std::mutex> l(mu_);\n"
+        "  LockB();\n"
+        "}\n"},
+       {"src/x/b.cc",
+        "void LockB() { std::lock_guard<std::mutex> l(mu_); }\n"
+        "void BThenA() {\n"
+        "  std::lock_guard<std::mutex> l(mu_);\n"
+        "  LockA();\n"
+        "}\n"}},
+      SpecNoBoundary());
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "proto-lock-order");
+  EXPECT_NE(diags[0].message.find("src/x/a:mu_"), std::string::npos);
+  EXPECT_NE(diags[0].message.find("src/x/b:mu_"), std::string::npos);
+}
+
+TEST(ProtoLockOrder, ConsistentOrderIsClean) {
+  EXPECT_TRUE(Check({{"src/x/a.cc",
+                      "void f() {\n"
+                      "  std::lock_guard<std::mutex> l1(mu_a);\n"
+                      "  std::lock_guard<std::mutex> l2(mu_b);\n"
+                      "}\n"
+                      "void g() {\n"
+                      "  std::lock_guard<std::mutex> l(mu_a);\n"
+                      "}\n"
+                      "void h() {\n"
+                      "  std::lock_guard<std::mutex> l1(mu_a);\n"
+                      "  std::lock_guard<std::mutex> l2(mu_b);\n"
+                      "}\n"}},
+                    SpecNoBoundary())
+                  .empty());
+}
+
+TEST(ProtoLockOrder, SequentialScopesDoNotMakeEdges) {
+  // The guards do not overlap: no ordering constraint, no edge.
+  EXPECT_TRUE(Check({{"src/x/a.cc",
+                      "void f() {\n"
+                      "  { std::lock_guard<std::mutex> l(mu_a); }\n"
+                      "  { std::lock_guard<std::mutex> l(mu_b); }\n"
+                      "}\n"
+                      "void g() {\n"
+                      "  { std::lock_guard<std::mutex> l(mu_b); }\n"
+                      "  { std::lock_guard<std::mutex> l(mu_a); }\n"
+                      "}\n"}},
+                    SpecNoBoundary())
+                  .empty());
+}
+
+// ---- driver -----------------------------------------------------------
+
+TEST(ProtoDriver, DisabledRulesAreSkipped) {
+  LintConfig config;
+  config.disabled_rules = {"proto-tag", "proto-escape", "proto-deadline"};
+  EXPECT_TRUE(Check({{"src/panda/server.cc",
+                      "void f(Endpoint& ep) {\n"
+                      "  ep.Send(0, kTagMystery, Message{});\n"
+                      "}\n"}},
+                    Spec(), config)
+                  .empty());
+}
+
+TEST(ProtoDriver, RegistryExposesAllRules) {
+  std::vector<std::string> ids;
+  for (const ProtoRule& rule : ProtoRegistry()) ids.push_back(rule.id);
+  const std::vector<std::string> expected = {
+      "proto-tag", "proto-escape", "proto-deadline", "proto-lock-order"};
+  EXPECT_EQ(ids, expected);
+}
+
+TEST(ProtoDriver, RealTreeIsClean) {
+  // The analyses gate CI (tools/ci.sh): the actual repository must run
+  // clean against the actual spec. This also proves the spec covers the
+  // real MsgTag enum bidirectionally — any drift would surface as a
+  // proto-tag finding here.
+  LintConfig config;
+  config.root = PANDA_LINT_ROOT;
+  std::string error;
+  const std::vector<Diagnostic> diags = RunProto(config, "", &error);
+  EXPECT_TRUE(error.empty()) << error;
+  for (const Diagnostic& d : diags) ADD_FAILURE() << d.ToString();
+}
+
+}  // namespace
+}  // namespace lint
+}  // namespace panda

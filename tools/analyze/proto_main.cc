@@ -1,0 +1,169 @@
+// panda_proto — the cross-TU protocol-conformance and error-flow
+// analyzer (tools/analyze).
+//
+//   panda_proto [--root=DIR] [--dir=a,b,...] [--spec=FILE]
+//               [--disable=rule-a,rule-b] [--list_rules]
+//               [--dot[=FILE]] [--json_out=FILE]
+//
+// Exits 0 when the tree conforms to the wire spec, 1 when any
+// diagnostic fires, 2 on usage errors (including an unreadable or
+// malformed spec — a broken spec is never a clean tree). Diagnostics
+// print one per line in the panda_lint format
+//   path:line: [rule-id] message
+// and honor the same suppression contract
+// (`// panda-lint: allow(<rule>)`; docs/ANALYSIS.md).
+//
+// --dot renders the spec's message choreography as Graphviz (stdout, or
+// FILE) and exits; CI diffs it against docs/protocol_diagram.dot.
+// --json_out additionally writes the findings as a JSON array (a CI
+// artifact; the human-readable lines still go to stdout).
+#include <cstdio>
+#include <exception>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analyze/proto_rules.h"
+#include "analyze/protocol_spec.h"
+
+namespace {
+
+std::vector<std::string> SplitCommas(const std::string& s) {
+  std::vector<std::string> out;
+  std::istringstream is(s);
+  std::string item;
+  while (std::getline(is, item, ',')) {
+    if (!item.empty()) out.push_back(item);
+  }
+  return out;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (c == '\n') {
+      out += "\\n";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+bool WriteJson(const std::string& path,
+               const std::vector<panda::lint::Diagnostic>& diags) {
+  std::ofstream out(path);
+  if (!out) return false;
+  out << "[\n";
+  for (std::size_t i = 0; i < diags.size(); ++i) {
+    const panda::lint::Diagnostic& d = diags[i];
+    out << "  {\"rule\": \"" << JsonEscape(d.rule) << "\", \"file\": \""
+        << JsonEscape(d.file) << "\", \"line\": " << d.line
+        << ", \"message\": \"" << JsonEscape(d.message) << "\"}"
+        << (i + 1 < diags.size() ? "," : "") << "\n";
+  }
+  out << "]\n";
+  return out.good();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  panda::lint::LintConfig config;
+  std::string spec_path;
+  std::string json_out;
+  std::string dot_out;
+  bool list_rules = false;
+  bool want_dot = false;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const size_t eq = arg.find('=');
+    const std::string name = arg.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : arg.substr(eq + 1);
+    if (name == "--root") {
+      config.root = value;
+    } else if (name == "--dir") {
+      config.dirs = SplitCommas(value);
+    } else if (name == "--spec") {
+      spec_path = value;
+    } else if (name == "--disable") {
+      for (const std::string& r : SplitCommas(value)) {
+        config.disabled_rules.insert(r);
+      }
+    } else if (name == "--list_rules") {
+      list_rules = true;
+    } else if (name == "--dot") {
+      want_dot = true;
+      dot_out = value;
+    } else if (name == "--json_out") {
+      json_out = value;
+    } else {
+      std::fprintf(stderr, "panda_proto: unknown option '%s'\n",
+                   arg.c_str());
+      return 2;
+    }
+  }
+
+  if (list_rules) {
+    for (const panda::lint::ProtoRule& rule : panda::lint::ProtoRegistry()) {
+      std::printf("%-18s %s\n", rule.id.c_str(), rule.description.c_str());
+    }
+    return 0;
+  }
+
+  if (want_dot) {
+    panda::lint::ProtocolSpec spec;
+    std::string error;
+    const std::string path =
+        spec_path.empty() ? config.root + "/tools/analyze/protocol.spec"
+                          : spec_path;
+    if (!panda::lint::LoadProtocolSpec(path, &spec, &error)) {
+      std::fprintf(stderr, "panda_proto: %s\n", error.c_str());
+      return 2;
+    }
+    const std::string dot = panda::lint::ProtocolDot(spec);
+    if (dot_out.empty()) {
+      std::printf("%s", dot.c_str());
+    } else {
+      std::ofstream out(dot_out);
+      out << dot;
+      if (!out.good()) {
+        std::fprintf(stderr, "panda_proto: cannot write %s\n",
+                     dot_out.c_str());
+        return 2;
+      }
+    }
+    return 0;
+  }
+
+  try {
+    std::string error;
+    const std::vector<panda::lint::Diagnostic> diags =
+        panda::lint::RunProto(config, spec_path, &error);
+    if (!error.empty()) {
+      std::fprintf(stderr, "panda_proto: %s\n", error.c_str());
+      return 2;
+    }
+    for (const panda::lint::Diagnostic& d : diags) {
+      std::printf("%s\n", d.ToString().c_str());
+    }
+    if (!json_out.empty() && !WriteJson(json_out, diags)) {
+      std::fprintf(stderr, "panda_proto: cannot write %s\n",
+                   json_out.c_str());
+      return 2;
+    }
+    if (!diags.empty()) {
+      std::printf("panda_proto: %zu violation(s)\n", diags.size());
+      return 1;
+    }
+    return 0;
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "panda_proto: %s\n", e.what());
+    return 2;
+  }
+}

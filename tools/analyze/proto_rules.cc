@@ -1,0 +1,656 @@
+#include "analyze/proto_rules.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <sstream>
+#include <tuple>
+#include <utility>
+
+#include "analyze/symbols.h"
+
+namespace panda {
+namespace lint {
+
+namespace {
+
+bool IsPunct(const Token& t, char c) {
+  return t.kind == TokKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+bool StartsWith(const std::string& s, const std::string& prefix) {
+  return s.rfind(prefix, 0) == 0;
+}
+
+std::size_t MatchParen(const std::vector<Token>& toks, std::size_t open) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (IsPunct(toks[j], '(')) ++depth;
+    if (IsPunct(toks[j], ')') && --depth == 0) return j;
+  }
+  return toks.size();
+}
+
+void Diag(std::vector<Diagnostic>* out, const std::string& rule,
+          const std::string& file, int line, const std::string& message) {
+  out->push_back({rule, file, line, message});
+}
+
+// The catch clauses that cover a PeerDeadError in flight: the type
+// itself, its bases, and catch-all. catch (PandaAbortError) alone does
+// NOT cover (PeerDeadError derives from PandaError, not AbortError).
+const std::set<std::string>& EscapeHandlers() {
+  static const std::set<std::string>* kSet = new std::set<std::string>{
+      "PeerDeadError", "PandaError", "exception", "runtime_error"};
+  return *kSet;
+}
+
+// Directed-receive primitive names: the ONLY calls that can throw
+// PeerDeadError (msg/mailbox.h: BlockingReceiveAny backing RecvAny /
+// RecvAnyDelivery never throws it — no specific awaited peer; the
+// ReceiveWithin deadline path backing TryRecv / TryRecvAny does not
+// either).
+bool IsDirectedRecv(const std::string& name) { return name == "Recv"; }
+
+// Maps a file to the protocol role its subsystem plays. Empty string =
+// exempt from role checks (the transport layer src/msg/ and the model
+// checker src/mc/ speak every side of the protocol by design; unknown
+// files stay silent rather than guessing).
+std::string RoleOf(const std::string& path) {
+  if (StartsWith(path, "src/msg/") || StartsWith(path, "src/mc/")) return "";
+  if (StartsWith(path, "src/panda/client")) return "client";
+  if (StartsWith(path, "src/panda/")) return "server";
+  if (StartsWith(path, "src/baselines/") || StartsWith(path, "examples/") ||
+      StartsWith(path, "tests/") || StartsWith(path, "bench/")) {
+    return "app";
+  }
+  return "";
+}
+
+// "src/msg/hb.cc" -> "src/msg/hb", so the .h/.cc halves of one
+// component share a mutex namespace.
+std::string FileStem(const std::string& path) {
+  const std::size_t dot = path.rfind('.');
+  const std::size_t slash = path.rfind('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return path;
+  }
+  return path.substr(0, dot);
+}
+
+// First kTag*-prefixed identifier inside the call's parens (any
+// nesting depth: the tag argument is the only kTag in scope at Panda
+// call sites). Empty string = tag is a variable/expression; the
+// analyses degrade by skipping the site.
+std::string TagArgOf(const std::vector<Token>& toks, std::size_t call_tok) {
+  if (call_tok + 1 >= toks.size() || !IsPunct(toks[call_tok + 1], '(')) {
+    return "";
+  }
+  const std::size_t close = MatchParen(toks, call_tok + 1);
+  for (std::size_t k = call_tok + 2; k < close && k < toks.size(); ++k) {
+    if (toks[k].kind == TokKind::kIdent &&
+        StartsWith(toks[k].text, "kTag")) {
+      return toks[k].text;
+    }
+  }
+  return "";
+}
+
+// ---------------------------------------------------------------------------
+// proto-tag: Send/Recv sites conform to the spec's direction roles, and
+// the spec tracks src/msg/message.h's MsgTag enum bidirectionally.
+// ---------------------------------------------------------------------------
+
+class TagConformanceCheck : public CrossFileCheck {
+ public:
+  explicit TagConformanceCheck(const ProtocolSpec& spec) : spec_(spec) {}
+
+  void Scan(const SourceFile& file, const LintConfig& config) override {
+    (void)config;
+    static const std::map<std::string, bool> kOps = {
+        // op name -> is this the sending end?
+        {"Send", true},           {"SendResponse", true},
+        {"Recv", false},          {"RecvAny", false},
+        {"TryRecv", false},       {"TryRecvAny", false},
+        {"RecvAnyDelivery", false},
+    };
+    const std::string role = RoleOf(file.rel_path);
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      const Token& t = toks[i];
+      if (t.kind != TokKind::kIdent) continue;
+      if (StartsWith(t.text, "kTag")) seen_idents_.insert(t.text);
+      const auto op = kOps.find(t.text);
+      if (op == kOps.end() || !IsPunct(toks[i + 1], '(')) continue;
+      const std::string tag = TagArgOf(toks, i);
+      if (tag.empty()) continue;  // variable tag: degrade, don't guess
+      sites_.push_back({file.rel_path, t.line, t.text, tag, role,
+                        op->second});
+    }
+    if (file.rel_path == "src/msg/message.h") {
+      CollectEnum(file);
+    }
+  }
+
+  void Report(std::vector<Diagnostic>* out) override {
+    for (const Site& s : sites_) {
+      const MessageSpec* msg = spec_.Find(s.tag);
+      if (msg == nullptr) {
+        Diag(out, "proto-tag", s.file, s.line,
+             s.op + " of " + s.tag +
+                 " which is not declared in tools/analyze/protocol.spec — "
+                 "every wire tag needs a message entry (phase, integrity, "
+                 "direction roles)");
+        continue;
+      }
+      if (s.role.empty()) continue;  // transport/harness layer
+      const std::set<std::string>& roles =
+          s.is_send ? msg->send_roles : msg->recv_roles;
+      if (roles.count(s.role) == 0 && roles.count("any") == 0) {
+        Diag(out, "proto-tag", s.file, s.line,
+             s.op + " of " + s.tag + " from the " + s.role +
+                 " subsystem, but protocol.spec:" +
+                 std::to_string(msg->line) + " allows " +
+                 (s.is_send ? "send=" : "recv=") + RoleList(roles) +
+                 " — wrong-direction use of a protocol message");
+      }
+    }
+    // Bidirectional drift guard, gated on having actually seen the
+    // MsgTag enum (unit-test corpora without message.h skip it).
+    if (!enum_tags_.empty()) {
+      for (const auto& [name, line] : enum_tags_) {
+        if (spec_.Find(name) == nullptr) {
+          Diag(out, "proto-tag", "src/msg/message.h", line,
+               "MsgTag enumerator " + name +
+                   " has no message entry in tools/analyze/protocol.spec "
+                   "— declare its phase, integrity class and direction "
+                   "roles");
+        }
+      }
+      for (const MessageSpec& m : spec_.messages) {
+        if (!m.aux && enum_tags_.count(m.name) == 0) {
+          Diag(out, "proto-tag", "src/msg/message.h", 1,
+               "protocol.spec:" + std::to_string(m.line) + " declares " +
+                   m.name +
+                   " but src/msg/message.h has no such MsgTag enumerator "
+                   "— stale spec entry (mark it aux if it lives outside "
+                   "the enum)");
+        }
+        if (m.aux && seen_idents_.count(m.name) == 0) {
+          Diag(out, "proto-tag", "src/msg/message.h", 1,
+               "protocol.spec:" + std::to_string(m.line) +
+                   " declares aux tag " + m.name +
+                   " but no source file mentions it — stale spec entry");
+        }
+      }
+    }
+  }
+
+ private:
+  struct Site {
+    std::string file;
+    int line;
+    std::string op;
+    std::string tag;
+    std::string role;
+    bool is_send;
+  };
+
+  static std::string RoleList(const std::set<std::string>& roles) {
+    std::string out;
+    for (const std::string& r : roles) {
+      if (!out.empty()) out += ",";
+      out += r;
+    }
+    return out;
+  }
+
+  void CollectEnum(const SourceFile& file) {
+    const std::vector<Token>& toks = file.tokens;
+    for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+      if (toks[i].kind != TokKind::kIdent || toks[i].text != "MsgTag") {
+        continue;
+      }
+      std::size_t j = i + 1;
+      while (j < toks.size() && !IsPunct(toks[j], '{') &&
+             !IsPunct(toks[j], ';')) {
+        ++j;
+      }
+      if (j >= toks.size() || !IsPunct(toks[j], '{')) continue;
+      bool expect_name = true;
+      for (std::size_t k = j + 1; k < toks.size(); ++k) {
+        if (IsPunct(toks[k], '}')) break;
+        if (IsPunct(toks[k], ',')) {
+          expect_name = true;
+          continue;
+        }
+        if (expect_name && toks[k].kind == TokKind::kIdent) {
+          enum_tags_.emplace(toks[k].text, toks[k].line);
+          expect_name = false;
+        }
+      }
+      break;
+    }
+  }
+
+  const ProtocolSpec& spec_;
+  std::vector<Site> sites_;
+  std::set<std::string> seen_idents_;
+  std::map<std::string, int> enum_tags_;  // enumerator -> line
+};
+
+// ---------------------------------------------------------------------------
+// proto-escape: no spec boundary function may transitively reach a
+// directed Recv through unguarded call sites — PeerDeadError must
+// convert to the structured abort inside the boundary, never escape raw
+// (the master-kill class panda_mc caught dynamically in
+// tests/schedules/master-kill-abort.mctrace).
+// ---------------------------------------------------------------------------
+
+class EscapeCheck : public CrossFileCheck {
+ public:
+  explicit EscapeCheck(const ProtocolSpec& spec) : spec_(spec) {}
+
+  void Scan(const SourceFile& file, const LintConfig& config) override {
+    (void)config;
+    // The boundaries live in src/ and so must the graph: folding app
+    // harness code (examples/, tests/) into the name-merged graph
+    // manufactures false edges when an app helper shares a name with a
+    // library function (e.g. a local `Run` that does a raw kTagApp
+    // Recv would taint RetryPolicy::Run).
+    if (!StartsWith(file.rel_path, "src/")) return;
+    symbols_.push_back(
+        std::make_unique<FileSymbols>(AnalyzeFile(file)));
+  }
+
+  void Report(std::vector<Diagnostic>* out) override {
+    CallGraph graph;
+    for (const auto& syms : symbols_) graph.Add(*syms);
+
+    // leaks(name): some definition of `name` has an unguarded call site
+    // whose callee is a directed Recv or itself leaks. Name-merged
+    // fixpoint — sound for "could a PeerDeadError get out of here?".
+    std::map<std::string, bool> leaks;
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, defs] : graph.defs()) {
+        if (leaks[name]) continue;
+        for (const FunctionDef* def : defs) {
+          for (const CallSite& c : def->calls) {
+            if (!IsDirectedRecv(c.callee) && !leaks[c.callee]) continue;
+            if (GuardedBy(*def, c.tok, EscapeHandlers())) continue;
+            leaks[name] = true;
+            changed = true;
+            break;
+          }
+          if (leaks[name]) break;
+        }
+      }
+    }
+
+    for (const BoundarySpec& b : spec_.boundaries) {
+      const std::vector<const FunctionDef*>* defs = graph.DefsOf(b.function);
+      if (defs == nullptr) {
+        Diag(out, "proto-escape", "tools/analyze/protocol.spec", b.line,
+             "boundary '" + b.function +
+                 "' names no function definition in the corpus — the "
+                 "escape analysis for it is vacuous (renamed boundary?)");
+        continue;
+      }
+      for (const FunctionDef* def : *defs) {
+        for (const CallSite& c : def->calls) {
+          const bool direct = IsDirectedRecv(c.callee);
+          if (!direct && !leaks[c.callee]) continue;
+          if (GuardedBy(*def, c.tok, EscapeHandlers())) continue;
+          std::string chain = b.function;
+          if (direct) {
+            chain += " -> Recv (" + def->file + ":" +
+                     std::to_string(c.line) + ")";
+          } else {
+            chain += " -> " + Witness(graph, leaks, c.callee);
+          }
+          Diag(out, "proto-escape", def->file, c.line,
+               "PeerDeadError can escape boundary '" + b.function +
+                   "' uncaught via " + chain +
+                   " — catch PandaError here and convert to the "
+                   "structured PandaAbortError (see "
+                   "tests/schedules/master-kill-abort.mctrace)");
+        }
+      }
+    }
+  }
+
+ private:
+  // Greedy witness walk from a leaking callee down to a concrete Recv
+  // site; depth-capped, cycle-safe. Prefers a direct Recv edge at each
+  // hop so the chain stays short.
+  static std::string Witness(const CallGraph& graph,
+                             const std::map<std::string, bool>& leaks,
+                             const std::string& start) {
+    std::string chain = start;
+    std::string cur = start;
+    std::set<std::string> visited;
+    for (int depth = 0; depth < 20; ++depth) {
+      if (!visited.insert(cur).second) break;
+      const std::vector<const FunctionDef*>* defs = graph.DefsOf(cur);
+      if (defs == nullptr) break;
+      const CallSite* next = nullptr;
+      const FunctionDef* next_def = nullptr;
+      for (const FunctionDef* def : *defs) {
+        for (const CallSite& c : def->calls) {
+          if (GuardedBy(*def, c.tok, EscapeHandlers())) continue;
+          if (IsDirectedRecv(c.callee)) {
+            next = &c;
+            next_def = def;
+            break;
+          }
+          const auto it = leaks.find(c.callee);
+          if (next == nullptr && it != leaks.end() && it->second) {
+            next = &c;
+            next_def = def;
+          }
+        }
+        if (next != nullptr && IsDirectedRecv(next->callee)) break;
+      }
+      if (next == nullptr) break;
+      if (IsDirectedRecv(next->callee)) {
+        chain += " -> Recv (" + next_def->file + ":" +
+                 std::to_string(next->line) + ")";
+        return chain;
+      }
+      chain += " -> " + next->callee;
+      cur = next->callee;
+    }
+    return chain + " -> ... -> Recv";
+  }
+
+  const ProtocolSpec& spec_;
+  std::vector<std::unique_ptr<FileSymbols>> symbols_;
+};
+
+// ---------------------------------------------------------------------------
+// proto-deadline: a blocking directed Recv of a tag whose phase is
+// failure-capable must sit under a PeerDeadError-capable catch (so the
+// lease-based detector has a consumer), use a TryRecv deadline variant,
+// or carry a justified allow(proto-deadline). src/msg/ is the layer
+// that implements the primitives — exempt.
+// ---------------------------------------------------------------------------
+
+class DeadlineCheck : public CrossFileCheck {
+ public:
+  explicit DeadlineCheck(const ProtocolSpec& spec) : spec_(spec) {}
+
+  void Scan(const SourceFile& file, const LintConfig& config) override {
+    (void)config;
+    if (StartsWith(file.rel_path, "src/msg/")) return;
+    const FileSymbols syms = AnalyzeFile(file);
+    for (const FunctionDef& def : syms.functions) {
+      for (const CallSite& c : def.calls) {
+        if (!IsDirectedRecv(c.callee)) continue;
+        const std::string tag = TagArgOf(file.tokens, c.tok);
+        if (tag.empty()) continue;  // variable tag: degrade
+        const MessageSpec* msg = spec_.Find(tag);
+        if (msg == nullptr || !spec_.FailureCapable(msg->phase)) continue;
+        if (GuardedBy(def, c.tok, EscapeHandlers())) continue;
+        Diag(&pending_, "proto-deadline", file.rel_path, c.line,
+             "blocking Recv of " + tag + " (phase '" + msg->phase +
+                 "' is failure-capable) with no PeerDeadError-capable "
+                 "catch in scope — the peer can legally die here; catch "
+                 "the error, use TryRecv with a deadline, or suppress "
+                 "with a justification");
+      }
+    }
+  }
+
+  void Report(std::vector<Diagnostic>* out) override {
+    for (Diagnostic& d : pending_) out->push_back(std::move(d));
+    pending_.clear();
+  }
+
+ private:
+  const ProtocolSpec& spec_;
+  std::vector<Diagnostic> pending_;
+};
+
+// ---------------------------------------------------------------------------
+// proto-lock-order: collect guard-object acquisition order across TUs
+// (mutexes identified per file stem, so a component's .h/.cc halves
+// share a namespace) and report static lock-order cycles, following
+// calls made while a lock is held.
+// ---------------------------------------------------------------------------
+
+class LockOrderCheck : public CrossFileCheck {
+ public:
+  explicit LockOrderCheck(const ProtocolSpec& spec) { (void)spec; }
+
+  void Scan(const SourceFile& file, const LintConfig& config) override {
+    (void)config;
+    symbols_.push_back(
+        std::make_unique<FileSymbols>(AnalyzeFile(file)));
+  }
+
+  void Report(std::vector<Diagnostic>* out) override {
+    CallGraph graph;
+    for (const auto& syms : symbols_) graph.Add(*syms);
+
+    // locks_of(name): every lock id acquired anywhere in the dynamic
+    // extent of `name` (its own body or any callee, transitively).
+    std::map<std::string, std::set<std::string>> locks_of;
+    for (const auto& [name, defs] : graph.defs()) {
+      for (const FunctionDef* def : defs) {
+        for (const LockSite& l : def->locks) {
+          locks_of[name].insert(LockId(*def, l));
+        }
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const auto& [name, defs] : graph.defs()) {
+        std::set<std::string>& mine = locks_of[name];
+        for (const FunctionDef* def : defs) {
+          for (const CallSite& c : def->calls) {
+            const auto it = locks_of.find(c.callee);
+            if (it == locks_of.end()) continue;
+            for (const std::string& lid : it->second) {
+              if (mine.insert(lid).second) changed = true;
+            }
+          }
+        }
+      }
+    }
+
+    // Edges: lock A held, then lock B acquired (directly or via a call)
+    // before A's scope ends. One exemplar site per edge.
+    std::map<std::pair<std::string, std::string>,
+             std::pair<std::string, int>>
+        edges;  // (from, to) -> (file, line)
+    for (const auto& syms : symbols_) {
+      for (const FunctionDef& def : syms->functions) {
+        for (const LockSite& held : def.locks) {
+          const std::string from = LockId(def, held);
+          for (const LockSite& later : def.locks) {
+            if (!(held.tok < later.tok && later.tok < held.scope_end)) {
+              continue;
+            }
+            const std::string to = LockId(def, later);
+            if (to != from) {
+              edges.emplace(std::make_pair(from, to),
+                            std::make_pair(def.file, later.line));
+            }
+          }
+          for (const CallSite& c : def.calls) {
+            if (!(held.tok < c.tok && c.tok < held.scope_end)) continue;
+            const auto it = locks_of.find(c.callee);
+            if (it == locks_of.end()) continue;
+            for (const std::string& to : it->second) {
+              if (to != from) {
+                edges.emplace(std::make_pair(from, to),
+                              std::make_pair(def.file, c.line));
+              }
+            }
+          }
+        }
+      }
+    }
+
+    // Cycle detection over the order graph; each distinct cycle
+    // (rotation-normalized) reported once, anchored at the exemplar of
+    // its first edge.
+    std::map<std::string, std::vector<std::string>> adj;
+    for (const auto& [edge, site] : edges) {
+      (void)site;
+      adj[edge.first].push_back(edge.second);
+    }
+    std::set<std::string> reported;
+    std::map<std::string, int> color;  // 0 white, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    for (const auto& [start, unused] : adj) {
+      (void)unused;
+      Dfs(start, adj, &color, &stack, &edges, &reported, out);
+    }
+  }
+
+ private:
+  static std::string LockId(const FunctionDef& def, const LockSite& l) {
+    return FileStem(def.file) + ":" + l.mutex_name;
+  }
+
+  static void Dfs(
+      const std::string& node,
+      const std::map<std::string, std::vector<std::string>>& adj,
+      std::map<std::string, int>* color, std::vector<std::string>* stack,
+      const std::map<std::pair<std::string, std::string>,
+                     std::pair<std::string, int>>* edges,
+      std::set<std::string>* reported, std::vector<Diagnostic>* out) {
+    const int c = (*color)[node];
+    if (c == 2) return;
+    if (c == 1) {
+      // Back edge: the cycle is the stack suffix starting at `node`.
+      std::vector<std::string> cycle;
+      bool in = false;
+      for (const std::string& n : *stack) {
+        if (n == node) in = true;
+        if (in) cycle.push_back(n);
+      }
+      if (cycle.empty()) return;
+      // Normalize: rotate the smallest lock id to the front.
+      const auto min_it = std::min_element(cycle.begin(), cycle.end());
+      std::rotate(cycle.begin(), min_it, cycle.end());
+      std::string key;
+      for (const std::string& n : cycle) key += n + "->";
+      if (!reported->insert(key).second) return;
+      std::string pretty;
+      for (const std::string& n : cycle) pretty += n + " -> ";
+      pretty += cycle.front();
+      const auto site = edges->find(
+          {cycle.front(), cycle.size() > 1 ? cycle[1] : cycle.front()});
+      const std::string file =
+          site != edges->end() ? site->second.first : "src";
+      const int line = site != edges->end() ? site->second.second : 1;
+      Diag(out, "proto-lock-order", file, line,
+           "static lock-order cycle: " + pretty +
+               " — two threads taking these locks in opposite orders "
+               "can deadlock; establish one global order");
+      return;
+    }
+    (*color)[node] = 1;
+    stack->push_back(node);
+    const auto it = adj.find(node);
+    if (it != adj.end()) {
+      for (const std::string& next : it->second) {
+        Dfs(next, adj, color, stack, edges, reported, out);
+      }
+    }
+    stack->pop_back();
+    (*color)[node] = 2;
+  }
+
+  std::vector<std::unique_ptr<FileSymbols>> symbols_;
+};
+
+}  // namespace
+
+const std::vector<ProtoRule>& ProtoRegistry() {
+  static const std::vector<ProtoRule>* kRules = new std::vector<ProtoRule>{
+      {"proto-tag",
+       "Send/Recv sites use spec-declared tags with matching direction "
+       "roles; spec and MsgTag enum stay in sync",
+       [](const ProtocolSpec& spec) {
+         return std::unique_ptr<CrossFileCheck>(
+             new TagConformanceCheck(spec));
+       }},
+      {"proto-escape",
+       "no spec boundary reaches a directed Recv without a "
+       "PeerDeadError-capable catch on the path",
+       [](const ProtocolSpec& spec) {
+         return std::unique_ptr<CrossFileCheck>(new EscapeCheck(spec));
+       }},
+      {"proto-deadline",
+       "blocking directed Recv in a failure-capable phase needs a "
+       "catch, a deadline variant, or a justified suppression",
+       [](const ProtocolSpec& spec) {
+         return std::unique_ptr<CrossFileCheck>(new DeadlineCheck(spec));
+       }},
+      {"proto-lock-order",
+       "guard-object acquisition order is cycle-free across TUs",
+       [](const ProtocolSpec& spec) {
+         return std::unique_ptr<CrossFileCheck>(new LockOrderCheck(spec));
+       }},
+  };
+  return *kRules;
+}
+
+std::vector<Diagnostic> CheckProtoFiles(const std::vector<SourceFile>& files,
+                                        const ProtocolSpec& spec,
+                                        const LintConfig& config) {
+  std::vector<std::unique_ptr<CrossFileCheck>> checks;
+  for (const ProtoRule& rule : ProtoRegistry()) {
+    if (config.disabled_rules.count(rule.id) != 0) continue;
+    checks.push_back(rule.make(spec));
+  }
+  for (const SourceFile& file : files) {
+    for (auto& check : checks) check->Scan(file, config);
+  }
+  std::vector<Diagnostic> raw;
+  for (auto& check : checks) check->Report(&raw);
+
+  // Same suppression contract as panda_lint: cross-file diagnostics
+  // resolve against the file they anchor to.
+  std::vector<Diagnostic> kept;
+  for (Diagnostic& d : raw) {
+    const SourceFile* anchor = nullptr;
+    for (const SourceFile& file : files) {
+      if (file.rel_path == d.file) {
+        anchor = &file;
+        break;
+      }
+    }
+    if (anchor != nullptr && anchor->Suppressed(d.rule, d.line)) continue;
+    kept.push_back(std::move(d));
+  }
+  std::sort(kept.begin(), kept.end(),
+            [](const Diagnostic& a, const Diagnostic& b) {
+              return std::tie(a.file, a.line, a.rule) <
+                     std::tie(b.file, b.line, b.rule);
+            });
+  return kept;
+}
+
+std::vector<Diagnostic> RunProto(const LintConfig& config,
+                                 const std::string& spec_path,
+                                 std::string* error) {
+  const std::string path =
+      spec_path.empty()
+          ? config.root + "/tools/analyze/protocol.spec"
+          : spec_path;
+  ProtocolSpec spec;
+  if (!LoadProtocolSpec(path, &spec, error)) return {};
+  const std::vector<SourceFile> sources = LoadCorpus(config);
+  return CheckProtoFiles(sources, spec, config);
+}
+
+}  // namespace lint
+}  // namespace panda

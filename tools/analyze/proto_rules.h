@@ -1,0 +1,79 @@
+// panda_proto rule registry and driver (tools/analyze): cross-TU
+// protocol-conformance and error-flow analyses built on the symbol
+// layer (symbols.h) and the machine-readable wire spec
+// (protocol_spec.h / tools/analyze/protocol.spec). Catalogue
+// (docs/ANALYSIS.md has the long form):
+//
+//   proto-tag        every Send/Recv site naming a kTag* enumerator
+//                    must appear in the spec with a send/recv role
+//                    matching the file's subsystem (src/panda/client*
+//                    -> client, src/panda/ -> server, baselines/
+//                    examples/tests/bench -> app; src/msg/ and src/mc/
+//                    are the transport and harness layers — exempt from
+//                    role checks, unknown tags still flagged). Drift
+//                    guard both ways: every MsgTag enumerator in
+//                    src/msg/message.h needs a spec entry, every
+//                    non-aux spec entry needs an enumerator.
+//   proto-escape     no spec `boundary` function may transitively reach
+//                    a directed Endpoint::Recv through call sites that
+//                    are not covered by a catch of PeerDeadError (or a
+//                    base: PandaError, exception, runtime_error, ...).
+//                    Directed Recv is the only primitive that throws
+//                    PeerDeadError (msg/mailbox.h: RecvAny/TryRecv
+//                    never do) — the raw-escape class panda_mc found
+//                    dynamically in tests/schedules/
+//                    master-kill-abort.mctrace.
+//   proto-deadline   a blocking directed Recv of a tag whose spec phase
+//                    is failure-capable must sit under a PeerDeadError-
+//                    capable catch, use a TryRecv deadline variant, or
+//                    carry a justified allow() suppression.
+//   proto-lock-order collects guard-object lock acquisition order
+//                    across TUs (mutexes identified per file stem) and
+//                    reports static lock-order cycles, following calls
+//                    made while a lock is held.
+//
+// Diagnostics use the panda_lint format and suppression contract
+// (`// panda-lint: allow(<rule>)`, rules.h).
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "analyze/protocol_spec.h"
+#include "analyze/rules.h"
+
+namespace panda {
+namespace lint {
+
+struct ProtoRule {
+  std::string id;
+  std::string description;
+  // Builds a fresh two-phase check instance bound to the spec (which
+  // must outlive it).
+  std::function<std::unique_ptr<CrossFileCheck>(const ProtocolSpec&)> make;
+};
+
+// The registered panda_proto rules, in reporting order.
+const std::vector<ProtoRule>& ProtoRegistry();
+
+// Runs every enabled proto rule over the corpus: Scan each file, then
+// Report with the whole tree in view; suppressions resolved against the
+// anchoring file; sorted by (file, line, rule). (Unit-test entry point;
+// RunProto loads the tree and calls this.)
+std::vector<Diagnostic> CheckProtoFiles(const std::vector<SourceFile>& files,
+                                        const ProtocolSpec& spec,
+                                        const LintConfig& config);
+
+// Walks config.root/config.dirs (LoadCorpus), loads the spec from
+// `spec_path` (empty = <root>/tools/analyze/protocol.spec) and runs the
+// proto analyses. On a spec load/parse failure returns an empty vector
+// and sets *error (callers exit 2: a broken spec is a usage error, not
+// a clean tree).
+std::vector<Diagnostic> RunProto(const LintConfig& config,
+                                 const std::string& spec_path,
+                                 std::string* error);
+
+}  // namespace lint
+}  // namespace panda

@@ -260,16 +260,19 @@ void CheckSpanCoverage(const SourceFile& f, const LintConfig& config,
 // Every message tag must declare how its payload is integrity-protected
 // (docs/PROTOCOL.md): `wire-crc` (payload carries a CRC32C checked by
 // the receiver), `header-checked` (fixed framing fully validated on
-// decode), or `control` (no data payload to protect). A tag added to
-// the enum without a manifest line is exactly the regression this rule
-// exists to catch: data moving with no declared integrity story.
+// decode), `control` (no data payload to protect), or `unchecked`
+// (application-owned payload the transport makes no promises about —
+// the kTagApp space). A tag added to the enum without a spec entry is
+// exactly the regression this rule exists to catch: data moving with no
+// declared integrity story. The entries live in the `message` lines of
+// tools/analyze/protocol.spec (which superseded the `tag` lines that
+// used to sit in span_manifest.txt).
 void CheckTagCoverage(const SourceFile& f, const LintConfig& config,
                       std::vector<Diagnostic>* out) {
   if (f.rel_path != "src/msg/message.h") return;
   if (config.tag_manifest.empty()) return;  // manifest not loaded
-  static const std::set<std::string> kMechanisms = {"wire-crc",
-                                                    "header-checked",
-                                                    "control"};
+  static const std::set<std::string> kMechanisms = {
+      "wire-crc", "header-checked", "control", "unchecked"};
   // Collect the MsgTag enumerators: identifiers directly following '{'
   // or ',' inside `enum ... MsgTag ... { ... }`.
   const auto& toks = f.tokens;
@@ -299,15 +302,15 @@ void CheckTagCoverage(const SourceFile& f, const LintConfig& config,
     if (it == config.tag_manifest.end()) {
       Diag(out, "tag-coverage", f, line,
            "message tag '" + name +
-               "' has no coverage entry — declare its integrity "
-               "mechanism with `tag " + name +
-               " <wire-crc|header-checked|control>` in "
-               "tools/analyze/span_manifest.txt");
+               "' has no coverage entry — declare it with a `message " +
+               name + " ... integrity=<class>` line in "
+               "tools/analyze/protocol.spec");
     } else if (kMechanisms.count(it->second) == 0) {
       Diag(out, "tag-coverage", f, line,
            "message tag '" + name + "' declares unknown integrity "
                "mechanism '" + it->second +
-               "' (expected wire-crc, header-checked or control)");
+               "' (expected wire-crc, header-checked, control or "
+               "unchecked)");
     }
   }
   // Stale manifest entries are as misleading as missing ones.
@@ -317,8 +320,9 @@ void CheckTagCoverage(const SourceFile& f, const LintConfig& config,
         [&entry](const auto& t) { return t.first == entry.first; });
     if (it == tags.end()) {
       Diag(out, "tag-coverage", f, 1,
-           "manifest covers unknown message tag '" + entry.first +
-               "' — remove it from tools/analyze/span_manifest.txt");
+           "spec covers unknown message tag '" + entry.first +
+               "' — remove it from tools/analyze/protocol.spec or mark "
+               "it aux");
     }
   }
 }
@@ -707,37 +711,27 @@ std::vector<std::pair<std::string, std::string>> ParseTagManifest(
     std::istringstream fields(line);
     std::string keyword;
     std::string tag;
-    std::string mechanism;
-    if (fields >> keyword >> tag >> mechanism && keyword == "tag") {
-      out.emplace_back(tag, mechanism);
+    if (!(fields >> keyword >> tag) || keyword != "message") continue;
+    std::string attr;
+    std::string integrity;
+    bool aux = false;
+    while (fields >> attr) {
+      if (attr == "aux") aux = true;
+      const std::string kKey = "integrity=";
+      if (attr.rfind(kKey, 0) == 0) integrity = attr.substr(kKey.size());
     }
+    // aux tags live outside the MsgTag enum (the kTagApp+n baseline
+    // space) — the enum-coverage rule must not expect them there.
+    if (!aux && !integrity.empty()) out.emplace_back(tag, integrity);
   }
   return out;
 }
 
-std::vector<Diagnostic> RunLint(const LintConfig& config) {
-  LintConfig cfg = config;
-  if (cfg.span_manifest.empty() || cfg.tag_manifest.empty()) {
-    const fs::path manifest =
-        fs::path(cfg.root) / "tools" / "analyze" / "span_manifest.txt";
-    std::ifstream in(manifest);
-    if (in) {
-      std::ostringstream buf;
-      buf << in.rdbuf();
-      const std::string text = buf.str();
-      if (cfg.span_manifest.empty()) {
-        cfg.span_manifest = ParseSpanManifest(text);
-      }
-      if (cfg.tag_manifest.empty()) {
-        cfg.tag_manifest = ParseTagManifest(text);
-      }
-    }
-  }
-
-  // Deterministic file order: collect, sort, lint.
+std::vector<SourceFile> LoadCorpus(const LintConfig& config) {
+  // Deterministic file order: collect, sort, tokenize.
   std::vector<fs::path> files;
-  for (const std::string& dir : cfg.dirs) {
-    const fs::path base = fs::path(cfg.root) / dir;
+  for (const std::string& dir : config.dirs) {
+    const fs::path base = fs::path(config.root) / dir;
     if (!fs::exists(base)) continue;
     for (const auto& entry : fs::recursive_directory_iterator(base)) {
       if (!entry.is_regular_file()) continue;
@@ -747,8 +741,6 @@ std::vector<Diagnostic> RunLint(const LintConfig& config) {
   }
   std::sort(files.begin(), files.end());
 
-  // Tokenize the whole corpus first: the cross-file rules need every
-  // file in view before they can report (CheckFiles runs both phases).
   std::vector<SourceFile> sources;
   sources.reserve(files.size());
   for (const fs::path& path : files) {
@@ -757,10 +749,40 @@ std::vector<Diagnostic> RunLint(const LintConfig& config) {
     std::ostringstream buf;
     buf << in.rdbuf();
     const std::string rel =
-        fs::path(fs::relative(path, cfg.root)).generic_string();
+        fs::path(fs::relative(path, config.root)).generic_string();
     sources.push_back(Tokenize(rel, buf.str()));
   }
-  return CheckFiles(sources, cfg);
+  return sources;
+}
+
+std::vector<Diagnostic> RunLint(const LintConfig& config) {
+  LintConfig cfg = config;
+  if (cfg.span_manifest.empty()) {
+    const fs::path manifest =
+        fs::path(cfg.root) / "tools" / "analyze" / "span_manifest.txt";
+    std::ifstream in(manifest);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      cfg.span_manifest = ParseSpanManifest(buf.str());
+    }
+  }
+  if (cfg.tag_manifest.empty()) {
+    // Tag integrity classes live in the wire spec since panda_proto
+    // subsumed the old span_manifest `tag` lines.
+    const fs::path spec =
+        fs::path(cfg.root) / "tools" / "analyze" / "protocol.spec";
+    std::ifstream in(spec);
+    if (in) {
+      std::ostringstream buf;
+      buf << in.rdbuf();
+      cfg.tag_manifest = ParseTagManifest(buf.str());
+    }
+  }
+
+  // Tokenize the whole corpus first: the cross-file rules need every
+  // file in view before they can report (CheckFiles runs both phases).
+  return CheckFiles(LoadCorpus(cfg), cfg);
 }
 
 }  // namespace lint

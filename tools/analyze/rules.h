@@ -14,9 +14,10 @@
 //                   (tools/analyze/span_manifest.txt) contain a
 //                   PANDA_SPAN / RecordSpan instrumentation site.
 //   tag-coverage    every MsgTag enumerator in src/msg/message.h has a
-//                   `tag <name> <mechanism>` manifest line declaring
-//                   how its payload is integrity-protected (wire-crc,
-//                   header-checked, or control).
+//                   `message <name> ... integrity=<class>` entry in
+//                   tools/analyze/protocol.spec declaring how its
+//                   payload is integrity-protected (wire-crc,
+//                   header-checked, control, or unchecked).
 //   header-hygiene  headers use #pragma once exactly once, never
 //                   `using namespace`, and src/ headers never include
 //                   <iostream>.
@@ -73,8 +74,9 @@ struct LintConfig {
   // `root` (rule skipped when that file does not exist).
   std::vector<std::pair<std::string, std::string>> span_manifest;
   // tag-coverage manifest entries: (MsgTag enumerator, integrity
-  // mechanism). When empty, RunLint loads the `tag <name> <mechanism>`
-  // lines of the same manifest file (rule skipped when none exist).
+  // class). When empty, RunLint loads the non-aux `message` lines of
+  // tools/analyze/protocol.spec under `root` (rule skipped when that
+  // file does not exist).
   std::vector<std::pair<std::string, std::string>> tag_manifest;
   // Rule ids to skip entirely.
   std::set<std::string> disabled_rules;
@@ -127,16 +129,20 @@ std::vector<Diagnostic> CheckFiles(const std::vector<SourceFile>& files,
 // returns every unsuppressed diagnostic sorted by (file, line, rule).
 std::vector<Diagnostic> RunLint(const LintConfig& config);
 
+// Walks config.root/config.dirs for *.h / *.cc files and tokenizes
+// each, paths relative to root, sorted. Shared corpus loader for
+// RunLint and panda_proto's RunProto.
+std::vector<SourceFile> LoadCorpus(const LintConfig& config);
+
 // Parses span manifest text ("relative/path FunctionName" per line; '#'
-// comments and blank lines ignored). `tag ...` lines (see
-// ParseTagManifest) come back as ("tag", <name>) pairs; harmless, since
-// "tag" never matches a real file path.
+// comments and blank lines ignored).
 std::vector<std::pair<std::string, std::string>> ParseSpanManifest(
     const std::string& text);
 
-// Parses the message-tag coverage lines of the same manifest text:
-// "tag <MsgTag enumerator> <integrity mechanism>". Other lines, '#'
-// comments and blanks are ignored.
+// Extracts tag-coverage entries from protocol.spec text: each non-aux
+// `message <tag> ... integrity=<class> ...` line yields a
+// (tag, integrity class) pair. Other lines, '#' comments and blanks are
+// ignored (full spec grammar: protocol_spec.h).
 std::vector<std::pair<std::string, std::string>> ParseTagManifest(
     const std::string& text);
 

@@ -1,0 +1,227 @@
+#include "analyze/symbols.h"
+
+#include <algorithm>
+
+namespace panda {
+namespace lint {
+
+namespace {
+
+bool IsPunct(const Token& t, char c) {
+  return t.kind == TokKind::kPunct && t.text.size() == 1 && t.text[0] == c;
+}
+
+// Identifiers that look like `name (` but never are function
+// definitions or interesting call sites (control flow, operators,
+// specifiers). Keeping macro invocations (PANDA_REQUIRE, TEST, ...) is
+// deliberate: they register as calls to names with no definition, which
+// every analysis treats as "no edge".
+const std::set<std::string>& NotAFunction() {
+  static const std::set<std::string>* kSet = new std::set<std::string>{
+      "if",       "for",      "while",     "switch",        "catch",
+      "return",   "throw",    "sizeof",    "alignof",       "alignas",
+      "noexcept", "decltype", "new",       "delete",        "do",
+      "else",     "try",      "operator",  "constexpr",     "consteval",
+      "constinit", "defined", "co_await",  "co_return",     "co_yield",
+      "static_assert", "requires", "assert"};
+  return *kSet;
+}
+
+// Matches a bracketed region starting at the opener token `open`
+// (counting only `oc`/`cc`); returns the index of the matching closer,
+// or toks.size() when unbalanced.
+std::size_t MatchFrom(const std::vector<Token>& toks, std::size_t open,
+                      char oc, char cc) {
+  int depth = 0;
+  for (std::size_t j = open; j < toks.size(); ++j) {
+    if (IsPunct(toks[j], oc)) ++depth;
+    if (IsPunct(toks[j], cc) && --depth == 0) return j;
+  }
+  return toks.size();
+}
+
+// Parses the try/catch structure inside [body_open, body_close].
+void CollectTries(const std::vector<Token>& toks, std::size_t body_open,
+                  std::size_t body_close, std::vector<TryBlock>* out) {
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    if (toks[i].kind != TokKind::kIdent || toks[i].text != "try") continue;
+    if (i + 1 >= toks.size() || !IsPunct(toks[i + 1], '{')) continue;
+    TryBlock tb;
+    tb.open = i + 1;
+    tb.close = MatchFrom(toks, tb.open, '{', '}');
+    if (tb.close >= toks.size()) return;  // unbalanced: give up on file
+    std::size_t j = tb.close + 1;
+    while (j + 1 < toks.size() && toks[j].kind == TokKind::kIdent &&
+           toks[j].text == "catch" && IsPunct(toks[j + 1], '(')) {
+      const std::size_t close_paren = MatchFrom(toks, j + 1, '(', ')');
+      if (close_paren >= toks.size()) break;
+      for (std::size_t k = j + 2; k < close_paren; ++k) {
+        if (toks[k].kind == TokKind::kIdent && toks[k].text != "const" &&
+            toks[k].text != "std") {
+          tb.caught.insert(toks[k].text);
+        }
+        if (IsPunct(toks[k], '.')) tb.caught.insert("...");
+      }
+      std::size_t cb = close_paren + 1;
+      if (cb >= toks.size() || !IsPunct(toks[cb], '{')) break;
+      const std::size_t cb_close = MatchFrom(toks, cb, '{', '}');
+      if (cb_close >= toks.size()) break;
+      j = cb_close + 1;
+    }
+    tb.caught.erase("");
+    out->push_back(std::move(tb));
+  }
+}
+
+// Guard-object mutex tags that are not mutexes.
+const std::set<std::string>& LockTagArgs() {
+  static const std::set<std::string>* kSet = new std::set<std::string>{
+      "std", "defer_lock", "try_to_lock", "adopt_lock", "this"};
+  return *kSet;
+}
+
+// Parses `lock_guard<...> name(mu_);`-style acquisitions inside the
+// body. The guarded range runs to the end of the enclosing brace scope.
+void CollectLocks(const std::vector<Token>& toks, std::size_t body_open,
+                  std::size_t body_close, std::vector<LockSite>* out) {
+  static const std::set<std::string> kGuards = {"lock_guard", "unique_lock",
+                                                "scoped_lock"};
+  for (std::size_t i = body_open + 1; i < body_close; ++i) {
+    if (toks[i].kind != TokKind::kIdent || kGuards.count(toks[i].text) == 0) {
+      continue;
+    }
+    std::size_t j = i + 1;
+    if (j < body_close && IsPunct(toks[j], '<')) {
+      int tdepth = 0;
+      for (; j < body_close; ++j) {
+        if (IsPunct(toks[j], '<')) ++tdepth;
+        if (IsPunct(toks[j], '>') && --tdepth == 0) break;
+      }
+      ++j;  // past '>'
+    }
+    // Guard variable name, then the argument list.
+    if (j >= body_close || toks[j].kind != TokKind::kIdent) continue;
+    ++j;
+    if (j >= body_close || !IsPunct(toks[j], '(')) continue;
+    const std::size_t close_paren = MatchFrom(toks, j, '(', ')');
+    if (close_paren >= toks.size()) continue;
+    // One mutex per top-level comma-separated argument: its last
+    // identifier (`*mu`, `this->mu_`, `other.mu_` all end in the name).
+    int depth = 0;
+    std::string last_ident;
+    std::vector<std::pair<std::string, int>> mutexes;  // (name, line)
+    int last_line = toks[i].line;
+    for (std::size_t k = j; k <= close_paren; ++k) {
+      if (IsPunct(toks[k], '(')) ++depth;
+      if (IsPunct(toks[k], ')')) --depth;
+      if (depth == 1 && toks[k].kind == TokKind::kIdent &&
+          LockTagArgs().count(toks[k].text) == 0) {
+        last_ident = toks[k].text;
+        last_line = toks[k].line;
+      }
+      if ((depth == 1 && IsPunct(toks[k], ',')) ||
+          (depth == 0 && IsPunct(toks[k], ')'))) {
+        if (!last_ident.empty()) mutexes.emplace_back(last_ident, last_line);
+        last_ident.clear();
+      }
+    }
+    // Enclosing scope end: the first '}' that closes a brace opened at
+    // or before the acquisition.
+    std::size_t scope_end = body_close;
+    int bdepth = 0;
+    for (std::size_t k = close_paren + 1; k <= body_close; ++k) {
+      if (IsPunct(toks[k], '{')) ++bdepth;
+      if (IsPunct(toks[k], '}')) {
+        if (bdepth == 0) {
+          scope_end = k;
+          break;
+        }
+        --bdepth;
+      }
+    }
+    for (const auto& [name, line] : mutexes) {
+      out->push_back({name, close_paren, line, scope_end});
+    }
+    i = close_paren;
+  }
+}
+
+}  // namespace
+
+FileSymbols AnalyzeFile(const SourceFile& file) {
+  FileSymbols out;
+  out.rel_path = file.rel_path;
+  const std::vector<Token>& toks = file.tokens;
+  for (std::size_t i = 0; i + 1 < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    if (NotAFunction().count(toks[i].text) != 0) continue;
+    if (!IsPunct(toks[i + 1], '(')) continue;
+    const std::size_t params_close = MatchFrom(toks, i + 1, '(', ')');
+    if (params_close >= toks.size()) break;
+    // Scan qualifiers until '{' (a definition) or ';'/'='/':'/','/')'
+    // (a declaration, call, or constructor with an init list — skipped,
+    // matching rules.cc's FindDefinitions heuristic).
+    std::size_t k = params_close + 1;
+    bool is_def = false;
+    for (std::size_t steps = 0; k < toks.size() && steps < 32; ++k, ++steps) {
+      const Token& t = toks[k];
+      if (IsPunct(t, '{')) {
+        is_def = true;
+        break;
+      }
+      if (IsPunct(t, ';') || IsPunct(t, '=') || IsPunct(t, ':') ||
+          IsPunct(t, ',') || IsPunct(t, ')')) {
+        break;
+      }
+    }
+    if (!is_def) continue;
+    const std::size_t body_close = MatchFrom(toks, k, '{', '}');
+    if (body_close >= toks.size()) break;
+
+    FunctionDef def;
+    def.name = toks[i].text;
+    def.file = file.rel_path;
+    def.line = toks[i].line;
+    def.body_open = k;
+    def.body_close = body_close;
+    for (std::size_t c = k + 1; c < body_close; ++c) {
+      if (toks[c].kind == TokKind::kIdent && IsPunct(toks[c + 1], '(') &&
+          NotAFunction().count(toks[c].text) == 0) {
+        def.calls.push_back({toks[c].text, c, toks[c].line});
+      }
+    }
+    CollectTries(toks, k, body_close, &def.tries);
+    CollectLocks(toks, k, body_close, &def.locks);
+    out.functions.push_back(std::move(def));
+    i = k;  // resume inside the body: nested lambdas carry no defs, but
+            // nothing else should be skipped
+  }
+  return out;
+}
+
+bool GuardedBy(const FunctionDef& fn, std::size_t idx,
+               const std::set<std::string>& handlers) {
+  for (const TryBlock& tb : fn.tries) {
+    if (!(tb.open < idx && idx < tb.close)) continue;
+    if (tb.caught.count("...") != 0) return true;
+    for (const std::string& h : handlers) {
+      if (tb.caught.count(h) != 0) return true;
+    }
+  }
+  return false;
+}
+
+void CallGraph::Add(const FileSymbols& syms) {
+  for (const FunctionDef& def : syms.functions) {
+    defs_[def.name].push_back(&def);
+  }
+}
+
+const std::vector<const FunctionDef*>* CallGraph::DefsOf(
+    const std::string& name) const {
+  const auto it = defs_.find(name);
+  return it == defs_.end() ? nullptr : &it->second;
+}
+
+}  // namespace lint
+}  // namespace panda

@@ -1,0 +1,117 @@
+// A lightweight symbol layer on top of the panda_lint lexer
+// (tools/analyze). Still deliberately NOT a compiler front end: function
+// boundaries, call sites, try/catch structure and lock acquisitions are
+// recovered heuristically from the token stream, which is exactly the
+// level the panda_proto analyses need (docs/ANALYSIS.md):
+//
+//   * function definitions — every `name ( params ) quals {` shape, with
+//     the body's token range. Out-of-line members (`Cls::Fn`) register
+//     under their unqualified name; lambdas are folded into the
+//     enclosing function (a call inside `retry.Run(..., [&] { ... })`
+//     belongs to the caller, which is the right attribution for
+//     error-flow analysis).
+//   * call sites — `ident (` inside a body. Calls through function
+//     pointers, std::function values or virtual dispatch have no callee
+//     identifier worth resolving and are simply absent: the analyses
+//     degrade to "unknown callee, no edge" rather than guessing.
+//   * try/catch regions — the try body's token range plus every
+//     identifier named in its catch clauses ("..." recorded literally),
+//     so a call site can be asked "is any enclosing try prepared to
+//     catch X here?".
+//   * lock acquisitions — std::lock_guard / unique_lock / scoped_lock
+//     guard objects with the guarded mutex name(s) and the token range
+//     the guard covers (to the end of its enclosing brace scope).
+//     Bare mutex.lock() calls are not modeled (nothing in the tree uses
+//     them; the degrade is documented in docs/ANALYSIS.md).
+//
+// The project-wide CallGraph merges definitions by unqualified name
+// across translation units — the same two-phase corpus view the
+// CrossFileCheck API (rules.h) already provides.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "analyze/lexer.h"
+
+namespace panda {
+namespace lint {
+
+// One try statement inside a function: the body's token range and the
+// identifiers appearing in its catch clauses (type names; also the
+// exception variable name, which is harmless, and "..." for catch-all).
+struct TryBlock {
+  std::size_t open = 0;   // token index of the try body's '{'
+  std::size_t close = 0;  // token index of its matching '}'
+  std::set<std::string> caught;
+};
+
+// A direct call site: `callee (` at token index `tok`.
+struct CallSite {
+  std::string callee;
+  std::size_t tok = 0;
+  int line = 0;
+};
+
+// One guard-object lock acquisition. `scope_end` is the token index of
+// the '}' closing the guard's enclosing scope: the range (tok,
+// scope_end) is held-under-this-lock territory.
+struct LockSite {
+  std::string mutex_name;  // unqualified, as written (e.g. "mu_")
+  std::size_t tok = 0;
+  int line = 0;
+  std::size_t scope_end = 0;
+};
+
+struct FunctionDef {
+  std::string name;  // unqualified
+  std::string file;  // rel_path of the defining file
+  int line = 0;
+  std::size_t body_open = 0;   // token index of the body '{'
+  std::size_t body_close = 0;  // token index of the matching '}'
+  std::vector<CallSite> calls;
+  std::vector<TryBlock> tries;
+  std::vector<LockSite> locks;
+};
+
+struct FileSymbols {
+  std::string rel_path;
+  std::vector<FunctionDef> functions;
+};
+
+// Extracts every function definition (with calls, tries, locks) from a
+// tokenized file. Never fails; shapes it cannot parse are skipped.
+FileSymbols AnalyzeFile(const SourceFile& file);
+
+// True when token index `idx` (inside fn's body) sits inside a try
+// whose catch clauses name one of `handlers`, or use catch(...).
+bool GuardedBy(const FunctionDef& fn, std::size_t idx,
+               const std::set<std::string>& handlers);
+
+// Project-wide call graph, keyed by unqualified function name. Multiple
+// definitions of the same name (overloads, same-named members of
+// different classes, per-TU statics) merge: a property holds for the
+// name if it holds for any definition — the sound direction for
+// escape-style analyses.
+class CallGraph {
+ public:
+  // Registers every function of `syms`. The FileSymbols object must
+  // outlive the graph (the graph stores pointers into it).
+  void Add(const FileSymbols& syms);
+
+  // All definitions of `name`, or nullptr when none was seen.
+  const std::vector<const FunctionDef*>* DefsOf(const std::string& name) const;
+
+  const std::map<std::string, std::vector<const FunctionDef*>>& defs() const {
+    return defs_;
+  }
+
+ private:
+  std::map<std::string, std::vector<const FunctionDef*>> defs_;
+};
+
+}  // namespace lint
+}  // namespace panda

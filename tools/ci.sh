@@ -24,8 +24,9 @@
 # Static-analysis gates (docs/ANALYSIS.md):
 #  * tools/lint.sh runs BEFORE any compile: clang-format and clang-tidy
 #    when installed (skipped loudly otherwise — the container bakes in
-#    only g++), and panda_lint (tools/analyze) always — the
-#    project-invariant linter needs nothing but a C++ compiler.
+#    only g++), plus panda_lint and panda_proto (tools/analyze) always —
+#    the project-invariant linter and the protocol-conformance analyzer
+#    need nothing but a C++ compiler.
 #  * The plain suite builds with -DPANDA_WERROR=ON: warnings are errors
 #    in CI, advisory on developer machines.
 #  * A fourth suite builds with -DPANDA_HB=ON: the vector-clock
@@ -60,12 +61,25 @@ echo "== panda_lint (CMake-built binary over the full tree)"
 cmake --build build-ci -j "$JOBS" --target panda_lint
 build-ci/tools-analyze/panda_lint --root=.
 
+echo "== panda_proto (protocol conformance over the full tree)"
+# The cross-TU analyzer gates at -Werror severity: zero unsuppressed
+# findings, findings archived as a CI artifact, and the checked-in
+# protocol diagram must match the spec it was generated from
+# (docs/ANALYSIS.md).
+cmake --build build-ci -j "$JOBS" --target panda_proto
+mkdir -p build-ci/artifacts
+build-ci/tools-analyze/panda_proto --root=. \
+    --json_out=build-ci/artifacts/PROTO_findings.json
+build-ci/tools-analyze/panda_proto --root=. --dot=build-ci/proto.dot
+diff -u docs/protocol_diagram.dot build-ci/proto.dot
+
 echo "== header hygiene (every src/ header compiles standalone)"
 cmake --build build-ci -j "$JOBS" --target header_compile_test
 
 if command -v clang-tidy > /dev/null 2>&1; then
   echo "== clang-tidy (compile_commands.json from build-ci)"
-  tools/lint.sh --tidy build-ci build-ci/tools-analyze/panda_lint
+  tools/lint.sh --tidy build-ci build-ci/tools-analyze/panda_lint \
+      build-ci/tools-analyze/panda_proto
 fi
 
 echo "== smoke bench + schema check"

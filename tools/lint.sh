@@ -6,16 +6,19 @@
 #      (needs a configured build dir with compile_commands.json;
 #       skipped if clang-tidy is absent)            [--tidy BUILD_DIR]
 #   3. panda_lint — the project-invariant linter (tools/analyze). This
-#      stage has no external dependency: the linter is built from two
+#      stage has no external dependency: the linter is built from a few
 #      translation units with the host C++ compiler if no build dir
 #      provides it, so it ALWAYS runs, even on a box with no clang
 #      tooling installed.
+#   4. panda_proto — the cross-TU protocol-conformance / error-flow
+#      analyzer, checked against tools/analyze/protocol.spec. Same
+#      self-build story as panda_lint.
 #
 # Exit status is non-zero if any stage that actually ran found a
 # violation. Missing optional tools are reported but do not fail the
 # gate (the container image bakes in only the C++ toolchain).
 #
-#   tools/lint.sh [--tidy BUILD_DIR] [PANDA_LINT_BINARY]
+#   tools/lint.sh [--tidy BUILD_DIR] [PANDA_LINT_BINARY] [PANDA_PROTO_BINARY]
 set -eu
 
 cd "$(dirname "$0")/.."
@@ -26,6 +29,7 @@ if [ "${1:-}" = "--tidy" ]; then
   shift 2
 fi
 LINT_BIN="${1:-}"
+PROTO_BIN="${2:-}"
 
 FAIL=0
 
@@ -62,8 +66,8 @@ fi
 # ---- 3. panda_lint ---------------------------------------------------
 echo "== lint: panda_lint"
 if [ -z "$LINT_BIN" ] || [ ! -x "$LINT_BIN" ]; then
-  # Build the linter directly: two TUs, no dependencies beyond the
-  # standard library. ~2 s, cached by mtime.
+  # Build the linter directly: a few TUs, no dependencies beyond the
+  # standard library. ~3 s, cached by mtime.
   LINT_BIN="build-lint/panda_lint"
   if [ ! -x "$LINT_BIN" ] \
      || [ tools/analyze/rules.cc -nt "$LINT_BIN" ] \
@@ -77,6 +81,30 @@ if [ -z "$LINT_BIN" ] || [ ! -x "$LINT_BIN" ]; then
   fi
 fi
 if ! "$LINT_BIN" --root=.; then
+  FAIL=1
+fi
+
+# ---- 4. panda_proto --------------------------------------------------
+echo "== lint: panda_proto"
+if [ -z "$PROTO_BIN" ] || [ ! -x "$PROTO_BIN" ]; then
+  PROTO_BIN="build-lint/panda_proto"
+  NEED_BUILD=0
+  [ ! -x "$PROTO_BIN" ] && NEED_BUILD=1
+  for tu in lexer.cc rules.cc symbols.cc protocol_spec.cc proto_rules.cc \
+            proto_main.cc; do
+    [ "tools/analyze/$tu" -nt "$PROTO_BIN" ] && NEED_BUILD=1
+  done
+  if [ "$NEED_BUILD" -ne 0 ]; then
+    mkdir -p build-lint
+    CXX_BIN="${CXX:-c++}"
+    "$CXX_BIN" -std=c++20 -O1 -I tools \
+      tools/analyze/lexer.cc tools/analyze/rules.cc \
+      tools/analyze/symbols.cc tools/analyze/protocol_spec.cc \
+      tools/analyze/proto_rules.cc tools/analyze/proto_main.cc \
+      -o "$PROTO_BIN"
+  fi
+fi
+if ! "$PROTO_BIN" --root=.; then
   FAIL=1
 fi
 
