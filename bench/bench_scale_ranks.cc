@@ -1,0 +1,160 @@
+// Rank-count scaling of the machine itself (not a paper figure): runs
+// the Figure-4 workload shape — one write collective, natural chunking,
+// weak-scaled so every compute node owns one 1 MB plane — at 64..4096
+// total ranks and charts wall elapsed, plan time and peak RSS against
+// the rank count. This is the bench behind src/sched/: thread-per-rank
+// tops out at a few hundred OS threads, while --sched=fiber multiplexes
+// thousands of ranks onto a small carrier pool (docs/SCHEDULER.md).
+// Virtual-time results are backend-identical by contract
+// (tests/sched_test.cc); only the wall columns here should move.
+//
+// Wall-clock reads are this bench's entire point, so the wall-clock
+// rule is waived file-wide. panda-lint: allow-file(wall-clock)
+#include <sys/resource.h>
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+
+namespace panda {
+namespace bench {
+namespace {
+
+// Total ranks -> (clients, io_nodes): one i/o node per 8 ranks, the
+// fig4 compute:io ratio (8 clients : 2..8 i/o nodes, rounded to 1:8).
+struct MachineShape {
+  int clients = 0;
+  int io_nodes = 0;
+};
+
+MachineShape ShapeFor(int ranks) {
+  MachineShape shape;
+  shape.io_nodes = ranks / 8 > 0 ? ranks / 8 : 1;
+  shape.clients = ranks - shape.io_nodes;
+  return shape;
+}
+
+double WallSeconds(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+long PeakRssKb() {
+  struct rusage usage;
+  getrusage(RUSAGE_SELF, &usage);
+  return usage.ru_maxrss;  // KiB on Linux
+}
+
+int Main(int argc, char** argv) {
+  Options opts(argc, argv);
+  const std::int64_t one_point = opts.GetInt("ranks", 0);
+  const bool quick = opts.GetBool("quick", false);
+  const std::int64_t workers = opts.GetInt("workers", 0);
+  const std::string json_out = opts.GetString("json_out", "");
+  sched::Backend backend = sched::Backend::kFiber;
+  const std::string sched_name =
+      opts.GetString("sched", sched::BackendName(backend));
+  PANDA_REQUIRE(sched::BackendFromName(sched_name, backend),
+                "unknown --sched '%s' (try: thread, fiber)",
+                sched_name.c_str());
+  opts.CheckAllConsumed();
+
+  // The sweep is ascending so ru_maxrss (a high-water mark) grows with
+  // the point that set it. Thread-per-rank is only swept to 256 ranks —
+  // thousands of OS threads is exactly the failure mode the fiber
+  // backend exists to avoid.
+  std::vector<int> sweep = {64, 256, 1024, 4096};
+  if (quick) sweep = {64, 256};
+  if (backend == sched::Backend::kThread || !sched::FiberSupported()) {
+    while (!sweep.empty() && sweep.back() > 256) sweep.pop_back();
+  }
+  if (one_point > 0) sweep = {static_cast<int>(one_point)};
+
+  std::printf("# scale-ranks: fig4 workload (write, natural chunking, "
+              "1 MB plane per compute node), --sched=%s%s\n",
+              sched::BackendName(backend),
+              sched::FiberSupported() ? "" : " (fibers unsupported in this "
+                                             "build; thread backend runs)");
+  std::printf("%-8s %-8s %-10s %-10s %-10s %-10s %-12s %-8s\n", "ranks",
+              "sched", "wall_s", "virt_s", "plan_s", "rss_mb", "switches",
+              "parks");
+
+  FigureSpec spec;
+  spec.id = "scale-ranks";
+  spec.description =
+      "event-driven rank scheduler scaling: fig4 write collective, weak-"
+      "scaled, 64..4096 ranks";
+  spec.op = IoOp::kWrite;
+  spec.sched_backend = backend;
+  std::vector<FigureRow> rows;
+
+  for (const int ranks : sweep) {
+    const MachineShape shape = ShapeFor(ranks);
+    MeasureSpec ms;
+    ms.op = IoOp::kWrite;
+    ms.params = Sp2Params::Nas();
+    ms.num_clients = shape.clients;
+    ms.io_nodes = shape.io_nodes;
+    ms.reps = 1;
+    ms.sched_backend = backend;
+    ms.sched_workers = static_cast<int>(workers);
+    // Weak scaling: {clients, 512, 512} floats — every compute node
+    // holds exactly one 1 MB dim-0 plane, like fig4's 8-node points.
+    const std::int64_t size_mb = shape.clients;
+    const ArrayMeta meta = PaperArrayMeta(
+        size_mb, Shape{shape.clients, 1, 1}, /*traditional=*/false,
+        shape.io_nodes);
+
+    const auto plan_t0 = std::chrono::steady_clock::now();
+    const IoPlan plan(meta, shape.io_nodes, ms.params.subchunk_bytes);
+    const double plan_s = WallSeconds(plan_t0);
+    PANDA_REQUIRE(plan.TotalPieces() > 0, "degenerate scale plan");
+
+    const auto wall_t0 = std::chrono::steady_clock::now();
+    const MeasureResult r = MeasureCollective(ms, meta);
+    const double wall_s = WallSeconds(wall_t0);
+
+    // sched.* counters ride in the row metrics (schema v5 keeps them
+    // out of the stable columns — they are wall-schedule diagnostics).
+    const auto switches = r.metrics.counters.count("sched.context_switches")
+                              ? r.metrics.counters.at("sched.context_switches")
+                              : 0;
+    const auto parks = r.metrics.counters.count("sched.parks")
+                           ? r.metrics.counters.at("sched.parks")
+                           : 0;
+    std::printf("%-8d %-8s %-10.3f %-10.4f %-10.5f %-10.1f %-12lld %-8lld\n",
+                ranks, sched::BackendName(r.sched_backend), wall_s,
+                r.elapsed_s, plan_s,
+                static_cast<double>(PeakRssKb()) / 1024.0,
+                static_cast<long long>(switches),
+                static_cast<long long>(parks));
+    rows.push_back(
+        FigureRow{shape.io_nodes, size_mb, r, sched::BackendName(backend),
+                  ranks});
+  }
+  std::printf("\n");
+
+  if (!json_out.empty()) {
+    const std::string json = BenchJson(spec, quick, /*reps=*/1, rows);
+    PANDA_REQUIRE(trace::WriteTextFile(json_out, json),
+                  "cannot write bench json '%s'", json_out.c_str());
+    std::printf("# wrote %s\n", json_out.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace bench
+}  // namespace panda
+
+int main(int argc, char** argv) {
+  try {
+    return panda::bench::Main(argc, argv);
+  } catch (const std::exception& e) {
+    std::fprintf(stderr, "error: %s\n", e.what());
+    return 1;
+  }
+}

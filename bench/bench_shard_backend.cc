@@ -179,7 +179,8 @@ int Run(int argc, char** argv) {
                     : FormatBytes(config.shard_bytes).c_str(),
                 r.elapsed_s, static_cast<long long>(r.disk_ops),
                 FormatThroughput(r.aggregate_Bps).c_str());
-    rows.push_back(FigureRow{io_nodes, size_mb, r, config.label});
+    rows.push_back(
+        FigureRow{io_nodes, size_mb, r, config.label, num_clients + io_nodes});
   }
 
   if (!json_out.empty()) {

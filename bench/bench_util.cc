@@ -98,6 +98,7 @@ MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
   Machine machine =
       Machine::Simulated(spec.num_clients, spec.io_nodes, spec.params,
                          /*store_data=*/coded, /*timing_only=*/!coded);
+  machine.SetSchedBackend(spec.sched_backend, spec.sched_workers);
   if (spec.trace) machine.EnableTrace();
   const World world{spec.num_clients, spec.io_nodes};
 
@@ -155,6 +156,7 @@ MeasureResult MeasureCollective(const MeasureSpec& spec, const ArrayMeta& meta,
     result.disk_ops += fs.reads + fs.writes + fs.syncs;
   }
   result.codec_ratio = SampledRatio(spec.codec, meta.elem_size);
+  result.sched_backend = report.sched_backend;
   result.metrics = report.metrics;
   if (const trace::Collector* collector = machine.trace_collector()) {
     result.spans = collector->AggregateByKind();
@@ -215,7 +217,7 @@ trace::MetricsSnapshot MergeRowMetrics(std::span<const FigureRow> rows) {
 std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
                       std::span<const FigureRow> rows) {
   std::string out = "{";
-  out += "\"schema_version\":4,";
+  out += "\"schema_version\":5,";
   out += "\"kind\":\"panda_bench\",";
   out += "\"bench\":\"" + trace::JsonEscape(spec.id) + "\",";
   out += "\"description\":\"" + trace::JsonEscape(spec.description) + "\",";
@@ -241,6 +243,9 @@ std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
     out += ",\"codec_ratio\":" + trace::JsonDouble(row.result.codec_ratio);
     out += ",\"disk_ops\":" + std::to_string(row.result.disk_ops);
     out += ",\"label\":\"" + trace::JsonEscape(row.label) + "\"";
+    out += ",\"ranks\":" + std::to_string(row.ranks);
+    out += std::string(",\"sched_backend\":\"") +
+           sched::BackendName(row.result.sched_backend) + "\"";
     out += ",\"spans\":" + SpansJson(row.result.spans);
     out += "}";
     for (size_t k = 0; k < trace::kNumSpanKinds; ++k) {
@@ -297,6 +302,7 @@ void RunFigure(const FigureSpec& spec, bool quick, const FigureOutput& out) {
       ms.fast_disk = spec.fast_disk;
       ms.trace = want_outputs;
       ms.codec = spec.codec;
+      ms.sched_backend = spec.sched_backend;
       const ArrayMeta meta =
           PaperArrayMeta(mb, spec.cn_mesh, spec.traditional, ion);
       // The exported trace is the last sweep point's (one Run per point;
@@ -309,7 +315,9 @@ void RunFigure(const FigureSpec& spec, bool quick, const FigureOutput& out) {
                   static_cast<long long>(mb), r.elapsed_s,
                   FormatThroughput(r.aggregate_Bps).c_str(),
                   FormatThroughput(r.per_ion_Bps).c_str(), r.normalized);
-      if (want_outputs) rows.push_back(FigureRow{ion, mb, r});
+      if (want_outputs) {
+        rows.push_back(FigureRow{ion, mb, r, "", spec.num_clients + ion});
+      }
     }
   }
   std::printf("\n");
@@ -340,6 +348,11 @@ int FigureMain(int argc, char** argv, FigureSpec spec) {
                   "unknown --codec '%s' (try: none, rle, shuffle, delta, "
                   "shuffle+rle)",
                   codec_name.c_str());
+    const std::string sched_name =
+        opts.GetString("sched", sched::BackendName(spec.sched_backend));
+    PANDA_REQUIRE(sched::BackendFromName(sched_name, spec.sched_backend),
+                  "unknown --sched '%s' (try: thread, fiber)",
+                  sched_name.c_str());
     opts.CheckAllConsumed();
     spec.reps = static_cast<int>(reps);
     RunFigure(spec, quick, out);

@@ -17,6 +17,7 @@
 #include "codec/codec.h"
 #include "panda/panda.h"
 #include "panda/report.h"
+#include "sched/sched.h"
 #include "trace/trace.h"
 #include "util/options.h"
 
@@ -51,6 +52,9 @@ struct MeasureResult {
   // Sampled framed/raw ratio of the fill pattern under MeasureSpec::
   // codec (what AdviseCodec feeds the cost model); 1.0 when codec=none.
   double codec_ratio = 1.0;
+  // The scheduler backend that actually ran the machine — kThread when
+  // a kFiber request fell back (TSan / -DPANDA_HB builds pin threads).
+  sched::Backend sched_backend = sched::Backend::kThread;
   // Per-kind span aggregates over the whole measured run (warm-up
   // included), all ranks summed. All-zero unless MeasureSpec::trace.
   std::array<trace::SpanAggregate, trace::kNumSpanKinds> spans{};
@@ -74,6 +78,11 @@ struct MeasureSpec {
   // smooth-ramp fill, store_data file systems — because compression is
   // meaningless on elided payloads.
   CodecId codec = CodecId::kNone;
+  // Rank scheduler backend (src/sched/): thread-per-rank by default;
+  // kFiber multiplexes the ranks onto a small carrier pool, which is
+  // what makes 1024+-rank sweeps feasible (bench_scale_ranks).
+  sched::Backend sched_backend = sched::Backend::kThread;
+  int sched_workers = 0;  // fiber carrier threads; 0 = auto
   ServerOptions server_options;
 };
 
@@ -104,6 +113,9 @@ struct FigureSpec {
   int reps = 5;
   // Codec ablation (--codec=NAME): forwarded to MeasureSpec::codec.
   CodecId codec = CodecId::kNone;
+  // Scheduler backend (--sched=thread|fiber): forwarded to
+  // MeasureSpec::sched_backend.
+  sched::Backend sched_backend = sched::Backend::kThread;
 };
 
 // Machine-readable outputs of a figure run (empty paths = skip).
@@ -121,24 +133,30 @@ struct FigureRow {
   std::int64_t size_mb = 0;
   MeasureResult result;
   std::string label;
+  // Total simulated ranks of the point's machine (clients + i/o nodes).
+  int ranks = 0;
 };
 
-// The stable machine-readable bench schema (schema_version 4): a single
+// The stable machine-readable bench schema (schema_version 5): a single
 // JSON object {schema_version, kind:"panda_bench", bench, description,
 // op, codec, quick, reps, rows:[{io_nodes, size_mb, elapsed_s,
 // aggregate_Bps, per_ion_Bps, normalized, wire_bytes_sent,
-// disk_bytes_written, codec_ratio, disk_ops, label, spans:{...}}],
-// spans:{...}, metrics:{counters:{...},gauges:{...},histograms:{...}}}.
+// disk_bytes_written, codec_ratio, disk_ops, label, ranks,
+// sched_backend, spans:{...}}], spans:{...},
+// metrics:{counters:{...},gauges:{...},histograms:{...}}}.
 // Version history: v2 added `codec` and the per-row byte/ratio fields;
 // v3 added the top-level `metrics` block (trace::MetricsJson shape —
 // counters summed across sweep points, gauges from the last point),
 // which panda_mc's explorer JSON shares so bench-consuming tooling
 // ingests exploration runs unchanged; v4 added the per-row `disk_ops`
 // operation count and `label` configuration name (empty for plain
-// figure sweeps) for the shard-store/backend benches. All pre-existing
-// keys are untouched, so v1..v3 consumers keep working. Doubles are
-// %.17g, so values round-trip exactly (tests/bench_json_test.cc
-// re-derives throughput from elapsed to 1e-9).
+// figure sweeps) for the shard-store/backend benches; v5 added the
+// per-row `ranks` machine size and `sched_backend` ("thread"/"fiber" —
+// the backend that actually ran, so a fiber request that fell back
+// reports "thread") for the rank-scaling benches. All pre-existing keys
+// are untouched, so v1..v4 consumers keep working. Doubles are %.17g,
+// so values round-trip exactly (tests/bench_json_test.cc re-derives
+// throughput from elapsed to 1e-9).
 std::string BenchJson(const FigureSpec& spec, bool quick, int reps,
                       std::span<const FigureRow> rows);
 

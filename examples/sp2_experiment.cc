@@ -7,11 +7,19 @@
 // work, implemented in src/panda/cost_model.*).
 //
 //   ./examples/sp2_experiment [--trace_out=FILE] [--metrics_out=FILE]
-//       [--backend=posix|objectstore]
+//       [--backend=posix|objectstore] [--sched=thread|fiber] [--ranks=N]
 //
 // --trace_out writes a Chrome trace_event JSON (Perfetto-loadable) of
 // the largest configuration; --metrics_out writes that run's merged
 // metrics registry as JSON (docs/OBSERVABILITY.md).
+//
+// --sched picks the rank scheduler backend (docs/SCHEDULER.md); the
+// virtual-time columns are backend-identical by contract, so fiber is
+// purely a wall-clock/footprint choice. --ranks=N replaces the paper
+// sweep with one weak-scaled natural-chunking configuration at N total
+// ranks (1 MB plane per compute node, one i/o node per 8 ranks) — with
+// --sched=fiber this runs thousands of ranks on a handful of OS
+// threads, e.g. --ranks=4096 --sched=fiber.
 //
 // --backend=objectstore reruns the sweep with the i/o nodes fronting a
 // simulated object store (src/iosim/object_store.h): servers route
@@ -31,6 +39,7 @@ namespace {
 
 double MeasureWrite(const ArrayMeta& meta, const World& world,
                     const Sp2Params& params, bool object_store,
+                    sched::Backend sched_backend,
                     const std::string& trace_out = "",
                     const std::string& metrics_out = "") {
   Machine machine =
@@ -41,6 +50,7 @@ double MeasureWrite(const ArrayMeta& meta, const World& world,
                                           /*timing_only=*/true)
           : Machine::Simulated(world.num_clients, world.num_servers, params,
                                /*store_data=*/false, /*timing_only=*/true);
+  machine.SetSchedBackend(sched_backend);
   ServerOptions options;
   if (object_store) {
     const std::int64_t total_bytes =
@@ -89,11 +99,44 @@ namespace { int Run(int argc, char** argv) {
   const std::string trace_out = opts.GetString("trace_out", "");
   const std::string metrics_out = opts.GetString("metrics_out", "");
   const std::string backend = opts.GetString("backend", "posix");
+  sched::Backend sched_backend = sched::Backend::kThread;
+  const std::string sched_name =
+      opts.GetString("sched", sched::BackendName(sched_backend));
+  const std::int64_t ranks = opts.GetInt("ranks", 0);
   opts.CheckAllConsumed();
   PANDA_REQUIRE(backend == "posix" || backend == "objectstore",
                 "--backend must be posix or objectstore, got '%s'",
                 backend.c_str());
+  PANDA_REQUIRE(sched::BackendFromName(sched_name, sched_backend),
+                "unknown --sched '%s' (try: thread, fiber)",
+                sched_name.c_str());
   const bool object_store = backend == "objectstore";
+
+  if (ranks > 0) {
+    // Scale mode: one weak-scaled natural-chunking write at N total
+    // ranks (the bench_scale_ranks shape). 1 MB plane per compute
+    // node, one i/o node per 8 ranks.
+    const int ion = ranks / 8 > 0 ? static_cast<int>(ranks / 8) : 1;
+    const int clients = static_cast<int>(ranks) - ion;
+    ArrayMeta meta;
+    meta.name = "x";
+    meta.elem_size = 4;
+    meta.memory = Schema(Shape{clients, 512, 512}, Mesh(Shape{clients, 1, 1}),
+                         {BLOCK, BLOCK, BLOCK});
+    meta.disk = meta.memory;  // natural chunking
+    const World world{clients, ion};
+    std::printf("# Simulated SP2 at scale: %lld ranks (%d compute, %d i/o), "
+                "--sched=%s\n",
+                static_cast<long long>(ranks), clients, ion,
+                sched::BackendName(sched_backend));
+    const double measured =
+        MeasureWrite(meta, world, Sp2Params::Nas(), object_store,
+                     sched_backend, trace_out, metrics_out);
+    std::printf("measured write: %.3f virtual seconds (%lld MB array)\n",
+                measured, static_cast<long long>(clients));
+    return 0;
+  }
+
   if (object_store) {
     std::printf("# Simulated NAS SP2 + object store: measured write times "
                 "(sharded store, AdviseShardSize)\n");
@@ -124,7 +167,7 @@ namespace { int Run(int argc, char** argv) {
         // Observability outputs cover the final (largest) configuration.
         const bool last = mb == 64 && ion == 4 && traditional;
         const double measured =
-            MeasureWrite(meta, world, params, object_store,
+            MeasureWrite(meta, world, params, object_store, sched_backend,
                          last ? trace_out : "", last ? metrics_out : "");
         if (object_store) {
           // The analytic model prices local disks, not PUT round

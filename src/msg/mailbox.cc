@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "sched/sched.h"
+
 namespace panda {
 
 namespace {
@@ -12,11 +14,14 @@ constexpr std::chrono::milliseconds kProbePeriod{1};
 }  // namespace
 
 void Mailbox::Deposit(Message msg) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    queue_.push_back(std::move(msg));
-  }
-  cv_.notify_all();
+  // The notify happens while mu_ is held: WaitCV's fiber-parking
+  // protocol registers waiters under this same mutex, so notifying
+  // inside the locked region is what makes the park race-free (a fiber
+  // is either registered before we notify, or it re-checks the queue
+  // after we unlocked — no lost wakeups).
+  std::lock_guard<std::mutex> lock(mu_);
+  queue_.push_back(std::move(msg));
+  cv_.NotifyAll();
 }
 
 void Mailbox::ThrowIfDeadLocked(int want_tag) {
@@ -101,14 +106,40 @@ std::optional<Message> Mailbox::ReceiveCore(
     if (deadline && std::chrono::steady_clock::now() >= *deadline) {
       return std::nullopt;
     }
+    // Fiber-backend ranks park with the cooperative scheduler instead
+    // of blocking the carrier thread. A signal wake loops back to the
+    // ordinary re-check above. A timeout/probe wake runs the hooked-wait
+    // duties inline: rescue, re-check, peer-death diagnosis — plus the
+    // deadline give-up, which is exact against quiescent senders (the
+    // probe only fires when no rank can still produce a match without
+    // outside help, which for a timed receive means the timeout answer
+    // is already decided).
+    if (sched::OnFiber()) {
+      const sched::WakeKind wake = cv_.ParkFiber(lock, deadline);
+      if (wake != sched::WakeKind::kSignal) {
+        if (hooks_.rescue) {
+          lock.unlock();
+          hooks_.rescue();
+          lock.lock();
+        }
+        ThrowIfDeadLocked(tag);
+        if (auto msg = TakeMatchLocked(src, tag, pick)) return msg;
+        if (allow_peer_dead && src >= 0 && hooks_.peer_dead &&
+            hooks_.peer_dead(src)) {
+          throw PeerDeadError(src);
+        }
+        if (deadline) return std::nullopt;
+      }
+      continue;
+    }
     // A deferring pick (kMailboxPickWait) leaves its candidates queued,
     // so no deposit will ever re-wake this wait; pace it like a hooked
     // wait so the pick is re-polled and can stop deferring.
     if (!has_hooks_ && pick == nullptr) {
       if (deadline) {
-        cv_.wait_until(lock, *deadline);
+        cv_.WaitUntil(lock, *deadline);
       } else {
-        cv_.wait(lock);
+        cv_.Wait(lock);
       }
       continue;
     }
@@ -116,7 +147,7 @@ std::optional<Message> Mailbox::ReceiveCore(
     // rescue traffic stuck in the lossy layer and to notice peer death.
     auto wake = std::chrono::steady_clock::now() + kProbePeriod;
     if (deadline && *deadline < wake) wake = *deadline;
-    if (cv_.wait_until(lock, wake) == std::cv_status::timeout) {
+    if (cv_.WaitUntil(lock, wake) == std::cv_status::timeout) {
       if (hooks_.rescue) {
         lock.unlock();
         hooks_.rescue();
@@ -162,7 +193,10 @@ void Mailbox::InstallHooks(MailboxHooks hooks) {
                static_cast<bool>(hooks_.peer_dead);
 }
 
-void Mailbox::NotifyAll() { cv_.notify_all(); }
+void Mailbox::NotifyAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  cv_.NotifyAll();
+}
 
 size_t Mailbox::PurgeIf(const std::function<bool(const Message&)>& pred) {
   std::lock_guard<std::mutex> lock(mu_);
@@ -181,23 +215,19 @@ void Mailbox::ResetForRestart() {
 }
 
 void Mailbox::Poison() {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    poisoned_ = true;
-  }
-  cv_.notify_all();
+  std::lock_guard<std::mutex> lock(mu_);
+  poisoned_ = true;
+  cv_.NotifyAll();
 }
 
 void Mailbox::ForceAbort(int origin_rank, const std::string& reason) {
-  {
-    std::lock_guard<std::mutex> lock(mu_);
-    if (!aborted_) {
-      aborted_ = true;
-      abort_notice_.origin_rank = origin_rank;
-      abort_notice_.reason = reason;
-    }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (!aborted_) {
+    aborted_ = true;
+    abort_notice_.origin_rank = origin_rank;
+    abort_notice_.reason = reason;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
 }
 
 size_t Mailbox::QueuedCount() {

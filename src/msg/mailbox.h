@@ -25,7 +25,6 @@
 #pragma once
 
 #include <chrono>
-#include <condition_variable>
 #include <deque>
 #include <functional>
 #include <mutex>
@@ -34,6 +33,7 @@
 #include <vector>
 
 #include "msg/message.h"
+#include "sched/wait.h"
 
 namespace panda {
 
@@ -146,8 +146,13 @@ class Mailbox {
       int src, int tag,
       const std::function<size_t(const std::vector<int>&)>* pick);
 
+  // Dual-mode wait primitive: plain condition_variable semantics for
+  // thread-backend ranks, fiber parking for the cooperative scheduler
+  // (sched/wait.h). Its contract requires every NotifyAll to run while
+  // mu_ is held, which is why the notify calls below sit inside the
+  // locked regions.
   std::mutex mu_;
-  std::condition_variable cv_;
+  sched::WaitCV cv_;
   std::deque<Message> queue_;
   bool poisoned_ = false;
   bool aborted_ = false;

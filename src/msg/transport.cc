@@ -150,6 +150,16 @@ void ThreadTransport::MaybePerturb(Endpoint& self) {
   // interleaving must produce bit-identical results — this perturbation
   // exists to falsify that claim when it stops being true.
   const std::uint64_t u = self.sched_rng_.Next();
+  if (sched::OnFiber()) {
+    // Fiber ranks cannot sleep (that would park the carrier thread);
+    // the perturbation becomes a cooperative yield instead — reshuffling
+    // the dispatch order, which is the fiber backend's whole scheduling
+    // freedom. Exactly one rng draw either way, so the per-rank stream
+    // stays backend-identical (the cross-backend equivalence test
+    // depends on it).
+    if ((u & 7u) < 4u) sched::YieldNow();
+    return;
+  }
   switch (u & 7u) {
     case 0:
       std::this_thread::sleep_for(
@@ -606,10 +616,36 @@ void ThreadTransport::DoSendResponse(Endpoint& from, double ready_time,
   Dispatch(from.rank(), dst, std::move(msg));
 }
 
+void ThreadTransport::RunRankMain(
+    Endpoint& endpoint, const std::function<void(Endpoint&)>& rank_main,
+    std::exception_ptr& first_error, std::mutex& error_mu) {
+  try {
+    rank_main(endpoint);
+  } catch (const RankKilledError&) {
+    // The kill injector's silent unwind. Deliberately nothing: no
+    // poison, no error — the rank simply stops participating, and
+    // it is the survivors' job to detect and route around it.
+  } catch (const PandaAbortError& e) {
+    // Structured abort: the protocol layer has (or is) fanning the
+    // notice out as kTagAbort messages; force-abort every mailbox as
+    // a backstop so no rank can hang even if the relay chain was cut
+    // (e.g. the master server had already shut down).
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    for (auto& mb : mailboxes_) mb->ForceAbort(e.origin_rank(), e.reason());
+  } catch (...) {
+    {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (!first_error) first_error = std::current_exception();
+    }
+    for (auto& mb : mailboxes_) mb->Poison();
+  }
+}
+
 void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
   InstallHooks();  // no-op unless faults/kills were armed
-  std::vector<std::thread> threads;
-  threads.reserve(endpoints_.size());
   std::exception_ptr first_error;
   std::mutex error_mu;
 
@@ -617,11 +653,11 @@ void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
   // every rank's first step.
   if (hb_) hb_->OnRunStart();
 
-  // Schedule perturbation: launch rank threads in a seeded-shuffled
-  // order and hand each endpoint a fresh per-rank jitter stream. The
-  // same seed reproduces the same perturbation; different seeds force
-  // different OS interleavings, and the determinism contract says the
-  // virtual outcome must not care.
+  // Schedule perturbation: launch ranks in a seeded-shuffled order and
+  // hand each endpoint a fresh per-rank jitter stream. The same seed
+  // reproduces the same perturbation; different seeds force different
+  // interleavings, and the determinism contract says the virtual
+  // outcome must not care.
   std::vector<int> launch_order(endpoints_.size());
   std::iota(launch_order.begin(), launch_order.end(), 0);
   if (schedule_seed_ != 0) {
@@ -635,48 +671,39 @@ void ThreadTransport::Run(const std::function<void(Endpoint&)>& rank_main) {
     }
   }
 
+  // Crash-stopped ranks stay silent forever: their main never runs
+  // again on later Run() calls.
+  std::vector<int> live_order;
+  live_order.reserve(launch_order.size());
   for (int launch : launch_order) {
-    auto& ep = endpoints_[static_cast<size_t>(launch)];
-    // Crash-stopped ranks stay silent forever: their main never runs
-    // again on later Run() calls.
-    if (!alive(ep->rank())) continue;
-    Endpoint* endpoint = ep.get();
-    threads.emplace_back([&, endpoint] {
-      // Arm this rank thread's trace context for the duration of its
-      // main. With tracing disarmed the context stays null and every
-      // instrumentation site is a no-op.
-      trace::ScopedRankContext trace_ctx(
-          trace_ ? &trace_->recorder(endpoint->rank()) : nullptr,
-          &endpoint->clock());
-      // Likewise the happens-before checker context (null unless the
-      // PANDA_HB gate is compiled in).
-      hb::ScopedThread hb_ctx(hb_.get(), endpoint->rank());
-      try {
-        rank_main(*endpoint);
-      } catch (const RankKilledError&) {
-        // The kill injector's silent unwind. Deliberately nothing: no
-        // poison, no error — the rank simply stops participating, and
-        // it is the survivors' job to detect and route around it.
-      } catch (const PandaAbortError& e) {
-        // Structured abort: the protocol layer has (or is) fanning the
-        // notice out as kTagAbort messages; force-abort every mailbox as
-        // a backstop so no rank can hang even if the relay chain was cut
-        // (e.g. the master server had already shut down).
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        for (auto& mb : mailboxes_) mb->ForceAbort(e.origin_rank(), e.reason());
-      } catch (...) {
-        {
-          std::lock_guard<std::mutex> lock(error_mu);
-          if (!first_error) first_error = std::current_exception();
-        }
-        for (auto& mb : mailboxes_) mb->Poison();
-      }
-    });
+    if (alive(launch)) live_order.push_back(launch);
   }
-  for (auto& t : threads) t.join();
+
+  // The scheduler seam (src/sched/): thread backend = one OS thread per
+  // rank (the original semantics, byte for byte); fiber backend = ranks
+  // as cooperative fibers on a small carrier pool. Either way each
+  // rank's execution slice runs under that rank's trace/hb context,
+  // installed by the slice guard below (fibers migrate between slices
+  // of the same carrier, so the context must follow the slice, not the
+  // OS thread).
+  auto scheduler = sched::MakeScheduler(sched_config_);
+  scheduler->SetSliceGuard([this](int rank, bool enter) {
+    if (enter) {
+      trace::CurrentContext() = trace::RankContext{
+          trace_ ? &trace_->recorder(rank) : nullptr,
+          &endpoints_[static_cast<size_t>(rank)]->clock()};
+      hb::CurrentThread() = hb::ThreadContext{hb_.get(), rank};
+    } else {
+      trace::CurrentContext() = trace::RankContext{};
+      hb::CurrentThread() = hb::ThreadContext{};
+    }
+  });
+  scheduler->RunAll(live_order, [&](int rank) {
+    RunRankMain(*endpoints_[static_cast<size_t>(rank)], rank_main, first_error,
+                error_mu);
+  });
+  sched_stats_ += scheduler->stats();
+
   // Join edge: every rank's last step happens-before whatever the
   // driver does next.
   if (hb_) hb_->OnRunEnd();

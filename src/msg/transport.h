@@ -45,6 +45,7 @@
 #include "msg/mailbox.h"
 #include "msg/net_model.h"
 #include "msg/virtual_clock.h"
+#include "sched/sched.h"
 #include "trace/trace.h"
 #include "util/random.h"
 
@@ -256,6 +257,28 @@ class ThreadTransport {
   void SetScheduleSeed(std::uint64_t seed) { schedule_seed_ = seed; }
   std::uint64_t schedule_seed() const { return schedule_seed_; }
 
+  // Selects the rank execution backend (docs/SCHEDULER.md): thread (the
+  // default; one OS thread per rank, the original semantics) or fiber
+  // (cooperative scheduler — thousands of simulated ranks multiplexed
+  // onto a small carrier pool). Call between Run()s. When fibers are
+  // unsupported in this build (TSan, PANDA_HB) Run() silently falls
+  // back to the thread backend; both backends produce bit-identical
+  // virtual clocks, message counts and file bytes (tests/sched_test.cc).
+  void SetScheduler(const sched::Config& config) { sched_config_ = config; }
+
+  // The backend Run() will actually use (after the support fallback).
+  sched::Backend sched_backend() const {
+    return sched_config_.backend == sched::Backend::kFiber &&
+                   sched::FiberSupported()
+               ? sched::Backend::kFiber
+               : sched::Backend::kThread;
+  }
+
+  // Scheduler counters accumulated across every Run() so far (context
+  // switches, yields, parks, probe rounds; zeros for the thread
+  // backend's trivially-scheduled runs).
+  const sched::Stats& sched_stats() const { return sched_stats_; }
+
   // The happens-before checker, or nullptr unless compiled with
   // -DPANDA_HB=ON (msg/hb.h). Valid for the transport's lifetime.
   hb::Checker* hb_checker() { return hb_.get(); }
@@ -368,6 +391,13 @@ class ThreadTransport {
   PairState& PairLocked(int src, int dst);
   // Installs mailbox liveness hooks on every rank (idempotent).
   void InstallHooks();
+  // One rank's main with the transport's error envelope: RankKilledError
+  // unwinds silently, PandaAbortError force-aborts every mailbox,
+  // anything else poisons them. Shared by both scheduler backends —
+  // this is the body RunAll executes per rank.
+  void RunRankMain(Endpoint& endpoint,
+                   const std::function<void(Endpoint&)>& rank_main,
+                   std::exception_ptr& first_error, std::mutex& error_mu);
 
   Config config_;
   std::vector<std::unique_ptr<Mailbox>> mailboxes_;
@@ -407,6 +437,10 @@ class ThreadTransport {
 
   // Schedule perturbation (0 = disarmed).
   std::uint64_t schedule_seed_ = 0;
+
+  // Rank execution backend (SetScheduler) and accumulated counters.
+  sched::Config sched_config_;
+  sched::Stats sched_stats_;
 };
 
 }  // namespace panda

@@ -1,8 +1,96 @@
 #include "panda/plan.h"
 
+#include <algorithm>
+#include <utility>
+
+#include "mdarray/distribution.h"
 #include "util/error.h"
 
 namespace panda {
+
+namespace {
+
+// Pruning index over the clients' memory cells. BLOCK/* memory schemas
+// (the only ones CellRegion admits) tile the array with a grid: mesh
+// dim m partitions the m-th distributed array dimension into intervals
+// that ascend with the mesh coordinate. A sub-chunk can then only
+// intersect the cells whose per-dimension interval overlaps it — a
+// binary search per mesh dim instead of a scan over every client,
+// which is what keeps plan construction linear in the chunk count
+// rather than quadratic (at 4096 ranks every client builds this plan;
+// see bench/bench_scale_ranks.cc).
+class CellGrid {
+ public:
+  explicit CellGrid(const Schema& memory) : mesh_(&memory.mesh()) {
+    int m = 0;
+    for (int d = 0; d < memory.rank(); ++d) {
+      if (!memory.dists()[d].distributed()) continue;
+      const std::int64_t parts = mesh_->dims()[m];
+      const std::int64_t n = memory.array_shape()[d];
+      MeshDim md;
+      md.array_dim = d;
+      md.cells.reserve(static_cast<size_t>(parts));
+      for (std::int64_t k = 0; k < parts; ++k) {
+        const auto ivs =
+            OwnedIntervals(memory.dists()[d], n, k, parts);
+        // Empty trailing cells get an {n, 0} sentinel so `lo` stays
+        // monotone for the binary searches below.
+        md.cells.push_back(ivs.empty() ? Interval{n, 0} : ivs[0]);
+      }
+      grid_.push_back(std::move(md));
+      ++m;
+    }
+  }
+
+  // Calls fn(client) for every mesh position whose cell can intersect
+  // `box`, in ascending linear position (= ascending client) order.
+  template <typename Fn>
+  void ForEachCandidate(const Region& box, Fn&& fn) const {
+    const int mrank = static_cast<int>(grid_.size());
+    std::vector<std::pair<int, int>> ranges(
+        static_cast<size_t>(mrank));  // [begin, end) mesh coords
+    for (int m = 0; m < mrank; ++m) {
+      const std::vector<Interval>& cells = grid_[static_cast<size_t>(m)].cells;
+      const std::int64_t qlo = box.lo()[grid_[static_cast<size_t>(m)].array_dim];
+      const std::int64_t qhi = box.hi()[grid_[static_cast<size_t>(m)].array_dim];
+      const auto begin = std::partition_point(
+          cells.begin(), cells.end(),
+          [qlo](const Interval& iv) { return iv.lo + iv.extent <= qlo; });
+      const auto end = std::partition_point(
+          cells.begin(), cells.end(),
+          [qhi](const Interval& iv) { return iv.lo < qhi; });
+      if (begin >= end) return;
+      ranges[static_cast<size_t>(m)] = {
+          static_cast<int>(begin - cells.begin()),
+          static_cast<int>(end - cells.begin())};
+    }
+    // Row-major odometer over the coordinate ranges (last dim fastest):
+    // linear positions come out ascending.
+    Index coords = Index::Zeros(mrank);
+    for (int m = 0; m < mrank; ++m) {
+      coords[m] = ranges[static_cast<size_t>(m)].first;
+    }
+    for (;;) {
+      fn(mesh_->PositionOf(coords));
+      int m = mrank - 1;
+      for (; m >= 0; --m) {
+        if (++coords[m] < ranges[static_cast<size_t>(m)].second) break;
+        coords[m] = ranges[static_cast<size_t>(m)].first;
+      }
+      if (m < 0) return;
+    }
+  }
+
+ private:
+  struct MeshDim {
+    int array_dim = 0;
+    std::vector<Interval> cells;  // interval per mesh coordinate
+  };
+  const Mesh* mesh_;
+  std::vector<MeshDim> grid_;
+};
+
+}  // namespace
 
 IoPlan::IoPlan(const ArrayMeta& meta, int num_servers,
                std::int64_t subchunk_bytes)
@@ -29,6 +117,7 @@ IoPlan::IoPlan(const ArrayMeta& meta, int num_servers,
   for (int c = 0; c < num_clients; ++c) {
     client_cells[static_cast<size_t>(c)] = memory.CellRegion(c);
   }
+  const CellGrid cell_grid(memory);
 
   chunks_of_server_.resize(static_cast<size_t>(num_servers));
   steps_of_client_.resize(static_cast<size_t>(num_clients));
@@ -56,12 +145,13 @@ IoPlan::IoPlan(const ArrayMeta& meta, int num_servers,
       sub_offset += sp.bytes;
 
       // Pieces: intersection with each client's cell (clipped to the
-      // active subarray region), ascending client.
-      for (int c = 0; c < num_clients; ++c) {
+      // active subarray region), ascending client. The grid prunes the
+      // scan to the clients whose cell can overlap this sub-chunk.
+      cell_grid.ForEachCandidate(sub, [&](int c) {
         const Region& cell = client_cells[static_cast<size_t>(c)];
-        if (cell.empty()) continue;
+        if (cell.empty()) return;
         const Region piece_region = Intersect(Intersect(sub, cell), active);
-        if (piece_region.empty()) continue;
+        if (piece_region.empty()) return;
         PiecePlan piece;
         piece.client = c;
         piece.region = piece_region;
@@ -69,7 +159,7 @@ IoPlan::IoPlan(const ArrayMeta& meta, int num_servers,
         piece.contiguous_in_client = IsContiguousWithin(cell, piece_region);
         piece.contiguous_in_subchunk = IsContiguousWithin(sub, piece_region);
         sp.pieces.push_back(piece);
-      }
+      });
       sp.active = !sp.pieces.empty();
       cp.subchunks.push_back(std::move(sp));
     }

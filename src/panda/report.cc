@@ -152,6 +152,17 @@ void FillRegistryFromReport(const MachineReport& report,
   registry.AddCounter("robustness.frame_decode_failures",
                       rb.frame_decode_failures);
 
+  // Scheduler counters are wall-schedule diagnostics (how the ranks
+  // were multiplexed), deliberately outside every determinism
+  // comparison — equivalence tests compare clocks and bytes, not these.
+  registry.AddCounter("sched.ranks_run", report.sched.ranks_run);
+  registry.AddCounter("sched.workers", report.sched.workers);
+  registry.AddCounter("sched.context_switches",
+                      report.sched.context_switches);
+  registry.AddCounter("sched.yields", report.sched.yields);
+  registry.AddCounter("sched.parks", report.sched.parks);
+  registry.AddCounter("sched.probe_rounds", report.sched.probe_rounds);
+
   const TransportFaultCounters& tf = report.transport;
   registry.AddCounter("transport.drops_injected", tf.drops_injected);
   registry.AddCounter("transport.dups_injected", tf.dups_injected);
@@ -182,6 +193,8 @@ MachineReport Snapshot(Machine& machine) {
   }
   report.robustness = machine.robustness().Snapshot();
   report.transport = machine.transport().fault_stats().Snapshot();
+  report.sched_backend = machine.sched_backend();
+  report.sched = machine.sched_stats();
 
   trace::MetricsRegistry registry;
   FillRegistryFromReport(report, registry);

@@ -43,6 +43,11 @@ struct MachineReport {
   // crash-stopped ranks. All-zero when the lossy layer and the kill
   // injector are disarmed (the acceptance bar for clean runs).
   TransportFaultCounters transport;
+  // Rank-scheduler accounting (src/sched/): which backend executed the
+  // ranks and its context-switch/yield/park/probe counters. Wall-
+  // schedule diagnostics only — never part of the virtual-time model.
+  sched::Backend sched_backend = sched::Backend::kThread;
+  sched::Stats sched;
   // The same counters (plus span aggregates and histograms when tracing
   // was armed) as one named bag — the single source of truth behind
   // MetricsJson exports. ToString and this snapshot both derive from the

@@ -1,0 +1,144 @@
+#include "sched/fiber.h"
+
+#include <sys/mman.h>
+#include <unistd.h>
+
+#include <cstdlib>
+#include <exception>
+
+#include "util/error.h"
+
+// ASan must be told about every stack switch or it misattributes every
+// frame after a swapcontext (false stack-buffer-overflow / wild
+// use-after-return reports). Detection covers both gcc's macro and
+// clang's __has_feature, probed on separate lines so gcc (which lacks
+// __has_feature) never sees it inside a short-circuit expression.
+#if defined(__SANITIZE_ADDRESS__)
+#define PANDA_SCHED_ASAN 1
+#endif
+#if !defined(PANDA_SCHED_ASAN) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PANDA_SCHED_ASAN 1
+#endif
+#endif
+#ifndef PANDA_SCHED_ASAN
+#define PANDA_SCHED_ASAN 0
+#endif
+
+#if PANDA_SCHED_ASAN
+extern "C" {
+void __sanitizer_start_switch_fiber(void** fake_stack_save,
+                                    const void* stack_bottom,
+                                    std::size_t stack_size);
+void __sanitizer_finish_switch_fiber(void* fake_stack_save,
+                                     const void** stack_bottom_old,
+                                     std::size_t* stack_size_old);
+}
+#endif
+
+namespace panda {
+namespace sched {
+
+namespace {
+
+thread_local Fiber* t_current_fiber = nullptr;
+
+std::size_t PageSize() {
+  static const std::size_t page =
+      static_cast<std::size_t>(sysconf(_SC_PAGESIZE));
+  return page;
+}
+
+std::size_t RoundUpToPage(std::size_t bytes) {
+  const std::size_t page = PageSize();
+  return (bytes + page - 1) / page * page;
+}
+
+}  // namespace
+
+Fiber* CurrentFiber() { return t_current_fiber; }
+
+Fiber::Fiber(FiberScheduler* owner, int index, int home,
+             std::size_t stack_bytes, const std::function<void(int)>* body)
+    : owner_(owner), index_(index), home_(home), body_(body) {
+  stack_bytes_ = RoundUpToPage(stack_bytes);
+  map_bytes_ = stack_bytes_ + PageSize();
+  // NORESERVE: thousands of fibers reserve address space, not memory —
+  // only the pages a rank actually touches materialize. The low page is
+  // a PROT_NONE guard, so stack overflow faults instead of silently
+  // corrupting the neighboring fiber's stack.
+  map_ = mmap(nullptr, map_bytes_, PROT_NONE,
+              MAP_PRIVATE | MAP_ANONYMOUS | MAP_NORESERVE, -1, 0);
+  PANDA_CHECK_MSG(map_ != MAP_FAILED, "fiber stack mmap failed");
+  stack_lo_ = static_cast<char*>(map_) + PageSize();
+  PANDA_CHECK_MSG(
+      mprotect(stack_lo_, stack_bytes_, PROT_READ | PROT_WRITE) == 0,
+      "fiber stack mprotect failed");
+
+  PANDA_CHECK_MSG(getcontext(&ctx_) == 0, "getcontext failed");
+  ctx_.uc_stack.ss_sp = stack_lo_;
+  ctx_.uc_stack.ss_size = stack_bytes_;
+  ctx_.uc_link = nullptr;  // a fiber never falls off its trampoline
+  // makecontext takes int arguments only: split the Fiber* into halves.
+  const auto self = reinterpret_cast<std::uintptr_t>(this);
+  makecontext(&ctx_, reinterpret_cast<void (*)()>(&Fiber::Trampoline), 2,
+              static_cast<unsigned>(self >> 32),
+              static_cast<unsigned>(self & 0xffffffffu));
+}
+
+Fiber::~Fiber() {
+  if (map_ != nullptr) munmap(map_, map_bytes_);
+}
+
+void Fiber::Trampoline(unsigned hi, unsigned lo) {
+  auto* self = reinterpret_cast<Fiber*>(
+      (static_cast<std::uintptr_t>(hi) << 32) |
+      static_cast<std::uintptr_t>(lo));
+  self->Main();
+}
+
+void Fiber::Main() {
+#if PANDA_SCHED_ASAN
+  // First entry: no fake stack was saved on this (brand new) stack;
+  // capture the carrier's bounds for the switch back.
+  __sanitizer_finish_switch_fiber(nullptr, &from_bottom_, &from_size_);
+#endif
+  try {
+    (*body_)(index_);
+  } catch (...) {
+    // The transport catches everything inside the body; an exception
+    // reaching a fiber trampoline has nowhere sane to unwind to.
+    std::terminate();
+  }
+  for (;;) SwitchOut(Action::kFinished);
+}
+
+void Fiber::Resume() {
+  t_current_fiber = this;
+#if PANDA_SCHED_ASAN
+  void* carrier_fake = nullptr;
+  __sanitizer_start_switch_fiber(&carrier_fake, stack_lo_, stack_bytes_);
+#endif
+  swapcontext(&carrier_ctx_, &ctx_);
+#if PANDA_SCHED_ASAN
+  __sanitizer_finish_switch_fiber(carrier_fake, nullptr, nullptr);
+#endif
+  t_current_fiber = nullptr;
+}
+
+void Fiber::SwitchOut(Action action) {
+  action_ = action;
+#if PANDA_SCHED_ASAN
+  // A finishing fiber passes nullptr so ASan retires its fake stack.
+  __sanitizer_start_switch_fiber(
+      action == Action::kFinished ? nullptr : &fake_stack_, from_bottom_,
+      from_size_);
+#endif
+  swapcontext(&ctx_, &carrier_ctx_);
+#if PANDA_SCHED_ASAN
+  __sanitizer_finish_switch_fiber(fake_stack_, &from_bottom_, &from_size_);
+#endif
+}
+
+}  // namespace sched
+}  // namespace panda

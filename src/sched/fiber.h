@@ -1,0 +1,119 @@
+// One cooperatively-scheduled rank context (ucontext fiber).
+//
+// A Fiber owns an mmap'd stack (guard page at the low end) and a
+// ucontext pair: carrier <-> fiber. The carrier thread calls Resume()
+// to run the fiber until it cooperatively switches out; the fiber calls
+// SwitchOut(action) to hand control back, telling the carrier what to
+// do with it (requeue, park, or retire). Under AddressSanitizer the
+// switches carry the __sanitizer_*_switch_fiber annotations so ASan
+// tracks the active stack across swapcontext.
+//
+// The park/wake handshake state lives here rather than in the wait
+// primitive because a fiber has at most one park in flight and the
+// Fiber object is stable for the whole run — notifiers (sched/wait.cc)
+// and the scheduler's deadline/probe machinery can hold a Fiber* with
+// no lifetime question. See fiber_scheduler.cc for the protocol.
+#pragma once
+
+#include <ucontext.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <optional>
+
+namespace panda {
+namespace sched {
+
+class FiberScheduler;
+
+class Fiber {
+ public:
+  // What the carrier should do with a fiber that just switched out.
+  enum class Action : std::uint8_t {
+    kYield,     // requeue at the back of the home ready queue
+    kPark,      // commit the pending WaitCV park (or requeue if beaten)
+    kFinished,  // body returned; retire the fiber
+  };
+
+  // Park handshake state (one atomic so the CAS winner atomically
+  // conveys the wake reason; see fiber_scheduler.cc).
+  enum WaitState : int {
+    kIdle = 0,      // not parking
+    kArmed,         // registered with a WaitCV, park not yet committed
+    kParked,        // committed: only a CAS winner may requeue it
+    kWokenSignal,   // a notifier won (message/poison/abort arrived)
+    kWokenTimeout,  // the deadline heap won
+    kWokenProbe,    // a quiescence probe won
+  };
+
+  // `body` must outlive the fiber. `home` is the carrier this fiber is
+  // pinned to; `stack_bytes` is the usable stack size.
+  Fiber(FiberScheduler* owner, int index, int home, std::size_t stack_bytes,
+        const std::function<void(int)>* body);
+  ~Fiber();
+
+  Fiber(const Fiber&) = delete;
+  Fiber& operator=(const Fiber&) = delete;
+
+  // Carrier side: runs the fiber until its next SwitchOut. Installs the
+  // CurrentFiber() thread-local for the duration.
+  void Resume();
+
+  // Fiber side: hands control back to the carrier with `action`.
+  // Returns when the carrier resumes this fiber again (never, for
+  // kFinished).
+  void SwitchOut(Action action);
+
+  int index() const { return index_; }
+  int home() const { return home_; }
+  FiberScheduler* owner() const { return owner_; }
+  Action action() const { return action_; }
+  bool finished() const { return action_ == Action::kFinished; }
+
+  std::atomic<int>& wait_state() { return wait_state_; }
+
+  // Park bookkeeping. park_seq is bumped by the owner fiber on every
+  // arm; deadline-heap entries snapshot it so stale entries (a park
+  // that was already signalled and re-armed) are recognized. Written by
+  // the owner fiber, read under the scheduler lock.
+  std::atomic<std::uint64_t> park_seq{0};
+  std::optional<std::chrono::steady_clock::time_point> park_deadline;
+  // Slot in FiberScheduler's parked list (swap-remove index), valid
+  // while kParked. Maintained under the scheduler lock.
+  std::size_t parked_slot = 0;
+
+ private:
+  static void Trampoline(unsigned hi, unsigned lo);
+  void Main();
+
+  FiberScheduler* owner_;
+  int index_;
+  int home_;
+  const std::function<void(int)>* body_;
+
+  void* map_ = nullptr;       // mmap base (guard page first)
+  std::size_t map_bytes_ = 0;
+  void* stack_lo_ = nullptr;  // usable stack bottom (above the guard)
+  std::size_t stack_bytes_ = 0;
+
+  ucontext_t ctx_{};          // the fiber's context
+  ucontext_t carrier_ctx_{};  // where SwitchOut returns to
+
+  Action action_ = Action::kYield;
+  std::atomic<int> wait_state_{kIdle};
+
+  // ASan fiber-switch bookkeeping (unused in non-ASan builds).
+  void* fake_stack_ = nullptr;
+  const void* from_bottom_ = nullptr;
+  std::size_t from_size_ = 0;
+};
+
+// The fiber currently executing on this thread, or nullptr when the
+// thread is a carrier between slices / an ordinary rank thread.
+Fiber* CurrentFiber();
+
+}  // namespace sched
+}  // namespace panda

@@ -1,0 +1,284 @@
+#include "sched/fiber_scheduler.h"
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+
+#include "trace/trace.h"
+#include "util/error.h"
+
+namespace panda {
+namespace sched {
+
+namespace {
+
+// Probe pacing: how long a fully-quiescent machine waits between probe
+// sweeps. Matches the thread backend's hooked-wait period
+// (msg/mailbox.cc kProbePeriod) — pure wall-clock pacing, never part of
+// the virtual-time model.
+constexpr std::chrono::milliseconds kProbePace{1};
+
+// See fiber.cc for the detection dance; ASan roughly doubles frame
+// sizes (redzones), so fiber stacks get headroom.
+#if defined(__SANITIZE_ADDRESS__)
+#define PANDA_SCHED_ASAN_STACKS 1
+#endif
+#if !defined(PANDA_SCHED_ASAN_STACKS) && defined(__has_feature)
+#if __has_feature(address_sanitizer)
+#define PANDA_SCHED_ASAN_STACKS 1
+#endif
+#endif
+#ifndef PANDA_SCHED_ASAN_STACKS
+#define PANDA_SCHED_ASAN_STACKS 0
+#endif
+
+std::size_t DefaultStackBytes() {
+#if PANDA_SCHED_ASAN_STACKS
+  return std::size_t{1} << 20;
+#else
+  return std::size_t{1} << 19;
+#endif
+}
+
+int AutoWorkers() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  const int cores = hw == 0 ? 4 : static_cast<int>(hw);
+  return std::max(2, std::min(8, cores));
+}
+
+}  // namespace
+
+bool OnFiber() { return CurrentFiber() != nullptr; }
+
+void YieldNow() {
+  Fiber* fiber = CurrentFiber();
+  if (fiber == nullptr) {
+    std::this_thread::yield();
+    return;
+  }
+  trace::RecordInstant(trace::SpanKind::kSchedYield);
+  fiber->SwitchOut(Fiber::Action::kYield);
+}
+
+FiberScheduler::FiberScheduler(const Config& config)
+    : configured_workers_(config.workers),
+      stack_bytes_(config.stack_bytes != 0 ? config.stack_bytes
+                                           : DefaultStackBytes()) {}
+
+void FiberScheduler::RunAll(const std::vector<int>& order,
+                            const std::function<void(int)>& body) {
+  if (order.empty()) return;
+  int workers = configured_workers_ > 0 ? configured_workers_ : AutoWorkers();
+  workers = std::min<int>(workers, static_cast<int>(order.size()));
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    PANDA_CHECK_MSG(live_ == 0, "RunAll while a run is in flight");
+    ready_.assign(static_cast<std::size_t>(workers), {});
+    parked_.clear();
+    deadlines_.clear();
+    fibers_.clear();
+    fibers_.reserve(order.size());
+    // Launch order is the ready order: fibers are dealt round-robin to
+    // carriers and first dispatched in exactly the sequence the
+    // transport's (possibly seed-shuffled) launch order prescribes.
+    for (std::size_t i = 0; i < order.size(); ++i) {
+      const int home = static_cast<int>(i) % workers;
+      fibers_.push_back(std::make_unique<Fiber>(this, order[i], home,
+                                                stack_bytes_, &body));
+      ready_[static_cast<std::size_t>(home)].push_back(fibers_.back().get());
+    }
+    live_ = order.size();
+    running_ = 0;
+    next_probe_allowed_ = std::chrono::steady_clock::now();
+    stats_.ranks_run += static_cast<std::int64_t>(order.size());
+    stats_.workers = workers;
+  }
+  std::vector<std::thread> carriers;
+  carriers.reserve(static_cast<std::size_t>(workers));
+  for (int c = 0; c < workers; ++c) {
+    carriers.emplace_back([this, c] { CarrierLoop(c); });
+  }
+  for (auto& t : carriers) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  fibers_.clear();
+}
+
+void FiberScheduler::CarrierLoop(int carrier) {
+  for (;;) {
+    Fiber* fiber = nullptr;
+    std::size_t depth = 0;
+    // Scheduler-lock region. RunSlice must execute OUTSIDE it: the
+    // fiber's rank code takes mailbox/transport locks that themselves
+    // wake fibers (and so take this lock) — holding mu_ across a slice
+    // would invert the global lock order (mailbox mu_ -> WaitCV wmu_ ->
+    // scheduler mu_; see sched/wait.h).
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      std::deque<Fiber*>& queue = ready_[static_cast<std::size_t>(carrier)];
+      if (live_ == 0) {
+        idle_cv_.notify_all();
+        return;
+      }
+      ExpireDeadlinesLocked(std::chrono::steady_clock::now());
+      if (!queue.empty()) {
+        fiber = queue.front();
+        queue.pop_front();
+        depth = queue.size();
+        ++running_;
+      } else {
+        const auto now = std::chrono::steady_clock::now();
+        if (QuiescentLocked()) {
+          // Every fiber is parked and nobody is running: nothing will
+          // ever wake them but us. Probe (paced), the cooperative
+          // analogue of the thread backend's periodic hooked-wait
+          // wakeups.
+          if (now >= next_probe_allowed_) {
+            ProbeLocked();
+          } else {
+            idle_cv_.wait_until(lock, next_probe_allowed_);
+          }
+        } else {
+          // Idle but other carriers are busy: doze until work is pushed
+          // here (Unpark notifies) or the next deadline/periodic
+          // re-check.
+          auto wake = now + kProbePace;
+          if (!deadlines_.empty() && deadlines_.front().tp < wake) {
+            wake = deadlines_.front().tp;
+          }
+          idle_cv_.wait_until(lock, wake);
+        }
+        continue;
+      }
+    }
+    RunSlice(fiber, depth);
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --running_;
+      CommitSliceLocked(fiber);
+    }
+  }
+}
+
+void FiberScheduler::RunSlice(Fiber* fiber, std::size_t ready_depth) {
+  if (guard_) guard_(fiber->index(), /*enter=*/true);
+  // Dispatch instrumentation, attributed to the rank about to run (the
+  // guard just installed its trace context). Wall-schedule-dependent by
+  // nature — slice counts vary run to run — which is why sched.* spans
+  // are excluded from the cross-backend equivalence comparisons.
+  trace::RecordInstant(trace::SpanKind::kSchedDispatch,
+                       static_cast<std::int64_t>(ready_depth));
+  if (trace::Active()) {
+    trace::ObserveMetric(trace::MetricId::kSchedReadyDepth,
+                         static_cast<double>(ready_depth));
+  }
+  fiber->Resume();
+  if (guard_) guard_(fiber->index(), /*enter=*/false);
+}
+
+void FiberScheduler::CommitSliceLocked(Fiber* fiber) {
+  ++stats_.context_switches;
+  switch (fiber->action()) {
+    case Fiber::Action::kFinished:
+      --live_;
+      if (live_ == 0) idle_cv_.notify_all();
+      break;
+    case Fiber::Action::kYield:
+      ++stats_.yields;
+      PushReadyLocked(fiber);
+      break;
+    case Fiber::Action::kPark: {
+      int expected = Fiber::kArmed;
+      if (fiber->wait_state().compare_exchange_strong(
+              expected, Fiber::kParked, std::memory_order_acq_rel)) {
+        ++stats_.parks;
+        fiber->parked_slot = parked_.size();
+        parked_.push_back(fiber);
+        if (fiber->park_deadline) {
+          deadlines_.push_back(DeadlineEntry{
+              *fiber->park_deadline, fiber,
+              fiber->park_seq.load(std::memory_order_relaxed)});
+          std::push_heap(deadlines_.begin(), deadlines_.end(),
+                         std::greater<>());
+        }
+      } else {
+        // A notifier beat the commit (kWokenSignal): the park never
+        // actually slept; run it again right away.
+        PushReadyLocked(fiber);
+      }
+      break;
+    }
+  }
+}
+
+void FiberScheduler::PushReadyLocked(Fiber* fiber) {
+  ready_[static_cast<std::size_t>(fiber->home())].push_back(fiber);
+  idle_cv_.notify_all();
+}
+
+void FiberScheduler::RemoveParkedLocked(Fiber* fiber) {
+  const std::size_t slot = fiber->parked_slot;
+  PANDA_CHECK(slot < parked_.size() && parked_[slot] == fiber);
+  parked_[slot] = parked_.back();
+  parked_[slot]->parked_slot = slot;
+  parked_.pop_back();
+}
+
+void FiberScheduler::ExpireDeadlinesLocked(
+    std::chrono::steady_clock::time_point now) {
+  while (!deadlines_.empty() && deadlines_.front().tp <= now) {
+    const DeadlineEntry entry = deadlines_.front();
+    std::pop_heap(deadlines_.begin(), deadlines_.end(), std::greater<>());
+    deadlines_.pop_back();
+    // Stale entry (that park was signalled and possibly re-armed):
+    // drop it. In the narrow race where the seq matches but the CAS
+    // lands on a newer park, the result is a spuriously-early timeout
+    // wake — callers loop and re-check, so this is a hurry-up, not a
+    // correctness hole.
+    if (entry.fiber->park_seq.load(std::memory_order_acquire) != entry.seq) {
+      continue;
+    }
+    int expected = Fiber::kParked;
+    if (entry.fiber->wait_state().compare_exchange_strong(
+            expected, Fiber::kWokenTimeout, std::memory_order_acq_rel)) {
+      RemoveParkedLocked(entry.fiber);
+      PushReadyLocked(entry.fiber);
+    }
+  }
+}
+
+bool FiberScheduler::QuiescentLocked() const {
+  if (running_ != 0 || parked_.empty()) return false;
+  for (const auto& queue : ready_) {
+    if (!queue.empty()) return false;
+  }
+  return true;
+}
+
+void FiberScheduler::ProbeLocked() {
+  ++stats_.probe_rounds;
+  next_probe_allowed_ = std::chrono::steady_clock::now() + kProbePace;
+  // Sweep back-to-front: RemoveParkedLocked swap-removes.
+  for (std::size_t i = parked_.size(); i-- > 0;) {
+    Fiber* fiber = parked_[i];
+    int expected = Fiber::kParked;
+    if (fiber->wait_state().compare_exchange_strong(
+            expected, Fiber::kWokenProbe, std::memory_order_acq_rel)) {
+      RemoveParkedLocked(fiber);
+      PushReadyLocked(fiber);
+    }
+  }
+}
+
+void FiberScheduler::Unpark(Fiber* fiber) {
+  std::lock_guard<std::mutex> lock(mu_);
+  RemoveParkedLocked(fiber);
+  PushReadyLocked(fiber);
+}
+
+Stats FiberScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sched
+}  // namespace panda

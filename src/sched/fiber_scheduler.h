@@ -1,0 +1,86 @@
+// The fiber backend: N rank fibers multiplexed onto a small carrier
+// pool (docs/SCHEDULER.md).
+//
+// Each fiber is pinned to a home carrier (launch position modulo the
+// pool size); a carrier runs slices off its own ready deque and idles
+// on a shared condition when it has none. Parked fibers (blocked in
+// sched::WaitCV) live in a parked list plus an optional deadline
+// min-heap; notifiers requeue them through Unpark. When the whole
+// machine goes quiescent — every ready queue empty, no slice running,
+// parked fibers remaining — a probe sweep wakes every parked fiber
+// with WakeKind::kProbe, the cooperative analogue of the thread
+// backend's periodic hooked-wait wakeups (mailbox rescue, deferred
+// delivery picks, deadline re-checks). Probes are paced at >= 1 ms so
+// a genuinely-stuck machine spins the CPU no harder than thread mode.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "sched/fiber.h"
+#include "sched/sched.h"
+
+namespace panda {
+namespace sched {
+
+class FiberScheduler : public Scheduler {
+ public:
+  explicit FiberScheduler(const Config& config);
+
+  Backend backend() const override { return Backend::kFiber; }
+  void SetSliceGuard(SliceGuard guard) override { guard_ = std::move(guard); }
+  void RunAll(const std::vector<int>& order,
+              const std::function<void(int)>& body) override;
+  Stats stats() const override;
+
+  // Notifier side of the park protocol (sched/wait.cc): the caller won
+  // the kParked -> kWokenSignal CAS and now owns requeueing `fiber`.
+  void Unpark(Fiber* fiber);
+
+ private:
+  struct DeadlineEntry {
+    std::chrono::steady_clock::time_point tp;
+    Fiber* fiber;
+    std::uint64_t seq;  // fiber->park_seq at registration
+    bool operator>(const DeadlineEntry& o) const { return tp > o.tp; }
+  };
+
+  void CarrierLoop(int carrier);
+  // Runs one slice of `fiber` (guard + dispatch instrumentation +
+  // Resume). Called with mu_ RELEASED.
+  void RunSlice(Fiber* fiber, std::size_t ready_depth);
+  // Applies the fiber's switch-out action. Caller holds mu_.
+  void CommitSliceLocked(Fiber* fiber);
+  void PushReadyLocked(Fiber* fiber);
+  void RemoveParkedLocked(Fiber* fiber);
+  // Fires every expired (and still-valid) deadline entry.
+  void ExpireDeadlinesLocked(std::chrono::steady_clock::time_point now);
+  // All ready queues empty, nothing running, parked fibers remain.
+  bool QuiescentLocked() const;
+  // Wakes every parked fiber with kWokenProbe.
+  void ProbeLocked();
+
+  const int configured_workers_;
+  const std::size_t stack_bytes_;
+  SliceGuard guard_;
+
+  mutable std::mutex mu_;
+  std::condition_variable idle_cv_;
+  std::vector<std::deque<Fiber*>> ready_;  // one per carrier
+  std::vector<Fiber*> parked_;
+  std::vector<DeadlineEntry> deadlines_;  // min-heap by tp
+  std::size_t live_ = 0;                  // unfinished fibers
+  int running_ = 0;                       // slices in flight
+  std::chrono::steady_clock::time_point next_probe_allowed_{};
+  Stats stats_;
+
+  std::vector<std::unique_ptr<Fiber>> fibers_;
+};
+
+}  // namespace sched
+}  // namespace panda

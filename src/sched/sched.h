@@ -1,0 +1,125 @@
+// Cooperative rank scheduling: the execution core behind
+// ThreadTransport::Run (docs/SCHEDULER.md).
+//
+// The transport historically burned one OS thread per simulated rank,
+// which caps machines at a few hundred ranks. This subsystem makes the
+// execution strategy a seam: a Scheduler runs N rank bodies to
+// completion, either as real threads (kThread — the original behavior,
+// required for TSan and -DPANDA_HB runs) or as ucontext fibers
+// multiplexed onto a small carrier pool (kFiber — thousands of ranks on
+// a handful of OS threads). Blocking points in the message layer
+// (msg/mailbox.cc) go through sched::WaitCV, which parks the calling
+// fiber instead of the carrier thread.
+//
+// Determinism contract: the backend choice is pure execution strategy.
+// Virtual clocks, message counts and file bytes are computed from
+// message stamps and per-rank state only, so both backends must produce
+// bit-identical results on the same workload — tests/sched_test.cc
+// asserts exactly that across backends and schedule seeds.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace panda {
+namespace sched {
+
+enum class Backend : std::uint8_t {
+  kThread = 0,  // one OS thread per rank (TSan/HB-compatible)
+  kFiber,       // ucontext fibers on a small carrier pool
+};
+
+// Stable CLI spelling ("thread" / "fiber").
+const char* BackendName(Backend backend);
+bool BackendFromName(const std::string& name, Backend& out);
+
+// True when the fiber backend can actually run in this build. False
+// under ThreadSanitizer (TSan does not model ucontext stack switches;
+// every cross-fiber access would be a false race) and under -DPANDA_HB
+// (cooperative scheduling serializes the very interleavings the
+// happens-before checker exists to adversarially explore, so HB runs
+// pin the thread backend by construction). MakeScheduler falls back to
+// kThread when unsupported.
+bool FiberSupported();
+
+struct Config {
+  Backend backend = Backend::kThread;
+  // Carrier threads for the fiber backend; 0 = auto (a small pool
+  // clamped to the host's cores). Ignored by kThread.
+  int workers = 0;
+  // Usable stack bytes per fiber; 0 = default (512 KiB, doubled under
+  // ASan for its larger frames). Ignored by kThread.
+  std::size_t stack_bytes = 0;
+};
+
+// Execution counters, cumulative over a scheduler's RunAll calls. These
+// describe the *wall* schedule (how ranks were multiplexed), never the
+// virtual one, so they are exempt from the determinism contract.
+struct Stats {
+  std::int64_t ranks_run = 0;          // bodies executed to completion
+  std::int64_t workers = 0;            // OS threads of the last RunAll
+  std::int64_t context_switches = 0;   // fiber slices dispatched
+  std::int64_t yields = 0;             // cooperative YieldNow yields
+  std::int64_t parks = 0;              // blocking points that parked
+  std::int64_t probe_rounds = 0;       // quiescence probe sweeps
+
+  Stats& operator+=(const Stats& other) {
+    ranks_run += other.ranks_run;
+    workers = other.workers;
+    context_switches += other.context_switches;
+    yields += other.yields;
+    parks += other.parks;
+    probe_rounds += other.probe_rounds;
+    return *this;
+  }
+};
+
+// The execution seam. One instance drives one or more RunAll calls;
+// ThreadTransport::Run builds one per run from its armed Config.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  virtual Backend backend() const = 0;
+
+  // Per-slice context guard: guard(index, true) runs on the worker
+  // thread immediately before any of `index`'s code executes on it, and
+  // guard(index, false) when `index` leaves that thread (finish, park,
+  // or yield for the fiber backend; thread start/end for kThread). The
+  // transport installs trace/hb thread-local contexts through this —
+  // fibers share their carrier's thread-locals while running, so the
+  // guard is what keeps per-rank attribution correct across slices.
+  using SliceGuard = std::function<void(int index, bool enter)>;
+  virtual void SetSliceGuard(SliceGuard guard) = 0;
+
+  // Runs body(index) for every index in `order` concurrently and joins.
+  // `body` must not throw (the transport catches everything inside it);
+  // a throw out of a fiber terminates the process by design.
+  virtual void RunAll(const std::vector<int>& order,
+                      const std::function<void(int)>& body) = 0;
+
+  virtual Stats stats() const = 0;
+};
+
+// Builds the configured scheduler; kFiber quietly degrades to kThread
+// when FiberSupported() is false (callers can detect the fallback via
+// backend()).
+std::unique_ptr<Scheduler> MakeScheduler(const Config& config);
+
+// True when the calling code is running on a scheduler fiber. The
+// blocking seam (msg/mailbox.cc) branches on this to park the fiber
+// instead of the carrier thread.
+bool OnFiber();
+
+// Cooperative yield: reschedules the calling fiber to the back of its
+// carrier's ready queue (plain std::this_thread::yield off-fiber). The
+// schedule perturbator uses this as the fiber-mode analogue of an OS
+// yield.
+void YieldNow();
+
+}  // namespace sched
+}  // namespace panda

@@ -1,0 +1,73 @@
+#include "sched/sched.h"
+
+#include "sched/fiber_scheduler.h"
+#include "sched/thread_scheduler.h"
+
+// The compile gates arrive on the command line (top-level CMake applies
+// them globally), so sched can honor them without depending on msg/.
+#ifndef PANDA_HB_ENABLED
+#define PANDA_HB_ENABLED 0
+#endif
+
+#if defined(__SANITIZE_THREAD__)
+#define PANDA_SCHED_TSAN 1
+#endif
+#if !defined(PANDA_SCHED_TSAN) && defined(__has_feature)
+#if __has_feature(thread_sanitizer)
+#define PANDA_SCHED_TSAN 1
+#endif
+#endif
+#ifndef PANDA_SCHED_TSAN
+#define PANDA_SCHED_TSAN 0
+#endif
+
+namespace panda {
+namespace sched {
+
+const char* BackendName(Backend backend) {
+  switch (backend) {
+    case Backend::kThread:
+      return "thread";
+    case Backend::kFiber:
+      return "fiber";
+  }
+  return "thread";
+}
+
+bool BackendFromName(const std::string& name, Backend& out) {
+  if (name == "thread") {
+    out = Backend::kThread;
+    return true;
+  }
+  if (name == "fiber") {
+    out = Backend::kFiber;
+    return true;
+  }
+  return false;
+}
+
+bool FiberSupported() {
+#if PANDA_SCHED_TSAN
+  // TSan does not model ucontext stack switches: every cross-slice
+  // access on a carrier would be reported as a race.
+  return false;
+#elif PANDA_HB_ENABLED
+  // The happens-before checker's whole point is adversarial thread
+  // interleavings; a cooperative scheduler serializes exactly the
+  // conflicting accesses it exists to catch, so HB builds pin the
+  // thread backend (docs/SCHEDULER.md).
+  return false;
+#else
+  return true;
+#endif
+}
+
+std::unique_ptr<Scheduler> MakeScheduler(const Config& config) {
+  if (config.backend == Backend::kFiber && FiberSupported()) {
+    return std::make_unique<FiberScheduler>(config);
+  }
+  return std::make_unique<ThreadScheduler>();
+}
+
+}  // namespace sched
+}  // namespace panda

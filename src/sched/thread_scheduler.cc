@@ -1,0 +1,55 @@
+#include "sched/thread_scheduler.h"
+
+#include <thread>
+#include <vector>
+
+namespace panda {
+namespace sched {
+
+namespace {
+
+// Runs the guard's exit half even if `body` ever threw (it must not,
+// but the invariant "enter is always paired with exit" should not
+// depend on that).
+class GuardScope {
+ public:
+  GuardScope(const Scheduler::SliceGuard& guard, int index)
+      : guard_(guard), index_(index) {
+    if (guard_) guard_(index_, /*enter=*/true);
+  }
+  ~GuardScope() {
+    if (guard_) guard_(index_, /*enter=*/false);
+  }
+  GuardScope(const GuardScope&) = delete;
+  GuardScope& operator=(const GuardScope&) = delete;
+
+ private:
+  const Scheduler::SliceGuard& guard_;
+  int index_;
+};
+
+}  // namespace
+
+void ThreadScheduler::RunAll(const std::vector<int>& order,
+                             const std::function<void(int)>& body) {
+  std::vector<std::thread> threads;
+  threads.reserve(order.size());
+  for (const int index : order) {
+    threads.emplace_back([this, index, &body] {
+      GuardScope guard(guard_, index);
+      body(index);
+    });
+  }
+  for (auto& t : threads) t.join();
+  std::lock_guard<std::mutex> lock(mu_);
+  stats_.ranks_run += static_cast<std::int64_t>(order.size());
+  stats_.workers = static_cast<std::int64_t>(order.size());
+}
+
+Stats ThreadScheduler::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+}  // namespace sched
+}  // namespace panda

@@ -1,0 +1,29 @@
+// The thread backend: one OS thread per rank — the transport's original
+// execution core, kept as a selectable Scheduler so TSan and -DPANDA_HB
+// runs (which need real preemptive threads to have anything to check)
+// still exercise the exact code they always did.
+#pragma once
+
+#include <mutex>
+
+#include "sched/sched.h"
+
+namespace panda {
+namespace sched {
+
+class ThreadScheduler : public Scheduler {
+ public:
+  Backend backend() const override { return Backend::kThread; }
+  void SetSliceGuard(SliceGuard guard) override { guard_ = std::move(guard); }
+  void RunAll(const std::vector<int>& order,
+              const std::function<void(int)>& body) override;
+  Stats stats() const override;
+
+ private:
+  SliceGuard guard_;
+  mutable std::mutex mu_;
+  Stats stats_;
+};
+
+}  // namespace sched
+}  // namespace panda

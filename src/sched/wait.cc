@@ -1,0 +1,83 @@
+#include "sched/wait.h"
+
+#include <algorithm>
+
+#include "sched/fiber.h"
+#include "sched/fiber_scheduler.h"
+#include "util/error.h"
+
+namespace panda {
+namespace sched {
+
+WakeKind WaitCV::ParkFiber(
+    std::unique_lock<std::mutex>& lock,
+    const std::optional<std::chrono::steady_clock::time_point>& deadline) {
+  Fiber* self = CurrentFiber();
+  PANDA_CHECK_MSG(self != nullptr, "ParkFiber off-fiber");
+  // Arm + register while still holding the caller's mutex: a notifier
+  // holds that mutex too, so it either ran entirely before our caller's
+  // last state check (we saw the change and never got here) or will run
+  // after this registration (it sees us). park_seq invalidates any
+  // stale deadline-heap entry from a previous park.
+  self->park_seq.fetch_add(1, std::memory_order_release);
+  self->park_deadline = deadline;
+  self->wait_state().store(Fiber::kArmed, std::memory_order_release);
+  {
+    std::lock_guard<std::mutex> g(wmu_);
+    fiber_waiters_.push_back(self);
+  }
+  lock.unlock();
+  // Hand the carrier the park request; it commits kArmed -> kParked (or
+  // requeues us immediately if a notifier already won the CAS).
+  self->SwitchOut(Fiber::Action::kPark);
+  // Woken. The wake reason was CAS'd into the state by whoever won.
+  const int reason = self->wait_state().load(std::memory_order_acquire);
+  {
+    std::lock_guard<std::mutex> g(wmu_);
+    auto it = std::find(fiber_waiters_.begin(), fiber_waiters_.end(), self);
+    if (it != fiber_waiters_.end()) {
+      *it = fiber_waiters_.back();
+      fiber_waiters_.pop_back();
+    }
+  }
+  // Only after deregistration may the state go idle: no notifier can
+  // still reach us (the waiter list is the only path to this fiber).
+  self->wait_state().store(Fiber::kIdle, std::memory_order_release);
+  self->park_deadline.reset();
+  lock.lock();
+  switch (reason) {
+    case Fiber::kWokenTimeout:
+      return WakeKind::kTimeout;
+    case Fiber::kWokenProbe:
+      return WakeKind::kProbe;
+    default:
+      return WakeKind::kSignal;
+  }
+}
+
+void WaitCV::NotifyAll() {
+  // Thread waiters: plain notify (the caller holds the waiters' mutex,
+  // which is exactly what makes this race-free for fibers below; for
+  // threads it merely costs a hurry-up-and-wait).
+  cv_.notify_all();
+  std::lock_guard<std::mutex> g(wmu_);
+  for (Fiber* f : fiber_waiters_) {
+    // kArmed -> kWokenSignal: the fiber has not parked yet; its
+    // carrier's commit CAS will fail and requeue it immediately.
+    int expected = Fiber::kArmed;
+    if (f->wait_state().compare_exchange_strong(expected, Fiber::kWokenSignal,
+                                                std::memory_order_acq_rel)) {
+      continue;
+    }
+    // kParked -> kWokenSignal: we own the requeue.
+    expected = Fiber::kParked;
+    if (f->wait_state().compare_exchange_strong(expected, Fiber::kWokenSignal,
+                                                std::memory_order_acq_rel)) {
+      f->owner()->Unpark(f);
+    }
+    // Any other state: another waker beat us; nothing to do.
+  }
+}
+
+}  // namespace sched
+}  // namespace panda

@@ -1,0 +1,72 @@
+// Dual-mode condition variable: the blocking seam between the message
+// layer and the rank scheduler (docs/SCHEDULER.md).
+//
+// A WaitCV wraps a std::condition_variable for thread-backed ranks and
+// a fiber park list for fiber-backed ones, so msg/mailbox.cc has ONE
+// wait object whatever the backend. The caller decides per wait:
+// Wait/WaitUntil are exact std::condition_variable semantics (thread
+// mode); ParkFiber yields the calling fiber back to its carrier until a
+// notifier, a deadline, or a quiescence probe wakes it.
+//
+// Lost-wakeup contract: NotifyAll must be called while HOLDING the
+// mutex the waiters hold (the mailbox lock). A parking fiber registers
+// with the WaitCV under that same mutex before releasing it, so every
+// notification either happens before the final locked re-check (the
+// waiter sees the state change directly) or after registration (the
+// notifier sees the waiter). There is no window in between.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+namespace panda {
+namespace sched {
+
+class Fiber;
+
+// Why a ParkFiber returned.
+enum class WakeKind : std::uint8_t {
+  kSignal,   // a notifier fired: re-check the protected state
+  kTimeout,  // the wait's own deadline passed (wall clock)
+  kProbe,    // scheduler-wide quiescence probe: re-poll hooks/picks
+};
+
+class WaitCV {
+ public:
+  // Thread-mode waits (exact std::condition_variable semantics;
+  // spurious wakes possible as usual).
+  void Wait(std::unique_lock<std::mutex>& lock) { cv_.wait(lock); }
+  std::cv_status WaitUntil(std::unique_lock<std::mutex>& lock,
+                           std::chrono::steady_clock::time_point tp) {
+    return cv_.wait_until(lock, tp);
+  }
+
+  // Fiber-mode wait: registers the calling fiber (caller must be on
+  // one — sched::OnFiber()), releases `lock`, and parks until woken;
+  // re-acquires `lock` before returning the wake reason. A `deadline`
+  // arms the scheduler's deadline heap; wakes may be spuriously early
+  // (kProbe, or a raced deadline entry), never silently late — callers
+  // loop and re-check like any condition wait.
+  WakeKind ParkFiber(
+      std::unique_lock<std::mutex>& lock,
+      const std::optional<std::chrono::steady_clock::time_point>& deadline);
+
+  // Wakes every waiter, thread or fiber. MUST be called while holding
+  // the mutex the waiters passed to Wait/WaitUntil/ParkFiber (see the
+  // lost-wakeup contract above).
+  void NotifyAll();
+
+ private:
+  std::condition_variable cv_;
+  // Fiber waiters, registered/deregistered under wmu_ (always acquired
+  // after the caller's mailbox mutex, before the scheduler lock).
+  std::mutex wmu_;
+  std::vector<Fiber*> fiber_waiters_;
+};
+
+}  // namespace sched
+}  // namespace panda

@@ -141,6 +141,25 @@ class Machine {
   hb::Checker* hb_checker() { return transport_->hb_checker(); }
   const hb::Checker* hb_checker() const { return transport_->hb_checker(); }
 
+  // --- Rank scheduler (see src/sched/, docs/SCHEDULER.md) ---
+
+  // Selects how rank mains execute: sched::Backend::kThread (default;
+  // one OS thread per rank) or kFiber (cooperative fibers on `workers`
+  // carrier threads; 0 = auto). Fibers make --ranks=4096 machines
+  // practical; both backends produce bit-identical virtual clocks and
+  // file bytes. Falls back to threads where fibers are unsupported
+  // (TSan, PANDA_HB builds).
+  void SetSchedBackend(sched::Backend backend, int workers = 0) {
+    sched::Config config;
+    config.backend = backend;
+    config.workers = workers;
+    transport_->SetScheduler(config);
+  }
+
+  // The backend Run() will actually use, and its accumulated counters.
+  sched::Backend sched_backend() const { return transport_->sched_backend(); }
+  const sched::Stats& sched_stats() const { return transport_->sched_stats(); }
+
   // Track label for rank `r` in exported traces ("client 0", "ion 2").
   std::string rank_label(int r) const {
     return r < num_clients_ ? ("client " + std::to_string(r))

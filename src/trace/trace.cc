@@ -48,6 +48,10 @@ const char* SpanKindName(SpanKind kind) {
       return "store.flush";
     case SpanKind::kStoreGet:
       return "store.get";
+    case SpanKind::kSchedYield:
+      return "sched.yield";
+    case SpanKind::kSchedDispatch:
+      return "sched.dispatch";
     case SpanKind::kNumKinds:
       break;
   }
@@ -66,6 +70,8 @@ const char* MetricName(MetricId id) {
       return "codec.ratio";
     case MetricId::kCodecEncodeSeconds:
       return "codec.encode_seconds";
+    case MetricId::kSchedReadyDepth:
+      return "sched.ready_depth";
     case MetricId::kNumMetrics:
       break;
   }
@@ -97,6 +103,13 @@ const std::vector<double>& DefaultMetricEdges(MetricId id) {
     for (double v = 1.0e-5; v <= 0.2; v *= 2.0) e.push_back(v);
     return e;
   }();
+  static const std::vector<double> sched_ready_depth = [] {
+    // 1 .. 4096 ranks runnable at once, powers of two (--ranks=4096 is
+    // the bench_scale_ranks ceiling).
+    std::vector<double> e;
+    for (double v = 1.0; v <= 4096.0; v *= 2.0) e.push_back(v);
+    return e;
+  }();
   switch (id) {
     case MetricId::kSubchunkBytes:
       return subchunk_bytes;
@@ -108,6 +121,8 @@ const std::vector<double>& DefaultMetricEdges(MetricId id) {
       return codec_ratio;
     case MetricId::kCodecEncodeSeconds:
       return codec_encode_seconds;
+    case MetricId::kSchedReadyDepth:
+      return sched_ready_depth;
     case MetricId::kNumMetrics:
       break;
   }

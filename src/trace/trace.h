@@ -62,6 +62,8 @@ enum class SpanKind : std::uint8_t {
   kRejoinRepair,          // rejoin repair collective (arg: chunks migrated)
   kStoreFlush,            // shard-store flush: table write / object PUT
   kStoreGet,              // shard-store sub-chunk fetch (arg: raw bytes)
+  kSchedYield,            // cooperative yield point (fiber backend)
+  kSchedDispatch,         // scheduler dispatched a rank slice (arg: depth)
   kNumKinds,
 };
 
@@ -79,6 +81,7 @@ enum class MetricId : std::uint8_t {
   kMailboxDepth,       // queued messages seen by each blocking receive
   kCodecRatio,         // framed/raw bytes of each encode (1.0 = stored)
   kCodecEncodeSeconds, // modeled compute time of each encode
+  kSchedReadyDepth,    // ready-queue depth at each fiber dispatch
   kNumMetrics,
 };
 

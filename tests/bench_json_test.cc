@@ -52,23 +52,26 @@ TEST(BenchJson, SchemaKeysAndRoundTrip) {
   const MeasureResult r = MeasureCollective(ms, meta);
   ASSERT_GT(r.elapsed_s, 0.0);
 
-  std::vector<FigureRow> rows{
-      FigureRow{spec.io_nodes[0], spec.sizes_mb[0], r, "smoke row"}};
+  std::vector<FigureRow> rows{FigureRow{spec.io_nodes[0], spec.sizes_mb[0], r,
+                                        "smoke row",
+                                        spec.num_clients + spec.io_nodes[0]}};
   const std::string json = BenchJson(spec, /*quick=*/true, spec.reps, rows);
 
   // Stable schema keys (tools/bench.sh greps for exactly these).
   // schema_version 2 added codec + the per-row byte/ratio fields; v3
   // added the top-level metrics block; v4 added the per-row disk_ops
-  // operation count and label; all earlier keys are unchanged so
-  // v1..v3 consumers keep parsing.
+  // operation count and label; v5 added the per-row ranks machine size
+  // and sched_backend; all earlier keys are unchanged so v1..v4
+  // consumers keep parsing.
   for (const char* key :
-       {"\"schema_version\":4", "\"kind\":\"panda_bench\"", "\"bench\":",
+       {"\"schema_version\":5", "\"kind\":\"panda_bench\"", "\"bench\":",
         "\"description\":", "\"op\":\"write\"", "\"codec\":\"none\"",
         "\"quick\":true", "\"reps\":1", "\"rows\":[", "\"io_nodes\":",
         "\"size_mb\":", "\"elapsed_s\":", "\"aggregate_Bps\":",
         "\"per_ion_Bps\":", "\"normalized\":", "\"wire_bytes_sent\":",
         "\"disk_bytes_written\":", "\"codec_ratio\":", "\"disk_ops\":",
-        "\"label\":\"smoke row\"", "\"spans\":", "\"metrics\":"}) {
+        "\"label\":\"smoke row\"", "\"ranks\":", "\"sched_backend\":",
+        "\"spans\":", "\"metrics\":"}) {
     EXPECT_NE(json.find(key), std::string::npos) << "missing " << key;
   }
 

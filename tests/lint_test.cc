@@ -90,6 +90,7 @@ TEST(LintRules, WallClockAllowedInWhitelistedLayers) {
       "void f() { auto t = std::chrono::steady_clock::now(); }\n";
   EXPECT_TRUE(Lint("src/sp2/params.cc", code).empty());
   EXPECT_TRUE(Lint("src/msg/mailbox.cc", code).empty());
+  EXPECT_TRUE(Lint("src/sched/wait.cc", code).empty());
   EXPECT_TRUE(Lint("src/iosim/posix_fs.cc", code).empty());
 }
 
@@ -149,6 +150,53 @@ TEST(LintRules, RawSendAllowedInsideMsg) {
   EXPECT_TRUE(Lint("src/msg/transport.cc",
                    "void f(Mailbox& mb, Message m) {\n"
                    "  mb.Deposit(std::move(m));\n"
+                   "}\n")
+                  .empty());
+}
+
+// ---- raw-thread -------------------------------------------------------
+
+TEST(LintRules, RawThreadFlaggedOutsideSchedulerLayers) {
+  const std::vector<Diagnostic> diags =
+      Lint("src/panda/server.cc",
+           "void f() {\n"
+           "  std::thread t([] {});\n"
+           "  t.join();\n"
+           "}\n");
+  ASSERT_EQ(diags.size(), 1u);
+  EXPECT_EQ(diags[0].rule, "raw-thread");
+  EXPECT_EQ(diags[0].file, "src/panda/server.cc");
+  EXPECT_EQ(diags[0].line, 2);
+  EXPECT_TRUE(HasRule(Lint("bench/bench_x.cc",
+                           "void f() { std::jthread t([] {}); }\n"),
+                      "raw-thread"));
+  EXPECT_TRUE(HasRule(
+      Lint("src/panda/server.cc",
+           "void f() { pthread_create(&tid, nullptr, run, nullptr); }\n"),
+      "raw-thread"));
+}
+
+TEST(LintRules, RawThreadAllowedInSchedulerLayers) {
+  const std::string code = "void f() { std::thread t([] {}); t.join(); }\n";
+  EXPECT_TRUE(Lint("src/sched/fiber_scheduler.cc", code).empty());
+  EXPECT_TRUE(Lint("src/msg/transport.cc", code).empty());
+}
+
+TEST(LintRules, RawThreadIgnoresUnqualifiedThreadIdent) {
+  // A member/variable named `thread` and std::thread utility reads
+  // (hardware_concurrency, this_thread) are not thread spawns.
+  EXPECT_TRUE(Lint("src/panda/server.cc", "int thread = 0;\n").empty());
+  EXPECT_TRUE(
+      Lint("src/panda/server.cc",
+           "void f() { std::this_thread::yield(); }\n")
+          .empty());
+}
+
+TEST(LintRules, RawThreadSuppressibleInline) {
+  EXPECT_TRUE(Lint("tests/x_test.cc",
+                   "void f() {\n"
+                   "  // panda-lint: allow(raw-thread)\n"
+                   "  std::thread t([] {});\n"
                    "}\n")
                   .empty());
 }
@@ -540,8 +588,8 @@ TEST(LintDiag, RegistryExposesAllRules) {
   for (const Rule& rule : Registry()) ids.push_back(rule.id);
   const std::vector<std::string> expected = {
       "wall-clock",     "raw-io",         "raw-send",
-      "span-coverage",  "tag-coverage",   "header-hygiene",
-      "report-silence", "trace-no-clock"};
+      "raw-thread",     "span-coverage",  "tag-coverage",
+      "header-hygiene", "report-silence", "trace-no-clock"};
   EXPECT_EQ(ids, expected);
 }
 

@@ -61,6 +61,8 @@ TEST(MailboxTest, MatchesOnSourceAndTag) {
 TEST(MailboxTest, BlocksUntilDeposit) {
   Mailbox mb;
   std::atomic<bool> received{false};
+  // An auxiliary OS thread outside the rank world, poking the mailbox
+  // from the side. panda-lint: allow(raw-thread)
   std::thread t([&] {
     Message m = mb.BlockingReceive(0, 1);
     EXPECT_EQ(TextOf(m), "late");
@@ -78,6 +80,7 @@ TEST(MailboxTest, BlocksUntilDeposit) {
 
 TEST(MailboxTest, PoisonWakesWaiters) {
   Mailbox mb;
+  // panda-lint: allow(raw-thread)
   std::thread t([&] {
     EXPECT_THROW((void)mb.BlockingReceive(0, 1), PandaError);
   });

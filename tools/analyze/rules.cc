@@ -142,8 +142,11 @@ void Diag(std::vector<Diagnostic>* out, const std::string& rule,
 
 void CheckWallClock(const SourceFile& f, const LintConfig&,
                     std::vector<Diagnostic>* out) {
+  // src/sched/ is a wall-schedule layer like src/msg/: carrier dozing,
+  // park deadlines and probe pacing are OS-thread mechanics, never part
+  // of the virtual-time model.
   static const std::vector<std::string> kAllowed = {
-      "src/sp2/", "src/msg/", "src/iosim/posix_fs"};
+      "src/sp2/", "src/msg/", "src/sched/", "src/iosim/posix_fs"};
   if (AnyPrefix(f.rel_path, kAllowed)) return;
   static const std::set<std::string> kBanned = {
       "gettimeofday",          "clock_gettime", "timespec_get",
@@ -200,7 +203,12 @@ void CheckRawIo(const SourceFile& f, const LintConfig&,
 
 void CheckRawSend(const SourceFile& f, const LintConfig&,
                   std::vector<Diagnostic>* out) {
-  if (StartsWith(f.rel_path, "src/msg/")) return;
+  // src/sched/ defines WaitCV::NotifyAll — the blocking-point seam the
+  // mailbox parks fibers on — so it shares the transport's exemption.
+  if (StartsWith(f.rel_path, "src/msg/") ||
+      StartsWith(f.rel_path, "src/sched/")) {
+    return;
+  }
   static const std::set<std::string> kInternals = {
       "Deposit",        "BlockingReceive", "BlockingReceiveAny",
       "ReceiveWithin",  "ForceAbort",      "PurgeIf",
@@ -216,6 +224,39 @@ void CheckRawSend(const SourceFile& f, const LintConfig&,
          "mailbox/transport internal '" + toks[i].text +
              "' used outside src/msg/ — go through Endpoint "
              "send/receive");
+  }
+}
+
+// ---- raw-thread ------------------------------------------------------
+
+// Rank concurrency belongs to the scheduler seam: src/sched/ owns the
+// carriers (and the thread-per-rank backend), src/msg/ targets it. A
+// bare std::thread anywhere else bypasses that seam — its blocking
+// points would park a real OS thread the fiber backend cannot multiplex,
+// quietly breaking the --sched=fiber 4096-rank scaling story. Auxiliary
+// OS threads that are genuinely outside the rank world (a test poking a
+// mailbox from the side) escape with `// panda-lint: allow(raw-thread)`.
+void CheckRawThread(const SourceFile& f, const LintConfig&,
+                    std::vector<Diagnostic>* out) {
+  static const std::vector<std::string> kAllowed = {"src/msg/",
+                                                    "src/sched/"};
+  if (AnyPrefix(f.rel_path, kAllowed)) return;
+  const auto& toks = f.tokens;
+  for (size_t i = 0; i < toks.size(); ++i) {
+    if (toks[i].kind != TokKind::kIdent) continue;
+    const std::string& name = toks[i].text;
+    const bool std_thread =
+        (name == "thread" || name == "jthread") && i >= 3 &&
+        IsIdent(toks[i - 3], "std") && IsPunct(toks[i - 2], ':') &&
+        IsPunct(toks[i - 1], ':');
+    const bool pthread = name == "pthread_create" && IsCall(toks, i);
+    if (std_thread || pthread) {
+      Diag(out, "raw-thread", f, toks[i].line,
+           "raw OS thread '" + name +
+               "' outside src/msg//src/sched/ — ranks run on the "
+               "scheduler backend (Machine::SetSchedBackend), not ad-hoc "
+               "threads");
+    }
   }
 }
 
@@ -418,14 +459,18 @@ std::string Diagnostic::ToString() const {
 const std::vector<Rule>& Registry() {
   static const std::vector<Rule>* kRules = new std::vector<Rule>{
       {"wall-clock",
-       "no wall-clock sources outside src/sp2/, src/msg/, posix_fs",
+       "no wall-clock sources outside src/sp2/, src/msg/, src/sched/, "
+       "posix_fs",
        CheckWallClock},
       {"raw-io",
        "server disk ops in src/panda/ must go through RetryPolicy::Run",
        CheckRawIo},
       {"raw-send",
-       "mailbox/transport internals stay inside src/msg/",
+       "mailbox/transport internals stay inside src/msg/ and src/sched/",
        CheckRawSend},
+      {"raw-thread",
+       "OS threads are spawned only by src/msg/ and src/sched/",
+       CheckRawThread},
       {"span-coverage",
        "manifest protocol stages carry PANDA_SPAN instrumentation",
        CheckSpanCoverage},

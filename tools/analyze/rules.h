@@ -3,13 +3,19 @@
 // Each rule enforces one project invariant that the codebase previously
 // relied on by convention (docs/ANALYSIS.md has the full catalogue):
 //
-//   wall-clock      no wall-clock reads outside src/sp2/, src/msg/ and
-//                   the POSIX file-system backend — virtual time is the
-//                   only clock the simulation may observe.
+//   wall-clock      no wall-clock reads outside src/sp2/, src/msg/,
+//                   src/sched/ and the POSIX file-system backend —
+//                   virtual time is the only clock the simulation may
+//                   observe.
 //   raw-io          every server disk op in src/panda/ goes through
 //                   RetryPolicy::Run (transient faults must heal).
 //   raw-send        mailbox/transport internals (Deposit, BlockingReceive,
-//                   Poison, ...) are used only inside src/msg/.
+//                   Poison, ...) are used only inside src/msg/ and
+//                   src/sched/ (the WaitCV blocking seam).
+//   raw-thread      OS threads (std::thread, std::jthread,
+//                   pthread_create) are spawned only by src/msg/ and
+//                   src/sched/ — everything else runs ranks through the
+//                   scheduler backend seam.
 //   span-coverage   protocol stage functions listed in the manifest
 //                   (tools/analyze/span_manifest.txt) contain a
 //                   PANDA_SPAN / RecordSpan instrumentation site.

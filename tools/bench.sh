@@ -1,24 +1,26 @@
 #!/bin/sh
 # Smoke bench + schema guard: runs the Figure 4 bench in --quick mode,
 # writes the machine-readable outputs, and fails if the stable
-# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 4)
+# panda_bench JSON schema (docs/OBSERVABILITY.md, schema_version 5)
 # drifts — downstream dashboards and the CI artifact step parse it.
 # Then runs the codec ablation: the same figure with --codec=shuffle+rle
 # on real compressible data must move fewer wire and disk bytes AND
 # finish faster than codec=none (the compression pipeline's acceptance
-# bar), or the script fails. Finally runs the shard-store/backend bench
+# bar), or the script fails. Then runs the shard-store/backend bench
 # (bench_shard_backend) and asserts its two acceptance bars: the
 # advisor-chosen shard size beats per-sub-chunk objects by >= 2x
 # elapsed on the object store, and posix sharded stays within 5% of
-# the flat layout.
+# the flat layout. Finally the rank-scheduler scale bar: the fig4
+# workload at 1024 total ranks under --sched=fiber must complete
+# (docs/SCHEDULER.md) and report its row at ranks=1024.
 #
 #   tools/bench.sh [BUILD_DIR] [OUT_DIR]
 #
 # BUILD_DIR defaults to ./build (must already contain the bench
 # binaries); OUT_DIR defaults to BUILD_DIR/bench-out. Writes
 # BENCH_fig4_smoke.json, TRACE_fig4_smoke.json, the ablation pair
-# BENCH_fig4_codec_{none,shuffle_rle}.json and
-# BENCH_shard_backend.json.
+# BENCH_fig4_codec_{none,shuffle_rle}.json, BENCH_shard_backend.json
+# and BENCH_scale_ranks.json.
 set -eu
 
 BUILD_DIR="${1:-build}"
@@ -37,10 +39,10 @@ TRACE="$OUT_DIR/TRACE_fig4_smoke.json"
 "$BIN" --quick --json_out="$JSON" --trace_out="$TRACE"
 
 # --- schema drift check -------------------------------------------------
-# Every key of schema_version 4 must be present, spelled exactly.
+# Every key of schema_version 5 must be present, spelled exactly.
 fail=0
 for key in \
-    '"schema_version":4' \
+    '"schema_version":5' \
     '"kind":"panda_bench"' \
     '"bench":' \
     '"description":' \
@@ -60,6 +62,8 @@ for key in \
     '"codec_ratio":' \
     '"disk_ops":' \
     '"label":' \
+    '"ranks":' \
+    '"sched_backend":' \
     '"spans":' \
     '"metrics":' \
     '"counters":'; do
@@ -153,4 +157,32 @@ if ! awk -v flat="$flat_v" -v sh="$sharded_v" \
 fi
 
 [ "$fail" -eq 0 ] || exit 1
-echo "bench.sh OK: $JSON $TRACE $NONE_JSON $CODED_JSON $SHARD_JSON"
+
+# --- rank-scheduler scale bar --------------------------------------------
+# The fig4 workload at 1024 total ranks must complete under
+# --sched=fiber (docs/SCHEDULER.md). bench_scale_ranks records the
+# backend that actually ran in every row (v5 sched_backend) — a build
+# without fiber support falls back to the thread backend and says so,
+# which this stage tolerates; what it does NOT tolerate is the 1024-rank
+# point failing to finish or its row going missing.
+SCALE_BIN="$BUILD_DIR/bench/bench_scale_ranks"
+SCALE_JSON="$OUT_DIR/BENCH_scale_ranks.json"
+if [ ! -x "$SCALE_BIN" ]; then
+  echo "bench.sh: missing $SCALE_BIN (build the repo first)" >&2
+  exit 1
+fi
+"$SCALE_BIN" --ranks=1024 --sched=fiber --json_out="$SCALE_JSON"
+for key in '"ranks":1024' '"sched_backend":'; do
+  if ! grep -qF "$key" "$SCALE_JSON"; then
+    echo "bench.sh: SCALE — missing $key in $SCALE_JSON" >&2
+    fail=1
+  fi
+done
+scale_v="$(first_field "$SCALE_JSON" elapsed_s)"
+if [ -z "$scale_v" ]; then
+  echo "bench.sh: SCALE — missing elapsed_s in $SCALE_JSON" >&2
+  fail=1
+fi
+
+[ "$fail" -eq 0 ] || exit 1
+echo "bench.sh OK: $JSON $TRACE $NONE_JSON $CODED_JSON $SHARD_JSON $SCALE_JSON"

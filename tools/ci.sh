@@ -15,11 +15,13 @@
 # `ctest --timeout` backstop covers tests added without the property.
 #
 # Between the plain suite and the sanitizers, tools/bench.sh runs a
-# quick Figure 4 sweep, guards the machine-readable bench schema, and
-# archives one Chrome trace artifact (docs/OBSERVABILITY.md); then a
-# budgeted panda_mc smoke exhausts the 2x2 no-fault and bounded
-# kill+drop decision spaces with zero invariant violations
-# (docs/MODEL_CHECKING.md).
+# quick Figure 4 sweep, guards the machine-readable bench schema
+# (including the 1024-rank fiber scale bar), and archives one Chrome
+# trace artifact (docs/OBSERVABILITY.md); a fiber-scheduler smoke runs
+# the same workload at 1024 simulated ranks through the CLI surface
+# (docs/SCHEDULER.md); then a budgeted panda_mc smoke exhausts the 2x2
+# no-fault and bounded kill+drop decision spaces with zero invariant
+# violations (docs/MODEL_CHECKING.md).
 #
 # Static-analysis gates (docs/ANALYSIS.md):
 #  * tools/lint.sh runs BEFORE any compile: clang-format and clang-tidy
@@ -92,6 +94,14 @@ mkdir -p build-ci/artifacts
 cp build-ci/bench-out/TRACE_fig4_smoke.json \
    build-ci/bench-out/BENCH_fig4_smoke.json build-ci/artifacts/
 echo "archived artifacts: build-ci/artifacts/"
+
+echo "== fiber scheduler smoke (--ranks=1024 --sched=fiber)"
+# The event-driven rank scheduler (docs/SCHEDULER.md) at CI scale: the
+# CLI surface runs the weak-scaled fig4 write collective at 1024 total
+# ranks multiplexed onto a handful of OS threads. tools/bench.sh above
+# already guards the bench JSON row for the same point
+# (BENCH_scale_ranks.json); this stage exercises the Machine/CLI path.
+build-ci/examples/sp2_experiment --ranks=1024 --sched=fiber
 
 echo "== panda_mc smoke (docs/MODEL_CHECKING.md)"
 # Budgeted model-checker smoke, ~15 s total. Three configs:
